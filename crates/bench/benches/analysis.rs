@@ -1,0 +1,25 @@
+//! Criterion: the closed-form model (§6.1) — effectively free, benchmarked
+//! to document that generating Figs 3/4 costs microseconds, and as a
+//! regression guard on the formula implementations.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ftbarrier_bench::figures;
+use ftbarrier_core::analysis::AnalyticModel;
+
+fn bench_analysis(criterion: &mut Criterion) {
+    criterion.bench_function("analytic_point", |b| {
+        b.iter(|| {
+            let m = AnalyticModel::new(black_box(5), black_box(0.01), black_box(0.05));
+            black_box((m.expected_instances(), m.expected_phase_time(), m.overhead()))
+        })
+    });
+    criterion.bench_function("fig3_full_grid", |b| {
+        b.iter(|| black_box(figures::fig3(false)))
+    });
+    criterion.bench_function("fig4_full_grid", |b| {
+        b.iter(|| black_box(figures::fig4(false)))
+    });
+}
+
+criterion_group!(benches, bench_analysis);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Criterion: faulty-channel throughput and the threaded MB barrier's
+//! wall-clock phase rate under clean and nasty links.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ftbarrier_mp::channel::{faulty_channel, ChannelFaults, Delivery};
+use ftbarrier_mp::mb::{spawn, MbConfig};
+
+fn bench_channels(criterion: &mut Criterion) {
+    let mut group = criterion.benchmark_group("faulty_channel");
+    const MSGS: u64 = 10_000;
+    group.throughput(Throughput::Elements(MSGS));
+    group.bench_function("clean_send_recv", |b| {
+        b.iter(|| {
+            let (tx, rx) = faulty_channel::<u64>(ChannelFaults::NONE, 1);
+            for i in 0..MSGS {
+                tx.send(i);
+            }
+            let n = rx.drain().into_iter().filter_map(Delivery::ok).count();
+            assert_eq!(n as u64, MSGS);
+        })
+    });
+    group.bench_function("nasty_send_recv", |b| {
+        b.iter(|| {
+            let (tx, rx) = faulty_channel::<u64>(ChannelFaults::nasty(), 1);
+            for i in 0..MSGS {
+                tx.send(i);
+            }
+            tx.flush();
+            let _ = rx.drain();
+        })
+    });
+    group.finish();
+
+    let mut group = criterion.benchmark_group("mb_threaded");
+    group.sample_size(10);
+    group.bench_function("clean_links_8_phases", |b| {
+        b.iter(|| {
+            let run = spawn(MbConfig {
+                n: 4,
+                target_phases: 8,
+                ..Default::default()
+            });
+            let report = run.join();
+            assert!(report.reached_target);
+        })
+    });
+    group.bench_function("lossy_links_8_phases", |b| {
+        b.iter(|| {
+            let run = spawn(MbConfig {
+                n: 4,
+                target_phases: 8,
+                faults: ChannelFaults {
+                    loss: 0.2,
+                    ..ChannelFaults::NONE
+                },
+                ..Default::default()
+            });
+            let report = run.join();
+            assert!(report.reached_target);
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_channels);
+criterion_main!(benches);

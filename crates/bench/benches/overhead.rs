@@ -1,0 +1,53 @@
+//! Criterion: the Fig 4/Fig 6 ablation as a benchmark — simulated time per
+//! phase of the fault-tolerant program vs the fault-intolerant baseline, at
+//! the paper's operating point (h=5, c=0.01), plus a faulty variant.
+//!
+//! The measured quantity here is host time to simulate a fixed number of
+//! phases; the *simulated* per-phase times are what `repro fig6` reports.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ftbarrier_core::sim::{
+    measure_intolerant_phase_time, measure_phases, PhaseExperiment, TopologySpec,
+};
+
+const TOPOLOGY: TopologySpec = TopologySpec::Tree { n: 32, arity: 2 };
+const PHASES: u64 = 30;
+
+fn bench_overhead(criterion: &mut Criterion) {
+    let mut group = criterion.benchmark_group("simulated_phase");
+    group.sample_size(10);
+    group.bench_function("tolerant_no_faults", |b| {
+        b.iter(|| {
+            let m = measure_phases(&PhaseExperiment {
+                topology: TOPOLOGY,
+                c: 0.01,
+                f: 0.0,
+                target_phases: PHASES,
+                ..Default::default()
+            });
+            assert_eq!(m.violations, 0);
+        })
+    });
+    group.bench_function("tolerant_f_0.05", |b| {
+        b.iter(|| {
+            let m = measure_phases(&PhaseExperiment {
+                topology: TOPOLOGY,
+                c: 0.01,
+                f: 0.05,
+                target_phases: PHASES,
+                ..Default::default()
+            });
+            assert_eq!(m.violations, 0);
+        })
+    });
+    group.bench_function("intolerant_baseline", |b| {
+        b.iter(|| {
+            let t = measure_intolerant_phase_time(TOPOLOGY, 8, 0.01, 3, PHASES);
+            assert!(t > 0.0);
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_overhead);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Criterion: the thread runtime barrier against the fault-intolerant
+//! baselines and `std::sync::Barrier`, across participant counts.
+//!
+//! Measures one full barrier crossing per participant (N threads all
+//! arriving once). The fault-tolerant barrier pays for verdict aggregation
+//! and checksummed words; the paper's claim is that this overhead is small.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ftbarrier_runtime::{CentralBarrier, FtBarrier, TreeBarrier};
+use std::sync::Barrier as StdBarrier;
+use std::sync::Arc;
+
+const ROUNDS: u64 = 200;
+
+/// Run `ROUNDS` crossings on n threads, returning total crossings.
+fn drive<B: Send + 'static>(parts: Vec<B>, wait: fn(&mut B)) {
+    let handles: Vec<_> = parts
+        .into_iter()
+        .map(|mut b| {
+            std::thread::spawn(move || {
+                for _ in 0..ROUNDS {
+                    wait(&mut b);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+}
+
+fn bench_barriers(criterion: &mut Criterion) {
+    let mut group = criterion.benchmark_group("barrier_crossing");
+    group.sample_size(10);
+    for &n in &[2usize, 4, 8, 16] {
+        group.bench_with_input(BenchmarkId::new("ft_tree", n), &n, |b, &n| {
+            b.iter(|| {
+                let (_h, parts) = FtBarrier::new(n);
+                drive(parts, |p| {
+                    p.arrive().unwrap();
+                });
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("baseline_tree", n), &n, |b, &n| {
+            b.iter(|| {
+                drive(TreeBarrier::new(n, 2), TreeBarrier::wait);
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("baseline_central", n), &n, |b, &n| {
+            b.iter(|| {
+                drive(CentralBarrier::new(n), CentralBarrier::wait);
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("std_barrier", n), &n, |b, &n| {
+            b.iter(|| {
+                let barrier = Arc::new(StdBarrier::new(n));
+                let handles: Vec<_> = (0..n)
+                    .map(|_| {
+                        let barrier = Arc::clone(&barrier);
+                        std::thread::spawn(move || {
+                            for _ in 0..ROUNDS {
+                                barrier.wait();
+                            }
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    h.join().unwrap();
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_barriers);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Criterion: throughput of the guarded-command simulation engine (the
+//! SIEFAST substitute) on the paper's 32-process tree barrier, and of the
+//! fair-interleaving executor.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ftbarrier_core::sweep::SweepBarrier;
+use ftbarrier_gcs::fault::NoFaults;
+use ftbarrier_gcs::{Engine, EngineConfig, Interleaving, InterleavingConfig, NullMonitor, Time};
+use ftbarrier_topology::SweepDag;
+
+const COMMITS: u64 = 20_000;
+
+fn bench_engine(criterion: &mut Criterion) {
+    let mut group = criterion.benchmark_group("sim_engine");
+    group.throughput(Throughput::Elements(COMMITS));
+    for &n in &[8usize, 32, 128] {
+        let program = SweepBarrier::new(SweepDag::tree(n, 2).unwrap(), 8)
+            .with_costs(Time::new(0.01), Time::new(1.0));
+        group.bench_with_input(
+            BenchmarkId::new("timed_maximal_parallel", n),
+            &program,
+            |b, program| {
+                b.iter(|| {
+                    let mut engine = Engine::new(program, 7);
+                    let config = EngineConfig {
+                        max_commits: Some(COMMITS),
+                        ..Default::default()
+                    };
+                    let out = engine.run(&config, &mut NoFaults, &mut NullMonitor);
+                    assert!(out.stats.actions_executed >= COMMITS);
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("fair_interleaving", n),
+            &program,
+            |b, program| {
+                b.iter(|| {
+                    let mut exec =
+                        Interleaving::new(program, InterleavingConfig::default());
+                    let steps = exec.run(COMMITS, &mut NullMonitor);
+                    assert_eq!(steps, COMMITS);
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

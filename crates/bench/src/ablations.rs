@@ -1,0 +1,188 @@
+//! Ablation experiments beyond the paper's figures, for the design choices
+//! DESIGN.md calls out.
+//!
+//! * **Topology** (extends Fig 2 / §4.2's O(N) → O(h) argument): phase time
+//!   of the ring, two-ring, tree, double-tree, and MB refinements at the
+//!   same process count.
+//! * **Arity**: tree fan-out vs phase time (the paper fixes binary trees;
+//!   wider trees trade hops for sequential sink checks).
+//! * **Fuzzy barriers** (§8): how much of the synchronization cost the
+//!   enter/leave split hides, as the pre/post work ratio varies.
+
+use ftbarrier_core::sim::{measure_phases, PhaseExperiment, TopologySpec};
+
+/// One topology-comparison row.
+#[derive(Debug, Clone)]
+pub struct TopologyRow {
+    pub name: &'static str,
+    pub processes: usize,
+    pub positions_hops: usize,
+    pub phase_time: f64,
+    pub violations: usize,
+}
+
+/// Compare the §4 refinements at (roughly) the same process count.
+pub fn topology_comparison(c: f64, quick: bool) -> Vec<TopologyRow> {
+    let target = if quick { 20 } else { 60 };
+    let specs: [(&'static str, TopologySpec); 5] = [
+        ("ring (RB)", TopologySpec::Ring { n: 16 }),
+        ("two-ring (RB')", TopologySpec::TwoRing { a: 8, b: 7 }),
+        ("tree h=4 (Fig 2c)", TopologySpec::Tree { n: 16, arity: 2 }),
+        ("double tree (Fig 2d)", TopologySpec::DoubleTree { n: 15, arity: 2 }),
+        ("MB ring (§5)", TopologySpec::MbRing { n: 16 }),
+    ];
+    specs
+        .into_iter()
+        .map(|(name, topology)| {
+            let dag = topology.build().expect("valid topology");
+            let hops = dag.critical_path();
+            let m = measure_phases(&PhaseExperiment {
+                topology,
+                c,
+                f: 0.0,
+                target_phases: target,
+                ..Default::default()
+            });
+            TopologyRow {
+                name,
+                processes: topology.num_processes(),
+                positions_hops: hops,
+                phase_time: m.mean_phase_time,
+                violations: m.violations,
+            }
+        })
+        .collect()
+}
+
+/// One arity-sweep row.
+#[derive(Debug, Clone, Copy)]
+pub struct ArityRow {
+    pub arity: usize,
+    pub height: usize,
+    pub phase_time: f64,
+}
+
+/// Tree fan-out vs phase time, 32 processes.
+pub fn arity_sweep(c: f64, quick: bool) -> Vec<ArityRow> {
+    let target = if quick { 20 } else { 60 };
+    [2usize, 3, 4, 8, 16]
+        .into_iter()
+        .map(|arity| {
+            let topology = TopologySpec::Tree { n: 32, arity };
+            let dag = topology.build().unwrap();
+            let m = measure_phases(&PhaseExperiment {
+                topology,
+                c,
+                f: 0.0,
+                target_phases: target,
+                ..Default::default()
+            });
+            ArityRow {
+                arity,
+                height: dag.height(),
+                phase_time: m.mean_phase_time,
+            }
+        })
+        .collect()
+}
+
+/// One fuzzy-split row.
+#[derive(Debug, Clone, Copy)]
+pub struct FuzzyRow {
+    /// Fraction of the unit phase body moved into the barrier window.
+    pub post_fraction: f64,
+    pub phase_time: f64,
+    /// The strict (post_fraction = 0) phase time, for the saving column.
+    pub strict_time: f64,
+    pub violations: usize,
+}
+
+/// §8 fuzzy barriers: keep total work at 1.0, move a growing fraction into
+/// the enter/leave window, and measure the phase period.
+pub fn fuzzy_sweep(c: f64, quick: bool) -> Vec<FuzzyRow> {
+    let target = if quick { 25 } else { 80 };
+    let topology = TopologySpec::Tree { n: 32, arity: 2 };
+    let run = |split: Option<(f64, f64)>| {
+        measure_phases(&PhaseExperiment {
+            topology,
+            c,
+            f: 0.0,
+            target_phases: target,
+            work_split: split,
+            ..Default::default()
+        })
+    };
+    let strict = run(None);
+    let fractions = if quick {
+        vec![0.0, 0.25, 0.5]
+    } else {
+        vec![0.0, 0.1, 0.25, 0.4, 0.5]
+    };
+    fractions
+        .into_iter()
+        .map(|phi| {
+            let m = if phi == 0.0 {
+                run(None)
+            } else {
+                run(Some((1.0 - phi, phi)))
+            };
+            FuzzyRow {
+                post_fraction: phi,
+                phase_time: m.mean_phase_time,
+                strict_time: strict.mean_phase_time,
+                violations: m.violations,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tree_beats_ring_and_all_are_clean() {
+        let rows = topology_comparison(0.02, true);
+        let by_name = |n: &str| rows.iter().find(|r| r.name.starts_with(n)).unwrap();
+        for r in &rows {
+            assert_eq!(r.violations, 0, "{}", r.name);
+            assert!(r.phase_time.is_finite());
+        }
+        assert!(by_name("tree").phase_time < by_name("ring").phase_time);
+        // MB doubles the ring's positions, so it is the slowest.
+        assert!(by_name("MB").phase_time >= by_name("ring").phase_time * 0.99);
+        // The two-ring halves the ring's critical path.
+        assert!(by_name("two-ring").phase_time < by_name("ring").phase_time);
+    }
+
+    #[test]
+    fn wider_trees_are_shallower() {
+        let rows = arity_sweep(0.02, true);
+        for w in rows.windows(2) {
+            assert!(w[1].height <= w[0].height);
+        }
+        // Arity 4 (h=2) beats arity 2 (h=4) at this latency: fewer hops.
+        let a2 = rows.iter().find(|r| r.arity == 2).unwrap();
+        let a4 = rows.iter().find(|r| r.arity == 4).unwrap();
+        assert!(a4.phase_time <= a2.phase_time + 1e-9);
+    }
+
+    #[test]
+    fn fuzzy_split_hides_synchronization_cost() {
+        // At a high latency, moving work into the barrier window shortens
+        // the phase period (up to the sweep slack), and never violates the
+        // spec.
+        let rows = fuzzy_sweep(0.05, true);
+        for r in &rows {
+            assert_eq!(r.violations, 0, "phi={}", r.post_fraction);
+        }
+        let strict = rows.iter().find(|r| r.post_fraction == 0.0).unwrap();
+        let half = rows.iter().find(|r| r.post_fraction == 0.5).unwrap();
+        assert!(
+            half.phase_time < strict.phase_time - 0.01,
+            "fuzzy {} vs strict {}",
+            half.phase_time,
+            strict.phase_time
+        );
+    }
+}

@@ -1,0 +1,106 @@
+//! Reproduce the paper's evaluation artifacts.
+//!
+//! ```text
+//! repro [--quick] [--csv DIR] [fig3|fig4|fig5|fig6|fig7|table1|ablations|all]
+//! ```
+//!
+//! `--quick` shrinks the parameter grids and sample counts (used by CI and
+//! the integration tests); `--csv DIR` additionally writes one CSV per
+//! figure into DIR.
+
+use ftbarrier_bench::{ablations, figures, render, table1};
+use std::path::PathBuf;
+
+struct Options {
+    quick: bool,
+    csv: Option<PathBuf>,
+    what: Vec<String>,
+}
+
+fn parse_args() -> Options {
+    let mut quick = false;
+    let mut csv = None;
+    let mut what = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--csv" => {
+                let dir = args.next().unwrap_or_else(|| usage("--csv needs a directory"));
+                csv = Some(PathBuf::from(dir));
+            }
+            "--help" | "-h" => usage(""),
+            other if other.starts_with('-') => usage(&format!("unknown flag {other}")),
+            other => what.push(other.to_owned()),
+        }
+    }
+    if what.is_empty() {
+        what.push("all".to_owned());
+    }
+    Options { quick, csv, what }
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}");
+    }
+    eprintln!("usage: repro [--quick] [--csv DIR] [fig3|fig4|fig5|fig6|fig7|table1|ablations|all]...");
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}
+
+fn write_csv(dir: &Option<PathBuf>, name: &str, contents: &str) {
+    if let Some(dir) = dir {
+        std::fs::create_dir_all(dir).expect("create csv directory");
+        let path = dir.join(name);
+        std::fs::write(&path, contents).expect("write csv");
+        eprintln!("wrote {}", path.display());
+    }
+}
+
+fn main() {
+    let opts = parse_args();
+    let all = opts.what.iter().any(|w| w == "all");
+    let wants = |name: &str| all || opts.what.iter().any(|w| w == name);
+
+    if wants("fig3") {
+        let rows = figures::fig3(opts.quick);
+        println!("{}", render::render_fig3(&rows));
+        write_csv(&opts.csv, "fig3.csv", &render::csv_fig3(&rows));
+    }
+    if wants("fig4") {
+        let rows = figures::fig4(opts.quick);
+        println!("{}", render::render_fig4(&rows));
+        write_csv(&opts.csv, "fig4.csv", &render::csv_fig4(&rows));
+    }
+    if wants("fig5") {
+        eprintln!("running Fig 5 simulations…");
+        let rows = figures::fig5(opts.quick);
+        println!("{}", render::render_fig5(&rows));
+        write_csv(&opts.csv, "fig5.csv", &render::csv_fig5(&rows));
+    }
+    if wants("fig6") {
+        eprintln!("running Fig 6 simulations…");
+        let rows = figures::fig6(opts.quick);
+        println!("{}", render::render_fig6(&rows));
+        write_csv(&opts.csv, "fig6.csv", &render::csv_fig6(&rows));
+    }
+    if wants("fig7") {
+        eprintln!("running Fig 7 recovery simulations…");
+        let rows = figures::fig7(opts.quick);
+        println!("{}", render::render_fig7(&rows));
+        write_csv(&opts.csv, "fig7.csv", &render::csv_fig7(&rows));
+    }
+    if wants("ablations") {
+        eprintln!("running ablations…");
+        let c = 0.02;
+        println!("{}", render::render_topologies(&ablations::topology_comparison(c, opts.quick), c));
+        println!("{}", render::render_arity(&ablations::arity_sweep(c, opts.quick), c));
+        let cf = 0.05;
+        println!("{}", render::render_fuzzy(&ablations::fuzzy_sweep(cf, opts.quick), cf));
+    }
+    if wants("table1") {
+        eprintln!("exercising Table 1 scenarios…");
+        let rows = table1::rows();
+        println!("{}", render::render_table1(&rows));
+    }
+}

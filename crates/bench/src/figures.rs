@@ -1,0 +1,251 @@
+//! Generators for Figures 3–7.
+//!
+//! The paper's headline configuration is 32 processors on a binary tree
+//! (`h = 5`), phase time 1, latency `c ∈ [0, 0.05]`, fault frequency
+//! `f ∈ [0, 0.1]`. Absolute simulated values depend on the engine's cost
+//! model (documented in DESIGN.md); the *shapes* — who wins, by what factor,
+//! monotonicity — are asserted by `tests/figures.rs`.
+
+use ftbarrier_core::analysis::AnalyticModel;
+use ftbarrier_core::sim::{
+    measure_intolerant_phase_time, measure_phases, measure_recovery, PhaseExperiment,
+    RecoveryExperiment, TopologySpec,
+};
+use ftbarrier_gcs::stats::Accumulator;
+
+/// The paper's 32-process binary tree.
+pub const PAPER_TREE: TopologySpec = TopologySpec::Tree { n: 32, arity: 2 };
+pub const PAPER_H: usize = 5;
+
+/// The `f` grid of Figs 3/5 and the `c` grid of Figs 3–6.
+pub fn f_grid(quick: bool) -> Vec<f64> {
+    if quick {
+        vec![0.0, 0.01, 0.05, 0.1]
+    } else {
+        vec![0.0, 0.001, 0.005, 0.01, 0.02, 0.05, 0.08, 0.1]
+    }
+}
+
+pub fn c_grid(quick: bool) -> Vec<f64> {
+    if quick {
+        vec![0.0, 0.01, 0.05]
+    } else {
+        vec![0.0, 0.01, 0.02, 0.03, 0.04, 0.05]
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fig 3 — analytical: instances per successful phase.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy)]
+pub struct Fig3Row {
+    pub f: f64,
+    pub c: f64,
+    /// Expected instances per successful phase: `1/(1-f)^(1+3hc)`.
+    pub instances: f64,
+}
+
+pub fn fig3(quick: bool) -> Vec<Fig3Row> {
+    let mut rows = Vec::new();
+    for &c in &c_grid(quick) {
+        for &f in &f_grid(quick) {
+            let m = AnalyticModel::new(PAPER_H, c, f);
+            rows.push(Fig3Row {
+                f,
+                c,
+                instances: m.expected_instances(),
+            });
+        }
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------------
+// Fig 4 — analytical: overhead of fault tolerance.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy)]
+pub struct Fig4Row {
+    pub f: f64,
+    pub c: f64,
+    pub tolerant_time: f64,
+    pub intolerant_time: f64,
+    /// Overhead as a fraction.
+    pub overhead: f64,
+}
+
+pub fn fig4(quick: bool) -> Vec<Fig4Row> {
+    let fs = if quick {
+        vec![0.0, 0.01, 0.05]
+    } else {
+        vec![0.0, 0.01, 0.02, 0.05]
+    };
+    let mut rows = Vec::new();
+    for &c in &c_grid(quick) {
+        for &f in &fs {
+            let m = AnalyticModel::new(PAPER_H, c, f);
+            rows.push(Fig4Row {
+                f,
+                c,
+                tolerant_time: m.expected_phase_time(),
+                intolerant_time: m.intolerant_phase_time(),
+                overhead: m.overhead(),
+            });
+        }
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------------
+// Fig 5 — simulation: instances per successful phase.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy)]
+pub struct Fig5Row {
+    pub f: f64,
+    pub c: f64,
+    /// Mean instances per successful phase, simulated.
+    pub instances: f64,
+    /// The Fig 3 prediction for the same point.
+    pub analytic: f64,
+    /// Specification violations (must be 0: detectable faults are masked).
+    pub violations: usize,
+    pub phases: u64,
+}
+
+pub fn fig5(quick: bool) -> Vec<Fig5Row> {
+    let target_phases = if quick { 60 } else { 300 };
+    let mut rows = Vec::new();
+    for &c in &c_grid(quick) {
+        for &f in &f_grid(quick) {
+            let m = measure_phases(&PhaseExperiment {
+                topology: PAPER_TREE,
+                n_phases: 8,
+                c,
+                f,
+                seed: 0x51_0005 + (f * 1e5) as u64 + (c * 1e7) as u64,
+                target_phases,
+                work_split: None,
+            });
+            rows.push(Fig5Row {
+                f,
+                c,
+                instances: m.mean_instances,
+                analytic: AnalyticModel::new(PAPER_H, c, f).expected_instances(),
+                violations: m.violations,
+                phases: m.phases,
+            });
+        }
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------------
+// Fig 6 — simulation: overhead of fault tolerance.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy)]
+pub struct Fig6Row {
+    pub f: f64,
+    pub c: f64,
+    /// Simulated mean time per successful phase, tolerant program.
+    pub tolerant_time: f64,
+    /// Simulated mean time per phase, fault-intolerant baseline.
+    pub intolerant_time: f64,
+    /// Simulated overhead fraction.
+    pub overhead: f64,
+    /// Fig 4's analytical overhead at the same point.
+    pub analytic_overhead: f64,
+}
+
+pub fn fig6(quick: bool) -> Vec<Fig6Row> {
+    let fs = if quick {
+        vec![0.0, 0.01, 0.05]
+    } else {
+        vec![0.0, 0.01, 0.02, 0.05]
+    };
+    let target_phases = if quick { 40 } else { 150 };
+    let mut rows = Vec::new();
+    for &c in &c_grid(quick) {
+        let base = measure_intolerant_phase_time(PAPER_TREE, 8, c, 0xBA5E, target_phases);
+        for &f in &fs {
+            let m = measure_phases(&PhaseExperiment {
+                topology: PAPER_TREE,
+                n_phases: 8,
+                c,
+                f,
+                seed: 0xF16_0006 + (f * 1e5) as u64 + (c * 1e7) as u64,
+                target_phases,
+                work_split: None,
+            });
+            rows.push(Fig6Row {
+                f,
+                c,
+                tolerant_time: m.mean_phase_time,
+                intolerant_time: base,
+                overhead: m.mean_phase_time / base - 1.0,
+                analytic_overhead: AnalyticModel::new(PAPER_H, c, f).overhead(),
+            });
+        }
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------------
+// Fig 7 — simulation: recovery from undetectable faults.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy)]
+pub struct Fig7Row {
+    pub h: usize,
+    pub n: usize,
+    pub c: f64,
+    /// Mean recovery time over the seeds (time of last violation after a
+    /// full arbitrary-state perturbation).
+    pub recovery_mean: f64,
+    pub recovery_max: f64,
+    /// Fraction of runs that completed confirmation phases after recovery.
+    pub recovered_frac: f64,
+}
+
+pub fn fig7(quick: bool) -> Vec<Fig7Row> {
+    let seeds: u64 = if quick { 4 } else { 12 };
+    let hs: Vec<usize> = if quick { vec![1, 3, 5] } else { (1..=7).collect() };
+    let cs = if quick {
+        vec![0.01, 0.05]
+    } else {
+        vec![0.0, 0.01, 0.02, 0.03, 0.04, 0.05]
+    };
+    let mut rows = Vec::new();
+    for &h in &hs {
+        let n = 1usize << h;
+        for &c in &cs {
+            let mut acc = Accumulator::new();
+            let mut recovered = 0u64;
+            for seed in 0..seeds {
+                let m = measure_recovery(&RecoveryExperiment {
+                    topology: TopologySpec::Tree { n, arity: 2 },
+                    n_phases: 8,
+                    c,
+                    seed: 0xF17_0007 + seed * 7919 + (c * 1e7) as u64 + h as u64,
+                    horizon: 40.0,
+                    confirm_phases: 3,
+                });
+                acc.add(m.recovery_time);
+                if m.recovered {
+                    recovered += 1;
+                }
+            }
+            rows.push(Fig7Row {
+                h,
+                n,
+                c,
+                recovery_mean: acc.mean(),
+                recovery_max: acc.max(),
+                recovered_frac: recovered as f64 / seeds as f64,
+            });
+        }
+    }
+    rows
+}

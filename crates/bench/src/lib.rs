@@ -1,0 +1,19 @@
+//! Figure and table reproduction for §6 of Kulkarni & Arora (ICPP 1998).
+//!
+//! Every artifact of the paper's evaluation has a generator here that
+//! returns structured rows; the `repro` binary renders them, and the
+//! integration tests assert the paper's headline shapes on the same data.
+//!
+//! | artifact | generator | paper claim reproduced |
+//! |---|---|---|
+//! | Fig 3 | [`figures::fig3`] | analytical instances/phase vs `f`, `c` |
+//! | Fig 4 | [`figures::fig4`] | analytical FT overhead (4.5% / 5.7% / ≈10.8%) |
+//! | Fig 5 | [`figures::fig5`] | *simulated* instances/phase tracks Fig 3 |
+//! | Fig 6 | [`figures::fig6`] | *simulated* overhead ≤ analytical |
+//! | Fig 7 | [`figures::fig7`] | recovery < ~1 unit, grows with `c`, `h` |
+//! | Table 1 | [`table1::rows`] | each fault class gets its tolerance |
+
+pub mod ablations;
+pub mod figures;
+pub mod render;
+pub mod table1;

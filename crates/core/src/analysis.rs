@@ -1,0 +1,202 @@
+//! The closed-form performance model of §6.1.
+//!
+//! With phase execution time as the unit, communication latency `c` per hop,
+//! fault frequency `f` per unit time, and a tree of height `h`:
+//!
+//! * a fault-tolerant phase takes `1 + 3hc` in the absence of faults (three
+//!   sweeps of the tree per phase);
+//! * `P(some fault during a phase) = 1 - (1-f)^(1+3hc)`;
+//! * the number of instances needed to execute a phase successfully is
+//!   geometric with mean `1 / (1-f)^(1+3hc)`;
+//! * the expected time per successful phase is `(1+3hc) / (1-f)^(1+3hc)`;
+//! * the fault-*intolerant* barrier takes `1 + 2hc` (one sweep to detect
+//!   completion, one to release);
+//! * recovery from an arbitrary state takes at most `5hc` of communication.
+
+/// Model parameters: tree height `h`, per-hop latency `c`, fault frequency
+/// `f` — all in units of one phase execution.
+///
+/// ```
+/// use ftbarrier_core::analysis::AnalyticModel;
+///
+/// // The paper's headline configuration: 32 processors (h = 5),
+/// // 1 ms phases, 10 µs latency, 10 faults per second.
+/// let m = AnalyticModel::new(5, 0.01, 0.01);
+/// assert!((m.expected_instances() - 1.0116).abs() < 1e-3);
+/// assert!((m.overhead() - 0.0576).abs() < 1e-3); // ≈ the paper's 5.7%
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnalyticModel {
+    pub h: usize,
+    pub c: f64,
+    pub f: f64,
+}
+
+impl AnalyticModel {
+    pub fn new(h: usize, c: f64, f: f64) -> AnalyticModel {
+        assert!(c >= 0.0, "latency must be non-negative");
+        assert!((0.0..1.0).contains(&f), "fault frequency must be in [0,1)");
+        AnalyticModel { h, c, f }
+    }
+
+    /// Duration of one fault-free instance under the tolerant program:
+    /// `1 + 3hc`.
+    pub fn tolerant_instance_time(&self) -> f64 {
+        1.0 + 3.0 * self.h as f64 * self.c
+    }
+
+    /// Duration of one phase under the fault-intolerant program: `1 + 2hc`.
+    pub fn intolerant_phase_time(&self) -> f64 {
+        1.0 + 2.0 * self.h as f64 * self.c
+    }
+
+    /// `P(no fault during one instance) = (1-f)^(1+3hc)`.
+    pub fn p_no_fault_in_instance(&self) -> f64 {
+        (1.0 - self.f).powf(self.tolerant_instance_time())
+    }
+
+    /// `f_freq` in the paper: `P(some fault during one instance)`.
+    pub fn p_fault_in_instance(&self) -> f64 {
+        1.0 - self.p_no_fault_in_instance()
+    }
+
+    /// `P(exactly k instances are executed)` — geometric:
+    /// `f_freq^(k-1) · (1 - f_freq)`. `k` starts at 1.
+    pub fn p_instances(&self, k: u32) -> f64 {
+        assert!(k >= 1);
+        let ff = self.p_fault_in_instance();
+        ff.powi(k as i32 - 1) * (1.0 - ff)
+    }
+
+    /// Expected instances per successful phase: `1 / (1-f)^(1+3hc)`.
+    pub fn expected_instances(&self) -> f64 {
+        1.0 / self.p_no_fault_in_instance()
+    }
+
+    /// Expected time per successful phase:
+    /// `(1 + 3hc) / (1-f)^(1+3hc)`.
+    pub fn expected_phase_time(&self) -> f64 {
+        self.tolerant_instance_time() / self.p_no_fault_in_instance()
+    }
+
+    /// Fault-tolerance overhead relative to the intolerant program, as a
+    /// fraction (Fig 4 plots this as a percentage).
+    pub fn overhead(&self) -> f64 {
+        self.expected_phase_time() / self.intolerant_phase_time() - 1.0
+    }
+
+    /// §6.1's bound on recovery from an arbitrary state: `hc` to correct the
+    /// sequence numbers plus `4hc` for the control positions and phases.
+    pub fn recovery_bound(&self) -> f64 {
+        5.0 * self.h as f64 * self.c
+    }
+
+    /// The paper's standing assumption that synchronization is at most half
+    /// a phase: `2hc ≤ 0.5`.
+    pub fn satisfies_latency_assumption(&self) -> bool {
+        2.0 * self.h as f64 * self.c <= 0.5
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's headline configuration: 32 processors, h = 5.
+    fn paper(c: f64, f: f64) -> AnalyticModel {
+        AnalyticModel::new(5, c, f)
+    }
+
+    #[test]
+    fn zero_fault_zero_latency_is_unit_phase() {
+        let m = paper(0.0, 0.0);
+        assert_eq!(m.tolerant_instance_time(), 1.0);
+        assert_eq!(m.intolerant_phase_time(), 1.0);
+        assert_eq!(m.expected_instances(), 1.0);
+        assert_eq!(m.overhead(), 0.0);
+        assert_eq!(m.recovery_bound(), 0.0);
+    }
+
+    #[test]
+    fn paper_claim_low_frequency_reexecution_under_1_6_percent() {
+        // §6.1: "when the frequency of faults is small (f ≤ 0.01), the
+        // percentage of phases executed incorrectly is lower than 1.6%"
+        // (at c = 0.01, h = 5).
+        let m = paper(0.01, 0.01);
+        let p = m.p_fault_in_instance();
+        assert!(p < 0.016, "got {p}");
+    }
+
+    #[test]
+    fn paper_claim_high_latency_low_frequency_1_7_percent() {
+        // §6.1: "even at high communication latency, c = 0.05, when
+        // f = 0.01, the probability that a phase is re-executed is as low
+        // as 1.7%."
+        let m = paper(0.05, 0.01);
+        let p = m.p_fault_in_instance();
+        assert!(p < 0.018, "got {p}");
+        assert!(p > 0.014, "got {p}");
+    }
+
+    #[test]
+    fn paper_claim_overheads() {
+        // §6.1's concrete scenario (1ms phases, 10µs latency ⇒ c = 0.01):
+        // f=0 → 4.5%; f=0.01 → 5.7%; f=0.05 → ≈10.8%.
+        let m0 = paper(0.01, 0.0);
+        assert!((m0.overhead() - 0.045).abs() < 0.002, "{}", m0.overhead());
+        let m1 = paper(0.01, 0.01);
+        assert!((m1.overhead() - 0.057).abs() < 0.002, "{}", m1.overhead());
+        let m5 = paper(0.01, 0.05);
+        assert!((m5.overhead() - 0.108).abs() < 0.004, "{}", m5.overhead());
+    }
+
+    #[test]
+    fn paper_claim_recovery_at_most_1_25() {
+        // §6.1: "under our assumption that 2hc ≤ 0.5, the program recovers
+        // in at most 1.25 time".
+        let m = paper(0.05, 0.0);
+        assert!(m.satisfies_latency_assumption());
+        assert!((m.recovery_bound() - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn instances_pmf_sums_to_one_and_matches_mean() {
+        let m = paper(0.03, 0.05);
+        let mut total = 0.0;
+        let mut mean = 0.0;
+        for k in 1..200 {
+            let p = m.p_instances(k);
+            total += p;
+            mean += k as f64 * p;
+        }
+        assert!((total - 1.0).abs() < 1e-9);
+        assert!((mean - m.expected_instances()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn monotone_in_f_and_c() {
+        for &(f1, f2) in &[(0.0, 0.01), (0.01, 0.05), (0.05, 0.1)] {
+            assert!(paper(0.02, f1).expected_instances() < paper(0.02, f2).expected_instances());
+            assert!(paper(0.02, f1).overhead() < paper(0.02, f2).overhead());
+        }
+        for &(c1, c2) in &[(0.0, 0.01), (0.01, 0.05)] {
+            assert!(
+                paper(c1, 0.05).expected_instances() < paper(c2, 0.05).expected_instances(),
+                "longer instances have more fault exposure"
+            );
+        }
+    }
+
+    #[test]
+    fn overhead_positive_whenever_latency_positive() {
+        // The third sweep costs hc even without faults.
+        let m = paper(0.01, 0.0);
+        assert!(m.overhead() > 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_f_of_one() {
+        let _ = AnalyticModel::new(5, 0.01, 1.0);
+    }
+}

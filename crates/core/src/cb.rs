@@ -1,0 +1,526 @@
+//! Program CB — the coarse-grain solution (§3).
+//!
+//! Each process `j` holds a control position `cp.j`, a phase number `ph.j`,
+//! and (our explicit modeling of "j executes its phase") a `done` bit set by
+//! a unit-cost `WORK` action. The four guarded actions are the paper's,
+//! verbatim:
+//!
+//! ```text
+//! CB1 :: cp.j = ready ∧ ((∀k :: cp.k = ready) ∨ (∃k :: cp.k = execute)) → cp.j := execute
+//! CB2 :: cp.j = execute ∧ ((∀k :: cp.k ≠ ready) ∨ (∃k :: cp.k = success)) → cp.j := success
+//! CB3 :: cp.j = success ∧ (∀k :: cp.k ≠ execute) →
+//!            if (∃k :: cp.k = ready) then ph.j := (any k : cp.k = ready : ph.k)
+//!            elseif (∀k :: cp.k = success) then ph.j := ph.j + 1;
+//!            cp.j := ready
+//! CB4 :: cp.j = error ∧ (∀k :: cp.k ≠ execute) →
+//!            if (∃k :: cp.k = ready) then ph.j := (any k : cp.k = ready : ph.k)
+//!            elseif (∃k :: cp.k = success) then ph.j := (any k : cp.k = success : ph.k)
+//!            else ph.j := arbitrary;
+//!            cp.j := ready
+//! ```
+//!
+//! (CB2 additionally waits for the process's own phase body to finish —
+//! `done` — which the paper leaves implicit in "j executes its phase, and
+//! changes its control position to success".)
+//!
+//! Guards read the *entire* global state instantaneously; §4 refines that
+//! away. CB is used here for the correctness arguments (Lemmas 3.1–3.4 as
+//! tests) and as the reference behaviour for the refined programs.
+
+use crate::cp::Cp;
+use ftbarrier_gcs::{ActionId, FaultAction, FaultKind, Pid, Protocol, SimRng, Time};
+
+/// Per-process state of CB.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CbState {
+    pub cp: Cp,
+    /// Current phase, in `0..n_phases` (modulo arithmetic).
+    pub ph: u32,
+    /// Whether the body of the current phase has been executed.
+    pub done: bool,
+}
+
+/// The CB program.
+#[derive(Debug, Clone)]
+pub struct Cb {
+    pub n_processes: usize,
+    /// Length of the cyclic phase sequence (the paper's `n`, at least 2).
+    pub n_phases: u32,
+    /// Cost of one control transition (global read + local write).
+    pub comm_cost: Time,
+    /// Cost of executing one phase body (the paper's unit time).
+    pub work_cost: Time,
+}
+
+/// Action indices.
+pub const CB1: ActionId = 0;
+pub const CB2: ActionId = 1;
+pub const CB3: ActionId = 2;
+pub const CB4: ActionId = 3;
+pub const WORK: ActionId = 4;
+
+impl Cb {
+    pub fn new(n_processes: usize, n_phases: u32) -> Cb {
+        assert!(n_processes >= 2);
+        assert!(n_phases >= 2, "the paper assumes at least two phases (§3)");
+        Cb {
+            n_processes,
+            n_phases,
+            comm_cost: Time::ZERO,
+            work_cost: Time::new(1.0),
+        }
+    }
+
+    pub fn with_costs(mut self, comm: Time, work: Time) -> Cb {
+        self.comm_cost = comm;
+        self.work_cost = work;
+        self
+    }
+
+    fn all(&self, g: &[CbState], pred: impl Fn(&CbState) -> bool) -> bool {
+        g.iter().all(pred)
+    }
+
+    fn exists(&self, g: &[CbState], pred: impl Fn(&CbState) -> bool) -> bool {
+        g.iter().any(pred)
+    }
+
+    /// `(any k : cp.k = target : ph.k)` — a uniformly random process with the
+    /// given control position, or an arbitrary phase if none exists.
+    fn any_phase_with(&self, g: &[CbState], target: Cp, rng: &mut SimRng) -> u32 {
+        let candidates: Vec<u32> = g.iter().filter(|s| s.cp == target).map(|s| s.ph).collect();
+        if candidates.is_empty() {
+            rng.range_u64(0, self.n_phases as u64) as u32
+        } else {
+            *rng.choose(&candidates)
+        }
+    }
+}
+
+impl Protocol for Cb {
+    type State = CbState;
+
+    fn num_processes(&self) -> usize {
+        self.n_processes
+    }
+
+    fn num_actions(&self, _pid: Pid) -> usize {
+        5
+    }
+
+    fn action_name(&self, _pid: Pid, action: ActionId) -> &'static str {
+        match action {
+            CB1 => "CB1",
+            CB2 => "CB2",
+            CB3 => "CB3",
+            CB4 => "CB4",
+            WORK => "WORK",
+            _ => unreachable!("CB has 5 actions"),
+        }
+    }
+
+    fn enabled(&self, g: &[CbState], pid: Pid, action: ActionId) -> bool {
+        let s = &g[pid];
+        match action {
+            CB1 => {
+                s.cp == Cp::Ready
+                    && (self.all(g, |k| k.cp == Cp::Ready) || self.exists(g, |k| k.cp == Cp::Execute))
+            }
+            CB2 => {
+                s.cp == Cp::Execute
+                    && s.done
+                    && (self.all(g, |k| k.cp != Cp::Ready)
+                        || self.exists(g, |k| k.cp == Cp::Success))
+            }
+            CB3 => s.cp == Cp::Success && self.all(g, |k| k.cp != Cp::Execute),
+            CB4 => s.cp == Cp::Error && self.all(g, |k| k.cp != Cp::Execute),
+            WORK => s.cp == Cp::Execute && !s.done,
+            _ => false,
+        }
+    }
+
+    fn execute(&self, g: &[CbState], pid: Pid, action: ActionId, rng: &mut SimRng) -> CbState {
+        let mut s = g[pid];
+        match action {
+            CB1 => {
+                s.cp = Cp::Execute;
+                s.done = false;
+            }
+            CB2 => {
+                s.cp = Cp::Success;
+            }
+            CB3 => {
+                if self.exists(g, |k| k.cp == Cp::Ready) {
+                    s.ph = self.any_phase_with(g, Cp::Ready, rng);
+                } else if self.all(g, |k| k.cp == Cp::Success) {
+                    s.ph = (s.ph + 1) % self.n_phases;
+                }
+                // else: some process is in error — keep ph, re-execute.
+                s.cp = Cp::Ready;
+            }
+            CB4 => {
+                if self.exists(g, |k| k.cp == Cp::Ready) {
+                    s.ph = self.any_phase_with(g, Cp::Ready, rng);
+                } else if self.exists(g, |k| k.cp == Cp::Success) {
+                    s.ph = self.any_phase_with(g, Cp::Success, rng);
+                } else {
+                    // Phase of all processes corrupted: choose arbitrarily.
+                    s.ph = rng.range_u64(0, self.n_phases as u64) as u32;
+                }
+                s.cp = Cp::Ready;
+            }
+            WORK => {
+                s.done = true;
+            }
+            _ => unreachable!("CB has 5 actions"),
+        }
+        s
+    }
+
+    fn cost(&self, _pid: Pid, action: ActionId) -> Time {
+        if action == WORK {
+            self.work_cost
+        } else {
+            self.comm_cost
+        }
+    }
+
+    fn initial_state(&self) -> Vec<CbState> {
+        // "Initially, phase.(n-1) has executed successfully and each process
+        // is thus ready to execute phase.0."
+        vec![
+            CbState {
+                cp: Cp::Ready,
+                ph: 0,
+                done: true,
+            };
+            self.n_processes
+        ]
+    }
+
+    fn arbitrary_state(&self, _pid: Pid, rng: &mut SimRng) -> CbState {
+        CbState {
+            cp: *rng.choose(&Cp::CB_DOMAIN),
+            ph: rng.range_u64(0, self.n_phases as u64) as u32,
+            done: rng.chance(0.5),
+        }
+    }
+}
+
+/// The detectable fault of §3: `true → ph.j, cp.j := ?, error`.
+#[derive(Debug, Clone, Copy)]
+pub struct CbDetectableFault {
+    pub n_phases: u32,
+}
+
+impl FaultAction<CbState> for CbDetectableFault {
+    fn kind(&self) -> FaultKind {
+        FaultKind::Detectable
+    }
+
+    fn apply(&self, _pid: Pid, state: &mut CbState, rng: &mut SimRng) {
+        state.ph = rng.range_u64(0, self.n_phases as u64) as u32;
+        state.cp = Cp::Error;
+        state.done = false;
+    }
+}
+
+/// The undetectable fault of §3: `true → ph.j, cp.j := ?, ?`.
+#[derive(Debug, Clone, Copy)]
+pub struct CbUndetectableFault {
+    pub n_phases: u32,
+}
+
+impl FaultAction<CbState> for CbUndetectableFault {
+    fn kind(&self) -> FaultKind {
+        FaultKind::Undetectable
+    }
+
+    fn apply(&self, _pid: Pid, state: &mut CbState, rng: &mut SimRng) {
+        state.ph = rng.range_u64(0, self.n_phases as u64) as u32;
+        state.cp = *rng.choose(&Cp::CB_DOMAIN);
+        state.done = rng.chance(0.5);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{Anchor, BarrierOracle, OracleConfig};
+    use ftbarrier_gcs::{Interleaving, InterleavingConfig, Monitor, NullMonitor};
+
+    /// Monitor adapter feeding CB transitions into the oracle.
+    pub struct CbOracle {
+        pub oracle: BarrierOracle,
+    }
+
+    impl Monitor<CbState> for CbOracle {
+        fn on_transition(
+            &mut self,
+            now: Time,
+            pid: Pid,
+            _action: ActionId,
+            _name: &str,
+            old: &CbState,
+            new: &CbState,
+            _global: &[CbState],
+        ) {
+            self.oracle.observe_cp(now, pid, new.ph, old.cp, new.cp);
+        }
+
+        fn on_fault(
+            &mut self,
+            now: Time,
+            pid: Pid,
+            _kind: FaultKind,
+            old: &CbState,
+            new: &CbState,
+            _global: &[CbState],
+        ) {
+            self.oracle.observe_cp(now, pid, new.ph, old.cp, new.cp);
+        }
+    }
+
+    fn oracle_for(n: usize, n_phases: u32, anchor: Anchor) -> CbOracle {
+        CbOracle {
+            oracle: BarrierOracle::new(OracleConfig {
+                n_processes: n,
+                n_phases,
+                anchor,
+            }),
+        }
+    }
+
+    #[test]
+    fn lemma_3_1_no_faults_satisfies_spec() {
+        // Safety + Progress in the absence of faults, under many schedules.
+        let cb = Cb::new(4, 3);
+        for seed in 0..25 {
+            let mut exec = Interleaving::new(&cb, InterleavingConfig { seed, ..Default::default() });
+            let mut mon = oracle_for(4, 3, Anchor::StrictFromZero);
+            let done = exec.run_until(100_000, &mut mon, |_| false);
+            assert!(done.is_none(), "CB must never reach a fixpoint");
+            assert!(mon.oracle.is_clean(), "seed {seed}: {:?}", mon.oracle.violations());
+            assert!(
+                mon.oracle.phases_completed() >= 100,
+                "seed {seed}: progress too slow ({} phases)",
+                mon.oracle.phases_completed()
+            );
+            // Without faults every phase takes exactly one instance.
+            assert!(mon.oracle.instance_counts().iter().all(|&c| c == 1));
+        }
+    }
+
+    #[test]
+    fn lemma_3_2_masking_under_detectable_faults() {
+        let cb = Cb::new(4, 3);
+        let fault = CbDetectableFault { n_phases: 3 };
+        for seed in 0..25 {
+            let mut exec = Interleaving::new(&cb, InterleavingConfig { seed, ..Default::default() });
+            let mut mon = oracle_for(4, 3, Anchor::StrictFromZero);
+            // Interleave program steps with periodic detectable faults.
+            for round in 0..40 {
+                exec.run(200, &mut mon);
+                let victim = (seed as usize + round) % 4;
+                exec.apply_fault(victim, &fault, &mut mon);
+            }
+            exec.run(5_000, &mut mon);
+            assert!(
+                mon.oracle.is_clean(),
+                "seed {seed}: detectable faults must be masked: {:?}",
+                mon.oracle.violations()
+            );
+            assert!(mon.oracle.phases_completed() >= 3, "seed {seed}: no progress");
+        }
+    }
+
+    #[test]
+    fn lemma_3_3_stabilizes_from_arbitrary_states() {
+        let cb = Cb::new(5, 4);
+        for seed in 0..25 {
+            let mut exec = Interleaving::new(&cb, InterleavingConfig { seed, ..Default::default() });
+            exec.perturb_all();
+            let mut silent = NullMonitor;
+            // Let the program stabilize without judging the interim, then
+            // attach the oracle at an instance boundary (a start state: all
+            // processes ready in one phase) so mid-instance state does not
+            // confuse it.
+            let settled = exec.run_until(50_000, &mut silent, |g| {
+                g.iter().all(|s| s.cp == Cp::Ready && s.ph == g[0].ph)
+            });
+            assert!(settled.is_some(), "seed {seed}: never reached a start state");
+            // From here on, the specification must hold.
+            let mut mon = oracle_for(5, 4, Anchor::Free);
+            exec.run(50_000, &mut mon);
+            assert!(
+                mon.oracle.is_clean(),
+                "seed {seed}: post-stabilization violations: {:?}",
+                mon.oracle.violations()
+            );
+            assert!(
+                mon.oracle.phases_completed() >= 10,
+                "seed {seed}: no post-recovery progress"
+            );
+        }
+    }
+
+    #[test]
+    fn lemma_3_4_at_most_m_phases_executed_incorrectly() {
+        // Perturb into m distinct phases; violations must implicate at most
+        // m distinct phases.
+        let cb = Cb::new(5, 8);
+        for seed in 100..130 {
+            let mut exec = Interleaving::new(&cb, InterleavingConfig { seed, ..Default::default() });
+            exec.perturb_all();
+            let m = {
+                let mut phases: Vec<u32> = exec.global().iter().map(|s| s.ph).collect();
+                phases.sort_unstable();
+                phases.dedup();
+                phases.len()
+            };
+            let mut mon = oracle_for(5, 8, Anchor::Free);
+            exec.run(50_000, &mut mon);
+            let wrong = mon.oracle.distinct_violated_phases();
+            assert!(
+                wrong <= m,
+                "seed {seed}: {wrong} phases executed incorrectly, perturbed into {m}"
+            );
+        }
+    }
+
+    #[test]
+    fn initial_state_is_start_state() {
+        let cb = Cb::new(3, 2);
+        let g = cb.initial_state();
+        assert!(g.iter().all(|s| s.cp == Cp::Ready && s.ph == 0 && s.done));
+        // CB1 is enabled everywhere; nothing else is.
+        for pid in 0..3 {
+            assert!(cb.enabled(&g, pid, CB1));
+            for a in [CB2, CB3, CB4, WORK] {
+                assert!(!cb.enabled(&g, pid, a));
+            }
+        }
+    }
+
+    #[test]
+    fn cb2_waits_for_work() {
+        let cb = Cb::new(2, 2);
+        let mut g = cb.initial_state();
+        g[0].cp = Cp::Execute;
+        g[0].done = false;
+        g[1].cp = Cp::Execute;
+        g[1].done = false;
+        assert!(!cb.enabled(&g, 0, CB2));
+        assert!(cb.enabled(&g, 0, WORK));
+        g[0].done = true;
+        assert!(cb.enabled(&g, 0, CB2));
+    }
+
+    #[test]
+    fn cb2_restriction_blocks_premature_success() {
+        // The §3 scenario: j=execute(done), k=ready — CB2 must be disabled
+        // (k might be recovering from a detectable fault).
+        let cb = Cb::new(2, 2);
+        let mut g = cb.initial_state();
+        g[0].cp = Cp::Execute;
+        g[0].done = true;
+        g[1].cp = Cp::Ready;
+        assert!(!cb.enabled(&g, 0, CB2));
+        // Once k starts executing, j may proceed.
+        g[1].cp = Cp::Execute;
+        assert!(cb.enabled(&g, 0, CB2));
+    }
+
+    #[test]
+    fn cb3_blocked_while_someone_executes() {
+        let cb = Cb::new(2, 2);
+        let mut g = cb.initial_state();
+        g[0].cp = Cp::Success;
+        g[1].cp = Cp::Execute;
+        assert!(!cb.enabled(&g, 0, CB3));
+        g[1].cp = Cp::Success;
+        assert!(cb.enabled(&g, 0, CB3));
+    }
+
+    #[test]
+    fn cb3_increments_phase_only_when_all_success() {
+        let cb = Cb::new(3, 5);
+        let mut rng = SimRng::seed_from_u64(0);
+        let mut g = vec![
+            CbState { cp: Cp::Success, ph: 2, done: true };
+            3
+        ];
+        let s = cb.execute(&g, 0, CB3, &mut rng);
+        assert_eq!(s.ph, 3);
+        assert_eq!(s.cp, Cp::Ready);
+        // With an error present, the phase must not advance.
+        g[2].cp = Cp::Error;
+        let s = cb.execute(&g, 0, CB3, &mut rng);
+        assert_eq!(s.ph, 2, "phase must be re-executed after a detectable fault");
+    }
+
+    #[test]
+    fn cb3_follows_a_ready_process() {
+        let cb = Cb::new(3, 5);
+        let mut rng = SimRng::seed_from_u64(0);
+        let mut g = vec![
+            CbState { cp: Cp::Success, ph: 2, done: true };
+            3
+        ];
+        g[1] = CbState { cp: Cp::Ready, ph: 3, done: true };
+        let s = cb.execute(&g, 0, CB3, &mut rng);
+        assert_eq!(s.ph, 3, "must copy the phase of the ready process");
+    }
+
+    #[test]
+    fn cb4_copies_ready_then_success_then_arbitrary() {
+        let cb = Cb::new(3, 7);
+        let mut rng = SimRng::seed_from_u64(0);
+        // Ready present.
+        let g = vec![
+            CbState { cp: Cp::Error, ph: 0, done: false },
+            CbState { cp: Cp::Ready, ph: 4, done: true },
+            CbState { cp: Cp::Success, ph: 5, done: true },
+        ];
+        let s = cb.execute(&g, 0, CB4, &mut rng);
+        assert_eq!((s.cp, s.ph), (Cp::Ready, 4));
+        // Only success present.
+        let g = vec![
+            CbState { cp: Cp::Error, ph: 0, done: false },
+            CbState { cp: Cp::Error, ph: 1, done: false },
+            CbState { cp: Cp::Success, ph: 5, done: true },
+        ];
+        let s = cb.execute(&g, 0, CB4, &mut rng);
+        assert_eq!((s.cp, s.ph), (Cp::Ready, 5));
+        // Everyone corrupted: phase becomes arbitrary but valid.
+        let g = vec![CbState { cp: Cp::Error, ph: 0, done: false }; 3];
+        let s = cb.execute(&g, 0, CB4, &mut rng);
+        assert_eq!(s.cp, Cp::Ready);
+        assert!(s.ph < 7);
+    }
+
+    #[test]
+    fn detectable_fault_sets_error() {
+        let fault = CbDetectableFault { n_phases: 4 };
+        let mut rng = SimRng::seed_from_u64(9);
+        let mut s = CbState { cp: Cp::Execute, ph: 1, done: true };
+        fault.apply(0, &mut s, &mut rng);
+        assert_eq!(s.cp, Cp::Error);
+        assert!(!s.done);
+        assert!(s.ph < 4);
+        assert_eq!(fault.kind(), FaultKind::Detectable);
+    }
+
+    #[test]
+    fn undetectable_fault_stays_in_domain() {
+        let fault = CbUndetectableFault { n_phases: 4 };
+        let mut rng = SimRng::seed_from_u64(10);
+        for _ in 0..100 {
+            let mut s = CbState { cp: Cp::Ready, ph: 0, done: true };
+            fault.apply(0, &mut s, &mut rng);
+            assert!(Cp::CB_DOMAIN.contains(&s.cp));
+            assert!(s.ph < 4);
+        }
+        assert_eq!(fault.kind(), FaultKind::Undetectable);
+    }
+}

@@ -1,0 +1,106 @@
+//! Control positions (Fig 1 of the paper, plus the refinement's `repeat`).
+//!
+//! Each process maintains a control position `cp`: `ready` (ready to execute
+//! its phase), `execute` (executing it), `success` (completed it), `error`
+//! (detectably corrupted). The ring/tree refinement adds `repeat` — the
+//! "some process was corrupted, re-execute this phase" verdict that rides the
+//! token back to the root (§4.1).
+
+use std::fmt;
+
+/// A process's control position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum Cp {
+    /// Ready to execute the current phase.
+    Ready,
+    /// Executing the current phase.
+    Execute,
+    /// Completed the current phase.
+    Success,
+    /// Detectably corrupted: the fault reset this process's state.
+    Error,
+    /// Refinement only (§4.1): a corruption was observed in this sweep; the
+    /// verdict propagates with the token so the root re-executes the phase.
+    Repeat,
+}
+
+impl Cp {
+    /// All control position values of the coarse-grain program CB (Fig 1).
+    pub const CB_DOMAIN: [Cp; 4] = [Cp::Ready, Cp::Execute, Cp::Success, Cp::Error];
+
+    /// All control position values of the refined programs (CB's plus
+    /// `repeat`).
+    pub const RB_DOMAIN: [Cp; 5] = [Cp::Ready, Cp::Execute, Cp::Success, Cp::Error, Cp::Repeat];
+
+    /// The fault-free transition successor in Fig 1's cycle
+    /// (`ready → execute → success → ready`). `error` and `repeat` both
+    /// rejoin the cycle at `ready`.
+    pub fn next_in_cycle(self) -> Cp {
+        match self {
+            Cp::Ready => Cp::Execute,
+            Cp::Execute => Cp::Success,
+            Cp::Success | Cp::Error | Cp::Repeat => Cp::Ready,
+        }
+    }
+
+    /// Whether the Fig-1 state machine (extended with `repeat`) permits the
+    /// *change* `self → to` in the absence of faults. Fault actions may
+    /// additionally jump anywhere (detectable faults land on `error`).
+    pub fn may_transition(self, to: Cp) -> bool {
+        matches!(
+            (self, to),
+            // Fig 1 cycle plus the error/repeat rejoins at `ready`.
+            (Cp::Ready, Cp::Execute)
+                | (Cp::Execute, Cp::Success)
+                | (Cp::Success, Cp::Ready)
+                | (Cp::Error, Cp::Ready)
+                | (Cp::Repeat, Cp::Ready)
+                // Refinement: observing a corruption flags `repeat`.
+                | (Cp::Ready, Cp::Repeat)
+                | (Cp::Execute, Cp::Repeat)
+                | (Cp::Success, Cp::Repeat)
+                | (Cp::Error, Cp::Repeat)
+        )
+    }
+}
+
+impl fmt::Display for Cp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Cp::Ready => "ready",
+            Cp::Execute => "execute",
+            Cp::Success => "success",
+            Cp::Error => "error",
+            Cp::Repeat => "repeat",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_matches_fig1() {
+        assert_eq!(Cp::Ready.next_in_cycle(), Cp::Execute);
+        assert_eq!(Cp::Execute.next_in_cycle(), Cp::Success);
+        assert_eq!(Cp::Success.next_in_cycle(), Cp::Ready);
+        assert_eq!(Cp::Error.next_in_cycle(), Cp::Ready);
+        assert_eq!(Cp::Repeat.next_in_cycle(), Cp::Ready);
+    }
+
+    #[test]
+    fn domains() {
+        assert_eq!(Cp::CB_DOMAIN.len(), 4);
+        assert_eq!(Cp::RB_DOMAIN.len(), 5);
+        assert!(!Cp::CB_DOMAIN.contains(&Cp::Repeat));
+        assert!(Cp::RB_DOMAIN.contains(&Cp::Repeat));
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Cp::Ready.to_string(), "ready");
+        assert_eq!(Cp::Repeat.to_string(), "repeat");
+    }
+}

@@ -1,0 +1,380 @@
+//! The fault taxonomy of §2/§7 and the auxiliary-variable modeling of
+//! action-corrupting faults.
+//!
+//! Table 1 classifies faults along two axes — detectability and
+//! correctability — and names the appropriate tolerance for each cell:
+//!
+//! | | Detectable | Undetectable |
+//! |---|---|---|
+//! | Immediately correctable | trivially masking | trivially masking |
+//! | Eventually correctable | masking | stabilizing |
+//! | Uncorrectable | fail-safe | intolerant |
+//!
+//! §7 also shows how faults that seem to corrupt *actions* (crash,
+//! Byzantine behaviour) reduce to variable corruption via auxiliary
+//! variables `up` and `good`; [`WithCrash`] and [`WithByzantine`] are those
+//! constructions as generic protocol wrappers.
+
+use ftbarrier_gcs::{ActionId, FaultKind, Pid, Protocol, SimRng, Time};
+
+/// How a fault relates to correction (§7, Table 1 rows).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum Correctability {
+    /// Correction can be modeled as simultaneous with the occurrence
+    /// (e.g. ECC-corrected message corruption).
+    Immediate,
+    /// The fault eventually stops affecting the program (the paper's
+    /// standing assumption for §3–§6).
+    Eventual,
+    /// No correction ever (permanent crash without restart).
+    Uncorrectable,
+}
+
+/// The tolerance a program can appropriately provide (Table 1 cells).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum Tolerance {
+    /// The fault might as well not exist.
+    TriviallyMasking,
+    /// Every barrier executes correctly despite the faults.
+    Masking,
+    /// After faults stop, at most finitely many barriers execute
+    /// incorrectly, then correct execution resumes.
+    Stabilizing,
+    /// Safety is never violated but Progress may halt: the program never
+    /// *reports* an incorrect barrier completion.
+    FailSafe,
+    /// No guarantee is possible.
+    Intolerant,
+}
+
+/// Table 1: the appropriate tolerance for each fault class.
+pub fn appropriate_tolerance(kind: FaultKind, correctability: Correctability) -> Tolerance {
+    match (correctability, kind) {
+        (Correctability::Immediate, _) => Tolerance::TriviallyMasking,
+        (Correctability::Eventual, FaultKind::Detectable) => Tolerance::Masking,
+        (Correctability::Eventual, FaultKind::Undetectable) => Tolerance::Stabilizing,
+        (Correctability::Uncorrectable, FaultKind::Detectable) => Tolerance::FailSafe,
+        (Correctability::Uncorrectable, FaultKind::Undetectable) => Tolerance::Intolerant,
+    }
+}
+
+/// The concrete fault types the introduction enumerates, classified per §2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum NamedFault {
+    MessageLoss,
+    DetectableMessageCorruption,
+    MessageDuplication,
+    MessageReorder,
+    UnexpectedReception,
+    ProcessorFailStop,
+    ProcessorRepair,
+    ProcessorReboot,
+    IoError,
+    FloatingPointException,
+    AccessViolation,
+    SystemReconfiguration,
+    InternalDesignError,
+    HangingProcess,
+    UndetectableMessageCorruption,
+    MemoryLeak,
+    TransientStateCorruption,
+}
+
+impl NamedFault {
+    /// §2's classification of each standard fault type.
+    pub fn kind(self) -> FaultKind {
+        use NamedFault::*;
+        match self {
+            MessageLoss | DetectableMessageCorruption | MessageDuplication | MessageReorder
+            | UnexpectedReception | ProcessorFailStop | ProcessorRepair | ProcessorReboot
+            | IoError | FloatingPointException | AccessViolation | SystemReconfiguration => {
+                FaultKind::Detectable
+            }
+            InternalDesignError | HangingProcess | UndetectableMessageCorruption | MemoryLeak
+            | TransientStateCorruption => FaultKind::Undetectable,
+        }
+    }
+
+    pub fn all() -> &'static [NamedFault] {
+        use NamedFault::*;
+        &[
+            MessageLoss,
+            DetectableMessageCorruption,
+            MessageDuplication,
+            MessageReorder,
+            UnexpectedReception,
+            ProcessorFailStop,
+            ProcessorRepair,
+            ProcessorReboot,
+            IoError,
+            FloatingPointException,
+            AccessViolation,
+            SystemReconfiguration,
+            InternalDesignError,
+            HangingProcess,
+            UndetectableMessageCorruption,
+            MemoryLeak,
+            TransientStateCorruption,
+        ]
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Auxiliary-variable constructions (§7).
+// ---------------------------------------------------------------------------
+
+/// State wrapper adding the auxiliary `up` variable: "each action of that
+/// process is to be executed only if up is true. The crash itself is modeled
+/// as the occurrence of a fault that corrupts up, by setting it to false."
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CrashState<S> {
+    pub inner: S,
+    pub up: bool,
+}
+
+/// Protocol wrapper gating every action on `up`.
+pub struct WithCrash<P> {
+    pub inner: P,
+}
+
+impl<P: Protocol> Protocol for WithCrash<P> {
+    type State = CrashState<P::State>;
+
+    fn num_processes(&self) -> usize {
+        self.inner.num_processes()
+    }
+
+    fn num_actions(&self, pid: Pid) -> usize {
+        self.inner.num_actions(pid)
+    }
+
+    fn action_name(&self, pid: Pid, action: ActionId) -> &'static str {
+        self.inner.action_name(pid, action)
+    }
+
+    fn enabled(&self, g: &[Self::State], pid: Pid, action: ActionId) -> bool {
+        if !g[pid].up {
+            return false;
+        }
+        let inner: Vec<P::State> = g.iter().map(|s| s.inner.clone()).collect();
+        self.inner.enabled(&inner, pid, action)
+    }
+
+    fn execute(&self, g: &[Self::State], pid: Pid, action: ActionId, rng: &mut SimRng) -> Self::State {
+        let inner: Vec<P::State> = g.iter().map(|s| s.inner.clone()).collect();
+        CrashState {
+            inner: self.inner.execute(&inner, pid, action, rng),
+            up: g[pid].up,
+        }
+    }
+
+    fn cost(&self, pid: Pid, action: ActionId) -> Time {
+        self.inner.cost(pid, action)
+    }
+
+    fn initial_state(&self) -> Vec<Self::State> {
+        self.inner
+            .initial_state()
+            .into_iter()
+            .map(|inner| CrashState { inner, up: true })
+            .collect()
+    }
+
+    fn arbitrary_state(&self, pid: Pid, rng: &mut SimRng) -> Self::State {
+        CrashState {
+            inner: self.inner.arbitrary_state(pid, rng),
+            up: rng.chance(0.5),
+        }
+    }
+}
+
+/// The crash fault: `up := false` (detectable — the processor fail-stops).
+#[derive(Debug, Clone, Copy)]
+pub struct CrashFault;
+
+impl<S> ftbarrier_gcs::FaultAction<CrashState<S>> for CrashFault {
+    fn kind(&self) -> FaultKind {
+        FaultKind::Detectable
+    }
+
+    fn apply(&self, _pid: Pid, state: &mut CrashState<S>, _rng: &mut SimRng) {
+        state.up = false;
+    }
+}
+
+/// Repair: restart the crashed process with a *reset* inner state supplied
+/// by the caller (restarting "on some other processor — albeit with
+/// different states").
+pub struct RepairFault<S> {
+    pub reset: S,
+}
+
+impl<S: Clone + Send + Sync> ftbarrier_gcs::FaultAction<CrashState<S>> for RepairFault<S> {
+    fn kind(&self) -> FaultKind {
+        FaultKind::Detectable
+    }
+
+    fn apply(&self, _pid: Pid, state: &mut CrashState<S>, _rng: &mut SimRng) {
+        state.inner = self.reset.clone();
+        state.up = true;
+    }
+}
+
+/// State wrapper adding the auxiliary `good` variable: "if good is true the
+/// process executes its normal actions; when a fault corrupts good to false,
+/// the process executes actions whose behavior is nondeterministic."
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ByzState<S> {
+    pub inner: S,
+    pub good: bool,
+}
+
+/// Protocol wrapper: a bad process's every action writes an arbitrary state.
+pub struct WithByzantine<P> {
+    pub inner: P,
+}
+
+impl<P: Protocol> Protocol for WithByzantine<P> {
+    type State = ByzState<P::State>;
+
+    fn num_processes(&self) -> usize {
+        self.inner.num_processes()
+    }
+
+    fn num_actions(&self, pid: Pid) -> usize {
+        self.inner.num_actions(pid)
+    }
+
+    fn action_name(&self, pid: Pid, action: ActionId) -> &'static str {
+        self.inner.action_name(pid, action)
+    }
+
+    fn enabled(&self, g: &[Self::State], pid: Pid, action: ActionId) -> bool {
+        if !g[pid].good {
+            // A Byzantine process may always take a (nondeterministic) step.
+            return action == 0;
+        }
+        let inner: Vec<P::State> = g.iter().map(|s| s.inner.clone()).collect();
+        self.inner.enabled(&inner, pid, action)
+    }
+
+    fn execute(&self, g: &[Self::State], pid: Pid, action: ActionId, rng: &mut SimRng) -> Self::State {
+        if !g[pid].good {
+            return ByzState {
+                inner: self.inner.arbitrary_state(pid, rng),
+                good: false,
+            };
+        }
+        let inner: Vec<P::State> = g.iter().map(|s| s.inner.clone()).collect();
+        ByzState {
+            inner: self.inner.execute(&inner, pid, action, rng),
+            good: true,
+        }
+    }
+
+    fn cost(&self, pid: Pid, action: ActionId) -> Time {
+        self.inner.cost(pid, action)
+    }
+
+    fn initial_state(&self) -> Vec<Self::State> {
+        self.inner
+            .initial_state()
+            .into_iter()
+            .map(|inner| ByzState { inner, good: true })
+            .collect()
+    }
+
+    fn arbitrary_state(&self, pid: Pid, rng: &mut SimRng) -> Self::State {
+        ByzState {
+            inner: self.inner.arbitrary_state(pid, rng),
+            good: rng.chance(0.5),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cb::{Cb, CbState};
+    use crate::cp::Cp;
+    use ftbarrier_gcs::{FaultAction, Interleaving, InterleavingConfig, NullMonitor};
+
+    #[test]
+    fn table_1_mapping() {
+        use Correctability::*;
+        use FaultKind::*;
+        assert_eq!(appropriate_tolerance(Detectable, Immediate), Tolerance::TriviallyMasking);
+        assert_eq!(appropriate_tolerance(Undetectable, Immediate), Tolerance::TriviallyMasking);
+        assert_eq!(appropriate_tolerance(Detectable, Eventual), Tolerance::Masking);
+        assert_eq!(appropriate_tolerance(Undetectable, Eventual), Tolerance::Stabilizing);
+        assert_eq!(appropriate_tolerance(Detectable, Uncorrectable), Tolerance::FailSafe);
+        assert_eq!(appropriate_tolerance(Undetectable, Uncorrectable), Tolerance::Intolerant);
+    }
+
+    #[test]
+    fn named_faults_classification_matches_section_2() {
+        assert_eq!(NamedFault::MessageLoss.kind(), FaultKind::Detectable);
+        assert_eq!(NamedFault::ProcessorFailStop.kind(), FaultKind::Detectable);
+        assert_eq!(NamedFault::FloatingPointException.kind(), FaultKind::Detectable);
+        assert_eq!(NamedFault::InternalDesignError.kind(), FaultKind::Undetectable);
+        assert_eq!(NamedFault::TransientStateCorruption.kind(), FaultKind::Undetectable);
+        assert_eq!(NamedFault::all().len(), 17);
+    }
+
+    #[test]
+    fn crashed_process_takes_no_steps() {
+        let cb = Cb::new(3, 2);
+        let wrapped = WithCrash { inner: cb };
+        let mut g = wrapped.initial_state();
+        g[1].up = false;
+        for a in 0..wrapped.num_actions(1) {
+            assert!(!wrapped.enabled(&g, 1, a));
+        }
+        // Others still run.
+        assert!(wrapped.enabled(&g, 0, crate::cb::CB1));
+    }
+
+    #[test]
+    fn crash_blocks_barrier_until_repair() {
+        let cb = Cb::new(3, 2);
+        let wrapped = WithCrash { inner: cb };
+        let mut exec = Interleaving::new(&wrapped, InterleavingConfig::default());
+        let mut m = NullMonitor;
+        // Crash process 2: the barrier must stall (no phase advance).
+        exec.apply_fault(2, &CrashFault, &mut m);
+        let advanced = exec.run_until(20_000, &mut m, |g| g.iter().any(|s| s.inner.ph > 0));
+        assert!(advanced.is_none(), "barrier must not pass a crashed process");
+        // Repair with a detectably-reset state: the barrier resumes.
+        let repair = RepairFault {
+            reset: CbState { cp: Cp::Error, ph: 0, done: false },
+        };
+        exec.apply_fault(2, &repair, &mut m);
+        let advanced = exec.run_until(50_000, &mut m, |g| g.iter().all(|s| s.inner.ph > 0));
+        assert!(advanced.is_some(), "barrier must resume after repair");
+    }
+
+    #[test]
+    fn byzantine_process_scribbles() {
+        let cb = Cb::new(3, 4);
+        let wrapped = WithByzantine { inner: cb };
+        let mut g = wrapped.initial_state();
+        g[1].good = false;
+        assert!(wrapped.enabled(&g, 1, 0));
+        let mut rng = SimRng::seed_from_u64(3);
+        let mut seen_non_initial = false;
+        for _ in 0..50 {
+            let s = wrapped.execute(&g, 1, 0, &mut rng);
+            assert!(!s.good, "a Byzantine process stays Byzantine");
+            seen_non_initial |= s.inner != g[1].inner;
+        }
+        assert!(seen_non_initial, "Byzantine steps must be able to change state");
+    }
+
+    #[test]
+    fn fault_kinds_of_aux_faults() {
+        assert_eq!(
+            FaultAction::<CrashState<CbState>>::kind(&CrashFault),
+            FaultKind::Detectable
+        );
+    }
+}

@@ -1,0 +1,212 @@
+//! Atomic commitment via the barrier program (§7).
+//!
+//! "To obtain an atomic commitment program, we allow each subtransaction to
+//! change its control position from execute to success if that
+//! subtransaction has completed successfully. Otherwise, it changes its
+//! control position to error."
+//!
+//! Transaction `t` maps to phase `t`; a subtransaction failure is exactly a
+//! detectable fault at its process. The barrier's masking tolerance then
+//! yields the atomic-commit guarantees: a transaction commits only when
+//! *all* subtransactions succeeded, and transaction `t+1` runs only after
+//! `t` committed (failed attempts are retried, never skipped).
+
+use crate::cb::{Cb, CbDetectableFault, CbState};
+use crate::cp::Cp;
+use crate::spec::{Anchor, BarrierOracle, OracleConfig};
+use ftbarrier_gcs::{ActionId, FaultKind, Interleaving, InterleavingConfig, Monitor, Pid, Time};
+
+/// Outcome of one transaction attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxOutcome {
+    /// All subtransactions completed: the transaction committed.
+    Committed,
+    /// Some subtransaction failed: the attempt aborted (and was retried).
+    Aborted,
+}
+
+/// Result of an atomic-commitment run.
+#[derive(Debug, Clone)]
+pub struct CommitReport {
+    /// Transactions committed, in order.
+    pub committed: u64,
+    /// Attempts consumed per committed transaction.
+    pub attempts: Vec<u64>,
+    /// Attempt log: one entry per closed instance.
+    pub log: Vec<(u32, TxOutcome)>,
+    /// Whether the run satisfied the commit specification (no transaction
+    /// overlap, no skipping an uncommitted transaction).
+    pub atomic: bool,
+}
+
+struct CommitMonitor {
+    oracle: BarrierOracle,
+    log: Vec<(u32, TxOutcome)>,
+    last_seen: (u64, u64), // (successful, aborted) instance counts
+    target: u64,
+}
+
+impl CommitMonitor {
+    fn sync_log(&mut self) {
+        // Translate oracle instance closures into the attempt log.
+        let s = self.oracle.successful_instances();
+        let a = self.oracle.aborted_instances();
+        let (ps, pa) = self.last_seen;
+        for _ in ps..s {
+            let tx = (self.oracle.phases_completed() as u32).saturating_sub(1);
+            self.log.push((tx, TxOutcome::Committed));
+        }
+        for _ in pa..a {
+            let tx = self.oracle.phases_completed() as u32;
+            self.log.push((tx, TxOutcome::Aborted));
+        }
+        self.last_seen = (s, a);
+    }
+}
+
+impl Monitor<CbState> for CommitMonitor {
+    fn on_transition(
+        &mut self,
+        now: Time,
+        pid: Pid,
+        _action: ActionId,
+        _name: &str,
+        old: &CbState,
+        new: &CbState,
+        _global: &[CbState],
+    ) {
+        self.oracle.observe_cp(now, pid, new.ph, old.cp, new.cp);
+        self.sync_log();
+    }
+
+    fn on_fault(
+        &mut self,
+        now: Time,
+        pid: Pid,
+        _kind: FaultKind,
+        old: &CbState,
+        new: &CbState,
+        _global: &[CbState],
+    ) {
+        self.oracle.observe_cp(now, pid, new.ph, old.cp, new.cp);
+        self.sync_log();
+    }
+
+    fn should_stop(&mut self) -> bool {
+        self.oracle.phases_completed() >= self.target
+    }
+}
+
+/// Run `n_transactions` transactions over `n_processes` participants.
+/// `failures` scripts subtransaction failures as `(transaction, pid)` pairs:
+/// during the first attempt of that transaction, that participant votes
+/// abort (a detectable fault).
+pub fn run_transactions(
+    n_processes: usize,
+    n_transactions: u64,
+    failures: &[(u32, Pid)],
+    seed: u64,
+) -> CommitReport {
+    // Use enough phases that transaction indices are unambiguous mod n.
+    let n_phases = (2 * n_transactions.max(2)) as u32;
+    let cb = Cb::new(n_processes, n_phases);
+    let mut exec = Interleaving::new(&cb, InterleavingConfig { seed, ..Default::default() });
+    let mut monitor = CommitMonitor {
+        oracle: BarrierOracle::new(OracleConfig {
+            n_processes,
+            n_phases,
+            anchor: Anchor::StrictFromZero,
+        }),
+        log: Vec::new(),
+        last_seen: (0, 0),
+        target: n_transactions,
+    };
+    let fault = CbDetectableFault { n_phases };
+    let mut fired: Vec<bool> = vec![false; failures.len()];
+
+    let mut guard = 0u64;
+    while monitor.oracle.phases_completed() < n_transactions {
+        // Fire scripted failures when their transaction's first attempt is
+        // executing.
+        let current_tx = monitor.oracle.phases_completed() as u32;
+        for (i, &(tx, pid)) in failures.iter().enumerate() {
+            if !fired[i]
+                && tx == current_tx
+                && exec.global()[pid].cp == Cp::Execute
+            {
+                fired[i] = true;
+                exec.apply_fault(pid, &fault, &mut monitor);
+            }
+        }
+        // Step one action at a time so no execute-window is ever missed.
+        if exec.run(1, &mut monitor) == 0 {
+            break;
+        }
+        guard += 1;
+        assert!(guard < 10_000_000, "atomic commitment made no progress");
+    }
+
+    CommitReport {
+        committed: monitor.oracle.phases_completed(),
+        attempts: monitor.oracle.instance_counts().to_vec(),
+        atomic: monitor.oracle.is_clean(),
+        log: monitor.log,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn failure_free_transactions_commit_first_try() {
+        let r = run_transactions(4, 5, &[], 1);
+        assert_eq!(r.committed, 5);
+        assert!(r.atomic);
+        assert_eq!(r.attempts, vec![1, 1, 1, 1, 1]);
+        assert!(r.log.iter().all(|&(_, o)| o == TxOutcome::Committed));
+    }
+
+    #[test]
+    fn failed_subtransaction_forces_retry() {
+        // Transaction 1 fails at participant 2 on its first attempt.
+        let r = run_transactions(4, 4, &[(1, 2)], 2);
+        assert_eq!(r.committed, 4);
+        assert!(r.atomic, "retry must not violate atomicity");
+        assert_eq!(r.attempts.len(), 4);
+        assert!(
+            r.attempts[1] >= 2,
+            "transaction 1 must need more than one attempt: {:?}",
+            r.attempts
+        );
+        // Other transactions are unaffected.
+        assert_eq!(r.attempts[0], 1);
+        assert_eq!(r.attempts[3], 1);
+        assert!(r.log.contains(&(1, TxOutcome::Aborted)));
+    }
+
+    #[test]
+    fn multiple_failures_multiple_retries() {
+        let r = run_transactions(3, 3, &[(0, 0), (0, 1), (2, 2)], 3);
+        assert_eq!(r.committed, 3);
+        assert!(r.atomic);
+        assert!(r.attempts[0] >= 2);
+        assert!(r.attempts[2] >= 2);
+    }
+
+    #[test]
+    fn commit_order_is_serial() {
+        let r = run_transactions(3, 6, &[(1, 0), (3, 1)], 4);
+        // Committed transactions appear in strictly increasing order.
+        let commits: Vec<u32> = r
+            .log
+            .iter()
+            .filter(|(_, o)| *o == TxOutcome::Committed)
+            .map(|&(t, _)| t)
+            .collect();
+        let mut sorted = commits.clone();
+        sorted.sort_unstable();
+        assert_eq!(commits, sorted);
+        assert_eq!(commits.len(), 6);
+    }
+}

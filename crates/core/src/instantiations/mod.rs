@@ -1,0 +1,13 @@
+//! Instantiations of the barrier program to other problems (§7).
+//!
+//! "Our barrier synchronization program can be instantiated to obtain
+//! fault-tolerant programs for other problems such as atomic commitment,
+//! clock unison and phase synchronization."
+
+pub mod atomic_commit;
+pub mod clock_unison;
+pub mod phase_sync;
+
+pub use atomic_commit::{run_transactions, CommitReport, TxOutcome};
+pub use clock_unison::{check_unison, UnisonMonitor, UnisonReport};
+pub use phase_sync::{run_phase_sync, PhaseSyncReport};

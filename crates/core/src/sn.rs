@@ -1,0 +1,120 @@
+//! Sequence numbers for the token ring substrate (§4.1).
+//!
+//! "Each process j maintains a sequence number `sn.j`, which is in the domain
+//! `{0..K-1}` for some `K > N` in the absence of detectable faults. To handle
+//! detectable faults, two special values ⊥ and ⊤ are added to the domain:
+//! when the sequence number of a process is corrupted, it is set to ⊥, and
+//! the sequence number ⊤ is used to detect whether [all processes have been
+//! corrupted]."
+//!
+//! Arithmetic on sequence numbers is modulo `K` (the paper's context-
+//! sensitive `+`); the modulus travels with the operations, not the value, so
+//! the same type serves the ring's `K > N` domain and MB's `L > 2N+1` domain.
+
+use std::fmt;
+
+/// A sequence number: a value in `{0..K-1}` or one of the flags ⊥ / ⊤.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum Sn {
+    /// ⊥ — this process's sequence number was detectably corrupted.
+    Bot,
+    /// ⊤ — corruption repair marker (wave toward the root when everything
+    /// was corrupted at once).
+    Top,
+    /// An ordinary sequence number.
+    Val(u32),
+}
+
+impl Sn {
+    /// Is this an ordinary (non-⊥, non-⊤) value? The paper writes this
+    /// condition as `sn.j ≠ ⊥ ∧ sn.j ≠ ⊤`.
+    #[inline]
+    pub fn is_valid(self) -> bool {
+        matches!(self, Sn::Val(_))
+    }
+
+    /// The ordinary value, if any.
+    #[inline]
+    pub fn value(self) -> Option<u32> {
+        match self {
+            Sn::Val(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Successor modulo `k` (the paper's `sn.N + 1`). Panics on ⊥/⊤ — the
+    /// guards of T1/T2 ensure those never reach arithmetic.
+    #[inline]
+    pub fn next(self, k: u32) -> Sn {
+        match self {
+            Sn::Val(v) => Sn::Val((v + 1) % k),
+            flag => panic!("next() on flag sequence number {flag}"),
+        }
+    }
+
+    /// Uniformly random element of the *entire* domain (including ⊥ and ⊤) —
+    /// what an undetectable fault writes.
+    pub fn arbitrary(k: u32, rng: &mut ftbarrier_gcs::SimRng) -> Sn {
+        match rng.below(k as usize + 2) {
+            0 => Sn::Bot,
+            1 => Sn::Top,
+            i => Sn::Val((i - 2) as u32),
+        }
+    }
+}
+
+impl fmt::Display for Sn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Sn::Bot => f.write_str("⊥"),
+            Sn::Top => f.write_str("⊤"),
+            Sn::Val(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftbarrier_gcs::SimRng;
+
+    #[test]
+    fn validity() {
+        assert!(Sn::Val(0).is_valid());
+        assert!(!Sn::Bot.is_valid());
+        assert!(!Sn::Top.is_valid());
+        assert_eq!(Sn::Val(3).value(), Some(3));
+        assert_eq!(Sn::Top.value(), None);
+    }
+
+    #[test]
+    fn next_wraps_modulo_k() {
+        assert_eq!(Sn::Val(3).next(5), Sn::Val(4));
+        assert_eq!(Sn::Val(4).next(5), Sn::Val(0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn next_rejects_flags() {
+        let _ = Sn::Bot.next(5);
+    }
+
+    #[test]
+    fn arbitrary_covers_whole_domain() {
+        let mut rng = SimRng::seed_from_u64(5);
+        let mut saw_bot = false;
+        let mut saw_top = false;
+        let mut saw_every_val = [false; 4];
+        for _ in 0..1000 {
+            match Sn::arbitrary(4, &mut rng) {
+                Sn::Bot => saw_bot = true,
+                Sn::Top => saw_top = true,
+                Sn::Val(v) => {
+                    assert!(v < 4);
+                    saw_every_val[v as usize] = true;
+                }
+            }
+        }
+        assert!(saw_bot && saw_top && saw_every_val.iter().all(|&b| b));
+    }
+}

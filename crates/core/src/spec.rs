@@ -1,0 +1,664 @@
+//! The barrier synchronization specification (§2) as an executable oracle.
+//!
+//! The paper's spec, for each phase `i` (mod `n`):
+//!
+//! * **Safety** — execution of `phase.(i+1)` begins only after `phase.i` is
+//!   executed successfully, and two instances of a phase never overlap.
+//! * **Progress** — eventually `phase.i` is executed successfully.
+//!
+//! An *instance* of `phase.i` is executed iff some process starts executing
+//! `phase.i` and each process executes it at most once; the instance is
+//! *successful* iff **all** processes execute the phase fully. A phase is
+//! executed successfully iff one or more of its instances execute in
+//! sequence, the last of which is successful — so re-execution after a
+//! detectable fault is *not* a violation; overlapping instances or skipping
+//! an unfinished phase is.
+//!
+//! [`BarrierOracle`] reconstructs instances from per-process control-position
+//! transitions and reports every Safety deviation as a [`Violation`], plus
+//! the Progress bookkeeping (successful phases, instance counts, timing)
+//! that the §6 experiments are built on.
+
+use crate::cp::Cp;
+use ftbarrier_gcs::{Pid, Time};
+
+/// How the oracle treats the first instance it sees.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Anchor {
+    /// The computation starts from the program's start state: the first
+    /// instance must be `phase.0`.
+    StrictFromZero,
+    /// The computation starts from an arbitrary state (recovery
+    /// experiments): the first instance anchors the expected sequence.
+    Free,
+}
+
+/// A Safety deviation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Violation {
+    /// An instance opened with a phase number the spec does not allow next.
+    WrongPhase {
+        at: Time,
+        got: u32,
+        expected: Vec<u32>,
+    },
+    /// An instance of a different phase started while processes were still
+    /// executing in the open instance.
+    Overlap { at: Time, open: u32, new: u32 },
+    /// A process started the same phase twice within one instance while the
+    /// instance still had executing processes.
+    DoubleStart { at: Time, pid: Pid, phase: u32 },
+    /// A completion that matches no tracked start (only possible after
+    /// corruption, or when the oracle attaches to a perturbed state).
+    UntrackedCompletion { at: Time, pid: Pid, phase: u32 },
+}
+
+impl Violation {
+    pub fn at(&self) -> Time {
+        match self {
+            Violation::WrongPhase { at, .. }
+            | Violation::Overlap { at, .. }
+            | Violation::DoubleStart { at, .. }
+            | Violation::UntrackedCompletion { at, .. } => *at,
+        }
+    }
+
+    /// The phase this violation implicates (for Lemma 3.4's "at most m
+    /// phases executed incorrectly").
+    pub fn phase(&self) -> u32 {
+        match self {
+            Violation::WrongPhase { got, .. } => *got,
+            Violation::Overlap { new, .. } => *new,
+            Violation::DoubleStart { phase, .. } | Violation::UntrackedCompletion { phase, .. } => {
+                *phase
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Instance {
+    phase: u32,
+    started: Vec<bool>,
+    executing: Vec<bool>,
+    completed: Vec<bool>,
+    /// Oracle event sequence number of each process's start.
+    start_seq: Vec<u64>,
+    /// Sequence number of the most recent completion or abort.
+    last_finish_seq: u64,
+    n_started: usize,
+    n_executing: usize,
+    n_completed: usize,
+    aborted_some: bool,
+}
+
+impl Instance {
+    fn new(n: usize, phase: u32) -> Instance {
+        Instance {
+            phase,
+            started: vec![false; n],
+            executing: vec![false; n],
+            completed: vec![false; n],
+            start_seq: vec![0; n],
+            last_finish_seq: 0,
+            n_started: 0,
+            n_executing: 0,
+            n_completed: 0,
+            aborted_some: false,
+        }
+    }
+
+    fn join(&mut self, pid: Pid, seq: u64) {
+        debug_assert!(!self.started[pid]);
+        self.started[pid] = true;
+        self.executing[pid] = true;
+        self.start_seq[pid] = seq;
+        self.n_started += 1;
+        self.n_executing += 1;
+    }
+}
+
+/// Configuration of the oracle.
+#[derive(Debug, Clone, Copy)]
+pub struct OracleConfig {
+    pub n_processes: usize,
+    pub n_phases: u32,
+    pub anchor: Anchor,
+}
+
+/// The executable barrier specification.
+///
+/// ```
+/// use ftbarrier_core::spec::{Anchor, BarrierOracle, OracleConfig};
+/// use ftbarrier_core::cp::Cp;
+/// use ftbarrier_gcs::Time;
+///
+/// let mut oracle = BarrierOracle::new(OracleConfig {
+///     n_processes: 2, n_phases: 4, anchor: Anchor::StrictFromZero,
+/// });
+/// for pid in 0..2 {
+///     oracle.observe_cp(Time::ZERO, pid, 0, Cp::Ready, Cp::Execute);
+/// }
+/// for pid in 0..2 {
+///     oracle.observe_cp(Time::new(1.0), pid, 0, Cp::Execute, Cp::Success);
+/// }
+/// assert!(oracle.is_clean());
+/// assert_eq!(oracle.phases_completed(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BarrierOracle {
+    cfg: OracleConfig,
+    open: Option<Instance>,
+    /// `(phase, successful)` of the most recently closed instance.
+    last_closed: Option<(u32, bool)>,
+    /// Phase of the most recent *successful* instance (for distinguishing a
+    /// benign re-execution of a completed phase from real phase advance).
+    last_successful_phase: Option<u32>,
+    violations: Vec<Violation>,
+    /// Monotone event counter for ordering starts against finishes.
+    seq: u64,
+    successful_instances: u64,
+    aborted_instances: u64,
+    phases_completed: u64,
+    /// Instances consumed per successfully completed phase, in completion
+    /// order — the quantity plotted in Fig 3/Fig 5.
+    instance_counts: Vec<u64>,
+    current_phase_attempts: u64,
+    /// Times of successful phase completions, in order (Fig 6 timing).
+    completion_times: Vec<Time>,
+    first_success: Option<Time>,
+    last_success: Option<Time>,
+    last_violation: Option<Time>,
+}
+
+impl BarrierOracle {
+    pub fn new(cfg: OracleConfig) -> BarrierOracle {
+        assert!(cfg.n_processes >= 2, "barrier needs at least 2 processes");
+        assert!(cfg.n_phases >= 2, "the paper's programs assume >= 2 phases");
+        BarrierOracle {
+            cfg,
+            open: None,
+            last_closed: None,
+            last_successful_phase: None,
+            violations: Vec::new(),
+            seq: 0,
+            successful_instances: 0,
+            aborted_instances: 0,
+            phases_completed: 0,
+            instance_counts: Vec::new(),
+            current_phase_attempts: 0,
+            completion_times: Vec::new(),
+            first_success: None,
+            last_success: None,
+            last_violation: None,
+        }
+    }
+
+    fn record(&mut self, v: Violation) {
+        self.last_violation = Some(v.at());
+        self.violations.push(v);
+    }
+
+    /// Phases the spec allows the next instance to execute.
+    fn expected_next(&self) -> Vec<u32> {
+        match (self.cfg.anchor, self.last_closed) {
+            // After a successful instance of p: the next phase p+1, or a
+            // benign re-execution of p (the paper's root does this when a
+            // detectable fault lands between completion and phase advance).
+            (_, Some((p, true))) => vec![(p + 1) % self.cfg.n_phases, p],
+            // After an aborted instance of p: only a re-execution of p.
+            (_, Some((p, false))) => vec![p],
+            (Anchor::StrictFromZero, None) => vec![0],
+            (Anchor::Free, None) => Vec::new(),
+        }
+    }
+
+    fn close(&mut self, successful: bool, now: Time) {
+        let inst = self.open.take().expect("close() with no open instance");
+        self.current_phase_attempts += 1;
+        self.last_closed = Some((inst.phase, successful));
+        if successful {
+            self.successful_instances += 1;
+            // Advance of the phase counter (vs. a benign repeat of the same
+            // completed phase).
+            if self.last_successful_phase != Some(inst.phase) || self.phases_completed == 0 {
+                self.phases_completed += 1;
+                self.instance_counts.push(self.current_phase_attempts);
+                self.completion_times.push(now);
+            }
+            self.current_phase_attempts = 0;
+            self.last_successful_phase = Some(inst.phase);
+            if self.first_success.is_none() {
+                self.first_success = Some(now);
+            }
+            self.last_success = Some(now);
+        } else {
+            self.aborted_instances += 1;
+        }
+    }
+
+    fn open_new(&mut self, now: Time, phase: u32) {
+        let expected = self.expected_next();
+        if !expected.is_empty() && !expected.contains(&phase) {
+            self.record(Violation::WrongPhase {
+                at: now,
+                got: phase,
+                expected,
+            });
+        }
+        self.open = Some(Instance::new(self.cfg.n_processes, phase));
+    }
+
+    /// A process began executing `phase`.
+    pub fn on_start(&mut self, now: Time, pid: Pid, phase: u32) {
+        self.seq += 1;
+        let seq = self.seq;
+        loop {
+            match &mut self.open {
+                None => {
+                    self.open_new(now, phase);
+                    self.open.as_mut().unwrap().join(pid, seq);
+                    return;
+                }
+                Some(inst) => {
+                    if inst.phase == phase && !inst.started[pid] {
+                        // A new instance is also signalled by a fresh start
+                        // when the open one is doomed (some process aborted)
+                        // and nobody is executing any more.
+                        if inst.aborted_some && inst.n_executing == 0 {
+                            self.close(false, now);
+                            continue;
+                        }
+                        inst.join(pid, seq);
+                        return;
+                    }
+                    if inst.phase == phase {
+                        // Same phase, same pid again.
+                        if inst.n_executing > 0 {
+                            // Disambiguate the late-joiner case: if this pid
+                            // completed the open instance and every executing
+                            // process started only after all of the open
+                            // instance's completions/aborts, those trailing
+                            // starts were really the first starts of a *new*
+                            // instance (the open one was doomed by a fault on
+                            // a process that had not started yet). Reassign
+                            // them instead of flagging a violation.
+                            let movable = inst.completed[pid]
+                                && inst.executing.iter().enumerate().all(|(q, &e)| {
+                                    !e || (inst.start_seq[q] > inst.last_finish_seq
+                                        && !inst.completed[q])
+                                });
+                            if movable {
+                                let carried: Vec<(Pid, u64)> = inst
+                                    .executing
+                                    .iter()
+                                    .enumerate()
+                                    .filter(|&(_, &e)| e)
+                                    .map(|(q, _)| (q, inst.start_seq[q]))
+                                    .collect();
+                                for &(q, _) in &carried {
+                                    inst.executing[q] = false;
+                                }
+                                inst.n_executing = 0;
+                                self.close(false, now);
+                                self.open_new(now, phase);
+                                let ni = self.open.as_mut().unwrap();
+                                for (q, s) in carried {
+                                    ni.join(q, s);
+                                }
+                                continue;
+                            }
+                            self.record(Violation::DoubleStart { at: now, pid, phase });
+                        }
+                        self.close(false, now);
+                        continue;
+                    }
+                    // Different phase.
+                    if inst.n_executing > 0 {
+                        let open_phase = inst.phase;
+                        self.record(Violation::Overlap {
+                            at: now,
+                            open: open_phase,
+                            new: phase,
+                        });
+                    }
+                    self.close(false, now);
+                    continue;
+                }
+            }
+        }
+    }
+
+    /// A process finished its phase fully (`execute → success`).
+    pub fn on_complete(&mut self, now: Time, pid: Pid, phase: u32) {
+        let matches_open = self
+            .open
+            .as_ref()
+            .is_some_and(|inst| inst.phase == phase && inst.executing[pid]);
+        if !matches_open {
+            self.record(Violation::UntrackedCompletion { at: now, pid, phase });
+            return;
+        }
+        self.seq += 1;
+        let seq = self.seq;
+        let inst = self.open.as_mut().unwrap();
+        inst.executing[pid] = false;
+        inst.completed[pid] = true;
+        inst.n_executing -= 1;
+        inst.n_completed += 1;
+        inst.last_finish_seq = seq;
+        if inst.n_completed == self.cfg.n_processes {
+            self.close(true, now);
+        }
+    }
+
+    /// A process abandoned execution (fault, `repeat`, reset) without
+    /// completing.
+    pub fn on_abort(&mut self, _now: Time, pid: Pid) {
+        self.seq += 1;
+        let seq = self.seq;
+        if let Some(inst) = &mut self.open {
+            if inst.executing[pid] {
+                inst.executing[pid] = false;
+                inst.n_executing -= 1;
+                inst.aborted_some = true;
+                inst.last_finish_seq = seq;
+            }
+        }
+    }
+
+    /// Feed a control-position change of `pid` whose current phase variable
+    /// reads `phase`. Dispatches to start/complete/abort. `faulty` marks
+    /// changes caused by a fault action rather than a program action (an
+    /// undetectable fault writing `execute` makes the process *behave* as an
+    /// executor of its forged phase, so it is tracked as a start).
+    pub fn observe_cp(&mut self, now: Time, pid: Pid, phase: u32, old: Cp, new: Cp) {
+        if old == new {
+            return;
+        }
+        match (old, new) {
+            (_, Cp::Execute) => self.on_start(now, pid, phase),
+            (Cp::Execute, Cp::Success) => self.on_complete(now, pid, phase),
+            (Cp::Execute, _) => self.on_abort(now, pid),
+            _ => {}
+        }
+    }
+
+    // ----- results -----
+
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    pub fn successful_instances(&self) -> u64 {
+        self.successful_instances
+    }
+
+    pub fn aborted_instances(&self) -> u64 {
+        self.aborted_instances
+    }
+
+    /// Number of phases executed successfully (Progress metric).
+    pub fn phases_completed(&self) -> u64 {
+        self.phases_completed
+    }
+
+    /// Instances consumed per successfully completed phase (Fig 3/5 metric).
+    pub fn instance_counts(&self) -> &[u64] {
+        &self.instance_counts
+    }
+
+    pub fn mean_instances_per_phase(&self) -> f64 {
+        if self.instance_counts.is_empty() {
+            return f64::NAN;
+        }
+        self.instance_counts.iter().sum::<u64>() as f64 / self.instance_counts.len() as f64
+    }
+
+    /// Completion times of successful phases, in order.
+    pub fn completion_times(&self) -> &[Time] {
+        &self.completion_times
+    }
+
+    pub fn first_success(&self) -> Option<Time> {
+        self.first_success
+    }
+
+    pub fn last_success(&self) -> Option<Time> {
+        self.last_success
+    }
+
+    pub fn last_violation(&self) -> Option<Time> {
+        self.last_violation
+    }
+
+    /// Distinct phases implicated in violations — Lemma 3.4's `m` bound
+    /// compares against this.
+    pub fn distinct_violated_phases(&self) -> usize {
+        let mut phases: Vec<u32> = self.violations.iter().map(|v| v.phase()).collect();
+        phases.sort_unstable();
+        phases.dedup();
+        phases.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn oracle(n: usize) -> BarrierOracle {
+        BarrierOracle::new(OracleConfig {
+            n_processes: n,
+            n_phases: 4,
+            anchor: Anchor::StrictFromZero,
+        })
+    }
+
+    fn t(x: f64) -> Time {
+        Time::new(x)
+    }
+
+    #[test]
+    fn clean_sequence_of_phases() {
+        let mut o = oracle(2);
+        for phase in [0u32, 1, 2, 3, 0, 1] {
+            o.on_start(t(0.0), 0, phase);
+            o.on_start(t(0.1), 1, phase);
+            o.on_complete(t(1.0), 0, phase);
+            o.on_complete(t(1.1), 1, phase);
+        }
+        assert!(o.is_clean());
+        assert_eq!(o.phases_completed(), 6);
+        assert_eq!(o.successful_instances(), 6);
+        assert_eq!(o.instance_counts(), &[1, 1, 1, 1, 1, 1]);
+        assert_eq!(o.first_success(), Some(t(1.1)));
+    }
+
+    #[test]
+    fn must_start_at_phase_zero() {
+        let mut o = oracle(2);
+        o.on_start(t(0.0), 0, 2);
+        assert_eq!(o.violations().len(), 1);
+        assert!(matches!(
+            o.violations()[0],
+            Violation::WrongPhase { got: 2, .. }
+        ));
+    }
+
+    #[test]
+    fn free_anchor_accepts_any_first_phase() {
+        let mut o = BarrierOracle::new(OracleConfig {
+            n_processes: 2,
+            n_phases: 4,
+            anchor: Anchor::Free,
+        });
+        o.on_start(t(0.0), 0, 3);
+        o.on_start(t(0.0), 1, 3);
+        o.on_complete(t(1.0), 0, 3);
+        o.on_complete(t(1.0), 1, 3);
+        assert!(o.is_clean());
+        // ...but the successor is then pinned: 3 -> 0 expected.
+        o.on_start(t(2.0), 0, 2);
+        assert_eq!(o.violations().len(), 1);
+    }
+
+    #[test]
+    fn aborted_instance_then_reexecution_is_legal() {
+        let mut o = oracle(2);
+        // Instance 1 of phase 0: pid 1 aborts (detectable fault).
+        o.on_start(t(0.0), 0, 0);
+        o.on_start(t(0.0), 1, 0);
+        o.on_abort(t(0.5), 1);
+        o.on_complete(t(1.0), 0, 0);
+        // New instance of phase 0: both complete.
+        o.on_start(t(2.0), 0, 0);
+        o.on_start(t(2.0), 1, 0);
+        o.on_complete(t(3.0), 0, 0);
+        o.on_complete(t(3.0), 1, 0);
+        assert!(o.is_clean(), "violations: {:?}", o.violations());
+        assert_eq!(o.phases_completed(), 1);
+        assert_eq!(o.aborted_instances(), 1);
+        // Two instances were consumed to complete phase 0.
+        assert_eq!(o.instance_counts(), &[2]);
+    }
+
+    #[test]
+    fn skipping_a_failed_phase_is_a_violation() {
+        let mut o = oracle(2);
+        o.on_start(t(0.0), 0, 0);
+        o.on_start(t(0.0), 1, 0);
+        o.on_abort(t(0.5), 0);
+        o.on_abort(t(0.5), 1);
+        // Phase 0 never succeeded; starting phase 1 violates Safety.
+        o.on_start(t(1.0), 0, 1);
+        assert_eq!(o.violations().len(), 1);
+        assert!(matches!(
+            o.violations()[0],
+            Violation::WrongPhase { got: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn overlap_is_detected() {
+        let mut o = oracle(2);
+        o.on_start(t(0.0), 0, 0);
+        o.on_start(t(0.0), 1, 0);
+        o.on_complete(t(1.0), 0, 0);
+        // pid 1 still executing phase 0; pid 0 starting phase 1 overlaps.
+        o.on_start(t(1.1), 0, 1);
+        assert!(o
+            .violations()
+            .iter()
+            .any(|v| matches!(v, Violation::Overlap { open: 0, new: 1, .. })));
+    }
+
+    #[test]
+    fn double_start_while_others_execute_is_flagged() {
+        let mut o = oracle(3);
+        o.on_start(t(0.0), 0, 0);
+        o.on_start(t(0.0), 1, 0);
+        o.on_start(t(0.1), 0, 0); // pid 0 again, pid 1 still executing
+        assert!(o
+            .violations()
+            .iter()
+            .any(|v| matches!(v, Violation::DoubleStart { pid: 0, .. })));
+    }
+
+    #[test]
+    fn benign_reexecution_after_success_is_legal() {
+        // The paper's root re-runs a completed phase when a detectable fault
+        // lands between completion and phase advance.
+        let mut o = oracle(2);
+        for _ in 0..2 {
+            o.on_start(t(0.0), 0, 0);
+            o.on_start(t(0.0), 1, 0);
+            o.on_complete(t(1.0), 0, 0);
+            o.on_complete(t(1.0), 1, 0);
+        }
+        assert!(o.is_clean());
+        assert_eq!(o.successful_instances(), 2);
+        // Phase 0 completed once (the repeat does not advance the counter).
+        assert_eq!(o.phases_completed(), 1);
+    }
+
+    #[test]
+    fn untracked_completion_is_flagged() {
+        let mut o = oracle(2);
+        o.on_complete(t(0.5), 1, 0);
+        assert!(matches!(
+            o.violations()[0],
+            Violation::UntrackedCompletion { pid: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn wraparound_phase_sequencing() {
+        let mut o = oracle(2);
+        for phase in [0u32, 1, 2, 3, 0] {
+            o.on_start(t(0.0), 0, phase);
+            o.on_start(t(0.0), 1, phase);
+            o.on_complete(t(1.0), 0, phase);
+            o.on_complete(t(1.0), 1, phase);
+        }
+        assert!(o.is_clean());
+        assert_eq!(o.phases_completed(), 5);
+    }
+
+    #[test]
+    fn observe_cp_dispatch() {
+        let mut o = oracle(2);
+        o.observe_cp(t(0.0), 0, 0, Cp::Ready, Cp::Execute);
+        o.observe_cp(t(0.0), 1, 0, Cp::Ready, Cp::Execute);
+        o.observe_cp(t(1.0), 0, 0, Cp::Execute, Cp::Success);
+        o.observe_cp(t(1.0), 1, 0, Cp::Execute, Cp::Error); // fault: abort
+        assert!(o.is_clean());
+        assert_eq!(o.phases_completed(), 0);
+        // Re-execution completes the phase.
+        o.observe_cp(t(2.0), 0, 0, Cp::Ready, Cp::Execute);
+        o.observe_cp(t(2.0), 1, 0, Cp::Ready, Cp::Execute);
+        o.observe_cp(t(3.0), 0, 0, Cp::Execute, Cp::Success);
+        o.observe_cp(t(3.0), 1, 0, Cp::Execute, Cp::Success);
+        assert!(o.is_clean());
+        assert_eq!(o.phases_completed(), 1);
+        assert_eq!(o.instance_counts(), &[2]);
+    }
+
+    #[test]
+    fn late_joiner_is_not_conflated_with_reexecution() {
+        let mut o = oracle(3);
+        // pid 2 aborts; 0 and 1 complete; then a new instance starts with a
+        // pid that never started in the doomed instance.
+        o.on_start(t(0.0), 0, 0);
+        o.on_start(t(0.0), 1, 0);
+        o.on_start(t(0.0), 2, 0);
+        o.on_abort(t(0.2), 2);
+        o.on_complete(t(1.0), 0, 0);
+        o.on_complete(t(1.0), 1, 0);
+        // New instance: pid 2 starts first this time.
+        o.on_start(t(2.0), 2, 0);
+        o.on_start(t(2.0), 0, 0);
+        o.on_start(t(2.0), 1, 0);
+        o.on_complete(t(3.0), 2, 0);
+        o.on_complete(t(3.0), 0, 0);
+        o.on_complete(t(3.0), 1, 0);
+        assert!(o.is_clean(), "violations: {:?}", o.violations());
+        assert_eq!(o.phases_completed(), 1);
+        assert_eq!(o.instance_counts(), &[2]);
+    }
+
+    #[test]
+    fn distinct_violated_phases_counts_unique() {
+        let mut o = BarrierOracle::new(OracleConfig {
+            n_processes: 2,
+            n_phases: 8,
+            anchor: Anchor::Free,
+        });
+        o.on_start(t(0.0), 0, 1);
+        o.on_start(t(0.1), 1, 5); // overlap with phase 1 open
+        assert_eq!(o.distinct_violated_phases(), 1);
+    }
+}

@@ -1,0 +1,176 @@
+//! Fault actions and the process-level fault environment for the sweep
+//! program (§4.1's fault representation).
+
+use crate::cp::Cp;
+use crate::sn::Sn;
+use crate::sweep::program::SweepBarrier;
+use crate::sweep::state::PosState;
+use ftbarrier_gcs::{
+    rate_for_frequency, FaultAction, FaultHit, FaultKind, FaultPlan, Pid, SimRng, Time,
+};
+
+/// The detectable fault of §4.1: `true → ph.j, cp.j, sn.j := ?, error, ⊥`
+/// (§5 additionally flags the local copies, which are separate positions
+/// here and get the same treatment).
+#[derive(Debug, Clone, Copy)]
+pub struct SweepDetectableFault {
+    pub n_phases: u32,
+}
+
+impl FaultAction<PosState> for SweepDetectableFault {
+    fn kind(&self) -> FaultKind {
+        FaultKind::Detectable
+    }
+
+    fn apply(&self, _pid: Pid, s: &mut PosState, rng: &mut SimRng) {
+        s.ph = rng.range_u64(0, self.n_phases as u64) as u32;
+        s.cp = Cp::Error;
+        s.sn = Sn::Bot;
+        s.done = false;
+        s.post = false;
+    }
+}
+
+/// The undetectable fault: every variable gets an arbitrary domain value.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepUndetectableFault {
+    pub n_phases: u32,
+    pub sn_domain: u32,
+}
+
+impl FaultAction<PosState> for SweepUndetectableFault {
+    fn kind(&self) -> FaultKind {
+        FaultKind::Undetectable
+    }
+
+    fn apply(&self, _pid: Pid, s: &mut PosState, rng: &mut SimRng) {
+        s.ph = rng.range_u64(0, self.n_phases as u64) as u32;
+        s.cp = *rng.choose(&Cp::RB_DOMAIN);
+        s.sn = Sn::arbitrary(self.sn_domain, rng);
+        s.done = rng.chance(0.5);
+        s.post = rng.chance(0.5);
+    }
+}
+
+/// Poisson fault arrivals that strike a uniformly random *process* and
+/// perturb **all of its positions** (a fault hits the process, which owns
+/// its real variables *and* its local copies of neighbors' variables, §5).
+///
+/// The rate reproduces the paper's survival function: `λ = -ln(1-f)` gives
+/// `P(no fault during a duration-d phase) = (1-f)^d`.
+pub struct ProcessFaults<A> {
+    rate: f64,
+    action: A,
+    /// positions_of\[pid\] from the program's topology; the first entry is
+    /// the worker position, which is reported as the hit.
+    positions_of: Vec<Vec<usize>>,
+    next: Option<Time>,
+}
+
+impl<A> ProcessFaults<A> {
+    pub fn new(program: &SweepBarrier, frequency: f64, action: A) -> ProcessFaults<A> {
+        let dag = program.dag();
+        let positions_of = (0..dag.num_processes())
+            .map(|pid| dag.positions_of(pid).to_vec())
+            .collect();
+        ProcessFaults {
+            rate: rate_for_frequency(frequency),
+            action,
+            positions_of,
+            next: None,
+        }
+    }
+}
+
+impl<A: FaultAction<PosState>> FaultPlan<PosState> for ProcessFaults<A> {
+    fn peek(&mut self, now: Time, rng: &mut SimRng) -> Option<Time> {
+        if self.rate == 0.0 {
+            return None;
+        }
+        if self.next.is_none() {
+            let dt = rng.exponential(self.rate);
+            if !dt.is_finite() {
+                return None;
+            }
+            self.next = Some(now + Time::new(dt));
+        }
+        self.next
+    }
+
+    fn fire(&mut self, _at: Time, global: &mut [PosState], rng: &mut SimRng) -> FaultHit {
+        let victim = rng.below(self.positions_of.len());
+        for &pos in &self.positions_of[victim] {
+            self.action.apply(victim, &mut global[pos], rng);
+        }
+        self.next = None;
+        FaultHit {
+            pid: self.positions_of[victim][0],
+            kind: self.action.kind(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftbarrier_gcs::Protocol;
+    use ftbarrier_topology::SweepDag;
+
+    #[test]
+    fn detectable_fault_flags_everything() {
+        let f = SweepDetectableFault { n_phases: 4 };
+        let mut rng = SimRng::seed_from_u64(0);
+        let mut s = PosState::start();
+        f.apply(0, &mut s, &mut rng);
+        assert_eq!(s.sn, Sn::Bot);
+        assert_eq!(s.cp, Cp::Error);
+        assert!(!s.done);
+        assert!(s.ph < 4);
+    }
+
+    #[test]
+    fn undetectable_fault_spans_domain() {
+        let f = SweepUndetectableFault { n_phases: 4, sn_domain: 6 };
+        let mut rng = SimRng::seed_from_u64(1);
+        let mut saw_repeat = false;
+        let mut saw_flag_sn = false;
+        for _ in 0..500 {
+            let mut s = PosState::start();
+            f.apply(0, &mut s, &mut rng);
+            assert!(Cp::RB_DOMAIN.contains(&s.cp));
+            assert!(s.ph < 4);
+            saw_repeat |= s.cp == Cp::Repeat;
+            saw_flag_sn |= !s.sn.is_valid();
+        }
+        assert!(saw_repeat && saw_flag_sn);
+    }
+
+    #[test]
+    fn process_faults_hit_all_positions_of_victim() {
+        // Double tree: processes own two positions each (but the root).
+        let program = SweepBarrier::new(SweepDag::double_tree(3, 2).unwrap(), 4);
+        let mut plan = ProcessFaults::new(&program, 0.5, SweepDetectableFault { n_phases: 4 });
+        let mut rng = SimRng::seed_from_u64(7);
+        let mut found_multi = false;
+        for _ in 0..20 {
+            let mut g = program.initial_state();
+            let at = plan.peek(Time::ZERO, &mut rng).unwrap();
+            let hit = plan.fire(at, &mut g, &mut rng);
+            let corrupted: Vec<usize> = (0..g.len()).filter(|&p| g[p].sn == Sn::Bot).collect();
+            let victim = program.dag().owner(hit.pid);
+            assert_eq!(corrupted, program.dag().positions_of(victim));
+            if corrupted.len() == 2 {
+                found_multi = true;
+            }
+        }
+        assert!(found_multi, "non-root victims must corrupt both positions");
+    }
+
+    #[test]
+    fn zero_frequency_is_silent() {
+        let program = SweepBarrier::new(SweepDag::ring(3).unwrap(), 4);
+        let mut plan = ProcessFaults::new(&program, 0.0, SweepDetectableFault { n_phases: 4 });
+        let mut rng = SimRng::seed_from_u64(0);
+        assert_eq!(plan.peek(Time::ZERO, &mut rng), None);
+    }
+}

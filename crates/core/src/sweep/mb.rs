@@ -1,0 +1,106 @@
+//! Program MB (§5): the message-passing refinement, structurally.
+//!
+//! §5 splits each process `j` into its real variables and a local copy of
+//! process `j-1`'s variables, updated only when `sn.(j-1)` is ordinary, with
+//! the same statement as the superposed T2 — and proves that "the
+//! computations of MB are equivalent to the computations of [RB] where the
+//! ring consists of 2(N+1) processes".
+//!
+//! We realize that equivalence directly: [`mb_ring`] builds the
+//! 2(N+1)-position ring in which positions `0..n` are the processes' real
+//! variables and positions `n..2n` are the local copies (`n + j` = the copy
+//! of `j`'s variables held at process `j+1`). Copies are owned by the
+//! *copying* process, so every RECV reads exactly one remote position — the
+//! physical message — or local state. The copy positions are relays: they
+//! carry no phase body. The default sequence-number domain of
+//! [`SweepBarrier`](crate::sweep::SweepBarrier) (`2·positions + 3`) covers
+//! §5's `L > 2N + 1` requirement.
+
+use ftbarrier_topology::{SweepDag, TopologyError};
+
+/// Build the MB topology for `n` processes: the sweep ring
+/// `real_0 → copy_0@1 → real_1 → copy_1@2 → … → real_{n-1} → copy_{n-1}@0 →
+/// real_0`, where `real_j` is position `j` (owned by `j`, worker) and
+/// `copy_j` is position `n + j` (the copy of `j`'s state, owned by `j+1`,
+/// relay).
+pub fn mb_ring(n: usize) -> Result<SweepDag, TopologyError> {
+    if n < 2 {
+        return Err(TopologyError::TooSmall);
+    }
+    let positions = 2 * n;
+    let mut owner = vec![0usize; positions];
+    let mut preds = vec![Vec::new(); positions];
+    for j in 0..n {
+        owner[j] = j; // real variables of j
+        owner[n + j] = (j + 1) % n; // copy of j's variables, held at j+1
+        // j's real position reads j's local copy of j-1.
+        preds[j] = vec![n + (j + n - 1) % n];
+        // The copy of j (held at j+1) reads j's real variables.
+        preds[n + j] = vec![j];
+    }
+    SweepDag::from_parts(owner, preds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::SweepBarrier;
+
+    #[test]
+    fn mb_is_a_2n_ring() {
+        let dag = mb_ring(4).unwrap();
+        assert_eq!(dag.num_positions(), 8);
+        assert_eq!(dag.num_processes(), 4);
+        assert_eq!(dag.critical_path(), 8, "one circulation visits 2(N+1) positions");
+        // Each process owns its real position and the copy of its
+        // predecessor's state.
+        assert_eq!(dag.positions_of(0), &[0, 7]); // real_0, copy_3
+        assert_eq!(dag.positions_of(1), &[1, 4]); // real_1, copy_0
+        assert_eq!(dag.positions_of(2), &[2, 5]);
+        assert_eq!(dag.positions_of(3), &[3, 6]);
+    }
+
+    #[test]
+    fn every_read_is_single_remote_or_local() {
+        // §5's granularity restriction: a position's predecessor is owned
+        // either by the same process (local read) or by exactly one other
+        // process (one message).
+        let n = 5;
+        let dag = mb_ring(n).unwrap();
+        for pos in 0..dag.num_positions() {
+            assert_eq!(dag.preds(pos).len(), 1);
+        }
+        for j in 0..n {
+            // Real positions read a *local* copy...
+            let pred = dag.preds(j)[0];
+            assert_eq!(dag.owner(pred), j, "real_{j} must read its own copy");
+            // ...and copy positions read exactly one remote position.
+            let copy = n + j;
+            assert_eq!(dag.preds(copy), &[j]);
+            assert_eq!(dag.owner(copy), (j + 1) % n);
+        }
+    }
+
+    #[test]
+    fn worker_positions_are_the_real_ones() {
+        let n = 3;
+        let program = SweepBarrier::new(mb_ring(n).unwrap(), 4);
+        for j in 0..n {
+            assert!(program.is_worker(j), "real_{j} works");
+            assert!(!program.is_worker(n + j), "copies are relays");
+            assert_eq!(program.worker_position(j), j);
+        }
+    }
+
+    #[test]
+    fn sn_domain_satisfies_l_bound() {
+        // L > 2N+1 where the process count is N+1 = 6.
+        let program = SweepBarrier::new(mb_ring(6).unwrap(), 4);
+        assert!(program.sn_domain > 2 * 6 + 1);
+    }
+
+    #[test]
+    fn rejects_single_process() {
+        assert!(mb_ring(1).is_err());
+    }
+}

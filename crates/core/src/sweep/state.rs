@@ -1,0 +1,71 @@
+//! Per-position state of the sweep program.
+
+use crate::cp::Cp;
+use crate::sn::Sn;
+
+/// The variables of one sweep position: the token ring's sequence number,
+/// the barrier's control position and phase, the explicit "phase body
+/// executed" bit, and — for the §8 fuzzy extension — the "post-phase work
+/// executed" bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PosState {
+    pub sn: Sn,
+    pub cp: Cp,
+    /// Phase number, in `0..n_phases` (modulo arithmetic).
+    pub ph: u32,
+    /// Whether the body of the current phase instance has been executed
+    /// (only meaningful at worker positions while `cp = execute`).
+    pub done: bool,
+    /// Fuzzy barriers (§8): whether the *post*-phase work — the work a
+    /// process may perform between entering the barrier (`execute →
+    /// success`) and leaving it (`ready → execute`) — has been executed.
+    /// Inert (always `true`) when the program has no post work.
+    pub post: bool,
+}
+
+impl PosState {
+    /// The start-state value: token ring at rest, ready to execute phase 0
+    /// ("initially, phase.(n-1) has executed successfully").
+    pub fn start() -> PosState {
+        PosState {
+            sn: Sn::Val(0),
+            cp: Cp::Ready,
+            ph: 0,
+            done: true,
+            post: true,
+        }
+    }
+}
+
+impl std::fmt::Display for PosState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "(sn={}, cp={}, ph={}{})",
+            self.sn,
+            self.cp,
+            self.ph,
+            if self.done { ", done" } else { "" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn start_state() {
+        let s = PosState::start();
+        assert_eq!(s.sn, Sn::Val(0));
+        assert_eq!(s.cp, Cp::Ready);
+        assert_eq!(s.ph, 0);
+        assert!(s.done);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let s = PosState::start();
+        assert_eq!(s.to_string(), "(sn=0, cp=ready, ph=0, done)");
+    }
+}

@@ -1,0 +1,249 @@
+//! ASCII timelines of barrier runs — a debugging aid that renders each
+//! process's control position over time as a lane of glyphs, so a protocol
+//! run (and its faults and recoveries) can be read at a glance:
+//!
+//! ```text
+//! t/unit   0.0       1.0       2.0
+//! p0       rrEEEEEEEEsrEEEEEEEEEsr…
+//! p1       rrEEEEEEEEEsrEEEEEEEEsr…
+//! p2       rrEEEE!!…rrEEEEEEEEEEsr…      (! = error after a fault)
+//! ```
+//!
+//! Glyphs: `r` ready, `E` execute, `s` success, `!` error, `%` repeat.
+
+use crate::cp::Cp;
+use crate::sweep::{PosState, SweepBarrier};
+use ftbarrier_gcs::{ActionId, FaultKind, Monitor, Pid, Time};
+
+fn glyph(cp: Cp) -> char {
+    match cp {
+        Cp::Ready => 'r',
+        Cp::Execute => 'E',
+        Cp::Success => 's',
+        Cp::Error => '!',
+        Cp::Repeat => '%',
+    }
+}
+
+/// How noteworthy a state is when several fall inside one column: faults
+/// and barrier transitions beat long execute stretches.
+fn priority(cp: Cp) -> u8 {
+    match cp {
+        Cp::Error => 4,
+        Cp::Repeat => 3,
+        Cp::Success => 2,
+        Cp::Ready => 1,
+        Cp::Execute => 0,
+    }
+}
+
+/// A monitor that samples worker-position control positions into per-process
+/// lanes at a fixed time resolution.
+pub struct Timeline {
+    /// Worker position → process.
+    owner_of_worker: Vec<Option<Pid>>,
+    /// Time units per column.
+    resolution: f64,
+    /// Current cp per process.
+    current: Vec<Cp>,
+    /// Highest-priority state seen since the last rendered column (so brief
+    /// success/ready/error windows stay visible at coarse resolutions).
+    pending: Vec<Option<Cp>>,
+    /// Rendered lanes.
+    lanes: Vec<Vec<char>>,
+    /// Columns emitted so far.
+    columns: usize,
+    /// Fault markers: (column, pid).
+    faults: Vec<(usize, Pid)>,
+    max_columns: usize,
+}
+
+impl Timeline {
+    pub fn new(program: &SweepBarrier, resolution: f64) -> Timeline {
+        assert!(resolution > 0.0);
+        let dag = program.dag();
+        let owner_of_worker = (0..dag.num_positions())
+            .map(|p| {
+                if program.is_worker(p) {
+                    Some(dag.owner(p))
+                } else {
+                    None
+                }
+            })
+            .collect();
+        Timeline {
+            owner_of_worker,
+            resolution,
+            current: vec![Cp::Ready; dag.num_processes()],
+            pending: vec![None; dag.num_processes()],
+            lanes: vec![Vec::new(); dag.num_processes()],
+            columns: 0,
+            faults: Vec::new(),
+            max_columns: 4000,
+        }
+    }
+
+    /// Cap the rendered width (default 4000 columns).
+    pub fn with_max_columns(mut self, max: usize) -> Timeline {
+        self.max_columns = max.max(1);
+        self
+    }
+
+    fn advance_to(&mut self, now: Time) {
+        let target = ((now.as_f64() / self.resolution).floor() as usize).min(self.max_columns);
+        while self.columns < target {
+            for (pid, lane) in self.lanes.iter_mut().enumerate() {
+                // The first column after a burst of events shows the most
+                // noteworthy state of the burst; later fill columns show
+                // the steady state.
+                let cp = self.pending[pid].take().unwrap_or(self.current[pid]);
+                lane.push(glyph(cp));
+            }
+            self.columns += 1;
+        }
+    }
+
+    fn note(&mut self, now: Time, pos: usize, new: &PosState) {
+        self.advance_to(now);
+        if let Some(pid) = self.owner_of_worker.get(pos).copied().flatten() {
+            self.current[pid] = new.cp;
+            let better = match self.pending[pid] {
+                Some(p) => priority(new.cp) > priority(p),
+                None => priority(new.cp) > priority(Cp::Execute),
+            };
+            if better {
+                self.pending[pid] = Some(new.cp);
+            }
+        }
+    }
+
+    /// Render the collected lanes.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        // Time ruler: a tick every 10 columns.
+        out.push_str("t/unit   ");
+        let mut col = 0;
+        while col < self.columns {
+            let label = format!("{:<10}", format!("{:.1}", col as f64 * self.resolution));
+            out.push_str(&label[..10.min(label.len())]);
+            col += 10;
+        }
+        out.push('\n');
+        for (pid, lane) in self.lanes.iter().enumerate() {
+            out.push_str(&format!("p{pid:<8}"));
+            out.extend(lane.iter());
+            // Mark faults on this lane.
+            let hits = self.faults.iter().filter(|&&(_, p)| p == pid).count();
+            if hits > 0 {
+                out.push_str(&format!("   ({hits} fault(s))"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    pub fn columns(&self) -> usize {
+        self.columns
+    }
+}
+
+impl Monitor<PosState> for Timeline {
+    fn on_transition(
+        &mut self,
+        now: Time,
+        pos: Pid,
+        _action: ActionId,
+        _name: &str,
+        _old: &PosState,
+        new: &PosState,
+        _global: &[PosState],
+    ) {
+        self.note(now, pos, new);
+    }
+
+    fn on_fault(
+        &mut self,
+        now: Time,
+        pos: Pid,
+        _kind: FaultKind,
+        _old: &PosState,
+        new: &PosState,
+        _global: &[PosState],
+    ) {
+        self.note(now, pos, new);
+        if let Some(pid) = self.owner_of_worker.get(pos).copied().flatten() {
+            let col = self.columns;
+            self.faults.push((col, pid));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::TopologySpec;
+    use crate::sweep::{ProcessFaults, SweepDetectableFault};
+    use ftbarrier_gcs::fault::NoFaults;
+    use ftbarrier_gcs::{Engine, EngineConfig};
+
+    fn run_with_timeline(f: f64, horizon: f64) -> Timeline {
+        let program = SweepBarrier::new(
+            TopologySpec::Tree { n: 4, arity: 2 }.build().unwrap(),
+            8,
+        )
+        .with_costs(Time::new(0.01), Time::new(1.0));
+        let mut timeline = Timeline::new(&program, 0.1);
+        let mut engine = Engine::new(&program, 42);
+        let config = EngineConfig {
+            max_time: Some(Time::new(horizon)),
+            ..Default::default()
+        };
+        if f > 0.0 {
+            let mut faults =
+                ProcessFaults::new(&program, f, SweepDetectableFault { n_phases: 8 });
+            engine.run(&config, &mut faults, &mut timeline);
+        } else {
+            engine.run(&config, &mut NoFaults, &mut timeline);
+        }
+        timeline
+    }
+
+    #[test]
+    fn fault_free_timeline_shows_the_cycle() {
+        let t = run_with_timeline(0.0, 8.0);
+        let rendered = t.render();
+        // Four process lanes plus the ruler.
+        assert_eq!(rendered.lines().count(), 5);
+        // Execute dominates (phase bodies are the long poles).
+        let lane0: &str = rendered.lines().nth(1).unwrap();
+        assert!(lane0.matches('E').count() > lane0.matches('s').count());
+        assert!(lane0.contains('r'));
+        assert!(!lane0.contains('!'), "no faults must mean no error glyphs");
+        assert!(t.columns() > 50);
+    }
+
+    #[test]
+    fn faulty_timeline_shows_errors_or_repeats() {
+        let t = run_with_timeline(0.4, 30.0);
+        let rendered = t.render();
+        assert!(
+            rendered.contains('!') || rendered.contains('%'),
+            "heavy faults must be visible:\n{rendered}"
+        );
+        assert!(rendered.contains("fault(s)"));
+    }
+
+    #[test]
+    fn column_cap_is_respected() {
+        let program = SweepBarrier::new(TopologySpec::Ring { n: 3 }.build().unwrap(), 4)
+            .with_costs(Time::new(0.01), Time::new(1.0));
+        let mut timeline = Timeline::new(&program, 0.01).with_max_columns(100);
+        let mut engine = Engine::new(&program, 1);
+        let config = EngineConfig {
+            max_time: Some(Time::new(50.0)),
+            ..Default::default()
+        };
+        engine.run(&config, &mut NoFaults, &mut timeline);
+        assert_eq!(timeline.columns(), 100);
+    }
+}

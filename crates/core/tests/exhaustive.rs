@@ -1,0 +1,304 @@
+//! Exhaustive (model-checking style) verification of the paper's lemmas on
+//! small instances: instead of sampling schedules, enumerate *every*
+//! reachable state under *every* interleaving — with fault transitions
+//! included where the lemma speaks about faults.
+
+use ftbarrier_core::cb::{Cb, CbState};
+use ftbarrier_core::cp::Cp;
+use ftbarrier_core::sn::Sn;
+use ftbarrier_core::sweep::{PosState, SweepBarrier};
+use ftbarrier_core::token_ring::{TokenRing, T5};
+use ftbarrier_gcs::{universe, Explorer, Protocol};
+use ftbarrier_topology::SweepDag;
+
+fn sn_domain(k: u32) -> Vec<Sn> {
+    let mut d = vec![Sn::Bot, Sn::Top];
+    d.extend((0..k).map(Sn::Val));
+    d
+}
+
+// ---------------------------------------------------------------------------
+// Token ring (§4.1, properties of [10]).
+// ---------------------------------------------------------------------------
+
+#[test]
+fn token_ring_every_state_stabilizes_exhaustively() {
+    // From EVERY state of the full universe, the ring can reach a legal
+    // one-token state — the stabilization lemma, checked exhaustively for
+    // n = 4, K = 5 (2401·… states: 7 values per process).
+    let ring = TokenRing::new(4).with_domain(5);
+    let explorer = Explorer::new(&ring);
+    let d = sn_domain(5);
+    let u = universe(&[d.clone(), d.clone(), d.clone(), d]);
+    assert_eq!(u.len(), 7usize.pow(4));
+    let stuck = explorer.states_not_reaching(&u, |s| {
+        ring.count_tokens(s) == 1 && s.iter().all(|x| x.is_valid())
+    });
+    assert!(
+        stuck.is_empty(),
+        "{} of {} states cannot stabilize; first: {:?}",
+        stuck.len(),
+        u.len(),
+        stuck.first()
+    );
+}
+
+#[test]
+fn token_ring_no_deadlock_anywhere_exhaustively() {
+    // Every state of the universe has at least one enabled action.
+    let ring = TokenRing::new(3).with_domain(4);
+    let d = sn_domain(4);
+    let u = universe(&[d.clone(), d.clone(), d]);
+    for s in &u {
+        assert!(
+            ring.any_enabled(s),
+            "deadlock state: {s:?}"
+        );
+    }
+}
+
+#[test]
+fn token_ring_at_most_one_token_under_detectable_faults_exhaustively() {
+    // Property (a): starting legally, with detectable faults (sn := ⊥ at
+    // any process) interleaved arbitrarily, the ring never holds two
+    // tokens. Explored over the full fault-closed reachable set.
+    let ring = TokenRing::new(4).with_domain(5);
+    let explorer = Explorer::new(&ring);
+    let exploration = explorer.reachable_with(
+        vec![ring.initial_state()],
+        200_000,
+        |s| {
+            (0..4)
+                .map(|victim| {
+                    let mut t = s.to_vec();
+                    t[victim] = Sn::Bot;
+                    t
+                })
+                .collect()
+        },
+    );
+    assert!(!exploration.truncated);
+    for s in &exploration.states {
+        assert!(
+            ring.count_tokens(s) <= 1,
+            "two tokens under detectable faults: {s:?}"
+        );
+    }
+}
+
+#[test]
+fn token_ring_process_zero_never_repairs_exhaustively() {
+    // Property (c): as long as process 0 itself is not corrupted, T5 is
+    // never enabled in any reachable state, under arbitrary detectable
+    // faults at the other processes.
+    let ring = TokenRing::new(4).with_domain(5);
+    let explorer = Explorer::new(&ring);
+    let exploration = explorer.reachable_with(
+        vec![ring.initial_state()],
+        200_000,
+        |s| {
+            (1..4)
+                .map(|victim| {
+                    let mut t = s.to_vec();
+                    t[victim] = Sn::Bot;
+                    t
+                })
+                .collect()
+        },
+    );
+    assert!(!exploration.truncated);
+    for s in &exploration.states {
+        assert!(
+            !ring.enabled(s, 0, T5),
+            "T5 enabled at 0 without a fault at 0: {s:?}"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The sweep program (RB, §4.1).
+// ---------------------------------------------------------------------------
+
+fn pos_domain(program: &SweepBarrier) -> Vec<PosState> {
+    let mut d = Vec::new();
+    // With the fuzzy extension disabled the `post` bit is inert and every
+    // transition preserves `post = true`, so the post=true slice is a closed
+    // subuniverse.
+    for sn in sn_domain(program.sn_domain) {
+        for &cp in &Cp::RB_DOMAIN {
+            for ph in 0..program.n_phases {
+                for done in [false, true] {
+                    d.push(PosState { sn, cp, ph, done, post: true });
+                }
+            }
+        }
+    }
+    d
+}
+
+#[test]
+fn sweep_ring2_every_state_recovers_exhaustively() {
+    // Lemma 4.1.3, exhaustively for the 2-process ring with the minimal
+    // sequence-number domain: every one of the 100² states reaches a start
+    // state (all ready, same phase, ordinary sn).
+    let program = SweepBarrier::new(SweepDag::ring(2).unwrap(), 2).with_sn_domain(3);
+    let explorer = Explorer::new(&program);
+    let d = pos_domain(&program);
+    assert_eq!(d.len(), 100);
+    let u = universe(&[d.clone(), d]);
+    let stuck = explorer.states_not_reaching(&u, |s| {
+        s.iter()
+            .all(|p| p.cp == Cp::Ready && p.ph == s[0].ph && p.sn.is_valid())
+    });
+    assert!(
+        stuck.is_empty(),
+        "{} of {} states cannot recover; first: {:?}",
+        stuck.len(),
+        u.len(),
+        stuck.first()
+    );
+}
+
+#[test]
+fn sweep_ring2_no_deadlock_anywhere_exhaustively() {
+    // The repair-extension fix (extended T1, root T4 from sinks) makes the
+    // program deadlock-free over its entire state universe.
+    let program = SweepBarrier::new(SweepDag::ring(2).unwrap(), 2).with_sn_domain(3);
+    let d = pos_domain(&program);
+    let u = universe(&[d.clone(), d]);
+    for s in &u {
+        assert!(program.any_enabled(s), "deadlock state: {:?}", s);
+    }
+}
+
+#[test]
+fn sweep_masking_invariant_exhaustive_ring3() {
+    // Lemma 4.1.2's heart, exhaustively: under arbitrary detectable faults
+    // (at any single process, any forged phase), in every reachable state
+    // all positions currently *executing with work in flight or done* agree
+    // on the phase — two instances never overlap.
+    let program = SweepBarrier::new(SweepDag::ring(3).unwrap(), 2).with_sn_domain(4);
+    let explorer = Explorer::new(&program);
+    let n_phases = program.n_phases;
+    let exploration = explorer.reachable_with(
+        vec![program.initial_state()],
+        3_000_000,
+        |s| {
+            let mut out = Vec::new();
+            for victim in 0..3 {
+                for ph in 0..n_phases {
+                    let mut t = s.to_vec();
+                    t[victim] = PosState {
+                        sn: Sn::Bot,
+                        cp: Cp::Error,
+                        ph,
+                        done: false,
+                        post: true,
+                    };
+                    out.push(t);
+                }
+            }
+            out
+        },
+    );
+    assert!(!exploration.truncated, "state space unexpectedly large");
+    for s in &exploration.states {
+        let executing: Vec<&PosState> = s.iter().filter(|p| p.cp == Cp::Execute).collect();
+        for w in executing.windows(2) {
+            assert_eq!(
+                w[0].ph, w[1].ph,
+                "two phases executing at once (overlap): {s:?}"
+            );
+        }
+    }
+    // Sanity: the exploration is substantial.
+    assert!(exploration.states.len() > 1_000);
+}
+
+#[test]
+#[ignore = "heavy: ~1.7M-state universe; run with --ignored --release"]
+fn sweep_tree3_every_state_recovers_exhaustively() {
+    let program = SweepBarrier::new(SweepDag::tree(3, 2).unwrap(), 2).with_sn_domain(4);
+    let explorer = Explorer::new(&program);
+    let d = pos_domain(&program);
+    let u = universe(&[d.clone(), d.clone(), d]);
+    let stuck = explorer.states_not_reaching(&u, |s| {
+        s.iter()
+            .all(|p| p.cp == Cp::Ready && p.ph == s[0].ph && p.sn.is_valid())
+    });
+    assert!(
+        stuck.is_empty(),
+        "{} of {} tree states cannot recover; first: {:?}",
+        stuck.len(),
+        u.len(),
+        stuck.first()
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Program CB (§3).
+// ---------------------------------------------------------------------------
+
+#[test]
+fn cb_masking_invariant_exhaustive() {
+    // Same overlap-freedom invariant for the coarse-grain program, with
+    // detectable faults at any process and any forged phase, and with
+    // nondeterministic `any k` choices covered by sampling.
+    let cb = Cb::new(3, 2);
+    let explorer = Explorer::new(&cb).with_nondet_samples(4);
+    let exploration = explorer.reachable_with(
+        vec![cb.initial_state()],
+        500_000,
+        |s| {
+            let mut out = Vec::new();
+            for victim in 0..3 {
+                for ph in 0..2 {
+                    let mut t = s.to_vec();
+                    t[victim] = CbState {
+                        cp: Cp::Error,
+                        ph,
+                        done: false,
+                    };
+                    out.push(t);
+                }
+            }
+            out
+        },
+    );
+    assert!(!exploration.truncated);
+    assert!(exploration.deadlocks.is_empty(), "CB must never deadlock");
+    for s in &exploration.states {
+        let phases: Vec<u32> = s
+            .iter()
+            .filter(|p| p.cp == Cp::Execute)
+            .map(|p| p.ph)
+            .collect();
+        for w in phases.windows(2) {
+            assert_eq!(w[0], w[1], "CB overlap: {s:?}");
+        }
+    }
+}
+
+#[test]
+fn cb_fault_free_reachable_set_is_the_legal_cycle() {
+    // Without faults, CB's reachable states never contain `error`, never
+    // deadlock, and never mix three consecutive control positions with
+    // inconsistent phases.
+    let cb = Cb::new(3, 2);
+    let explorer = Explorer::new(&cb).with_nondet_samples(4);
+    let exploration = explorer.reachable(vec![cb.initial_state()], 100_000);
+    assert!(!exploration.truncated);
+    assert!(exploration.deadlocks.is_empty());
+    for s in &exploration.states {
+        assert!(s.iter().all(|p| p.cp != Cp::Error));
+        // Fault-free phase skew is at most one (clock unison, §7).
+        let phs: Vec<u32> = s.iter().map(|p| p.ph).collect();
+        let distinct = {
+            let mut v = phs.clone();
+            v.sort_unstable();
+            v.dedup();
+            v.len()
+        };
+        assert!(distinct <= 2, "phases diverged: {s:?}");
+    }
+}

@@ -1,0 +1,171 @@
+//! Abstract syntax of the guarded-command language.
+
+/// A variable's type (and therefore its value domain).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Type {
+    Bool,
+    /// Inclusive integer range `lo..hi`.
+    Range(i64, i64),
+    /// Enumeration; values are indices into the variant list.
+    Enum(Vec<String>),
+}
+
+impl Type {
+    /// Number of values in the domain.
+    pub fn cardinality(&self) -> i64 {
+        match self {
+            Type::Bool => 2,
+            Type::Range(lo, hi) => hi - lo + 1,
+            Type::Enum(vs) => vs.len() as i64,
+        }
+    }
+
+    /// The `i`-th domain value (0-based), as the evaluator's integer
+    /// representation.
+    pub fn value_at(&self, i: i64) -> i64 {
+        debug_assert!(i >= 0 && i < self.cardinality());
+        match self {
+            Type::Bool | Type::Enum(_) => i,
+            Type::Range(lo, _) => lo + i,
+        }
+    }
+
+    pub fn contains(&self, v: i64) -> bool {
+        match self {
+            Type::Bool => v == 0 || v == 1,
+            Type::Range(lo, hi) => (*lo..=*hi).contains(&v),
+            Type::Enum(vs) => (0..vs.len() as i64).contains(&v),
+        }
+    }
+}
+
+/// A variable declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VarDecl {
+    pub name: String,
+    pub ty: Type,
+    /// Initial value, in evaluator representation.
+    pub init: i64,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    And,
+    Or,
+    Add,
+    Sub,
+    Mod,
+}
+
+/// Expressions. Integers and booleans share the `i64` representation
+/// (booleans are 0/1); enum literals evaluate to their variant index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    Int(i64),
+    Bool(bool),
+    /// An enum literal (resolved against the target variable's type at
+    /// evaluation sites) or quantifier variable — disambiguated by the
+    /// evaluator's scope.
+    Name(String),
+    /// The executing process's index.
+    SelfIdx,
+    /// The number of processes.
+    NProc,
+    /// `var[index]` — `index` taken modulo the process count.
+    Index(String, Box<Expr>),
+    /// `var` — shorthand for `var[self]`.
+    OwnVar(String),
+    Unary(UnOp, Box<Expr>),
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// `forall k : body` / `exists k : body`.
+    Quant(Quantifier, String, Box<Expr>),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    Not,
+    Neg,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Quantifier {
+    Forall,
+    Exists,
+}
+
+/// Right-hand side of an assignment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Rhs {
+    Expr(Expr),
+    /// The paper's `(any k : pred : expr)` — the value of `expr` for a
+    /// uniformly random process satisfying `pred`, or an arbitrary domain
+    /// value of the assigned variable when none does.
+    Any {
+        var: String,
+        pred: Box<Expr>,
+        pick: Box<Expr>,
+    },
+    /// An arbitrary value from the assigned variable's domain.
+    Arbitrary,
+}
+
+/// Statements update only the executing process's variables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stmt {
+    Assign { var: String, rhs: Rhs },
+    If {
+        /// `(condition, branch)` pairs: if/elseif chain.
+        arms: Vec<(Expr, Vec<Stmt>)>,
+        otherwise: Vec<Stmt>,
+    },
+}
+
+/// A guarded action: `name :: guard -> stmts`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Action {
+    pub name: String,
+    pub guard: Expr,
+    pub body: Vec<Stmt>,
+}
+
+/// A whole program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    pub name: String,
+    pub n_processes: usize,
+    pub vars: Vec<VarDecl>,
+    pub actions: Vec<Action>,
+}
+
+impl Program {
+    pub fn var_index(&self, name: &str) -> Option<usize> {
+        self.vars.iter().position(|v| v.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_domains() {
+        assert_eq!(Type::Bool.cardinality(), 2);
+        assert_eq!(Type::Range(0, 7).cardinality(), 8);
+        assert_eq!(Type::Range(-2, 2).cardinality(), 5);
+        let e = Type::Enum(vec!["a".into(), "b".into(), "c".into()]);
+        assert_eq!(e.cardinality(), 3);
+        assert_eq!(e.value_at(2), 2);
+        assert_eq!(Type::Range(3, 9).value_at(0), 3);
+        assert!(Type::Range(3, 9).contains(9));
+        assert!(!Type::Range(3, 9).contains(10));
+        assert!(Type::Bool.contains(1));
+        assert!(!Type::Bool.contains(2));
+    }
+}

@@ -1,0 +1,490 @@
+//! Evaluator: runs a parsed program as a [`Protocol`] on the simulation
+//! substrate.
+//!
+//! Value representation: every variable is an `i64` (booleans 0/1, enum
+//! variants by index, ranges by value). A global state is one `Vec<i64>` row
+//! per process. Statement sequences execute left to right against the
+//! process's own row (the paper's simultaneous multiple-assignment is
+//! order-independent in all its programs).
+
+use crate::ast::*;
+use ftbarrier_gcs::{ActionId, Pid, Protocol, SimRng, Time};
+use std::collections::HashMap;
+
+/// A parsed program, compiled for execution.
+pub struct GclProtocol {
+    program: Program,
+    /// Enum variant name → value (validated unambiguous at load).
+    variants: HashMap<String, i64>,
+    /// Leaked action names (the `Protocol` trait hands out `&'static str`).
+    action_names: Vec<&'static str>,
+    /// Per-action execution cost.
+    costs: Vec<Time>,
+}
+
+/// Runtime evaluation failure (a malformed program construct that parsing
+/// cannot rule out, e.g. an unknown variable). Reported by panicking with a
+/// clear message — a program bug, not an input condition.
+fn bug(msg: String) -> ! {
+    panic!("gcl evaluation error: {msg}")
+}
+
+struct Scope<'a> {
+    pid: i64,
+    bindings: Vec<(&'a str, i64)>,
+}
+
+impl GclProtocol {
+    pub fn new(program: Program) -> GclProtocol {
+        // Build the enum literal table; reject ambiguous variant names that
+        // map to different values in different enums.
+        let mut variants: HashMap<String, i64> = HashMap::new();
+        for v in &program.vars {
+            if let Type::Enum(names) = &v.ty {
+                for (i, name) in names.iter().enumerate() {
+                    match variants.get(name) {
+                        Some(&existing) if existing != i as i64 => bug(format!(
+                            "enum variant `{name}` is ambiguous across variable types"
+                        )),
+                        _ => {
+                            variants.insert(name.clone(), i as i64);
+                        }
+                    }
+                }
+            }
+        }
+        let action_names = program
+            .actions
+            .iter()
+            .map(|a| &*Box::leak(a.name.clone().into_boxed_str()))
+            .collect();
+        let costs = vec![Time::ZERO; program.actions.len()];
+        GclProtocol {
+            program,
+            variants,
+            action_names,
+            costs,
+        }
+    }
+
+    /// Assign a real-time cost to an action by name (SIEFAST: "a real-time
+    /// value is associated with each action").
+    pub fn with_cost(mut self, action: &str, cost: Time) -> GclProtocol {
+        let i = self
+            .program
+            .actions
+            .iter()
+            .position(|a| a.name == action)
+            .unwrap_or_else(|| bug(format!("no action named `{action}`")));
+        self.costs[i] = cost;
+        self
+    }
+
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    fn n(&self) -> i64 {
+        self.program.n_processes as i64
+    }
+
+    fn var(&self, name: &str) -> (usize, &VarDecl) {
+        match self.program.var_index(name) {
+            Some(i) => (i, &self.program.vars[i]),
+            None => bug(format!("unknown variable `{name}`")),
+        }
+    }
+
+    fn eval(&self, e: &Expr, g: &[Vec<i64>], own: &[i64], scope: &Scope) -> i64 {
+        match e {
+            Expr::Int(v) => *v,
+            Expr::Bool(b) => *b as i64,
+            Expr::SelfIdx => scope.pid,
+            Expr::NProc => self.n(),
+            Expr::Name(name) => {
+                // Scope resolution: quantifier binding → own variable →
+                // enum literal.
+                if let Some(&(_, v)) = scope
+                    .bindings
+                    .iter()
+                    .rev()
+                    .find(|(b, _)| *b == name.as_str())
+                {
+                    return v;
+                }
+                if let Some(i) = self.program.var_index(name) {
+                    return own[i];
+                }
+                if let Some(&v) = self.variants.get(name) {
+                    return v;
+                }
+                bug(format!("unknown name `{name}`"))
+            }
+            Expr::OwnVar(name) => {
+                let (i, _) = self.var(name);
+                own[i]
+            }
+            Expr::Index(name, index) => {
+                let (i, _) = self.var(name);
+                let idx = self.eval(index, g, own, scope).rem_euclid(self.n());
+                if idx == scope.pid {
+                    // Reading one's own row sees in-flight statement updates.
+                    own[i]
+                } else {
+                    g[idx as usize][i]
+                }
+            }
+            Expr::Unary(op, inner) => {
+                let v = self.eval(inner, g, own, scope);
+                match op {
+                    UnOp::Not => (v == 0) as i64,
+                    UnOp::Neg => -v,
+                }
+            }
+            Expr::Bin(op, a, b) => {
+                // Short-circuit the boolean connectives.
+                match op {
+                    BinOp::And => {
+                        return (self.eval(a, g, own, scope) != 0
+                            && self.eval(b, g, own, scope) != 0)
+                            as i64
+                    }
+                    BinOp::Or => {
+                        return (self.eval(a, g, own, scope) != 0
+                            || self.eval(b, g, own, scope) != 0)
+                            as i64
+                    }
+                    _ => {}
+                }
+                let x = self.eval(a, g, own, scope);
+                let y = self.eval(b, g, own, scope);
+                match op {
+                    BinOp::Eq => (x == y) as i64,
+                    BinOp::Ne => (x != y) as i64,
+                    BinOp::Lt => (x < y) as i64,
+                    BinOp::Le => (x <= y) as i64,
+                    BinOp::Gt => (x > y) as i64,
+                    BinOp::Ge => (x >= y) as i64,
+                    BinOp::Add => x + y,
+                    BinOp::Sub => x - y,
+                    BinOp::Mod => {
+                        if y == 0 {
+                            bug("modulo by zero".into())
+                        }
+                        x.rem_euclid(y)
+                    }
+                    BinOp::And | BinOp::Or => unreachable!("handled above"),
+                }
+            }
+            Expr::Quant(q, k, body) => {
+                let mut scope2 = Scope {
+                    pid: scope.pid,
+                    bindings: scope.bindings.clone(),
+                };
+                scope2.bindings.push((k.as_str(), 0));
+                let check = |scope2: &mut Scope, v: i64| -> bool {
+                    scope2.bindings.last_mut().unwrap().1 = v;
+                    self.eval(body, g, own, scope2) != 0
+                };
+                match q {
+                    Quantifier::Forall => {
+                        ((0..self.n()).all(|v| check(&mut scope2, v))) as i64
+                    }
+                    Quantifier::Exists => {
+                        ((0..self.n()).any(|v| check(&mut scope2, v))) as i64
+                    }
+                }
+            }
+        }
+    }
+
+    fn exec_stmts(
+        &self,
+        stmts: &[Stmt],
+        g: &[Vec<i64>],
+        own: &mut Vec<i64>,
+        pid: i64,
+        rng: &mut SimRng,
+    ) {
+        for stmt in stmts {
+            match stmt {
+                Stmt::Assign { var, rhs } => {
+                    let (i, decl) = self.var(var);
+                    let scope = Scope {
+                        pid,
+                        bindings: Vec::new(),
+                    };
+                    let value = match rhs {
+                        Rhs::Expr(e) => self.eval(e, g, own, &scope),
+                        Rhs::Arbitrary => {
+                            decl.ty.value_at(rng.below(decl.ty.cardinality() as usize) as i64)
+                        }
+                        Rhs::Any { var: k, pred, pick } => {
+                            let mut scope2 = Scope {
+                                pid,
+                                bindings: vec![(k.as_str(), 0)],
+                            };
+                            let candidates: Vec<i64> = (0..self.n())
+                                .filter(|&v| {
+                                    scope2.bindings[0].1 = v;
+                                    self.eval(pred, g, own, &scope2) != 0
+                                })
+                                .collect();
+                            if candidates.is_empty() {
+                                // "an arbitrary number in the set" — the
+                                // assigned variable's domain.
+                                decl.ty
+                                    .value_at(rng.below(decl.ty.cardinality() as usize) as i64)
+                            } else {
+                                scope2.bindings[0].1 =
+                                    *candidates.get(rng.below(candidates.len())).unwrap();
+                                self.eval(pick, g, own, &scope2)
+                            }
+                        }
+                    };
+                    if !decl.ty.contains(value) {
+                        bug(format!(
+                            "assignment `{var} := {value}` leaves the domain (use `% k` for \
+                             the paper's modular arithmetic)"
+                        ));
+                    }
+                    own[i] = value;
+                }
+                Stmt::If { arms, otherwise } => {
+                    let scope = Scope {
+                        pid,
+                        bindings: Vec::new(),
+                    };
+                    let mut taken = false;
+                    for (cond, body) in arms {
+                        if self.eval(cond, g, own, &scope) != 0 {
+                            self.exec_stmts(body, g, own, pid, rng);
+                            taken = true;
+                            break;
+                        }
+                    }
+                    if !taken {
+                        self.exec_stmts(otherwise, g, own, pid, rng);
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Protocol for GclProtocol {
+    type State = Vec<i64>;
+
+    fn num_processes(&self) -> usize {
+        self.program.n_processes
+    }
+
+    fn num_actions(&self, _pid: Pid) -> usize {
+        self.program.actions.len()
+    }
+
+    fn action_name(&self, _pid: Pid, action: ActionId) -> &'static str {
+        self.action_names[action]
+    }
+
+    fn enabled(&self, g: &[Vec<i64>], pid: Pid, action: ActionId) -> bool {
+        let scope = Scope {
+            pid: pid as i64,
+            bindings: Vec::new(),
+        };
+        self.eval(&self.program.actions[action].guard, g, &g[pid], &scope) != 0
+    }
+
+    fn execute(&self, g: &[Vec<i64>], pid: Pid, action: ActionId, rng: &mut SimRng) -> Vec<i64> {
+        let mut own = g[pid].clone();
+        self.exec_stmts(&self.program.actions[action].body, g, &mut own, pid as i64, rng);
+        own
+    }
+
+    fn cost(&self, _pid: Pid, action: ActionId) -> Time {
+        self.costs[action]
+    }
+
+    fn initial_state(&self) -> Vec<Vec<i64>> {
+        let row: Vec<i64> = self.program.vars.iter().map(|v| v.init).collect();
+        vec![row; self.program.n_processes]
+    }
+
+    fn arbitrary_state(&self, _pid: Pid, rng: &mut SimRng) -> Vec<i64> {
+        self.program
+            .vars
+            .iter()
+            .map(|v| v.ty.value_at(rng.below(v.ty.cardinality() as usize) as i64))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use ftbarrier_gcs::{Interleaving, InterleavingConfig, NullMonitor};
+
+    fn load(src: &str) -> GclProtocol {
+        GclProtocol::new(parse(src).unwrap())
+    }
+
+    #[test]
+    fn counter_program_counts() {
+        let p = load(
+            "program count
+             processes 3
+             var x : 0..5 = 0
+             action bump :: x < 5 -> x := x + 1",
+        );
+        let mut exec = Interleaving::new(&p, InterleavingConfig::default());
+        let steps = exec.run(1000, &mut NullMonitor);
+        assert_eq!(steps, 15, "each of 3 processes bumps 5 times, then fixpoint");
+        assert!(exec.global().iter().all(|row| row[0] == 5));
+    }
+
+    #[test]
+    fn modular_arithmetic_via_percent() {
+        let p = load(
+            "program wrap
+             processes 2
+             var x : 0..3 = 3
+             action spin :: true -> x := (x + 1) % 4",
+        );
+        let mut rng = SimRng::seed_from_u64(0);
+        let g = p.initial_state();
+        let new = p.execute(&g, 0, 0, &mut rng);
+        assert_eq!(new[0], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "leaves the domain")]
+    fn domain_violations_are_loud() {
+        let p = load(
+            "program bad
+             processes 2
+             var x : 0..3 = 3
+             action over :: true -> x := x + 1",
+        );
+        let mut rng = SimRng::seed_from_u64(0);
+        let g = p.initial_state();
+        let _ = p.execute(&g, 0, 0, &mut rng);
+    }
+
+    #[test]
+    fn quantifiers_and_indexing() {
+        // Dijkstra's K-state token ring, textually.
+        let p = load(
+            "program dijkstra
+             processes 4
+             var x : 0..8 = 0
+             action bottom :: self == 0 && x == x[N - 1] -> x := (x + 1) % 9
+             action other  :: self != 0 && x != x[self - 1] -> x := x[self - 1]",
+        );
+        let mut exec = Interleaving::new(&p, InterleavingConfig::default());
+        let mut m = NullMonitor;
+        for _ in 0..200 {
+            assert!(exec.step(&mut m), "the ring never deadlocks");
+            // Exactly one token (enabled process) in legal states.
+            let enabled: usize = (0..4)
+                .filter(|&pid| (0..2).any(|a| p.enabled(exec.global(), pid, a)))
+                .count();
+            assert_eq!(enabled, 1);
+        }
+    }
+
+    #[test]
+    fn enum_literals_resolve_in_comparisons() {
+        let p = load(
+            "program enums
+             processes 2
+             var cp : {ready, go} = ready
+             action start :: cp == ready && (forall k : cp[k] == ready) -> cp := go",
+        );
+        let g = p.initial_state();
+        assert!(p.enabled(&g, 0, 0));
+        let mut rng = SimRng::seed_from_u64(0);
+        let new = p.execute(&g, 0, 0, &mut rng);
+        assert_eq!(new[0], 1, "cp := go");
+    }
+
+    #[test]
+    fn any_choice_picks_a_satisfying_process() {
+        let p = load(
+            "program choice
+             processes 3
+             var flag : bool = false
+             var v : 0..9 = 0
+             action copy :: !flag -> v := any k : v[k] > 0 : v[k]; flag := true",
+        );
+        let mut g = p.initial_state();
+        g[1][1] = 7;
+        let mut rng = SimRng::seed_from_u64(0);
+        let new = p.execute(&g, 0, 0, &mut rng);
+        assert_eq!(new[1], 7, "the only satisfying process is 1 (v = 7)");
+        assert_eq!(new[0], 1, "flag := true");
+    }
+
+    #[test]
+    fn any_with_no_candidate_is_arbitrary_in_domain() {
+        let p = load(
+            "program fallback
+             processes 2
+             var v : 3..5 = 3
+             action pick :: true -> v := any k : v[k] > 9 : v[k]",
+        );
+        let mut rng = SimRng::seed_from_u64(1);
+        for _ in 0..50 {
+            let g = p.initial_state();
+            let new = p.execute(&g, 0, 0, &mut rng);
+            assert!((3..=5).contains(&new[0]));
+        }
+    }
+
+    #[test]
+    fn own_row_updates_visible_within_statement_list() {
+        let p = load(
+            "program seq
+             processes 2
+             var a : 0..9 = 1
+             var b : 0..9 = 0
+             action both :: true -> a := a + 1; b := a + 1",
+        );
+        let mut rng = SimRng::seed_from_u64(0);
+        let g = p.initial_state();
+        let new = p.execute(&g, 0, 0, &mut rng);
+        assert_eq!(new, vec![2, 3], "sequential statement semantics");
+    }
+
+    #[test]
+    fn arbitrary_state_spans_domains() {
+        let p = load(
+            "program arb
+             processes 2
+             var cp : {a, b, c} = a
+             var x : 2..4 = 2
+             action noop :: false -> x := x
+        ",
+        );
+        let mut rng = SimRng::seed_from_u64(5);
+        let mut seen_cp = [false; 3];
+        for _ in 0..200 {
+            let s = p.arbitrary_state(0, &mut rng);
+            seen_cp[s[0] as usize] = true;
+            assert!((2..=4).contains(&s[1]));
+        }
+        assert!(seen_cp.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn costs_attach_by_name() {
+        let p = load(
+            "program costly
+             processes 2
+             var x : bool = false
+             action flip :: true -> x := !x",
+        )
+        .with_cost("flip", Time::new(2.5));
+        assert_eq!(p.cost(0, 0), Time::new(2.5));
+    }
+}

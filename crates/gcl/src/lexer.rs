@@ -1,0 +1,412 @@
+//! Tokenizer for the guarded-command language.
+
+use std::fmt;
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    // Literals and names.
+    Ident(String),
+    Int(i64),
+    // Keywords.
+    Program,
+    Processes,
+    Var,
+    Action,
+    If,
+    Then,
+    Elseif,
+    Else,
+    End,
+    Forall,
+    Exists,
+    Any,
+    Arbitrary,
+    Bool,
+    True,
+    False,
+    SelfKw,
+    NKw,
+    // Punctuation / operators.
+    Guard,     // ::
+    Arrow,     // ->
+    Assign,    // :=
+    Colon,     // :
+    Semi,      // ;
+    Comma,     // ,
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    DotDot,    // ..
+    Eq,        // ==
+    EqSign,    // =  (var initializers only)
+    Ne,        // !=
+    Le,        // <=
+    Ge,        // >=
+    Lt,        // <
+    Gt,        // >
+    AndAnd,    // &&
+    OrOr,      // ||
+    Not,       // !
+    Plus,
+    Minus,
+    Percent,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "identifier `{s}`"),
+            Tok::Int(v) => write!(f, "integer `{v}`"),
+            other => write!(f, "{other:?}"),
+        }
+    }
+}
+
+/// A token with its source line (for error messages).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Spanned {
+    pub tok: Tok,
+    pub line: usize,
+}
+
+/// Lexing error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+fn keyword(word: &str) -> Option<Tok> {
+    Some(match word {
+        "program" => Tok::Program,
+        "processes" => Tok::Processes,
+        "var" => Tok::Var,
+        "action" => Tok::Action,
+        "if" => Tok::If,
+        "then" => Tok::Then,
+        "elseif" => Tok::Elseif,
+        "else" => Tok::Else,
+        "end" => Tok::End,
+        "forall" => Tok::Forall,
+        "exists" => Tok::Exists,
+        "any" => Tok::Any,
+        "arbitrary" => Tok::Arbitrary,
+        "bool" => Tok::Bool,
+        "true" => Tok::True,
+        "false" => Tok::False,
+        "self" => Tok::SelfKw,
+        "N" => Tok::NKw,
+        _ => return None,
+    })
+}
+
+/// Tokenize a source string. `#` starts a comment running to end of line.
+pub fn lex(source: &str) -> Result<Vec<Spanned>, LexError> {
+    let mut out = Vec::new();
+    let mut chars = source.chars().peekable();
+    let mut line = 1usize;
+
+    macro_rules! push {
+        ($t:expr) => {
+            out.push(Spanned { tok: $t, line })
+        };
+    }
+
+    while let Some(&c) = chars.peek() {
+        match c {
+            '\n' => {
+                line += 1;
+                chars.next();
+            }
+            ' ' | '\t' | '\r' => {
+                chars.next();
+            }
+            '#' => {
+                for c in chars.by_ref() {
+                    if c == '\n' {
+                        line += 1;
+                        break;
+                    }
+                }
+            }
+            '0'..='9' => {
+                let mut v: i64 = 0;
+                while let Some(&d) = chars.peek() {
+                    if let Some(digit) = d.to_digit(10) {
+                        v = v
+                            .checked_mul(10)
+                            .and_then(|x| x.checked_add(digit as i64))
+                            .ok_or_else(|| LexError {
+                                line,
+                                message: "integer literal overflows i64".into(),
+                            })?;
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                push!(Tok::Int(v));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut word = String::new();
+                while let Some(&d) = chars.peek() {
+                    if d.is_ascii_alphanumeric() || d == '_' {
+                        word.push(d);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                match keyword(&word) {
+                    Some(t) => push!(t),
+                    None => push!(Tok::Ident(word)),
+                }
+            }
+            ':' => {
+                chars.next();
+                match chars.peek() {
+                    Some(':') => {
+                        chars.next();
+                        push!(Tok::Guard);
+                    }
+                    Some('=') => {
+                        chars.next();
+                        push!(Tok::Assign);
+                    }
+                    _ => push!(Tok::Colon),
+                }
+            }
+            '-' => {
+                chars.next();
+                if chars.peek() == Some(&'>') {
+                    chars.next();
+                    push!(Tok::Arrow);
+                } else {
+                    push!(Tok::Minus);
+                }
+            }
+            '.' => {
+                chars.next();
+                if chars.peek() == Some(&'.') {
+                    chars.next();
+                    push!(Tok::DotDot);
+                } else {
+                    return Err(LexError {
+                        line,
+                        message: "stray `.` (expected `..`)".into(),
+                    });
+                }
+            }
+            '=' => {
+                chars.next();
+                if chars.peek() == Some(&'=') {
+                    chars.next();
+                    push!(Tok::Eq);
+                } else {
+                    push!(Tok::EqSign);
+                }
+            }
+            '!' => {
+                chars.next();
+                if chars.peek() == Some(&'=') {
+                    chars.next();
+                    push!(Tok::Ne);
+                } else {
+                    push!(Tok::Not);
+                }
+            }
+            '<' => {
+                chars.next();
+                if chars.peek() == Some(&'=') {
+                    chars.next();
+                    push!(Tok::Le);
+                } else {
+                    push!(Tok::Lt);
+                }
+            }
+            '>' => {
+                chars.next();
+                if chars.peek() == Some(&'=') {
+                    chars.next();
+                    push!(Tok::Ge);
+                } else {
+                    push!(Tok::Gt);
+                }
+            }
+            '&' => {
+                chars.next();
+                if chars.peek() == Some(&'&') {
+                    chars.next();
+                    push!(Tok::AndAnd);
+                } else {
+                    return Err(LexError {
+                        line,
+                        message: "stray `&` (expected `&&`)".into(),
+                    });
+                }
+            }
+            '|' => {
+                chars.next();
+                if chars.peek() == Some(&'|') {
+                    chars.next();
+                    push!(Tok::OrOr);
+                } else {
+                    return Err(LexError {
+                        line,
+                        message: "stray `|` (expected `||`)".into(),
+                    });
+                }
+            }
+            ';' => {
+                chars.next();
+                push!(Tok::Semi);
+            }
+            ',' => {
+                chars.next();
+                push!(Tok::Comma);
+            }
+            '(' => {
+                chars.next();
+                push!(Tok::LParen);
+            }
+            ')' => {
+                chars.next();
+                push!(Tok::RParen);
+            }
+            '{' => {
+                chars.next();
+                push!(Tok::LBrace);
+            }
+            '}' => {
+                chars.next();
+                push!(Tok::RBrace);
+            }
+            '[' => {
+                chars.next();
+                push!(Tok::LBracket);
+            }
+            ']' => {
+                chars.next();
+                push!(Tok::RBracket);
+            }
+            '+' => {
+                chars.next();
+                push!(Tok::Plus);
+            }
+            '%' => {
+                chars.next();
+                push!(Tok::Percent);
+            }
+            other => {
+                return Err(LexError {
+                    line,
+                    message: format!("unexpected character `{other}`"),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn lexes_the_paper_operators() {
+        assert_eq!(
+            toks("CB1 :: cp == ready -> cp := execute"),
+            vec![
+                Tok::Ident("CB1".into()),
+                Tok::Guard,
+                Tok::Ident("cp".into()),
+                Tok::Eq,
+                Tok::Ident("ready".into()),
+                Tok::Arrow,
+                Tok::Ident("cp".into()),
+                Tok::Assign,
+                Tok::Ident("execute".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_types_and_ranges() {
+        assert_eq!(
+            toks("var ph : 0..7 = 0"),
+            vec![
+                Tok::Var,
+                Tok::Ident("ph".into()),
+                Tok::Colon,
+                Tok::Int(0),
+                Tok::DotDot,
+                Tok::Int(7),
+                Tok::EqSign,
+                Tok::Int(0),
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_and_lines() {
+        let spanned = lex("a # comment\nb").unwrap();
+        assert_eq!(spanned[0].line, 1);
+        assert_eq!(spanned[1].line, 2);
+        assert_eq!(spanned.len(), 2);
+    }
+
+    #[test]
+    fn keywords_vs_identifiers() {
+        assert_eq!(
+            toks("forall k : self != N"),
+            vec![
+                Tok::Forall,
+                Tok::Ident("k".into()),
+                Tok::Colon,
+                Tok::SelfKw,
+                Tok::Ne,
+                Tok::NKw,
+            ]
+        );
+    }
+
+    #[test]
+    fn rejects_stray_ampersand() {
+        assert!(lex("a & b").is_err());
+    }
+
+    #[test]
+    fn quantifier_brackets() {
+        assert_eq!(
+            toks("cp[k] != cp[self - 1]"),
+            vec![
+                Tok::Ident("cp".into()),
+                Tok::LBracket,
+                Tok::Ident("k".into()),
+                Tok::RBracket,
+                Tok::Ne,
+                Tok::Ident("cp".into()),
+                Tok::LBracket,
+                Tok::SelfKw,
+                Tok::Minus,
+                Tok::Int(1),
+                Tok::RBracket,
+            ]
+        );
+    }
+}

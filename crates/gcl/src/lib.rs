@@ -1,0 +1,66 @@
+//! A guarded-command language, in the paper's notation.
+//!
+//! §6.2: "One advantage of using SIEFAST is that it uses the exact program
+//! discussed in this paper, and requires no further translation into another
+//! language such as C or C++." This crate restores that property: programs
+//! are written as text in (an ASCII rendering of) the paper's
+//! `⟨name⟩ :: ⟨guard⟩ → ⟨statement⟩` notation, parsed, and executed directly
+//! by the `ftbarrier-gcs` engines via the [`Protocol`] trait.
+//!
+//! ```text
+//! program CB
+//! processes 4
+//! var cp : {ready, execute, success, error} = ready
+//! var ph : 0..1 = 0
+//! var done : bool = true
+//!
+//! action CB1 :: cp == ready && ((forall k : cp[k] == ready) || (exists k : cp[k] == execute))
+//!     -> cp := execute; done := false
+//! action CB2 :: cp == execute && done && ((forall k : cp[k] != ready) || (exists k : cp[k] == success))
+//!     -> cp := success
+//! action CB3 :: cp == success && (forall k : cp[k] != execute) ->
+//!     if exists k : cp[k] == ready then
+//!         ph := any k : cp[k] == ready : ph[k]
+//!     elseif forall k : cp[k] == success then
+//!         ph := ph + 1
+//!     end;
+//!     cp := ready
+//! action CB4 :: cp == error && (forall k : cp[k] != execute) ->
+//!     if exists k : cp[k] == ready then
+//!         ph := any k : cp[k] == ready : ph[k]
+//!     elseif exists k : cp[k] == success then
+//!         ph := any k : cp[k] == success : ph[k]
+//!     else
+//!         ph := arbitrary
+//!     end;
+//!     cp := ready
+//! action WORK :: cp == execute && !done -> done := true
+//! ```
+//!
+//! Semantics, exactly as §2 prescribes: an unindexed variable is the
+//! process's own (`cp` ≡ `cp[self]`); indices are modulo the process count;
+//! `forall k : …` / `exists k : …` quantify over all processes; `any k :
+//! pred : expr` is the paper's nondeterministic `(any k : pred : expr)`
+//! choice (an arbitrary domain value when no process satisfies `pred`);
+//! `arbitrary` draws from the assigned variable's domain. Statements update
+//! only the executing process's variables.
+//!
+//! [`Protocol`]: ftbarrier_gcs::Protocol
+
+pub mod ast;
+pub mod eval;
+pub mod lexer;
+pub mod parser;
+pub mod programs;
+
+pub use ast::{Action, Expr, Program, Stmt, Type};
+pub use eval::GclProtocol;
+pub use parser::{parse, ParseError};
+
+/// Parse a program and wrap it for execution with the given per-action cost
+/// assignment (`None` = all actions cost zero).
+pub fn load(
+    source: &str,
+) -> Result<GclProtocol, ParseError> {
+    Ok(GclProtocol::new(parse(source)?))
+}

@@ -1,0 +1,511 @@
+//! Recursive-descent parser for the guarded-command language.
+
+use crate::ast::*;
+use crate::lexer::{lex, LexError, Spanned, Tok};
+use std::fmt;
+
+/// Parse error with the offending line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> ParseError {
+        ParseError {
+            line: e.line,
+            message: e.message,
+        }
+    }
+}
+
+struct Parser {
+    toks: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|s| &s.tok)
+    }
+
+    fn line(&self) -> usize {
+        self.toks
+            .get(self.pos.min(self.toks.len().saturating_sub(1)))
+            .map_or(0, |s| s.line)
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError {
+            line: self.line(),
+            message: message.into(),
+        })
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|s| s.tok.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, want: &Tok) -> Result<(), ParseError> {
+        match self.peek() {
+            Some(t) if t == want => {
+                self.pos += 1;
+                Ok(())
+            }
+            Some(t) => {
+                let t = t.clone();
+                self.err(format!("expected {want}, found {t}"))
+            }
+            None => self.err(format!("expected {want}, found end of input")),
+        }
+    }
+
+    fn at(&mut self, want: &Tok) -> bool {
+        if self.peek() == Some(want) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.next() {
+            Some(Tok::Ident(s)) => Ok(s),
+            Some(t) => self.err(format!("expected an identifier, found {t}")),
+            None => self.err("expected an identifier, found end of input"),
+        }
+    }
+
+    fn int(&mut self) -> Result<i64, ParseError> {
+        let neg = self.at(&Tok::Minus);
+        match self.next() {
+            Some(Tok::Int(v)) => Ok(if neg { -v } else { v }),
+            Some(t) => self.err(format!("expected an integer, found {t}")),
+            None => self.err("expected an integer, found end of input"),
+        }
+    }
+
+    // ----- program structure -----
+
+    fn program(&mut self) -> Result<Program, ParseError> {
+        self.eat(&Tok::Program)?;
+        let name = self.ident()?;
+        self.eat(&Tok::Processes)?;
+        let n = self.int()?;
+        if n < 1 {
+            return self.err("a program needs at least one process");
+        }
+        let mut vars: Vec<VarDecl> = Vec::new();
+        while self.peek() == Some(&Tok::Var) {
+            self.pos += 1;
+            let vname = self.ident()?;
+            if vars.iter().any(|v| v.name == vname) {
+                return self.err(format!("duplicate variable `{vname}`"));
+            }
+            self.eat(&Tok::Colon)?;
+            let ty = self.ty()?;
+            self.eat(&Tok::EqSign)?;
+            let init = self.initializer(&ty)?;
+            vars.push(VarDecl {
+                name: vname,
+                ty,
+                init,
+            });
+        }
+        let mut actions = Vec::new();
+        while self.peek() == Some(&Tok::Action) {
+            self.pos += 1;
+            let aname = self.ident()?;
+            self.eat(&Tok::Guard)?;
+            let guard = self.expr()?;
+            self.eat(&Tok::Arrow)?;
+            let body = self.stmts()?;
+            actions.push(Action {
+                name: aname,
+                guard,
+                body,
+            });
+        }
+        if let Some(t) = self.peek() {
+            let t = t.clone();
+            return self.err(format!("unexpected {t} after the last action"));
+        }
+        if actions.is_empty() {
+            return self.err("a program needs at least one action");
+        }
+        Ok(Program {
+            name,
+            n_processes: n as usize,
+            vars,
+            actions,
+        })
+    }
+
+    fn ty(&mut self) -> Result<Type, ParseError> {
+        match self.peek().cloned() {
+            Some(Tok::Bool) => {
+                self.pos += 1;
+                Ok(Type::Bool)
+            }
+            Some(Tok::LBrace) => {
+                self.pos += 1;
+                let mut variants = vec![self.ident()?];
+                while self.at(&Tok::Comma) {
+                    variants.push(self.ident()?);
+                }
+                self.eat(&Tok::RBrace)?;
+                Ok(Type::Enum(variants))
+            }
+            Some(Tok::Int(_)) | Some(Tok::Minus) => {
+                let lo = self.int()?;
+                self.eat(&Tok::DotDot)?;
+                let hi = self.int()?;
+                if hi < lo {
+                    return self.err(format!("empty range {lo}..{hi}"));
+                }
+                Ok(Type::Range(lo, hi))
+            }
+            other => self.err(format!(
+                "expected a type (bool, lo..hi, or {{variants}}), found {}",
+                other.map_or("end of input".to_owned(), |t| t.to_string())
+            )),
+        }
+    }
+
+    fn initializer(&mut self, ty: &Type) -> Result<i64, ParseError> {
+        let v = match (ty, self.peek().cloned()) {
+            (_, Some(Tok::True)) => {
+                self.pos += 1;
+                1
+            }
+            (_, Some(Tok::False)) => {
+                self.pos += 1;
+                0
+            }
+            (Type::Enum(variants), Some(Tok::Ident(name))) => {
+                self.pos += 1;
+                match variants.iter().position(|v| *v == name) {
+                    Some(i) => i as i64,
+                    None => return self.err(format!("`{name}` is not a variant of this enum")),
+                }
+            }
+            _ => self.int()?,
+        };
+        if !ty.contains(v) {
+            return self.err(format!("initializer {v} outside the variable's domain"));
+        }
+        Ok(v)
+    }
+
+    // ----- statements -----
+
+    fn stmts(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        let mut out = vec![self.stmt()?];
+        while self.at(&Tok::Semi) {
+            out.push(self.stmt()?);
+        }
+        Ok(out)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        if self.at(&Tok::If) {
+            let mut arms = Vec::new();
+            let cond = self.expr()?;
+            self.eat(&Tok::Then)?;
+            let body = self.stmts()?;
+            arms.push((cond, body));
+            let mut otherwise = Vec::new();
+            loop {
+                if self.at(&Tok::Elseif) {
+                    let cond = self.expr()?;
+                    self.eat(&Tok::Then)?;
+                    let body = self.stmts()?;
+                    arms.push((cond, body));
+                } else if self.at(&Tok::Else) {
+                    otherwise = self.stmts()?;
+                    self.eat(&Tok::End)?;
+                    break;
+                } else {
+                    self.eat(&Tok::End)?;
+                    break;
+                }
+            }
+            return Ok(Stmt::If { arms, otherwise });
+        }
+        let var = self.ident()?;
+        self.eat(&Tok::Assign)?;
+        let rhs = if self.at(&Tok::Arbitrary) {
+            Rhs::Arbitrary
+        } else if self.at(&Tok::Any) {
+            let k = self.ident()?;
+            self.eat(&Tok::Colon)?;
+            let pred = self.expr()?;
+            self.eat(&Tok::Colon)?;
+            let pick = self.expr()?;
+            Rhs::Any {
+                var: k,
+                pred: Box::new(pred),
+                pick: Box::new(pick),
+            }
+        } else {
+            Rhs::Expr(self.expr()?)
+        };
+        Ok(Stmt::Assign { var, rhs })
+    }
+
+    // ----- expressions (precedence climbing) -----
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.and_expr()?;
+        while self.at(&Tok::OrOr) {
+            let rhs = self.and_expr()?;
+            lhs = Expr::Bin(BinOp::Or, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.cmp_expr()?;
+        while self.at(&Tok::AndAnd) {
+            let rhs = self.cmp_expr()?;
+            lhs = Expr::Bin(BinOp::And, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr, ParseError> {
+        let lhs = self.add_expr()?;
+        let op = match self.peek() {
+            Some(Tok::Eq) => Some(BinOp::Eq),
+            Some(Tok::Ne) => Some(BinOp::Ne),
+            Some(Tok::Lt) => Some(BinOp::Lt),
+            Some(Tok::Le) => Some(BinOp::Le),
+            Some(Tok::Gt) => Some(BinOp::Gt),
+            Some(Tok::Ge) => Some(BinOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.pos += 1;
+            let rhs = self.add_expr()?;
+            return Ok(Expr::Bin(op, Box::new(lhs), Box::new(rhs)));
+        }
+        Ok(lhs)
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Plus) => BinOp::Add,
+                Some(Tok::Minus) => BinOp::Sub,
+                Some(Tok::Percent) => BinOp::Mod,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.unary_expr()?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, ParseError> {
+        if self.at(&Tok::Not) {
+            let e = self.unary_expr()?;
+            return Ok(Expr::Unary(UnOp::Not, Box::new(e)));
+        }
+        if self.at(&Tok::Minus) {
+            let e = self.unary_expr()?;
+            return Ok(Expr::Unary(UnOp::Neg, Box::new(e)));
+        }
+        self.atom()
+    }
+
+    fn atom(&mut self) -> Result<Expr, ParseError> {
+        match self.next() {
+            Some(Tok::Int(v)) => Ok(Expr::Int(v)),
+            Some(Tok::True) => Ok(Expr::Bool(true)),
+            Some(Tok::False) => Ok(Expr::Bool(false)),
+            Some(Tok::SelfKw) => Ok(Expr::SelfIdx),
+            Some(Tok::NKw) => Ok(Expr::NProc),
+            Some(Tok::Forall) => {
+                let k = self.ident()?;
+                self.eat(&Tok::Colon)?;
+                let body = self.expr()?;
+                Ok(Expr::Quant(Quantifier::Forall, k, Box::new(body)))
+            }
+            Some(Tok::Exists) => {
+                let k = self.ident()?;
+                self.eat(&Tok::Colon)?;
+                let body = self.expr()?;
+                Ok(Expr::Quant(Quantifier::Exists, k, Box::new(body)))
+            }
+            Some(Tok::LParen) => {
+                let e = self.expr()?;
+                self.eat(&Tok::RParen)?;
+                Ok(e)
+            }
+            Some(Tok::Ident(name)) => {
+                if self.at(&Tok::LBracket) {
+                    let index = self.expr()?;
+                    self.eat(&Tok::RBracket)?;
+                    Ok(Expr::Index(name, Box::new(index)))
+                } else {
+                    // A variable (own copy), an enum literal, or a quantifier
+                    // variable — the evaluator resolves by scope.
+                    Ok(Expr::Name(name))
+                }
+            }
+            Some(t) => self.err(format!("unexpected {t} in an expression")),
+            None => self.err("unexpected end of input in an expression"),
+        }
+    }
+}
+
+/// Parse a complete program.
+pub fn parse(source: &str) -> Result<Program, ParseError> {
+    let toks = lex(source)?;
+    let mut p = Parser { toks, pos: 0 };
+    p.program()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_minimal_program() {
+        let src = "
+            program tiny
+            processes 2
+            var x : 0..3 = 0
+            action bump :: x < 3 -> x := x + 1
+        ";
+        let p = parse(src).unwrap();
+        assert_eq!(p.name, "tiny");
+        assert_eq!(p.n_processes, 2);
+        assert_eq!(p.vars.len(), 1);
+        assert_eq!(p.actions.len(), 1);
+        assert_eq!(p.actions[0].name, "bump");
+    }
+
+    #[test]
+    fn parses_enums_bools_and_quantifiers() {
+        let src = "
+            program q
+            processes 3
+            var cp : {ready, execute} = ready
+            var done : bool = false
+            action a :: cp == ready && (forall k : cp[k] == ready) -> cp := execute
+            action b :: exists k : cp[k] == execute -> done := true
+        ";
+        let p = parse(src).unwrap();
+        assert_eq!(p.vars[0].ty, Type::Enum(vec!["ready".into(), "execute".into()]));
+        assert!(matches!(
+            p.actions[0].guard,
+            Expr::Bin(BinOp::And, _, _)
+        ));
+    }
+
+    #[test]
+    fn parses_if_elseif_else_and_any() {
+        let src = "
+            program c
+            processes 2
+            var ph : 0..3 = 0
+            var cp : {s, r} = s
+            action go :: cp == s ->
+                if exists k : cp[k] == r then
+                    ph := any k : cp[k] == r : ph[k]
+                elseif forall k : cp[k] == s then
+                    ph := ph + 1
+                else
+                    ph := arbitrary
+                end;
+                cp := r
+        ";
+        let p = parse(src).unwrap();
+        let body = &p.actions[0].body;
+        assert_eq!(body.len(), 2);
+        match &body[0] {
+            Stmt::If { arms, otherwise } => {
+                assert_eq!(arms.len(), 2);
+                assert_eq!(otherwise.len(), 1);
+                assert!(matches!(
+                    arms[0].1[0],
+                    Stmt::Assign { rhs: Rhs::Any { .. }, .. }
+                ));
+                assert!(matches!(
+                    otherwise[0],
+                    Stmt::Assign { rhs: Rhs::Arbitrary, .. }
+                ));
+            }
+            other => panic!("expected if, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn modular_indexing_parses() {
+        let src = "
+            program r
+            processes 4
+            var sn : 0..5 = 0
+            action t2 :: self != 0 && sn != sn[self - 1] -> sn := sn[self - 1]
+        ";
+        let p = parse(src).unwrap();
+        assert_eq!(p.actions[0].name, "t2");
+    }
+
+    #[test]
+    fn error_messages_carry_lines() {
+        let src = "program x\nprocesses 2\nvar v : 0..1 = 0\naction a :: v == ->";
+        let e = parse(src).unwrap_err();
+        assert_eq!(e.line, 4);
+    }
+
+    #[test]
+    fn rejects_duplicate_variables() {
+        let src = "
+            program d
+            processes 2
+            var x : bool = false
+            var x : bool = true
+            action a :: x -> x := false
+        ";
+        assert!(parse(src).unwrap_err().message.contains("duplicate"));
+    }
+
+    #[test]
+    fn rejects_out_of_domain_initializer() {
+        let src = "
+            program d
+            processes 2
+            var x : 0..3 = 7
+            action a :: x == 0 -> x := 1
+        ";
+        assert!(parse(src).unwrap_err().message.contains("domain"));
+    }
+
+    #[test]
+    fn rejects_programs_without_actions() {
+        let src = "program e\nprocesses 2\nvar x : bool = false";
+        assert!(parse(src).is_err());
+    }
+}

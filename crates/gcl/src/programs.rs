@@ -1,0 +1,302 @@
+//! The paper's programs, in the guarded-command language — the "exact
+//! program discussed in this paper" that SIEFAST consumed directly.
+
+/// Program CB (§3), verbatim modulo ASCII: CB1–CB4 plus the explicit WORK
+/// action for the phase body. `n_phases ≥ 2`.
+pub fn cb_source(n: usize, n_phases: u32) -> String {
+    assert!(n >= 2 && n_phases >= 2);
+    let top = n_phases - 1;
+    format!(
+        "\
+program CB
+processes {n}
+
+var cp   : {{ready, execute, success, error}} = ready
+var ph   : 0..{top} = 0
+var done : bool = true
+
+# CB1 :: cp.j = ready ∧ ((∀k :: cp.k = ready) ∨ (∃k :: cp.k = execute)) → cp.j := execute
+action CB1 :: cp == ready && ((forall k : cp[k] == ready) || (exists k : cp[k] == execute))
+    -> cp := execute; done := false
+
+# CB2 :: cp.j = execute ∧ ((∀k :: cp.k ≠ ready) ∨ (∃k :: cp.k = success)) → cp.j := success
+action CB2 :: cp == execute && done && ((forall k : cp[k] != ready) || (exists k : cp[k] == success))
+    -> cp := success
+
+# CB3 :: cp.j = success ∧ (∀k :: cp.k ≠ execute) → …
+action CB3 :: cp == success && (forall k : cp[k] != execute) ->
+    if exists k : cp[k] == ready then
+        ph := any k : cp[k] == ready : ph[k]
+    elseif forall k : cp[k] == success then
+        ph := (ph + 1) % {n_phases}
+    end;
+    cp := ready
+
+# CB4 :: cp.j = error ∧ (∀k :: cp.k ≠ execute) → …
+action CB4 :: cp == error && (forall k : cp[k] != execute) ->
+    if exists k : cp[k] == ready then
+        ph := any k : cp[k] == ready : ph[k]
+    elseif exists k : cp[k] == success then
+        ph := any k : cp[k] == success : ph[k]
+    else
+        ph := arbitrary
+    end;
+    cp := ready
+
+# The phase body (\"j executes its phase\"), made explicit.
+action WORK :: cp == execute && !done -> done := true
+"
+    )
+}
+
+/// The multitolerant token ring (§4.1), T1–T5. The flags are encoded at the
+/// top of the range: `sn = K` is ⊥ and `sn = K+1` is ⊤ (the language has no
+/// symbolic ⊥/⊤; this is the standard rendering).
+pub fn token_ring_source(n: usize, k: u32) -> String {
+    assert!(n >= 2 && k as usize > n - 1, "the paper requires K > N");
+    let bot = k; // ⊥
+    let top = k + 1; // ⊤
+    let km1 = k - 1;
+    format!(
+        "\
+program TokenRing
+processes {n}
+
+# sn in 0..{km1} ordinary; {bot} encodes ⊥, {top} encodes ⊤.
+var sn : 0..{top} = 0
+
+# T1 :: j=0 ∧ sn.N ∉ {{⊥,⊤}} ∧ (sn.0 = sn.N ∨ sn.0 ∈ {{⊥,⊤}}) → sn.0 := sn.N + 1
+action T1 :: self == 0 && sn[N - 1] < {bot} && (sn == sn[N - 1] || sn >= {bot})
+    -> sn := (sn[N - 1] + 1) % {k}
+
+# T2 :: j≠0 ∧ sn.(j-1) ∉ {{⊥,⊤}} ∧ sn.j ≠ sn.(j-1) → sn.j := sn.(j-1)
+action T2 :: self != 0 && sn[self - 1] < {bot} && sn != sn[self - 1]
+    -> sn := sn[self - 1]
+
+# T3 :: sn.N = ⊥ → sn.N := ⊤
+action T3 :: self == N - 1 && sn == {bot} -> sn := {top}
+
+# T4 :: j≠N ∧ sn.j = ⊥ ∧ sn.(j+1) = ⊤ → sn.j := ⊤
+action T4 :: self != N - 1 && sn == {bot} && sn[self + 1] == {top} -> sn := {top}
+
+# T5 :: sn.0 = ⊤ → sn.0 := 0
+action T5 :: self == 0 && sn == {top} -> sn := 0
+"
+    )
+}
+
+/// Program RB (§4.1): the ring-refined barrier — the token ring T1–T5 with
+/// the `cp`/`ph` updates superposed on token receipt, plus the explicit
+/// WORK action. Flags encoded as in [`token_ring_source`] (`K` = ⊥,
+/// `K+1` = ⊤). `k` must exceed the ring length.
+pub fn rb_source(n: usize, k: u32, n_phases: u32) -> String {
+    assert!(n >= 2 && k as usize > n && n_phases >= 2);
+    let bot = k;
+    let top = k + 1;
+    let ph_top = n_phases - 1;
+    format!(
+        "\
+program RB
+processes {n}
+
+var sn   : 0..{top} = 0   # 0..{k}-1 ordinary; {bot} = ⊥, {top} = ⊤
+var cp   : {{ready, execute, success, error, repeat}} = ready
+var ph   : 0..{ph_top} = 0
+var done : bool = true
+
+# T1 with the superposed root update. The guard also waits for the phase
+# body (done) before the execute -> success transition.
+action T1 :: self == 0 && sn[N - 1] < {bot} && (sn == sn[N - 1] || sn >= {bot})
+             && !(cp == execute && !done) ->
+    sn := (sn[N - 1] + 1) % {k};
+    if cp == ready then
+        if cp[N - 1] == ready && ph[N - 1] == ph then
+            cp := execute; done := false
+        end
+    elseif cp == execute then
+        cp := success
+    elseif cp == success then
+        if cp[N - 1] == success && ph[N - 1] == ph then
+            ph := (ph + 1) % {n_phases}
+        else
+            ph := ph[N - 1]
+        end;
+        cp := ready
+    else
+        ph := ph[N - 1];
+        cp := ready
+    end
+
+# T2 with the superposed non-root update.
+action T2 :: self != 0 && sn[self - 1] < {bot} && sn != sn[self - 1]
+             && !(cp == execute && !done && cp[self - 1] == success) ->
+    sn := sn[self - 1];
+    ph := ph[self - 1];
+    if cp == ready && cp[self - 1] == execute then
+        cp := execute; done := false
+    elseif cp == execute && cp[self - 1] == success then
+        cp := success
+    elseif cp != execute && cp[self - 1] == ready then
+        cp := ready
+    elseif cp == error || cp[self - 1] != cp then
+        cp := repeat
+    end
+
+# The phase body.
+action WORK :: cp == execute && !done -> done := true
+
+# Repair wave (the generalized T4 lets the ring's 0 also accept the wave
+# from its sink, matching the tree-safe extension).
+action T3 :: self == N - 1 && sn == {bot} -> sn := {top}
+action T4 :: self != N - 1 && sn == {bot}
+             && (sn[self + 1] == {top} || (self == 0 && sn[N - 1] == {top})) -> sn := {top}
+action T5 :: self == 0 && sn == {top} -> sn := 0
+"
+    )
+}
+
+/// Program MB (§5): the message-passing refinement with its local copies as
+/// explicit variables — `csn`/`ccp`/`cph` hold process `j`'s copy of
+/// `j-1`'s state, `cnext` its copy of `j+1`'s sequence number. Every action
+/// reads either one neighbor's real variables (a message) or only local
+/// state, exactly §5's granularity restriction. Domain `L > 2N+1` as
+/// required (`l` is the ordinary-value count; `L` = ⊥, `L+1` = ⊤).
+pub fn mb_source(n: usize, l: u32, n_phases: u32) -> String {
+    assert!(n >= 2 && l as usize > 2 * n + 1 && n_phases >= 2);
+    let bot = l;
+    let top = l + 1;
+    let ph_top = n_phases - 1;
+    format!(
+        "\
+program MB
+processes {n}
+
+var sn    : 0..{top} = 0   # own sequence number ({bot} = ⊥, {top} = ⊤)
+var cp    : {{ready, execute, success, error, repeat}} = ready
+var ph    : 0..{ph_top} = 0
+var done  : bool = true
+var csn   : 0..{top} = 0   # local copy of sn[self-1]
+var ccp   : {{ready, execute, success, error, repeat}} = ready
+var cph   : 0..{ph_top} = 0
+var cnext : 0..{top} = 0   # local copy of sn[self+1] (⊤ detection only)
+
+# Update the local copy of the predecessor's state (the one remote read —
+# a message). §5: only when sn[self-1] is ordinary; the copy's cp/ph update
+# with the same statement as a non-0 process's superposed T2.
+action COPY :: sn[self - 1] < {bot} && csn != sn[self - 1] ->
+    csn := sn[self - 1];
+    cph := ph[self - 1];
+    if ccp == ready && cp[self - 1] == execute then
+        ccp := execute
+    elseif ccp == execute && cp[self - 1] == success then
+        ccp := success
+    elseif ccp != execute && cp[self - 1] == ready then
+        ccp := ready
+    elseif ccp == error || cp[self - 1] != ccp then
+        ccp := repeat
+    end
+
+# The successor copy is consulted only for the ⊤ wave.
+action COPYNEXT :: sn[self + 1] == {top} && cnext != {top} -> cnext := {top}
+
+# T1 at 0, against purely local state (the copies).
+action T1 :: self == 0 && csn < {bot} && (sn == csn || sn >= {bot})
+             && !(cp == execute && !done) ->
+    sn := (csn + 1) % {l};
+    if cp == ready then
+        if ccp == ready && cph == ph then
+            cp := execute; done := false
+        end
+    elseif cp == execute then
+        cp := success
+    elseif cp == success then
+        if ccp == success && cph == ph then
+            ph := (ph + 1) % {n_phases}
+        else
+            ph := cph
+        end;
+        cp := ready
+    else
+        ph := cph;
+        cp := ready
+    end
+
+# T2 elsewhere, against purely local state.
+action T2 :: self != 0 && csn < {bot} && sn != csn
+             && !(cp == execute && !done && ccp == success) ->
+    sn := csn;
+    ph := cph;
+    if cp == ready && ccp == execute then
+        cp := execute; done := false
+    elseif cp == execute && ccp == success then
+        cp := success
+    elseif cp != execute && ccp == ready then
+        cp := ready
+    elseif cp == error || ccp != cp then
+        cp := repeat
+    end
+
+action WORK :: cp == execute && !done -> done := true
+
+# Repair: T3 at N, T4 via the successor copy, T5 at 0.
+action T3 :: self == N - 1 && sn == {bot} -> sn := {top}
+action T4 :: self != N - 1 && sn == {bot} && cnext == {top} -> sn := {top}
+action T5 :: self == 0 && sn == {top} -> sn := 0
+"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::GclProtocol;
+    use crate::parser::parse;
+    use ftbarrier_gcs::{Interleaving, InterleavingConfig, NullMonitor, Protocol};
+
+    #[test]
+    fn cb_source_parses_and_runs() {
+        let p = GclProtocol::new(parse(&cb_source(4, 3)).unwrap());
+        assert_eq!(p.num_processes(), 4);
+        assert_eq!(p.num_actions(0), 5);
+        let mut exec = Interleaving::new(&p, InterleavingConfig::default());
+        let mut m = NullMonitor;
+        // Progress: the phase variable advances.
+        let steps = exec.run_until(100_000, &mut m, |g| g[0][1] == 2);
+        assert!(steps.is_some(), "textual CB reaches phase 2");
+    }
+
+    #[test]
+    fn token_ring_source_parses_and_circulates() {
+        let p = GclProtocol::new(parse(&token_ring_source(5, 6)).unwrap());
+        let mut exec = Interleaving::new(&p, InterleavingConfig::default());
+        let mut m = NullMonitor;
+        for _ in 0..300 {
+            assert!(exec.step(&mut m), "the textual ring never deadlocks");
+        }
+        // T3/T4/T5 never fire without faults.
+        assert_eq!(exec.stats().count_of("T3"), 0);
+        assert_eq!(exec.stats().count_of("T4"), 0);
+        assert_eq!(exec.stats().count_of("T5"), 0);
+        assert!(exec.stats().count_of("T1") > 20);
+    }
+
+    #[test]
+    fn textual_ring_stabilizes_from_arbitrary_states() {
+        let p = GclProtocol::new(parse(&token_ring_source(4, 5)).unwrap());
+        for seed in 0..10 {
+            let mut exec =
+                Interleaving::new(&p, InterleavingConfig { seed, ..Default::default() });
+            exec.perturb_all();
+            let mut m = NullMonitor;
+            // Legal goal: all ordinary and exactly one enabled process.
+            let steps = exec.run_until(100_000, &mut m, |g| {
+                g.iter().all(|row| row[0] < 5)
+                    && (0..4)
+                        .filter(|&pid| (0..5).any(|a| p.enabled(g, pid, a)))
+                        .count()
+                        == 1
+            });
+            assert!(steps.is_some(), "seed {seed}");
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! The parser is total: arbitrary input produces `Ok` or a located error,
+//! never a panic; and parsed programs evaluate without panicking on their
+//! own initial states.
+
+use ftbarrier_gcl::{load, parse};
+use ftbarrier_gcs::Protocol;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    /// Random byte soup never panics the lexer/parser.
+    #[test]
+    fn parser_is_total_on_garbage(input in ".{0,200}") {
+        let _ = parse(&input);
+    }
+
+    /// Token-shaped soup (more likely to get deep into the grammar).
+    #[test]
+    fn parser_is_total_on_token_soup(
+        words in proptest::collection::vec(
+            prop_oneof![
+                Just("program".to_owned()),
+                Just("processes".to_owned()),
+                Just("var".to_owned()),
+                Just("action".to_owned()),
+                Just("::".to_owned()),
+                Just("->".to_owned()),
+                Just(":=".to_owned()),
+                Just("if".to_owned()),
+                Just("then".to_owned()),
+                Just("end".to_owned()),
+                Just("forall".to_owned()),
+                Just("exists".to_owned()),
+                Just("any".to_owned()),
+                Just("k".to_owned()),
+                Just(":".to_owned()),
+                Just("x".to_owned()),
+                Just("0".to_owned()),
+                Just("3".to_owned()),
+                Just("..".to_owned()),
+                Just("==".to_owned()),
+                Just("&&".to_owned()),
+                Just("(".to_owned()),
+                Just(")".to_owned()),
+                Just("[".to_owned()),
+                Just("]".to_owned()),
+                Just("self".to_owned()),
+                Just("+".to_owned()),
+                Just("%".to_owned()),
+            ],
+            0..60,
+        )
+    ) {
+        let _ = parse(&words.join(" "));
+    }
+
+    /// Well-formed single-variable programs always load and evaluate their
+    /// guards/statements on the initial state without panicking.
+    #[test]
+    fn generated_counters_run(
+        n in 2usize..6,
+        hi in 1i64..20,
+        bump in 1i64..5,
+    ) {
+        let src = format!(
+            "program gen
+             processes {n}
+             var x : 0..{hi} = 0
+             action step :: x + {bump} <= {hi} -> x := x + {bump}
+             action wrap :: x + {bump} > {hi} -> x := (x + {bump}) % {m}",
+            m = hi + 1,
+        );
+        let p = load(&src).unwrap();
+        let g = p.initial_state();
+        for pid in 0..n {
+            for a in 0..2 {
+                if p.enabled(&g, pid, a) {
+                    let mut rng = ftbarrier_gcs::SimRng::seed_from_u64(0);
+                    let row = p.execute(&g, pid, a, &mut rng);
+                    prop_assert!((0..=hi).contains(&row[0]));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! The textual program MB (§5, explicit local copies): fault-free
+//! correctness, masking of detectable faults, and stabilization — all
+//! through the barrier specification oracle.
+
+use ftbarrier_core::cp::Cp;
+use ftbarrier_core::spec::{Anchor, BarrierOracle, OracleConfig};
+use ftbarrier_gcl::{load, programs};
+use ftbarrier_gcs::{
+    ActionId, FaultAction, FaultKind, Interleaving, InterleavingConfig, Monitor, NullMonitor,
+    Pid, SimRng, Time,
+};
+
+// Row layout of the textual MB: [sn, cp, ph, done, csn, ccp, cph, cnext].
+const CP: usize = 1;
+const PH: usize = 2;
+
+fn cp_of(row: &[i64]) -> Cp {
+    Cp::RB_DOMAIN[row[CP] as usize]
+}
+
+struct RowOracle {
+    oracle: BarrierOracle,
+}
+
+impl Monitor<Vec<i64>> for RowOracle {
+    fn on_transition(
+        &mut self,
+        now: Time,
+        pid: Pid,
+        _a: ActionId,
+        _n: &str,
+        old: &Vec<i64>,
+        new: &Vec<i64>,
+        _g: &[Vec<i64>],
+    ) {
+        self.oracle
+            .observe_cp(now, pid, new[PH] as u32, cp_of(old), cp_of(new));
+    }
+    fn on_fault(
+        &mut self,
+        now: Time,
+        pid: Pid,
+        _k: FaultKind,
+        old: &Vec<i64>,
+        new: &Vec<i64>,
+        _g: &[Vec<i64>],
+    ) {
+        self.oracle
+            .observe_cp(now, pid, new[PH] as u32, cp_of(old), cp_of(new));
+    }
+}
+
+fn oracle(n: usize, n_phases: u32, anchor: Anchor) -> RowOracle {
+    RowOracle {
+        oracle: BarrierOracle::new(OracleConfig {
+            n_processes: n,
+            n_phases,
+            anchor,
+        }),
+    }
+}
+
+/// §5's detectable fault: flags the real variables *and* the local copies.
+struct MbDetectable {
+    l: i64,
+    n_phases: i64,
+}
+
+impl FaultAction<Vec<i64>> for MbDetectable {
+    fn kind(&self) -> FaultKind {
+        FaultKind::Detectable
+    }
+    fn apply(&self, _pid: Pid, row: &mut Vec<i64>, rng: &mut SimRng) {
+        row[0] = self.l; // sn := ⊥
+        row[CP] = 3; // cp := error
+        row[PH] = rng.below(self.n_phases as usize) as i64;
+        row[3] = 0; // done := false
+        row[4] = self.l; // csn := ⊥
+        row[5] = 3; // ccp := error
+        row[6] = rng.below(self.n_phases as usize) as i64;
+        row[7] = self.l; // cnext := ⊥
+    }
+}
+
+#[test]
+fn textual_mb_is_clean_fault_free() {
+    let (n, l, n_phases) = (4usize, 12u32, 3u32);
+    let mb = load(&programs::mb_source(n, l, n_phases)).unwrap();
+    for seed in 0..10 {
+        let mut exec = Interleaving::new(&mb, InterleavingConfig { seed, ..Default::default() });
+        let mut mon = oracle(n, n_phases, Anchor::StrictFromZero);
+        exec.run(60_000, &mut mon);
+        assert!(mon.oracle.is_clean(), "seed {seed}: {:?}", mon.oracle.violations());
+        assert!(
+            mon.oracle.phases_completed() >= 20,
+            "seed {seed}: only {} phases",
+            mon.oracle.phases_completed()
+        );
+        assert!(mon.oracle.instance_counts().iter().all(|&c| c == 1));
+    }
+}
+
+#[test]
+fn textual_mb_masks_detectable_faults() {
+    let (n, l, n_phases) = (4usize, 12u32, 3u32);
+    let mb = load(&programs::mb_source(n, l, n_phases)).unwrap();
+    let fault = MbDetectable {
+        l: l as i64,
+        n_phases: n_phases as i64,
+    };
+    for seed in 0..8 {
+        let mut exec = Interleaving::new(&mb, InterleavingConfig { seed, ..Default::default() });
+        let mut mon = oracle(n, n_phases, Anchor::StrictFromZero);
+        for round in 0..20 {
+            exec.run(400, &mut mon);
+            exec.apply_fault((seed as usize + round) % n, &fault, &mut mon);
+        }
+        exec.run(8_000, &mut mon);
+        assert!(
+            mon.oracle.is_clean(),
+            "seed {seed}: MB must mask detectable faults: {:?}",
+            mon.oracle.violations()
+        );
+        assert!(mon.oracle.phases_completed() >= 3, "seed {seed}");
+    }
+}
+
+#[test]
+fn textual_mb_stabilizes_from_arbitrary_states() {
+    let (n, l, n_phases) = (3usize, 10u32, 2u32);
+    let mb = load(&programs::mb_source(n, l, n_phases)).unwrap();
+    for seed in 0..8 {
+        let mut exec = Interleaving::new(&mb, InterleavingConfig { seed, ..Default::default() });
+        exec.perturb_all();
+        let mut silent = NullMonitor;
+        // Settle, then require a start-state boundary.
+        exec.run(80_000, &mut silent);
+        let settled = exec.run_until(80_000, &mut silent, |g| {
+            g.iter()
+                .all(|row| row[CP] == 0 && row[PH] == g[0][PH] && row[0] < l as i64)
+        });
+        assert!(settled.is_some(), "seed {seed}: never reached a start state");
+        // From the boundary on, the spec must hold.
+        let mut mon = oracle(n, n_phases, Anchor::Free);
+        exec.run(40_000, &mut mon);
+        assert!(
+            mon.oracle.is_clean(),
+            "seed {seed}: post-stabilization violations: {:?}",
+            mon.oracle.violations()
+        );
+        assert!(mon.oracle.phases_completed() >= 5, "seed {seed}");
+    }
+}
+
+#[test]
+fn textual_mb_parses_with_required_domain() {
+    // L > 2N+1 enforced.
+    let r = std::panic::catch_unwind(|| programs::mb_source(4, 9, 2));
+    assert!(r.is_err(), "L = 9 violates L > 2N+1 = 9 for N+1 = 4 processes");
+    let _ = programs::mb_source(4, 10, 2);
+}

@@ -1,0 +1,467 @@
+//! Timed maximal-parallelism engine (§6 semantics).
+//!
+//! The paper evaluates its programs under "maximum parallel semantics, i.e.,
+//! time is computed in terms of steps, where in each step every process
+//! executes one of its enabled actions unless all its actions are disabled",
+//! with "a real-time value associated with each action to model the time
+//! required to execute that action" (the SIEFAST model).
+//!
+//! This engine realizes that model as a discrete-event simulation:
+//!
+//! * An idle process whose guard holds **commits** to that action; the commit
+//!   completes `cost(pid, action)` time later.
+//! * At the commit time the guard is **re-checked** against the then-current
+//!   state and the statement executes atomically; if the guard no longer
+//!   holds the commit is dropped (counted in [`RunStats::commits_dropped`])
+//!   and the process simply reschedules. In the paper's programs guards are
+//!   *locally stable* — once process j holds the token only j can give it up —
+//!   so drops occur only around fault hits, exactly where re-execution is the
+//!   right model.
+//! * All commits that complete at the same instant form one *maximal-parallel
+//!   step*: each reads the pre-step state and writes its own post-state.
+//! * Fault events from a [`FaultPlan`] interleave with commits in time order.
+//!   A fault that strikes a process **aborts that process's in-flight
+//!   action** (its state was just perturbed), which models a fault hitting a
+//!   process mid-phase.
+
+use crate::fault::FaultPlan;
+use crate::monitor::Monitor;
+use crate::protocol::{ActionId, Pid, Protocol};
+use crate::rng::SimRng;
+use crate::stats::RunStats;
+use crate::time::Time;
+
+/// Why a run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// No action enabled anywhere and no fault pending: a global fixpoint.
+    Fixpoint,
+    /// The configured time horizon was reached.
+    MaxTime,
+    /// The configured commit budget was exhausted.
+    MaxCommits,
+    /// A monitor requested the stop.
+    MonitorStop,
+}
+
+/// Result of a run.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    pub reason: StopReason,
+    pub stats: RunStats,
+}
+
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    pub seed: u64,
+    /// Stop when simulation time reaches this horizon.
+    pub max_time: Option<Time>,
+    /// Stop after this many committed actions (guards against zero-cost
+    /// livelock in buggy protocols).
+    pub max_commits: Option<u64>,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            seed: 0x051E_FA57,
+            max_time: None,
+            max_commits: Some(100_000_000),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Pending {
+    action: ActionId,
+    at: Time,
+}
+
+/// The timed engine. Owns the global state between runs so that experiments
+/// can inspect or perturb it.
+///
+/// ```
+/// use ftbarrier_gcs::*;
+///
+/// // Any Protocol runs; here, the crate's doctest-friendly example is a
+/// // trivial one-action counter protocol.
+/// struct Count;
+/// impl Protocol for Count {
+///     type State = u32;
+///     fn num_processes(&self) -> usize { 2 }
+///     fn num_actions(&self, _p: Pid) -> usize { 1 }
+///     fn action_name(&self, _p: Pid, _a: ActionId) -> &'static str { "tick" }
+///     fn enabled(&self, g: &[u32], p: Pid, _a: ActionId) -> bool { g[p] < 5 }
+///     fn execute(&self, g: &[u32], p: Pid, _a: ActionId, _r: &mut SimRng) -> u32 { g[p] + 1 }
+///     fn cost(&self, _p: Pid, _a: ActionId) -> Time { Time::new(0.5) }
+///     fn initial_state(&self) -> Vec<u32> { vec![0, 0] }
+///     fn arbitrary_state(&self, _p: Pid, r: &mut SimRng) -> u32 { r.range_u64(0, 6) as u32 }
+/// }
+///
+/// let protocol = Count;
+/// let mut engine = Engine::new(&protocol, 1);
+/// let out = engine.run(&EngineConfig::default(), &mut fault::NoFaults, &mut NullMonitor);
+/// assert_eq!(out.reason, StopReason::Fixpoint);
+/// assert_eq!(engine.global(), &[5, 5]);
+/// assert_eq!(out.stats.elapsed, Time::new(2.5)); // 5 ticks of 0.5, in parallel
+/// ```
+pub struct Engine<'p, P: Protocol> {
+    protocol: &'p P,
+    global: Vec<P::State>,
+    pending: Vec<Option<Pending>>,
+    now: Time,
+    rng: SimRng,
+    enabled_scratch: Vec<ActionId>,
+}
+
+impl<'p, P: Protocol> Engine<'p, P> {
+    pub fn new(protocol: &'p P, seed: u64) -> Self {
+        let global = protocol.initial_state();
+        Self::from_state(protocol, seed, global)
+    }
+
+    pub fn from_state(protocol: &'p P, seed: u64, global: Vec<P::State>) -> Self {
+        assert_eq!(global.len(), protocol.num_processes());
+        let n = protocol.num_processes();
+        Engine {
+            protocol,
+            global,
+            pending: vec![None; n],
+            now: Time::ZERO,
+            rng: SimRng::seed_from_u64(seed),
+            enabled_scratch: Vec::new(),
+        }
+    }
+
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    pub fn global(&self) -> &[P::State] {
+        &self.global
+    }
+
+    pub fn set_state(&mut self, pid: Pid, state: P::State) {
+        self.global[pid] = state;
+        self.pending[pid] = None;
+    }
+
+    /// Replace every process's state with an arbitrary domain value — used to
+    /// start recovery experiments (Fig 7) from an adversarial state.
+    pub fn perturb_all(&mut self) {
+        for pid in 0..self.protocol.num_processes() {
+            self.global[pid] = self.protocol.arbitrary_state(pid, &mut self.rng);
+            self.pending[pid] = None;
+        }
+    }
+
+    pub fn rng(&mut self) -> &mut SimRng {
+        &mut self.rng
+    }
+
+    /// Schedule commits for all idle processes with an enabled action.
+    fn schedule(&mut self) {
+        for pid in 0..self.protocol.num_processes() {
+            if self.pending[pid].is_some() {
+                continue;
+            }
+            self.enabled_scratch.clear();
+            for a in 0..self.protocol.num_actions(pid) {
+                if self.protocol.enabled(&self.global, pid, a) {
+                    self.enabled_scratch.push(a);
+                }
+            }
+            if self.enabled_scratch.is_empty() {
+                continue;
+            }
+            let action = if self.enabled_scratch.len() == 1 {
+                self.enabled_scratch[0]
+            } else {
+                *self.rng.choose(&self.enabled_scratch)
+            };
+            let at = self.now + self.protocol.cost(pid, action);
+            self.pending[pid] = Some(Pending { action, at });
+        }
+    }
+
+    fn earliest_commit(&self) -> Option<Time> {
+        self.pending
+            .iter()
+            .flatten()
+            .map(|p| p.at)
+            .min()
+    }
+
+    /// Run until a stop condition. `faults` injects the fault environment;
+    /// `monitor` observes every transition and fault.
+    pub fn run(
+        &mut self,
+        config: &EngineConfig,
+        faults: &mut dyn FaultPlan<P::State>,
+        monitor: &mut dyn Monitor<P::State>,
+    ) -> RunOutcome {
+        let mut stats = RunStats::default();
+        loop {
+            self.schedule();
+
+            let next_commit = self.earliest_commit();
+            let next_fault = faults.peek(self.now, &mut self.rng);
+
+            let next_event = match (next_commit, next_fault) {
+                (None, None) => {
+                    stats.elapsed = self.now;
+                    return RunOutcome {
+                        reason: StopReason::Fixpoint,
+                        stats,
+                    };
+                }
+                (Some(c), None) => c,
+                (None, Some(f)) => f,
+                (Some(c), Some(f)) => c.min(f),
+            };
+
+            if let Some(horizon) = config.max_time {
+                if next_event > horizon {
+                    self.now = horizon;
+                    stats.elapsed = self.now;
+                    return RunOutcome {
+                        reason: StopReason::MaxTime,
+                        stats,
+                    };
+                }
+            }
+            self.now = self.now.max(next_event);
+
+            // Faults strictly before (or tying with) commits fire first: the
+            // perturbation lands before the action's atomic execution.
+            if let Some(f) = next_fault {
+                if f <= next_event {
+                    let snapshot_old = self.global.clone();
+                    let hit = faults.fire(f, &mut self.global, &mut self.rng);
+                    // The fault aborts the victim's in-flight action.
+                    self.pending[hit.pid] = None;
+                    stats.faults += 1;
+                    monitor.on_fault(
+                        self.now,
+                        hit.pid,
+                        hit.kind,
+                        &snapshot_old[hit.pid],
+                        &self.global[hit.pid].clone(),
+                        &self.global,
+                    );
+                    if monitor.should_stop() {
+                        stats.elapsed = self.now;
+                        return RunOutcome {
+                            reason: StopReason::MonitorStop,
+                            stats,
+                        };
+                    }
+                    continue;
+                }
+            }
+
+            // Commit batch: all pending actions maturing exactly now execute
+            // as one maximal-parallel step against the pre-step snapshot.
+            let batch: Vec<Pid> = (0..self.pending.len())
+                .filter(|&pid| matches!(self.pending[pid], Some(p) if p.at == next_event))
+                .collect();
+            debug_assert!(!batch.is_empty(), "an event time with no commits");
+
+            let snapshot = self.global.clone();
+            let mut updates: Vec<(Pid, ActionId, P::State)> = Vec::with_capacity(batch.len());
+            for &pid in &batch {
+                let p = self.pending[pid].take().expect("pid is in batch");
+                if self.protocol.enabled(&snapshot, pid, p.action) {
+                    let new = self.protocol.execute(&snapshot, pid, p.action, &mut self.rng);
+                    updates.push((pid, p.action, new));
+                } else {
+                    stats.commits_dropped += 1;
+                }
+            }
+            for (pid, _, new) in &updates {
+                self.global[*pid] = new.clone();
+            }
+            for (pid, action, new) in &updates {
+                let name = self.protocol.action_name(*pid, *action);
+                stats.record_action(name);
+                monitor.on_transition(
+                    self.now,
+                    *pid,
+                    *action,
+                    name,
+                    &snapshot[*pid],
+                    new,
+                    &self.global,
+                );
+            }
+
+            if monitor.should_stop() {
+                stats.elapsed = self.now;
+                return RunOutcome {
+                    reason: StopReason::MonitorStop,
+                    stats,
+                };
+            }
+            if let Some(max) = config.max_commits {
+                if stats.actions_executed >= max {
+                    stats.elapsed = self.now;
+                    return RunOutcome {
+                        reason: StopReason::MaxCommits,
+                        stats,
+                    };
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{FaultAction, FaultKind, NoFaults, ScriptedFault, ScriptedFaults};
+    use crate::monitor::NullMonitor;
+    use crate::protocol::testutil::{tokens, DijkstraRing};
+    use crate::trace::Trace;
+
+    fn ring(n: usize, cost: f64) -> DijkstraRing {
+        DijkstraRing {
+            n,
+            k: 2 * n as u64 + 1,
+            cost: Time::new(cost),
+        }
+    }
+
+    #[test]
+    fn timing_matches_hop_cost() {
+        // One full circulation of the token over n processes = n hops of
+        // cost c each.
+        let n = 8;
+        let c = 0.25;
+        let r = ring(n, c);
+        let mut engine = Engine::new(&r, 1);
+        let mut m = NullMonitor;
+        let config = EngineConfig {
+            max_commits: Some(3 * n as u64), // three circulations
+            ..Default::default()
+        };
+        let out = engine.run(&config, &mut NoFaults, &mut m);
+        assert_eq!(out.reason, StopReason::MaxCommits);
+        let expect = 3.0 * n as f64 * c;
+        assert!(
+            (out.stats.elapsed.as_f64() - expect).abs() < 1e-9,
+            "elapsed {} vs expected {expect}",
+            out.stats.elapsed
+        );
+    }
+
+    #[test]
+    fn max_time_stops_run() {
+        let r = ring(4, 1.0);
+        let mut engine = Engine::new(&r, 2);
+        let mut m = NullMonitor;
+        let config = EngineConfig {
+            max_time: Some(Time::new(10.5)),
+            ..Default::default()
+        };
+        let out = engine.run(&config, &mut NoFaults, &mut m);
+        assert_eq!(out.reason, StopReason::MaxTime);
+        assert_eq!(out.stats.elapsed, Time::new(10.5));
+        // 10 actions of cost 1 fit in 10.5 time units.
+        assert_eq!(out.stats.actions_executed, 10);
+    }
+
+    #[test]
+    fn zero_cost_actions_execute_at_same_instant() {
+        let r = ring(4, 0.0);
+        let mut engine = Engine::new(&r, 3);
+        let mut m = NullMonitor;
+        let config = EngineConfig {
+            max_commits: Some(100),
+            ..Default::default()
+        };
+        let out = engine.run(&config, &mut NoFaults, &mut m);
+        assert_eq!(out.reason, StopReason::MaxCommits);
+        assert_eq!(out.stats.elapsed, Time::ZERO);
+        assert_eq!(tokens(&r, engine.global()), 1);
+    }
+
+    struct Scramble;
+    impl FaultAction<u64> for Scramble {
+        fn kind(&self) -> FaultKind {
+            FaultKind::Undetectable
+        }
+        fn apply(&self, _pid: Pid, state: &mut u64, rng: &mut SimRng) {
+            *state = rng.range_u64(0, 1000);
+        }
+    }
+
+    #[test]
+    fn scripted_fault_interleaves_and_is_observed() {
+        let r = ring(4, 1.0);
+        let mut engine = Engine::new(&r, 4);
+        let mut trace: Trace<u64> = Trace::unbounded();
+        let plan = vec![ScriptedFault {
+            at: Time::new(2.5),
+            pid: 2,
+            action: Box::new(Scramble) as Box<dyn FaultAction<u64>>,
+        }];
+        let mut faults = ScriptedFaults::new(plan);
+        let config = EngineConfig {
+            max_time: Some(Time::new(6.0)),
+            ..Default::default()
+        };
+        let out = engine.run(&config, &mut faults, &mut trace);
+        assert_eq!(out.stats.faults, 1);
+        let fault_events: Vec<_> = trace
+            .events()
+            .filter(|e| matches!(e, crate::trace::TraceEvent::Fault { .. }))
+            .collect();
+        assert_eq!(fault_events.len(), 1);
+        assert_eq!(fault_events[0].time(), Time::new(2.5));
+        assert_eq!(fault_events[0].pid(), 2);
+    }
+
+    #[test]
+    fn stabilizes_under_engine_from_arbitrary_state() {
+        let r = ring(6, 0.1);
+        for seed in 0..10 {
+            let mut engine = Engine::new(&r, seed);
+            engine.perturb_all();
+            let mut m = NullMonitor;
+            let config = EngineConfig {
+                max_time: Some(Time::new(50.0)),
+                ..Default::default()
+            };
+            engine.run(&config, &mut NoFaults, &mut m);
+            assert_eq!(tokens(&r, engine.global()), 1, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn monitor_stop_is_honored() {
+        struct StopAfter(u64, u64);
+        impl Monitor<u64> for StopAfter {
+            fn on_transition(
+                &mut self,
+                _now: Time,
+                _pid: Pid,
+                _action: ActionId,
+                _name: &str,
+                _old: &u64,
+                _new: &u64,
+                _global: &[u64],
+            ) {
+                self.0 += 1;
+            }
+            fn should_stop(&mut self) -> bool {
+                self.0 >= self.1
+            }
+        }
+        let r = ring(4, 1.0);
+        let mut engine = Engine::new(&r, 5);
+        let mut m = StopAfter(0, 7);
+        let out = engine.run(&EngineConfig::default(), &mut NoFaults, &mut m);
+        assert_eq!(out.reason, StopReason::MonitorStop);
+        assert_eq!(out.stats.actions_executed, 7);
+    }
+}

@@ -1,0 +1,141 @@
+//! Deterministic simulation randomness.
+//!
+//! Every stochastic choice in the simulator (scheduler tie-breaks, fault
+//! arrival times, fault perturbation values) flows through [`SimRng`] so that
+//! a run is fully reproducible from its seed. Internally this is a thin
+//! wrapper over `rand`'s `SmallRng` (xoshiro256++), which is plenty for
+//! simulation purposes and fast.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Seeded simulation RNG. Cheap to fork for independent substreams.
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: SmallRng,
+}
+
+impl SimRng {
+    pub fn seed_from_u64(seed: u64) -> SimRng {
+        SimRng {
+            inner: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Fork an independent substream (e.g. one per process, one for faults)
+    /// so adding consumers does not perturb existing streams.
+    pub fn fork(&mut self) -> SimRng {
+        SimRng::seed_from_u64(self.inner.gen())
+    }
+
+    /// Uniform integer in `[0, bound)`. Panics if `bound == 0`.
+    #[inline]
+    pub fn below(&mut self, bound: usize) -> usize {
+        self.inner.gen_range(0..bound)
+    }
+
+    /// Uniform integer in `[lo, hi)`.
+    #[inline]
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// Uniform float in `[0, 1)`.
+    #[inline]
+    pub fn unit(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Bernoulli trial with success probability `p` (clamped to `[0,1]`).
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.inner.gen::<f64>() < p
+    }
+
+    /// Exponentially distributed duration with the given rate (events per
+    /// time unit). Used for Poisson fault arrivals. Returns `f64::INFINITY`
+    /// when `rate <= 0` (no events ever).
+    #[inline]
+    pub fn exponential(&mut self, rate: f64) -> f64 {
+        if rate <= 0.0 {
+            return f64::INFINITY;
+        }
+        // Inverse transform; `1 - unit()` avoids ln(0).
+        -(1.0 - self.unit()).ln() / rate
+    }
+
+    /// Choose a uniformly random element of a slice. Panics on empty input.
+    #[inline]
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.below(items.len())]
+    }
+
+    /// Fisher–Yates shuffle in place.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.below(i + 1);
+            items.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut a = SimRng::seed_from_u64(42);
+        let mut b = SimRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.below(1000), b.below(1000));
+        }
+    }
+
+    #[test]
+    fn forks_are_independent_of_later_draws() {
+        let mut a = SimRng::seed_from_u64(7);
+        let mut fork1 = a.fork();
+        let x: Vec<usize> = (0..10).map(|_| fork1.below(100)).collect();
+
+        let mut b = SimRng::seed_from_u64(7);
+        let mut fork2 = b.fork();
+        // Draw extra values from the parent; fork stream must be unaffected.
+        let _ = b.below(100);
+        let y: Vec<usize> = (0..10).map(|_| fork2.below(100)).collect();
+        assert_eq!(x, y);
+    }
+
+    #[test]
+    fn exponential_mean_close_to_inverse_rate() {
+        let mut rng = SimRng::seed_from_u64(1);
+        let rate = 4.0;
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| rng.exponential(rate)).sum::<f64>() / n as f64;
+        assert!((mean - 1.0 / rate).abs() < 0.01, "mean was {mean}");
+    }
+
+    #[test]
+    fn exponential_zero_rate_is_never() {
+        let mut rng = SimRng::seed_from_u64(1);
+        assert!(rng.exponential(0.0).is_infinite());
+        assert!(rng.exponential(-1.0).is_infinite());
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = SimRng::seed_from_u64(3);
+        assert!((0..100).all(|_| !rng.chance(0.0)));
+        assert!((0..100).all(|_| rng.chance(1.1)));
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = SimRng::seed_from_u64(9);
+        let mut v: Vec<usize> = (0..50).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,140 @@
+//! Run statistics: action counts, fault counts, elapsed time/steps. Collected
+//! by both executors and returned with every run outcome.
+
+use std::collections::BTreeMap;
+
+use crate::time::Time;
+
+/// Aggregate counters for one run.
+#[derive(Debug, Clone, Default)]
+pub struct RunStats {
+    /// Total guarded actions executed (committed).
+    pub actions_executed: u64,
+    /// Commits that were dropped because the guard no longer held at commit
+    /// time (timed engine only; see `engine` docs).
+    pub commits_dropped: u64,
+    /// Faults applied, by kind name.
+    pub faults: u64,
+    /// Executed-action histogram by action name.
+    pub by_action: BTreeMap<&'static str, u64>,
+    /// Final simulation time (timed engine) — zero for the untimed executor.
+    pub elapsed: Time,
+    /// Interleaving steps taken (untimed executor) — zero for the timed one.
+    pub steps: u64,
+}
+
+impl RunStats {
+    pub fn record_action(&mut self, name: &'static str) {
+        self.actions_executed += 1;
+        *self.by_action.entry(name).or_insert(0) += 1;
+    }
+
+    pub fn count_of(&self, name: &str) -> u64 {
+        self.by_action.get(name).copied().unwrap_or(0)
+    }
+}
+
+/// Online mean/min/max/stddev accumulator for experiment harnesses
+/// (Welford's algorithm; numerically stable).
+#[derive(Debug, Clone, Default)]
+pub struct Accumulator {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Accumulator {
+    pub fn new() -> Self {
+        Accumulator {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    pub fn add(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.mean
+        }
+    }
+
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_histogram() {
+        let mut s = RunStats::default();
+        s.record_action("T1");
+        s.record_action("T2");
+        s.record_action("T1");
+        assert_eq!(s.actions_executed, 3);
+        assert_eq!(s.count_of("T1"), 2);
+        assert_eq!(s.count_of("T2"), 1);
+        assert_eq!(s.count_of("T9"), 0);
+    }
+
+    #[test]
+    fn accumulator_matches_naive() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 10.0];
+        let mut acc = Accumulator::new();
+        for &x in &xs {
+            acc.add(x);
+        }
+        let mean: f64 = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var: f64 =
+            xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (xs.len() - 1) as f64;
+        assert!((acc.mean() - mean).abs() < 1e-12);
+        assert!((acc.variance() - var).abs() < 1e-12);
+        assert_eq!(acc.min(), 1.0);
+        assert_eq!(acc.max(), 10.0);
+        assert_eq!(acc.count(), 5);
+    }
+
+    #[test]
+    fn accumulator_empty_is_nan() {
+        let acc = Accumulator::new();
+        assert!(acc.mean().is_nan());
+        assert_eq!(acc.variance(), 0.0);
+    }
+}

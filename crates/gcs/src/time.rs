@@ -1,0 +1,185 @@
+//! Simulation time: a non-negative, totally ordered wrapper over `f64`.
+//!
+//! The paper measures everything in units of one phase execution; the
+//! communication latency `c` and fault frequency `f` are expressed relative to
+//! that unit. `Time` keeps the convenience of floating point while providing
+//! the total order required by the event queue (NaN is rejected at
+//! construction, so `Ord` is sound).
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+/// A point in (or duration of) simulation time. Never NaN, never negative.
+#[derive(Clone, Copy, PartialEq, Default, serde::Serialize, serde::Deserialize)]
+pub struct Time(f64);
+
+impl Time {
+    pub const ZERO: Time = Time(0.0);
+
+    /// Construct a time value; panics on NaN or negative input, which would
+    /// corrupt the event queue ordering.
+    #[inline]
+    pub fn new(value: f64) -> Time {
+        assert!(
+            value.is_finite() && value >= 0.0,
+            "Time must be finite and non-negative, got {value}"
+        );
+        Time(value)
+    }
+
+    #[inline]
+    pub fn as_f64(self) -> f64 {
+        self.0
+    }
+
+    #[inline]
+    pub fn max(self, other: Time) -> Time {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    #[inline]
+    pub fn min(self, other: Time) -> Time {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Saturating subtraction: durations never go negative.
+    #[inline]
+    pub fn saturating_sub(self, other: Time) -> Time {
+        Time((self.0 - other.0).max(0.0))
+    }
+}
+
+impl Eq for Time {}
+
+impl PartialOrd for Time {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Time {
+    #[inline]
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Constructor guarantees no NaN.
+        self.0.partial_cmp(&other.0).expect("Time is never NaN")
+    }
+}
+
+impl Add for Time {
+    type Output = Time;
+    #[inline]
+    fn add(self, rhs: Time) -> Time {
+        Time::new(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Time {
+    #[inline]
+    fn add_assign(&mut self, rhs: Time) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Time {
+    type Output = Time;
+    #[inline]
+    fn sub(self, rhs: Time) -> Time {
+        Time::new(self.0 - rhs.0)
+    }
+}
+
+impl Mul<f64> for Time {
+    type Output = Time;
+    #[inline]
+    fn mul(self, rhs: f64) -> Time {
+        Time::new(self.0 * rhs)
+    }
+}
+
+impl Div<Time> for Time {
+    type Output = f64;
+    #[inline]
+    fn div(self, rhs: Time) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+impl From<f64> for Time {
+    #[inline]
+    fn from(value: f64) -> Time {
+        Time::new(value)
+    }
+}
+
+impl fmt::Debug for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}", self.0)
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_total() {
+        let a = Time::new(1.0);
+        let b = Time::new(2.0);
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+        assert_eq!(a.cmp(&a), Ordering::Equal);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Time::new(1.5);
+        let b = Time::new(0.5);
+        assert_eq!((a + b).as_f64(), 2.0);
+        assert_eq!((a - b).as_f64(), 1.0);
+        assert_eq!((a * 2.0).as_f64(), 3.0);
+        assert_eq!(a / b, 3.0);
+    }
+
+    #[test]
+    fn saturating_sub_clamps() {
+        let a = Time::new(1.0);
+        let b = Time::new(2.0);
+        assert_eq!(a.saturating_sub(b), Time::ZERO);
+        assert_eq!(b.saturating_sub(a), Time::new(1.0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_negative() {
+        let _ = Time::new(-1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_nan() {
+        let _ = Time::new(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic]
+    fn sub_underflow_panics() {
+        let _ = Time::new(1.0) - Time::new(2.0);
+    }
+}

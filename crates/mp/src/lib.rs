@@ -1,0 +1,15 @@
+//! Message-passing substrate and an executable program MB (§5).
+//!
+//! The core crate proves MB's structure (local copies ≅ a 2(N+1)-position
+//! ring). This crate *runs* it: real `std::thread` processes connected by
+//! channels that lose, duplicate, reorder, and detectably corrupt messages —
+//! the §1 communication-fault classes — with each process maintaining local
+//! copies of its predecessor's variables exactly as §5 prescribes.
+
+pub mod channel;
+pub mod mb;
+pub mod sweep_mp;
+
+pub use channel::{ChannelFaults, Delivery, FaultyReceiver, FaultySender};
+pub use mb::{MbConfig, MbProcessHandle, MbReport, MbRun};
+pub use sweep_mp::{SweepMpConfig, SweepMpHandle, SweepMpReport, SweepMpRun};

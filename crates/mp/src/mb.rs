@@ -1,0 +1,561 @@
+//! Executable program MB: real threads, real (faulty) channels.
+//!
+//! Each process `j` runs §5's refined program: it owns `sn.j, cp.j, ph.j`
+//! plus a local copy of `sn.(j-1), cp.(j-1), ph.(j-1)`, updated only from
+//! messages whose sequence number is ordinary. Processes gossip their state
+//! to their successor on every change and on a retransmission tick, which
+//! masks message loss/duplication/reordering/detectable-corruption exactly
+//! as the guarded-command formulation assumes ("j can read the state of
+//! j-1 at any time").
+//!
+//! Detectable process faults are injected live via [`MbProcessHandle::poison`]
+//! (the §4.1 fault: `ph, cp, sn := ?, error, ⊥`, plus flagged local copies
+//! per §5); undetectable ones via [`MbProcessHandle::scramble`].
+
+use crate::channel::{faulty_channel, ChannelFaults, Delivery, FaultySender};
+use ftbarrier_core::cp::Cp;
+use ftbarrier_core::sn::Sn;
+use ftbarrier_core::spec::{Anchor, BarrierOracle, OracleConfig, Violation};
+use ftbarrier_gcs::{SimRng, Time};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// The state a process gossips to its successor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct StateMsg {
+    sn: Sn,
+    cp: Cp,
+    ph: u32,
+}
+
+/// A recorded control-position change, for the post-hoc oracle check.
+#[derive(Debug, Clone, Copy)]
+struct CpEvent {
+    at: Duration,
+    pid: usize,
+    ph: u32,
+    old: Cp,
+    new: Cp,
+}
+
+/// Configuration of an MB run.
+#[derive(Clone)]
+pub struct MbConfig {
+    /// Number of processes (≥ 2).
+    pub n: usize,
+    /// Cyclic phase domain (≥ 2).
+    pub n_phases: u32,
+    /// Phases the root must advance through before the run stops.
+    pub target_phases: u64,
+    /// Fault model of every link.
+    pub faults: ChannelFaults,
+    pub seed: u64,
+    /// Gossip retransmission period (masks message loss).
+    pub retransmit_every: Duration,
+    /// Per-phase workload; `None` means an empty phase body.
+    pub work: Option<Arc<dyn Fn(usize, u32) + Send + Sync>>,
+    /// Wall-clock safety limit.
+    pub deadline: Duration,
+}
+
+impl Default for MbConfig {
+    fn default() -> Self {
+        MbConfig {
+            n: 4,
+            n_phases: 8,
+            target_phases: 12,
+            faults: ChannelFaults::NONE,
+            seed: 0x4DB,
+            retransmit_every: Duration::from_micros(200),
+            work: None,
+            deadline: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Result of an MB run.
+#[derive(Debug)]
+pub struct MbReport {
+    /// Phase advances observed at the root.
+    pub root_phase_advances: u64,
+    /// Specification violations found by replaying the event log through
+    /// the oracle.
+    pub violations: Vec<Violation>,
+    /// Successful phases per the oracle.
+    pub phases_completed: u64,
+    /// Instances consumed per successful phase.
+    pub instance_counts: Vec<u64>,
+    /// Messages sent per process (including retransmissions).
+    pub messages_sent: Vec<u64>,
+    pub elapsed: Duration,
+    /// Whether the run hit its target (vs. the deadline).
+    pub reached_target: bool,
+}
+
+/// Handle for injecting faults into a running MB system.
+#[derive(Clone)]
+pub struct MbProcessHandle {
+    poison: Arc<Vec<AtomicBool>>,
+    scramble: Arc<Vec<AtomicBool>>,
+}
+
+impl MbProcessHandle {
+    /// Inject a detectable fault at `pid`.
+    pub fn poison(&self, pid: usize) {
+        self.poison[pid].store(true, Ordering::Release);
+    }
+
+    /// Inject an undetectable fault at `pid`.
+    pub fn scramble(&self, pid: usize) {
+        self.scramble[pid].store(true, Ordering::Release);
+    }
+}
+
+/// A running MB system.
+pub struct MbRun {
+    threads: Vec<JoinHandle<(Vec<CpEvent>, u64)>>,
+    handle: MbProcessHandle,
+    stop: Arc<AtomicBool>,
+    root_advances: Arc<AtomicU64>,
+    started: Instant,
+    config: MbConfig,
+}
+
+struct Process {
+    pid: usize,
+    n: usize,
+    n_phases: u32,
+    sn_domain: u32,
+    own: StateMsg,
+    done: bool,
+    copy: StateMsg, // local copy of the predecessor's state
+    tx: FaultySender<StateMsg>,
+    rx: crate::channel::FaultyReceiver<StateMsg>,
+    rng: SimRng,
+    events: Vec<CpEvent>,
+    sent: u64,
+    started: Instant,
+    work: Option<Arc<dyn Fn(usize, u32) + Send + Sync>>,
+}
+
+impl Process {
+    fn record(&mut self, old: Cp) {
+        if old != self.own.cp {
+            self.events.push(CpEvent {
+                at: self.started.elapsed(),
+                pid: self.pid,
+                ph: self.own.ph,
+                old,
+                new: self.own.cp,
+            });
+        }
+    }
+
+    /// Run the phase body when entering `execute`.
+    fn maybe_work(&mut self) {
+        if self.own.cp == Cp::Execute && !self.done {
+            if let Some(work) = &self.work {
+                work(self.pid, self.own.ph);
+            }
+            self.done = true;
+        }
+    }
+
+    /// Root token action (T1 + superposed update) against the local copy of
+    /// process N.
+    fn step_root(&mut self) -> bool {
+        let pred = self.copy;
+        let token = pred.sn.is_valid() && (self.own.sn == pred.sn || !self.own.sn.is_valid());
+        if !token {
+            return false;
+        }
+        if self.own.cp == Cp::Execute && !self.done {
+            return false; // finish the phase body first
+        }
+        let old = self.own.cp;
+        self.own.sn = pred.sn.next(self.sn_domain);
+        match self.own.cp {
+            Cp::Ready => {
+                if pred.cp == Cp::Ready && pred.ph == self.own.ph {
+                    self.own.cp = Cp::Execute;
+                    self.done = false;
+                }
+            }
+            Cp::Execute => self.own.cp = Cp::Success,
+            Cp::Success => {
+                if pred.cp == Cp::Success && pred.ph == self.own.ph {
+                    self.own.ph = (self.own.ph + 1) % self.n_phases;
+                } else {
+                    self.own.ph = pred.ph;
+                }
+                self.own.cp = Cp::Ready;
+            }
+            Cp::Error | Cp::Repeat => {
+                self.own.ph = pred.ph;
+                self.own.cp = Cp::Ready;
+            }
+        }
+        self.record(old);
+        true
+    }
+
+    /// Non-root token action (T2 + superposed update).
+    fn step_nonroot(&mut self) -> bool {
+        let pred = self.copy;
+        if !pred.sn.is_valid() || self.own.sn == pred.sn {
+            return false;
+        }
+        if self.own.cp == Cp::Execute && !self.done && pred.cp == Cp::Success {
+            return false; // gate the success transition on the phase body
+        }
+        let old = self.own.cp;
+        self.own.sn = pred.sn;
+        self.own.ph = pred.ph;
+        match (old, pred.cp) {
+            (Cp::Ready, Cp::Execute) => {
+                self.own.cp = Cp::Execute;
+                self.done = false;
+            }
+            (Cp::Execute, Cp::Success) => self.own.cp = Cp::Success,
+            (cp, Cp::Ready) if cp != Cp::Execute => self.own.cp = Cp::Ready,
+            (cp, pred_cp) => {
+                if cp == Cp::Error || pred_cp != cp {
+                    self.own.cp = Cp::Repeat;
+                }
+            }
+        }
+        self.record(old);
+        true
+    }
+
+    fn gossip(&mut self) {
+        self.tx.send(self.own);
+        self.tx.flush();
+        self.sent += 1;
+    }
+
+    fn apply_poison(&mut self) {
+        let old = self.own.cp;
+        self.own = StateMsg {
+            sn: Sn::Bot,
+            cp: Cp::Error,
+            ph: self.rng.range_u64(0, self.n_phases as u64) as u32,
+        };
+        self.done = false;
+        // §5: the fault also flags the local copies.
+        self.copy = StateMsg { sn: Sn::Bot, cp: Cp::Error, ph: 0 };
+        self.record(old);
+    }
+
+    fn apply_scramble(&mut self) {
+        let old = self.own.cp;
+        let arbitrary = |rng: &mut SimRng, n_phases: u32, l: u32| StateMsg {
+            sn: Sn::arbitrary(l, rng),
+            cp: *rng.choose(&Cp::RB_DOMAIN),
+            ph: rng.range_u64(0, n_phases as u64) as u32,
+        };
+        self.own = arbitrary(&mut self.rng, self.n_phases, self.sn_domain);
+        self.copy = arbitrary(&mut self.rng, self.n_phases, self.sn_domain);
+        self.done = self.rng.chance(0.5);
+        self.record(old);
+    }
+
+    fn drain_inbox(&mut self) {
+        while let Some(d) = self.rx.try_recv() {
+            if let Delivery::Ok(m) = d {
+                // §5: "the local copy of sn.(j-1) in j is updated only if
+                // sn.(j-1) is different from ⊥ and ⊤". Detectably corrupted
+                // deliveries are discarded (masked as loss).
+                if m.sn.is_valid() {
+                    self.copy = m;
+                }
+            }
+        }
+    }
+}
+
+/// Spawn an MB system. Use [`MbRun::handle`] to inject faults, then
+/// [`MbRun::join`] to collect the report.
+pub fn spawn(config: MbConfig) -> MbRun {
+    assert!(config.n >= 2, "MB needs at least two processes");
+    assert!(config.n_phases >= 2);
+    let n = config.n;
+    let sn_domain = 4 * n as u32 + 3; // L > 2N+1 with headroom
+    let mut rng = SimRng::seed_from_u64(config.seed);
+
+    // Link j → j+1 carries j's state.
+    let mut senders = Vec::with_capacity(n);
+    let mut receivers = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (tx, rx) = faulty_channel::<StateMsg>(config.faults, rng.fork_seed());
+        senders.push(Some(tx));
+        receivers.push(Some(rx));
+    }
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let root_advances = Arc::new(AtomicU64::new(0));
+    let poison: Arc<Vec<AtomicBool>> = Arc::new((0..n).map(|_| AtomicBool::new(false)).collect());
+    let scramble: Arc<Vec<AtomicBool>> =
+        Arc::new((0..n).map(|_| AtomicBool::new(false)).collect());
+    let started = Instant::now();
+
+    let mut threads = Vec::with_capacity(n);
+    for pid in 0..n {
+        let tx = senders[pid].take().expect("sender taken once");
+        // Process pid listens on the link from its predecessor.
+        let rx = receivers[(pid + n - 1) % n].take().expect("receiver taken once");
+        let stop = Arc::clone(&stop);
+        let root_advances = Arc::clone(&root_advances);
+        let poison = Arc::clone(&poison);
+        let scramble = Arc::clone(&scramble);
+        let seed = rng.fork_seed();
+        let config = config.clone();
+        threads.push(std::thread::spawn(move || {
+            let mut p = Process {
+                pid,
+                n,
+                n_phases: config.n_phases,
+                sn_domain,
+                own: StateMsg { sn: Sn::Val(0), cp: Cp::Ready, ph: 0 },
+                done: true,
+                copy: StateMsg { sn: Sn::Val(0), cp: Cp::Ready, ph: 0 },
+                tx,
+                rx,
+                rng: SimRng::seed_from_u64(seed),
+                events: Vec::new(),
+                sent: 0,
+                started,
+                work: config.work.clone(),
+            };
+            let _ = p.n;
+            let mut last_gossip = Instant::now();
+            p.gossip();
+            while !stop.load(Ordering::Acquire) {
+                if poison[pid].swap(false, Ordering::AcqRel) {
+                    p.apply_poison();
+                    p.gossip();
+                }
+                if scramble[pid].swap(false, Ordering::AcqRel) {
+                    p.apply_scramble();
+                    p.gossip();
+                }
+                p.drain_inbox();
+                let moved = if pid == 0 {
+                    let before_ph = p.own.ph;
+                    let moved = p.step_root();
+                    if moved && p.own.ph != before_ph {
+                        let total = root_advances.fetch_add(1, Ordering::AcqRel) + 1;
+                        if total >= config.target_phases {
+                            stop.store(true, Ordering::Release);
+                        }
+                    }
+                    moved
+                } else {
+                    p.step_nonroot()
+                };
+                p.maybe_work();
+                if moved || last_gossip.elapsed() >= config.retransmit_every {
+                    p.gossip();
+                    last_gossip = Instant::now();
+                }
+                if !moved {
+                    std::thread::yield_now();
+                }
+                if started.elapsed() > config.deadline {
+                    stop.store(true, Ordering::Release);
+                }
+            }
+            (p.events, p.sent)
+        }));
+    }
+
+    MbRun {
+        threads,
+        handle: MbProcessHandle { poison, scramble },
+        stop,
+        root_advances,
+        started,
+        config,
+    }
+}
+
+impl MbRun {
+    pub fn handle(&self) -> MbProcessHandle {
+        self.handle.clone()
+    }
+
+    /// Phase advances observed at the root so far.
+    pub fn root_phase_advances(&self) -> u64 {
+        self.root_advances.load(Ordering::Acquire)
+    }
+
+    /// Request an early stop.
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::Release);
+    }
+
+    /// Wait for completion and replay the merged event log through the
+    /// barrier specification oracle.
+    pub fn join(self) -> MbReport {
+        let mut events: Vec<CpEvent> = Vec::new();
+        let mut messages_sent = Vec::new();
+        for t in self.threads {
+            let (ev, sent) = t.join().expect("MB process panicked");
+            events.extend(ev);
+            messages_sent.push(sent);
+        }
+        events.sort_by_key(|e| e.at);
+
+        let mut oracle = BarrierOracle::new(OracleConfig {
+            n_processes: self.config.n,
+            n_phases: self.config.n_phases,
+            anchor: Anchor::StrictFromZero,
+        });
+        for e in &events {
+            oracle.observe_cp(
+                Time::new(e.at.as_secs_f64()),
+                e.pid,
+                e.ph,
+                e.old,
+                e.new,
+            );
+        }
+        let advances = self.root_advances.load(Ordering::Acquire);
+        MbReport {
+            root_phase_advances: advances,
+            violations: oracle.violations().to_vec(),
+            phases_completed: oracle.phases_completed(),
+            instance_counts: oracle.instance_counts().to_vec(),
+            messages_sent,
+            elapsed: self.started.elapsed(),
+            reached_target: advances >= self.config.target_phases,
+        }
+    }
+}
+
+trait ForkSeed {
+    fn fork_seed(&mut self) -> u64;
+}
+
+impl ForkSeed for SimRng {
+    fn fork_seed(&mut self) -> u64 {
+        self.range_u64(0, u64::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_free_run_completes_cleanly() {
+        let run = spawn(MbConfig {
+            n: 4,
+            target_phases: 10,
+            ..Default::default()
+        });
+        let report = run.join();
+        assert!(report.reached_target, "timed out: {report:?}");
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+        assert!(report.phases_completed >= 9, "{report:?}");
+        assert!(report.instance_counts.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn lossy_links_are_masked_by_retransmission() {
+        let run = spawn(MbConfig {
+            n: 4,
+            target_phases: 8,
+            faults: ChannelFaults { loss: 0.3, ..ChannelFaults::NONE },
+            ..Default::default()
+        });
+        let report = run.join();
+        assert!(report.reached_target, "{report:?}");
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn nasty_links_still_clean() {
+        let run = spawn(MbConfig {
+            n: 3,
+            target_phases: 6,
+            faults: ChannelFaults::nasty(),
+            seed: 99,
+            ..Default::default()
+        });
+        let report = run.join();
+        assert!(report.reached_target, "{report:?}");
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn poison_forces_reexecution_but_masks() {
+        let run = spawn(MbConfig {
+            n: 4,
+            target_phases: 12,
+            ..Default::default()
+        });
+        let h = run.handle();
+        // Let it get going, then hit process 2 a few times.
+        while run.root_phase_advances() < 3 {
+            std::thread::yield_now();
+        }
+        h.poison(2);
+        while run.root_phase_advances() < 6 {
+            std::thread::yield_now();
+        }
+        h.poison(1);
+        let report = run.join();
+        assert!(report.reached_target, "{report:?}");
+        assert!(
+            report.violations.is_empty(),
+            "detectable faults must be masked: {:?}",
+            report.violations
+        );
+    }
+
+    #[test]
+    fn scramble_recovers_and_makes_progress() {
+        let run = spawn(MbConfig {
+            n: 4,
+            target_phases: 14,
+            seed: 5,
+            ..Default::default()
+        });
+        let h = run.handle();
+        while run.root_phase_advances() < 3 {
+            std::thread::yield_now();
+        }
+        h.scramble(3);
+        let report = run.join();
+        // Progress is the stabilization guarantee; the interim may violate.
+        assert!(report.reached_target, "no post-scramble progress: {report:?}");
+    }
+
+    #[test]
+    fn work_closure_runs_once_per_phase_per_process() {
+        let counter = Arc::new(AtomicU64::new(0));
+        let c2 = Arc::clone(&counter);
+        let run = spawn(MbConfig {
+            n: 3,
+            target_phases: 5,
+            work: Some(Arc::new(move |_pid, _ph| {
+                c2.fetch_add(1, Ordering::Relaxed);
+            })),
+            ..Default::default()
+        });
+        let report = run.join();
+        assert!(report.reached_target);
+        let executed = counter.load(Ordering::Relaxed);
+        // At least target*n executions (the final phase may be in flight).
+        assert!(executed >= 5 * 3, "only {executed} phase bodies ran");
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_single_process() {
+        let _ = spawn(MbConfig { n: 1, ..Default::default() });
+    }
+}

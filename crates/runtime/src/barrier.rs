@@ -1,0 +1,699 @@
+//! The fault-tolerant tree barrier.
+//!
+//! Participants form a k-ary combining tree (participant 0 at the root).
+//! One barrier crossing is one *epoch*:
+//!
+//! 1. **Arrival sweep** (leaf → root): a participant waits until all of its
+//!    children's slots carry the current epoch, ORs their verdicts into its
+//!    own, and publishes its slot. This is §4.1's token sweep carrying the
+//!    `success`-or-`repeat` verdict.
+//! 2. **Release** (root → everyone): the root turns the aggregate verdict
+//!    into an outcome per the [`FailurePolicy`], stamps the new phase, and
+//!    publishes an epoch-stamped release word that every participant spins
+//!    on.
+//!
+//! Every shared word is a [`CheckedWord`]: detectable corruption repairs
+//! from the shadow; forged-but-well-formed words are bounded by the epoch
+//! discipline (a participant only acts on *exactly* its own epoch).
+
+use crate::policy::FailurePolicy;
+use crate::word::CheckedWord;
+use crossbeam::utils::{Backoff, CachePadded};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Slot payloads.
+const EMPTY: u8 = 0;
+const ARRIVED_OK: u8 = 1;
+const ARRIVED_FAILED: u8 = 2;
+
+/// Release payloads.
+const ADVANCE: u8 = 1;
+const REPEAT: u8 = 2;
+const BROKEN: u8 = 3;
+
+/// What a completed barrier crossing tells the caller to do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PhaseOutcome {
+    /// Every participant completed the phase: proceed to `phase`.
+    Advance { phase: u64 },
+    /// A participant reported a detectable fault: re-execute `phase`.
+    Repeat { phase: u64 },
+}
+
+impl PhaseOutcome {
+    pub fn phase(self) -> u64 {
+        match self {
+            PhaseOutcome::Advance { phase } | PhaseOutcome::Repeat { phase } => phase,
+        }
+    }
+
+    pub fn is_advance(self) -> bool {
+        matches!(self, PhaseOutcome::Advance { .. })
+    }
+}
+
+/// Barrier failure under [`FailurePolicy::FailSafe`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BarrierError {
+    /// An uncorrectable fault was reported: the barrier is permanently
+    /// broken and will never (incorrectly) report completion again.
+    Broken,
+}
+
+impl std::fmt::Display for BarrierError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "barrier permanently broken by an uncorrectable fault")
+    }
+}
+
+impl std::error::Error for BarrierError {}
+
+struct Shared {
+    n: usize,
+    arity: usize,
+    policy: FailurePolicy,
+    slots: Vec<CachePadded<CheckedWord>>,
+    release: CachePadded<CheckedWord>,
+    /// Epoch field carries the current phase number.
+    phase_word: CachePadded<CheckedWord>,
+    broken: AtomicBool,
+}
+
+impl Shared {
+    fn children(&self, i: usize) -> impl Iterator<Item = usize> + '_ {
+        let first = self.arity * i + 1;
+        (first..first + self.arity).take_while(move |&c| c < self.n)
+    }
+}
+
+/// Targets for fault injection (see [`FtBarrier::corrupt`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CorruptTarget {
+    /// A participant's arrival slot.
+    Slot(usize),
+    /// The root's release word.
+    Release,
+    /// The phase word.
+    Phase,
+}
+
+/// Handle to a barrier: inspection and fault injection. Cloneable.
+#[derive(Clone)]
+pub struct FtBarrier {
+    shared: Arc<Shared>,
+}
+
+/// A participant's capability to cross the barrier. One per thread; obtain
+/// from [`FtBarrierBuilder::build`].
+pub struct Participant {
+    shared: Arc<Shared>,
+    id: usize,
+    /// Next epoch to use (starts at 1; slot/release words start at epoch 0).
+    epoch: u64,
+    /// Current phase. The root's copy is authoritative.
+    phase: u64,
+    /// Fuzzy-barrier state: outcome pending between `enter` and `leave`
+    /// (root only — it computes the outcome at publish time).
+    pending_root: Option<(u8, u64)>,
+    entered: bool,
+    broken: bool,
+}
+
+/// Builder for an [`FtBarrier`].
+#[derive(Debug, Clone)]
+pub struct FtBarrierBuilder {
+    n: usize,
+    arity: usize,
+    policy: FailurePolicy,
+}
+
+impl FtBarrierBuilder {
+    pub fn new(n: usize) -> FtBarrierBuilder {
+        FtBarrierBuilder {
+            n,
+            arity: 2,
+            policy: FailurePolicy::Tolerate,
+        }
+    }
+
+    /// Tree arity (default 2 — the paper's binary tree, h = log₂N).
+    pub fn arity(mut self, arity: usize) -> FtBarrierBuilder {
+        assert!(arity >= 1);
+        self.arity = arity;
+        self
+    }
+
+    pub fn policy(mut self, policy: FailurePolicy) -> FtBarrierBuilder {
+        self.policy = policy;
+        self
+    }
+
+    pub fn build(self) -> (FtBarrier, Vec<Participant>) {
+        assert!(self.n >= 1, "a barrier needs at least one participant");
+        let shared = Arc::new(Shared {
+            n: self.n,
+            arity: self.arity,
+            policy: self.policy,
+            slots: (0..self.n)
+                .map(|_| CachePadded::new(CheckedWord::new(0, EMPTY)))
+                .collect(),
+            release: CachePadded::new(CheckedWord::new(0, ADVANCE)),
+            phase_word: CachePadded::new(CheckedWord::new(0, 0)),
+            broken: AtomicBool::new(false),
+        });
+        let participants = (0..self.n)
+            .map(|id| Participant {
+                shared: Arc::clone(&shared),
+                id,
+                epoch: 1,
+                phase: 0,
+                pending_root: None,
+                entered: false,
+                broken: false,
+            })
+            .collect();
+        (FtBarrier { shared }, participants)
+    }
+}
+
+impl FtBarrier {
+    /// Shorthand for the default builder.
+    pub fn new(n: usize) -> (FtBarrier, Vec<Participant>) {
+        FtBarrierBuilder::new(n).build()
+    }
+
+    pub fn num_participants(&self) -> usize {
+        self.shared.n
+    }
+
+    /// Height of the arrival tree.
+    pub fn height(&self) -> usize {
+        let mut h = 0;
+        let mut i = self.shared.n.saturating_sub(1);
+        while i > 0 {
+            i = (i - 1) / self.shared.arity;
+            h += 1;
+        }
+        h
+    }
+
+    /// Whether a fail-safe break has occurred.
+    pub fn is_broken(&self) -> bool {
+        self.shared.broken.load(Ordering::Acquire)
+    }
+
+    /// The phase most recently published by the root.
+    pub fn published_phase(&self) -> u64 {
+        self.shared.phase_word.load().0
+    }
+
+    /// Fault injection: scribble a raw value over one of the barrier's
+    /// shared words, exactly as memory corruption would (bypassing the
+    /// shadow). Ill-formed values are detected and repaired by the next
+    /// reader; well-formed forgeries exercise the stabilizing path.
+    pub fn corrupt(&self, target: CorruptTarget, raw: u64) {
+        match target {
+            CorruptTarget::Slot(i) => self.shared.slots[i].corrupt(raw),
+            CorruptTarget::Release => self.shared.release.corrupt(raw),
+            CorruptTarget::Phase => self.shared.phase_word.corrupt(raw),
+        }
+    }
+}
+
+impl Participant {
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// The participant's current phase number.
+    pub fn phase(&self) -> u64 {
+        self.phase
+    }
+
+    /// Cross the barrier, reporting successful completion of the phase body.
+    pub fn arrive(&mut self) -> Result<PhaseOutcome, BarrierError> {
+        self.enter(true)?;
+        self.leave()
+    }
+
+    /// Cross the barrier, reporting that this participant's phase body hit a
+    /// detectable fault (exception, I/O error, lost message, …). Under
+    /// [`FailurePolicy::Tolerate`] everyone will get
+    /// [`PhaseOutcome::Repeat`].
+    pub fn arrive_failed(&mut self) -> Result<PhaseOutcome, BarrierError> {
+        self.enter(false)?;
+        self.leave()
+    }
+
+    /// Cross the barrier with a fail-stop detector: if some subtree fails to
+    /// arrive within `deadline`, treat the missing participants as
+    /// detectably faulted (the timeout *is* the detection mechanism the
+    /// paper's fail-stop class presumes). Under
+    /// [`FailurePolicy::Tolerate`] everyone then gets
+    /// [`PhaseOutcome::Repeat`]; a late straggler resynchronizes through the
+    /// epoch discipline on its next crossing.
+    ///
+    /// The root's release is still awaited unconditionally: a crashed *root*
+    /// is outside this detector's scope (the paper's process 0 is equally
+    /// distinguished; restart it to make the fault eventually correctable).
+    pub fn arrive_timeout(
+        &mut self,
+        deadline: std::time::Duration,
+    ) -> Result<PhaseOutcome, BarrierError> {
+        self.enter_with_timeout(true, Some(deadline))?;
+        self.leave()
+    }
+
+    /// Fuzzy barrier, first half (§8: "the transition from execute to
+    /// success is the same as entering the barrier"): publish this
+    /// participant's arrival and verdict. After `enter`, the caller may do
+    /// useful work that needs no synchronization, then call [`leave`].
+    ///
+    /// Note: an interior tree node's `enter` waits for its subtree's
+    /// arrivals; leaves never block here.
+    ///
+    /// [`leave`]: Participant::leave
+    pub fn enter(&mut self, ok: bool) -> Result<(), BarrierError> {
+        self.enter_with_timeout(ok, None)
+    }
+
+    fn enter_with_timeout(
+        &mut self,
+        ok: bool,
+        deadline: Option<std::time::Duration>,
+    ) -> Result<(), BarrierError> {
+        if self.broken || self.shared.broken.load(Ordering::Acquire) {
+            self.broken = true;
+            return Err(BarrierError::Broken);
+        }
+        assert!(!self.entered, "enter() called twice without leave()");
+        let started = std::time::Instant::now();
+        let e = self.epoch;
+        let mut failed = !ok;
+        let shared = Arc::clone(&self.shared);
+        'children: for c in shared.children(self.id) {
+            let backoff = Backoff::new();
+            loop {
+                let (ce, payload) = shared.slots[c].load();
+                if ce == e && payload != EMPTY {
+                    failed |= payload != ARRIVED_OK;
+                    break;
+                }
+                if shared.broken.load(Ordering::Acquire) {
+                    self.broken = true;
+                    return Err(BarrierError::Broken);
+                }
+                if let Some(d) = deadline {
+                    if started.elapsed() >= d {
+                        // Fail-stop detected: the missing subtree counts as
+                        // a detectable fault.
+                        failed = true;
+                        break 'children;
+                    }
+                }
+                if backoff.is_completed() {
+                    std::thread::yield_now();
+                } else {
+                    backoff.snooze();
+                }
+            }
+        }
+        if self.id == 0 {
+            self.root_publish(e, failed)?;
+        } else {
+            let payload = if failed { ARRIVED_FAILED } else { ARRIVED_OK };
+            self.shared.slots[self.id].store(e, payload);
+        }
+        self.entered = true;
+        Ok(())
+    }
+
+    fn root_publish(&mut self, epoch: u64, failed: bool) -> Result<(), BarrierError> {
+        let outcome = if !failed {
+            ADVANCE
+        } else {
+            match self.shared.policy {
+                FailurePolicy::Tolerate => REPEAT,
+                FailurePolicy::FailSafe => BROKEN,
+                FailurePolicy::Abort => {
+                    // MPI's first alternative.
+                    std::process::abort();
+                }
+            }
+        };
+        let new_phase = if outcome == ADVANCE {
+            self.phase + 1
+        } else {
+            self.phase
+        };
+        if outcome == BROKEN {
+            self.shared.broken.store(true, Ordering::Release);
+        }
+        // Publish the phase before the release that covers it.
+        self.shared.phase_word.store(new_phase, 0);
+        self.shared.release.store(epoch, outcome);
+        self.pending_root = Some((outcome, new_phase));
+        Ok(())
+    }
+
+    /// Fuzzy barrier, second half: wait for the release and learn the
+    /// outcome.
+    pub fn leave(&mut self) -> Result<PhaseOutcome, BarrierError> {
+        assert!(self.entered, "leave() without enter()");
+        let e = self.epoch;
+        let (outcome, phase) = if let Some(pending) = self.pending_root.take() {
+            // The root computed the outcome itself; its copy is
+            // authoritative (immune to phase-word forgery).
+            pending
+        } else {
+            let backoff = Backoff::new();
+            let outcome = loop {
+                let (re, o) = self.shared.release.load();
+                if re == e {
+                    break o;
+                }
+                if backoff.is_completed() {
+                    std::thread::yield_now();
+                } else {
+                    backoff.snooze();
+                }
+            };
+            let (phase, _) = self.shared.phase_word.load();
+            (outcome, phase)
+        };
+        self.epoch += 1;
+        self.entered = false;
+        match outcome {
+            ADVANCE => {
+                self.phase = phase;
+                Ok(PhaseOutcome::Advance { phase })
+            }
+            BROKEN if self.shared.policy == FailurePolicy::FailSafe => {
+                self.broken = true;
+                Err(BarrierError::Broken)
+            }
+            // REPEAT — and, under Tolerate, any forged payload degrades to a
+            // (safe) repeat rather than a spurious break.
+            _ => {
+                self.phase = phase;
+                Ok(PhaseOutcome::Repeat { phase })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    fn run_threads<F>(participants: Vec<Participant>, f: F)
+    where
+        F: Fn(Participant) + Send + Sync + Clone + 'static,
+    {
+        let handles: Vec<_> = participants
+            .into_iter()
+            .map(|p| {
+                let f = f.clone();
+                std::thread::spawn(move || f(p))
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("participant thread panicked");
+        }
+    }
+
+    #[test]
+    fn phases_advance_in_lockstep() {
+        for n in [1usize, 2, 3, 8, 17] {
+            let (_b, parts) = FtBarrier::new(n);
+            let counters: Arc<Vec<AtomicU64>> =
+                Arc::new((0..n).map(|_| AtomicU64::new(0)).collect());
+            let c = Arc::clone(&counters);
+            run_threads(parts, move |mut p| {
+                for expected in 1..=50u64 {
+                    c[p.id()].fetch_add(1, Ordering::SeqCst);
+                    let out = p.arrive().unwrap();
+                    assert_eq!(out, PhaseOutcome::Advance { phase: expected });
+                    // After the barrier, everyone has done `expected` units.
+                    for q in c.iter() {
+                        assert!(q.load(Ordering::SeqCst) >= expected);
+                    }
+                }
+            });
+            for q in counters.iter() {
+                assert_eq!(q.load(Ordering::SeqCst), 50);
+            }
+        }
+    }
+
+    #[test]
+    fn failed_arrival_repeats_the_phase_for_everyone() {
+        let n = 6;
+        let (_b, parts) = FtBarrier::new(n);
+        run_threads(parts, move |mut p| {
+            // Phase 0: participant 3 fails on the first attempt.
+            let first = if p.id() == 3 {
+                p.arrive_failed().unwrap()
+            } else {
+                p.arrive().unwrap()
+            };
+            assert_eq!(
+                first,
+                PhaseOutcome::Repeat { phase: 0 },
+                "everyone must re-execute phase 0"
+            );
+            // Retry succeeds.
+            let second = p.arrive().unwrap();
+            assert_eq!(second, PhaseOutcome::Advance { phase: 1 });
+        });
+    }
+
+    #[test]
+    fn flaky_workload_converges() {
+        // Each phase fails at a rotating participant on the first attempt;
+        // total work executed per phase must still be exactly once per
+        // *successful* instance.
+        let n = 4;
+        let (_b, parts) = FtBarrier::new(n);
+        let committed: Arc<Vec<AtomicU64>> =
+            Arc::new((0..10).map(|_| AtomicU64::new(0)).collect());
+        let c = Arc::clone(&committed);
+        run_threads(parts, move |mut p| {
+            let mut attempts_this_phase = 0;
+            loop {
+                let phase = p.phase();
+                if phase >= 10 {
+                    break;
+                }
+                attempts_this_phase += 1;
+                let faulty = (phase as usize % n) == p.id() && attempts_this_phase == 1;
+                let out = if faulty {
+                    p.arrive_failed().unwrap()
+                } else {
+                    p.arrive().unwrap()
+                };
+                if out.is_advance() {
+                    // The phase committed exactly once.
+                    c[phase as usize].fetch_add(1, Ordering::SeqCst);
+                    attempts_this_phase = 0;
+                }
+            }
+        });
+        for (i, q) in committed.iter().enumerate() {
+            assert_eq!(q.load(Ordering::SeqCst), n as u64, "phase {i}");
+        }
+    }
+
+    #[test]
+    fn failsafe_breaks_permanently() {
+        let n = 4;
+        let (b, parts) = FtBarrierBuilder::new(n)
+            .policy(FailurePolicy::FailSafe)
+            .build();
+        run_threads(parts, move |mut p| {
+            let r = if p.id() == 2 {
+                p.arrive_failed()
+            } else {
+                p.arrive()
+            };
+            assert_eq!(r, Err(BarrierError::Broken));
+            // And it stays broken.
+            assert_eq!(p.arrive(), Err(BarrierError::Broken));
+        });
+        assert!(b.is_broken());
+    }
+
+    #[test]
+    fn detectable_corruption_is_repaired_transparently() {
+        let n = 8;
+        let (b, parts) = FtBarrier::new(n);
+        let stop = Arc::new(AtomicBool::new(false));
+        let corruptor = {
+            let stop = Arc::clone(&stop);
+            let b = b.clone();
+            std::thread::spawn(move || {
+                let mut i = 0u64;
+                while !stop.load(Ordering::Acquire) {
+                    // Ill-formed scribbles only (detectable).
+                    let mut raw = i.wrapping_mul(0x1234_5678_9ABC_DEF1) | 1;
+                    if crate::word::unpack(raw).is_some() {
+                        raw ^= 0xFF;
+                    }
+                    match i % 3 {
+                        0 => b.corrupt(CorruptTarget::Slot((i % n as u64) as usize), raw),
+                        1 => b.corrupt(CorruptTarget::Release, raw),
+                        _ => b.corrupt(CorruptTarget::Phase, raw),
+                    }
+                    i += 1;
+                    std::thread::yield_now();
+                }
+            })
+        };
+        run_threads(parts, move |mut p| {
+            let mut advanced = 0;
+            while advanced < 30 {
+                if p.arrive().unwrap().is_advance() {
+                    advanced += 1;
+                }
+            }
+        });
+        stop.store(true, Ordering::Release);
+        corruptor.join().unwrap();
+    }
+
+    #[test]
+    fn forged_slot_resynchronizes_within_bounded_phases() {
+        // Undetectable corruption: forge participant 1's arrival for the
+        // current epoch while it is slow. The barrier may complete one phase
+        // early, then must resynchronize.
+        let n = 2;
+        let (b, mut parts) = FtBarrier::new(n);
+        let p1 = parts.pop().unwrap();
+        let mut p0 = parts.pop().unwrap();
+
+        // Forge p1's arrival for epoch 1.
+        b.corrupt(CorruptTarget::Slot(1), crate::word::pack(1, ARRIVED_OK));
+        // p0 sails through epoch 1 without p1 — the incorrect phase.
+        let out = p0.arrive().unwrap();
+        assert_eq!(out, PhaseOutcome::Advance { phase: 1 });
+
+        // p1 now arrives for epoch 1: its slot write is absorbed, it reads
+        // the epoch-1 release, and both proceed in lockstep afterwards. p1
+        // crosses once more than p0 from here on, because p0 already
+        // consumed epoch 1 on the forged arrival.
+        let h = std::thread::spawn(move || {
+            let mut p1 = p1;
+            for _ in 0..6 {
+                p1.arrive().unwrap();
+            }
+            p1.phase()
+        });
+        let mut last = 0;
+        for _ in 0..5 {
+            last = p0.arrive().unwrap().phase();
+        }
+        let p1_phase = h.join().unwrap();
+        assert_eq!(last, 6);
+        assert_eq!(p1_phase, 6, "participants resynchronize after the forgery");
+    }
+
+    #[test]
+    fn fuzzy_enter_leave_overlap() {
+        let n = 4;
+        let (_b, parts) = FtBarrier::new(n);
+        let overlap_work: Arc<Vec<AtomicU64>> =
+            Arc::new((0..n).map(|_| AtomicU64::new(0)).collect());
+        let w = Arc::clone(&overlap_work);
+        run_threads(parts, move |mut p| {
+            for _ in 0..20 {
+                p.enter(true).unwrap();
+                // Useful work between entering and leaving (§8).
+                w[p.id()].fetch_add(1, Ordering::SeqCst);
+                let out = p.leave().unwrap();
+                assert!(out.is_advance());
+            }
+        });
+        for q in overlap_work.iter() {
+            assert_eq!(q.load(Ordering::SeqCst), 20);
+        }
+    }
+
+    #[test]
+    fn single_participant_degenerate_case() {
+        let (_b, mut parts) = FtBarrier::new(1);
+        let mut p = parts.pop().unwrap();
+        assert_eq!(p.arrive().unwrap(), PhaseOutcome::Advance { phase: 1 });
+        assert_eq!(p.arrive_failed().unwrap(), PhaseOutcome::Repeat { phase: 1 });
+        assert_eq!(p.arrive().unwrap(), PhaseOutcome::Advance { phase: 2 });
+    }
+
+    #[test]
+    fn wide_arity_tree() {
+        let (b, parts) = FtBarrierBuilder::new(16).arity(4).build();
+        assert_eq!(b.height(), 2);
+        run_threads(parts, move |mut p| {
+            for i in 1..=10 {
+                assert_eq!(p.arrive().unwrap().phase(), i);
+            }
+        });
+    }
+
+    #[test]
+    fn published_phase_tracks_root() {
+        let (b, parts) = FtBarrier::new(3);
+        run_threads(parts, |mut p| {
+            for _ in 0..7 {
+                p.arrive().unwrap();
+            }
+        });
+        assert_eq!(b.published_phase(), 7);
+        assert_eq!(b.num_participants(), 3);
+    }
+
+    #[test]
+    fn timeout_detects_straggler_and_resynchronizes() {
+        use std::time::Duration;
+        let n = 2;
+        let (_b, mut parts) = FtBarrier::new(n);
+        let p1 = parts.pop().unwrap();
+        let mut p0 = parts.pop().unwrap();
+
+        // p1 is wedged; p0's detector fires and the phase repeats.
+        let out = p0.arrive_timeout(Duration::from_millis(50)).unwrap();
+        assert_eq!(out, PhaseOutcome::Repeat { phase: 0 });
+
+        // p1 comes back (fail-stop was transient). It consumes the epoch-1
+        // release (Repeat) and both cross epochs in lockstep afterwards.
+        let h = std::thread::spawn(move || {
+            let mut p1 = p1;
+            let first = p1.arrive().unwrap();
+            assert_eq!(first, PhaseOutcome::Repeat { phase: 0 });
+            for _ in 0..4 {
+                p1.arrive().unwrap();
+            }
+            p1.phase()
+        });
+        let mut last = 0;
+        for _ in 0..4 {
+            last = p0
+                .arrive_timeout(Duration::from_secs(5))
+                .unwrap()
+                .phase();
+        }
+        assert_eq!(h.join().unwrap(), 4);
+        assert_eq!(last, 4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn double_enter_panics() {
+        let (_b, mut parts) = FtBarrier::new(1);
+        let p = &mut parts[0];
+        p.enter(true).unwrap();
+        // leave() publishes for epoch 1; entering again without leave is a
+        // usage bug.
+        let _ = p.enter(true);
+    }
+}

@@ -1,0 +1,108 @@
+//! Fuzzy barriers (§8).
+//!
+//! "The transition from execute to success is the same as entering the
+//! barrier, and the transition from ready to execute is the same as leaving
+//! the barrier. It is therefore possible to allow a process to perform some
+//! useful work between these two state transitions."
+//!
+//! [`FuzzyPhase`] is a small structured wrapper over
+//! [`Participant::enter`]/[`Participant::leave`] that makes the
+//! synchronization-free window explicit and type-safe: the token returned by
+//! [`FuzzyPhase::enter`] must be spent on [`FuzzyPhase::leave`], so a phase
+//! cannot be left twice or left before it was entered.
+
+use crate::barrier::{BarrierError, Participant, PhaseOutcome};
+
+/// Proof that this participant has entered the barrier for one phase and
+/// may do fuzzy work before leaving.
+#[must_use = "a fuzzy window must be closed with leave()"]
+pub struct FuzzyToken {
+    _private: (),
+}
+
+/// Fuzzy-barrier view of a [`Participant`].
+pub struct FuzzyPhase<'a> {
+    participant: &'a mut Participant,
+}
+
+impl<'a> FuzzyPhase<'a> {
+    pub fn new(participant: &'a mut Participant) -> FuzzyPhase<'a> {
+        FuzzyPhase { participant }
+    }
+
+    /// Enter the barrier, reporting success of the synchronized part of the
+    /// phase. Work done after `enter` and before [`leave`](Self::leave)
+    /// overlaps other processes' arrival.
+    pub fn enter(&mut self, ok: bool) -> Result<FuzzyToken, BarrierError> {
+        self.participant.enter(ok)?;
+        Ok(FuzzyToken { _private: () })
+    }
+
+    /// Leave the barrier, consuming the entry token.
+    pub fn leave(&mut self, token: FuzzyToken) -> Result<PhaseOutcome, BarrierError> {
+        let FuzzyToken { _private: () } = token;
+        self.participant.leave()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::barrier::FtBarrier;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn fuzzy_window_overlaps_stragglers() {
+        // Participant 0 enters early and does fuzzy work while participant 1
+        // is still busy; total fuzzy work completes despite the stagger.
+        let (_b, parts) = FtBarrier::new(4);
+        let fuzzy_done = Arc::new(AtomicU64::new(0));
+        let handles: Vec<_> = parts
+            .into_iter()
+            .map(|mut p| {
+                let fuzzy_done = Arc::clone(&fuzzy_done);
+                std::thread::spawn(move || {
+                    for _ in 0..25 {
+                        // Stagger arrivals.
+                        if p.id() != 0 {
+                            std::thread::yield_now();
+                        }
+                        let mut fuzzy = FuzzyPhase::new(&mut p);
+                        let token = fuzzy.enter(true).unwrap();
+                        fuzzy_done.fetch_add(1, Ordering::SeqCst);
+                        let out = fuzzy.leave(token).unwrap();
+                        assert!(out.is_advance());
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(fuzzy_done.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn fuzzy_failure_still_repeats() {
+        let (_b, parts) = FtBarrier::new(2);
+        let handles: Vec<_> = parts
+            .into_iter()
+            .map(|mut p| {
+                std::thread::spawn(move || {
+                    let mut fuzzy = FuzzyPhase::new(&mut p);
+                    let ok = p_id_fails(fuzzy.participant.id());
+                    let token = fuzzy.enter(!ok).unwrap();
+                    let out = fuzzy.leave(token).unwrap();
+                    assert_eq!(out, PhaseOutcome::Repeat { phase: 0 });
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        fn p_id_fails(id: usize) -> bool {
+            id == 1
+        }
+    }
+}

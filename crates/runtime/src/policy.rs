@@ -1,0 +1,47 @@
+//! Failure policies: what the barrier does when a participant reports an
+//! unrecoverable fault — the runtime surface of Table 1 and of §1's "MPI
+//! currently provides two alternatives … we provide a third".
+
+/// How the barrier responds to a participant's failure report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FailurePolicy {
+    /// The paper's contribution: the fault is *eventually correctable*, so
+    /// mask it — every participant receives
+    /// [`PhaseOutcome::Repeat`](crate::PhaseOutcome::Repeat) and re-executes
+    /// the phase.
+    #[default]
+    Tolerate,
+    /// The fault is *uncorrectable* but detectable: fail safe. The barrier
+    /// breaks permanently; every current and future arrival returns
+    /// [`BarrierError::Broken`](crate::BarrierError::Broken). Safety is
+    /// preserved (a completion is never reported incorrectly), Progress is
+    /// given up — exactly Table 1's fail-safe cell.
+    FailSafe,
+    /// MPI's first alternative: abort the process.
+    Abort,
+}
+
+impl FailurePolicy {
+    /// The Table-1 tolerance this policy realizes for a detectable fault.
+    pub fn tolerance(self) -> ftbarrier_core::faults::Tolerance {
+        match self {
+            FailurePolicy::Tolerate => ftbarrier_core::faults::Tolerance::Masking,
+            FailurePolicy::FailSafe => ftbarrier_core::faults::Tolerance::FailSafe,
+            FailurePolicy::Abort => ftbarrier_core::faults::Tolerance::Intolerant,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftbarrier_core::faults::Tolerance;
+
+    #[test]
+    fn policies_map_to_table1() {
+        assert_eq!(FailurePolicy::Tolerate.tolerance(), Tolerance::Masking);
+        assert_eq!(FailurePolicy::FailSafe.tolerance(), Tolerance::FailSafe);
+        assert_eq!(FailurePolicy::Abort.tolerance(), Tolerance::Intolerant);
+        assert_eq!(FailurePolicy::default(), FailurePolicy::Tolerate);
+    }
+}

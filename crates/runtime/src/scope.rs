@@ -1,0 +1,172 @@
+//! Scoped convenience driver: run a phase-structured computation across
+//! borrowed-environment threads with one call.
+//!
+//! This is the shape most barrier workloads take — "N workers, P phases,
+//! re-run a phase if anyone faulted" — packaged over `std::thread::scope` so
+//! the phase body can borrow from the caller.
+
+use crate::barrier::{BarrierError, FtBarrierBuilder, PhaseOutcome};
+use crate::policy::FailurePolicy;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Everything a phase body gets to see.
+#[derive(Debug, Clone, Copy)]
+pub struct PhaseCtx {
+    /// This worker's index, `0..n`.
+    pub worker: usize,
+    /// Total workers.
+    pub n: usize,
+    /// The phase being executed.
+    pub phase: u64,
+    /// 1 for the first attempt of this phase, 2 after one repeat, …
+    pub attempt: u32,
+}
+
+/// Aggregate result of [`run_phases`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunSummary {
+    /// Phases completed (== the requested count on success).
+    pub phases: u64,
+    /// Total repeat rounds across the run (0 without faults).
+    pub repeats: u64,
+}
+
+/// Run `phases` barrier-synchronized phases over `n` workers. The body
+/// returns `Ok(())` to report success or `Err(())` to report a detectable
+/// fault for this worker's phase attempt (the phase then repeats for
+/// everyone under [`FailurePolicy::Tolerate`]).
+///
+/// Phase bodies must be **idempotent across attempts** (e.g. double-buffer
+/// writes and commit on advance), exactly as with raw
+/// [`Participant::arrive`](crate::Participant::arrive).
+pub fn run_phases<F>(
+    n: usize,
+    phases: u64,
+    policy: FailurePolicy,
+    body: F,
+) -> Result<RunSummary, BarrierError>
+where
+    F: Fn(&PhaseCtx) -> Result<(), ()> + Sync,
+{
+    assert!(n >= 1);
+    let (_handle, participants) = FtBarrierBuilder::new(n).policy(policy).build();
+    let repeats = AtomicU64::new(0);
+    let body = &body;
+    let repeats_ref = &repeats;
+
+    let result: Result<(), BarrierError> = std::thread::scope(|scope| {
+        let mut joins = Vec::with_capacity(n);
+        for mut p in participants {
+            joins.push(scope.spawn(move || -> Result<(), BarrierError> {
+                let mut attempt: u32 = 1;
+                while p.phase() < phases {
+                    let ctx = PhaseCtx {
+                        worker: p.id(),
+                        n,
+                        phase: p.phase(),
+                        attempt,
+                    };
+                    let verdict = body(&ctx);
+                    let outcome = match verdict {
+                        Ok(()) => p.arrive()?,
+                        Err(()) => p.arrive_failed()?,
+                    };
+                    match outcome {
+                        PhaseOutcome::Advance { .. } => attempt = 1,
+                        PhaseOutcome::Repeat { .. } => {
+                            attempt += 1;
+                            if p.id() == 0 {
+                                repeats_ref.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                }
+                Ok(())
+            }));
+        }
+        let mut first_err = None;
+        for j in joins {
+            match j.join() {
+                Ok(Ok(())) => {}
+                Ok(Err(e)) => first_err = Some(first_err.unwrap_or(e)),
+                Err(panic) => std::panic::resume_unwind(panic),
+            }
+        }
+        first_err.map_or(Ok(()), Err)
+    });
+
+    result.map(|()| RunSummary {
+        phases,
+        repeats: repeats.load(Ordering::Relaxed),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn borrows_environment_and_synchronizes() {
+        let counters: Vec<AtomicU64> = (0..6).map(|_| AtomicU64::new(0)).collect();
+        let summary = run_phases(6, 20, FailurePolicy::Tolerate, |ctx| {
+            counters[ctx.worker].fetch_add(1, Ordering::SeqCst);
+            // Everyone is in the same phase.
+            assert!(ctx.phase < 20);
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(summary, RunSummary { phases: 20, repeats: 0 });
+        for c in &counters {
+            assert_eq!(c.load(Ordering::SeqCst), 20);
+        }
+    }
+
+    #[test]
+    fn faults_trigger_repeats_with_attempt_counter() {
+        let attempts_seen = AtomicU64::new(0);
+        let summary = run_phases(4, 10, FailurePolicy::Tolerate, |ctx| {
+            if ctx.attempt > 1 {
+                attempts_seen.fetch_add(1, Ordering::SeqCst);
+            }
+            // Worker (phase mod 4) fails its first attempt of every phase.
+            if ctx.worker == (ctx.phase as usize % 4) && ctx.attempt == 1 {
+                Err(())
+            } else {
+                Ok(())
+            }
+        })
+        .unwrap();
+        assert_eq!(summary.phases, 10);
+        assert_eq!(summary.repeats, 10, "one repeat per phase");
+        // Each of the 10 repeats re-ran 4 workers on attempt 2.
+        assert_eq!(attempts_seen.load(Ordering::SeqCst), 40);
+    }
+
+    #[test]
+    fn failsafe_propagates_broken() {
+        let r = run_phases(3, 5, FailurePolicy::FailSafe, |ctx| {
+            if ctx.worker == 1 && ctx.phase == 2 {
+                Err(())
+            } else {
+                Ok(())
+            }
+        });
+        assert_eq!(r, Err(BarrierError::Broken));
+    }
+
+    #[test]
+    fn single_worker_trivial() {
+        let summary = run_phases(1, 3, FailurePolicy::Tolerate, |_| Ok(())).unwrap();
+        assert_eq!(summary.phases, 3);
+    }
+
+    #[test]
+    fn zero_phases_is_a_noop() {
+        let summary = run_phases(4, 0, FailurePolicy::Tolerate, |_| {
+            panic!("body must not run")
+        })
+        .unwrap();
+        assert_eq!(summary.phases, 0);
+    }
+}

@@ -1,0 +1,257 @@
+//! Constructors for the paper's topologies (Fig 2a–d) and the arbitrary-graph
+//! embedding.
+//!
+//! Positions are numbered explicitly throughout — the indices are the
+//! construction, so indexed loops are clearer than iterators here.
+#![allow(clippy::needless_range_loop)]
+
+use crate::error::TopologyError;
+use crate::graph::Graph;
+use crate::sweep::{Pid, Pos, SweepDag};
+
+impl SweepDag {
+    /// Fig 2(a): a ring of `n` processes — program RB's topology. The token
+    /// travels 0 → 1 → … → n-1 → 0.
+    pub fn ring(n: usize) -> Result<SweepDag, TopologyError> {
+        if n < 2 {
+            return Err(TopologyError::TooSmall);
+        }
+        let owner: Vec<Pid> = (0..n).collect();
+        let mut preds: Vec<Vec<Pos>> = (0..n).map(|j| vec![j.wrapping_sub(1)]).collect();
+        preds[0] = vec![n - 1];
+        SweepDag::from_parts(owner, preds)
+    }
+
+    /// Fig 2(b): two rings intersecting at process 0 — program RB′'s
+    /// topology. Branch A has `a` processes beyond the root, branch B has
+    /// `b`; the root reads the last process of each branch (the paper's N1
+    /// and N2).
+    pub fn two_ring(a: usize, b: usize) -> Result<SweepDag, TopologyError> {
+        if a == 0 || b == 0 {
+            return Err(TopologyError::TooSmall);
+        }
+        let n = 1 + a + b;
+        let owner: Vec<Pid> = (0..n).collect();
+        let mut preds: Vec<Vec<Pos>> = vec![Vec::new(); n];
+        // Branch A: positions 1..=a, chained from the root.
+        for j in 1..=a {
+            preds[j] = vec![j - 1];
+        }
+        // Branch B: positions a+1..=a+b, chained from the root.
+        preds[a + 1] = vec![0];
+        for j in (a + 2)..=(a + b) {
+            preds[j] = vec![j - 1];
+        }
+        preds[0] = vec![a, a + b];
+        SweepDag::from_parts(owner, preds)
+    }
+
+    /// Fig 2(c): a complete `arity`-ary tree over `n` processes (heap
+    /// numbering) with every leaf connected back to the root. The sweep runs
+    /// root → children → … → leaves, and the root reads the leaves directly.
+    /// A binary tree over 32 processes has height 5, matching the paper's
+    /// "32 processors (so h = 5)".
+    pub fn tree(n: usize, arity: usize) -> Result<SweepDag, TopologyError> {
+        if n < 2 {
+            return Err(TopologyError::TooSmall);
+        }
+        assert!(arity >= 1, "tree arity must be at least 1");
+        let owner: Vec<Pid> = (0..n).collect();
+        let mut preds: Vec<Vec<Pos>> = vec![Vec::new(); n];
+        for j in 1..n {
+            preds[j] = vec![(j - 1) / arity];
+        }
+        // Leaves: positions with no children.
+        let leaves: Vec<Pos> = (1..n).filter(|&j| arity * j + 1 >= n).collect();
+        preds[0] = if leaves.is_empty() { vec![n - 1] } else { leaves };
+        SweepDag::from_parts(owner, preds)
+    }
+
+    /// Fig 2(d): a double tree — the same `arity`-ary tree used twice, once
+    /// top-down and once bottom-up, with each top leaf feeding the matching
+    /// bottom leaf. Down positions are `0..n` (position = process, heap
+    /// numbering); up positions are `n..2n-1` for processes `1..n`; process 0
+    /// is the root of both trees (one shared position, as in the paper).
+    pub fn double_tree(n: usize, arity: usize) -> Result<SweepDag, TopologyError> {
+        if n < 2 {
+            return Err(TopologyError::TooSmall);
+        }
+        assert!(arity >= 1, "tree arity must be at least 1");
+        let parent = |j: usize| (j - 1) / arity;
+        let up = |j: usize| n + j - 1; // up position of process j (j >= 1)
+
+        let mut owner: Vec<Pid> = (0..n).collect();
+        owner.extend(1..n);
+        let mut preds: Vec<Vec<Pos>> = vec![Vec::new(); 2 * n - 1];
+
+        // Down tree.
+        for j in 1..n {
+            preds[j] = vec![parent(j)];
+        }
+        // Up tree: leaves of the up tree take from the matching down leaf;
+        // internal up positions take from their children's up positions.
+        for j in 1..n {
+            let children: Vec<usize> = (arity * j + 1..arity * j + 1 + arity)
+                .filter(|&c| c < n)
+                .collect();
+            preds[up(j)] = if children.is_empty() {
+                vec![j] // top leaf feeds bottom leaf
+            } else {
+                children.iter().map(|&c| up(c)).collect()
+            };
+        }
+        // Root reads the up positions of its children.
+        let root_children: Vec<usize> = (1..=arity).filter(|&c| c < n).collect();
+        preds[0] = root_children.iter().map(|&c| up(c)).collect();
+        SweepDag::from_parts(owner, preds)
+    }
+
+    /// Embed into an arbitrary connected graph (§4.2 final remark): build a
+    /// BFS spanning tree rooted at vertex 0 and use it twice as a double
+    /// tree. Edges of the sweep only ever connect graph-adjacent processes
+    /// (or a process to itself at the leaf turnaround).
+    pub fn embed_graph(graph: &Graph) -> Result<SweepDag, TopologyError> {
+        let n = graph.len();
+        if n < 2 {
+            return Err(TopologyError::TooSmall);
+        }
+        let parent = graph.bfs_spanning_tree(0)?;
+        let up_index = |j: usize| n + j - 1;
+
+        let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for j in 1..n {
+            children[parent[j].expect("non-root has a parent")].push(j);
+        }
+
+        let mut owner: Vec<Pid> = (0..n).collect();
+        owner.extend(1..n);
+        let mut preds: Vec<Vec<Pos>> = vec![Vec::new(); 2 * n - 1];
+        for j in 1..n {
+            preds[j] = vec![parent[j].unwrap()];
+        }
+        for j in 1..n {
+            preds[up_index(j)] = if children[j].is_empty() {
+                vec![j]
+            } else {
+                children[j].iter().map(|&c| up_index(c)).collect()
+            };
+        }
+        preds[0] = children[0].iter().map(|&c| up_index(c)).collect();
+        SweepDag::from_parts(owner, preds)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_shape() {
+        let dag = SweepDag::ring(5).unwrap();
+        assert_eq!(dag.num_positions(), 5);
+        assert_eq!(dag.num_processes(), 5);
+        assert_eq!(dag.critical_path(), 5);
+        assert_eq!(dag.height(), 4);
+        assert_eq!(dag.sinks(), &[4]);
+        for j in 1..5 {
+            assert_eq!(dag.preds(j), &[j - 1]);
+        }
+    }
+
+    #[test]
+    fn ring_too_small() {
+        assert!(SweepDag::ring(1).is_err());
+    }
+
+    #[test]
+    fn two_ring_shape() {
+        // Paper Fig 2(b): root plus two branches.
+        let dag = SweepDag::two_ring(3, 2).unwrap();
+        assert_eq!(dag.num_processes(), 6);
+        assert_eq!(dag.sinks(), &[3, 5]); // N1 = end of A, N2 = end of B
+        assert_eq!(dag.preds(1), &[0]);
+        assert_eq!(dag.preds(4), &[0]);
+        // Critical path follows the longer branch: 3 hops + root read.
+        assert_eq!(dag.critical_path(), 4);
+    }
+
+    #[test]
+    fn binary_tree_32_has_height_5() {
+        // The paper's headline configuration: 32 processors, h = 5.
+        let dag = SweepDag::tree(32, 2).unwrap();
+        assert_eq!(dag.num_processes(), 32);
+        assert_eq!(dag.height(), 5);
+        assert_eq!(dag.critical_path(), 6);
+        // Leaves of a 32-node complete binary tree: positions 16..31.
+        assert_eq!(dag.sinks().len(), 16);
+        assert!(dag.sinks().iter().all(|&l| l >= 16));
+    }
+
+    #[test]
+    fn tree_heights_for_paper_sweep() {
+        // Fig 7 sweeps h = 1..7 with N = 2^h processes.
+        for h in 1..=7usize {
+            let n = 1 << h;
+            let dag = SweepDag::tree(n, 2).unwrap();
+            assert_eq!(dag.height(), h, "n={n}");
+        }
+    }
+
+    #[test]
+    fn unary_tree_is_a_path() {
+        let dag = SweepDag::tree(4, 1).unwrap();
+        assert_eq!(dag.critical_path(), 4);
+        assert_eq!(dag.sinks(), &[3]);
+    }
+
+    #[test]
+    fn double_tree_positions_and_owners() {
+        let dag = SweepDag::double_tree(7, 2).unwrap(); // complete binary, h=2
+        assert_eq!(dag.num_positions(), 13);
+        assert_eq!(dag.num_processes(), 7);
+        // Process 0 owns exactly one position (root of both trees).
+        assert_eq!(dag.positions_of(0), &[0]);
+        // Every other process owns a down and an up position.
+        for pid in 1..7 {
+            assert_eq!(dag.positions_of(pid).len(), 2, "pid {pid}");
+        }
+        // Down h hops, leaf turnaround, up h-1 hops to the root's children's
+        // up positions, root read: 2h + 1.
+        assert_eq!(dag.critical_path(), 2 * 2 + 1);
+    }
+
+    #[test]
+    fn embed_cycle_graph() {
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]);
+        let dag = SweepDag::embed_graph(&g).unwrap();
+        assert_eq!(dag.num_processes(), 6);
+        // Every sweep edge connects graph-adjacent processes or a process to
+        // itself (leaf turnaround).
+        for pos in 0..dag.num_positions() {
+            for &q in dag.preds(pos) {
+                let (a, b) = (dag.owner(pos), dag.owner(q));
+                assert!(
+                    a == b || g.neighbors(a).contains(&b),
+                    "sweep edge {q}->{pos} maps to non-adjacent processes {b}->{a}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn embed_disconnected_fails() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]);
+        assert_eq!(
+            SweepDag::embed_graph(&g).unwrap_err(),
+            TopologyError::Disconnected
+        );
+    }
+
+    #[test]
+    fn embed_star_graph_height_one() {
+        let g = Graph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]);
+        let dag = SweepDag::embed_graph(&g).unwrap();
+        // Down 1 hop, turnaround, up is the same hop: critical path 3.
+        assert_eq!(dag.critical_path(), 3);
+    }
+}

@@ -1,0 +1,52 @@
+//! Validation errors for sweep topologies.
+
+use std::fmt;
+
+/// Why a candidate sweep structure is not a valid [`crate::SweepDag`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopologyError {
+    /// Fewer than two processes: a barrier needs someone to wait for.
+    TooSmall,
+    /// A non-root position has no predecessor (it could never receive the
+    /// token).
+    NoPredecessor(usize),
+    /// The root's predecessor set (the sinks) is empty.
+    NoSinks,
+    /// A position is unreachable from the root, so the sweep would never
+    /// visit it.
+    Unreachable(usize),
+    /// A position cannot reach the root, so its state would never be
+    /// collected.
+    DeadEnd(usize),
+    /// The predecessor relation (with the root's incoming edges removed) has
+    /// a cycle, so the sweep could deadlock.
+    Cyclic,
+    /// A predecessor index is out of range.
+    BadIndex(usize),
+    /// An owner index is out of range.
+    BadOwner(usize),
+    /// The input graph for an embedding is disconnected.
+    Disconnected,
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::TooSmall => write!(f, "topology needs at least 2 processes"),
+            TopologyError::NoPredecessor(p) => {
+                write!(f, "position {p} has no predecessor")
+            }
+            TopologyError::NoSinks => write!(f, "root has no predecessor positions (sinks)"),
+            TopologyError::Unreachable(p) => {
+                write!(f, "position {p} is unreachable from the root")
+            }
+            TopologyError::DeadEnd(p) => write!(f, "position {p} cannot reach the root"),
+            TopologyError::Cyclic => write!(f, "sweep relation is cyclic"),
+            TopologyError::BadIndex(p) => write!(f, "predecessor index {p} out of range"),
+            TopologyError::BadOwner(p) => write!(f, "owner index {p} out of range"),
+            TopologyError::Disconnected => write!(f, "input graph is disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}

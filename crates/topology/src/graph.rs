@@ -1,0 +1,149 @@
+//! Plain undirected graphs and BFS spanning trees, used to embed the sweep
+//! topology into arbitrary connected process graphs (§4.2: "the topology in
+//! Figure 2(d) can be embedded in any connected graph: embed a tree in that
+//! graph and use the same tree twice").
+
+use crate::error::TopologyError;
+
+/// A simple undirected graph over vertices `0..n`.
+#[derive(Debug, Clone)]
+pub struct Graph {
+    adj: Vec<Vec<usize>>,
+}
+
+impl Graph {
+    pub fn new(n: usize) -> Graph {
+        Graph {
+            adj: vec![Vec::new(); n],
+        }
+    }
+
+    /// Build from an edge list; duplicate edges and self-loops are ignored.
+    pub fn from_edges(n: usize, edges: &[(usize, usize)]) -> Graph {
+        let mut g = Graph::new(n);
+        for &(u, v) in edges {
+            g.add_edge(u, v);
+        }
+        g
+    }
+
+    pub fn add_edge(&mut self, u: usize, v: usize) {
+        assert!(u < self.len() && v < self.len(), "edge ({u},{v}) out of range");
+        if u == v || self.adj[u].contains(&v) {
+            return;
+        }
+        self.adj[u].push(v);
+        self.adj[v].push(u);
+    }
+
+    pub fn len(&self) -> usize {
+        self.adj.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.adj.is_empty()
+    }
+
+    pub fn neighbors(&self, u: usize) -> &[usize] {
+        &self.adj[u]
+    }
+
+    pub fn degree(&self, u: usize) -> usize {
+        self.adj[u].len()
+    }
+
+    pub fn is_connected(&self) -> bool {
+        if self.is_empty() {
+            return true;
+        }
+        let order = self.bfs_order(0);
+        order.len() == self.len()
+    }
+
+    /// Vertices in BFS order from `root`.
+    pub fn bfs_order(&self, root: usize) -> Vec<usize> {
+        let mut seen = vec![false; self.len()];
+        let mut queue = std::collections::VecDeque::new();
+        let mut order = Vec::new();
+        seen[root] = true;
+        queue.push_back(root);
+        while let Some(u) = queue.pop_front() {
+            order.push(u);
+            for &v in &self.adj[u] {
+                if !seen[v] {
+                    seen[v] = true;
+                    queue.push_back(v);
+                }
+            }
+        }
+        order
+    }
+
+    /// BFS spanning tree from `root`: `parent[v]` for every vertex (`None`
+    /// only at the root). Errors if the graph is disconnected.
+    pub fn bfs_spanning_tree(&self, root: usize) -> Result<Vec<Option<usize>>, TopologyError> {
+        let mut parent: Vec<Option<usize>> = vec![None; self.len()];
+        let mut seen = vec![false; self.len()];
+        let mut queue = std::collections::VecDeque::new();
+        seen[root] = true;
+        queue.push_back(root);
+        let mut visited = 0usize;
+        while let Some(u) = queue.pop_front() {
+            visited += 1;
+            for &v in &self.adj[u] {
+                if !seen[v] {
+                    seen[v] = true;
+                    parent[v] = Some(u);
+                    queue.push_back(v);
+                }
+            }
+        }
+        if visited != self.len() {
+            return Err(TopologyError::Disconnected);
+        }
+        Ok(parent)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edges_are_undirected_and_deduped() {
+        let mut g = Graph::new(3);
+        g.add_edge(0, 1);
+        g.add_edge(1, 0);
+        g.add_edge(1, 1);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(1), 1);
+        assert_eq!(g.degree(2), 0);
+        assert!(!g.is_connected());
+    }
+
+    #[test]
+    fn spanning_tree_of_cycle() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        assert!(g.is_connected());
+        let parent = g.bfs_spanning_tree(0).unwrap();
+        assert_eq!(parent[0], None);
+        assert_eq!(parent[1], Some(0));
+        assert_eq!(parent[3], Some(0));
+        assert!(parent[2] == Some(1) || parent[2] == Some(3));
+    }
+
+    #[test]
+    fn disconnected_tree_errors() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]);
+        assert_eq!(g.bfs_spanning_tree(0), Err(TopologyError::Disconnected));
+    }
+
+    #[test]
+    fn bfs_order_visits_by_level() {
+        // Star: 0 adjacent to everything.
+        let g = Graph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]);
+        let order = g.bfs_order(0);
+        assert_eq!(order[0], 0);
+        assert_eq!(order.len(), 5);
+    }
+}

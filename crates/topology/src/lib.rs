@@ -1,0 +1,25 @@
+//! Topologies for the refined barrier programs of Kulkarni & Arora (§4).
+//!
+//! The refinements RB (ring), RB′ (two rings sharing the root), the Fig-2c
+//! tree (all leaves connected back to the root), and the Fig-2d double tree
+//! are all instances of one structure, the [`SweepDag`]: a set of *positions*
+//! with a distinguished root position, where every non-root position reads a
+//! fixed set of predecessor positions and the root reads the *sink*
+//! positions. A token "circulates" by sweeping from the root through the DAG
+//! to the sinks, whereupon the root can locally detect completion and start
+//! the next sweep — this is the paper's "repetitively using Lemma 4.2.1"
+//! construction made concrete.
+//!
+//! A *position* is a role in the sweep; a *process* may own several positions
+//! (Fig 2d: "a process may occur more than once: for example, process 0 is
+//! the root of both trees"). For rings, two-rings, and Fig-2c trees the
+//! mapping is the identity.
+
+pub mod builders;
+pub mod error;
+pub mod graph;
+pub mod sweep;
+
+pub use error::TopologyError;
+pub use graph::Graph;
+pub use sweep::{Pid, Pos, SweepDag};

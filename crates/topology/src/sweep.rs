@@ -1,0 +1,301 @@
+//! The sweep DAG: the common structure under RB, RB′, and the tree barriers.
+
+use crate::error::TopologyError;
+
+/// Process identifier.
+pub type Pid = usize;
+
+/// Position identifier: a role in the sweep. A process may own several
+/// positions (e.g. in a Fig-2d double tree).
+pub type Pos = usize;
+
+/// A validated sweep topology.
+///
+/// * Position `0` is the **root** (owned by process 0, the paper's
+///   distinguished detector).
+/// * Every non-root position has a non-empty predecessor set; the root's
+///   predecessors are the **sinks**.
+/// * Ignoring the root's incoming edges, the predecessor relation is acyclic,
+///   every position is reachable from the root, and every position reaches a
+///   sink — so one "circulation" of the token visits every position exactly
+///   once and returns to the root.
+#[derive(Debug, Clone)]
+pub struct SweepDag {
+    owner: Vec<Pid>,
+    preds: Vec<Vec<Pos>>,
+    succs: Vec<Vec<Pos>>,
+    positions_of: Vec<Vec<Pos>>,
+    sinks: Vec<Pos>,
+    depth: Vec<usize>,
+    num_processes: usize,
+    critical_path: usize,
+}
+
+impl SweepDag {
+    /// Build and validate a sweep DAG from the predecessor relation and the
+    /// position→process ownership map. `preds[0]` is the root's predecessor
+    /// set, i.e. the sinks.
+    pub fn from_parts(owner: Vec<Pid>, preds: Vec<Vec<Pos>>) -> Result<SweepDag, TopologyError> {
+        let p = owner.len();
+        if preds.len() != p {
+            return Err(TopologyError::BadIndex(preds.len()));
+        }
+        let num_processes = owner.iter().copied().max().map_or(0, |m| m + 1);
+        if num_processes < 2 {
+            return Err(TopologyError::TooSmall);
+        }
+        if owner[0] != 0 {
+            return Err(TopologyError::BadOwner(0));
+        }
+        for (pos, row) in preds.iter().enumerate() {
+            for &q in row {
+                if q >= p {
+                    return Err(TopologyError::BadIndex(q));
+                }
+            }
+            if pos != 0 && row.is_empty() {
+                return Err(TopologyError::NoPredecessor(pos));
+            }
+        }
+        if preds[0].is_empty() {
+            return Err(TopologyError::NoSinks);
+        }
+
+        // Successor relation (includes sinks → root).
+        let mut succs = vec![Vec::new(); p];
+        for (pos, row) in preds.iter().enumerate() {
+            for &q in row {
+                succs[q].push(pos);
+            }
+        }
+
+        // Topological check + depth (longest path from root), ignoring the
+        // root's incoming edges.
+        let mut indeg = vec![0usize; p];
+        for (pos, row) in preds.iter().enumerate() {
+            if pos == 0 {
+                continue;
+            }
+            indeg[pos] = row.len();
+        }
+        let mut queue = std::collections::VecDeque::new();
+        let mut depth = vec![0usize; p];
+        queue.push_back(0);
+        let mut visited = 0usize;
+        while let Some(u) = queue.pop_front() {
+            visited += 1;
+            for &v in &succs[u] {
+                if v == 0 {
+                    continue; // the closing edges back to the root
+                }
+                depth[v] = depth[v].max(depth[u] + 1);
+                indeg[v] -= 1;
+                if indeg[v] == 0 {
+                    queue.push_back(v);
+                }
+            }
+        }
+        if visited != p {
+            // Either a cycle or an unreachable position; distinguish them.
+            for pos in 1..p {
+                if indeg[pos] > 0 && preds[pos].iter().all(|&q| indeg[q] == 0 || q == 0) {
+                    // preds done but this one is not: must be cyclic through it
+                }
+            }
+            // Re-run a plain reachability pass to tell unreachable from cyclic.
+            let mut seen = vec![false; p];
+            seen[0] = true;
+            let mut stack = vec![0];
+            while let Some(u) = stack.pop() {
+                for &v in &succs[u] {
+                    if v != 0 && !seen[v] {
+                        seen[v] = true;
+                        stack.push(v);
+                    }
+                }
+            }
+            if let Some(pos) = seen.iter().position(|s| !s) {
+                return Err(TopologyError::Unreachable(pos));
+            }
+            return Err(TopologyError::Cyclic);
+        }
+
+        // Every position must reach the root (i.e. reach a sink).
+        let sinks: Vec<Pos> = preds[0].clone();
+        {
+            let mut reaches = vec![false; p];
+            let mut stack: Vec<Pos> = sinks.clone();
+            for &s in &sinks {
+                reaches[s] = true;
+            }
+            while let Some(u) = stack.pop() {
+                for &q in &preds[u] {
+                    if !reaches[q] {
+                        reaches[q] = true;
+                        stack.push(q);
+                    }
+                }
+            }
+            reaches[0] = true;
+            if let Some(pos) = reaches.iter().position(|r| !r) {
+                return Err(TopologyError::DeadEnd(pos));
+            }
+        }
+
+        let mut positions_of = vec![Vec::new(); num_processes];
+        for (pos, &pid) in owner.iter().enumerate() {
+            if pid >= num_processes {
+                return Err(TopologyError::BadOwner(pos));
+            }
+            positions_of[pid].push(pos);
+        }
+        if positions_of.iter().any(|v| v.is_empty()) {
+            // every process must appear somewhere
+            let missing = positions_of.iter().position(|v| v.is_empty()).unwrap();
+            return Err(TopologyError::BadOwner(missing));
+        }
+
+        let critical_path = sinks.iter().map(|&s| depth[s]).max().unwrap_or(0) + 1;
+
+        Ok(SweepDag {
+            owner,
+            preds,
+            succs,
+            positions_of,
+            sinks,
+            depth,
+            num_processes,
+            critical_path,
+        })
+    }
+
+    /// The root position (always 0).
+    pub const ROOT: Pos = 0;
+
+    pub fn num_positions(&self) -> usize {
+        self.owner.len()
+    }
+
+    pub fn num_processes(&self) -> usize {
+        self.num_processes
+    }
+
+    pub fn owner(&self, pos: Pos) -> Pid {
+        self.owner[pos]
+    }
+
+    /// Positions owned by a process.
+    pub fn positions_of(&self, pid: Pid) -> &[Pos] {
+        &self.positions_of[pid]
+    }
+
+    /// Predecessors read by `pos` (for the root: the sinks).
+    pub fn preds(&self, pos: Pos) -> &[Pos] {
+        &self.preds[pos]
+    }
+
+    /// Successors that read `pos` (for a sink: includes the root).
+    pub fn succs(&self, pos: Pos) -> &[Pos] {
+        &self.succs[pos]
+    }
+
+    /// Sinks: the root's predecessor set.
+    pub fn sinks(&self) -> &[Pos] {
+        &self.sinks
+    }
+
+    pub fn is_sink(&self, pos: Pos) -> bool {
+        self.sinks.contains(&pos)
+    }
+
+    /// Longest path length from the root to `pos` in the sweep order.
+    pub fn depth(&self, pos: Pos) -> usize {
+        self.depth[pos]
+    }
+
+    /// Hops in one full token circulation along the longest chain — i.e. the
+    /// latency of one sweep in units of one hop. For a ring of `n` processes
+    /// this is `n`; for a Fig-2c tree of height `h` it is `h + 1` (down the
+    /// tree, then the root reads the leaves directly).
+    pub fn critical_path(&self) -> usize {
+        self.critical_path
+    }
+
+    /// Height of the structure: the maximum depth of any position. For the
+    /// paper's Fig-2c tree this is the tree height `h`.
+    pub fn height(&self) -> usize {
+        self.depth.iter().copied().max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_two_process_ring() {
+        // 0 <- 1 <- 0
+        let dag = SweepDag::from_parts(vec![0, 1], vec![vec![1], vec![0]]).unwrap();
+        assert_eq!(dag.num_positions(), 2);
+        assert_eq!(dag.num_processes(), 2);
+        assert_eq!(dag.sinks(), &[1]);
+        assert_eq!(dag.preds(1), &[0]);
+        assert_eq!(dag.succs(1), &[0]);
+        assert_eq!(dag.depth(1), 1);
+        assert_eq!(dag.critical_path(), 2);
+        assert_eq!(dag.height(), 1);
+        assert!(dag.is_sink(1));
+        assert!(!dag.is_sink(0));
+    }
+
+    #[test]
+    fn rejects_empty_pred() {
+        let err = SweepDag::from_parts(vec![0, 1, 2], vec![vec![2], vec![], vec![1]]).unwrap_err();
+        assert_eq!(err, TopologyError::NoPredecessor(1));
+    }
+
+    #[test]
+    fn rejects_unreachable() {
+        // Position 2 points into the chain but nothing points to it... make
+        // 1 the only sink; 2 preds on 1 but no one reads 2 => DeadEnd; and a
+        // position no one feeds is unreachable.
+        let err =
+            SweepDag::from_parts(vec![0, 1, 2], vec![vec![1], vec![0], vec![0]]).unwrap_err();
+        assert_eq!(err, TopologyError::DeadEnd(2));
+    }
+
+    #[test]
+    fn rejects_cycle() {
+        // 1 and 2 read each other.
+        let err = SweepDag::from_parts(
+            vec![0, 1, 2, 3],
+            vec![vec![3], vec![0, 2], vec![1], vec![2]],
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            TopologyError::Cyclic | TopologyError::Unreachable(_)
+        ));
+    }
+
+    #[test]
+    fn rejects_single_process() {
+        let err = SweepDag::from_parts(vec![0], vec![vec![0]]).unwrap_err();
+        assert_eq!(err, TopologyError::TooSmall);
+    }
+
+    #[test]
+    fn diamond_has_parallel_depths() {
+        // 0 -> 1, 0 -> 2, both -> 3 (sink).
+        let dag = SweepDag::from_parts(
+            vec![0, 1, 2, 3],
+            vec![vec![3], vec![0], vec![0], vec![1, 2]],
+        )
+        .unwrap();
+        assert_eq!(dag.depth(1), 1);
+        assert_eq!(dag.depth(2), 1);
+        assert_eq!(dag.depth(3), 2);
+        assert_eq!(dag.critical_path(), 3);
+        assert_eq!(dag.succs(0).len(), 2);
+    }
+}

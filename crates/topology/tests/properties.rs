@@ -1,0 +1,112 @@
+//! Property tests on topology construction invariants.
+
+use ftbarrier_topology::{Graph, SweepDag};
+use proptest::prelude::*;
+
+/// Structural invariants every valid sweep DAG satisfies.
+fn check_dag(dag: &SweepDag) {
+    let p = dag.num_positions();
+    // Root owned by process 0.
+    assert_eq!(dag.owner(SweepDag::ROOT), 0);
+    // Every non-root position has predecessors; the root's are the sinks.
+    for pos in 1..p {
+        assert!(!dag.preds(pos).is_empty());
+    }
+    assert_eq!(dag.preds(SweepDag::ROOT), dag.sinks());
+    // preds/succs are mutually consistent.
+    for pos in 0..p {
+        for &q in dag.preds(pos) {
+            assert!(dag.succs(q).contains(&pos), "succ({q}) missing {pos}");
+        }
+        for &q in dag.succs(pos) {
+            assert!(dag.preds(q).contains(&pos), "pred({q}) missing {pos}");
+        }
+    }
+    // Depth is consistent with the predecessor relation (root's closing
+    // edges excluded), and the critical path is the deepest sink + 1.
+    for pos in 1..p {
+        let min_pred_depth = dag.preds(pos).iter().map(|&q| dag.depth(q)).min().unwrap();
+        assert!(dag.depth(pos) > min_pred_depth);
+    }
+    let deepest_sink = dag.sinks().iter().map(|&s| dag.depth(s)).max().unwrap();
+    assert_eq!(dag.critical_path(), deepest_sink + 1);
+    // Every process owns at least one position and position 0 of each
+    // process is its worker slot (ordering convention).
+    for pid in 0..dag.num_processes() {
+        assert!(!dag.positions_of(pid).is_empty());
+    }
+}
+
+proptest! {
+    #[test]
+    fn rings_are_valid(n in 2usize..40) {
+        let dag = SweepDag::ring(n).unwrap();
+        check_dag(&dag);
+        prop_assert_eq!(dag.critical_path(), n);
+        prop_assert_eq!(dag.num_positions(), n);
+    }
+
+    #[test]
+    fn two_rings_are_valid(a in 1usize..15, b in 1usize..15) {
+        let dag = SweepDag::two_ring(a, b).unwrap();
+        check_dag(&dag);
+        prop_assert_eq!(dag.num_processes(), 1 + a + b);
+        prop_assert_eq!(dag.critical_path(), a.max(b) + 1);
+        prop_assert_eq!(dag.sinks().len(), 2);
+    }
+
+    #[test]
+    fn trees_are_valid(n in 2usize..200, arity in 1usize..6) {
+        let dag = SweepDag::tree(n, arity).unwrap();
+        check_dag(&dag);
+        prop_assert_eq!(dag.num_positions(), n);
+        // Height matches the heap-shape formula.
+        let mut h = 0;
+        let mut i = n - 1;
+        while i > 0 {
+            i = (i - 1) / arity;
+            h += 1;
+        }
+        prop_assert_eq!(dag.height(), h);
+        prop_assert_eq!(dag.critical_path(), h + 1);
+    }
+
+    #[test]
+    fn double_trees_are_valid(n in 2usize..60, arity in 1usize..5) {
+        let dag = SweepDag::double_tree(n, arity).unwrap();
+        check_dag(&dag);
+        prop_assert_eq!(dag.num_positions(), 2 * n - 1);
+        prop_assert_eq!(dag.num_processes(), n);
+        // Every non-root process owns exactly a down and an up position.
+        for pid in 1..n {
+            prop_assert_eq!(dag.positions_of(pid).len(), 2);
+        }
+    }
+
+    #[test]
+    fn embeddings_respect_adjacency(
+        n in 2usize..30,
+        extra_edges in proptest::collection::vec((0usize..30, 0usize..30), 0..40),
+    ) {
+        // Random connected graph: a path plus random extra edges.
+        let mut g = Graph::new(n);
+        for i in 1..n {
+            g.add_edge(i - 1, i);
+        }
+        for (u, v) in extra_edges {
+            if u < n && v < n {
+                g.add_edge(u, v);
+            }
+        }
+        let dag = SweepDag::embed_graph(&g).unwrap();
+        check_dag(&dag);
+        prop_assert_eq!(dag.num_processes(), n);
+        // Sweep edges map to graph-adjacent (or identical) processes.
+        for pos in 0..dag.num_positions() {
+            for &q in dag.preds(pos) {
+                let (a, b) = (dag.owner(pos), dag.owner(q));
+                prop_assert!(a == b || g.neighbors(a).contains(&b));
+            }
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! Clock unison via the barrier program (§7).
+//!
+//! Every process keeps a bounded counter; the spec demands that at all times
+//! any two counters differ by at most one, and that they tick forever. The
+//! barrier's phase variable *is* such a clock. We scramble all clocks to
+//! arbitrary values (undetectable faults) and watch the system pull itself
+//! back into unison — the stabilizing tolerance of §4.1 doing clock
+//! synchronization.
+//!
+//! Run with: `cargo run --example clock_unison`
+
+use ftbarrier::core::instantiations::clock_unison::{check_unison, UnisonMonitor};
+use ftbarrier::core::sweep::SweepBarrier;
+use ftbarrier::gcs::{Interleaving, InterleavingConfig, NullMonitor};
+use ftbarrier::topology::SweepDag;
+
+fn main() {
+    let program = SweepBarrier::new(SweepDag::tree(8, 2).unwrap(), 16);
+    let mut exec = Interleaving::new(&program, InterleavingConfig::default());
+
+    // Scramble every clock (and all protocol state) arbitrarily.
+    exec.perturb_all();
+    let clocks: Vec<u32> = exec.global().iter().map(|s| s.ph).collect();
+    println!("scrambled clocks : {clocks:?}");
+    println!("in unison?       : {}", check_unison(&program, exec.global()));
+
+    // Let the protocol stabilize (a generous fixed window — recovery itself
+    // takes a few token circulations).
+    let mut silent = NullMonitor;
+    exec.run(100_000, &mut silent);
+    assert!(
+        check_unison(&program, exec.global()),
+        "the protocol stabilizes to unison"
+    );
+    println!("\nstabilized within a 100000-step window");
+    let clocks: Vec<u32> = exec.global().iter().map(|s| s.ph).collect();
+    println!("clocks now       : {clocks:?}");
+
+    // From here on, unison holds at every step and the clocks keep ticking.
+    let mut monitor = UnisonMonitor::new(&program);
+    exec.run(100_000, &mut monitor);
+    println!(
+        "\nnext 100000 steps: {} unison violations, {} clock ticks",
+        monitor.violations, monitor.ticks
+    );
+    assert_eq!(monitor.violations, 0);
+    assert!(monitor.ticks > 0);
+    println!("clock unison holds and the clock ticks forever ✓");
+}

@@ -1,0 +1,117 @@
+//! Bulk-synchronous PageRank with fault-tolerant supersteps.
+//!
+//! The classic BSP pattern the paper's barriers exist for: every superstep
+//! ends at a barrier; a fault in any worker's superstep must re-run the
+//! superstep, not poison the ranks. We use `run_phases` (the scoped driver
+//! over `FtBarrier`) with double-buffered rank vectors so supersteps are
+//! idempotent, inject detectable faults on a schedule, and compare against
+//! a sequential solve.
+//!
+//! Run with: `cargo run --release --example pagerank_bsp`
+
+use ftbarrier::runtime::{run_phases, FailurePolicy};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::RwLock;
+
+const WORKERS: usize = 4;
+const SUPERSTEPS: u64 = 60;
+const DAMPING: f64 = 0.85;
+
+/// A small deterministic directed graph: node v links to (v*2+1) % n and
+/// (v*3+2) % n.
+fn out_links(v: usize, n: usize) -> [usize; 2] {
+    [(v * 2 + 1) % n, (v * 3 + 2) % n]
+}
+
+fn sequential(n: usize) -> Vec<f64> {
+    let mut ranks = vec![1.0 / n as f64; n];
+    for _ in 0..SUPERSTEPS {
+        let mut next = vec![(1.0 - DAMPING) / n as f64; n];
+        for v in 0..n {
+            let share = DAMPING * ranks[v] / 2.0;
+            for t in out_links(v, n) {
+                next[t] += share;
+            }
+        }
+        ranks = next;
+    }
+    ranks
+}
+
+fn main() {
+    let n = 1000;
+    let buffers = [
+        RwLock::new(vec![1.0 / n as f64; n]),
+        RwLock::new(vec![0.0; n]),
+    ];
+    // Per-target partial contributions, one accumulator per worker to avoid
+    // write conflicts; merged at superstep end by the owning worker.
+    let partials: Vec<RwLock<Vec<f64>>> =
+        (0..WORKERS).map(|_| RwLock::new(vec![0.0; n])).collect();
+    let faults = AtomicU64::new(0);
+
+    // Two barrier-separated half-phases per superstep: even phases scatter
+    // (each worker writes only its own partial vector), odd phases gather
+    // (each worker reads all partials but writes only its own vertex range).
+    let summary = run_phases(WORKERS, 2 * SUPERSTEPS, FailurePolicy::Tolerate, |ctx| {
+        let superstep = ctx.phase / 2;
+        let (src_ix, dst_ix) = ((superstep % 2) as usize, ((superstep + 1) % 2) as usize);
+        let chunk = n / ctx.n;
+        let lo = ctx.worker * chunk;
+        let hi = if ctx.worker == ctx.n - 1 { n } else { lo + chunk };
+
+        if ctx.phase % 2 == 0 {
+            // Scatter: accumulate contributions from this worker's vertices
+            // into its private partial vector (recomputed from scratch, so
+            // a repeat is harmless).
+            let src = buffers[src_ix].read().unwrap();
+            let mut mine = partials[ctx.worker].write().unwrap();
+            mine.iter_mut().for_each(|x| *x = 0.0);
+            for v in lo..hi {
+                let share = DAMPING * src[v] / 2.0;
+                for t in out_links(v, n) {
+                    mine[t] += share;
+                }
+            }
+            // Inject a detectable fault: a rotating worker fails its first
+            // try of every 11th scatter.
+            if ctx.attempt == 1
+                && superstep % 11 == 3
+                && (superstep / 11) as usize % ctx.n == ctx.worker
+            {
+                faults.fetch_add(1, Ordering::Relaxed);
+                return Err(());
+            }
+        } else {
+            // Gather: combine all partials for this worker's vertex range
+            // into the destination buffer (disjoint ranges; idempotent).
+            let mut dst = buffers[dst_ix].write().unwrap();
+            for t in lo..hi {
+                let mut acc = (1.0 - DAMPING) / n as f64;
+                for p in &partials {
+                    acc += p.read().unwrap()[t];
+                }
+                dst[t] = acc;
+            }
+        }
+        Ok(())
+    })
+    .expect("barrier healthy");
+
+    let result = buffers[(SUPERSTEPS % 2) as usize].read().unwrap().clone();
+    let reference = sequential(n);
+    let max_err = result
+        .iter()
+        .zip(&reference)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0_f64, f64::max);
+
+    println!("PageRank over {n} nodes, {SUPERSTEPS} supersteps, {WORKERS} workers");
+    println!("faults injected           : {}", faults.load(Ordering::Relaxed));
+    println!("superstep repeats         : {}", summary.repeats);
+    println!("max |parallel - sequential|: {max_err:e}");
+    assert!(faults.load(Ordering::Relaxed) > 0);
+    assert!(summary.repeats >= faults.load(Ordering::Relaxed));
+    assert!(max_err < 1e-12, "fault recovery must not perturb the ranks");
+    println!("ranks identical to the fault-free sequential solve ✓");
+}

@@ -1,0 +1,71 @@
+//! # ftbarrier — multitolerant barrier synchronization
+//!
+//! A full reproduction of Kulkarni & Arora, *Low-cost Fault-tolerance in
+//! Barrier Synchronizations* (ICPP 1998), as a Rust workspace. This umbrella
+//! crate re-exports the member crates:
+//!
+//! * [`gcs`] — guarded-command simulation substrate (the paper's SIEFAST):
+//!   fair interleaving, timed maximal parallelism, fault environments.
+//! * [`topology`] — rings, two-rings, trees with leaves wired to the root,
+//!   double trees, and spanning-tree embeddings (Fig 2).
+//! * [`core`] — the paper's programs (CB, the token ring, the generalized
+//!   RB/RB′/tree sweep, MB), the barrier specification oracle, the fault
+//!   taxonomy, the §6.1 analytical model, and the experiment harness.
+//! * [`gcl`] — the guarded-command *language*: programs in the paper's
+//!   notation, parsed and executed directly (as SIEFAST did).
+//! * [`mp`] — faulty channels and the executable threaded MB.
+//! * [`runtime`] — a production-style fault-tolerant barrier for
+//!   `std::thread` workers, with repeat semantics, corruption recovery,
+//!   failure policies, fuzzy barriers, and fault-intolerant baselines.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use ftbarrier::runtime::{FtBarrier, PhaseOutcome};
+//!
+//! let (_handle, participants) = FtBarrier::new(4);
+//! let threads: Vec<_> = participants
+//!     .into_iter()
+//!     .map(|mut p| {
+//!         std::thread::spawn(move || {
+//!             let mut results = Vec::new();
+//!             while p.phase() < 3 {
+//!                 // ... execute the phase body ...
+//!                 match p.arrive().unwrap() {
+//!                     PhaseOutcome::Advance { phase } => results.push(phase),
+//!                     PhaseOutcome::Repeat { .. } => { /* redo the phase */ }
+//!                 }
+//!             }
+//!             results
+//!         })
+//!     })
+//!     .collect();
+//! for t in threads {
+//!     assert_eq!(t.join().unwrap(), vec![1, 2, 3]);
+//! }
+//! ```
+//!
+//! To reproduce the paper's evaluation:
+//! `cargo run --release -p ftbarrier-bench --bin repro -- all`.
+
+pub use ftbarrier_core as core;
+pub use ftbarrier_gcl as gcl;
+pub use ftbarrier_gcs as gcs;
+pub use ftbarrier_mp as mp;
+pub use ftbarrier_runtime as runtime;
+pub use ftbarrier_topology as topology;
+
+/// Convenience re-exports of the most used types.
+pub mod prelude {
+    pub use ftbarrier_core::analysis::AnalyticModel;
+    pub use ftbarrier_core::cp::Cp;
+    pub use ftbarrier_core::sim::{PhaseExperiment, RecoveryExperiment, TopologySpec};
+    pub use ftbarrier_core::sn::Sn;
+    pub use ftbarrier_core::spec::{Anchor, BarrierOracle, OracleConfig};
+    pub use ftbarrier_core::sweep::SweepBarrier;
+    pub use ftbarrier_gcs::{Engine, EngineConfig, Interleaving, InterleavingConfig};
+    pub use ftbarrier_runtime::{
+        BarrierError, FailurePolicy, FtBarrier, FtBarrierBuilder, Participant, PhaseOutcome,
+    };
+    pub use ftbarrier_topology::SweepDag;
+}

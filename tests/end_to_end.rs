@@ -1,0 +1,157 @@
+//! Integration: end-to-end scenarios through the public prelude, exercising
+//! the "MPI third alternative" story of §1 and the §7 instantiations.
+
+use ftbarrier::prelude::*;
+
+#[test]
+fn prelude_covers_the_main_workflow() {
+    // Analytical model.
+    let model = AnalyticModel::new(5, 0.01, 0.01);
+    assert!(model.overhead() < 0.06);
+
+    // Simulation harness.
+    let m = ftbarrier::core::sim::measure_phases(&PhaseExperiment {
+        topology: TopologySpec::Tree { n: 8, arity: 2 },
+        c: 0.01,
+        f: 0.02,
+        target_phases: 15,
+        ..Default::default()
+    });
+    assert_eq!(m.violations, 0);
+
+    // Thread runtime.
+    let (_h, parts) = FtBarrier::new(3);
+    let handles: Vec<_> = parts
+        .into_iter()
+        .map(|mut p| std::thread::spawn(move || p.arrive().unwrap()))
+        .collect();
+    for h in handles {
+        assert_eq!(h.join().unwrap(), PhaseOutcome::Advance { phase: 1 });
+    }
+}
+
+#[test]
+fn mpi_style_policy_selection() {
+    // Tolerate = the paper's contribution; FailSafe = uncorrectable faults;
+    // both selectable per-barrier, mirroring the §7/§8 MPI discussion.
+    let (_b, parts) = FtBarrierBuilder::new(4)
+        .policy(FailurePolicy::Tolerate)
+        .build();
+    let handles: Vec<_> = parts
+        .into_iter()
+        .map(|mut p| {
+            std::thread::spawn(move || {
+                let out = if p.id() == 0 {
+                    p.arrive_failed().unwrap()
+                } else {
+                    p.arrive().unwrap()
+                };
+                assert!(!out.is_advance(), "fault ⇒ repeat under Tolerate");
+                p.arrive().unwrap()
+            })
+        })
+        .collect();
+    for h in handles {
+        assert_eq!(h.join().unwrap(), PhaseOutcome::Advance { phase: 1 });
+    }
+
+    let (b, parts) = FtBarrierBuilder::new(2)
+        .policy(FailurePolicy::FailSafe)
+        .build();
+    let handles: Vec<_> = parts
+        .into_iter()
+        .map(|mut p| {
+            std::thread::spawn(move || {
+                let r = if p.id() == 1 {
+                    p.arrive_failed()
+                } else {
+                    p.arrive()
+                };
+                r.unwrap_err()
+            })
+        })
+        .collect();
+    for h in handles {
+        assert_eq!(h.join().unwrap(), BarrierError::Broken);
+    }
+    assert!(b.is_broken());
+}
+
+#[test]
+fn phase_synchronization_instantiation() {
+    // §7: initial detectable corruption of phases is tolerated with no
+    // phase executed incorrectly.
+    let report =
+        ftbarrier::core::instantiations::phase_sync::run_phase_sync(5, &[1, 4], 12, 99);
+    assert_eq!(report.phases_completed, 12);
+    assert_eq!(report.violations, 0);
+}
+
+#[test]
+fn oracle_exported_and_usable_standalone() {
+    use ftbarrier::gcs::Time;
+    let mut oracle = BarrierOracle::new(OracleConfig {
+        n_processes: 2,
+        n_phases: 4,
+        anchor: Anchor::StrictFromZero,
+    });
+    oracle.observe_cp(Time::ZERO, 0, 0, Cp::Ready, Cp::Execute);
+    oracle.observe_cp(Time::ZERO, 1, 0, Cp::Ready, Cp::Execute);
+    oracle.observe_cp(Time::new(1.0), 0, 0, Cp::Execute, Cp::Success);
+    oracle.observe_cp(Time::new(1.0), 1, 0, Cp::Execute, Cp::Success);
+    assert!(oracle.is_clean());
+    assert_eq!(oracle.phases_completed(), 1);
+}
+
+#[test]
+fn simulation_and_runtime_tell_the_same_masking_story() {
+    // The same drill — detectable fault at one participant per phase — in
+    // the simulator and in the thread runtime: both mask, both pay one
+    // re-execution.
+    let sim = ftbarrier::core::sim::measure_phases(&PhaseExperiment {
+        topology: TopologySpec::Tree { n: 4, arity: 2 },
+        c: 0.0,
+        f: 0.2, // aggressive
+        target_phases: 20,
+        seed: 5,
+        ..Default::default()
+    });
+    assert_eq!(sim.violations, 0);
+    assert!(sim.mean_instances > 1.0, "faults cost instances: {}", sim.mean_instances);
+
+    let (_b, parts) = FtBarrier::new(4);
+    let repeats = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
+    let handles: Vec<_> = parts
+        .into_iter()
+        .map(|mut p| {
+            let repeats = std::sync::Arc::clone(&repeats);
+            std::thread::spawn(move || {
+                let mut first_attempt = true;
+                while p.phase() < 10 {
+                    let fail = first_attempt && p.id() == (p.phase() as usize % 4);
+                    let out = if fail {
+                        p.arrive_failed().unwrap()
+                    } else {
+                        p.arrive().unwrap()
+                    };
+                    if out.is_advance() {
+                        first_attempt = true;
+                    } else {
+                        first_attempt = false;
+                        if p.id() == 0 {
+                            repeats.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(
+        repeats.load(std::sync::atomic::Ordering::SeqCst),
+        10,
+        "one repeat per phase"
+    );
+}

@@ -1,0 +1,162 @@
+//! Integration: the reproduced figures must have the paper's shapes.
+//!
+//! Absolute simulated numbers depend on our cost model (see DESIGN.md);
+//! these tests pin the *claims* §6 makes about each figure — orderings,
+//! monotonicity, bounds, and the headline percentages.
+
+use ftbarrier_bench::figures::{self, PAPER_H};
+use ftbarrier_core::analysis::AnalyticModel;
+
+#[test]
+fn fig3_instances_monotone_in_f_and_c() {
+    let rows = figures::fig3(false);
+    // For fixed c, instances grow with f; for fixed f > 0, with c.
+    for w in rows.windows(2) {
+        if w[0].c == w[1].c {
+            assert!(w[1].f > w[0].f);
+            assert!(w[1].instances >= w[0].instances);
+        }
+    }
+    for (a, b) in rows.iter().zip(rows.iter().skip(8)) {
+        // Next c block, same f (the grid is 8 f-values per c).
+        assert_eq!(a.f, b.f);
+        assert!(b.c > a.c);
+        if a.f > 0.0 {
+            assert!(b.instances > a.instances, "longer phases expose more faults");
+        }
+    }
+}
+
+#[test]
+fn fig3_paper_claims() {
+    // f ≤ 0.01 at c = 0.01 → under 1.6% re-execution.
+    let m = AnalyticModel::new(PAPER_H, 0.01, 0.01);
+    assert!(m.expected_instances() < 1.016);
+    // c = 0.05, f = 0.01 → about 1.7%.
+    let m = AnalyticModel::new(PAPER_H, 0.05, 0.01);
+    assert!((m.expected_instances() - 1.0176).abs() < 0.002);
+}
+
+#[test]
+fn fig4_paper_headline_overheads() {
+    let rows = figures::fig4(false);
+    let at = |c: f64, f: f64| {
+        rows.iter()
+            .find(|r| (r.c - c).abs() < 1e-12 && (r.f - f).abs() < 1e-12)
+            .unwrap_or_else(|| panic!("missing point c={c} f={f}"))
+    };
+    assert!((at(0.01, 0.0).overhead - 0.045).abs() < 0.002, "paper: 4.5%");
+    assert!((at(0.01, 0.01).overhead - 0.057).abs() < 0.002, "paper: 5.7%");
+    assert!((at(0.01, 0.05).overhead - 0.108).abs() < 0.004, "paper: 10.8%");
+    // Overhead is proportional to fault frequency (§6.1).
+    for c in [0.01, 0.03, 0.05] {
+        assert!(at(c, 0.0).overhead < at(c, 0.01).overhead);
+        assert!(at(c, 0.01).overhead < at(c, 0.05).overhead);
+    }
+}
+
+#[test]
+fn fig5_simulation_tracks_analytics_and_masks_faults() {
+    let rows = figures::fig5(true);
+    for r in &rows {
+        // Masking: no violations ever under detectable faults.
+        assert_eq!(r.violations, 0, "c={} f={}", r.c, r.f);
+        assert!(r.phases > 0);
+        // Simulated instances within the analytic envelope: at least 1,
+        // at most the worst-case analytic prediction plus sampling noise.
+        assert!(r.instances >= 1.0);
+        assert!(
+            r.instances <= r.analytic * 1.12 + 0.05,
+            "c={} f={}: simulated {} far above analytic {}",
+            r.c,
+            r.f,
+            r.instances,
+            r.analytic
+        );
+    }
+    // Aggregate trend: mean instances at the top f exceed mean at f = 0.
+    let mean = |f: f64| {
+        let sel: Vec<f64> = rows
+            .iter()
+            .filter(|r| (r.f - f).abs() < 1e-12)
+            .map(|r| r.instances)
+            .collect();
+        sel.iter().sum::<f64>() / sel.len() as f64
+    };
+    assert!(mean(0.1) > mean(0.0) + 0.02);
+}
+
+#[test]
+fn fig6_overhead_shapes() {
+    let rows = figures::fig6(true);
+    for r in &rows {
+        // The tolerant program is never faster than the intolerant one...
+        assert!(
+            r.tolerant_time >= r.intolerant_time * 0.999,
+            "c={} f={}",
+            r.c,
+            r.f
+        );
+        // ...and the simulated tolerant phase is at or below the analytic
+        // worst case (§6.2: "the overhead in the simulated program is less
+        // than that predicated by analytical results").
+        let analytic_tolerant = AnalyticModel::new(PAPER_H, r.c, r.f).expected_phase_time();
+        assert!(
+            r.tolerant_time <= analytic_tolerant * 1.02 + 0.02,
+            "c={} f={}: simulated {} above analytic worst case {}",
+            r.c,
+            r.f,
+            r.tolerant_time,
+            analytic_tolerant
+        );
+    }
+    // Overhead grows with latency at f = 0 (the third sweep costs hc).
+    let f0: Vec<&_> = rows.iter().filter(|r| r.f == 0.0).collect();
+    for w in f0.windows(2) {
+        assert!(w[1].overhead >= w[0].overhead - 1e-9);
+    }
+}
+
+#[test]
+fn fig7_recovery_is_fast_and_universal() {
+    let rows = figures::fig7(true);
+    for r in &rows {
+        assert!(
+            (r.recovered_frac - 1.0).abs() < 1e-12,
+            "h={} c={}: some run failed to recover",
+            r.h,
+            r.c
+        );
+        // Stabilization is quick: a couple of phase times even for 32
+        // processes at high latency (paper: 0.56 at h=5, c=0.01; ≤ 1.25
+        // for communication plus in-flight work).
+        assert!(
+            r.recovery_mean < 2.0 + 10.0 * r.h as f64 * r.c,
+            "h={} c={}: mean recovery {}",
+            r.h,
+            r.c,
+            r.recovery_mean
+        );
+    }
+    // Headline point: h=5, c=0.01 lands near the paper's 0.56.
+    let headline = rows
+        .iter()
+        .find(|r| r.h == 5 && (r.c - 0.01).abs() < 1e-12)
+        .expect("headline point present");
+    assert!(
+        (0.2..=1.5).contains(&headline.recovery_mean),
+        "headline recovery {} out of band",
+        headline.recovery_mean
+    );
+}
+
+#[test]
+fn table1_cells_all_verified() {
+    for row in ftbarrier_bench::table1::rows() {
+        assert_eq!(
+            row.observed, row.prescribed,
+            "{:?}/{:?}: {}",
+            row.kind, row.correctability, row.evidence
+        );
+    }
+}

@@ -1,0 +1,83 @@
+//! The §8 fuzzy extension composed with the fault machinery: splitting the
+//! phase body must not weaken any tolerance.
+
+use ftbarrier::core::sim::{measure_phases, PhaseExperiment, TopologySpec};
+use ftbarrier::core::spec::Anchor;
+use ftbarrier::core::sim::SweepOracleMonitor;
+use ftbarrier::core::sweep::SweepBarrier;
+use ftbarrier::gcs::{Interleaving, InterleavingConfig, NullMonitor, Time};
+use ftbarrier::topology::SweepDag;
+
+#[test]
+fn fuzzy_split_masks_detectable_faults() {
+    for &(pre, post) in &[(0.75, 0.25), (0.5, 0.5)] {
+        let m = measure_phases(&PhaseExperiment {
+            topology: TopologySpec::Tree { n: 8, arity: 2 },
+            c: 0.02,
+            f: 0.05,
+            target_phases: 40,
+            seed: 0xF022,
+            work_split: Some((pre, post)),
+            ..Default::default()
+        });
+        assert_eq!(m.phases, 40, "split {pre}/{post}");
+        assert_eq!(
+            m.violations, 0,
+            "split {pre}/{post}: fuzzy barriers must still mask detectable faults"
+        );
+    }
+}
+
+#[test]
+fn fuzzy_split_is_faster_even_with_faults() {
+    let run = |split| {
+        measure_phases(&PhaseExperiment {
+            topology: TopologySpec::Tree { n: 32, arity: 2 },
+            c: 0.05,
+            f: 0.02,
+            target_phases: 60,
+            seed: 0xF023,
+            work_split: split,
+            ..Default::default()
+        })
+    };
+    let strict = run(None);
+    let fuzzy = run(Some((0.6, 0.4)));
+    assert_eq!(strict.violations, 0);
+    assert_eq!(fuzzy.violations, 0);
+    assert!(
+        fuzzy.mean_phase_time < strict.mean_phase_time - 0.05,
+        "fuzzy {} vs strict {}",
+        fuzzy.mean_phase_time,
+        strict.mean_phase_time
+    );
+}
+
+#[test]
+fn fuzzy_stabilizes_from_arbitrary_states() {
+    // Arbitrary states now include post=false positions; recovery must
+    // still reach a clean boundary with the POSTWORK action in play.
+    let program = SweepBarrier::new(SweepDag::ring(4).unwrap(), 4)
+        .with_fuzzy_split(Time::new(0.7), Time::new(0.3));
+    for seed in 0..8 {
+        let mut exec =
+            Interleaving::new(&program, InterleavingConfig { seed, ..Default::default() });
+        exec.perturb_all();
+        let mut silent = NullMonitor;
+        exec.run(60_000, &mut silent);
+        let settled = exec.run_until(60_000, &mut silent, |g| {
+            g.iter().all(|p| {
+                p.cp == ftbarrier::core::cp::Cp::Ready && p.ph == g[0].ph && p.sn.is_valid()
+            })
+        });
+        assert!(settled.is_some(), "seed {seed}: fuzzy variant failed to settle");
+        let mut mon = SweepOracleMonitor::new(&program, Anchor::Free);
+        exec.run(30_000, &mut mon);
+        assert!(
+            mon.oracle.is_clean(),
+            "seed {seed}: {:?}",
+            mon.oracle.violations()
+        );
+        assert!(mon.oracle.phases_completed() >= 3, "seed {seed}");
+    }
+}

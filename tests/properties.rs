@@ -1,0 +1,150 @@
+//! Property-based tests (proptest) on the core invariants:
+//! stabilization from arbitrary states, token uniqueness, oracle robustness,
+//! and the analytical model's laws.
+
+use ftbarrier::core::analysis::AnalyticModel;
+use ftbarrier::core::cp::Cp;
+use ftbarrier::core::spec::{Anchor, BarrierOracle, OracleConfig};
+use ftbarrier::core::sweep::SweepBarrier;
+use ftbarrier::core::token_ring::TokenRing;
+use ftbarrier::gcs::{Interleaving, InterleavingConfig, NullMonitor, Time};
+use ftbarrier::topology::SweepDag;
+use proptest::prelude::*;
+
+/// Arbitrary sweep topologies of modest size.
+fn topology_strategy() -> impl Strategy<Value = SweepDag> {
+    prop_oneof![
+        (2usize..10).prop_map(|n| SweepDag::ring(n).unwrap()),
+        (1usize..5, 1usize..5).prop_map(|(a, b)| SweepDag::two_ring(a, b).unwrap()),
+        (2usize..20, 2usize..4).prop_map(|(n, k)| SweepDag::tree(n, k).unwrap()),
+        (2usize..10, 2usize..3).prop_map(|(n, k)| SweepDag::double_tree(n, k).unwrap()),
+        (2usize..8).prop_map(|n| ftbarrier::core::sweep::mb_ring(n).unwrap()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 40, ..ProptestConfig::default() })]
+
+    /// The sweep barrier stabilizes from *any* arbitrary state on *any*
+    /// supported topology: after a settle window, the specification holds
+    /// and phases keep completing (Lemma 4.1.3 generalized).
+    #[test]
+    fn sweep_stabilizes_from_arbitrary_state(dag in topology_strategy(), seed in 0u64..1000) {
+        let program = SweepBarrier::new(dag, 8);
+        let mut exec = Interleaving::new(
+            &program,
+            InterleavingConfig { seed, ..Default::default() },
+        );
+        exec.perturb_all();
+        let mut silent = NullMonitor;
+        exec.run(60_000, &mut silent);
+        // Settled: from a start-state boundary, everything must be clean.
+        let settled = exec.run_until(60_000, &mut silent, |g| {
+            (0..g.len()).all(|p| g[p].cp == Cp::Ready && g[p].ph == g[0].ph && g[p].sn.is_valid())
+        });
+        prop_assert!(settled.is_some(), "never reached a start state");
+        let mut monitor = ftbarrier::core::sim::SweepOracleMonitor::new(&program, Anchor::Free);
+        exec.run(40_000, &mut monitor);
+        prop_assert!(
+            monitor.oracle.is_clean(),
+            "post-stabilization violations: {:?}",
+            monitor.oracle.violations()
+        );
+        prop_assert!(monitor.oracle.phases_completed() >= 2);
+    }
+
+    /// Dijkstra-style token uniqueness: the underlying ring converges to
+    /// exactly one token from any state and keeps it (the [10] substrate's
+    /// contract).
+    #[test]
+    fn token_ring_converges_to_one_token(n in 2usize..12, seed in 0u64..1000) {
+        let ring = TokenRing::new(n);
+        let mut exec = Interleaving::new(
+            &ring,
+            InterleavingConfig { seed, ..Default::default() },
+        );
+        exec.perturb_all();
+        let mut m = NullMonitor;
+        let steps = exec.run_until(100_000, &mut m, |g| {
+            ring.count_tokens(g) == 1 && g.iter().all(|s| s.is_valid())
+        });
+        prop_assert!(steps.is_some());
+        for _ in 0..100 {
+            exec.step(&mut m);
+            prop_assert_eq!(ring.count_tokens(exec.global()), 1);
+        }
+    }
+
+    /// The oracle is total: any stream of cp transitions (however insane)
+    /// is classified without panicking, and a violation-free verdict implies
+    /// the phase counters are consistent.
+    #[test]
+    fn oracle_never_panics(
+        events in proptest::collection::vec(
+            (0usize..4, 0u32..4, 0usize..5, 0usize..5),
+            0..200,
+        )
+    ) {
+        let cps = [Cp::Ready, Cp::Execute, Cp::Success, Cp::Error, Cp::Repeat];
+        let mut oracle = BarrierOracle::new(OracleConfig {
+            n_processes: 4,
+            n_phases: 4,
+            anchor: Anchor::Free,
+        });
+        for (i, (pid, ph, old, new)) in events.iter().enumerate() {
+            oracle.observe_cp(
+                Time::new(i as f64),
+                *pid,
+                *ph,
+                cps[*old],
+                cps[*new],
+            );
+        }
+        prop_assert!(oracle.phases_completed() <= oracle.successful_instances());
+        prop_assert_eq!(
+            oracle.instance_counts().len() as u64,
+            oracle.phases_completed()
+        );
+        let total: u64 = oracle.instance_counts().iter().sum();
+        prop_assert!(total <= oracle.successful_instances() + oracle.aborted_instances());
+    }
+
+    /// Analytical model laws: pmf normalization, expectation consistency,
+    /// and monotonicity in both parameters.
+    #[test]
+    fn analytic_model_laws(
+        h in 1usize..8,
+        c in 0.0f64..0.05,
+        f in 0.0f64..0.2,
+    ) {
+        let m = AnalyticModel::new(h, c, f);
+        prop_assert!(m.expected_instances() >= 1.0);
+        prop_assert!(m.expected_phase_time() >= m.tolerant_instance_time() - 1e-12);
+        prop_assert!(m.tolerant_instance_time() > m.intolerant_phase_time() - 1e-12);
+        if f > 0.0 {
+            let bumped = AnalyticModel::new(h, c, (f + 0.05).min(0.3));
+            prop_assert!(bumped.expected_instances() > m.expected_instances());
+        }
+        // PMF sums to ~1.
+        let total: f64 = (1..500).map(|k| m.p_instances(k)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-6);
+    }
+
+    /// Sequence numbers: `next` stays in the domain and cycles with period
+    /// exactly `k`.
+    #[test]
+    fn sn_next_cycles(k in 2u32..100, start in 0u32..100) {
+        use ftbarrier::core::sn::Sn;
+        let start = start % k;
+        let mut v = Sn::Val(start);
+        for _ in 0..k {
+            v = v.next(k);
+            if let Sn::Val(x) = v {
+                prop_assert!(x < k);
+            } else {
+                prop_assert!(false, "next left the ordinary domain");
+            }
+        }
+        prop_assert_eq!(v, Sn::Val(start));
+    }
+}

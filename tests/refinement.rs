@@ -1,0 +1,213 @@
+//! Integration: the refinement chain CB → RB → RB′/tree → MB preserves the
+//! barrier specification and its tolerances (§4–§5's refinement claims,
+//! checked behaviourally across crates).
+
+use ftbarrier::core::cb::{Cb, CbState};
+use ftbarrier::core::sim::{
+    measure_phases, PhaseExperiment, SweepOracleMonitor, TopologySpec,
+};
+use ftbarrier::core::spec::{Anchor, BarrierOracle, OracleConfig};
+use ftbarrier::core::sweep::SweepBarrier;
+use ftbarrier::gcs::{
+    ActionId, FaultKind, Interleaving, InterleavingConfig, Monitor, Pid, Time,
+};
+use ftbarrier::topology::SweepDag;
+
+/// Oracle adapter for CB under the interleaving executor.
+struct CbOracle {
+    oracle: BarrierOracle,
+}
+
+impl Monitor<CbState> for CbOracle {
+    fn on_transition(
+        &mut self,
+        now: Time,
+        pid: Pid,
+        _action: ActionId,
+        _name: &str,
+        old: &CbState,
+        new: &CbState,
+        _global: &[CbState],
+    ) {
+        self.oracle.observe_cp(now, pid, new.ph, old.cp, new.cp);
+    }
+
+    fn on_fault(
+        &mut self,
+        now: Time,
+        pid: Pid,
+        _kind: FaultKind,
+        old: &CbState,
+        new: &CbState,
+        _global: &[CbState],
+    ) {
+        self.oracle.observe_cp(now, pid, new.ph, old.cp, new.cp);
+    }
+}
+
+#[test]
+fn every_refinement_satisfies_the_spec_fault_free() {
+    let n = 6;
+    let n_phases = 4;
+
+    // CB, coarse grain.
+    let cb = Cb::new(n, n_phases);
+    let mut exec = Interleaving::new(&cb, InterleavingConfig::default());
+    let mut mon = CbOracle {
+        oracle: BarrierOracle::new(OracleConfig {
+            n_processes: n,
+            n_phases,
+            anchor: Anchor::StrictFromZero,
+        }),
+    };
+    exec.run(30_000, &mut mon);
+    assert!(mon.oracle.is_clean());
+    let cb_phases = mon.oracle.phases_completed();
+    assert!(cb_phases >= 20, "CB made {cb_phases} phases");
+
+    // The refinements, all through the same harness.
+    for topology in [
+        TopologySpec::Ring { n },              // RB
+        TopologySpec::TwoRing { a: 3, b: 2 },  // RB′
+        TopologySpec::Tree { n, arity: 2 },    // Fig 2(c)
+        TopologySpec::DoubleTree { n: 7, arity: 2 }, // Fig 2(d)
+        TopologySpec::MbRing { n },            // MB
+    ] {
+        let m = measure_phases(&PhaseExperiment {
+            topology,
+            n_phases,
+            c: 0.0,
+            f: 0.0,
+            seed: 11,
+            target_phases: 25,
+            work_split: None,
+        });
+        assert_eq!(m.violations, 0, "{topology:?}");
+        assert_eq!(m.phases, 25, "{topology:?}");
+        assert_eq!(m.mean_instances, 1.0, "{topology:?}: fault-free is 1 instance");
+    }
+}
+
+#[test]
+fn every_refinement_masks_detectable_faults() {
+    for topology in [
+        TopologySpec::Ring { n: 5 },
+        TopologySpec::TwoRing { a: 2, b: 2 },
+        TopologySpec::Tree { n: 15, arity: 2 },
+        TopologySpec::DoubleTree { n: 7, arity: 2 },
+        TopologySpec::MbRing { n: 5 },
+    ] {
+        for seed in 0..3 {
+            let m = measure_phases(&PhaseExperiment {
+                topology,
+                n_phases: 8,
+                c: 0.01,
+                f: 0.04,
+                seed: 100 + seed,
+                target_phases: 40,
+                work_split: None,
+            });
+            assert_eq!(
+                m.violations, 0,
+                "{topology:?} seed {seed}: detectable faults must be masked"
+            );
+            assert_eq!(m.phases, 40, "{topology:?} seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn mb_equals_rb_on_the_doubled_ring_fault_free() {
+    // §5's theorem: MB's computations are the computations of RB on a ring
+    // of 2(N+1) positions. Drive both deterministically under the timed
+    // engine (cost 0 communication, unit work) and compare the sequence of
+    // (phase, cp) transitions at the worker positions.
+    use ftbarrier::core::sweep::{mb_ring, PosState};
+    use ftbarrier::gcs::fault::NoFaults;
+    use ftbarrier::gcs::{Engine, EngineConfig};
+
+    let n = 4;
+    fn worker_transitions(program: &SweepBarrier, seed: u64) -> Vec<(usize, String)> {
+        struct Collect<'p> {
+            program: &'p SweepBarrier,
+            log: Vec<(usize, String)>,
+        }
+        impl Monitor<PosState> for Collect<'_> {
+            fn on_transition(
+                &mut self,
+                _now: Time,
+                pos: Pid,
+                _action: ActionId,
+                _name: &str,
+                old: &PosState,
+                new: &PosState,
+                _global: &[PosState],
+            ) {
+                if self.program.is_worker(pos) && old.cp != new.cp {
+                    self.log.push((
+                        self.program.dag().owner(pos),
+                        format!("{}->{}@{}", old.cp, new.cp, new.ph),
+                    ));
+                }
+            }
+            fn should_stop(&mut self) -> bool {
+                self.log.len() >= 200
+            }
+        }
+        let mut engine = Engine::new(program, seed);
+        let mut mon = Collect { program, log: Vec::new() };
+        engine.run(&EngineConfig::default(), &mut NoFaults, &mut mon);
+        mon.log
+    }
+
+    let rb = SweepBarrier::new(SweepDag::ring(n).unwrap(), 4);
+    let mb = SweepBarrier::new(mb_ring(n).unwrap(), 4).with_sn_domain(
+        // Same sequence-number domain so the traces align exactly.
+        2 * (2 * n as u32) + 3,
+    );
+    let rb_log = worker_transitions(&rb, 3);
+    let mb_log = worker_transitions(&mb, 3);
+    assert_eq!(
+        rb_log, mb_log,
+        "MB's worker-visible behaviour must equal RB's"
+    );
+}
+
+#[test]
+fn tree_is_faster_than_ring_at_same_size() {
+    // §4.2's point: the tree refinement cuts detection+dissemination from
+    // O(N) to O(h).
+    let n = 32;
+    let c = 0.02;
+    let ring = measure_phases(&PhaseExperiment {
+        topology: TopologySpec::Ring { n },
+        c,
+        f: 0.0,
+        target_phases: 20,
+        ..Default::default()
+    });
+    let tree = measure_phases(&PhaseExperiment {
+        topology: TopologySpec::Tree { n, arity: 2 },
+        c,
+        f: 0.0,
+        target_phases: 20,
+        ..Default::default()
+    });
+    assert!(
+        tree.mean_phase_time < ring.mean_phase_time * 0.6,
+        "tree {} vs ring {}",
+        tree.mean_phase_time,
+        ring.mean_phase_time
+    );
+}
+
+#[test]
+fn sweep_oracle_monitor_counts_match_direct_oracle() {
+    // The harness's monitor adapter and a hand-driven oracle agree.
+    let program = SweepBarrier::new(SweepDag::ring(3).unwrap(), 4);
+    let mut monitor = SweepOracleMonitor::new(&program, Anchor::StrictFromZero).stop_after(5);
+    let mut exec = Interleaving::new(&program, InterleavingConfig::default());
+    exec.run(100_000, &mut monitor);
+    assert!(monitor.oracle.phases_completed() >= 5);
+    assert!(monitor.oracle.is_clean());
+}

@@ -1,0 +1,170 @@
+//! Integration: the thread runtime under randomized fault storms, and the
+//! threaded MB under hostile links — the deployment-facing guarantees.
+
+use ftbarrier::mp::mb::spawn;
+use ftbarrier::mp::{ChannelFaults, MbConfig};
+use ftbarrier::runtime::barrier::CorruptTarget;
+use ftbarrier::runtime::{FtBarrier, FtBarrierBuilder, PhaseOutcome};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+#[test]
+fn random_failure_storm_keeps_lockstep() {
+    // Every participant randomly fails ~10% of its arrivals; all phases must
+    // still advance identically everywhere and each phase commit exactly
+    // once per participant.
+    let n = 8;
+    let target = 40u64;
+    let (_b, parts) = FtBarrier::new(n);
+    let commits: Arc<Vec<AtomicU64>> =
+        Arc::new((0..target as usize).map(|_| AtomicU64::new(0)).collect());
+    let handles: Vec<_> = parts
+        .into_iter()
+        .map(|mut p| {
+            let commits = Arc::clone(&commits);
+            std::thread::spawn(move || {
+                // Deterministic per-participant pseudo-randomness.
+                let mut x = 0x9E3779B9u64.wrapping_mul(p.id() as u64 + 1) | 1;
+                let mut rand = move || {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    x
+                };
+                while p.phase() < target {
+                    let phase = p.phase();
+                    let fail = rand() % 10 == 0;
+                    let out = if fail {
+                        p.arrive_failed().unwrap()
+                    } else {
+                        p.arrive().unwrap()
+                    };
+                    if let PhaseOutcome::Advance { phase: adv } = out {
+                        assert_eq!(adv, phase + 1, "phases advance one at a time");
+                        commits[phase as usize].fetch_add(1, Ordering::SeqCst);
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    for (i, c) in commits.iter().enumerate() {
+        assert_eq!(c.load(Ordering::SeqCst), n as u64, "phase {i}");
+    }
+}
+
+#[test]
+fn corruption_storm_with_detectable_scribbles() {
+    // Continuously scribble ill-formed values over every shared word while
+    // 8 threads cross the barrier 50 times each. All corruption is
+    // detectable (bad checksums), so the run must be perfectly clean.
+    let n = 8;
+    let (b, parts) = FtBarrier::new(n);
+    let stop = Arc::new(AtomicBool::new(false));
+    let storm = {
+        let b = b.clone();
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut i = 1u64;
+            while !stop.load(Ordering::Acquire) {
+                let mut raw = i.wrapping_mul(0xDEAD_BEEF_1357_9BDF);
+                if ftbarrier::runtime::word::unpack(raw).is_some() {
+                    raw ^= 0xFF;
+                }
+                match i % 5 {
+                    0 => b.corrupt(CorruptTarget::Release, raw),
+                    1 => b.corrupt(CorruptTarget::Phase, raw),
+                    k => b.corrupt(CorruptTarget::Slot((k as usize + i as usize) % n), raw),
+                }
+                i += 1;
+                std::thread::yield_now();
+            }
+        })
+    };
+    let handles: Vec<_> = parts
+        .into_iter()
+        .map(|mut p| {
+            std::thread::spawn(move || {
+                for expected in 1..=50u64 {
+                    let out = p.arrive().unwrap();
+                    assert_eq!(out, PhaseOutcome::Advance { phase: expected });
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    stop.store(true, Ordering::Release);
+    storm.join().unwrap();
+}
+
+#[test]
+fn wide_trees_and_many_threads() {
+    for (n, arity) in [(16usize, 2usize), (24, 3), (33, 4)] {
+        let (_b, parts) = FtBarrierBuilder::new(n).arity(arity).build();
+        let handles: Vec<_> = parts
+            .into_iter()
+            .map(|mut p| {
+                std::thread::spawn(move || {
+                    for expected in 1..=20u64 {
+                        assert_eq!(p.arrive().unwrap().phase(), expected);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+}
+
+#[test]
+fn mb_hostile_links_many_seeds() {
+    for seed in 0..5u64 {
+        let run = spawn(MbConfig {
+            n: 4,
+            target_phases: 10,
+            faults: ChannelFaults {
+                loss: 0.25,
+                duplication: 0.15,
+                corruption: 0.15,
+                reorder: 0.15,
+            },
+            seed,
+            ..Default::default()
+        });
+        let report = run.join();
+        assert!(report.reached_target, "seed {seed}: {report:?}");
+        assert!(
+            report.violations.is_empty(),
+            "seed {seed}: {:?}",
+            report.violations
+        );
+    }
+}
+
+#[test]
+fn mb_poison_storm_remains_masked() {
+    let run = spawn(MbConfig {
+        n: 5,
+        target_phases: 25,
+        seed: 0x0570_0012,
+        ..Default::default()
+    });
+    let h = run.handle();
+    for k in 1..=6u64 {
+        while run.root_phase_advances() < k * 3 {
+            std::thread::yield_now();
+        }
+        h.poison((k % 5) as usize);
+    }
+    let report = run.join();
+    assert!(report.reached_target, "{report:?}");
+    assert!(report.violations.is_empty(), "{:?}", report.violations);
+    // Re-executions happened (the poisons cost instances).
+    let total: u64 = report.instance_counts.iter().sum();
+    assert!(total >= report.phases_completed);
+}
