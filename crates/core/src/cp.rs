@@ -9,7 +9,7 @@
 use std::fmt;
 
 /// A process's control position.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Cp {
     /// Ready to execute the current phase.
     Ready,

@@ -18,7 +18,7 @@
 use ftbarrier_gcs::{ActionId, FaultKind, Pid, Protocol, SimRng, Time};
 
 /// How a fault relates to correction (§7, Table 1 rows).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Correctability {
     /// Correction can be modeled as simultaneous with the occurrence
     /// (e.g. ECC-corrected message corruption).
@@ -31,7 +31,7 @@ pub enum Correctability {
 }
 
 /// The tolerance a program can appropriately provide (Table 1 cells).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Tolerance {
     /// The fault might as well not exist.
     TriviallyMasking,
@@ -59,7 +59,7 @@ pub fn appropriate_tolerance(kind: FaultKind, correctability: Correctability) ->
 }
 
 /// The concrete fault types the introduction enumerates, classified per §2.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum NamedFault {
     MessageLoss,
     DetectableMessageCorruption,

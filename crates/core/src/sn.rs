@@ -14,7 +14,7 @@
 use std::fmt;
 
 /// A sequence number: a value in `{0..K-1}` or one of the flags ⊥ / ⊤.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Sn {
     /// ⊥ — this process's sequence number was detectably corrupted.
     Bot,

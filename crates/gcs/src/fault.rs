@@ -19,7 +19,7 @@ use crate::rng::SimRng;
 use crate::time::Time;
 
 /// The paper's two fault classes (§2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FaultKind {
     /// State is reset to flagged values before any process accesses it
     /// (message loss, fail-stop, reboot, FP exceptions, …).

@@ -2,54 +2,91 @@
 //!
 //! Every stochastic choice in the simulator (scheduler tie-breaks, fault
 //! arrival times, fault perturbation values) flows through [`SimRng`] so that
-//! a run is fully reproducible from its seed. Internally this is a thin
-//! wrapper over `rand`'s `SmallRng` (xoshiro256++), which is plenty for
-//! simulation purposes and fast.
-
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+//! a run is fully reproducible from its seed. Internally this is a
+//! self-contained xoshiro256++ generator (the same algorithm `rand`'s
+//! `SmallRng` uses on 64-bit targets) seeded through splitmix64, so the
+//! simulator has no external RNG dependency and the stream for a given seed
+//! is stable forever.
 
 /// Seeded simulation RNG. Cheap to fork for independent substreams.
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: SmallRng,
+    state: [u64; 4],
+}
+
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl SimRng {
     pub fn seed_from_u64(seed: u64) -> SimRng {
+        // splitmix64 expansion, the reference recipe for filling xoshiro
+        // state from one word; it cannot produce the all-zero state.
+        let mut s = seed;
         SimRng {
-            inner: SmallRng::seed_from_u64(seed),
+            state: [
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+            ],
         }
     }
 
     /// Fork an independent substream (e.g. one per process, one for faults)
     /// so adding consumers does not perturb existing streams.
     pub fn fork(&mut self) -> SimRng {
-        SimRng::seed_from_u64(self.inner.gen())
+        SimRng::seed_from_u64(self.next_u64())
+    }
+
+    /// The xoshiro256++ core step.
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.state;
+        let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+        let t = s1 << 17;
+        let mut s2 = s2 ^ s0;
+        let mut s3 = s3 ^ s1;
+        let s1 = s1 ^ s2;
+        let s0 = s0 ^ s3;
+        s2 ^= t;
+        s3 = s3.rotate_left(45);
+        self.state = [s0, s1, s2, s3];
+        result
     }
 
     /// Uniform integer in `[0, bound)`. Panics if `bound == 0`.
     #[inline]
     pub fn below(&mut self, bound: usize) -> usize {
-        self.inner.gen_range(0..bound)
+        assert!(bound > 0, "below(0)");
+        // Lemire's multiply-shift bounded mapping (bias is < 2^-64 * bound,
+        // irrelevant at simulation scales and branch-free).
+        ((u128::from(self.next_u64()) * bound as u128) >> 64) as usize
     }
 
     /// Uniform integer in `[lo, hi)`.
     #[inline]
     pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
-        self.inner.gen_range(lo..hi)
+        assert!(lo < hi, "empty range");
+        lo + ((u128::from(self.next_u64()) * u128::from(hi - lo)) >> 64) as u64
     }
 
     /// Uniform float in `[0, 1)`.
     #[inline]
     pub fn unit(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        // 53 random mantissa bits, the standard double-precision recipe.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Bernoulli trial with success probability `p` (clamped to `[0,1]`).
     #[inline]
     pub fn chance(&mut self, p: f64) -> bool {
-        self.inner.gen::<f64>() < p
+        self.unit() < p
     }
 
     /// Exponentially distributed duration with the given rate (events per
@@ -137,5 +174,30 @@ mod tests {
         let mut sorted = v.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn unit_is_half_open_and_roughly_uniform() {
+        let mut rng = SimRng::seed_from_u64(11);
+        let n = 20_000;
+        let mean: f64 = (0..n)
+            .map(|_| {
+                let u = rng.unit();
+                assert!((0.0..1.0).contains(&u));
+                u
+            })
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean was {mean}");
+    }
+
+    #[test]
+    fn below_covers_small_domains() {
+        let mut rng = SimRng::seed_from_u64(13);
+        let mut seen = [false; 7];
+        for _ in 0..500 {
+            seen[rng.below(7)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "below(7) must reach every value");
     }
 }

@@ -11,7 +11,7 @@ use std::fmt;
 use std::ops::{Add, AddAssign, Div, Mul, Sub};
 
 /// A point in (or duration of) simulation time. Never NaN, never negative.
-#[derive(Clone, Copy, PartialEq, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, PartialEq, Default)]
 pub struct Time(f64);
 
 impl Time {

@@ -1,0 +1,239 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build container has no crates.io access, so external dependencies
+//! are vendored as minimal API-compatible shims. This one implements the
+//! benchmarking surface the workspace's `benches/` use — `Criterion`,
+//! `BenchmarkGroup`, `Bencher::iter`, `bench_with_input`, `Throughput`,
+//! `black_box`, and the `criterion_group!`/`criterion_main!` macros — with
+//! honest wall-clock measurement (warmup, then a calibrated timed run) and
+//! plain-text per-benchmark reports instead of HTML/statistics machinery.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How a benchmark's iteration count translates into a rate in reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// A benchmark identifier: function name plus an input parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            name: name.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+/// Passed to the benchmark closure; `iter` runs and times the payload.
+pub struct Bencher {
+    /// (iterations, total elapsed) of the measured run.
+    measured: Option<(u64, Duration)>,
+    /// Soft target for the measured run's total duration.
+    target: Duration,
+}
+
+impl Bencher {
+    fn new(target: Duration) -> Bencher {
+        Bencher {
+            measured: None,
+            target,
+        }
+    }
+
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut payload: F) {
+        // Warmup + calibration: one untimed call, then scale the iteration
+        // count so the measured run lasts roughly `target`.
+        let start = Instant::now();
+        black_box(payload());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let iters = (self.target.as_nanos() / once.as_nanos()).clamp(1, 1_000) as u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(payload());
+        }
+        self.measured = Some((iters, start.elapsed()));
+    }
+}
+
+/// Top-level handle created by `criterion_main!`.
+pub struct Criterion {
+    target: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            target: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, self.target, None, f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            throughput: None,
+            target: Duration::from_millis(300),
+        }
+    }
+}
+
+/// A named group of related benchmarks sharing throughput/size settings.
+pub struct BenchmarkGroup<'c> {
+    _criterion: &'c mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    target: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Real criterion interprets this as a statistical sample count; here it
+    /// just scales the measured run's duration target (fewer samples ⇒
+    /// cheaper benches ⇒ shorter run).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.target = Duration::from_millis(30).saturating_mul(n.clamp(1, 20) as u32);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&format!("{}/{}", self.name, name), self.target, self.throughput, f);
+        self
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(
+            &format!("{}/{}/{}", self.name, id.name, id.parameter),
+            self.target,
+            self.throughput,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, target: Duration, throughput: Option<Throughput>, mut f: F) {
+    let mut bencher = Bencher::new(target);
+    f(&mut bencher);
+    let Some((iters, total)) = bencher.measured else {
+        println!("{label:<55} (no measurement: closure never called iter)");
+        return;
+    };
+    let per_iter = total.as_secs_f64() / iters as f64;
+    let rate = throughput.map(|t| match t {
+        Throughput::Elements(n) => format!("  thrpt: {}/s", si(n as f64 / per_iter, "elem")),
+        Throughput::Bytes(n) => format!("  thrpt: {}/s", si(n as f64 / per_iter, "B")),
+    });
+    println!(
+        "{label:<55} time: {:>12}/iter{}",
+        human_time(per_iter),
+        rate.unwrap_or_default()
+    );
+}
+
+fn human_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+fn si(rate: f64, unit: &str) -> String {
+    if rate >= 1e9 {
+        format!("{:.3} G{unit}", rate / 1e9)
+    } else if rate >= 1e6 {
+        format!("{:.3} M{unit}", rate / 1e6)
+    } else if rate >= 1e3 {
+        format!("{:.3} K{unit}", rate / 1e3)
+    } else {
+        format!("{rate:.1} {unit}")
+    }
+}
+
+/// Collect benchmark functions into a runner, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point for `harness = false` bench binaries.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(1);
+        group.throughput(Throughput::Elements(10));
+        let mut ran = 0u64;
+        group.bench_function("counts", |b| b.iter(|| ran += 1));
+        group.bench_with_input(BenchmarkId::new("with_input", 3), &3usize, |b, &n| {
+            b.iter(|| black_box(n * 2))
+        });
+        group.finish();
+        assert!(ran >= 2, "warmup + at least one measured iteration");
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(human_time(2.0), "2.000 s");
+        assert_eq!(human_time(2.5e-3), "2.500 ms");
+        assert_eq!(human_time(2.5e-6), "2.500 µs");
+        assert_eq!(human_time(5e-9), "5.0 ns");
+        assert!(si(2.5e6, "elem").starts_with("2.500 M"));
+    }
+}

@@ -1,0 +1,211 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! The build container has no crates.io access, so the external
+//! dependencies are vendored as minimal API-compatible shims. This crate
+//! covers the subset the workspace uses:
+//!
+//! - `crossbeam::scope` / scoped `spawn` (backed by [`std::thread::scope`]);
+//! - `crossbeam::channel::{unbounded, Sender, Receiver, TryRecvError}`
+//!   (backed by [`std::sync::mpsc`], whose implementation *is* the
+//!   crossbeam channel since Rust 1.72);
+//! - `crossbeam::utils::{Backoff, CachePadded}`.
+
+use std::any::Any;
+
+pub mod utils {
+    use std::cell::Cell;
+    use std::ops::{Deref, DerefMut};
+
+    const SPIN_LIMIT: u32 = 6;
+    const YIELD_LIMIT: u32 = 10;
+
+    /// Exponential backoff for spin loops: spin briefly, then yield to the
+    /// OS scheduler once spinning stops paying off.
+    #[derive(Debug, Default)]
+    pub struct Backoff {
+        step: Cell<u32>,
+    }
+
+    impl Backoff {
+        pub fn new() -> Backoff {
+            Backoff { step: Cell::new(0) }
+        }
+
+        pub fn reset(&self) {
+            self.step.set(0);
+        }
+
+        pub fn spin(&self) {
+            for _ in 0..1u32 << self.step.get().min(SPIN_LIMIT) {
+                std::hint::spin_loop();
+            }
+            if self.step.get() <= SPIN_LIMIT {
+                self.step.set(self.step.get() + 1);
+            }
+        }
+
+        pub fn snooze(&self) {
+            if self.step.get() <= SPIN_LIMIT {
+                for _ in 0..1u32 << self.step.get() {
+                    std::hint::spin_loop();
+                }
+            } else {
+                std::thread::yield_now();
+            }
+            if self.step.get() <= YIELD_LIMIT {
+                self.step.set(self.step.get() + 1);
+            }
+        }
+
+        pub fn is_completed(&self) -> bool {
+            self.step.get() > YIELD_LIMIT
+        }
+    }
+
+    /// Pads and aligns a value to (at least) a cache-line boundary so that
+    /// adjacent values never share a line (no false sharing).
+    #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+    #[repr(align(128))]
+    pub struct CachePadded<T> {
+        value: T,
+    }
+
+    impl<T> CachePadded<T> {
+        pub const fn new(value: T) -> CachePadded<T> {
+            CachePadded { value }
+        }
+
+        pub fn into_inner(self) -> T {
+            self.value
+        }
+    }
+
+    impl<T> Deref for CachePadded<T> {
+        type Target = T;
+
+        fn deref(&self) -> &T {
+            &self.value
+        }
+    }
+
+    impl<T> DerefMut for CachePadded<T> {
+        fn deref_mut(&mut self) -> &mut T {
+            &mut self.value
+        }
+    }
+
+    impl<T> From<T> for CachePadded<T> {
+        fn from(value: T) -> CachePadded<T> {
+            CachePadded::new(value)
+        }
+    }
+}
+
+pub mod channel {
+    //! Unbounded MPSC channel with crossbeam's `try_recv` error type,
+    //! re-exported from `std::sync::mpsc` (which has been the ported
+    //! crossbeam implementation since Rust 1.72).
+
+    pub use std::sync::mpsc::{Receiver, SendError, Sender, TryRecvError};
+
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+/// A scope handle mirroring `crossbeam::thread::Scope`: spawned closures
+/// receive the scope again so they can spawn siblings.
+#[derive(Debug, Clone, Copy)]
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: std::thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let scope = *self;
+        ScopedJoinHandle {
+            inner: self.inner.spawn(move || f(&scope)),
+        }
+    }
+}
+
+impl<T> ScopedJoinHandle<'_, T> {
+    pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+        self.inner.join()
+    }
+}
+
+/// Create a scope for spawning threads that may borrow from the enclosing
+/// stack frame. All threads are joined before `scope` returns. Unlike
+/// crossbeam proper, an unjoined panicking child propagates its panic here
+/// (std semantics) instead of surfacing through the returned `Result`.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|inner| f(&Scope { inner })))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let counter = AtomicUsize::new(0);
+        let out = scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| s.spawn(|_| counter.fetch_add(1, Ordering::Relaxed)))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).count()
+        })
+        .unwrap();
+        assert_eq!(out, 4);
+        assert_eq!(counter.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let hits = AtomicUsize::new(0);
+        scope(|s| {
+            s.spawn(|s2| {
+                s2.spawn(|_| hits.fetch_add(1, Ordering::Relaxed));
+            });
+        })
+        .unwrap();
+        assert_eq!(hits.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn channel_try_recv_matches_crossbeam_shape() {
+        let (tx, rx) = channel::unbounded();
+        assert!(matches!(rx.try_recv(), Err(channel::TryRecvError::Empty)));
+        assert!(tx.send(9).is_ok());
+        assert_eq!(rx.try_recv().unwrap(), 9);
+        drop(tx);
+        assert!(matches!(
+            rx.try_recv(),
+            Err(channel::TryRecvError::Disconnected)
+        ));
+    }
+
+    #[test]
+    fn backoff_completes_and_cache_padded_derefs() {
+        let b = utils::Backoff::new();
+        while !b.is_completed() {
+            b.snooze();
+        }
+        let padded = utils::CachePadded::new(3usize);
+        assert_eq!(*padded, 3);
+        assert!(std::mem::align_of::<utils::CachePadded<u8>>() >= 128);
+    }
+}

@@ -1,0 +1,356 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build container has no crates.io access, so external dependencies
+//! are vendored as minimal API-compatible shims. This one keeps the
+//! property-test surface the workspace uses — the `proptest!` macro with
+//! `#![proptest_config]`, range/tuple/string/`Just`/`prop_oneof!` and
+//! `collection::vec` strategies, `prop_map`, and the `prop_assert*!`
+//! macros — generating deterministic pseudo-random cases. There is no
+//! shrinking: a failing case panics like a plain `assert!`, and the
+//! fixed per-test seed makes every failure reproducible.
+
+pub mod test_runner {
+    /// Run-shaping knobs; only `cases` is meaningful in this shim.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// Deterministic generator stream (splitmix64). Each `proptest!` test
+    /// gets one stream seeded from its fully-qualified name, so runs are
+    /// reproducible and independent of sibling tests.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn for_test(name: &str) -> TestRng {
+            let mut seed = 0xcbf2_9ce4_8422_2325u64;
+            for b in name.bytes() {
+                seed ^= u64::from(b);
+                seed = seed.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            TestRng { state: seed }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform in `[0, bound)`; 0 when `bound == 0`.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            if bound == 0 {
+                return 0;
+            }
+            // Multiply-shift bounded mapping; bias is irrelevant for test
+            // case generation.
+            ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+        }
+
+        /// Uniform float in `[0, 1)`.
+        pub fn unit(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { strategy: self, f }
+        }
+    }
+
+    /// Always produces a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// The result of [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        strategy: S,
+        f: F,
+    }
+
+    impl<S, F, U> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.strategy.generate(rng))
+        }
+    }
+
+    /// Uniform choice among boxed sub-strategies (`prop_oneof!`).
+    pub struct Union<T> {
+        options: Vec<Box<dyn Fn(&mut TestRng) -> T>>,
+    }
+
+    impl<T> Union<T> {
+        pub fn new(options: Vec<Box<dyn Fn(&mut TestRng) -> T>>) -> Union<T> {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let idx = rng.below(self.options.len() as u64) as usize;
+            (self.options[idx])(rng)
+        }
+    }
+
+    /// Erase a strategy into the generator form `Union` stores.
+    pub fn into_generator<S>(strategy: S) -> Box<dyn Fn(&mut TestRng) -> S::Value>
+    where
+        S: Strategy + 'static,
+    {
+        Box::new(move |rng| strategy.generate(rng))
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),+) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+        )+};
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            self.start + rng.unit() * (self.end - self.start)
+        }
+    }
+
+    /// String patterns are treated as "arbitrary garbage up to the regex's
+    /// upper repetition bound" — enough for totality/robustness fuzzing,
+    /// with no real regex engine behind it.
+    impl Strategy for &'static str {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let max = repeat_bound(self).unwrap_or(64);
+            let len = rng.below(max as u64 + 1) as usize;
+            const EXOTIC: &[char] = &['\n', '\t', 'λ', '⊥', '⊤', 'é', '中', '�'];
+            (0..len)
+                .map(|_| {
+                    if rng.below(8) == 0 {
+                        EXOTIC[rng.below(EXOTIC.len() as u64) as usize]
+                    } else {
+                        char::from(0x20 + rng.below(95) as u8)
+                    }
+                })
+                .collect()
+        }
+    }
+
+    fn repeat_bound(pattern: &str) -> Option<usize> {
+        let (_, rest) = pattern.split_once('{')?;
+        let (inner, _) = rest.split_once('}')?;
+        let upper = inner.rsplit(',').next()?;
+        upper.trim().parse().ok()
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))+) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )+};
+    }
+
+    tuple_strategy! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: std::ops::Range<usize>,
+    }
+
+    /// `proptest::collection::vec`: a vector whose length is drawn from
+    /// `size` and whose elements come from `element`.
+    pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = self.size.end.saturating_sub(self.size.start).max(1);
+            let len = self.size.start + rng.below(span as u64) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Define property tests. Each `name(arg in strategy, ...)` function runs
+/// `config.cases` times with deterministically generated arguments. No
+/// shrinking: a failure panics immediately with the plain assert message.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!{@funcs $cfg; $($rest)*}
+    };
+    (@funcs $cfg:expr; $(#[$meta:meta])* fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut __rng = $crate::test_runner::TestRng::for_test(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            for _case in 0..__config.cases {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strategy), &mut __rng);)+
+                $body
+            }
+        }
+        $crate::proptest!{@funcs $cfg; $($rest)*}
+    };
+    (@funcs $cfg:expr;) => {};
+    ($($rest:tt)*) => {
+        $crate::proptest!{@funcs $crate::test_runner::ProptestConfig::default(); $($rest)*}
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::into_generator($strategy)),+
+        ])
+    };
+}
+
+pub mod prelude {
+    pub use crate::strategy::{Just, Map, Strategy, Union};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+        #[test]
+        fn ranges_stay_in_bounds(a in 3usize..9, b in -5i64..5, x in 0.25f64..0.75) {
+            prop_assert!((3..9).contains(&a));
+            prop_assert!((-5..5).contains(&b));
+            prop_assert!((0.25..0.75).contains(&x));
+        }
+
+        #[test]
+        fn combinators_compose(
+            v in crate::collection::vec(prop_oneof![Just(1u32), 10u32..20], 2..6),
+            s in ".{0,30}",
+            doubled in (0u32..50).prop_map(|n| n * 2),
+        ) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert!(v.iter().all(|&e| e == 1 || (10..20).contains(&e)));
+            prop_assert!(s.chars().count() <= 30);
+            prop_assert_eq!(doubled % 2, 0);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_form_compiles(n in 0u8..10) {
+            prop_assert_ne!(n, 200);
+        }
+    }
+
+    #[test]
+    fn streams_are_deterministic_per_test_name() {
+        use crate::test_runner::TestRng;
+        let a: Vec<u64> = {
+            let mut r = TestRng::for_test("x");
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = TestRng::for_test("x");
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let c: Vec<u64> = {
+            let mut r = TestRng::for_test("y");
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}
