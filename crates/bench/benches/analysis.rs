@@ -10,7 +10,11 @@ fn bench_analysis(criterion: &mut Criterion) {
     criterion.bench_function("analytic_point", |b| {
         b.iter(|| {
             let m = AnalyticModel::new(black_box(5), black_box(0.01), black_box(0.05));
-            black_box((m.expected_instances(), m.expected_phase_time(), m.overhead()))
+            black_box((
+                m.expected_instances(),
+                m.expected_phase_time(),
+                m.overhead(),
+            ))
         })
     });
     criterion.bench_function("fig3_full_grid", |b| {

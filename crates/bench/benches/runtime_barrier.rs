@@ -7,8 +7,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ftbarrier_runtime::{CentralBarrier, FtBarrier, TreeBarrier};
-use std::sync::Barrier as StdBarrier;
 use std::sync::Arc;
+use std::sync::Barrier as StdBarrier;
 
 const ROUNDS: u64 = 200;
 

@@ -36,8 +36,7 @@ fn bench_engine(criterion: &mut Criterion) {
             &program,
             |b, program| {
                 b.iter(|| {
-                    let mut exec =
-                        Interleaving::new(program, InterleavingConfig::default());
+                    let mut exec = Interleaving::new(program, InterleavingConfig::default());
                     let steps = exec.run(COMMITS, &mut NullMonitor);
                     assert_eq!(steps, COMMITS);
                 })
@@ -47,5 +46,42 @@ fn bench_engine(criterion: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_engine);
+fn bench_engine_large(criterion: &mut Criterion) {
+    // Large-N cases where scheduling dominates: the incremental dirty-set
+    // scheduler vs the full-rescan reference on the same program.
+    let mut group = criterion.benchmark_group("sim_engine_large");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(COMMITS));
+    let cases = [
+        (
+            "tree_1024",
+            SweepBarrier::new(SweepDag::tree(1024, 2).unwrap(), 8)
+                .with_costs(Time::new(0.01), Time::new(1.0)),
+        ),
+        (
+            "ring_512",
+            SweepBarrier::new(SweepDag::ring(512).unwrap(), 8)
+                .with_costs(Time::new(0.01), Time::new(1.0)),
+        ),
+    ];
+    for (name, program) in &cases {
+        for (mode, full_rescan) in [("incremental", false), ("full_rescan", true)] {
+            group.bench_with_input(BenchmarkId::new(*name, mode), program, |b, program| {
+                b.iter(|| {
+                    let mut engine = Engine::new(program, 7);
+                    let config = EngineConfig {
+                        max_commits: Some(COMMITS),
+                        full_rescan,
+                        ..Default::default()
+                    };
+                    let out = engine.run(&config, &mut NoFaults, &mut NullMonitor);
+                    assert!(out.stats.actions_executed >= COMMITS);
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine, bench_engine_large);
 criterion_main!(benches);

@@ -9,6 +9,7 @@
 //! * **Fuzzy barriers** (§8): how much of the synchronization cost the
 //!   enter/leave split hides, as the pre/post work ratio varies.
 
+use crate::parallel::parallel_map;
 use ftbarrier_core::sim::{measure_phases, PhaseExperiment, TopologySpec};
 
 /// One topology-comparison row.
@@ -28,30 +29,30 @@ pub fn topology_comparison(c: f64, quick: bool) -> Vec<TopologyRow> {
         ("ring (RB)", TopologySpec::Ring { n: 16 }),
         ("two-ring (RB')", TopologySpec::TwoRing { a: 8, b: 7 }),
         ("tree h=4 (Fig 2c)", TopologySpec::Tree { n: 16, arity: 2 }),
-        ("double tree (Fig 2d)", TopologySpec::DoubleTree { n: 15, arity: 2 }),
+        (
+            "double tree (Fig 2d)",
+            TopologySpec::DoubleTree { n: 15, arity: 2 },
+        ),
         ("MB ring (§5)", TopologySpec::MbRing { n: 16 }),
     ];
-    specs
-        .into_iter()
-        .map(|(name, topology)| {
-            let dag = topology.build().expect("valid topology");
-            let hops = dag.critical_path();
-            let m = measure_phases(&PhaseExperiment {
-                topology,
-                c,
-                f: 0.0,
-                target_phases: target,
-                ..Default::default()
-            });
-            TopologyRow {
-                name,
-                processes: topology.num_processes(),
-                positions_hops: hops,
-                phase_time: m.mean_phase_time,
-                violations: m.violations,
-            }
-        })
-        .collect()
+    parallel_map(specs.to_vec(), |(name, topology)| {
+        let dag = topology.build().expect("valid topology");
+        let hops = dag.critical_path();
+        let m = measure_phases(&PhaseExperiment {
+            topology,
+            c,
+            f: 0.0,
+            target_phases: target,
+            ..Default::default()
+        });
+        TopologyRow {
+            name,
+            processes: topology.num_processes(),
+            positions_hops: hops,
+            phase_time: m.mean_phase_time,
+            violations: m.violations,
+        }
+    })
 }
 
 /// One arity-sweep row.
@@ -65,25 +66,22 @@ pub struct ArityRow {
 /// Tree fan-out vs phase time, 32 processes.
 pub fn arity_sweep(c: f64, quick: bool) -> Vec<ArityRow> {
     let target = if quick { 20 } else { 60 };
-    [2usize, 3, 4, 8, 16]
-        .into_iter()
-        .map(|arity| {
-            let topology = TopologySpec::Tree { n: 32, arity };
-            let dag = topology.build().unwrap();
-            let m = measure_phases(&PhaseExperiment {
-                topology,
-                c,
-                f: 0.0,
-                target_phases: target,
-                ..Default::default()
-            });
-            ArityRow {
-                arity,
-                height: dag.height(),
-                phase_time: m.mean_phase_time,
-            }
-        })
-        .collect()
+    parallel_map(vec![2usize, 3, 4, 8, 16], |arity| {
+        let topology = TopologySpec::Tree { n: 32, arity };
+        let dag = topology.build().unwrap();
+        let m = measure_phases(&PhaseExperiment {
+            topology,
+            c,
+            f: 0.0,
+            target_phases: target,
+            ..Default::default()
+        });
+        ArityRow {
+            arity,
+            height: dag.height(),
+            phase_time: m.mean_phase_time,
+        }
+    })
 }
 
 /// One fuzzy-split row.
@@ -112,28 +110,27 @@ pub fn fuzzy_sweep(c: f64, quick: bool) -> Vec<FuzzyRow> {
             ..Default::default()
         })
     };
-    let strict = run(None);
     let fractions = if quick {
         vec![0.0, 0.25, 0.5]
     } else {
         vec![0.0, 0.1, 0.25, 0.4, 0.5]
     };
-    fractions
-        .into_iter()
-        .map(|phi| {
-            let m = if phi == 0.0 {
-                run(None)
-            } else {
-                run(Some((1.0 - phi, phi)))
-            };
-            FuzzyRow {
-                post_fraction: phi,
-                phase_time: m.mean_phase_time,
-                strict_time: strict.mean_phase_time,
-                violations: m.violations,
-            }
-        })
-        .collect()
+    // The strict reference runs once up front; the phi = 0 cell re-runs the
+    // same deterministic experiment inside the fan-out.
+    let strict = run(None);
+    parallel_map(fractions, |phi| {
+        let m = if phi == 0.0 {
+            run(None)
+        } else {
+            run(Some((1.0 - phi, phi)))
+        };
+        FuzzyRow {
+            post_fraction: phi,
+            phase_time: m.mean_phase_time,
+            strict_time: strict.mean_phase_time,
+            violations: m.violations,
+        }
+    })
 }
 
 #[cfg(test)]

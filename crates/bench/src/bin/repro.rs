@@ -1,14 +1,15 @@
 //! Reproduce the paper's evaluation artifacts.
 //!
 //! ```text
-//! repro [--quick] [--csv DIR] [fig3|fig4|fig5|fig6|fig7|table1|ablations|all]
+//! repro [--quick] [--csv DIR] [fig3|fig4|fig5|fig6|fig7|table1|ablations|bench|all]
 //! ```
 //!
 //! `--quick` shrinks the parameter grids and sample counts (used by CI and
 //! the integration tests); `--csv DIR` additionally writes one CSV per
-//! figure into DIR.
+//! figure into DIR. `bench` (never part of `all`) times the simulation
+//! engine and the parallel sweep harness and writes `BENCH_engine.json`.
 
-use ftbarrier_bench::{ablations, figures, render, table1};
+use ftbarrier_bench::{ablations, enginebench, figures, render, table1};
 use std::path::PathBuf;
 
 struct Options {
@@ -26,7 +27,9 @@ fn parse_args() -> Options {
         match arg.as_str() {
             "--quick" => quick = true,
             "--csv" => {
-                let dir = args.next().unwrap_or_else(|| usage("--csv needs a directory"));
+                let dir = args
+                    .next()
+                    .unwrap_or_else(|| usage("--csv needs a directory"));
                 csv = Some(PathBuf::from(dir));
             }
             "--help" | "-h" => usage(""),
@@ -44,7 +47,7 @@ fn usage(err: &str) -> ! {
     if !err.is_empty() {
         eprintln!("error: {err}");
     }
-    eprintln!("usage: repro [--quick] [--csv DIR] [fig3|fig4|fig5|fig6|fig7|table1|ablations|all]...");
+    eprintln!("usage: repro [--quick] [--csv DIR] [fig3|fig4|fig5|fig6|fig7|table1|ablations|bench|all]...");
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }
 
@@ -93,14 +96,33 @@ fn main() {
     if wants("ablations") {
         eprintln!("running ablations…");
         let c = 0.02;
-        println!("{}", render::render_topologies(&ablations::topology_comparison(c, opts.quick), c));
-        println!("{}", render::render_arity(&ablations::arity_sweep(c, opts.quick), c));
+        println!(
+            "{}",
+            render::render_topologies(&ablations::topology_comparison(c, opts.quick), c)
+        );
+        println!(
+            "{}",
+            render::render_arity(&ablations::arity_sweep(c, opts.quick), c)
+        );
         let cf = 0.05;
-        println!("{}", render::render_fuzzy(&ablations::fuzzy_sweep(cf, opts.quick), cf));
+        println!(
+            "{}",
+            render::render_fuzzy(&ablations::fuzzy_sweep(cf, opts.quick), cf)
+        );
     }
     if wants("table1") {
         eprintln!("exercising Table 1 scenarios…");
         let rows = table1::rows();
         println!("{}", render::render_table1(&rows));
+    }
+    // Benchmarks are expensive and machine-specific, so `all` skips them;
+    // ask for them explicitly.
+    if opts.what.iter().any(|w| w == "bench") {
+        eprintln!("benchmarking engine and sweep harness…");
+        let report = enginebench::run(opts.quick);
+        print!("{}", report.summary());
+        let path = PathBuf::from("BENCH_engine.json");
+        std::fs::write(&path, report.to_json()).expect("write BENCH_engine.json");
+        eprintln!("wrote {}", path.display());
     }
 }

@@ -1,0 +1,178 @@
+//! Engine-throughput benchmark behind `repro bench`.
+//!
+//! Measures (a) raw engine events/sec on large-N barriers under the
+//! incremental scheduler vs the full-rescan reference scheduler, and
+//! (b) wall time of the Fig 5 sweep serial vs fanned across all cores.
+//! Results are reported as a JSON document (written to `BENCH_engine.json`
+//! by the `repro` binary) so throughput regressions are diffable.
+
+use crate::figures;
+use ftbarrier_core::sweep::SweepBarrier;
+use ftbarrier_gcs::fault::NoFaults;
+use ftbarrier_gcs::{Engine, EngineConfig, NullMonitor, Time};
+use ftbarrier_topology::SweepDag;
+use std::time::Instant;
+
+/// One engine-throughput measurement.
+#[derive(Debug, Clone)]
+pub struct ThroughputRow {
+    pub case_name: &'static str,
+    /// `"incremental"` or `"full_rescan"`.
+    pub mode: &'static str,
+    pub events: u64,
+    pub wall_s: f64,
+    pub events_per_s: f64,
+}
+
+/// One sweep-timing measurement.
+#[derive(Debug, Clone)]
+pub struct SweepRow {
+    pub workers: usize,
+    pub wall_s: f64,
+}
+
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    pub engine: Vec<ThroughputRow>,
+    pub sweep: Vec<SweepRow>,
+}
+
+fn large_cases() -> Vec<(&'static str, SweepBarrier)> {
+    vec![
+        (
+            "tree_1024",
+            SweepBarrier::new(SweepDag::tree(1024, 2).unwrap(), 8)
+                .with_costs(Time::new(0.01), Time::new(1.0)),
+        ),
+        (
+            "ring_512",
+            SweepBarrier::new(SweepDag::ring(512).unwrap(), 8)
+                .with_costs(Time::new(0.01), Time::new(1.0)),
+        ),
+    ]
+}
+
+fn measure_engine(program: &SweepBarrier, commits: u64, full_rescan: bool) -> (u64, f64) {
+    let mut engine = Engine::new(program, 7);
+    let config = EngineConfig {
+        max_commits: Some(commits),
+        full_rescan,
+        ..Default::default()
+    };
+    let start = Instant::now();
+    let out = engine.run(&config, &mut NoFaults, &mut NullMonitor);
+    let wall = start.elapsed().as_secs_f64();
+    assert!(out.stats.actions_executed >= commits);
+    (out.stats.actions_executed, wall)
+}
+
+/// Run the full benchmark suite. `quick` shrinks the commit budget and sweep
+/// grid (CI smoke); throughput numbers for CHANGES.md come from a full run.
+pub fn run(quick: bool) -> BenchReport {
+    let commits: u64 = if quick { 20_000 } else { 200_000 };
+    let mut engine = Vec::new();
+    for (case_name, program) in large_cases() {
+        for (mode, full_rescan) in [("incremental", false), ("full_rescan", true)] {
+            let (events, wall_s) = measure_engine(&program, commits, full_rescan);
+            engine.push(ThroughputRow {
+                case_name,
+                mode,
+                events,
+                wall_s,
+                events_per_s: events as f64 / wall_s,
+            });
+        }
+    }
+
+    // Fig 5 sweep wall time: serial (1 worker) vs all cores. The worker
+    // count is threaded through the FTBARRIER_WORKERS override that
+    // `parallel::worker_count` honours.
+    let mut sweep = Vec::new();
+    let saved = std::env::var("FTBARRIER_WORKERS").ok();
+    for workers in [1usize, parallel_workers_available()] {
+        std::env::set_var("FTBARRIER_WORKERS", workers.to_string());
+        let start = Instant::now();
+        let rows = figures::fig5(quick);
+        let wall_s = start.elapsed().as_secs_f64();
+        assert!(!rows.is_empty());
+        sweep.push(SweepRow { workers, wall_s });
+    }
+    match saved {
+        Some(v) => std::env::set_var("FTBARRIER_WORKERS", v),
+        None => std::env::remove_var("FTBARRIER_WORKERS"),
+    }
+
+    BenchReport { engine, sweep }
+}
+
+fn parallel_workers_available() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+impl BenchReport {
+    /// Render as a JSON document (hand-rolled; the tree only holds numbers
+    /// and fixed identifiers, so no escaping is needed).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n  \"engine\": [\n");
+        for (i, r) in self.engine.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"case\": \"{}\", \"mode\": \"{}\", \"events\": {}, \"wall_s\": {:.4}, \"events_per_s\": {:.0}}}{}\n",
+                r.case_name,
+                r.mode,
+                r.events,
+                r.wall_s,
+                r.events_per_s,
+                if i + 1 < self.engine.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ],\n  \"fig5_sweep\": [\n");
+        for (i, r) in self.sweep.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"workers\": {}, \"wall_s\": {:.4}}}{}\n",
+                r.workers,
+                r.wall_s,
+                if i + 1 < self.sweep.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ],\n  \"speedup\": {\n");
+        let mut lines = Vec::new();
+        for case in ["tree_1024", "ring_512"] {
+            let of = |mode: &str| {
+                self.engine
+                    .iter()
+                    .find(|r| r.case_name == case && r.mode == mode)
+                    .map(|r| r.events_per_s)
+            };
+            if let (Some(inc), Some(full)) = (of("incremental"), of("full_rescan")) {
+                lines.push(format!("    \"{}\": {:.2}", case, inc / full));
+            }
+        }
+        if self.sweep.len() == 2 && self.sweep[1].wall_s > 0.0 {
+            lines.push(format!(
+                "    \"fig5_parallel\": {:.2}",
+                self.sweep[0].wall_s / self.sweep[1].wall_s
+            ));
+        }
+        s.push_str(&lines.join(",\n"));
+        s.push_str("\n  }\n}\n");
+        s
+    }
+
+    /// Human-readable summary for the terminal.
+    pub fn summary(&self) -> String {
+        let mut s = String::from("engine throughput (events/sec):\n");
+        for r in &self.engine {
+            s.push_str(&format!(
+                "  {:>9} {:>12}: {:>12.0}  ({} events in {:.3}s)\n",
+                r.case_name, r.mode, r.events_per_s, r.events, r.wall_s
+            ));
+        }
+        s.push_str("fig5 sweep wall time:\n");
+        for r in &self.sweep {
+            s.push_str(&format!("  {:>2} workers: {:.3}s\n", r.workers, r.wall_s));
+        }
+        s
+    }
+}

@@ -6,6 +6,7 @@
 //! model (documented in DESIGN.md); the *shapes* — who wins, by what factor,
 //! monotonicity — are asserted by `tests/figures.rs`.
 
+use crate::parallel::parallel_map;
 use ftbarrier_core::analysis::AnalyticModel;
 use ftbarrier_core::sim::{
     measure_intolerant_phase_time, measure_phases, measure_recovery, PhaseExperiment,
@@ -116,29 +117,33 @@ pub struct Fig5Row {
 
 pub fn fig5(quick: bool) -> Vec<Fig5Row> {
     let target_phases = if quick { 60 } else { 300 };
-    let mut rows = Vec::new();
+    // Every (c, f) cell is an independent simulation with its own seed, so
+    // the grid fans across worker threads; rows come back in grid order.
+    let mut cells = Vec::new();
     for &c in &c_grid(quick) {
         for &f in &f_grid(quick) {
-            let m = measure_phases(&PhaseExperiment {
-                topology: PAPER_TREE,
-                n_phases: 8,
-                c,
-                f,
-                seed: 0x51_0005 + (f * 1e5) as u64 + (c * 1e7) as u64,
-                target_phases,
-                work_split: None,
-            });
-            rows.push(Fig5Row {
-                f,
-                c,
-                instances: m.mean_instances,
-                analytic: AnalyticModel::new(PAPER_H, c, f).expected_instances(),
-                violations: m.violations,
-                phases: m.phases,
-            });
+            cells.push((c, f));
         }
     }
-    rows
+    parallel_map(cells, |(c, f)| {
+        let m = measure_phases(&PhaseExperiment {
+            topology: PAPER_TREE,
+            n_phases: 8,
+            c,
+            f,
+            seed: 0x51_0005 + (f * 1e5) as u64 + (c * 1e7) as u64,
+            target_phases,
+            work_split: None,
+        });
+        Fig5Row {
+            f,
+            c,
+            instances: m.mean_instances,
+            analytic: AnalyticModel::new(PAPER_H, c, f).expected_instances(),
+            violations: m.violations,
+            phases: m.phases,
+        }
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -166,30 +171,45 @@ pub fn fig6(quick: bool) -> Vec<Fig6Row> {
         vec![0.0, 0.01, 0.02, 0.05]
     };
     let target_phases = if quick { 40 } else { 150 };
-    let mut rows = Vec::new();
-    for &c in &c_grid(quick) {
-        let base = measure_intolerant_phase_time(PAPER_TREE, 8, c, 0xBA5E, target_phases);
+    let cs = c_grid(quick);
+    // Per-c intolerant baselines and (c, f) tolerant cells are all mutually
+    // independent; measure both groups in parallel, then zip in grid order.
+    let bases = parallel_map(cs.clone(), |c| {
+        measure_intolerant_phase_time(PAPER_TREE, 8, c, 0xBA5E, target_phases)
+    });
+    let mut cells = Vec::new();
+    for &c in &cs {
         for &f in &fs {
-            let m = measure_phases(&PhaseExperiment {
-                topology: PAPER_TREE,
-                n_phases: 8,
-                c,
-                f,
-                seed: 0xF16_0006 + (f * 1e5) as u64 + (c * 1e7) as u64,
-                target_phases,
-                work_split: None,
-            });
-            rows.push(Fig6Row {
+            cells.push((c, f));
+        }
+    }
+    let measured = parallel_map(cells.clone(), |(c, f)| {
+        measure_phases(&PhaseExperiment {
+            topology: PAPER_TREE,
+            n_phases: 8,
+            c,
+            f,
+            seed: 0xF16_0006 + (f * 1e5) as u64 + (c * 1e7) as u64,
+            target_phases,
+            work_split: None,
+        })
+    });
+    cells
+        .into_iter()
+        .zip(measured)
+        .map(|((c, f), m)| {
+            let ci = cs.iter().position(|&x| x == c).expect("c from the grid");
+            let base = bases[ci];
+            Fig6Row {
                 f,
                 c,
                 tolerant_time: m.mean_phase_time,
                 intolerant_time: base,
                 overhead: m.mean_phase_time / base - 1.0,
                 analytic_overhead: AnalyticModel::new(PAPER_H, c, f).overhead(),
-            });
-        }
-    }
-    rows
+            }
+        })
+        .collect()
 }
 
 // ---------------------------------------------------------------------------
@@ -211,27 +231,49 @@ pub struct Fig7Row {
 
 pub fn fig7(quick: bool) -> Vec<Fig7Row> {
     let seeds: u64 = if quick { 4 } else { 12 };
-    let hs: Vec<usize> = if quick { vec![1, 3, 5] } else { (1..=7).collect() };
+    let hs: Vec<usize> = if quick {
+        vec![1, 3, 5]
+    } else {
+        (1..=7).collect()
+    };
     let cs = if quick {
         vec![0.01, 0.05]
     } else {
         vec![0.0, 0.01, 0.02, 0.03, 0.04, 0.05]
     };
+    // Flatten the (h, c, seed) grid into independent recovery runs, fan them
+    // out, then fold per-(h, c) sequentially in the original seed order so
+    // the f64 accumulation order (and thus every mean) is unchanged.
+    let mut cells = Vec::new();
+    for &h in &hs {
+        for &c in &cs {
+            for seed in 0..seeds {
+                cells.push((h, c, seed));
+            }
+        }
+    }
+    let measured = parallel_map(cells, |(h, c, seed)| {
+        measure_recovery(&RecoveryExperiment {
+            topology: TopologySpec::Tree {
+                n: 1usize << h,
+                arity: 2,
+            },
+            n_phases: 8,
+            c,
+            seed: 0xF17_0007 + seed * 7919 + (c * 1e7) as u64 + h as u64,
+            horizon: 40.0,
+            confirm_phases: 3,
+        })
+    });
     let mut rows = Vec::new();
+    let mut next = measured.into_iter();
     for &h in &hs {
         let n = 1usize << h;
         for &c in &cs {
             let mut acc = Accumulator::new();
             let mut recovered = 0u64;
-            for seed in 0..seeds {
-                let m = measure_recovery(&RecoveryExperiment {
-                    topology: TopologySpec::Tree { n, arity: 2 },
-                    n_phases: 8,
-                    c,
-                    seed: 0xF17_0007 + seed * 7919 + (c * 1e7) as u64 + h as u64,
-                    horizon: 40.0,
-                    confirm_phases: 3,
-                });
+            for _ in 0..seeds {
+                let m = next.next().expect("one measurement per cell");
                 acc.add(m.recovery_time);
                 if m.recovered {
                     recovered += 1;

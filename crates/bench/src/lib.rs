@@ -14,6 +14,8 @@
 //! | Table 1 | [`table1::rows`] | each fault class gets its tolerance |
 
 pub mod ablations;
+pub mod enginebench;
 pub mod figures;
+pub mod parallel;
 pub mod render;
 pub mod table1;

@@ -1,0 +1,110 @@
+//! Sweep-execution layer: fan independent experiment cells across worker
+//! threads.
+//!
+//! Every simulated figure is a grid of mutually independent cells — each
+//! `(f, c, seed)` point builds its own engine from its own fixed seed, so
+//! running cells concurrently produces bit-identical rows to the serial
+//! loops (the per-cell RNGs never interact). This module provides the one
+//! primitive the figure generators need: an order-preserving parallel map
+//! over scoped threads.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Number of worker threads to fan experiments across.
+///
+/// `FTBARRIER_WORKERS` overrides the detected core count (set it to 1 to
+/// force the serial path, e.g. when timing a single cell).
+pub fn worker_count() -> usize {
+    if let Ok(v) = std::env::var("FTBARRIER_WORKERS") {
+        if let Ok(n) = v.parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Map `f` over `items` on up to [`worker_count`] scoped threads, returning
+/// results in input order.
+///
+/// Work is handed out through a shared atomic cursor, so long cells don't
+/// straggle behind a static partition. Falls back to a plain serial map for
+/// one worker or zero/one items. Panics in `f` propagate to the caller.
+pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = worker_count().min(n);
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+
+    crossbeam::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|_| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = slots[i]
+                    .lock()
+                    .unwrap()
+                    .take()
+                    .expect("each slot is claimed exactly once");
+                let r = f(item);
+                *results[i].lock().unwrap() = Some(r);
+            });
+        }
+    })
+    .expect("experiment worker panicked");
+
+    results
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .unwrap()
+                .expect("every slot was processed before the scope closed")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order_and_maps_everything() {
+        let items: Vec<u64> = (0..100).collect();
+        let out = parallel_map(items, |x| x * x);
+        assert_eq!(out, (0..100).map(|x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn matches_serial_map_on_uneven_work() {
+        // Cells with wildly different costs must still land in input order.
+        let items: Vec<u64> = (0..40).map(|i| (i * 7919) % 23).collect();
+        let expected: Vec<u64> = items.iter().map(|&x| (0..x * 1000).sum::<u64>()).collect();
+        let out = parallel_map(items, |x| (0..x * 1000).sum::<u64>());
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        assert_eq!(parallel_map(Vec::<u32>::new(), |x| x), Vec::<u32>::new());
+        assert_eq!(parallel_map(vec![7], |x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn worker_count_is_positive() {
+        assert!(worker_count() >= 1);
+    }
+}

@@ -112,8 +112,7 @@ pub fn render_fig6(rows: &[Fig6Row]) -> String {
 }
 
 pub fn csv_fig6(rows: &[Fig6Row]) -> String {
-    let mut s =
-        String::from("c,f,tolerant_time,intolerant_time,overhead,analytic_overhead\n");
+    let mut s = String::from("c,f,tolerant_time,intolerant_time,overhead,analytic_overhead\n");
     for r in rows {
         let _ = writeln!(
             s,

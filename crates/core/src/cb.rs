@@ -124,7 +124,8 @@ impl Protocol for Cb {
         match action {
             CB1 => {
                 s.cp == Cp::Ready
-                    && (self.all(g, |k| k.cp == Cp::Ready) || self.exists(g, |k| k.cp == Cp::Execute))
+                    && (self.all(g, |k| k.cp == Cp::Ready)
+                        || self.exists(g, |k| k.cp == Cp::Execute))
             }
             CB2 => {
                 s.cp == Cp::Execute
@@ -296,11 +297,21 @@ mod tests {
         // Safety + Progress in the absence of faults, under many schedules.
         let cb = Cb::new(4, 3);
         for seed in 0..25 {
-            let mut exec = Interleaving::new(&cb, InterleavingConfig { seed, ..Default::default() });
+            let mut exec = Interleaving::new(
+                &cb,
+                InterleavingConfig {
+                    seed,
+                    ..Default::default()
+                },
+            );
             let mut mon = oracle_for(4, 3, Anchor::StrictFromZero);
             let done = exec.run_until(100_000, &mut mon, |_| false);
             assert!(done.is_none(), "CB must never reach a fixpoint");
-            assert!(mon.oracle.is_clean(), "seed {seed}: {:?}", mon.oracle.violations());
+            assert!(
+                mon.oracle.is_clean(),
+                "seed {seed}: {:?}",
+                mon.oracle.violations()
+            );
             assert!(
                 mon.oracle.phases_completed() >= 100,
                 "seed {seed}: progress too slow ({} phases)",
@@ -316,7 +327,13 @@ mod tests {
         let cb = Cb::new(4, 3);
         let fault = CbDetectableFault { n_phases: 3 };
         for seed in 0..25 {
-            let mut exec = Interleaving::new(&cb, InterleavingConfig { seed, ..Default::default() });
+            let mut exec = Interleaving::new(
+                &cb,
+                InterleavingConfig {
+                    seed,
+                    ..Default::default()
+                },
+            );
             let mut mon = oracle_for(4, 3, Anchor::StrictFromZero);
             // Interleave program steps with periodic detectable faults.
             for round in 0..40 {
@@ -330,7 +347,10 @@ mod tests {
                 "seed {seed}: detectable faults must be masked: {:?}",
                 mon.oracle.violations()
             );
-            assert!(mon.oracle.phases_completed() >= 3, "seed {seed}: no progress");
+            assert!(
+                mon.oracle.phases_completed() >= 3,
+                "seed {seed}: no progress"
+            );
         }
     }
 
@@ -338,7 +358,13 @@ mod tests {
     fn lemma_3_3_stabilizes_from_arbitrary_states() {
         let cb = Cb::new(5, 4);
         for seed in 0..25 {
-            let mut exec = Interleaving::new(&cb, InterleavingConfig { seed, ..Default::default() });
+            let mut exec = Interleaving::new(
+                &cb,
+                InterleavingConfig {
+                    seed,
+                    ..Default::default()
+                },
+            );
             exec.perturb_all();
             let mut silent = NullMonitor;
             // Let the program stabilize without judging the interim, then
@@ -348,7 +374,10 @@ mod tests {
             let settled = exec.run_until(50_000, &mut silent, |g| {
                 g.iter().all(|s| s.cp == Cp::Ready && s.ph == g[0].ph)
             });
-            assert!(settled.is_some(), "seed {seed}: never reached a start state");
+            assert!(
+                settled.is_some(),
+                "seed {seed}: never reached a start state"
+            );
             // From here on, the specification must hold.
             let mut mon = oracle_for(5, 4, Anchor::Free);
             exec.run(50_000, &mut mon);
@@ -374,7 +403,13 @@ mod tests {
         let n_phases = 8u32;
         let cb = Cb::new(5, n_phases);
         for seed in 100..130 {
-            let mut exec = Interleaving::new(&cb, InterleavingConfig { seed, ..Default::default() });
+            let mut exec = Interleaving::new(
+                &cb,
+                InterleavingConfig {
+                    seed,
+                    ..Default::default()
+                },
+            );
             exec.perturb_all();
             let perturbed = {
                 let mut phases: Vec<u32> = exec.global().iter().map(|s| s.ph).collect();
@@ -463,7 +498,11 @@ mod tests {
         let cb = Cb::new(3, 5);
         let mut rng = SimRng::seed_from_u64(0);
         let mut g = vec![
-            CbState { cp: Cp::Success, ph: 2, done: true };
+            CbState {
+                cp: Cp::Success,
+                ph: 2,
+                done: true
+            };
             3
         ];
         let s = cb.execute(&g, 0, CB3, &mut rng);
@@ -472,7 +511,10 @@ mod tests {
         // With an error present, the phase must not advance.
         g[2].cp = Cp::Error;
         let s = cb.execute(&g, 0, CB3, &mut rng);
-        assert_eq!(s.ph, 2, "phase must be re-executed after a detectable fault");
+        assert_eq!(
+            s.ph, 2,
+            "phase must be re-executed after a detectable fault"
+        );
     }
 
     #[test]
@@ -480,10 +522,18 @@ mod tests {
         let cb = Cb::new(3, 5);
         let mut rng = SimRng::seed_from_u64(0);
         let mut g = vec![
-            CbState { cp: Cp::Success, ph: 2, done: true };
+            CbState {
+                cp: Cp::Success,
+                ph: 2,
+                done: true
+            };
             3
         ];
-        g[1] = CbState { cp: Cp::Ready, ph: 3, done: true };
+        g[1] = CbState {
+            cp: Cp::Ready,
+            ph: 3,
+            done: true,
+        };
         let s = cb.execute(&g, 0, CB3, &mut rng);
         assert_eq!(s.ph, 3, "must copy the phase of the ready process");
     }
@@ -494,22 +544,53 @@ mod tests {
         let mut rng = SimRng::seed_from_u64(0);
         // Ready present.
         let g = vec![
-            CbState { cp: Cp::Error, ph: 0, done: false },
-            CbState { cp: Cp::Ready, ph: 4, done: true },
-            CbState { cp: Cp::Success, ph: 5, done: true },
+            CbState {
+                cp: Cp::Error,
+                ph: 0,
+                done: false,
+            },
+            CbState {
+                cp: Cp::Ready,
+                ph: 4,
+                done: true,
+            },
+            CbState {
+                cp: Cp::Success,
+                ph: 5,
+                done: true,
+            },
         ];
         let s = cb.execute(&g, 0, CB4, &mut rng);
         assert_eq!((s.cp, s.ph), (Cp::Ready, 4));
         // Only success present.
         let g = vec![
-            CbState { cp: Cp::Error, ph: 0, done: false },
-            CbState { cp: Cp::Error, ph: 1, done: false },
-            CbState { cp: Cp::Success, ph: 5, done: true },
+            CbState {
+                cp: Cp::Error,
+                ph: 0,
+                done: false,
+            },
+            CbState {
+                cp: Cp::Error,
+                ph: 1,
+                done: false,
+            },
+            CbState {
+                cp: Cp::Success,
+                ph: 5,
+                done: true,
+            },
         ];
         let s = cb.execute(&g, 0, CB4, &mut rng);
         assert_eq!((s.cp, s.ph), (Cp::Ready, 5));
         // Everyone corrupted: phase becomes arbitrary but valid.
-        let g = vec![CbState { cp: Cp::Error, ph: 0, done: false }; 3];
+        let g = vec![
+            CbState {
+                cp: Cp::Error,
+                ph: 0,
+                done: false
+            };
+            3
+        ];
         let s = cb.execute(&g, 0, CB4, &mut rng);
         assert_eq!(s.cp, Cp::Ready);
         assert!(s.ph < 7);
@@ -519,7 +600,11 @@ mod tests {
     fn detectable_fault_sets_error() {
         let fault = CbDetectableFault { n_phases: 4 };
         let mut rng = SimRng::seed_from_u64(9);
-        let mut s = CbState { cp: Cp::Execute, ph: 1, done: true };
+        let mut s = CbState {
+            cp: Cp::Execute,
+            ph: 1,
+            done: true,
+        };
         fault.apply(0, &mut s, &mut rng);
         assert_eq!(s.cp, Cp::Error);
         assert!(!s.done);
@@ -532,7 +617,11 @@ mod tests {
         let fault = CbUndetectableFault { n_phases: 4 };
         let mut rng = SimRng::seed_from_u64(10);
         for _ in 0..100 {
-            let mut s = CbState { cp: Cp::Ready, ph: 0, done: true };
+            let mut s = CbState {
+                cp: Cp::Ready,
+                ph: 0,
+                done: true,
+            };
             fault.apply(0, &mut s, &mut rng);
             assert!(Cp::CB_DOMAIN.contains(&s.cp));
             assert!(s.ph < 4);

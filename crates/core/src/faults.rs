@@ -85,12 +85,22 @@ impl NamedFault {
     pub fn kind(self) -> FaultKind {
         use NamedFault::*;
         match self {
-            MessageLoss | DetectableMessageCorruption | MessageDuplication | MessageReorder
-            | UnexpectedReception | ProcessorFailStop | ProcessorRepair | ProcessorReboot
-            | IoError | FloatingPointException | AccessViolation | SystemReconfiguration => {
-                FaultKind::Detectable
-            }
-            InternalDesignError | HangingProcess | UndetectableMessageCorruption | MemoryLeak
+            MessageLoss
+            | DetectableMessageCorruption
+            | MessageDuplication
+            | MessageReorder
+            | UnexpectedReception
+            | ProcessorFailStop
+            | ProcessorRepair
+            | ProcessorReboot
+            | IoError
+            | FloatingPointException
+            | AccessViolation
+            | SystemReconfiguration => FaultKind::Detectable,
+            InternalDesignError
+            | HangingProcess
+            | UndetectableMessageCorruption
+            | MemoryLeak
             | TransientStateCorruption => FaultKind::Undetectable,
         }
     }
@@ -160,7 +170,13 @@ impl<P: Protocol> Protocol for WithCrash<P> {
         self.inner.enabled(&inner, pid, action)
     }
 
-    fn execute(&self, g: &[Self::State], pid: Pid, action: ActionId, rng: &mut SimRng) -> Self::State {
+    fn execute(
+        &self,
+        g: &[Self::State],
+        pid: Pid,
+        action: ActionId,
+        rng: &mut SimRng,
+    ) -> Self::State {
         let inner: Vec<P::State> = g.iter().map(|s| s.inner.clone()).collect();
         CrashState {
             inner: self.inner.execute(&inner, pid, action, rng),
@@ -258,7 +274,13 @@ impl<P: Protocol> Protocol for WithByzantine<P> {
         self.inner.enabled(&inner, pid, action)
     }
 
-    fn execute(&self, g: &[Self::State], pid: Pid, action: ActionId, rng: &mut SimRng) -> Self::State {
+    fn execute(
+        &self,
+        g: &[Self::State],
+        pid: Pid,
+        action: ActionId,
+        rng: &mut SimRng,
+    ) -> Self::State {
         if !g[pid].good {
             return ByzState {
                 inner: self.inner.arbitrary_state(pid, rng),
@@ -303,21 +325,48 @@ mod tests {
     fn table_1_mapping() {
         use Correctability::*;
         use FaultKind::*;
-        assert_eq!(appropriate_tolerance(Detectable, Immediate), Tolerance::TriviallyMasking);
-        assert_eq!(appropriate_tolerance(Undetectable, Immediate), Tolerance::TriviallyMasking);
-        assert_eq!(appropriate_tolerance(Detectable, Eventual), Tolerance::Masking);
-        assert_eq!(appropriate_tolerance(Undetectable, Eventual), Tolerance::Stabilizing);
-        assert_eq!(appropriate_tolerance(Detectable, Uncorrectable), Tolerance::FailSafe);
-        assert_eq!(appropriate_tolerance(Undetectable, Uncorrectable), Tolerance::Intolerant);
+        assert_eq!(
+            appropriate_tolerance(Detectable, Immediate),
+            Tolerance::TriviallyMasking
+        );
+        assert_eq!(
+            appropriate_tolerance(Undetectable, Immediate),
+            Tolerance::TriviallyMasking
+        );
+        assert_eq!(
+            appropriate_tolerance(Detectable, Eventual),
+            Tolerance::Masking
+        );
+        assert_eq!(
+            appropriate_tolerance(Undetectable, Eventual),
+            Tolerance::Stabilizing
+        );
+        assert_eq!(
+            appropriate_tolerance(Detectable, Uncorrectable),
+            Tolerance::FailSafe
+        );
+        assert_eq!(
+            appropriate_tolerance(Undetectable, Uncorrectable),
+            Tolerance::Intolerant
+        );
     }
 
     #[test]
     fn named_faults_classification_matches_section_2() {
         assert_eq!(NamedFault::MessageLoss.kind(), FaultKind::Detectable);
         assert_eq!(NamedFault::ProcessorFailStop.kind(), FaultKind::Detectable);
-        assert_eq!(NamedFault::FloatingPointException.kind(), FaultKind::Detectable);
-        assert_eq!(NamedFault::InternalDesignError.kind(), FaultKind::Undetectable);
-        assert_eq!(NamedFault::TransientStateCorruption.kind(), FaultKind::Undetectable);
+        assert_eq!(
+            NamedFault::FloatingPointException.kind(),
+            FaultKind::Detectable
+        );
+        assert_eq!(
+            NamedFault::InternalDesignError.kind(),
+            FaultKind::Undetectable
+        );
+        assert_eq!(
+            NamedFault::TransientStateCorruption.kind(),
+            FaultKind::Undetectable
+        );
         assert_eq!(NamedFault::all().len(), 17);
     }
 
@@ -343,10 +392,17 @@ mod tests {
         // Crash process 2: the barrier must stall (no phase advance).
         exec.apply_fault(2, &CrashFault, &mut m);
         let advanced = exec.run_until(20_000, &mut m, |g| g.iter().any(|s| s.inner.ph > 0));
-        assert!(advanced.is_none(), "barrier must not pass a crashed process");
+        assert!(
+            advanced.is_none(),
+            "barrier must not pass a crashed process"
+        );
         // Repair with a detectably-reset state: the barrier resumes.
         let repair = RepairFault {
-            reset: CbState { cp: Cp::Error, ph: 0, done: false },
+            reset: CbState {
+                cp: Cp::Error,
+                ph: 0,
+                done: false,
+            },
         };
         exec.apply_fault(2, &repair, &mut m);
         let advanced = exec.run_until(50_000, &mut m, |g| g.iter().all(|s| s.inner.ph > 0));
@@ -367,7 +423,10 @@ mod tests {
             assert!(!s.good, "a Byzantine process stays Byzantine");
             seen_non_initial |= s.inner != g[1].inner;
         }
-        assert!(seen_non_initial, "Byzantine steps must be able to change state");
+        assert!(
+            seen_non_initial,
+            "Byzantine steps must be able to change state"
+        );
     }
 
     #[test]

@@ -110,7 +110,13 @@ pub fn run_transactions(
     // Use enough phases that transaction indices are unambiguous mod n.
     let n_phases = (2 * n_transactions.max(2)) as u32;
     let cb = Cb::new(n_processes, n_phases);
-    let mut exec = Interleaving::new(&cb, InterleavingConfig { seed, ..Default::default() });
+    let mut exec = Interleaving::new(
+        &cb,
+        InterleavingConfig {
+            seed,
+            ..Default::default()
+        },
+    );
     let mut monitor = CommitMonitor {
         oracle: BarrierOracle::new(OracleConfig {
             n_processes,
@@ -130,10 +136,7 @@ pub fn run_transactions(
         // executing.
         let current_tx = monitor.oracle.phases_completed() as u32;
         for (i, &(tx, pid)) in failures.iter().enumerate() {
-            if !fired[i]
-                && tx == current_tx
-                && exec.global()[pid].cp == Cp::Execute
-            {
+            if !fired[i] && tx == current_tx && exec.global()[pid].cp == Cp::Execute {
                 fired[i] = true;
                 exec.apply_fault(pid, &fault, &mut monitor);
             }

@@ -83,9 +83,11 @@ impl Monitor<PosState> for UnisonMonitor {
             .filter(|&p| self.worker[p])
             .map(|p| global[p].ph)
             .collect();
-        let ok = clocks
-            .iter()
-            .all(|&a| clocks.iter().all(|&b| cyclic_distance(a, b, self.n_phases) <= 1));
+        let ok = clocks.iter().all(|&a| {
+            clocks
+                .iter()
+                .all(|&b| cyclic_distance(a, b, self.n_phases) <= 1)
+        });
         if !ok {
             self.violations += 1;
             self.last_violation = Some(now);
@@ -128,8 +130,13 @@ mod tests {
     fn stabilizes_to_unison_from_arbitrary_clocks() {
         let program = SweepBarrier::new(SweepDag::tree(8, 2).unwrap(), 16);
         for seed in 0..10 {
-            let mut exec =
-                Interleaving::new(&program, InterleavingConfig { seed, ..Default::default() });
+            let mut exec = Interleaving::new(
+                &program,
+                InterleavingConfig {
+                    seed,
+                    ..Default::default()
+                },
+            );
             exec.perturb_all();
             let mut silent = NullMonitor;
             exec.run(30_000, &mut silent);

@@ -16,8 +16,8 @@ use crate::sim::SweepOracleMonitor;
 use crate::sn::Sn;
 use crate::spec::Anchor;
 use crate::sweep::{PosState, SweepBarrier};
-use ftbarrier_gcs::{Engine, EngineConfig, SimRng, StopReason, Time};
 use ftbarrier_gcs::fault::NoFaults;
+use ftbarrier_gcs::{Engine, EngineConfig, SimRng, StopReason, Time};
 use ftbarrier_topology::SweepDag;
 
 /// Result of a phase-synchronization run from an initially corrupted state.
@@ -62,14 +62,17 @@ pub fn run_phase_sync(
             },
         );
     }
-    let mut monitor =
-        SweepOracleMonitor::new(&program, Anchor::Free).stop_after(target_phases);
+    let mut monitor = SweepOracleMonitor::new(&program, Anchor::Free).stop_after(target_phases);
     let config = EngineConfig {
         max_time: Some(Time::new(10_000.0)),
         ..Default::default()
     };
     let out = engine.run(&config, &mut NoFaults, &mut monitor);
-    assert_ne!(out.reason, StopReason::Fixpoint, "phase sync must not deadlock");
+    assert_ne!(
+        out.reason,
+        StopReason::Fixpoint,
+        "phase sync must not deadlock"
+    );
     PhaseSyncReport {
         phases_completed: monitor.oracle.phases_completed(),
         violations: monitor.oracle.violations().len(),

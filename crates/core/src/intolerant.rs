@@ -12,7 +12,7 @@
 //! overhead of fault tolerance (Fig 6) is measured against a real simulated
 //! baseline, not just the closed form.
 
-use ftbarrier_gcs::{ActionId, Pid, Protocol, SimRng, Time};
+use ftbarrier_gcs::{ActionId, Pid, Protocol, ReaderSet, SimRng, Time};
 use ftbarrier_topology::{Pos, SweepDag};
 
 /// Barrier-relevant control state: working on the phase, or arrived at the
@@ -154,7 +154,9 @@ impl Protocol for IntolerantBarrier {
         let mut s = g[pos];
         match action {
             RECV => {
-                let v = self.pred_sn(g, pos).expect("RECV only enabled with a token");
+                let v = self
+                    .pred_sn(g, pos)
+                    .expect("RECV only enabled with a token");
                 if pos == SweepDag::ROOT {
                     s.sn = (v + 1) % self.sn_domain;
                     let sinks = self.dag.sinks();
@@ -173,12 +175,7 @@ impl Protocol for IntolerantBarrier {
                 } else {
                     s.sn = v;
                     let pred0 = &g[self.dag.preds(pos)[0]];
-                    let pred_cp = if self
-                        .dag
-                        .preds(pos)
-                        .iter()
-                        .all(|&q| g[q].cp == pred0.cp)
-                    {
+                    let pred_cp = if self.dag.preds(pos).iter().all(|&q| g[q].cp == pred0.cp) {
                         Some(pred0.cp)
                     } else {
                         None
@@ -235,13 +232,24 @@ impl Protocol for IntolerantBarrier {
             done: rng.chance(0.5),
         }
     }
+
+    fn readers_of(&self, pos: Pid) -> ReaderSet {
+        // Guards read only predecessors (RECV's has_token/blocked_on_work
+        // read preds' sn and cp) and local state (WORK), so the readers of
+        // pos are pos itself and its successors.
+        let mut readers = vec![pos];
+        readers.extend_from_slice(self.dag.succs(pos));
+        readers.sort_unstable();
+        readers.dedup();
+        ReaderSet::These(readers)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ftbarrier_gcs::{Engine, EngineConfig, Interleaving, InterleavingConfig, NullMonitor};
     use ftbarrier_gcs::fault::NoFaults;
+    use ftbarrier_gcs::{Engine, EngineConfig, Interleaving, InterleavingConfig, NullMonitor};
 
     #[test]
     fn cycles_phases_fault_free() {
@@ -296,7 +304,10 @@ mod tests {
             }
         }
         // Time for 3 phase completions at the root (ph reaches 3).
-        let mut watch = PhaseWatch { target: 3, hit: false };
+        let mut watch = PhaseWatch {
+            target: 3,
+            hit: false,
+        };
         let out = engine.run(&EngineConfig::default(), &mut NoFaults, &mut watch);
         let per_phase = out.stats.elapsed.as_f64() / 3.0;
         let predicted = 1.0 + 2.0 * h as f64 * c;

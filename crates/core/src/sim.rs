@@ -11,9 +11,7 @@ use crate::intolerant::{IntolerantBarrier, IntolerantState, Phase2Cp};
 use crate::spec::{Anchor, BarrierOracle, OracleConfig, Violation};
 use crate::sweep::{PosState, ProcessFaults, SweepBarrier, SweepDetectableFault};
 use ftbarrier_gcs::fault::NoFaults;
-use ftbarrier_gcs::{
-    ActionId, Engine, EngineConfig, FaultKind, Monitor, Pid, StopReason, Time,
-};
+use ftbarrier_gcs::{ActionId, Engine, EngineConfig, FaultKind, Monitor, Pid, StopReason, Time};
 use ftbarrier_topology::{SweepDag, TopologyError};
 
 /// Which topology to run (§4's refinements).
@@ -75,7 +73,9 @@ impl SweepOracleMonitor {
         SweepOracleMonitor {
             oracle,
             owner: (0..dag.num_positions()).map(|p| dag.owner(p)).collect(),
-            worker: (0..dag.num_positions()).map(|p| program.is_worker(p)).collect(),
+            worker: (0..dag.num_positions())
+                .map(|p| program.is_worker(p))
+                .collect(),
             stop_after_phases: None,
             stop_at: None,
             now: Time::ZERO,
@@ -170,7 +170,7 @@ impl Default for PhaseExperiment {
 }
 
 /// What a phase experiment measured.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PhaseMeasurement {
     pub phases: u64,
     /// Mean instances per successful phase (Fig 3/5's y-axis).
@@ -187,22 +187,20 @@ pub struct PhaseMeasurement {
 /// Run a sweep barrier under detectable faults and measure phase behaviour.
 pub fn measure_phases(exp: &PhaseExperiment) -> PhaseMeasurement {
     let dag = exp.topology.build().expect("valid topology");
-    let mut program = SweepBarrier::new(dag, exp.n_phases)
-        .with_costs(Time::new(exp.c), Time::new(1.0));
+    let mut program =
+        SweepBarrier::new(dag, exp.n_phases).with_costs(Time::new(exp.c), Time::new(1.0));
     if let Some((pre, post)) = exp.work_split {
         program = program.with_fuzzy_split(Time::new(pre), Time::new(post));
     }
-    let mut monitor = SweepOracleMonitor::new(&program, Anchor::StrictFromZero)
-        .stop_after(exp.target_phases);
+    let mut monitor =
+        SweepOracleMonitor::new(&program, Anchor::StrictFromZero).stop_after(exp.target_phases);
     let mut engine = Engine::new(&program, exp.seed);
     let config = EngineConfig {
         seed: exp.seed ^ 0x5EED,
         max_time: Some(Time::new(
             // Generous horizon: expected phase time times target, times 50
             // headroom for unlucky fault streaks.
-            (1.0 + 3.0 * program.dag().height() as f64 * exp.c)
-                * exp.target_phases as f64
-                * 50.0
+            (1.0 + 3.0 * program.dag().height() as f64 * exp.c) * exp.target_phases as f64 * 50.0
                 + 100.0,
         )),
         ..Default::default()
@@ -262,8 +260,7 @@ pub fn measure_intolerant_phase_time(
     target_phases: u64,
 ) -> f64 {
     let dag = topology.build().expect("valid topology");
-    let program =
-        IntolerantBarrier::new(dag, n_phases).with_costs(Time::new(c), Time::new(1.0));
+    let program = IntolerantBarrier::new(dag, n_phases).with_costs(Time::new(c), Time::new(1.0));
 
     /// Record the time of each phase increment at the root.
     struct RootPhaseTimes {
@@ -346,8 +343,7 @@ pub struct RecoveryMeasurement {
 /// the computation satisfies the barrier specification again.
 pub fn measure_recovery(exp: &RecoveryExperiment) -> RecoveryMeasurement {
     let dag = exp.topology.build().expect("valid topology");
-    let program = SweepBarrier::new(dag, exp.n_phases)
-        .with_costs(Time::new(exp.c), Time::new(1.0));
+    let program = SweepBarrier::new(dag, exp.n_phases).with_costs(Time::new(exp.c), Time::new(1.0));
     let mut engine = Engine::new(&program, exp.seed);
     engine.perturb_all();
 
@@ -367,9 +363,13 @@ pub fn measure_recovery(exp: &RecoveryExperiment) -> RecoveryMeasurement {
     for pos in 0..program.dag().num_positions() {
         let s = engine.global()[pos];
         if program.is_worker(pos) && s.cp == Cp::Execute {
-            monitor
-                .oracle
-                .observe_cp(Time::ZERO, program.dag().owner(pos), s.ph, Cp::Ready, Cp::Execute);
+            monitor.oracle.observe_cp(
+                Time::ZERO,
+                program.dag().owner(pos),
+                s.ph,
+                Cp::Ready,
+                Cp::Execute,
+            );
         }
     }
     // Priming itself may record violations (e.g. two positions forged into
@@ -422,7 +422,11 @@ mod tests {
         assert_eq!(m.aborted_instances, 0);
         assert_eq!(m.faults, 0);
         // 1 + 3hc with h=3, c=0.01 → ≈ 1.09; allow pipeline slack.
-        assert!((m.mean_phase_time - 1.09).abs() < 0.1, "{}", m.mean_phase_time);
+        assert!(
+            (m.mean_phase_time - 1.09).abs() < 0.1,
+            "{}",
+            m.mean_phase_time
+        );
     }
 
     #[test]

@@ -308,7 +308,11 @@ impl BarrierOracle {
                                 }
                                 continue;
                             }
-                            self.record(Violation::DoubleStart { at: now, pid, phase });
+                            self.record(Violation::DoubleStart {
+                                at: now,
+                                pid,
+                                phase,
+                            });
                         }
                         self.close(false, now);
                         continue;
@@ -336,7 +340,11 @@ impl BarrierOracle {
             .as_ref()
             .is_some_and(|inst| inst.phase == phase && inst.executing[pid]);
         if !matches_open {
-            self.record(Violation::UntrackedCompletion { at: now, pid, phase });
+            self.record(Violation::UntrackedCompletion {
+                at: now,
+                pid,
+                phase,
+            });
             return;
         }
         self.seq += 1;
@@ -550,10 +558,14 @@ mod tests {
         o.on_complete(t(1.0), 0, 0);
         // pid 1 still executing phase 0; pid 0 starting phase 1 overlaps.
         o.on_start(t(1.1), 0, 1);
-        assert!(o
-            .violations()
-            .iter()
-            .any(|v| matches!(v, Violation::Overlap { open: 0, new: 1, .. })));
+        assert!(o.violations().iter().any(|v| matches!(
+            v,
+            Violation::Overlap {
+                open: 0,
+                new: 1,
+                ..
+            }
+        )));
     }
 
     #[test]

@@ -97,15 +97,24 @@ impl<A: FaultAction<PosState>> FaultPlan<PosState> for ProcessFaults<A> {
         self.next
     }
 
-    fn fire(&mut self, _at: Time, global: &mut [PosState], rng: &mut SimRng) -> FaultHit {
+    fn fire(
+        &mut self,
+        _at: Time,
+        global: &mut [PosState],
+        rng: &mut SimRng,
+        touched: &mut Vec<Pid>,
+    ) -> FaultHit<PosState> {
         let victim = rng.below(self.positions_of.len());
+        let old = global[self.positions_of[victim][0]];
         for &pos in &self.positions_of[victim] {
             self.action.apply(victim, &mut global[pos], rng);
+            touched.push(pos);
         }
         self.next = None;
         FaultHit {
             pid: self.positions_of[victim][0],
             kind: self.action.kind(),
+            old,
         }
     }
 }
@@ -130,7 +139,10 @@ mod tests {
 
     #[test]
     fn undetectable_fault_spans_domain() {
-        let f = SweepUndetectableFault { n_phases: 4, sn_domain: 6 };
+        let f = SweepUndetectableFault {
+            n_phases: 4,
+            sn_domain: 6,
+        };
         let mut rng = SimRng::seed_from_u64(1);
         let mut saw_repeat = false;
         let mut saw_flag_sn = false;
@@ -155,10 +167,12 @@ mod tests {
         for _ in 0..20 {
             let mut g = program.initial_state();
             let at = plan.peek(Time::ZERO, &mut rng).unwrap();
-            let hit = plan.fire(at, &mut g, &mut rng);
+            let mut touched = Vec::new();
+            let hit = plan.fire(at, &mut g, &mut rng, &mut touched);
             let corrupted: Vec<usize> = (0..g.len()).filter(|&p| g[p].sn == Sn::Bot).collect();
             let victim = program.dag().owner(hit.pid);
             assert_eq!(corrupted, program.dag().positions_of(victim));
+            assert_eq!(touched, program.dag().positions_of(victim));
             if corrupted.len() == 2 {
                 found_multi = true;
             }

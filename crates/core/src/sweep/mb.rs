@@ -33,7 +33,7 @@ pub fn mb_ring(n: usize) -> Result<SweepDag, TopologyError> {
     for j in 0..n {
         owner[j] = j; // real variables of j
         owner[n + j] = (j + 1) % n; // copy of j's variables, held at j+1
-        // j's real position reads j's local copy of j-1.
+                                    // j's real position reads j's local copy of j-1.
         preds[j] = vec![n + (j + n - 1) % n];
         // The copy of j (held at j+1) reads j's real variables.
         preds[n + j] = vec![j];
@@ -51,7 +51,11 @@ mod tests {
         let dag = mb_ring(4).unwrap();
         assert_eq!(dag.num_positions(), 8);
         assert_eq!(dag.num_processes(), 4);
-        assert_eq!(dag.critical_path(), 8, "one circulation visits 2(N+1) positions");
+        assert_eq!(
+            dag.critical_path(),
+            8,
+            "one circulation visits 2(N+1) positions"
+        );
         // Each process owns its real position and the copy of its
         // predecessor's state.
         assert_eq!(dag.positions_of(0), &[0, 7]); // real_0, copy_3

@@ -5,7 +5,7 @@
 use crate::cp::Cp;
 use crate::sn::Sn;
 use crate::sweep::state::PosState;
-use ftbarrier_gcs::{ActionId, Pid, Protocol, SimRng, Time};
+use ftbarrier_gcs::{ActionId, Pid, Protocol, ReaderSet, SimRng, Time};
 use ftbarrier_topology::{Pos, SweepDag};
 
 /// Token receipt + superposed `cp`/`ph` update (the paper's T1 at the root,
@@ -207,9 +207,7 @@ impl SweepBarrier {
         // only once every predecessor has moved past us.)
         let preds = self.dag.preds(pos);
         let own = g[pos].sn;
-        preds
-            .iter()
-            .all(|&q| g[q].sn.is_valid() && g[q].sn != own)
+        preds.iter().all(|&q| g[q].sn.is_valid() && g[q].sn != own)
     }
 
     /// RECV is gated until the phase body finishes when the superposed
@@ -428,6 +426,21 @@ impl Protocol for SweepBarrier {
             post: !self.fuzzy() || rng.chance(0.5),
         }
     }
+
+    fn readers_of(&self, pos: Pid) -> ReaderSet {
+        // Who reads pos's state in a *guard*: RECV at p reads preds(p)
+        // (sn and cp), so every successor of pos reads it; T4 at p reads
+        // succs(p) (sn), so every predecessor of pos reads it; everything
+        // else (WORK, T3, T5, POSTWORK) is local. The dag's succs() of a
+        // sink already includes the root, covering the root's T1/T4 guards
+        // that read every sink.
+        let mut readers = vec![pos];
+        readers.extend_from_slice(self.dag.preds(pos));
+        readers.extend_from_slice(self.dag.succs(pos));
+        readers.sort_unstable();
+        readers.dedup();
+        ReaderSet::These(readers)
+    }
 }
 
 #[cfg(test)]
@@ -478,9 +491,27 @@ mod tests {
         let rb = ring_barrier(3);
         let mut g = rb.initial_state();
         // Mid-success-sweep: root succeeded, position 1 still computing.
-        g[0] = PosState { sn: Sn::Val(2), cp: Cp::Success, ph: 0, done: true, post: true };
-        g[1] = PosState { sn: Sn::Val(1), cp: Cp::Execute, ph: 0, done: false, post: true };
-        g[2] = PosState { sn: Sn::Val(1), cp: Cp::Execute, ph: 0, done: false, post: true };
+        g[0] = PosState {
+            sn: Sn::Val(2),
+            cp: Cp::Success,
+            ph: 0,
+            done: true,
+            post: true,
+        };
+        g[1] = PosState {
+            sn: Sn::Val(1),
+            cp: Cp::Execute,
+            ph: 0,
+            done: false,
+            post: true,
+        };
+        g[2] = PosState {
+            sn: Sn::Val(1),
+            cp: Cp::Execute,
+            ph: 0,
+            done: false,
+            post: true,
+        };
         // Position 1 has the token but must WORK first.
         assert!(rb.has_token(&g, 1));
         assert!(!rb.enabled(&g, 1, RECV));
@@ -494,8 +525,20 @@ mod tests {
         let rb = ring_barrier(3);
         let mut rng = SimRng::seed_from_u64(0);
         let mut g = rb.initial_state();
-        g[0] = PosState { sn: Sn::Val(1), cp: Cp::Execute, ph: 0, done: false, post: true };
-        g[1] = PosState { sn: Sn::Bot, cp: Cp::Error, ph: 3, done: false, post: true };
+        g[0] = PosState {
+            sn: Sn::Val(1),
+            cp: Cp::Execute,
+            ph: 0,
+            done: false,
+            post: true,
+        };
+        g[1] = PosState {
+            sn: Sn::Bot,
+            cp: Cp::Error,
+            ph: 3,
+            done: false,
+            post: true,
+        };
         // Token present at 1 (pred ordinary and differing from ⊥).
         assert!(rb.enabled(&g, 1, RECV));
         let s = rb.execute(&g, 1, RECV, &mut rng);
@@ -509,8 +552,20 @@ mod tests {
         let rb = ring_barrier(3);
         let mut rng = SimRng::seed_from_u64(0);
         let mut g = rb.initial_state();
-        g[1] = PosState { sn: Sn::Val(1), cp: Cp::Repeat, ph: 0, done: false, post: true };
-        g[2] = PosState { sn: Sn::Val(0), cp: Cp::Execute, ph: 0, done: true, post: true };
+        g[1] = PosState {
+            sn: Sn::Val(1),
+            cp: Cp::Repeat,
+            ph: 0,
+            done: false,
+            post: true,
+        };
+        g[2] = PosState {
+            sn: Sn::Val(0),
+            cp: Cp::Execute,
+            ph: 0,
+            done: true,
+            post: true,
+        };
         let s = rb.execute(&g, 2, RECV, &mut rng);
         assert_eq!(s.cp, Cp::Repeat);
     }
@@ -520,9 +575,27 @@ mod tests {
         let rb = ring_barrier(3);
         let mut rng = SimRng::seed_from_u64(0);
         let mut g = rb.initial_state();
-        g[0] = PosState { sn: Sn::Val(1), cp: Cp::Success, ph: 2, done: true, post: true };
-        g[1] = PosState { sn: Sn::Val(1), cp: Cp::Success, ph: 2, done: true, post: true };
-        g[2] = PosState { sn: Sn::Val(1), cp: Cp::Repeat, ph: 2, done: false, post: true };
+        g[0] = PosState {
+            sn: Sn::Val(1),
+            cp: Cp::Success,
+            ph: 2,
+            done: true,
+            post: true,
+        };
+        g[1] = PosState {
+            sn: Sn::Val(1),
+            cp: Cp::Success,
+            ph: 2,
+            done: true,
+            post: true,
+        };
+        g[2] = PosState {
+            sn: Sn::Val(1),
+            cp: Cp::Repeat,
+            ph: 2,
+            done: false,
+            post: true,
+        };
         let s = rb.execute(&g, 0, RECV, &mut rng);
         assert_eq!(s.cp, Cp::Ready);
         assert_eq!(s.ph, 2, "repeat verdict: do not advance the phase");
@@ -533,7 +606,13 @@ mod tests {
         let rb = ring_barrier(3);
         let mut rng = SimRng::seed_from_u64(0);
         let g = vec![
-            PosState { sn: Sn::Val(1), cp: Cp::Success, ph: 2, done: true, post: true };
+            PosState {
+                sn: Sn::Val(1),
+                cp: Cp::Success,
+                ph: 2,
+                done: true,
+                post: true
+            };
             3
         ];
         let s = rb.execute(&g, 0, RECV, &mut rng);
@@ -545,8 +624,13 @@ mod tests {
     fn fault_free_interleaved_run_cycles_phases() {
         let rb = ring_barrier(4);
         for seed in 0..10 {
-            let mut exec =
-                Interleaving::new(&rb, InterleavingConfig { seed, ..Default::default() });
+            let mut exec = Interleaving::new(
+                &rb,
+                InterleavingConfig {
+                    seed,
+                    ..Default::default()
+                },
+            );
             let mut m = NullMonitor;
             // Run until phase 2 is visible at the root.
             let steps = exec.run_until(100_000, &mut m, |g| g[0].ph == 2);
@@ -595,12 +679,21 @@ mod tests {
         // positions: 0=root, 1,2=down, 3,4=up relays (preds: up(1)=3 <- 1).
         let mut rng = SimRng::seed_from_u64(0);
         let mut g = dt.initial_state();
-        g[1] = PosState { sn: Sn::Val(1), cp: Cp::Execute, ph: 0, done: false, post: true };
+        g[1] = PosState {
+            sn: Sn::Val(1),
+            cp: Cp::Execute,
+            ph: 0,
+            done: false,
+            post: true,
+        };
         // Relay 3 (up of process 1) receives the token.
         assert!(dt.enabled(&g, 3, RECV));
         let s = dt.execute(&g, 3, RECV, &mut rng);
         assert_eq!(s.cp, Cp::Execute);
-        assert!(s.done, "relays carry done=true so they never gate the sweep");
+        assert!(
+            s.done,
+            "relays carry done=true so they never gate the sweep"
+        );
     }
 
     #[test]
@@ -608,7 +701,13 @@ mod tests {
         let rb = ring_barrier(3);
         let mut rng = SimRng::seed_from_u64(0);
         let mut g = vec![
-            PosState { sn: Sn::Bot, cp: Cp::Error, ph: 0, done: false, post: true };
+            PosState {
+                sn: Sn::Bot,
+                cp: Cp::Error,
+                ph: 0,
+                done: false,
+                post: true
+            };
             3
         ];
         // T3 at the sink (position 2).

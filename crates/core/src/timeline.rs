@@ -187,11 +187,8 @@ mod tests {
     use ftbarrier_gcs::{Engine, EngineConfig};
 
     fn run_with_timeline(f: f64, horizon: f64) -> Timeline {
-        let program = SweepBarrier::new(
-            TopologySpec::Tree { n: 4, arity: 2 }.build().unwrap(),
-            8,
-        )
-        .with_costs(Time::new(0.01), Time::new(1.0));
+        let program = SweepBarrier::new(TopologySpec::Tree { n: 4, arity: 2 }.build().unwrap(), 8)
+            .with_costs(Time::new(0.01), Time::new(1.0));
         let mut timeline = Timeline::new(&program, 0.1);
         let mut engine = Engine::new(&program, 42);
         let config = EngineConfig {
@@ -199,8 +196,7 @@ mod tests {
             ..Default::default()
         };
         if f > 0.0 {
-            let mut faults =
-                ProcessFaults::new(&program, f, SweepDetectableFault { n_phases: 8 });
+            let mut faults = ProcessFaults::new(&program, f, SweepDetectableFault { n_phases: 8 });
             engine.run(&config, &mut faults, &mut timeline);
         } else {
             engine.run(&config, &mut NoFaults, &mut timeline);

@@ -19,7 +19,7 @@
 //! ring eventually again contains exactly one token.
 
 use crate::sn::Sn;
-use ftbarrier_gcs::{ActionId, FaultAction, FaultKind, Pid, Protocol, SimRng, Time};
+use ftbarrier_gcs::{ActionId, FaultAction, FaultKind, Pid, Protocol, ReaderSet, SimRng, Time};
 
 /// Action indices (uniform across processes; guards gate applicability).
 pub const T1: ActionId = 0;
@@ -129,6 +129,15 @@ impl Protocol for TokenRing {
     fn arbitrary_state(&self, _pid: Pid, rng: &mut SimRng) -> Sn {
         Sn::arbitrary(self.k, rng)
     }
+
+    fn readers_of(&self, j: Pid) -> ReaderSet {
+        // T2 at j+1 reads sn.j (T1 at 0 reads sn.N, the ring-wrap case),
+        // T4 at j-1 reads sn.j, and j's own guards read sn.j.
+        let mut readers = vec![(j + self.n - 1) % self.n, j, (j + 1) % self.n];
+        readers.sort_unstable();
+        readers.dedup();
+        ReaderSet::These(readers)
+    }
 }
 
 /// Detectable fault: "when the sequence number of a process is corrupted,
@@ -171,8 +180,13 @@ mod tests {
     fn fault_free_exactly_one_token_forever() {
         let ring = TokenRing::new(6);
         for seed in 0..10 {
-            let mut exec =
-                Interleaving::new(&ring, InterleavingConfig { seed, ..Default::default() });
+            let mut exec = Interleaving::new(
+                &ring,
+                InterleavingConfig {
+                    seed,
+                    ..Default::default()
+                },
+            );
             let mut m = NullMonitor;
             assert_eq!(ring.count_tokens(exec.global()), 1);
             for _ in 0..500 {
@@ -202,8 +216,13 @@ mod tests {
         let ring = TokenRing::new(6);
         let fault = SnDetectableFault;
         for seed in 0..20 {
-            let mut exec =
-                Interleaving::new(&ring, InterleavingConfig { seed, ..Default::default() });
+            let mut exec = Interleaving::new(
+                &ring,
+                InterleavingConfig {
+                    seed,
+                    ..Default::default()
+                },
+            );
             let mut m = NullMonitor;
             for round in 0..30 {
                 // Never corrupt everyone at once (that is the undetectable
@@ -234,7 +253,11 @@ mod tests {
         let mut m = NullMonitor;
         exec.apply_fault(2, &SnDetectableFault, &mut m);
         assert!(!exec.global()[2].is_valid());
-        assert!(exec.global().iter().enumerate().all(|(j, s)| j == 2 || s.is_valid()));
+        assert!(exec
+            .global()
+            .iter()
+            .enumerate()
+            .all(|(j, s)| j == 2 || s.is_valid()));
     }
 
     #[test]
@@ -242,8 +265,13 @@ mod tests {
         // Property (c): 0 executes T4/T5 only for undetectable faults.
         let ring = TokenRing::new(5);
         for seed in 0..10 {
-            let mut exec =
-                Interleaving::new(&ring, InterleavingConfig { seed, ..Default::default() });
+            let mut exec = Interleaving::new(
+                &ring,
+                InterleavingConfig {
+                    seed,
+                    ..Default::default()
+                },
+            );
             let mut m = NullMonitor;
             for round in 0..50 {
                 let victim = (seed as usize + round * 3) % ring.n;
@@ -258,8 +286,13 @@ mod tests {
     fn stabilizes_from_arbitrary_states() {
         let ring = TokenRing::new(7);
         for seed in 0..30 {
-            let mut exec =
-                Interleaving::new(&ring, InterleavingConfig { seed, ..Default::default() });
+            let mut exec = Interleaving::new(
+                &ring,
+                InterleavingConfig {
+                    seed,
+                    ..Default::default()
+                },
+            );
             exec.perturb_all();
             let mut m = NullMonitor;
             let steps = exec.run_until(50_000, &mut m, |g| {
@@ -279,11 +312,8 @@ mod tests {
         // Everyone detectably corrupted at once = undetectable regime:
         // T3 at N, T4 wave back to 0, T5 resets.
         let ring = TokenRing::new(5);
-        let mut exec = Interleaving::from_state(
-            &ring,
-            InterleavingConfig::default(),
-            vec![Sn::Bot; 5],
-        );
+        let mut exec =
+            Interleaving::from_state(&ring, InterleavingConfig::default(), vec![Sn::Bot; 5]);
         let mut m = NullMonitor;
         let steps = exec.run_until(10_000, &mut m, |g| {
             ring.count_tokens(g) == 1 && g.iter().all(|s| s.is_valid())

@@ -1,0 +1,150 @@
+//! Differential tests: the event-incremental scheduler must be byte-for-byte
+//! equivalent to the full-rescan reference scheduler on every protocol that
+//! provides `readers_of` hints.
+//!
+//! `EngineConfig::full_rescan = true` forces the reference path (rescan every
+//! guard after every event); the default path re-checks only the dirty set.
+//! Both must produce the identical event trace, final global state, and run
+//! statistics — with and without faults — or the reader sets are wrong.
+
+use ftbarrier_core::sim::{measure_phases, PhaseExperiment, TopologySpec};
+use ftbarrier_core::sweep::{PosState, ProcessFaults, SweepBarrier, SweepDetectableFault};
+use ftbarrier_core::token_ring::TokenRing;
+use ftbarrier_core::Sn;
+use ftbarrier_gcs::fault::NoFaults;
+use ftbarrier_gcs::trace::{Trace, TraceEvent};
+use ftbarrier_gcs::{Engine, EngineConfig, Time};
+
+type RunRecord<S> = (Vec<TraceEvent<S>>, Vec<S>, [u64; 3]);
+
+fn config(seed: u64, horizon: f64, full_rescan: bool) -> EngineConfig {
+    EngineConfig {
+        seed: seed ^ 0xD1FF,
+        max_time: Some(Time::new(horizon)),
+        // Safety net against zero-cost livelock: no differential run here
+        // legitimately needs more commits than this.
+        max_commits: Some(2_000_000),
+        full_rescan,
+    }
+}
+
+fn run_sweep(
+    spec: TopologySpec,
+    seed: u64,
+    fault_rate: f64,
+    full_rescan: bool,
+) -> RunRecord<PosState> {
+    let program =
+        SweepBarrier::new(spec.build().unwrap(), 8).with_costs(Time::new(0.02), Time::new(1.0));
+    let mut engine = Engine::new(&program, seed);
+    engine.perturb_all();
+    let mut trace = Trace::unbounded();
+    let cfg = config(seed, 30.0, full_rescan);
+    let out = if fault_rate > 0.0 {
+        let mut faults =
+            ProcessFaults::new(&program, fault_rate, SweepDetectableFault { n_phases: 8 });
+        engine.run(&cfg, &mut faults, &mut trace)
+    } else {
+        engine.run(&cfg, &mut NoFaults, &mut trace)
+    };
+    (
+        trace.events().cloned().collect(),
+        engine.global().to_vec(),
+        [
+            out.stats.actions_executed,
+            out.stats.commits_dropped,
+            out.stats.faults,
+        ],
+    )
+}
+
+fn run_token_ring(seed: u64, full_rescan: bool) -> RunRecord<Sn> {
+    // A nonzero hop cost makes simulated time advance, so the max_time
+    // horizon terminates the run (the ring never reaches a fixpoint).
+    let mut program = TokenRing::new(7);
+    program.hop_cost = Time::new(0.05);
+    let mut engine = Engine::new(&program, seed);
+    engine.perturb_all();
+    let mut trace = Trace::unbounded();
+    let out = engine.run(&config(seed, 25.0, full_rescan), &mut NoFaults, &mut trace);
+    (
+        trace.events().cloned().collect(),
+        engine.global().to_vec(),
+        [
+            out.stats.actions_executed,
+            out.stats.commits_dropped,
+            out.stats.faults,
+        ],
+    )
+}
+
+fn assert_identical<S: PartialEq + std::fmt::Debug>(
+    label: &str,
+    incremental: RunRecord<S>,
+    reference: RunRecord<S>,
+) {
+    assert_eq!(incremental.0, reference.0, "{label}: traces diverge");
+    assert_eq!(incremental.1, reference.1, "{label}: final states diverge");
+    assert_eq!(incremental.2, reference.2, "{label}: stats diverge");
+    assert!(!incremental.0.is_empty(), "{label}: run did nothing");
+}
+
+const TOPOLOGIES: [(&str, TopologySpec); 3] = [
+    ("ring", TopologySpec::Ring { n: 8 }),
+    ("tree", TopologySpec::Tree { n: 16, arity: 2 }),
+    ("mb-ring", TopologySpec::MbRing { n: 8 }),
+];
+
+#[test]
+fn sweep_topologies_match_full_rescan_without_faults() {
+    for (name, spec) in TOPOLOGIES {
+        for seed in [0xD1F1u64, 0xD1F2, 0xD1F3] {
+            assert_identical(
+                &format!("{name} seed {seed:#x}"),
+                run_sweep(spec, seed, 0.0, false),
+                run_sweep(spec, seed, 0.0, true),
+            );
+        }
+    }
+}
+
+#[test]
+fn sweep_topologies_match_full_rescan_under_process_faults() {
+    for (name, spec) in TOPOLOGIES {
+        for seed in [0xFA01u64, 0xFA02, 0xFA03] {
+            assert_identical(
+                &format!("{name} faulted seed {seed:#x}"),
+                run_sweep(spec, seed, 0.3, false),
+                run_sweep(spec, seed, 0.3, true),
+            );
+        }
+    }
+}
+
+#[test]
+fn token_ring_matches_full_rescan() {
+    for seed in [7u64, 8, 9] {
+        assert_identical(
+            &format!("token ring seed {seed}"),
+            run_token_ring(seed, false),
+            run_token_ring(seed, true),
+        );
+    }
+}
+
+#[test]
+fn measure_phases_is_deterministic() {
+    // Two identical experiment descriptions must yield byte-identical
+    // measurements — the regression guard for the parallel sweep harness,
+    // whose correctness rests on cells being pure functions of their seeds.
+    let exp = PhaseExperiment {
+        topology: TopologySpec::Tree { n: 16, arity: 2 },
+        c: 0.02,
+        f: 0.05,
+        target_phases: 30,
+        ..Default::default()
+    };
+    let a = measure_phases(&exp);
+    let b = measure_phases(&exp);
+    assert_eq!(a, b);
+}

@@ -50,10 +50,7 @@ fn token_ring_no_deadlock_anywhere_exhaustively() {
     let d = sn_domain(4);
     let u = universe(&[d.clone(), d.clone(), d]);
     for s in &u {
-        assert!(
-            ring.any_enabled(s),
-            "deadlock state: {s:?}"
-        );
+        assert!(ring.any_enabled(s), "deadlock state: {s:?}");
     }
 }
 
@@ -64,19 +61,15 @@ fn token_ring_at_most_one_token_under_detectable_faults_exhaustively() {
     // tokens. Explored over the full fault-closed reachable set.
     let ring = TokenRing::new(4).with_domain(5);
     let explorer = Explorer::new(&ring);
-    let exploration = explorer.reachable_with(
-        vec![ring.initial_state()],
-        200_000,
-        |s| {
-            (0..4)
-                .map(|victim| {
-                    let mut t = s.to_vec();
-                    t[victim] = Sn::Bot;
-                    t
-                })
-                .collect()
-        },
-    );
+    let exploration = explorer.reachable_with(vec![ring.initial_state()], 200_000, |s| {
+        (0..4)
+            .map(|victim| {
+                let mut t = s.to_vec();
+                t[victim] = Sn::Bot;
+                t
+            })
+            .collect()
+    });
     assert!(!exploration.truncated);
     for s in &exploration.states {
         assert!(
@@ -93,19 +86,15 @@ fn token_ring_process_zero_never_repairs_exhaustively() {
     // faults at the other processes.
     let ring = TokenRing::new(4).with_domain(5);
     let explorer = Explorer::new(&ring);
-    let exploration = explorer.reachable_with(
-        vec![ring.initial_state()],
-        200_000,
-        |s| {
-            (1..4)
-                .map(|victim| {
-                    let mut t = s.to_vec();
-                    t[victim] = Sn::Bot;
-                    t
-                })
-                .collect()
-        },
-    );
+    let exploration = explorer.reachable_with(vec![ring.initial_state()], 200_000, |s| {
+        (1..4)
+            .map(|victim| {
+                let mut t = s.to_vec();
+                t[victim] = Sn::Bot;
+                t
+            })
+            .collect()
+    });
     assert!(!exploration.truncated);
     for s in &exploration.states {
         assert!(
@@ -128,7 +117,13 @@ fn pos_domain(program: &SweepBarrier) -> Vec<PosState> {
         for &cp in &Cp::RB_DOMAIN {
             for ph in 0..program.n_phases {
                 for done in [false, true] {
-                    d.push(PosState { sn, cp, ph, done, post: true });
+                    d.push(PosState {
+                        sn,
+                        cp,
+                        ph,
+                        done,
+                        post: true,
+                    });
                 }
             }
         }
@@ -180,27 +175,23 @@ fn sweep_masking_invariant_exhaustive_ring3() {
     let program = SweepBarrier::new(SweepDag::ring(3).unwrap(), 2).with_sn_domain(4);
     let explorer = Explorer::new(&program);
     let n_phases = program.n_phases;
-    let exploration = explorer.reachable_with(
-        vec![program.initial_state()],
-        3_000_000,
-        |s| {
-            let mut out = Vec::new();
-            for victim in 0..3 {
-                for ph in 0..n_phases {
-                    let mut t = s.to_vec();
-                    t[victim] = PosState {
-                        sn: Sn::Bot,
-                        cp: Cp::Error,
-                        ph,
-                        done: false,
-                        post: true,
-                    };
-                    out.push(t);
-                }
+    let exploration = explorer.reachable_with(vec![program.initial_state()], 3_000_000, |s| {
+        let mut out = Vec::new();
+        for victim in 0..3 {
+            for ph in 0..n_phases {
+                let mut t = s.to_vec();
+                t[victim] = PosState {
+                    sn: Sn::Bot,
+                    cp: Cp::Error,
+                    ph,
+                    done: false,
+                    post: true,
+                };
+                out.push(t);
             }
-            out
-        },
-    );
+        }
+        out
+    });
     assert!(!exploration.truncated, "state space unexpectedly large");
     for s in &exploration.states {
         let executing: Vec<&PosState> = s.iter().filter(|p| p.cp == Cp::Execute).collect();
@@ -246,25 +237,21 @@ fn cb_masking_invariant_exhaustive() {
     // nondeterministic `any k` choices covered by sampling.
     let cb = Cb::new(3, 2);
     let explorer = Explorer::new(&cb).with_nondet_samples(4);
-    let exploration = explorer.reachable_with(
-        vec![cb.initial_state()],
-        500_000,
-        |s| {
-            let mut out = Vec::new();
-            for victim in 0..3 {
-                for ph in 0..2 {
-                    let mut t = s.to_vec();
-                    t[victim] = CbState {
-                        cp: Cp::Error,
-                        ph,
-                        done: false,
-                    };
-                    out.push(t);
-                }
+    let exploration = explorer.reachable_with(vec![cb.initial_state()], 500_000, |s| {
+        let mut out = Vec::new();
+        for victim in 0..3 {
+            for ph in 0..2 {
+                let mut t = s.to_vec();
+                t[victim] = CbState {
+                    cp: Cp::Error,
+                    ph,
+                    done: false,
+                };
+                out.push(t);
             }
-            out
-        },
-    );
+        }
+        out
+    });
     assert!(!exploration.truncated);
     assert!(exploration.deadlocks.is_empty(), "CB must never deadlock");
     for s in &exploration.states {

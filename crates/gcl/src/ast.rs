@@ -119,7 +119,10 @@ pub enum Rhs {
 /// Statements update only the executing process's variables.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Stmt {
-    Assign { var: String, rhs: Rhs },
+    Assign {
+        var: String,
+        rhs: Rhs,
+    },
     If {
         /// `(condition, branch)` pairs: if/elseif chain.
         arms: Vec<(Expr, Vec<Stmt>)>,

@@ -187,12 +187,8 @@ impl GclProtocol {
                     self.eval(body, g, own, scope2) != 0
                 };
                 match q {
-                    Quantifier::Forall => {
-                        ((0..self.n()).all(|v| check(&mut scope2, v))) as i64
-                    }
-                    Quantifier::Exists => {
-                        ((0..self.n()).any(|v| check(&mut scope2, v))) as i64
-                    }
+                    Quantifier::Forall => ((0..self.n()).all(|v| check(&mut scope2, v))) as i64,
+                    Quantifier::Exists => ((0..self.n()).any(|v| check(&mut scope2, v))) as i64,
                 }
             }
         }
@@ -216,9 +212,9 @@ impl GclProtocol {
                     };
                     let value = match rhs {
                         Rhs::Expr(e) => self.eval(e, g, own, &scope),
-                        Rhs::Arbitrary => {
-                            decl.ty.value_at(rng.below(decl.ty.cardinality() as usize) as i64)
-                        }
+                        Rhs::Arbitrary => decl
+                            .ty
+                            .value_at(rng.below(decl.ty.cardinality() as usize) as i64),
                         Rhs::Any { var: k, pred, pick } => {
                             let mut scope2 = Scope {
                                 pid,
@@ -297,7 +293,13 @@ impl Protocol for GclProtocol {
 
     fn execute(&self, g: &[Vec<i64>], pid: Pid, action: ActionId, rng: &mut SimRng) -> Vec<i64> {
         let mut own = g[pid].clone();
-        self.exec_stmts(&self.program.actions[action].body, g, &mut own, pid as i64, rng);
+        self.exec_stmts(
+            &self.program.actions[action].body,
+            g,
+            &mut own,
+            pid as i64,
+            rng,
+        );
         own
     }
 
@@ -339,7 +341,10 @@ mod tests {
         );
         let mut exec = Interleaving::new(&p, InterleavingConfig::default());
         let steps = exec.run(1000, &mut NullMonitor);
-        assert_eq!(steps, 15, "each of 3 processes bumps 5 times, then fixpoint");
+        assert_eq!(
+            steps, 15,
+            "each of 3 processes bumps 5 times, then fixpoint"
+        );
         assert!(exec.global().iter().all(|row| row[0] == 5));
     }
 

@@ -27,29 +27,29 @@ pub enum Tok {
     SelfKw,
     NKw,
     // Punctuation / operators.
-    Guard,     // ::
-    Arrow,     // ->
-    Assign,    // :=
-    Colon,     // :
-    Semi,      // ;
-    Comma,     // ,
+    Guard,  // ::
+    Arrow,  // ->
+    Assign, // :=
+    Colon,  // :
+    Semi,   // ;
+    Comma,  // ,
     LParen,
     RParen,
     LBrace,
     RBrace,
     LBracket,
     RBracket,
-    DotDot,    // ..
-    Eq,        // ==
-    EqSign,    // =  (var initializers only)
-    Ne,        // !=
-    Le,        // <=
-    Ge,        // >=
-    Lt,        // <
-    Gt,        // >
-    AndAnd,    // &&
-    OrOr,      // ||
-    Not,       // !
+    DotDot, // ..
+    Eq,     // ==
+    EqSign, // =  (var initializers only)
+    Ne,     // !=
+    Le,     // <=
+    Ge,     // >=
+    Lt,     // <
+    Gt,     // >
+    AndAnd, // &&
+    OrOr,   // ||
+    Not,    // !
     Plus,
     Minus,
     Percent,

@@ -59,8 +59,6 @@ pub use parser::{parse, ParseError};
 
 /// Parse a program and wrap it for execution with the given per-action cost
 /// assignment (`None` = all actions cost zero).
-pub fn load(
-    source: &str,
-) -> Result<GclProtocol, ParseError> {
+pub fn load(source: &str) -> Result<GclProtocol, ParseError> {
     Ok(GclProtocol::new(parse(source)?))
 }

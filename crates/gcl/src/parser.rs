@@ -417,11 +417,11 @@ mod tests {
             action b :: exists k : cp[k] == execute -> done := true
         ";
         let p = parse(src).unwrap();
-        assert_eq!(p.vars[0].ty, Type::Enum(vec!["ready".into(), "execute".into()]));
-        assert!(matches!(
-            p.actions[0].guard,
-            Expr::Bin(BinOp::And, _, _)
-        ));
+        assert_eq!(
+            p.vars[0].ty,
+            Type::Enum(vec!["ready".into(), "execute".into()])
+        );
+        assert!(matches!(p.actions[0].guard, Expr::Bin(BinOp::And, _, _)));
     }
 
     #[test]
@@ -450,11 +450,17 @@ mod tests {
                 assert_eq!(otherwise.len(), 1);
                 assert!(matches!(
                     arms[0].1[0],
-                    Stmt::Assign { rhs: Rhs::Any { .. }, .. }
+                    Stmt::Assign {
+                        rhs: Rhs::Any { .. },
+                        ..
+                    }
                 ));
                 assert!(matches!(
                     otherwise[0],
-                    Stmt::Assign { rhs: Rhs::Arbitrary, .. }
+                    Stmt::Assign {
+                        rhs: Rhs::Arbitrary,
+                        ..
+                    }
                 ));
             }
             other => panic!("expected if, got {other:?}"),

@@ -284,8 +284,13 @@ mod tests {
     fn textual_ring_stabilizes_from_arbitrary_states() {
         let p = GclProtocol::new(parse(&token_ring_source(4, 5)).unwrap());
         for seed in 0..10 {
-            let mut exec =
-                Interleaving::new(&p, InterleavingConfig { seed, ..Default::default() });
+            let mut exec = Interleaving::new(
+                &p,
+                InterleavingConfig {
+                    seed,
+                    ..Default::default()
+                },
+            );
             exec.perturb_all();
             let mut m = NullMonitor;
             // Legal goal: all ordinary and exactly one enabled process.

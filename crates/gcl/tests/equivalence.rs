@@ -35,8 +35,11 @@ fn textual_cb_reaches_exactly_the_native_states() {
     let native_explorer = Explorer::new(&native).with_nondet_samples(4);
     let native_reach = native_explorer.reachable(vec![native.initial_state()], 500_000);
     assert!(!native_reach.truncated);
-    let native_set: BTreeSet<Vec<Vec<i64>>> =
-        native_reach.states.iter().map(|s| native_cb_key(s)).collect();
+    let native_set: BTreeSet<Vec<Vec<i64>>> = native_reach
+        .states
+        .iter()
+        .map(|s| native_cb_key(s))
+        .collect();
 
     let textual = load(&programs::cb_source(n, n_phases)).unwrap();
     let textual_explorer = Explorer::new(&textual).with_nondet_samples(4);
@@ -59,31 +62,33 @@ fn textual_cb_matches_native_under_detectable_faults() {
 
     let native = Cb::new(n, n_phases);
     let native_explorer = Explorer::new(&native).with_nondet_samples(4);
-    let native_reach = native_explorer.reachable_with(
-        vec![native.initial_state()],
-        2_000_000,
-        |s| {
+    let native_reach =
+        native_explorer.reachable_with(vec![native.initial_state()], 2_000_000, |s| {
             let mut out = Vec::new();
             for victim in 0..n {
                 for ph in 0..n_phases {
                     let mut t = s.to_vec();
-                    t[victim] = CbState { cp: Cp::Error, ph, done: false };
+                    t[victim] = CbState {
+                        cp: Cp::Error,
+                        ph,
+                        done: false,
+                    };
                     out.push(t);
                 }
             }
             out
-        },
-    );
+        });
     assert!(!native_reach.truncated);
-    let native_set: BTreeSet<Vec<Vec<i64>>> =
-        native_reach.states.iter().map(|s| native_cb_key(s)).collect();
+    let native_set: BTreeSet<Vec<Vec<i64>>> = native_reach
+        .states
+        .iter()
+        .map(|s| native_cb_key(s))
+        .collect();
 
     let textual = load(&programs::cb_source(n, n_phases)).unwrap();
     let textual_explorer = Explorer::new(&textual).with_nondet_samples(4);
-    let textual_reach = textual_explorer.reachable_with(
-        vec![textual.initial_state()],
-        2_000_000,
-        |s| {
+    let textual_reach =
+        textual_explorer.reachable_with(vec![textual.initial_state()], 2_000_000, |s| {
             let mut out = Vec::new();
             for victim in 0..n {
                 for ph in 0..n_phases as i64 {
@@ -93,8 +98,7 @@ fn textual_cb_matches_native_under_detectable_faults() {
                 }
             }
             out
-        },
-    );
+        });
     assert!(!textual_reach.truncated);
     let textual_set: BTreeSet<Vec<Vec<i64>>> = textual_reach.states.into_iter().collect();
 
@@ -117,19 +121,15 @@ fn textual_token_ring_reaches_exactly_the_native_states() {
     let native = TokenRing::new(n).with_domain(k);
     let native_explorer = Explorer::new(&native);
     // Include detectable faults so the ⊥/⊤ machinery is exercised in both.
-    let native_reach = native_explorer.reachable_with(
-        vec![native.initial_state()],
-        500_000,
-        |s| {
-            (0..n)
-                .map(|victim| {
-                    let mut t = s.to_vec();
-                    t[victim] = Sn::Bot;
-                    t
-                })
-                .collect()
-        },
-    );
+    let native_reach = native_explorer.reachable_with(vec![native.initial_state()], 500_000, |s| {
+        (0..n)
+            .map(|victim| {
+                let mut t = s.to_vec();
+                t[victim] = Sn::Bot;
+                t
+            })
+            .collect()
+    });
     assert!(!native_reach.truncated);
     let native_set: BTreeSet<Vec<i64>> = native_reach
         .states
@@ -139,10 +139,8 @@ fn textual_token_ring_reaches_exactly_the_native_states() {
 
     let textual = load(&programs::token_ring_source(n, k)).unwrap();
     let textual_explorer = Explorer::new(&textual);
-    let textual_reach = textual_explorer.reachable_with(
-        vec![textual.initial_state()],
-        500_000,
-        |s| {
+    let textual_reach =
+        textual_explorer.reachable_with(vec![textual.initial_state()], 500_000, |s| {
             (0..n)
                 .map(|victim| {
                     let mut t = s.to_vec();
@@ -150,8 +148,7 @@ fn textual_token_ring_reaches_exactly_the_native_states() {
                     t
                 })
                 .collect()
-        },
-    );
+        });
     assert!(!textual_reach.truncated);
     let textual_set: BTreeSet<Vec<i64>> = textual_reach
         .states
@@ -170,8 +167,8 @@ fn textual_cb_masks_detectable_faults_through_the_oracle() {
     // specification. (The oracle needs cp/ph views; adapt from the rows.)
     use ftbarrier_core::spec::{Anchor, BarrierOracle, OracleConfig};
     use ftbarrier_gcs::{
-        ActionId, FaultAction, FaultKind, Interleaving, InterleavingConfig, Monitor, Pid,
-        SimRng, Time,
+        ActionId, FaultAction, FaultKind, Interleaving, InterleavingConfig, Monitor, Pid, SimRng,
+        Time,
     };
 
     struct RowOracle {
@@ -224,8 +221,13 @@ fn textual_cb_masks_detectable_faults_through_the_oracle() {
     let n = 4;
     let textual = load(&programs::cb_source(n, 3)).unwrap();
     for seed in 0..10 {
-        let mut exec =
-            Interleaving::new(&textual, InterleavingConfig { seed, ..Default::default() });
+        let mut exec = Interleaving::new(
+            &textual,
+            InterleavingConfig {
+                seed,
+                ..Default::default()
+            },
+        );
         let mut mon = RowOracle {
             oracle: BarrierOracle::new(OracleConfig {
                 n_processes: n,
@@ -273,10 +275,8 @@ fn textual_rb_reaches_exactly_the_native_states() {
 
     let native = SweepBarrier::new(SweepDag::ring(n).unwrap(), n_phases).with_sn_domain(k);
     let native_explorer = Explorer::new(&native);
-    let native_reach = native_explorer.reachable_with(
-        vec![native.initial_state()],
-        3_000_000,
-        |s| {
+    let native_reach =
+        native_explorer.reachable_with(vec![native.initial_state()], 3_000_000, |s| {
             // Detectable fault at any process, any forged phase (post kept
             // inert: the fuzzy extension is off).
             let mut out = Vec::new();
@@ -294,8 +294,7 @@ fn textual_rb_reaches_exactly_the_native_states() {
                 }
             }
             out
-        },
-    );
+        });
     assert!(!native_reach.truncated);
     let native_set: BTreeSet<Vec<Vec<i64>>> = native_reach
         .states
@@ -304,7 +303,12 @@ fn textual_rb_reaches_exactly_the_native_states() {
             s.iter()
                 .map(|p| {
                     assert!(p.post, "fuzzy off: post stays true");
-                    vec![sn_key(p.sn, k), rb_cp_index(p.cp), p.ph as i64, p.done as i64]
+                    vec![
+                        sn_key(p.sn, k),
+                        rb_cp_index(p.cp),
+                        p.ph as i64,
+                        p.done as i64,
+                    ]
                 })
                 .collect()
         })
@@ -312,10 +316,8 @@ fn textual_rb_reaches_exactly_the_native_states() {
 
     let textual = load(&programs::rb_source(n, k, n_phases)).unwrap();
     let textual_explorer = Explorer::new(&textual);
-    let textual_reach = textual_explorer.reachable_with(
-        vec![textual.initial_state()],
-        3_000_000,
-        |s| {
+    let textual_reach =
+        textual_explorer.reachable_with(vec![textual.initial_state()], 3_000_000, |s| {
             let mut out = Vec::new();
             for victim in 0..n {
                 for ph in 0..n_phases as i64 {
@@ -325,8 +327,7 @@ fn textual_rb_reaches_exactly_the_native_states() {
                 }
             }
             out
-        },
-    );
+        });
     assert!(!textual_reach.truncated);
     let textual_set: BTreeSet<Vec<Vec<i64>>> = textual_reach.states.into_iter().collect();
 

@@ -7,7 +7,7 @@ use ftbarrier_gcs::Protocol;
 use proptest::prelude::*;
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig { cases: 256 })]
 
     /// Random byte soup never panics the lexer/parser.
     #[test]

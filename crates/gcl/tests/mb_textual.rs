@@ -6,8 +6,8 @@ use ftbarrier_core::cp::Cp;
 use ftbarrier_core::spec::{Anchor, BarrierOracle, OracleConfig};
 use ftbarrier_gcl::{load, programs};
 use ftbarrier_gcs::{
-    ActionId, FaultAction, FaultKind, Interleaving, InterleavingConfig, Monitor, NullMonitor,
-    Pid, SimRng, Time,
+    ActionId, FaultAction, FaultKind, Interleaving, InterleavingConfig, Monitor, NullMonitor, Pid,
+    SimRng, Time,
 };
 
 // Row layout of the textual MB: [sn, cp, ph, done, csn, ccp, cph, cnext].
@@ -87,10 +87,20 @@ fn textual_mb_is_clean_fault_free() {
     let (n, l, n_phases) = (4usize, 12u32, 3u32);
     let mb = load(&programs::mb_source(n, l, n_phases)).unwrap();
     for seed in 0..10 {
-        let mut exec = Interleaving::new(&mb, InterleavingConfig { seed, ..Default::default() });
+        let mut exec = Interleaving::new(
+            &mb,
+            InterleavingConfig {
+                seed,
+                ..Default::default()
+            },
+        );
         let mut mon = oracle(n, n_phases, Anchor::StrictFromZero);
         exec.run(60_000, &mut mon);
-        assert!(mon.oracle.is_clean(), "seed {seed}: {:?}", mon.oracle.violations());
+        assert!(
+            mon.oracle.is_clean(),
+            "seed {seed}: {:?}",
+            mon.oracle.violations()
+        );
         assert!(
             mon.oracle.phases_completed() >= 20,
             "seed {seed}: only {} phases",
@@ -109,7 +119,13 @@ fn textual_mb_masks_detectable_faults() {
         n_phases: n_phases as i64,
     };
     for seed in 0..8 {
-        let mut exec = Interleaving::new(&mb, InterleavingConfig { seed, ..Default::default() });
+        let mut exec = Interleaving::new(
+            &mb,
+            InterleavingConfig {
+                seed,
+                ..Default::default()
+            },
+        );
         let mut mon = oracle(n, n_phases, Anchor::StrictFromZero);
         for round in 0..20 {
             exec.run(400, &mut mon);
@@ -130,7 +146,13 @@ fn textual_mb_stabilizes_from_arbitrary_states() {
     let (n, l, n_phases) = (3usize, 10u32, 2u32);
     let mb = load(&programs::mb_source(n, l, n_phases)).unwrap();
     for seed in 0..8 {
-        let mut exec = Interleaving::new(&mb, InterleavingConfig { seed, ..Default::default() });
+        let mut exec = Interleaving::new(
+            &mb,
+            InterleavingConfig {
+                seed,
+                ..Default::default()
+            },
+        );
         exec.perturb_all();
         let mut silent = NullMonitor;
         // Settle, then require a start-state boundary.
@@ -139,7 +161,10 @@ fn textual_mb_stabilizes_from_arbitrary_states() {
             g.iter()
                 .all(|row| row[CP] == 0 && row[PH] == g[0][PH] && row[0] < l as i64)
         });
-        assert!(settled.is_some(), "seed {seed}: never reached a start state");
+        assert!(
+            settled.is_some(),
+            "seed {seed}: never reached a start state"
+        );
         // From the boundary on, the spec must hold.
         let mut mon = oracle(n, n_phases, Anchor::Free);
         exec.run(40_000, &mut mon);
@@ -156,6 +181,9 @@ fn textual_mb_stabilizes_from_arbitrary_states() {
 fn textual_mb_parses_with_required_domain() {
     // L > 2N+1 enforced.
     let r = std::panic::catch_unwind(|| programs::mb_source(4, 9, 2));
-    assert!(r.is_err(), "L = 9 violates L > 2N+1 = 9 for N+1 = 4 processes");
+    assert!(
+        r.is_err(),
+        "L = 9 violates L > 2N+1 = 9 for N+1 = 4 processes"
+    );
     let _ = programs::mb_source(4, 10, 2);
 }

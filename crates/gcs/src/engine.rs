@@ -23,10 +23,48 @@
 //!   A fault that strikes a process **aborts that process's in-flight
 //!   action** (its state was just perturbed), which models a fault hitting a
 //!   process mid-phase.
+//!
+//! # Engine internals: event-incremental scheduling
+//!
+//! A naive implementation rescans every guard and linearly scans every
+//! pending commit after every event — O(n) work per event even though the
+//! paper's programs only ever change a constant-size neighborhood. This
+//! engine is incremental in both dimensions:
+//!
+//! * **Dirty-set scheduling.** When [`Protocol::readers_of`] names each
+//!   process's guard readers (every protocol in this repo does; the default
+//!   [`ReaderSet::All`] falls back to full rescans), the engine re-evaluates
+//!   guards only for the *dirty set*: processes whose state changed since the
+//!   last scheduling pass, plus their readers. This is sound because guard
+//!   truth at an untouched process cannot change when no state it reads
+//!   changed — an idle, non-dirty process provably has no enabled action, so
+//!   skipping it is exact, not approximate. Dirty pids are visited in
+//!   ascending pid order, so the RNG consumes the identical stream the full
+//!   rescan would (idle non-dirty pids never reach the nondeterministic
+//!   choice), making both modes produce byte-identical runs.
+//! * **Commit heap.** Pending commit times live in a min-heap with *lazy
+//!   invalidation*: aborting a commit (fault hit) just clears the
+//!   per-process slot; stale heap entries are discarded when popped. Finding
+//!   the next event is O(log n) instead of an O(n) scan.
+//! * **No per-event snapshots.** Maximal-parallel steps read pre-step state
+//!   by computing all updates *before* applying any (the statements only
+//!   read `global` and write their own process), and the old state each
+//!   monitor callback needs is recovered by swapping new states in — the
+//!   engine never clones the global state vector. Fault observers get the
+//!   victim's pre-fault state from [`FaultHit::old`], captured by the plan.
+//!
+//! [`EngineConfig::full_rescan`] forces the reference O(n)-per-event
+//! scheduler; the differential tests run both modes and assert identical
+//! traces.
+//!
+//! [`FaultHit::old`]: crate::fault::FaultHit
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 use crate::fault::FaultPlan;
 use crate::monitor::Monitor;
-use crate::protocol::{ActionId, Pid, Protocol};
+use crate::protocol::{ActionId, Pid, Protocol, ReaderSet};
 use crate::rng::SimRng;
 use crate::stats::RunStats;
 use crate::time::Time;
@@ -59,6 +97,11 @@ pub struct EngineConfig {
     /// Stop after this many committed actions (guards against zero-cost
     /// livelock in buggy protocols).
     pub max_commits: Option<u64>,
+    /// Force the reference scheduler that rescans every guard after every
+    /// event, even when the protocol provides [`Protocol::readers_of`]
+    /// hints. Produces byte-identical runs to the incremental scheduler;
+    /// exists for differential tests and baseline benchmarks.
+    pub full_rescan: bool,
 }
 
 impl Default for EngineConfig {
@@ -67,6 +110,7 @@ impl Default for EngineConfig {
             seed: 0x051E_FA57,
             max_time: None,
             max_commits: Some(100_000_000),
+            full_rescan: false,
         }
     }
 }
@@ -112,6 +156,29 @@ pub struct Engine<'p, P: Protocol> {
     now: Time,
     rng: SimRng,
     enabled_scratch: Vec<ActionId>,
+    /// `readers[q]` = sorted, deduped pids whose guards read q's state
+    /// (always including q itself). `None` when the protocol answered
+    /// [`ReaderSet::All`] for some pid: every event then triggers a full
+    /// guard rescan.
+    readers: Option<Vec<Vec<Pid>>>,
+    /// Dirty set: pids whose guards must be re-evaluated at the next
+    /// scheduling pass. The flag vector makes membership O(1); the list
+    /// makes iteration proportional to the set size.
+    dirty_flag: Vec<bool>,
+    dirty_list: Vec<Pid>,
+    /// Commit queue with lazy invalidation: an entry is live iff
+    /// `pending[pid]` still matures at exactly that time; stale entries are
+    /// dropped when they surface at the top.
+    commits: BinaryHeap<Reverse<(Time, Pid)>>,
+    /// Scratch buffers reused across steps (no per-step allocation).
+    batch: Vec<Pid>,
+    updates: Vec<(Pid, ActionId, P::State)>,
+    touched: Vec<Pid>,
+    /// Dense per-(pid, action) execution counters, folded into the
+    /// name-keyed histogram once per run; `action_offsets[pid] + action`
+    /// indexes `action_counts`.
+    action_counts: Vec<u64>,
+    action_offsets: Vec<usize>,
 }
 
 impl<'p, P: Protocol> Engine<'p, P> {
@@ -123,14 +190,54 @@ impl<'p, P: Protocol> Engine<'p, P> {
     pub fn from_state(protocol: &'p P, seed: u64, global: Vec<P::State>) -> Self {
         assert_eq!(global.len(), protocol.num_processes());
         let n = protocol.num_processes();
-        Engine {
+
+        let mut reader_table = Vec::with_capacity(n);
+        let mut complete = true;
+        for pid in 0..n {
+            match protocol.readers_of(pid) {
+                ReaderSet::All => {
+                    complete = false;
+                    break;
+                }
+                ReaderSet::These(mut readers) => {
+                    readers.push(pid);
+                    readers.sort_unstable();
+                    readers.dedup();
+                    assert!(
+                        readers.iter().all(|&r| r < n),
+                        "readers_of({pid}) names a pid out of range (n={n})"
+                    );
+                    reader_table.push(readers);
+                }
+            }
+        }
+
+        let mut action_offsets = Vec::with_capacity(n);
+        let mut total_actions = 0;
+        for pid in 0..n {
+            action_offsets.push(total_actions);
+            total_actions += protocol.num_actions(pid);
+        }
+
+        let mut engine = Engine {
             protocol,
             global,
             pending: vec![None; n],
             now: Time::ZERO,
             rng: SimRng::seed_from_u64(seed),
             enabled_scratch: Vec::new(),
-        }
+            readers: complete.then_some(reader_table),
+            dirty_flag: vec![false; n],
+            dirty_list: Vec::with_capacity(n),
+            commits: BinaryHeap::with_capacity(n),
+            batch: Vec::new(),
+            updates: Vec::new(),
+            touched: Vec::new(),
+            action_counts: vec![0; total_actions],
+            action_offsets,
+        };
+        engine.mark_all();
+        engine
     }
 
     pub fn now(&self) -> Time {
@@ -144,6 +251,8 @@ impl<'p, P: Protocol> Engine<'p, P> {
     pub fn set_state(&mut self, pid: Pid, state: P::State) {
         self.global[pid] = state;
         self.pending[pid] = None;
+        self.mark_readers_of(pid);
+        self.mark(pid);
     }
 
     /// Replace every process's state with an arbitrary domain value — used to
@@ -153,43 +262,102 @@ impl<'p, P: Protocol> Engine<'p, P> {
             self.global[pid] = self.protocol.arbitrary_state(pid, &mut self.rng);
             self.pending[pid] = None;
         }
+        self.mark_all();
     }
 
     pub fn rng(&mut self) -> &mut SimRng {
         &mut self.rng
     }
 
-    /// Schedule commits for all idle processes with an enabled action.
-    fn schedule(&mut self) {
-        for pid in 0..self.protocol.num_processes() {
-            if self.pending[pid].is_some() {
-                continue;
-            }
-            self.enabled_scratch.clear();
-            for a in 0..self.protocol.num_actions(pid) {
-                if self.protocol.enabled(&self.global, pid, a) {
-                    self.enabled_scratch.push(a);
-                }
-            }
-            if self.enabled_scratch.is_empty() {
-                continue;
-            }
-            let action = if self.enabled_scratch.len() == 1 {
-                self.enabled_scratch[0]
-            } else {
-                *self.rng.choose(&self.enabled_scratch)
-            };
-            let at = self.now + self.protocol.cost(pid, action);
-            self.pending[pid] = Some(Pending { action, at });
+    fn mark(&mut self, pid: Pid) {
+        if !self.dirty_flag[pid] {
+            self.dirty_flag[pid] = true;
+            self.dirty_list.push(pid);
         }
     }
 
-    fn earliest_commit(&self) -> Option<Time> {
-        self.pending
-            .iter()
-            .flatten()
-            .map(|p| p.at)
-            .min()
+    fn mark_all(&mut self) {
+        for pid in 0..self.dirty_flag.len() {
+            self.mark(pid);
+        }
+    }
+
+    /// State of `pid` changed: every process whose guard reads it may have
+    /// flipped enabled-status. No-op under full rescans (`readers` absent).
+    fn mark_readers_of(&mut self, pid: Pid) {
+        let Some(readers) = self.readers.as_deref() else {
+            return;
+        };
+        for &r in &readers[pid] {
+            if !self.dirty_flag[r] {
+                self.dirty_flag[r] = true;
+                self.dirty_list.push(r);
+            }
+        }
+    }
+
+    /// Evaluate `pid`'s guards against the current state and commit to one
+    /// enabled action, if any.
+    fn try_commit(&mut self, pid: Pid) {
+        self.enabled_scratch.clear();
+        for a in 0..self.protocol.num_actions(pid) {
+            if self.protocol.enabled(&self.global, pid, a) {
+                self.enabled_scratch.push(a);
+            }
+        }
+        let action = match self.enabled_scratch.len() {
+            0 => return,
+            1 => self.enabled_scratch[0],
+            _ => *self.rng.choose(&self.enabled_scratch),
+        };
+        let at = self.now + self.protocol.cost(pid, action);
+        self.pending[pid] = Some(Pending { action, at });
+        self.commits.push(Reverse((at, pid)));
+    }
+
+    /// Schedule commits for all idle processes with an enabled action.
+    ///
+    /// In incremental mode only the dirty set is examined, in ascending pid
+    /// order — the same order the full rescan uses, and idle non-dirty pids
+    /// cannot have an enabled action, so both modes drive the RNG
+    /// identically.
+    fn schedule(&mut self, incremental: bool) {
+        if incremental {
+            self.dirty_list.sort_unstable();
+            let mut i = 0;
+            while i < self.dirty_list.len() {
+                let pid = self.dirty_list[i];
+                i += 1;
+                self.dirty_flag[pid] = false;
+                if self.pending[pid].is_none() {
+                    self.try_commit(pid);
+                }
+            }
+            self.dirty_list.clear();
+        } else {
+            // Reference path: rescan every guard. Dirty bookkeeping is
+            // still cleared so a later incremental run starts from the same
+            // invariant (every idle process has just been checked).
+            for pid in 0..self.pending.len() {
+                self.dirty_flag[pid] = false;
+                if self.pending[pid].is_none() {
+                    self.try_commit(pid);
+                }
+            }
+            self.dirty_list.clear();
+        }
+    }
+
+    /// Time of the next maturing commit, discarding stale heap entries
+    /// (lazily invalidated by fault aborts) from the top.
+    fn earliest_commit(&mut self) -> Option<Time> {
+        while let Some(&Reverse((at, pid))) = self.commits.peek() {
+            if matches!(self.pending[pid], Some(p) if p.at == at) {
+                return Some(at);
+            }
+            self.commits.pop();
+        }
+        None
     }
 
     /// Run until a stop condition. `faults` injects the fault environment;
@@ -200,21 +368,18 @@ impl<'p, P: Protocol> Engine<'p, P> {
         faults: &mut dyn FaultPlan<P::State>,
         monitor: &mut dyn Monitor<P::State>,
     ) -> RunOutcome {
+        let incremental = self.readers.is_some() && !config.full_rescan;
         let mut stats = RunStats::default();
-        loop {
-            self.schedule();
+        self.action_counts.fill(0);
+
+        let reason = 'run: loop {
+            self.schedule(incremental);
 
             let next_commit = self.earliest_commit();
             let next_fault = faults.peek(self.now, &mut self.rng);
 
             let next_event = match (next_commit, next_fault) {
-                (None, None) => {
-                    stats.elapsed = self.now;
-                    return RunOutcome {
-                        reason: StopReason::Fixpoint,
-                        stats,
-                    };
-                }
+                (None, None) => break 'run StopReason::Fixpoint,
                 (Some(c), None) => c,
                 (None, Some(f)) => f,
                 (Some(c), Some(f)) => c.min(f),
@@ -223,11 +388,7 @@ impl<'p, P: Protocol> Engine<'p, P> {
             if let Some(horizon) = config.max_time {
                 if next_event > horizon {
                     self.now = horizon;
-                    stats.elapsed = self.now;
-                    return RunOutcome {
-                        reason: StopReason::MaxTime,
-                        stats,
-                    };
+                    break 'run StopReason::MaxTime;
                 }
             }
             self.now = self.now.max(next_event);
@@ -236,89 +397,125 @@ impl<'p, P: Protocol> Engine<'p, P> {
             // perturbation lands before the action's atomic execution.
             if let Some(f) = next_fault {
                 if f <= next_event {
-                    let snapshot_old = self.global.clone();
-                    let hit = faults.fire(f, &mut self.global, &mut self.rng);
-                    // The fault aborts the victim's in-flight action.
+                    self.touched.clear();
+                    let hit = faults.fire(f, &mut self.global, &mut self.rng, &mut self.touched);
+                    // The fault aborts the victim's in-flight action (its
+                    // heap entry goes stale and is dropped lazily).
                     self.pending[hit.pid] = None;
+                    for i in 0..self.touched.len() {
+                        let p = self.touched[i];
+                        self.mark_readers_of(p); // includes p itself
+                    }
+                    self.mark(hit.pid); // must reschedule after the abort
                     stats.faults += 1;
                     monitor.on_fault(
                         self.now,
                         hit.pid,
                         hit.kind,
-                        &snapshot_old[hit.pid],
-                        &self.global[hit.pid].clone(),
+                        &hit.old,
+                        &self.global[hit.pid],
                         &self.global,
                     );
                     if monitor.should_stop() {
-                        stats.elapsed = self.now;
-                        return RunOutcome {
-                            reason: StopReason::MonitorStop,
-                            stats,
-                        };
+                        break 'run StopReason::MonitorStop;
                     }
                     continue;
                 }
             }
 
             // Commit batch: all pending actions maturing exactly now execute
-            // as one maximal-parallel step against the pre-step snapshot.
-            let batch: Vec<Pid> = (0..self.pending.len())
-                .filter(|&pid| matches!(self.pending[pid], Some(p) if p.at == next_event))
-                .collect();
-            debug_assert!(!batch.is_empty(), "an event time with no commits");
-
-            let snapshot = self.global.clone();
-            let mut updates: Vec<(Pid, ActionId, P::State)> = Vec::with_capacity(batch.len());
-            for &pid in &batch {
-                let p = self.pending[pid].take().expect("pid is in batch");
-                if self.protocol.enabled(&snapshot, pid, p.action) {
-                    let new = self.protocol.execute(&snapshot, pid, p.action, &mut self.rng);
-                    updates.push((pid, p.action, new));
-                } else {
-                    stats.commits_dropped += 1;
+            // as one maximal-parallel step against the pre-step state. The
+            // heap yields equal-time entries in ascending pid order; a pid
+            // may surface twice (abort + reschedule at the same instant),
+            // which the `take()` below collapses.
+            self.batch.clear();
+            while let Some(&Reverse((at, pid))) = self.commits.peek() {
+                if at != next_event {
+                    break;
+                }
+                self.commits.pop();
+                if matches!(self.pending[pid], Some(p) if p.at == at) {
+                    self.batch.push(pid);
                 }
             }
-            for (pid, _, new) in &updates {
-                self.global[*pid] = new.clone();
+            debug_assert!(!self.batch.is_empty(), "an event time with no commits");
+
+            // Compute phase: `global` is not mutated yet, so every statement
+            // reads the pre-step state — no snapshot clone needed.
+            self.updates.clear();
+            for i in 0..self.batch.len() {
+                let pid = self.batch[i];
+                let Some(p) = self.pending[pid].take() else {
+                    continue; // duplicate heap entry already consumed
+                };
+                if self.protocol.enabled(&self.global, pid, p.action) {
+                    let new = self
+                        .protocol
+                        .execute(&self.global, pid, p.action, &mut self.rng);
+                    self.updates.push((pid, p.action, new));
+                } else {
+                    stats.commits_dropped += 1;
+                    self.mark(pid);
+                }
             }
-            for (pid, action, new) in &updates {
-                let name = self.protocol.action_name(*pid, *action);
-                stats.record_action(name);
+
+            // Apply phase: swap each new state in; the update slot then
+            // holds the *old* state for the monitor callbacks below.
+            for u in self.updates.iter_mut() {
+                std::mem::swap(&mut self.global[u.0], &mut u.2);
+            }
+            for i in 0..self.updates.len() {
+                let (pid, action, ref old) = self.updates[i];
+                self.action_counts[self.action_offsets[pid] + action] += 1;
+                stats.actions_executed += 1;
+                let name = self.protocol.action_name(pid, action);
                 monitor.on_transition(
                     self.now,
-                    *pid,
-                    *action,
+                    pid,
+                    action,
                     name,
-                    &snapshot[*pid],
-                    new,
+                    old,
+                    &self.global[pid],
                     &self.global,
                 );
             }
+            for i in 0..self.updates.len() {
+                // Writer changed state → its readers re-check; the writer
+                // itself (now idle) is in its own reader set.
+                let pid = self.updates[i].0;
+                self.mark_readers_of(pid);
+            }
 
             if monitor.should_stop() {
-                stats.elapsed = self.now;
-                return RunOutcome {
-                    reason: StopReason::MonitorStop,
-                    stats,
-                };
+                break 'run StopReason::MonitorStop;
             }
             if let Some(max) = config.max_commits {
                 if stats.actions_executed >= max {
-                    stats.elapsed = self.now;
-                    return RunOutcome {
-                        reason: StopReason::MaxCommits,
-                        stats,
-                    };
+                    break 'run StopReason::MaxCommits;
+                }
+            }
+        };
+
+        stats.elapsed = self.now;
+        for pid in 0..self.protocol.num_processes() {
+            for a in 0..self.protocol.num_actions(pid) {
+                let count = self.action_counts[self.action_offsets[pid] + a];
+                if count > 0 {
+                    stats.add_action_count(self.protocol.action_name(pid, a), count);
                 }
             }
         }
+        RunOutcome { reason, stats }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::fault::{FaultAction, FaultKind, NoFaults, ScriptedFault, ScriptedFaults};
+    use crate::fault::{
+        FaultAction, FaultKind, NoFaults, PoissonFaults, ScriptedFault, ScriptedFaults,
+        VictimPolicy,
+    };
     use crate::monitor::NullMonitor;
     use crate::protocol::testutil::{tokens, DijkstraRing};
     use crate::trace::Trace;
@@ -463,5 +660,100 @@ mod tests {
         let out = engine.run(&EngineConfig::default(), &mut NoFaults, &mut m);
         assert_eq!(out.reason, StopReason::MonitorStop);
         assert_eq!(out.stats.actions_executed, 7);
+    }
+
+    /// Run a full faulted scenario in both scheduler modes and return
+    /// everything observable: the trace, the final state, and the stats.
+    fn faulted_run(
+        r: &DijkstraRing,
+        seed: u64,
+        fault_rate: f64,
+        full_rescan: bool,
+    ) -> (Vec<crate::trace::TraceEvent<u64>>, Vec<u64>, RunStats) {
+        let mut engine = Engine::new(r, seed);
+        engine.perturb_all();
+        let mut trace: Trace<u64> = Trace::unbounded();
+        let config = EngineConfig {
+            seed,
+            max_time: Some(Time::new(40.0)),
+            full_rescan,
+            ..Default::default()
+        };
+        let out = if fault_rate > 0.0 {
+            let mut faults = PoissonFaults::with_rate(fault_rate, VictimPolicy::Random, Scramble);
+            engine.run(&config, &mut faults, &mut trace)
+        } else {
+            engine.run(&config, &mut NoFaults, &mut trace)
+        };
+        (
+            trace.events().cloned().collect(),
+            engine.global().to_vec(),
+            out.stats,
+        )
+    }
+
+    #[test]
+    fn incremental_scheduler_matches_full_rescan_exactly() {
+        // The dirty-set scheduler must be observationally identical to the
+        // reference full-rescan scheduler: same trace, same final state,
+        // same stats — including under faults, which exercise commit drops
+        // and lazy heap invalidation.
+        let r = ring(7, 0.3);
+        for seed in [11, 12, 13, 14] {
+            for &rate in &[0.0, 0.4] {
+                let (ev_inc, g_inc, s_inc) = faulted_run(&r, seed, rate, false);
+                let (ev_full, g_full, s_full) = faulted_run(&r, seed, rate, true);
+                assert_eq!(ev_inc, ev_full, "trace diverged (seed {seed}, rate {rate})");
+                assert_eq!(g_inc, g_full, "state diverged (seed {seed}, rate {rate})");
+                assert_eq!(s_inc.actions_executed, s_full.actions_executed);
+                assert_eq!(s_inc.commits_dropped, s_full.commits_dropped);
+                assert_eq!(s_inc.faults, s_full.faults);
+                assert_eq!(s_inc.by_action, s_full.by_action);
+            }
+        }
+    }
+
+    #[test]
+    fn set_state_wakes_incremental_scheduler() {
+        // After a quiescent run, injecting state through set_state must
+        // dirty-mark enough processes for the incremental scheduler to pick
+        // the change up (a stale scheduler would report a false fixpoint).
+        let r = ring(5, 1.0);
+        let mut engine = Engine::new(&r, 9);
+        let config = EngineConfig {
+            max_time: Some(Time::new(3.5)),
+            ..Default::default()
+        };
+        engine.run(&config, &mut NoFaults, &mut NullMonitor);
+        let moved_before = engine.global().to_vec();
+        engine.set_state(2, engine.global()[2] + 1); // forge a second token
+        let out = engine.run(
+            &EngineConfig {
+                max_time: Some(Time::new(40.0)),
+                ..Default::default()
+            },
+            &mut NoFaults,
+            &mut NullMonitor,
+        );
+        assert!(out.stats.actions_executed > 0, "injected token was ignored");
+        assert_eq!(tokens(&r, engine.global()), 1);
+        assert_ne!(engine.global(), &moved_before[..]);
+    }
+
+    #[test]
+    fn histogram_matches_dense_counter_fold() {
+        let r = ring(4, 1.0);
+        let mut engine = Engine::new(&r, 6);
+        let config = EngineConfig {
+            max_commits: Some(9),
+            ..Default::default()
+        };
+        let out = engine.run(&config, &mut NoFaults, &mut NullMonitor);
+        let total: u64 = out.stats.by_action.values().sum();
+        assert_eq!(total, out.stats.actions_executed);
+        assert_eq!(
+            out.stats.count_of("bottom") + out.stats.count_of("other"),
+            9
+        );
     }
 }

@@ -99,9 +99,9 @@ where
         let mut truncated = false;
 
         let push = |s: Vec<P::State>,
-                        index: &mut HashMap<Vec<P::State>, usize>,
-                        states: &mut Vec<Vec<P::State>>,
-                        queue: &mut VecDeque<usize>| {
+                    index: &mut HashMap<Vec<P::State>, usize>,
+                    states: &mut Vec<Vec<P::State>>,
+                    queue: &mut VecDeque<usize>| {
             if !index.contains_key(&s) {
                 let id = states.len();
                 index.insert(s.clone(), id);
@@ -249,10 +249,7 @@ mod tests {
         let exploration = explorer.reachable(vec![r.initial_state()], 100_000);
         assert!(!exploration.truncated);
         assert!(exploration.deadlocks.is_empty());
-        assert!(exploration
-            .states
-            .iter()
-            .all(|s| tokens(&r, s) == 1));
+        assert!(exploration.states.iter().all(|s| tokens(&r, s) == 1));
         assert_eq!(exploration.states.len(), 3 * 4);
     }
 

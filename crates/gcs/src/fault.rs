@@ -36,10 +36,14 @@ pub trait FaultAction<S> {
 }
 
 /// Record of an applied fault, reported back to the executor for monitors.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct FaultHit {
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultHit<S> {
     pub pid: Pid,
     pub kind: FaultKind,
+    /// The reported victim's state immediately before the perturbation,
+    /// captured by the plan so the executor never has to snapshot the whole
+    /// global state around a fault.
+    pub old: S,
 }
 
 /// Chooses which process a fault strikes.
@@ -70,8 +74,16 @@ pub trait FaultPlan<S> {
     fn peek(&mut self, now: Time, rng: &mut SimRng) -> Option<Time>;
 
     /// Apply the fault previously returned by `peek`. Mutates the state of
-    /// exactly one process and reports which one.
-    fn fire(&mut self, at: Time, global: &mut [S], rng: &mut SimRng) -> FaultHit;
+    /// one or more processes, pushes every perturbed pid into `touched`
+    /// (the executor uses this to dirty-mark dependent guards), and reports
+    /// the primary victim together with its pre-fault state.
+    fn fire(
+        &mut self,
+        at: Time,
+        global: &mut [S],
+        rng: &mut SimRng,
+        touched: &mut Vec<Pid>,
+    ) -> FaultHit<S>;
 }
 
 /// The empty fault environment.
@@ -83,7 +95,13 @@ impl<S> FaultPlan<S> for NoFaults {
         None
     }
 
-    fn fire(&mut self, _at: Time, _global: &mut [S], _rng: &mut SimRng) -> FaultHit {
+    fn fire(
+        &mut self,
+        _at: Time,
+        _global: &mut [S],
+        _rng: &mut SimRng,
+        _touched: &mut Vec<Pid>,
+    ) -> FaultHit<S> {
         unreachable!("NoFaults never schedules a fault")
     }
 }
@@ -93,7 +111,10 @@ impl<S> FaultPlan<S> for NoFaults {
 ///
 /// Panics if `f` is not in `[0, 1)`.
 pub fn rate_for_frequency(f: f64) -> f64 {
-    assert!((0.0..1.0).contains(&f), "fault frequency must be in [0,1), got {f}");
+    assert!(
+        (0.0..1.0).contains(&f),
+        "fault frequency must be in [0,1), got {f}"
+    );
     -(1.0 - f).ln()
 }
 
@@ -123,7 +144,7 @@ impl<A> PoissonFaults<A> {
     }
 }
 
-impl<S, A: FaultAction<S>> FaultPlan<S> for PoissonFaults<A> {
+impl<S: Clone, A: FaultAction<S>> FaultPlan<S> for PoissonFaults<A> {
     fn peek(&mut self, now: Time, rng: &mut SimRng) -> Option<Time> {
         if self.rate == 0.0 {
             return None;
@@ -138,13 +159,22 @@ impl<S, A: FaultAction<S>> FaultPlan<S> for PoissonFaults<A> {
         self.next
     }
 
-    fn fire(&mut self, _at: Time, global: &mut [S], rng: &mut SimRng) -> FaultHit {
+    fn fire(
+        &mut self,
+        _at: Time,
+        global: &mut [S],
+        rng: &mut SimRng,
+        touched: &mut Vec<Pid>,
+    ) -> FaultHit<S> {
         let pid = self.victims.pick(global.len(), rng);
+        let old = global[pid].clone();
         self.action.apply(pid, &mut global[pid], rng);
         self.next = None;
+        touched.push(pid);
         FaultHit {
             pid,
             kind: self.action.kind(),
+            old,
         }
     }
 }
@@ -173,18 +203,27 @@ impl<S> ScriptedFaults<S> {
     }
 }
 
-impl<S> FaultPlan<S> for ScriptedFaults<S> {
+impl<S: Clone> FaultPlan<S> for ScriptedFaults<S> {
     fn peek(&mut self, _now: Time, _rng: &mut SimRng) -> Option<Time> {
         self.script.get(self.cursor).map(|e| e.at)
     }
 
-    fn fire(&mut self, _at: Time, global: &mut [S], rng: &mut SimRng) -> FaultHit {
+    fn fire(
+        &mut self,
+        _at: Time,
+        global: &mut [S],
+        rng: &mut SimRng,
+        touched: &mut Vec<Pid>,
+    ) -> FaultHit<S> {
         let entry = &self.script[self.cursor];
         self.cursor += 1;
+        let old = global[entry.pid].clone();
         entry.action.apply(entry.pid, &mut global[entry.pid], rng);
+        touched.push(entry.pid);
         FaultHit {
             pid: entry.pid,
             kind: entry.action.kind(),
+            old,
         }
     }
 }
@@ -220,7 +259,10 @@ mod tests {
     fn zero_frequency_never_fires() {
         let mut plan = PoissonFaults::with_frequency(0.0, VictimPolicy::Random, Zap);
         let mut rng = SimRng::seed_from_u64(0);
-        assert_eq!(FaultPlan::<u64>::peek(&mut plan, Time::ZERO, &mut rng), None);
+        assert_eq!(
+            FaultPlan::<u64>::peek(&mut plan, Time::ZERO, &mut rng),
+            None
+        );
     }
 
     #[test]
@@ -230,10 +272,13 @@ mod tests {
         let t1 = FaultPlan::<u64>::peek(&mut plan, Time::ZERO, &mut rng).unwrap();
         let t2 = FaultPlan::<u64>::peek(&mut plan, Time::ZERO, &mut rng).unwrap();
         assert_eq!(t1, t2);
-        let mut global = vec![0u64; 3];
-        let hit = plan.fire(t1, &mut global, &mut rng);
+        let mut global = vec![7u64, 5, 3];
+        let mut touched = Vec::new();
+        let hit = plan.fire(t1, &mut global, &mut rng, &mut touched);
         assert_eq!(hit.pid, 1);
-        assert_eq!(global, vec![0, 999, 0]);
+        assert_eq!(hit.old, 5);
+        assert_eq!(touched, vec![1]);
+        assert_eq!(global, vec![7, 999, 3]);
         let t3 = FaultPlan::<u64>::peek(&mut plan, t1, &mut rng).unwrap();
         assert!(t3 > t1);
     }
@@ -248,11 +293,15 @@ mod tests {
         for _ in 0..n {
             let at = FaultPlan::<u64>::peek(&mut plan, now, &mut rng).unwrap();
             let mut g = vec![0u64; 4];
-            plan.fire(at, &mut g, &mut rng);
+            plan.fire(at, &mut g, &mut rng, &mut Vec::new());
             now = at;
         }
         let mean = now.as_f64() / n as f64;
-        assert!((mean - 1.0 / lambda).abs() < 0.15, "mean {mean}, want {}", 1.0 / lambda);
+        assert!(
+            (mean - 1.0 / lambda).abs() < 0.15,
+            "mean {mean}, want {}",
+            1.0 / lambda
+        );
     }
 
     #[test]
@@ -272,12 +321,15 @@ mod tests {
         let mut plan = ScriptedFaults::new(script);
         let mut rng = SimRng::seed_from_u64(0);
         let mut global = vec![0u64; 2];
+        let mut touched = Vec::new();
         assert_eq!(plan.peek(Time::ZERO, &mut rng), Some(Time::new(1.0)));
-        let hit = plan.fire(Time::new(1.0), &mut global, &mut rng);
+        let hit = plan.fire(Time::new(1.0), &mut global, &mut rng, &mut touched);
         assert_eq!(hit.pid, 1);
+        assert_eq!(hit.old, 0);
         assert_eq!(plan.peek(Time::ZERO, &mut rng), Some(Time::new(2.0)));
         assert_eq!(plan.remaining(), 1);
-        plan.fire(Time::new(2.0), &mut global, &mut rng);
+        plan.fire(Time::new(2.0), &mut global, &mut rng, &mut touched);
+        assert_eq!(touched, vec![1, 0]);
         assert_eq!(plan.peek(Time::ZERO, &mut rng), None);
     }
 

@@ -115,7 +115,7 @@ impl<'p, P: Protocol> Interleaving<'p, P> {
             pid,
             action.kind(),
             &old,
-            &self.global[pid].clone(),
+            &self.global[pid],
             &self.global,
         );
     }
@@ -159,11 +159,12 @@ impl<'p, P: Protocol> Interleaving<'p, P> {
         let Some((pid, action)) = self.pick() else {
             return false;
         };
-        let old = self.global[pid].clone();
-        let new = self
+        let mut old = self
             .protocol
             .execute(&self.global, pid, action, &mut self.rng);
-        self.global[pid] = new.clone();
+        // Swap the new state in; `old` then holds the pre-step state for
+        // the monitor callback — no extra clone.
+        std::mem::swap(&mut self.global[pid], &mut old);
         self.stats.steps += 1;
         self.stats
             .record_action(self.protocol.action_name(pid, action));
@@ -173,7 +174,7 @@ impl<'p, P: Protocol> Interleaving<'p, P> {
             action,
             self.protocol.action_name(pid, action),
             &old,
-            &new,
+            &self.global[pid],
             &self.global,
         );
         true
@@ -210,7 +211,11 @@ impl<'p, P: Protocol> Interleaving<'p, P> {
         for done in 1..=max_steps {
             if !self.step(monitor) {
                 // Fixpoint: predicate can never change again.
-                return if pred(&self.global) { Some(done - 1) } else { None };
+                return if pred(&self.global) {
+                    Some(done - 1)
+                } else {
+                    None
+                };
             }
             if pred(&self.global) {
                 return Some(done);
@@ -241,7 +246,11 @@ mod tests {
         let mut m = NullMonitor;
         let steps = exec.run(100, &mut m);
         assert_eq!(steps, 100, "ring never reaches a fixpoint");
-        assert_eq!(tokens(&r, exec.global()), 1, "exactly one token in legal states");
+        assert_eq!(
+            tokens(&r, exec.global()),
+            1,
+            "exactly one token in legal states"
+        );
     }
 
     #[test]
@@ -258,10 +267,7 @@ mod tests {
             exec.perturb_all();
             let mut m = NullMonitor;
             // Dijkstra's ring self-stabilizes to exactly one token.
-            let steps =
-                exec.run_until(100_000, &mut m, |g| tokens(&r, g) == 1 && {
-                    true
-                });
+            let steps = exec.run_until(100_000, &mut m, |g| tokens(&r, g) == 1 && { true });
             assert!(steps.is_some(), "seed {seed} did not stabilize");
             // Once stabilized, the one-token property is invariant.
             for _ in 0..200 {

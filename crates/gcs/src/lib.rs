@@ -43,7 +43,7 @@ pub use fault::{
 };
 pub use interleave::{Interleaving, InterleavingConfig};
 pub use monitor::{Monitor, MonitorSet, NullMonitor};
-pub use protocol::{ActionId, Pid, Protocol};
+pub use protocol::{ActionId, Pid, Protocol, ReaderSet};
 pub use rng::SimRng;
 pub use stats::RunStats;
 pub use time::Time;

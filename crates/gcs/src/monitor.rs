@@ -25,7 +25,16 @@ pub trait Monitor<S> {
     );
 
     /// A fault of kind `kind` hit `pid` at time `now`.
-    fn on_fault(&mut self, _now: Time, _pid: Pid, _kind: FaultKind, _old: &S, _new: &S, _global: &[S]) {}
+    fn on_fault(
+        &mut self,
+        _now: Time,
+        _pid: Pid,
+        _kind: FaultKind,
+        _old: &S,
+        _new: &S,
+        _global: &[S],
+    ) {
+    }
 
     /// Asked after every applied event; returning `true` stops the run.
     fn should_stop(&mut self) -> bool {

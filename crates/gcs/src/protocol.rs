@@ -17,6 +17,18 @@ pub type Pid = usize;
 /// Action identifier: index into a process's action list.
 pub type ActionId = usize;
 
+/// Answer of [`Protocol::readers_of`]: which processes' guards read a given
+/// process's state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReaderSet {
+    /// Unknown / potentially everyone. Always sound; the engine falls back
+    /// to rescanning every guard on every event.
+    All,
+    /// Exactly (or a superset of) the processes whose guards read the
+    /// queried process's state.
+    These(Vec<Pid>),
+}
+
 /// A guarded-command program over per-process states of type `Self::State`.
 pub trait Protocol {
     /// The state of a single process (all of its variables).
@@ -63,6 +75,20 @@ pub trait Protocol {
     /// stabilization experiments from arbitrary states (Fig 7).
     fn arbitrary_state(&self, pid: Pid, rng: &mut SimRng) -> Self::State;
 
+    /// Dependency hint for incremental scheduling: the processes whose
+    /// *guards* read `pid`'s state (the `affects` inverse). When `pid`'s
+    /// state changes, only these processes can change enabled-status —
+    /// the paper's low-atomicity programs read at most their topological
+    /// neighbors, which is what makes event-incremental scheduling pay.
+    ///
+    /// The returned set may over-approximate but must never omit a true
+    /// reader; the engine additionally treats every process as a reader of
+    /// itself. The default, [`ReaderSet::All`], is always sound and makes
+    /// the engine fall back to a full guard rescan on every event.
+    fn readers_of(&self, _pid: Pid) -> ReaderSet {
+        ReaderSet::All
+    }
+
     /// Convenience: ids of all enabled actions at `pid`.
     fn enabled_actions(&self, global: &[Self::State], pid: Pid) -> Vec<ActionId> {
         (0..self.num_actions(pid))
@@ -73,7 +99,8 @@ pub trait Protocol {
     /// Convenience: true iff some action is enabled anywhere (the program is
     /// not in a fixpoint).
     fn any_enabled(&self, global: &[Self::State]) -> bool {
-        (0..self.num_processes()).any(|p| (0..self.num_actions(p)).any(|a| self.enabled(global, p, a)))
+        (0..self.num_processes())
+            .any(|p| (0..self.num_actions(p)).any(|a| self.enabled(global, p, a)))
     }
 }
 
@@ -138,13 +165,20 @@ pub(crate) mod testutil {
         fn arbitrary_state(&self, _pid: Pid, rng: &mut SimRng) -> u64 {
             rng.range_u64(0, self.k)
         }
+
+        fn readers_of(&self, pid: Pid) -> ReaderSet {
+            // The guard of j reads x[j] and x[j-1] (x[n-1] for j == 0), so
+            // the readers of q are q itself and its ring successor.
+            let mut readers = vec![pid, (pid + 1) % self.n];
+            readers.sort_unstable();
+            readers.dedup();
+            ReaderSet::These(readers)
+        }
     }
 
     /// Number of processes holding the token (enabled processes).
     pub fn tokens(ring: &DijkstraRing, global: &[u64]) -> usize {
-        (0..ring.n)
-            .filter(|&p| ring.enabled(global, p, 0))
-            .count()
+        (0..ring.n).filter(|&p| ring.enabled(global, p, 0)).count()
     }
 }
 

@@ -29,6 +29,13 @@ impl RunStats {
         *self.by_action.entry(name).or_insert(0) += 1;
     }
 
+    /// Bulk-add to the histogram only (`actions_executed` is maintained
+    /// separately). Used by the timed engine, which counts executions in
+    /// dense per-(pid, action) counters and folds them in once per run.
+    pub fn add_action_count(&mut self, name: &'static str, count: u64) {
+        *self.by_action.entry(name).or_insert(0) += count;
+    }
+
     pub fn count_of(&self, name: &str) -> u64 {
         self.by_action.get(name).copied().unwrap_or(0)
     }

@@ -92,7 +92,7 @@ fn run_fingerprint(seed: u64, fault_seed_offset: u64) -> (Vec<u64>, u64, u64, St
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig { cases: 24 })]
 
     /// Same seed ⇒ byte-identical trace, final state, and statistics.
     #[test]
@@ -124,7 +124,11 @@ fn different_seeds_differ_somewhere() {
     // Not a theorem, but over 20 seeds the traces must not all collide.
     let distinct: std::collections::HashSet<String> =
         (0..20).map(|s| run_fingerprint(s, 0).3).collect();
-    assert!(distinct.len() > 15, "only {} distinct traces", distinct.len());
+    assert!(
+        distinct.len() > 15,
+        "only {} distinct traces",
+        distinct.len()
+    );
 }
 
 #[test]

@@ -50,7 +50,10 @@ impl ChannelFaults {
             ("corruption", self.corruption),
             ("reorder", self.reorder),
         ] {
-            assert!((0.0..=1.0).contains(&p), "{name} probability {p} out of range");
+            assert!(
+                (0.0..=1.0).contains(&p),
+                "{name} probability {p} out of range"
+            );
         }
     }
 }
@@ -194,20 +197,29 @@ mod tests {
     #[test]
     fn loss_rate_is_respected() {
         let (tx, rx) = faulty_channel::<u32>(
-            ChannelFaults { loss: 0.5, ..ChannelFaults::NONE },
+            ChannelFaults {
+                loss: 0.5,
+                ..ChannelFaults::NONE
+            },
             7,
         );
         for i in 0..10_000 {
             tx.send(i);
         }
         let got = rx.drain().len();
-        assert!((4000..6000).contains(&got), "got {got} of 10000 at 50% loss");
+        assert!(
+            (4000..6000).contains(&got),
+            "got {got} of 10000 at 50% loss"
+        );
     }
 
     #[test]
     fn duplication_inflates_count() {
         let (tx, rx) = faulty_channel::<u32>(
-            ChannelFaults { duplication: 0.5, ..ChannelFaults::NONE },
+            ChannelFaults {
+                duplication: 0.5,
+                ..ChannelFaults::NONE
+            },
             7,
         );
         for i in 0..10_000 {
@@ -220,7 +232,10 @@ mod tests {
     #[test]
     fn corruption_is_detectable() {
         let (tx, rx) = faulty_channel::<u32>(
-            ChannelFaults { corruption: 1.0, ..ChannelFaults::NONE },
+            ChannelFaults {
+                corruption: 1.0,
+                ..ChannelFaults::NONE
+            },
             7,
         );
         tx.send(42);
@@ -231,7 +246,10 @@ mod tests {
     #[test]
     fn reorder_swaps_adjacent_messages() {
         let (tx, rx) = faulty_channel::<u32>(
-            ChannelFaults { reorder: 1.0, ..ChannelFaults::NONE },
+            ChannelFaults {
+                reorder: 1.0,
+                ..ChannelFaults::NONE
+            },
             7,
         );
         // With reorder=1, the first message is held; the second send parks
@@ -246,7 +264,10 @@ mod tests {
     #[test]
     fn flush_releases_held_message() {
         let (tx, rx) = faulty_channel::<u32>(
-            ChannelFaults { reorder: 1.0, ..ChannelFaults::NONE },
+            ChannelFaults {
+                reorder: 1.0,
+                ..ChannelFaults::NONE
+            },
             7,
         );
         tx.send(9);
@@ -260,7 +281,12 @@ mod tests {
         // dup + corruption + reorder but no loss: every send yields >= 1
         // delivery.
         let (tx, rx) = faulty_channel::<u32>(
-            ChannelFaults { loss: 0.0, duplication: 0.3, corruption: 0.3, reorder: 0.3 },
+            ChannelFaults {
+                loss: 0.0,
+                duplication: 0.3,
+                corruption: 0.3,
+                reorder: 0.3,
+            },
             11,
         );
         let n = 5000;
@@ -276,7 +302,10 @@ mod tests {
     #[should_panic]
     fn rejects_bad_probability() {
         let _ = faulty_channel::<u32>(
-            ChannelFaults { loss: 1.5, ..ChannelFaults::NONE },
+            ChannelFaults {
+                loss: 1.5,
+                ..ChannelFaults::NONE
+            },
             0,
         );
     }

@@ -245,7 +245,11 @@ impl Process {
         };
         self.done = false;
         // §5: the fault also flags the local copies.
-        self.copy = StateMsg { sn: Sn::Bot, cp: Cp::Error, ph: 0 };
+        self.copy = StateMsg {
+            sn: Sn::Bot,
+            cp: Cp::Error,
+            ph: 0,
+        };
         self.record(old);
     }
 
@@ -297,15 +301,16 @@ pub fn spawn(config: MbConfig) -> MbRun {
     let stop = Arc::new(AtomicBool::new(false));
     let root_advances = Arc::new(AtomicU64::new(0));
     let poison: Arc<Vec<AtomicBool>> = Arc::new((0..n).map(|_| AtomicBool::new(false)).collect());
-    let scramble: Arc<Vec<AtomicBool>> =
-        Arc::new((0..n).map(|_| AtomicBool::new(false)).collect());
+    let scramble: Arc<Vec<AtomicBool>> = Arc::new((0..n).map(|_| AtomicBool::new(false)).collect());
     let started = Instant::now();
 
     let mut threads = Vec::with_capacity(n);
     for pid in 0..n {
         let tx = senders[pid].take().expect("sender taken once");
         // Process pid listens on the link from its predecessor.
-        let rx = receivers[(pid + n - 1) % n].take().expect("receiver taken once");
+        let rx = receivers[(pid + n - 1) % n]
+            .take()
+            .expect("receiver taken once");
         let stop = Arc::clone(&stop);
         let root_advances = Arc::clone(&root_advances);
         let poison = Arc::clone(&poison);
@@ -318,9 +323,17 @@ pub fn spawn(config: MbConfig) -> MbRun {
                 n,
                 n_phases: config.n_phases,
                 sn_domain,
-                own: StateMsg { sn: Sn::Val(0), cp: Cp::Ready, ph: 0 },
+                own: StateMsg {
+                    sn: Sn::Val(0),
+                    cp: Cp::Ready,
+                    ph: 0,
+                },
                 done: true,
-                copy: StateMsg { sn: Sn::Val(0), cp: Cp::Ready, ph: 0 },
+                copy: StateMsg {
+                    sn: Sn::Val(0),
+                    cp: Cp::Ready,
+                    ph: 0,
+                },
                 tx,
                 rx,
                 rng: SimRng::seed_from_u64(seed),
@@ -414,13 +427,7 @@ impl MbRun {
             anchor: Anchor::StrictFromZero,
         });
         for e in &events {
-            oracle.observe_cp(
-                Time::new(e.at.as_secs_f64()),
-                e.pid,
-                e.ph,
-                e.old,
-                e.new,
-            );
+            oracle.observe_cp(Time::new(e.at.as_secs_f64()), e.pid, e.ph, e.old, e.new);
         }
         let advances = self.root_advances.load(Ordering::Acquire);
         MbReport {
@@ -468,7 +475,10 @@ mod tests {
         let run = spawn(MbConfig {
             n: 4,
             target_phases: 8,
-            faults: ChannelFaults { loss: 0.3, ..ChannelFaults::NONE },
+            faults: ChannelFaults {
+                loss: 0.3,
+                ..ChannelFaults::NONE
+            },
             ..Default::default()
         });
         let report = run.join();
@@ -531,7 +541,10 @@ mod tests {
         h.scramble(3);
         let report = run.join();
         // Progress is the stabilization guarantee; the interim may violate.
-        assert!(report.reached_target, "no post-scramble progress: {report:?}");
+        assert!(
+            report.reached_target,
+            "no post-scramble progress: {report:?}"
+        );
     }
 
     #[test]
@@ -556,6 +569,9 @@ mod tests {
     #[test]
     #[should_panic]
     fn rejects_single_process() {
-        let _ = spawn(MbConfig { n: 1, ..Default::default() });
+        let _ = spawn(MbConfig {
+            n: 1,
+            ..Default::default()
+        });
     }
 }

@@ -177,7 +177,10 @@ pub fn spawn(dag: SweepDag, config: SweepMpConfig) -> SweepMpRun {
                           sent: &mut u64| {
                 for tx in senders.iter_mut() {
                     for &p in owned {
-                        tx.send(PosMsg { pos: p, state: view[p] });
+                        tx.send(PosMsg {
+                            pos: p,
+                            state: view[p],
+                        });
                     }
                     tx.flush();
                     *sent += 1;

@@ -477,8 +477,7 @@ mod tests {
         // *successful* instance.
         let n = 4;
         let (_b, parts) = FtBarrier::new(n);
-        let committed: Arc<Vec<AtomicU64>> =
-            Arc::new((0..10).map(|_| AtomicU64::new(0)).collect());
+        let committed: Arc<Vec<AtomicU64>> = Arc::new((0..10).map(|_| AtomicU64::new(0)).collect());
         let c = Arc::clone(&committed);
         run_threads(parts, move |mut p| {
             let mut attempts_this_phase = 0;
@@ -625,7 +624,10 @@ mod tests {
         let (_b, mut parts) = FtBarrier::new(1);
         let mut p = parts.pop().unwrap();
         assert_eq!(p.arrive().unwrap(), PhaseOutcome::Advance { phase: 1 });
-        assert_eq!(p.arrive_failed().unwrap(), PhaseOutcome::Repeat { phase: 1 });
+        assert_eq!(
+            p.arrive_failed().unwrap(),
+            PhaseOutcome::Repeat { phase: 1 }
+        );
         assert_eq!(p.arrive().unwrap(), PhaseOutcome::Advance { phase: 2 });
     }
 
@@ -677,10 +679,7 @@ mod tests {
         });
         let mut last = 0;
         for _ in 0..4 {
-            last = p0
-                .arrive_timeout(Duration::from_secs(5))
-                .unwrap()
-                .phase();
+            last = p0.arrive_timeout(Duration::from_secs(5)).unwrap().phase();
         }
         assert_eq!(h.join().unwrap(), 4);
         assert_eq!(last, 4);

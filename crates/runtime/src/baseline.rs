@@ -94,7 +94,9 @@ impl TreeBarrier {
         let shared = Arc::new(TreeShared {
             n,
             arity,
-            slots: (0..n).map(|_| CachePadded::new(AtomicU64::new(0))).collect(),
+            slots: (0..n)
+                .map(|_| CachePadded::new(AtomicU64::new(0)))
+                .collect(),
             release: CachePadded::new(AtomicU64::new(0)),
         });
         (0..n)

@@ -26,8 +26,8 @@
 //! [`Participant::arrive`] into [`Participant::enter`] /
 //! [`Participant::leave`].
 
-pub mod baseline;
 pub mod barrier;
+pub mod baseline;
 pub mod fuzzy;
 pub mod policy;
 pub mod scope;

@@ -116,7 +116,13 @@ mod tests {
             Ok(())
         })
         .unwrap();
-        assert_eq!(summary, RunSummary { phases: 20, repeats: 0 });
+        assert_eq!(
+            summary,
+            RunSummary {
+                phases: 20,
+                repeats: 0
+            }
+        );
         for c in &counters {
             assert_eq!(c.load(Ordering::SeqCst), 20);
         }

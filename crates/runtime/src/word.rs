@@ -114,7 +114,10 @@ mod tests {
         }
         // A single bit flip is essentially always detected (the checksum
         // covers all bits).
-        assert!(detected >= 60, "only {detected}/64 single-bit flips detected");
+        assert!(
+            detected >= 60,
+            "only {detected}/64 single-bit flips detected"
+        );
     }
 
     #[test]

@@ -63,7 +63,11 @@ impl SweepDag {
         }
         // Leaves: positions with no children.
         let leaves: Vec<Pos> = (1..n).filter(|&j| arity * j + 1 >= n).collect();
-        preds[0] = if leaves.is_empty() { vec![n - 1] } else { leaves };
+        preds[0] = if leaves.is_empty() {
+            vec![n - 1]
+        } else {
+            leaves
+        };
         SweepDag::from_parts(owner, preds)
     }
 

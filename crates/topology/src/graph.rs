@@ -28,7 +28,10 @@ impl Graph {
     }
 
     pub fn add_edge(&mut self, u: usize, v: usize) {
-        assert!(u < self.len() && v < self.len(), "edge ({u},{v}) out of range");
+        assert!(
+            u < self.len() && v < self.len(),
+            "edge ({u},{v}) out of range"
+        );
         if u == v || self.adj[u].contains(&v) {
             return;
         }

@@ -259,8 +259,7 @@ mod tests {
         // Position 2 points into the chain but nothing points to it... make
         // 1 the only sink; 2 preds on 1 but no one reads 2 => DeadEnd; and a
         // position no one feeds is unreachable.
-        let err =
-            SweepDag::from_parts(vec![0, 1, 2], vec![vec![1], vec![0], vec![0]]).unwrap_err();
+        let err = SweepDag::from_parts(vec![0, 1, 2], vec![vec![1], vec![0], vec![0]]).unwrap_err();
         assert_eq!(err, TopologyError::DeadEnd(2));
     }
 

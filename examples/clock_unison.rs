@@ -22,7 +22,10 @@ fn main() {
     exec.perturb_all();
     let clocks: Vec<u32> = exec.global().iter().map(|s| s.ph).collect();
     println!("scrambled clocks : {clocks:?}");
-    println!("in unison?       : {}", check_unison(&program, exec.global()));
+    println!(
+        "in unison?       : {}",
+        check_unison(&program, exec.global())
+    );
 
     // Let the protocol stabilize (a generous fixed window — recovery itself
     // takes a few token circulations).

@@ -35,8 +35,16 @@ fn main() {
     let model = AnalyticModel::new(h, c, f);
     println!("  phases completed      : {}", m.phases);
     println!("  faults injected       : {}", m.faults);
-    println!("  instances per phase   : {:.4} (analytic {:.4})", m.mean_instances, model.expected_instances());
-    println!("  time per phase        : {:.4} (analytic {:.4})", m.mean_phase_time, model.expected_phase_time());
+    println!(
+        "  instances per phase   : {:.4} (analytic {:.4})",
+        m.mean_instances,
+        model.expected_instances()
+    );
+    println!(
+        "  time per phase        : {:.4} (analytic {:.4})",
+        m.mean_phase_time,
+        model.expected_phase_time()
+    );
     println!("  specification holds   : {} violations", m.violations);
     assert_eq!(m.violations, 0, "detectable faults are masked");
 

@@ -50,10 +50,7 @@ fn sequential_reference() -> Vec<f64> {
 fn main() {
     let (_handle, participants) = FtBarrier::new(WORKERS);
     // Two shared buffers; parity of the phase selects which is the source.
-    let buffers = Arc::new([
-        RwLock::new(initial_field()),
-        RwLock::new(initial_field()),
-    ]);
+    let buffers = Arc::new([RwLock::new(initial_field()), RwLock::new(initial_field())]);
     let faults_injected = Arc::new(AtomicU64::new(0));
 
     let threads: Vec<_> = participants
@@ -64,7 +61,11 @@ fn main() {
             std::thread::spawn(move || {
                 let chunk = CELLS / WORKERS;
                 let lo = p.id() * chunk;
-                let hi = if p.id() == WORKERS - 1 { CELLS } else { lo + chunk };
+                let hi = if p.id() == WORKERS - 1 {
+                    CELLS
+                } else {
+                    lo + chunk
+                };
                 let mut attempt = 1;
                 while p.phase() < SWEEPS {
                     let phase = p.phase();
@@ -118,7 +119,10 @@ fn main() {
     println!("{SWEEPS} Jacobi sweeps on {CELLS} cells over {WORKERS} workers");
     println!("detectable faults injected : {injected}");
     println!("max |parallel - sequential|: {max_err:e}");
-    assert!(injected > 0, "the drill should actually have injected faults");
+    assert!(
+        injected > 0,
+        "the drill should actually have injected faults"
+    );
     assert_eq!(max_err, 0.0, "fault recovery must not change the numerics");
     println!("result is bit-identical to the fault-free sequential solve ✓");
 }

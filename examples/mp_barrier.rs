@@ -8,8 +8,8 @@
 //!
 //! Run with: `cargo run --example mp_barrier`
 
-use ftbarrier::mp::{ChannelFaults, MbConfig};
 use ftbarrier::mp::mb::spawn;
+use ftbarrier::mp::{ChannelFaults, MbConfig};
 
 fn main() {
     let n = 5;

@@ -27,8 +27,8 @@ fn sequential(n: usize) -> Vec<f64> {
     let mut ranks = vec![1.0 / n as f64; n];
     for _ in 0..SUPERSTEPS {
         let mut next = vec![(1.0 - DAMPING) / n as f64; n];
-        for v in 0..n {
-            let share = DAMPING * ranks[v] / 2.0;
+        for (v, &rank) in ranks.iter().enumerate() {
+            let share = DAMPING * rank / 2.0;
             for t in out_links(v, n) {
                 next[t] += share;
             }
@@ -46,8 +46,7 @@ fn main() {
     ];
     // Per-target partial contributions, one accumulator per worker to avoid
     // write conflicts; merged at superstep end by the owning worker.
-    let partials: Vec<RwLock<Vec<f64>>> =
-        (0..WORKERS).map(|_| RwLock::new(vec![0.0; n])).collect();
+    let partials: Vec<RwLock<Vec<f64>>> = (0..WORKERS).map(|_| RwLock::new(vec![0.0; n])).collect();
     let faults = AtomicU64::new(0);
 
     // Two barrier-separated half-phases per superstep: even phases scatter
@@ -58,7 +57,11 @@ fn main() {
         let (src_ix, dst_ix) = ((superstep % 2) as usize, ((superstep + 1) % 2) as usize);
         let chunk = n / ctx.n;
         let lo = ctx.worker * chunk;
-        let hi = if ctx.worker == ctx.n - 1 { n } else { lo + chunk };
+        let hi = if ctx.worker == ctx.n - 1 {
+            n
+        } else {
+            lo + chunk
+        };
 
         if ctx.phase % 2 == 0 {
             // Scatter: accumulate contributions from this worker's vertices
@@ -107,7 +110,10 @@ fn main() {
         .fold(0.0_f64, f64::max);
 
     println!("PageRank over {n} nodes, {SUPERSTEPS} supersteps, {WORKERS} workers");
-    println!("faults injected           : {}", faults.load(Ordering::Relaxed));
+    println!(
+        "faults injected           : {}",
+        faults.load(Ordering::Relaxed)
+    );
     println!("superstep repeats         : {}", summary.repeats);
     println!("max |parallel - sequential|: {max_err:e}");
     assert!(faults.load(Ordering::Relaxed) > 0);

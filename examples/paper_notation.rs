@@ -26,10 +26,7 @@ fn main() {
         .run_until(200_000, &mut monitor, |g| g[0][1] == 2)
         .expect("CB makes progress");
     println!("reached phase 2 after {steps} interleaving steps");
-    println!(
-        "action mix: {:?}",
-        exec.stats().by_action
-    );
+    println!("action mix: {:?}", exec.stats().by_action);
 
     // Scramble everything (undetectable faults) and watch it recover.
     exec.perturb_all();

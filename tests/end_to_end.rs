@@ -81,8 +81,7 @@ fn mpi_style_policy_selection() {
 fn phase_synchronization_instantiation() {
     // §7: initial detectable corruption of phases is tolerated with no
     // phase executed incorrectly.
-    let report =
-        ftbarrier::core::instantiations::phase_sync::run_phase_sync(5, &[1, 4], 12, 99);
+    let report = ftbarrier::core::instantiations::phase_sync::run_phase_sync(5, &[1, 4], 12, 99);
     assert_eq!(report.phases_completed, 12);
     assert_eq!(report.violations, 0);
 }
@@ -117,7 +116,11 @@ fn simulation_and_runtime_tell_the_same_masking_story() {
         ..Default::default()
     });
     assert_eq!(sim.violations, 0);
-    assert!(sim.mean_instances > 1.0, "faults cost instances: {}", sim.mean_instances);
+    assert!(
+        sim.mean_instances > 1.0,
+        "faults cost instances: {}",
+        sim.mean_instances
+    );
 
     let (_b, parts) = FtBarrier::new(4);
     let repeats = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));

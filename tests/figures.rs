@@ -22,7 +22,10 @@ fn fig3_instances_monotone_in_f_and_c() {
         assert_eq!(a.f, b.f);
         assert!(b.c > a.c);
         if a.f > 0.0 {
-            assert!(b.instances > a.instances, "longer phases expose more faults");
+            assert!(
+                b.instances > a.instances,
+                "longer phases expose more faults"
+            );
         }
     }
 }
@@ -45,9 +48,18 @@ fn fig4_paper_headline_overheads() {
             .find(|r| (r.c - c).abs() < 1e-12 && (r.f - f).abs() < 1e-12)
             .unwrap_or_else(|| panic!("missing point c={c} f={f}"))
     };
-    assert!((at(0.01, 0.0).overhead - 0.045).abs() < 0.002, "paper: 4.5%");
-    assert!((at(0.01, 0.01).overhead - 0.057).abs() < 0.002, "paper: 5.7%");
-    assert!((at(0.01, 0.05).overhead - 0.108).abs() < 0.004, "paper: 10.8%");
+    assert!(
+        (at(0.01, 0.0).overhead - 0.045).abs() < 0.002,
+        "paper: 4.5%"
+    );
+    assert!(
+        (at(0.01, 0.01).overhead - 0.057).abs() < 0.002,
+        "paper: 5.7%"
+    );
+    assert!(
+        (at(0.01, 0.05).overhead - 0.108).abs() < 0.004,
+        "paper: 10.8%"
+    );
     // Overhead is proportional to fault frequency (§6.1).
     for c in [0.01, 0.03, 0.05] {
         assert!(at(c, 0.0).overhead < at(c, 0.01).overhead);

@@ -1,9 +1,9 @@
 //! The §8 fuzzy extension composed with the fault machinery: splitting the
 //! phase body must not weaken any tolerance.
 
+use ftbarrier::core::sim::SweepOracleMonitor;
 use ftbarrier::core::sim::{measure_phases, PhaseExperiment, TopologySpec};
 use ftbarrier::core::spec::Anchor;
-use ftbarrier::core::sim::SweepOracleMonitor;
 use ftbarrier::core::sweep::SweepBarrier;
 use ftbarrier::gcs::{Interleaving, InterleavingConfig, NullMonitor, Time};
 use ftbarrier::topology::SweepDag;
@@ -60,8 +60,13 @@ fn fuzzy_stabilizes_from_arbitrary_states() {
     let program = SweepBarrier::new(SweepDag::ring(4).unwrap(), 4)
         .with_fuzzy_split(Time::new(0.7), Time::new(0.3));
     for seed in 0..8 {
-        let mut exec =
-            Interleaving::new(&program, InterleavingConfig { seed, ..Default::default() });
+        let mut exec = Interleaving::new(
+            &program,
+            InterleavingConfig {
+                seed,
+                ..Default::default()
+            },
+        );
         exec.perturb_all();
         let mut silent = NullMonitor;
         exec.run(60_000, &mut silent);
@@ -70,7 +75,10 @@ fn fuzzy_stabilizes_from_arbitrary_states() {
                 p.cp == ftbarrier::core::cp::Cp::Ready && p.ph == g[0].ph && p.sn.is_valid()
             })
         });
-        assert!(settled.is_some(), "seed {seed}: fuzzy variant failed to settle");
+        assert!(
+            settled.is_some(),
+            "seed {seed}: fuzzy variant failed to settle"
+        );
         let mut mon = SweepOracleMonitor::new(&program, Anchor::Free);
         exec.run(30_000, &mut mon);
         assert!(

@@ -23,7 +23,7 @@ fn topology_strategy() -> impl Strategy<Value = SweepDag> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 40, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig { cases: 40 })]
 
     /// The sweep barrier stabilizes from *any* arbitrary state on *any*
     /// supported topology: after a settle window, the specification holds

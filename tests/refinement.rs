@@ -3,14 +3,10 @@
 //! checked behaviourally across crates).
 
 use ftbarrier::core::cb::{Cb, CbState};
-use ftbarrier::core::sim::{
-    measure_phases, PhaseExperiment, SweepOracleMonitor, TopologySpec,
-};
+use ftbarrier::core::sim::{measure_phases, PhaseExperiment, SweepOracleMonitor, TopologySpec};
 use ftbarrier::core::spec::{Anchor, BarrierOracle, OracleConfig};
 use ftbarrier::core::sweep::SweepBarrier;
-use ftbarrier::gcs::{
-    ActionId, FaultKind, Interleaving, InterleavingConfig, Monitor, Pid, Time,
-};
+use ftbarrier::gcs::{ActionId, FaultKind, Interleaving, InterleavingConfig, Monitor, Pid, Time};
 use ftbarrier::topology::SweepDag;
 
 /// Oracle adapter for CB under the interleaving executor.
@@ -67,11 +63,11 @@ fn every_refinement_satisfies_the_spec_fault_free() {
 
     // The refinements, all through the same harness.
     for topology in [
-        TopologySpec::Ring { n },              // RB
-        TopologySpec::TwoRing { a: 3, b: 2 },  // RB′
-        TopologySpec::Tree { n, arity: 2 },    // Fig 2(c)
+        TopologySpec::Ring { n },                    // RB
+        TopologySpec::TwoRing { a: 3, b: 2 },        // RB′
+        TopologySpec::Tree { n, arity: 2 },          // Fig 2(c)
         TopologySpec::DoubleTree { n: 7, arity: 2 }, // Fig 2(d)
-        TopologySpec::MbRing { n },            // MB
+        TopologySpec::MbRing { n },                  // MB
     ] {
         let m = measure_phases(&PhaseExperiment {
             topology,
@@ -84,7 +80,10 @@ fn every_refinement_satisfies_the_spec_fault_free() {
         });
         assert_eq!(m.violations, 0, "{topology:?}");
         assert_eq!(m.phases, 25, "{topology:?}");
-        assert_eq!(m.mean_instances, 1.0, "{topology:?}: fault-free is 1 instance");
+        assert_eq!(
+            m.mean_instances, 1.0,
+            "{topology:?}: fault-free is 1 instance"
+        );
     }
 }
 
@@ -155,7 +154,10 @@ fn mb_equals_rb_on_the_doubled_ring_fault_free() {
             }
         }
         let mut engine = Engine::new(program, seed);
-        let mut mon = Collect { program, log: Vec::new() };
+        let mut mon = Collect {
+            program,
+            log: Vec::new(),
+        };
         engine.run(&EngineConfig::default(), &mut NoFaults, &mut mon);
         mon.log
     }

@@ -125,7 +125,12 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher),
     {
-        run_one(&format!("{}/{}", self.name, name), self.target, self.throughput, f);
+        run_one(
+            &format!("{}/{}", self.name, name),
+            self.target,
+            self.throughput,
+            f,
+        );
         self
     }
 
@@ -145,7 +150,12 @@ impl BenchmarkGroup<'_> {
     pub fn finish(self) {}
 }
 
-fn run_one<F: FnMut(&mut Bencher)>(label: &str, target: Duration, throughput: Option<Throughput>, mut f: F) {
+fn run_one<F: FnMut(&mut Bencher)>(
+    label: &str,
+    target: Duration,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
     let mut bencher = Bencher::new(target);
     f(&mut bencher);
     let Some((iters, total)) = bencher.measured else {

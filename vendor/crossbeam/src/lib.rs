@@ -166,7 +166,11 @@ mod tests {
             let handles: Vec<_> = (0..4)
                 .map(|_| s.spawn(|_| counter.fetch_add(1, Ordering::Relaxed)))
                 .collect();
-            handles.into_iter().map(|h| h.join().unwrap()).count()
+            let joined = handles.len();
+            for h in handles {
+                h.join().unwrap();
+            }
+            joined
         })
         .unwrap();
         assert_eq!(out, 4);

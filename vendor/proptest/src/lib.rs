@@ -114,13 +114,16 @@ pub mod strategy {
         }
     }
 
+    /// The erased generator form `Union` stores.
+    pub type Generator<T> = Box<dyn Fn(&mut TestRng) -> T>;
+
     /// Uniform choice among boxed sub-strategies (`prop_oneof!`).
     pub struct Union<T> {
-        options: Vec<Box<dyn Fn(&mut TestRng) -> T>>,
+        options: Vec<Generator<T>>,
     }
 
     impl<T> Union<T> {
-        pub fn new(options: Vec<Box<dyn Fn(&mut TestRng) -> T>>) -> Union<T> {
+        pub fn new(options: Vec<Generator<T>>) -> Union<T> {
             assert!(!options.is_empty(), "prop_oneof! needs at least one option");
             Union { options }
         }
@@ -136,7 +139,7 @@ pub mod strategy {
     }
 
     /// Erase a strategy into the generator form `Union` stores.
-    pub fn into_generator<S>(strategy: S) -> Box<dyn Fn(&mut TestRng) -> S::Value>
+    pub fn into_generator<S>(strategy: S) -> Generator<S::Value>
     where
         S: Strategy + 'static,
     {
@@ -307,7 +310,7 @@ mod tests {
     use crate::prelude::*;
 
     proptest! {
-        #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+        #![proptest_config(ProptestConfig { cases: 64 })]
         #[test]
         fn ranges_stay_in_bounds(a in 3usize..9, b in -5i64..5, x in 0.25f64..0.75) {
             prop_assert!((3..9).contains(&a));
