@@ -1,7 +1,7 @@
 //! Reproduce the paper's evaluation artifacts.
 //!
 //! ```text
-//! repro [--quick] [--csv DIR] [fig3|fig4|fig5|fig6|fig7|table1|ablations|bench|all]
+//! repro [--quick] [--csv DIR] [fig3|fig4|fig5|fig6|fig7|table1|ablations|mb|bench|all]
 //! ```
 //!
 //! `--quick` shrinks the parameter grids and sample counts (used by CI and
@@ -9,7 +9,7 @@
 //! figure into DIR. `bench` (never part of `all`) times the simulation
 //! engine and the parallel sweep harness and writes `BENCH_engine.json`.
 
-use ftbarrier_bench::{ablations, enginebench, figures, render, table1};
+use ftbarrier_bench::{ablations, enginebench, figures, mb_exp, render, table1};
 use std::path::PathBuf;
 
 struct Options {
@@ -47,7 +47,7 @@ fn usage(err: &str) -> ! {
     if !err.is_empty() {
         eprintln!("error: {err}");
     }
-    eprintln!("usage: repro [--quick] [--csv DIR] [fig3|fig4|fig5|fig6|fig7|table1|ablations|bench|all]...");
+    eprintln!("usage: repro [--quick] [--csv DIR] [fig3|fig4|fig5|fig6|fig7|table1|ablations|mb|bench|all]...");
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }
 
@@ -109,6 +109,15 @@ fn main() {
             "{}",
             render::render_fuzzy(&ablations::fuzzy_sweep(cf, opts.quick), cf)
         );
+    }
+    if wants("mb") {
+        eprintln!("running program MB on the simulated network…");
+        let rows = mb_exp::sweep(opts.quick);
+        let mask = mb_exp::masking_rows(opts.quick);
+        println!("{}", render::render_mb(&rows));
+        println!("{}", render::render_mb_masking(&mask));
+        write_csv(&opts.csv, "mb.csv", &render::csv_mb(&rows));
+        write_csv(&opts.csv, "mb.json", &mb_exp::to_json(&rows, &mask));
     }
     if wants("table1") {
         eprintln!("exercising Table 1 scenarios…");

@@ -16,6 +16,7 @@
 pub mod ablations;
 pub mod enginebench;
 pub mod figures;
+pub mod mb_exp;
 pub mod parallel;
 pub mod render;
 pub mod table1;

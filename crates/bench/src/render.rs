@@ -2,6 +2,7 @@
 
 use crate::ablations::{ArityRow, FuzzyRow, TopologyRow};
 use crate::figures::{Fig3Row, Fig4Row, Fig5Row, Fig6Row, Fig7Row};
+use crate::mb_exp::{MaskRow, MbRow};
 use crate::table1::Table1Row;
 use std::fmt::Write as _;
 
@@ -173,6 +174,76 @@ pub fn render_table1(rows: &[Table1Row]) -> String {
             format!("{:?}", r.prescribed),
             format!("{:?}", r.observed),
             r.evidence
+        );
+    }
+    s
+}
+
+pub fn render_mb(rows: &[MbRow]) -> String {
+    let mut s = header("Program MB — simulated network sweep (phase time = 1)");
+    let _ = writeln!(
+        s,
+        "{:>6} {:>7} {:>6} {:>6} {:>7} {:>10} {:>5} {:>8} {:>7} {:>11}",
+        "loss", "c", "r", "f", "phases", "instances", "viol", "sent", "lost", "phase_time"
+    );
+    for r in rows {
+        let _ = writeln!(
+            s,
+            "{:>6.2} {:>7.3} {:>6.3} {:>6.2} {:>7} {:>10.4} {:>5} {:>8} {:>7} {:>11.4}",
+            r.loss,
+            r.c,
+            r.r,
+            r.f,
+            r.phases,
+            r.instances,
+            r.violations,
+            r.sent,
+            r.lost,
+            r.phase_time
+        );
+    }
+    s
+}
+
+pub fn csv_mb(rows: &[MbRow]) -> String {
+    let mut s = String::from("loss,c,r,f,phases,instances,violations,sent,lost,phase_time\n");
+    for r in rows {
+        let _ = writeln!(
+            s,
+            "{},{},{},{},{},{},{},{},{},{}",
+            r.loss,
+            r.c,
+            r.r,
+            r.f,
+            r.phases,
+            r.instances,
+            r.violations,
+            r.sent,
+            r.lost,
+            r.phase_time
+        );
+    }
+    s
+}
+
+pub fn render_mb_masking(rows: &[MaskRow]) -> String {
+    let mut s = header("Program MB — §5 masking claim, measured per fault class");
+    let _ = writeln!(
+        s,
+        "{:<15} {:>7} {:>10} {:>5} {:>7} {:>8} {:>7}",
+        "fault class", "phases", "instances", "viol", "reexec", "sent", "target"
+    );
+    for r in rows {
+        let _ = writeln!(
+            s,
+            "{:<15} {:>7} {:>10.4} {:>5} {:>7} {:>8} {:>7}",
+            r.class,
+            r.phases,
+            r.instances,
+            r.violations,
+            r.reexecutions,
+            r.sent,
+            if r.reached_target { "yes" } else { "NO" }
         );
     }
     s

@@ -1,0 +1,180 @@
+//! Edge cases of the barrier specification oracle: overlapping instances of
+//! the *same* phase, `Anchor::Free` attaching to a computation already
+//! mid-recovery, and the §2 allowance that re-execution after a detectable
+//! fault is not a Safety violation.
+
+use ftbarrier_core::cp::Cp;
+use ftbarrier_core::spec::{Anchor, BarrierOracle, OracleConfig, Violation};
+use ftbarrier_gcs::Time;
+
+fn t(x: f64) -> Time {
+    Time::new(x)
+}
+
+fn oracle(n: usize, anchor: Anchor) -> BarrierOracle {
+    BarrierOracle::new(OracleConfig {
+        n_processes: n,
+        n_phases: 8,
+        anchor,
+    })
+}
+
+// ----- overlapping instances of the same phase -----
+
+#[test]
+fn trailing_starts_after_a_doomed_instance_open_a_new_one_cleanly() {
+    // Four processes. p0 and p1 complete phase 0; p2 is hit by a fault on
+    // another process before it starts, so its start (and p3's) arrive after
+    // every completion of the open instance. When p0 then re-executes
+    // phase 0, the oracle must recognize p2/p3 as the first members of a
+    // *new* instance rather than flagging a DoubleStart for p0.
+    let mut o = oracle(4, Anchor::StrictFromZero);
+    o.on_start(t(0.0), 0, 0);
+    o.on_start(t(0.0), 1, 0);
+    o.on_complete(t(1.0), 0, 0);
+    o.on_complete(t(1.0), 1, 0);
+    // Late starts, strictly after all completions of the open instance.
+    o.on_start(t(1.5), 2, 0);
+    o.on_start(t(1.5), 3, 0);
+    // Re-execution begins: p0 and p1 run phase 0 again alongside p2/p3.
+    o.on_start(t(2.0), 0, 0);
+    o.on_start(t(2.0), 1, 0);
+    for pid in 0..4 {
+        o.on_complete(t(3.0), pid, 0);
+    }
+    assert!(o.is_clean(), "violations: {:?}", o.violations());
+    // One phase completed; the first (doomed) instance is counted against it.
+    assert_eq!(o.phases_completed(), 1);
+    assert_eq!(o.instance_counts(), &[2]);
+    assert_eq!(o.aborted_instances(), 1);
+}
+
+#[test]
+fn restarting_within_a_live_instance_is_a_double_start() {
+    // p0 starts phase 0 twice while p1 is still executing and p0 never
+    // completed — a genuine overlap of two instances of the same phase.
+    let mut o = oracle(2, Anchor::StrictFromZero);
+    o.on_start(t(0.0), 0, 0);
+    o.on_start(t(0.0), 1, 0);
+    o.on_start(t(0.5), 0, 0);
+    assert!(matches!(
+        o.violations(),
+        [Violation::DoubleStart {
+            pid: 0,
+            phase: 0,
+            ..
+        }]
+    ));
+}
+
+#[test]
+fn completed_process_rejoining_while_originals_execute_is_still_flagged() {
+    // p0 completed, but p1 (an *original* member, start_seq before p0's
+    // completion) is still executing: p0 starting again overlaps the live
+    // instance — the movable-reassignment carve-out must not apply.
+    let mut o = oracle(2, Anchor::StrictFromZero);
+    o.on_start(t(0.0), 0, 0);
+    o.on_start(t(0.0), 1, 0);
+    o.on_complete(t(1.0), 0, 0);
+    o.on_start(t(1.5), 0, 0);
+    assert!(matches!(
+        o.violations(),
+        [Violation::DoubleStart {
+            pid: 0,
+            phase: 0,
+            ..
+        }]
+    ));
+}
+
+// ----- Anchor::Free on a mid-recovery computation -----
+
+#[test]
+fn free_anchor_attaches_to_an_aborted_first_instance() {
+    // The oracle attaches mid-computation (recovery experiment): the first
+    // instance it sees is phase 3, and that very instance aborts on a
+    // detectable fault. Free anchoring must accept phase 3, demand a
+    // re-execution of 3 next, and then pin the successor sequence 4, 5, …
+    let mut o = oracle(2, Anchor::Free);
+    o.on_start(t(0.0), 0, 3);
+    o.on_start(t(0.0), 1, 3);
+    o.on_abort(t(0.5), 1); // detectable fault mid-phase
+    o.on_complete(t(1.0), 0, 3);
+    // Re-execution of phase 3 succeeds.
+    o.on_start(t(2.0), 0, 3);
+    o.on_start(t(2.0), 1, 3);
+    o.on_complete(t(3.0), 0, 3);
+    o.on_complete(t(3.0), 1, 3);
+    // The successor phase follows.
+    o.on_start(t(4.0), 0, 4);
+    o.on_start(t(4.0), 1, 4);
+    o.on_complete(t(5.0), 0, 4);
+    o.on_complete(t(5.0), 1, 4);
+    assert!(o.is_clean(), "violations: {:?}", o.violations());
+    assert_eq!(o.phases_completed(), 2);
+    assert_eq!(o.instance_counts(), &[2, 1]);
+}
+
+#[test]
+fn free_anchor_pins_the_successor_after_the_first_success() {
+    // Free anchoring is free only once: after the anchored phase completes,
+    // skipping a phase is a WrongPhase violation like anywhere else.
+    let mut o = oracle(2, Anchor::Free);
+    o.on_start(t(0.0), 0, 3);
+    o.on_start(t(0.0), 1, 3);
+    o.on_complete(t(1.0), 0, 3);
+    o.on_complete(t(1.0), 1, 3);
+    o.on_start(t(2.0), 0, 5); // skips phase 4
+    assert!(matches!(
+        o.violations(),
+        [Violation::WrongPhase { got: 5, .. }]
+    ));
+}
+
+// ----- re-execution after a detectable fault, as a cp-transition trace -----
+
+#[test]
+fn reexecution_after_detectable_fault_trace_is_not_a_safety_violation() {
+    // The full §4.1 shape, fed through observe_cp the way the runtime logs
+    // it: during phase 1, p2 takes a detectable fault (execute → error),
+    // walks the recovery chain error → repeat → ready, and the phase is
+    // re-executed by everyone. The spec explicitly blesses this: "one or
+    // more instances in sequence, the last of which is successful".
+    let mut o = oracle(3, Anchor::StrictFromZero);
+    // Phase 0 completes normally.
+    for pid in 0..3 {
+        o.observe_cp(t(0.0), pid, 0, Cp::Ready, Cp::Execute);
+    }
+    for pid in 0..3 {
+        o.observe_cp(t(1.0), pid, 0, Cp::Execute, Cp::Success);
+    }
+    // Phase 1: p2 faults mid-execution.
+    for pid in 0..3 {
+        o.observe_cp(t(2.0), pid, 1, Cp::Success, Cp::Execute);
+    }
+    o.observe_cp(t(2.5), 2, 1, Cp::Execute, Cp::Error);
+    o.observe_cp(t(2.6), 2, 1, Cp::Error, Cp::Repeat);
+    o.observe_cp(t(2.7), 2, 1, Cp::Repeat, Cp::Ready);
+    // The healthy processes still finish their doomed instance.
+    o.observe_cp(t(3.0), 0, 1, Cp::Execute, Cp::Success);
+    o.observe_cp(t(3.0), 1, 1, Cp::Execute, Cp::Success);
+    // Re-execution of phase 1, this time successfully.
+    for pid in 0..3 {
+        o.observe_cp(t(4.0), pid, 1, Cp::Ready, Cp::Execute);
+    }
+    for pid in 0..3 {
+        o.observe_cp(t(5.0), pid, 1, Cp::Execute, Cp::Success);
+    }
+    // Phase 2 proceeds.
+    for pid in 0..3 {
+        o.observe_cp(t(6.0), pid, 2, Cp::Success, Cp::Execute);
+    }
+    for pid in 0..3 {
+        o.observe_cp(t(7.0), pid, 2, Cp::Execute, Cp::Success);
+    }
+    assert!(o.is_clean(), "violations: {:?}", o.violations());
+    assert_eq!(o.phases_completed(), 3);
+    // Phase 1 consumed two instances; its neighbours one each.
+    assert_eq!(o.instance_counts(), &[1, 2, 1]);
+    assert_eq!(o.aborted_instances(), 1);
+}

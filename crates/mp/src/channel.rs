@@ -299,6 +299,94 @@ mod tests {
     }
 
     #[test]
+    fn flush_on_quiet_link_with_nothing_held_is_a_no_op() {
+        let (tx, rx) = faulty_channel::<u32>(
+            ChannelFaults {
+                reorder: 1.0,
+                ..ChannelFaults::NONE
+            },
+            7,
+        );
+        // Nothing held yet: flush must succeed and deliver nothing.
+        assert!(tx.flush());
+        assert_eq!(rx.try_recv(), None);
+        tx.send(9);
+        assert!(tx.flush(), "flush releases the held message");
+        assert_eq!(rx.try_recv(), Some(Delivery::Ok(9)));
+        // Held slot is now empty again: flushing twice is harmless.
+        assert!(tx.flush());
+        assert_eq!(rx.try_recv(), None);
+    }
+
+    #[test]
+    fn duplication_and_reorder_can_hit_the_same_message() {
+        let (tx, rx) = faulty_channel::<u32>(
+            ChannelFaults {
+                duplication: 1.0,
+                reorder: 1.0,
+                ..ChannelFaults::NONE
+            },
+            7,
+        );
+        // send(1): the original is parked for reordering but its duplicate
+        // goes out immediately — the receiver sees a copy of a message that
+        // is still "in flight".
+        tx.send(1);
+        assert_eq!(rx.drain(), vec![Delivery::Ok(1)]);
+        // send(2): held slot is occupied, so 2 goes out, releases the parked
+        // 1 behind it, and 2's duplicate follows.
+        tx.send(2);
+        let got: Vec<u32> = rx.drain().into_iter().filter_map(Delivery::ok).collect();
+        assert_eq!(got, vec![2, 1, 2]);
+        assert!(tx.flush());
+        assert_eq!(rx.try_recv(), None, "nothing left in the held slot");
+    }
+
+    #[test]
+    fn corruption_always_surfaces_as_corrupted_never_as_a_wrong_payload() {
+        // Statistical check over a seeded run: with corruption the only
+        // fault, every send is delivered exactly once, each delivery is
+        // either the intact payload or an explicit `Corrupted` marker, and
+        // no payload is ever altered in flight.
+        let p = 0.3;
+        let n: u32 = 10_000;
+        let (tx, rx) = faulty_channel::<u32>(
+            ChannelFaults {
+                corruption: p,
+                ..ChannelFaults::NONE
+            },
+            0xC0FFEE,
+        );
+        for i in 0..n {
+            tx.send(i);
+        }
+        let got = rx.drain();
+        assert_eq!(got.len(), n as usize, "no loss, dup, or reorder configured");
+        let mut corrupted = 0u32;
+        let mut expected = 0u32;
+        for d in got {
+            match d {
+                Delivery::Corrupted => corrupted += 1,
+                Delivery::Ok(v) => {
+                    // Intact deliveries appear in order and are drawn only
+                    // from the sent values — corruption withholds a payload,
+                    // it never substitutes one.
+                    while expected != v {
+                        assert!(expected < v, "payload {v} was never sent intact");
+                        expected += 1;
+                    }
+                    expected += 1;
+                }
+            }
+        }
+        let expected_corrupted = (n as f64 * p) as u32;
+        assert!(
+            corrupted.abs_diff(expected_corrupted) < n / 20,
+            "corrupted {corrupted} of {n} at p={p}"
+        );
+    }
+
+    #[test]
     #[should_panic]
     fn rejects_bad_probability() {
         let _ = faulty_channel::<u32>(

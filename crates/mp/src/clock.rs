@@ -1,0 +1,104 @@
+//! Clocks for the threaded MB backend.
+//!
+//! The threaded driver reads retransmission and deadline timing through the
+//! [`Clock`] trait instead of `Instant::elapsed`, so tests can drive a run on
+//! *virtual* time: a [`TestClock`] advances only when the test says so, which
+//! removes every wall-clock race from the default test lane. Production use
+//! keeps [`WallClock`].
+
+use ftbarrier_gcs::Time;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A monotone source of [`Time`], shared by every process of a run.
+pub trait Clock: Send + Sync + 'static {
+    /// Time elapsed since the run started.
+    fn now(&self) -> Time;
+}
+
+/// Real time: seconds since construction.
+pub struct WallClock {
+    start: Instant,
+}
+
+impl WallClock {
+    pub fn start() -> WallClock {
+        WallClock {
+            start: Instant::now(),
+        }
+    }
+}
+
+impl Clock for WallClock {
+    fn now(&self) -> Time {
+        Time::new(self.start.elapsed().as_secs_f64())
+    }
+}
+
+/// Manually advanced virtual time (stored as `f64` bits in an atomic).
+///
+/// A test thread calls [`TestClock::advance`] in a loop while the MB worker
+/// threads spin; retransmissions and deadlines then fire at exactly the
+/// virtual instants the test dictates, independent of machine load.
+pub struct TestClock {
+    bits: AtomicU64,
+}
+
+impl TestClock {
+    pub fn new() -> Arc<TestClock> {
+        Arc::new(TestClock {
+            bits: AtomicU64::new(0f64.to_bits()),
+        })
+    }
+
+    /// Advance virtual time by `by` (must be non-negative).
+    pub fn advance(&self, by: f64) {
+        assert!(by >= 0.0 && by.is_finite(), "advance({by})");
+        let mut cur = self.bits.load(Ordering::Acquire);
+        loop {
+            let next = (f64::from_bits(cur) + by).to_bits();
+            match self
+                .bits
+                .compare_exchange(cur, next, Ordering::AcqRel, Ordering::Acquire)
+            {
+                Ok(_) => return,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+}
+
+impl Clock for TestClock {
+    fn now(&self) -> Time {
+        Time::new(f64::from_bits(self.bits.load(Ordering::Acquire)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_clock_starts_at_zero_and_advances() {
+        let c = TestClock::new();
+        assert_eq!(c.now(), Time::ZERO);
+        c.advance(0.5);
+        c.advance(0.25);
+        assert_eq!(c.now(), Time::new(0.75));
+    }
+
+    #[test]
+    fn wall_clock_is_monotone() {
+        let c = WallClock::start();
+        let a = c.now();
+        let b = c.now();
+        assert!(b >= a);
+    }
+
+    #[test]
+    #[should_panic]
+    fn test_clock_rejects_negative_advance() {
+        TestClock::new().advance(-1.0);
+    }
+}

@@ -1,15 +1,34 @@
-//! Message-passing substrate and an executable program MB (§5).
+//! Message-passing substrate and two executable backends for program MB (§5).
 //!
 //! The core crate proves MB's structure (local copies ≅ a 2(N+1)-position
-//! ring). This crate *runs* it: real `std::thread` processes connected by
-//! channels that lose, duplicate, reorder, and detectably corrupt messages —
-//! the §1 communication-fault classes — with each process maintaining local
-//! copies of its predecessor's variables exactly as §5 prescribes.
+//! ring). This crate *runs* it, twice, against one transport abstraction
+//! ([`transport::Endpoint`]) and one per-process state machine
+//! ([`proc::MbCore`]):
+//!
+//! * [`mb`] — real `std::thread` processes connected by channels that lose,
+//!   duplicate, reorder, and detectably corrupt messages ([`channel`]), with
+//!   retransmission/deadline timing routed through a [`clock::Clock`] so
+//!   tests can drive a threaded run on virtual time;
+//! * [`mb_sim`] — the same program on a seeded discrete-event simulated
+//!   network ([`simnet`]): virtual time, per-link latency models, scheduled
+//!   fault plans (loss, duplication, reordering, detectable corruption, link
+//!   partitions with healing, process crash/reboot), byte-for-byte
+//!   replayable from one seed.
 
 pub mod channel;
+pub mod clock;
 pub mod mb;
+pub mod mb_sim;
+pub mod proc;
+pub mod simnet;
 pub mod sweep_mp;
+pub mod transport;
 
 pub use channel::{ChannelFaults, Delivery, FaultyReceiver, FaultySender};
+pub use clock::{Clock, TestClock, WallClock};
 pub use mb::{MbConfig, MbProcessHandle, MbReport, MbRun};
+pub use mb_sim::{CrashPlan, FaultPlan, PartitionPlan, SimMbConfig, SimMbReport};
+pub use proc::{MbCore, StateMsg};
+pub use simnet::{LatencyModel, LinkConfig, NetStats, SimNet};
 pub use sweep_mp::{SweepMpConfig, SweepMpHandle, SweepMpReport, SweepMpRun};
+pub use transport::{channel_ring, ChannelEndpoint, Endpoint};

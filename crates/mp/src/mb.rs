@@ -1,6 +1,7 @@
 //! Executable program MB: real threads, real (faulty) channels.
 //!
-//! Each process `j` runs §5's refined program: it owns `sn.j, cp.j, ph.j`
+//! Each process `j` runs §5's refined program via the shared
+//! [`MbCore`](crate::proc::MbCore) state machine: it owns `sn.j, cp.j, ph.j`
 //! plus a local copy of `sn.(j-1), cp.(j-1), ph.(j-1)`, updated only from
 //! messages whose sequence number is ordinary. Processes gossip their state
 //! to their successor on every change and on a retransmission tick, which
@@ -8,13 +9,20 @@
 //! as the guarded-command formulation assumes ("j can read the state of
 //! j-1 at any time").
 //!
+//! All timing — the retransmission period and the run deadline — flows
+//! through a [`Clock`], so tests can drive a threaded run on virtual time
+//! (a [`TestClock`](crate::clock::TestClock) advanced by the test) and the
+//! default test lane needs no wall-clock sleeps. The deterministic
+//! single-threaded twin of this driver lives in [`crate::mb_sim`].
+//!
 //! Detectable process faults are injected live via [`MbProcessHandle::poison`]
 //! (the §4.1 fault: `ph, cp, sn := ?, error, ⊥`, plus flagged local copies
 //! per §5); undetectable ones via [`MbProcessHandle::scramble`].
 
-use crate::channel::{faulty_channel, ChannelFaults, Delivery, FaultySender};
-use ftbarrier_core::cp::Cp;
-use ftbarrier_core::sn::Sn;
+use crate::channel::ChannelFaults;
+use crate::clock::{Clock, WallClock};
+use crate::proc::{pump, sn_domain, CpEvent, MbCore};
+use crate::transport::{channel_ring, Endpoint};
 use ftbarrier_core::spec::{Anchor, BarrierOracle, OracleConfig, Violation};
 use ftbarrier_gcs::{SimRng, Time};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -22,42 +30,25 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-/// The state a process gossips to its successor.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct StateMsg {
-    sn: Sn,
-    cp: Cp,
-    ph: u32,
-}
-
-/// A recorded control-position change, for the post-hoc oracle check.
-#[derive(Debug, Clone, Copy)]
-struct CpEvent {
-    at: Duration,
-    pid: usize,
-    ph: u32,
-    old: Cp,
-    new: Cp,
-}
-
-/// Configuration of an MB run.
+/// Configuration of a threaded MB run. Times are in [`Time`] units — seconds
+/// under the default [`WallClock`], virtual units under a test clock.
 #[derive(Clone)]
 pub struct MbConfig {
     /// Number of processes (≥ 2).
     pub n: usize,
     /// Cyclic phase domain (≥ 2).
     pub n_phases: u32,
-    /// Phases the root must advance through before the run stops.
+    /// Genuine phase advances the root must observe before the run stops.
     pub target_phases: u64,
     /// Fault model of every link.
     pub faults: ChannelFaults,
     pub seed: u64,
     /// Gossip retransmission period (masks message loss).
-    pub retransmit_every: Duration,
+    pub retransmit_every: Time,
     /// Per-phase workload; `None` means an empty phase body.
     pub work: Option<Arc<dyn Fn(usize, u32) + Send + Sync>>,
-    /// Wall-clock safety limit.
-    pub deadline: Duration,
+    /// Clock-time safety limit.
+    pub deadline: Time,
 }
 
 impl Default for MbConfig {
@@ -68,9 +59,9 @@ impl Default for MbConfig {
             target_phases: 12,
             faults: ChannelFaults::NONE,
             seed: 0x4DB,
-            retransmit_every: Duration::from_micros(200),
+            retransmit_every: Time::new(200e-6),
             work: None,
-            deadline: Duration::from_secs(30),
+            deadline: Time::new(30.0),
         }
     }
 }
@@ -78,7 +69,7 @@ impl Default for MbConfig {
 /// Result of an MB run.
 #[derive(Debug)]
 pub struct MbReport {
-    /// Phase advances observed at the root.
+    /// Genuine phase advances observed at the root.
     pub root_phase_advances: u64,
     /// Specification violations found by replaying the event log through
     /// the oracle.
@@ -123,180 +114,30 @@ pub struct MbRun {
     config: MbConfig,
 }
 
-struct Process {
-    pid: usize,
-    n: usize,
-    n_phases: u32,
-    sn_domain: u32,
-    own: StateMsg,
-    done: bool,
-    copy: StateMsg, // local copy of the predecessor's state
-    tx: FaultySender<StateMsg>,
-    rx: crate::channel::FaultyReceiver<StateMsg>,
-    rng: SimRng,
-    events: Vec<CpEvent>,
-    sent: u64,
-    started: Instant,
-    work: Option<Arc<dyn Fn(usize, u32) + Send + Sync>>,
-}
-
-impl Process {
-    fn record(&mut self, old: Cp) {
-        if old != self.own.cp {
-            self.events.push(CpEvent {
-                at: self.started.elapsed(),
-                pid: self.pid,
-                ph: self.own.ph,
-                old,
-                new: self.own.cp,
-            });
-        }
-    }
-
-    /// Run the phase body when entering `execute`.
-    fn maybe_work(&mut self) {
-        if self.own.cp == Cp::Execute && !self.done {
-            if let Some(work) = &self.work {
-                work(self.pid, self.own.ph);
-            }
-            self.done = true;
-        }
-    }
-
-    /// Root token action (T1 + superposed update) against the local copy of
-    /// process N.
-    fn step_root(&mut self) -> bool {
-        let pred = self.copy;
-        let token = pred.sn.is_valid() && (self.own.sn == pred.sn || !self.own.sn.is_valid());
-        if !token {
-            return false;
-        }
-        if self.own.cp == Cp::Execute && !self.done {
-            return false; // finish the phase body first
-        }
-        let old = self.own.cp;
-        self.own.sn = pred.sn.next(self.sn_domain);
-        match self.own.cp {
-            Cp::Ready => {
-                if pred.cp == Cp::Ready && pred.ph == self.own.ph {
-                    self.own.cp = Cp::Execute;
-                    self.done = false;
-                }
-            }
-            Cp::Execute => self.own.cp = Cp::Success,
-            Cp::Success => {
-                if pred.cp == Cp::Success && pred.ph == self.own.ph {
-                    self.own.ph = (self.own.ph + 1) % self.n_phases;
-                } else {
-                    self.own.ph = pred.ph;
-                }
-                self.own.cp = Cp::Ready;
-            }
-            Cp::Error | Cp::Repeat => {
-                self.own.ph = pred.ph;
-                self.own.cp = Cp::Ready;
-            }
-        }
-        self.record(old);
-        true
-    }
-
-    /// Non-root token action (T2 + superposed update).
-    fn step_nonroot(&mut self) -> bool {
-        let pred = self.copy;
-        if !pred.sn.is_valid() || self.own.sn == pred.sn {
-            return false;
-        }
-        if self.own.cp == Cp::Execute && !self.done && pred.cp == Cp::Success {
-            return false; // gate the success transition on the phase body
-        }
-        let old = self.own.cp;
-        self.own.sn = pred.sn;
-        self.own.ph = pred.ph;
-        match (old, pred.cp) {
-            (Cp::Ready, Cp::Execute) => {
-                self.own.cp = Cp::Execute;
-                self.done = false;
-            }
-            (Cp::Execute, Cp::Success) => self.own.cp = Cp::Success,
-            (cp, Cp::Ready) if cp != Cp::Execute => self.own.cp = Cp::Ready,
-            (cp, pred_cp) => {
-                if cp == Cp::Error || pred_cp != cp {
-                    self.own.cp = Cp::Repeat;
-                }
-            }
-        }
-        self.record(old);
-        true
-    }
-
-    fn gossip(&mut self) {
-        self.tx.send(self.own);
-        self.tx.flush();
-        self.sent += 1;
-    }
-
-    fn apply_poison(&mut self) {
-        let old = self.own.cp;
-        self.own = StateMsg {
-            sn: Sn::Bot,
-            cp: Cp::Error,
-            ph: self.rng.range_u64(0, self.n_phases as u64) as u32,
-        };
-        self.done = false;
-        // §5: the fault also flags the local copies.
-        self.copy = StateMsg {
-            sn: Sn::Bot,
-            cp: Cp::Error,
-            ph: 0,
-        };
-        self.record(old);
-    }
-
-    fn apply_scramble(&mut self) {
-        let old = self.own.cp;
-        let arbitrary = |rng: &mut SimRng, n_phases: u32, l: u32| StateMsg {
-            sn: Sn::arbitrary(l, rng),
-            cp: *rng.choose(&Cp::RB_DOMAIN),
-            ph: rng.range_u64(0, n_phases as u64) as u32,
-        };
-        self.own = arbitrary(&mut self.rng, self.n_phases, self.sn_domain);
-        self.copy = arbitrary(&mut self.rng, self.n_phases, self.sn_domain);
-        self.done = self.rng.chance(0.5);
-        self.record(old);
-    }
-
-    fn drain_inbox(&mut self) {
-        while let Some(d) = self.rx.try_recv() {
-            if let Delivery::Ok(m) = d {
-                // §5: "the local copy of sn.(j-1) in j is updated only if
-                // sn.(j-1) is different from ⊥ and ⊤". Detectably corrupted
-                // deliveries are discarded (masked as loss).
-                if m.sn.is_valid() {
-                    self.copy = m;
-                }
-            }
-        }
-    }
-}
-
-/// Spawn an MB system. Use [`MbRun::handle`] to inject faults, then
-/// [`MbRun::join`] to collect the report.
+/// Spawn an MB system on faulty crossbeam channels and the wall clock. Use
+/// [`MbRun::handle`] to inject faults, then [`MbRun::join`] to collect the
+/// report.
 pub fn spawn(config: MbConfig) -> MbRun {
+    let faults = config.faults;
+    let mut rng = SimRng::seed_from_u64(config.seed);
+    let endpoints = channel_ring(config.n.max(1), faults, &mut rng);
+    spawn_on(config, endpoints, Arc::new(WallClock::start()))
+}
+
+/// Spawn an MB system on caller-provided transport endpoints (one per
+/// process, see [`channel_ring`]) and an explicit clock — the generic entry
+/// point program MB compiles against.
+pub fn spawn_on<E: Endpoint + Send + 'static>(
+    config: MbConfig,
+    endpoints: Vec<E>,
+    clock: Arc<dyn Clock>,
+) -> MbRun {
     assert!(config.n >= 2, "MB needs at least two processes");
     assert!(config.n_phases >= 2);
+    assert_eq!(endpoints.len(), config.n, "one endpoint per process");
     let n = config.n;
-    let sn_domain = 4 * n as u32 + 3; // L > 2N+1 with headroom
-    let mut rng = SimRng::seed_from_u64(config.seed);
-
-    // Link j → j+1 carries j's state.
-    let mut senders = Vec::with_capacity(n);
-    let mut receivers = Vec::with_capacity(n);
-    for _ in 0..n {
-        let (tx, rx) = faulty_channel::<StateMsg>(config.faults, rng.fork_seed());
-        senders.push(Some(tx));
-        receivers.push(Some(rx));
-    }
+    let mut rng = SimRng::seed_from_u64(config.seed ^ 0xC0DE);
+    let seq = Arc::new(AtomicU64::new(0));
 
     let stop = Arc::new(AtomicBool::new(false));
     let root_advances = Arc::new(AtomicU64::new(0));
@@ -305,82 +146,71 @@ pub fn spawn(config: MbConfig) -> MbRun {
     let started = Instant::now();
 
     let mut threads = Vec::with_capacity(n);
-    for pid in 0..n {
-        let tx = senders[pid].take().expect("sender taken once");
-        // Process pid listens on the link from its predecessor.
-        let rx = receivers[(pid + n - 1) % n]
-            .take()
-            .expect("receiver taken once");
+    for (pid, mut ep) in endpoints.into_iter().enumerate() {
         let stop = Arc::clone(&stop);
         let root_advances = Arc::clone(&root_advances);
         let poison = Arc::clone(&poison);
         let scramble = Arc::clone(&scramble);
-        let seed = rng.fork_seed();
+        let clock = Arc::clone(&clock);
+        let seed = rng.range_u64(0, u64::MAX);
+        let seq = Arc::clone(&seq);
         let config = config.clone();
         threads.push(std::thread::spawn(move || {
-            let mut p = Process {
-                pid,
-                n,
-                n_phases: config.n_phases,
-                sn_domain,
-                own: StateMsg {
-                    sn: Sn::Val(0),
-                    cp: Cp::Ready,
-                    ph: 0,
-                },
-                done: true,
-                copy: StateMsg {
-                    sn: Sn::Val(0),
-                    cp: Cp::Ready,
-                    ph: 0,
-                },
-                tx,
-                rx,
-                rng: SimRng::seed_from_u64(seed),
-                events: Vec::new(),
-                sent: 0,
-                started,
-                work: config.work.clone(),
+            let mut core = MbCore::new(pid, config.n_phases, sn_domain(n), seed, seq);
+            let mut last_gossip = clock.now();
+            core.events.reserve(256);
+            let mut sent = 0u64;
+            let gossip = |core: &MbCore, ep: &mut E, sent: &mut u64| {
+                *sent += 1;
+                ep.send(core.own);
             };
-            let _ = p.n;
-            let mut last_gossip = Instant::now();
-            p.gossip();
+            gossip(&core, &mut ep, &mut sent);
             while !stop.load(Ordering::Acquire) {
+                let now = clock.now();
                 if poison[pid].swap(false, Ordering::AcqRel) {
-                    p.apply_poison();
-                    p.gossip();
+                    core.apply_poison(now);
+                    gossip(&core, &mut ep, &mut sent);
                 }
                 if scramble[pid].swap(false, Ordering::AcqRel) {
-                    p.apply_scramble();
-                    p.gossip();
+                    core.apply_scramble(now);
+                    gossip(&core, &mut ep, &mut sent);
                 }
-                p.drain_inbox();
-                let moved = if pid == 0 {
-                    let before_ph = p.own.ph;
-                    let moved = p.step_root();
-                    if moved && p.own.ph != before_ph {
-                        let total = root_advances.fetch_add(1, Ordering::AcqRel) + 1;
-                        if total >= config.target_phases {
-                            stop.store(true, Ordering::Release);
-                        }
+                let mut out = pump(&mut core, &mut ep, now);
+                while core.needs_work() {
+                    // Run the phase body, then let the gated steps fire.
+                    if let Some(work) = &config.work {
+                        work(pid, core.own.ph);
                     }
-                    moved
-                } else {
-                    p.step_nonroot()
-                };
-                p.maybe_work();
-                if moved || last_gossip.elapsed() >= config.retransmit_every {
-                    p.gossip();
-                    last_gossip = Instant::now();
+                    let token = core.work_token;
+                    core.complete_work(token);
+                    let more = pump(&mut core, &mut ep, now);
+                    out.moved |= more.moved;
+                    out.advances += more.advances;
                 }
-                if !moved {
+                if out.advances > 0 {
+                    let total =
+                        root_advances.fetch_add(out.advances, Ordering::AcqRel) + out.advances;
+                    if total >= config.target_phases {
+                        stop.store(true, Ordering::Release);
+                    }
+                }
+                if out.moved {
+                    gossip(&core, &mut ep, &mut sent);
+                    last_gossip = now;
+                } else if now.saturating_sub(last_gossip) >= config.retransmit_every {
+                    // The link went quiet: release any reorder-held message
+                    // and retransmit.
+                    ep.flush();
+                    gossip(&core, &mut ep, &mut sent);
+                    last_gossip = now;
+                } else {
                     std::thread::yield_now();
                 }
-                if started.elapsed() > config.deadline {
+                if now > config.deadline {
                     stop.store(true, Ordering::Release);
                 }
             }
-            (p.events, p.sent)
+            (core.events, sent)
         }));
     }
 
@@ -399,9 +229,15 @@ impl MbRun {
         self.handle.clone()
     }
 
-    /// Phase advances observed at the root so far.
+    /// Genuine phase advances observed at the root so far.
     pub fn root_phase_advances(&self) -> u64 {
         self.root_advances.load(Ordering::Acquire)
+    }
+
+    /// Whether the run has stopped (target, deadline, or [`MbRun::stop`]).
+    /// After this returns `true`, [`MbRun::join`] will not block.
+    pub fn stopped(&self) -> bool {
+        self.stop.load(Ordering::Acquire)
     }
 
     /// Request an early stop.
@@ -419,7 +255,10 @@ impl MbRun {
             events.extend(ev);
             messages_sent.push(sent);
         }
-        events.sort_by_key(|e| e.at);
+        // The shared sequence counter orders the merged log: it respects
+        // per-process program order and message causality even when the
+        // clock is coarse (many events per virtual instant).
+        events.sort_by_key(|e| e.seq);
 
         let mut oracle = BarrierOracle::new(OracleConfig {
             n_processes: self.config.n,
@@ -427,7 +266,7 @@ impl MbRun {
             anchor: Anchor::StrictFromZero,
         });
         for e in &events {
-            oracle.observe_cp(Time::new(e.at.as_secs_f64()), e.pid, e.ph, e.old, e.new);
+            oracle.observe_cp(e.at, e.pid, e.ph, e.old, e.new);
         }
         let advances = self.root_advances.load(Ordering::Acquire);
         MbReport {
@@ -442,27 +281,54 @@ impl MbRun {
     }
 }
 
-trait ForkSeed {
-    fn fork_seed(&mut self) -> u64;
-}
-
-impl ForkSeed for SimRng {
-    fn fork_seed(&mut self) -> u64 {
-        self.range_u64(0, u64::MAX)
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::clock::TestClock;
+
+    /// Drive a spawned run to completion on virtual time: advance the test
+    /// clock while the worker threads spin, injecting planned poisons when
+    /// their virtual instants pass. No wall-clock timing is asserted.
+    fn drive_virtual(run: &MbRun, clock: &TestClock, plan: &[(f64, usize)]) {
+        let h = run.handle();
+        let mut next = 0;
+        while !run.stopped() {
+            clock.advance(0.01);
+            let now = clock.now().as_f64();
+            while next < plan.len() && plan[next].0 <= now {
+                h.poison(plan[next].1);
+                next += 1;
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    fn virtual_config(faults: ChannelFaults, target: u64, seed: u64) -> MbConfig {
+        MbConfig {
+            n: 4,
+            target_phases: target,
+            faults,
+            seed,
+            retransmit_every: Time::new(0.05),
+            // Virtual deadline: generous, but guarantees the driver loop
+            // terminates even if progress stalls.
+            deadline: Time::new(2_000.0),
+            ..Default::default()
+        }
+    }
+
+    fn spawn_virtual(config: MbConfig) -> (MbRun, Arc<TestClock>) {
+        let clock = TestClock::new();
+        let mut rng = SimRng::seed_from_u64(config.seed);
+        let endpoints = channel_ring(config.n, config.faults, &mut rng);
+        let run = spawn_on(config, endpoints, clock.clone() as Arc<dyn Clock>);
+        (run, clock)
+    }
 
     #[test]
-    fn fault_free_run_completes_cleanly() {
-        let run = spawn(MbConfig {
-            n: 4,
-            target_phases: 10,
-            ..Default::default()
-        });
+    fn fault_free_run_completes_cleanly_on_virtual_time() {
+        let (run, clock) = spawn_virtual(virtual_config(ChannelFaults::NONE, 10, 1));
+        drive_virtual(&run, &clock, &[]);
         let report = run.join();
         assert!(report.reached_target, "timed out: {report:?}");
         assert!(report.violations.is_empty(), "{:?}", report.violations);
@@ -471,23 +337,66 @@ mod tests {
     }
 
     #[test]
-    fn lossy_links_are_masked_by_retransmission() {
-        let run = spawn(MbConfig {
-            n: 4,
-            target_phases: 8,
-            faults: ChannelFaults {
+    fn lossy_links_are_masked_by_retransmission_on_virtual_time() {
+        let (run, clock) = spawn_virtual(virtual_config(
+            ChannelFaults {
                 loss: 0.3,
                 ..ChannelFaults::NONE
             },
-            ..Default::default()
-        });
+            8,
+            2,
+        ));
+        drive_virtual(&run, &clock, &[]);
         let report = run.join();
         assert!(report.reached_target, "{report:?}");
         assert!(report.violations.is_empty(), "{:?}", report.violations);
     }
 
     #[test]
-    fn nasty_links_still_clean() {
+    fn poison_plan_is_masked_on_virtual_time() {
+        let (run, clock) = spawn_virtual(virtual_config(ChannelFaults::NONE, 12, 3));
+        drive_virtual(&run, &clock, &[(0.5, 2), (1.5, 1)]);
+        let report = run.join();
+        assert!(report.reached_target, "{report:?}");
+        assert!(
+            report.violations.is_empty(),
+            "detectable faults must be masked: {:?}",
+            report.violations
+        );
+    }
+
+    #[test]
+    fn work_closure_runs_once_per_phase_per_process() {
+        let counter = Arc::new(AtomicU64::new(0));
+        let c2 = Arc::clone(&counter);
+        let mut config = virtual_config(ChannelFaults::NONE, 5, 4);
+        config.n = 3;
+        config.work = Some(Arc::new(move |_pid, _ph| {
+            c2.fetch_add(1, Ordering::Relaxed);
+        }));
+        let (run, clock) = spawn_virtual(config);
+        drive_virtual(&run, &clock, &[]);
+        let report = run.join();
+        assert!(report.reached_target);
+        let executed = counter.load(Ordering::Relaxed);
+        // At least target*n executions (the final phase may be in flight).
+        assert!(executed >= 5 * 3, "only {executed} phase bodies ran");
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_single_process() {
+        let _ = spawn(MbConfig {
+            n: 1,
+            ..Default::default()
+        });
+    }
+
+    // ----- wall-clock stress lane (CI runs these with `-- --ignored`) -----
+
+    #[test]
+    #[ignore = "wall-clock stress; run explicitly or via the CI smoke step"]
+    fn wall_clock_nasty_links_still_clean() {
         let run = spawn(MbConfig {
             n: 3,
             target_phases: 6,
@@ -501,33 +410,8 @@ mod tests {
     }
 
     #[test]
-    fn poison_forces_reexecution_but_masks() {
-        let run = spawn(MbConfig {
-            n: 4,
-            target_phases: 12,
-            ..Default::default()
-        });
-        let h = run.handle();
-        // Let it get going, then hit process 2 a few times.
-        while run.root_phase_advances() < 3 {
-            std::thread::yield_now();
-        }
-        h.poison(2);
-        while run.root_phase_advances() < 6 {
-            std::thread::yield_now();
-        }
-        h.poison(1);
-        let report = run.join();
-        assert!(report.reached_target, "{report:?}");
-        assert!(
-            report.violations.is_empty(),
-            "detectable faults must be masked: {:?}",
-            report.violations
-        );
-    }
-
-    #[test]
-    fn scramble_recovers_and_makes_progress() {
+    #[ignore = "wall-clock stress; run explicitly or via the CI smoke step"]
+    fn wall_clock_scramble_recovers_and_makes_progress() {
         let run = spawn(MbConfig {
             n: 4,
             target_phases: 14,
@@ -545,33 +429,5 @@ mod tests {
             report.reached_target,
             "no post-scramble progress: {report:?}"
         );
-    }
-
-    #[test]
-    fn work_closure_runs_once_per_phase_per_process() {
-        let counter = Arc::new(AtomicU64::new(0));
-        let c2 = Arc::clone(&counter);
-        let run = spawn(MbConfig {
-            n: 3,
-            target_phases: 5,
-            work: Some(Arc::new(move |_pid, _ph| {
-                c2.fetch_add(1, Ordering::Relaxed);
-            })),
-            ..Default::default()
-        });
-        let report = run.join();
-        assert!(report.reached_target);
-        let executed = counter.load(Ordering::Relaxed);
-        // At least target*n executions (the final phase may be in flight).
-        assert!(executed >= 5 * 3, "only {executed} phase bodies ran");
-    }
-
-    #[test]
-    #[should_panic]
-    fn rejects_single_process() {
-        let _ = spawn(MbConfig {
-            n: 1,
-            ..Default::default()
-        });
     }
 }

@@ -1,0 +1,483 @@
+//! Deterministic program MB: the same §5 process state machine as the
+//! threaded backend ([`crate::mb`]), driven by a discrete-event loop over
+//! the simulated network ([`crate::simnet`]) on virtual time.
+//!
+//! One seed determines everything — per-link latencies and fault draws, the
+//! fault plan's random perturbation values, the event interleaving — so a
+//! run is byte-for-byte replayable: [`SimMbReport::trace`] of two runs with
+//! the same [`SimMbConfig`] is identical, and every test and experiment on
+//! this backend is free of wall-clock effects.
+//!
+//! The fault plan covers the paper's full fault menu: message loss,
+//! duplication, reordering and detectable corruption (per-link
+//! probabilities), link partitions with healing, the §4.1 detectable process
+//! fault (scheduled or Poisson-arriving `poison`), the undetectable
+//! `scramble`, and process crash/reboot — a crash silences the process and
+//! drops its inbound traffic; the reboot re-enters through the §4.1
+//! detectable-fault state (`sn = ⊥, cp = error`).
+
+use crate::channel::Delivery;
+use crate::proc::{pump, sn_domain, CpEvent, MbCore, StateMsg};
+use crate::simnet::{LinkConfig, NetStats, SimNet};
+use crate::transport::Endpoint;
+use ftbarrier_core::spec::{Anchor, BarrierOracle, OracleConfig, Violation};
+use ftbarrier_gcs::{SimRng, Time};
+use std::cell::RefCell;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::fmt::Write as _;
+use std::rc::Rc;
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
+
+/// A scheduled process crash: the process stops stepping and gossiping at
+/// `at` and its inbound deliveries are dropped; at `reboot_at` it resumes in
+/// the §4.1 detectable-fault state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CrashPlan {
+    pub pid: usize,
+    pub at: f64,
+    pub reboot_at: f64,
+}
+
+/// A scheduled link partition: sends on `link` are dropped in `[at, heal_at)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PartitionPlan {
+    pub link: usize,
+    pub at: f64,
+    pub heal_at: f64,
+}
+
+/// The scheduled (and optionally Poisson-arriving) fault injections of a
+/// simulated MB run. All times are virtual.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    /// `(time, pid)`: §4.1 detectable process faults.
+    pub poisons: Vec<(f64, usize)>,
+    /// `(time, pid)`: undetectable faults (arbitrary state).
+    pub scrambles: Vec<(f64, usize)>,
+    pub crashes: Vec<CrashPlan>,
+    pub partitions: Vec<PartitionPlan>,
+    /// Poisson rate of additional poisons landing on uniformly random
+    /// processes (0 = none) — the figs' fault-frequency axis.
+    pub poison_rate: f64,
+}
+
+/// Configuration of a deterministic MB run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimMbConfig {
+    /// Number of processes (≥ 2).
+    pub n: usize,
+    /// Cyclic phase domain (≥ 2).
+    pub n_phases: u32,
+    /// Genuine root phase advances before the run stops.
+    pub target_phases: u64,
+    pub seed: u64,
+    /// Model of every link `j → j+1`.
+    pub link: LinkConfig,
+    /// Gossip retransmission period (masks message loss), virtual time.
+    pub retransmit_every: f64,
+    /// Virtual duration of one phase body (the paper's unit of measure).
+    pub phase_cost: f64,
+    /// Virtual-time safety limit.
+    pub max_time: f64,
+    pub plan: FaultPlan,
+}
+
+impl Default for SimMbConfig {
+    fn default() -> Self {
+        SimMbConfig {
+            n: 4,
+            n_phases: 8,
+            target_phases: 12,
+            seed: 0x51B,
+            link: LinkConfig::perfect(0.01),
+            retransmit_every: 0.05,
+            phase_cost: 1.0,
+            max_time: 10_000.0,
+            plan: FaultPlan::default(),
+        }
+    }
+}
+
+/// Result of a deterministic MB run.
+#[derive(Debug)]
+pub struct SimMbReport {
+    /// Genuine phase advances observed at the root.
+    pub root_phase_advances: u64,
+    /// Specification violations found by replaying the event log through
+    /// the oracle.
+    pub violations: Vec<Violation>,
+    /// Successful phases per the oracle.
+    pub phases_completed: u64,
+    /// Instances consumed per successful phase.
+    pub instance_counts: Vec<u64>,
+    /// Messages sent per process (including retransmissions).
+    pub messages_sent: Vec<u64>,
+    /// Whether the run hit its target (vs. the virtual-time limit).
+    pub reached_target: bool,
+    /// Virtual time when the run stopped.
+    pub virtual_elapsed: Time,
+    /// Scheduling points processed by the event loop.
+    pub events_processed: u64,
+    pub net: NetStats,
+    /// Full deterministic run log: byte-identical across runs of the same
+    /// config, diverging for different seeds.
+    pub trace: String,
+}
+
+impl SimMbReport {
+    pub fn mean_instances_per_phase(&self) -> f64 {
+        if self.instance_counts.is_empty() {
+            return f64::NAN;
+        }
+        self.instance_counts.iter().sum::<u64>() as f64 / self.instance_counts.len() as f64
+    }
+}
+
+/// Simulated-network endpoint: the second implementation of the MB
+/// transport trait (single-threaded, so the network is shared via `Rc`).
+pub struct SimEndpoint {
+    net: Rc<RefCell<SimNet<StateMsg>>>,
+    out_link: usize,
+    in_link: usize,
+}
+
+impl Endpoint for SimEndpoint {
+    fn send(&mut self, msg: StateMsg) -> bool {
+        self.net.borrow_mut().send(self.out_link, msg);
+        true
+    }
+
+    fn try_recv(&mut self) -> Option<Delivery<StateMsg>> {
+        self.net.borrow_mut().pop_inbox(self.in_link)
+    }
+
+    fn flush(&mut self) -> bool {
+        self.net.borrow_mut().flush(self.out_link);
+        true
+    }
+}
+
+/// Control events of the event loop (message deliveries live in the
+/// [`SimNet`] queue; everything else lives here).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Ctl {
+    Retransmit { pid: usize },
+    WorkDone { pid: usize, token: u64 },
+    Poison { pid: usize },
+    Scramble { pid: usize },
+    Crash { pid: usize },
+    Reboot { pid: usize },
+    Cut { link: usize },
+    Heal { link: usize },
+    PoissonPoison,
+}
+
+struct Driver {
+    cfg: SimMbConfig,
+    cores: Vec<MbCore>,
+    eps: Vec<SimEndpoint>,
+    net: Rc<RefCell<SimNet<StateMsg>>>,
+    ctl: BinaryHeap<Reverse<(Time, u64, Ctl)>>,
+    ctl_seq: u64,
+    now: Time,
+    alive: Vec<bool>,
+    /// `work_token` value for which a `WorkDone` is already scheduled.
+    work_scheduled: Vec<Option<u64>>,
+    messages_sent: Vec<u64>,
+    advances: u64,
+    fault_rng: SimRng,
+    trace: String,
+    events_processed: u64,
+}
+
+impl Driver {
+    fn schedule(&mut self, at: f64, ev: Ctl) {
+        assert!(at.is_finite() && at >= 0.0, "fault plan time {at} invalid");
+        self.ctl_seq += 1;
+        self.ctl.push(Reverse((Time::new(at), self.ctl_seq, ev)));
+    }
+
+    fn gossip(&mut self, pid: usize) {
+        self.messages_sent[pid] += 1;
+        let msg = self.cores[pid].own;
+        self.eps[pid].send(msg);
+    }
+
+    /// Pump `pid` to quiescence, gossiping on movement and handling the
+    /// phase-body gate (instant when `phase_cost == 0`, a scheduled timer
+    /// otherwise).
+    fn drive(&mut self, pid: usize) {
+        loop {
+            let out = pump(&mut self.cores[pid], &mut self.eps[pid], self.now);
+            self.advances += out.advances;
+            if out.moved {
+                self.gossip(pid);
+                let _ = writeln!(
+                    self.trace,
+                    "  p{pid} -> {:?} adv={}",
+                    self.cores[pid].own, out.advances
+                );
+            }
+            if self.cores[pid].needs_work() {
+                let token = self.cores[pid].work_token;
+                if self.cfg.phase_cost == 0.0 {
+                    self.cores[pid].complete_work(token);
+                    continue;
+                }
+                if self.work_scheduled[pid] != Some(token) {
+                    self.work_scheduled[pid] = Some(token);
+                    let at = self.now.as_f64() + self.cfg.phase_cost;
+                    self.schedule(at, Ctl::WorkDone { pid, token });
+                }
+            }
+            return;
+        }
+    }
+
+    fn poison(&mut self, pid: usize, kind: &str) {
+        let _ = writeln!(self.trace, "t {} {kind} p{pid}", self.now);
+        if kind == "scramble" {
+            self.cores[pid].apply_scramble(self.now);
+        } else {
+            self.cores[pid].apply_poison(self.now);
+        }
+        self.gossip(pid);
+        self.drive(pid);
+    }
+
+    fn on_ctl(&mut self, ev: Ctl) {
+        match ev {
+            Ctl::Retransmit { pid } => {
+                if self.alive[pid] {
+                    // A retransmission tick is the link-gone-quiet moment:
+                    // release any reorder-held message, then re-gossip.
+                    self.eps[pid].flush();
+                    self.gossip(pid);
+                }
+                let at = self.now.as_f64() + self.cfg.retransmit_every;
+                self.schedule(at, Ctl::Retransmit { pid });
+            }
+            Ctl::WorkDone { pid, token } => {
+                if self.alive[pid] {
+                    let _ = writeln!(self.trace, "t {} work-done p{pid} tok={token}", self.now);
+                    self.cores[pid].complete_work(token);
+                    self.drive(pid);
+                }
+            }
+            Ctl::Poison { pid } => {
+                if self.alive[pid] {
+                    self.poison(pid, "poison");
+                }
+            }
+            Ctl::Scramble { pid } => {
+                if self.alive[pid] {
+                    self.poison(pid, "scramble");
+                }
+            }
+            Ctl::Crash { pid } => {
+                let _ = writeln!(self.trace, "t {} crash p{pid}", self.now);
+                self.alive[pid] = false;
+            }
+            Ctl::Reboot { pid } => {
+                let _ = writeln!(self.trace, "t {} reboot p{pid}", self.now);
+                self.alive[pid] = true;
+                // Rebooting is the §4.1 detectable fault made literal: the
+                // process lost its state and knows it.
+                self.poison(pid, "poison");
+            }
+            Ctl::Cut { link } => {
+                let _ = writeln!(self.trace, "t {} cut link {link}", self.now);
+                self.net.borrow_mut().set_partitioned(link, true);
+            }
+            Ctl::Heal { link } => {
+                let _ = writeln!(self.trace, "t {} heal link {link}", self.now);
+                self.net.borrow_mut().set_partitioned(link, false);
+            }
+            Ctl::PoissonPoison => {
+                let pid = self.fault_rng.below(self.cfg.n);
+                let next =
+                    self.now.as_f64() + self.fault_rng.exponential(self.cfg.plan.poison_rate);
+                if next.is_finite() {
+                    self.schedule(next, Ctl::PoissonPoison);
+                }
+                if self.alive[pid] {
+                    self.poison(pid, "poison");
+                }
+            }
+        }
+    }
+}
+
+/// Run program MB deterministically. Two calls with equal configs return
+/// byte-identical reports (including [`SimMbReport::trace`]).
+pub fn run(cfg: SimMbConfig) -> SimMbReport {
+    assert!(cfg.n >= 2, "MB needs at least two processes");
+    assert!(cfg.n_phases >= 2);
+    assert!(
+        cfg.retransmit_every > 0.0,
+        "retransmit period must be positive"
+    );
+    assert!(cfg.phase_cost >= 0.0 && cfg.phase_cost.is_finite());
+    let n = cfg.n;
+
+    let mut rng = SimRng::seed_from_u64(cfg.seed);
+    let seq = Arc::new(AtomicU64::new(0));
+    let cores: Vec<MbCore> = (0..n)
+        .map(|pid| {
+            MbCore::new(
+                pid,
+                cfg.n_phases,
+                sn_domain(n),
+                rng.range_u64(0, u64::MAX),
+                Arc::clone(&seq),
+            )
+        })
+        .collect();
+    let net = Rc::new(RefCell::new(SimNet::new(
+        vec![cfg.link; n],
+        rng.range_u64(0, u64::MAX),
+    )));
+    let eps: Vec<SimEndpoint> = (0..n)
+        .map(|pid| SimEndpoint {
+            net: Rc::clone(&net),
+            out_link: pid,
+            in_link: (pid + n - 1) % n,
+        })
+        .collect();
+
+    let mut d = Driver {
+        cores,
+        eps,
+        net: Rc::clone(&net),
+        ctl: BinaryHeap::new(),
+        ctl_seq: 0,
+        now: Time::ZERO,
+        alive: vec![true; n],
+        work_scheduled: vec![None; n],
+        messages_sent: vec![0; n],
+        advances: 0,
+        fault_rng: rng.fork(),
+        trace: String::new(),
+        events_processed: 0,
+        cfg,
+    };
+
+    // Schedule the fault plan and the retransmission ticks.
+    let plan = d.cfg.plan.clone();
+    for &(t, pid) in &plan.poisons {
+        d.schedule(t, Ctl::Poison { pid });
+    }
+    for &(t, pid) in &plan.scrambles {
+        d.schedule(t, Ctl::Scramble { pid });
+    }
+    for c in &plan.crashes {
+        assert!(c.reboot_at >= c.at, "reboot before crash");
+        d.schedule(c.at, Ctl::Crash { pid: c.pid });
+        d.schedule(c.reboot_at, Ctl::Reboot { pid: c.pid });
+    }
+    for p in &plan.partitions {
+        assert!(p.heal_at >= p.at, "heal before cut");
+        d.schedule(p.at, Ctl::Cut { link: p.link });
+        d.schedule(p.heal_at, Ctl::Heal { link: p.link });
+    }
+    if plan.poison_rate > 0.0 {
+        let first = d.fault_rng.exponential(plan.poison_rate);
+        d.schedule(first, Ctl::PoissonPoison);
+    }
+    for pid in 0..n {
+        d.schedule(d.cfg.retransmit_every, Ctl::Retransmit { pid });
+    }
+
+    // t = 0: everyone announces its start state, then takes any enabled
+    // steps (the root's first token action fires immediately, as in the
+    // threaded backend).
+    for pid in 0..n {
+        d.gossip(pid);
+    }
+    for pid in 0..n {
+        d.drive(pid);
+    }
+
+    let max_time = Time::new(d.cfg.max_time);
+    let mut reached = d.advances >= d.cfg.target_phases;
+    while !reached {
+        let t_net = d.net.borrow().next_event_time();
+        let t_ctl = d.ctl.peek().map(|Reverse((t, _, _))| *t);
+        // Deliveries win ties against control events.
+        let (t, is_net) = match (t_net, t_ctl) {
+            (None, None) => break, // quiescent: nothing can ever happen
+            (Some(tn), None) => (tn, true),
+            (None, Some(tc)) => (tc, false),
+            (Some(tn), Some(tc)) => {
+                if tn <= tc {
+                    (tn, true)
+                } else {
+                    (tc, false)
+                }
+            }
+        };
+        if t > max_time {
+            break;
+        }
+        d.now = t;
+        d.events_processed += 1;
+        // Always advance the network clock to the scheduling point, even for
+        // control events — messages sent while handling them must be
+        // timestamped at `t`, not at the network's last delivery time.
+        let touched = d.net.borrow_mut().advance_to(t);
+        if is_net {
+            let _ = writeln!(d.trace, "t {} deliver x{}", d.now, touched.len());
+        }
+        for link in touched {
+            let dest = (link + 1) % n;
+            if d.alive[dest] {
+                d.drive(dest);
+            } else {
+                // A crashed process loses its inbound traffic.
+                while d.eps[dest].try_recv().is_some() {}
+            }
+        }
+        if !is_net {
+            let Reverse((_, _, ev)) = d.ctl.pop().expect("peeked");
+            d.on_ctl(ev);
+        }
+        reached = d.advances >= d.cfg.target_phases;
+    }
+
+    // Replay the merged event log through the barrier specification oracle,
+    // in global commit order.
+    let mut events: Vec<CpEvent> = Vec::new();
+    for core in &d.cores {
+        events.extend(core.events.iter().copied());
+    }
+    events.sort_by_key(|e| e.seq);
+    let mut oracle = BarrierOracle::new(OracleConfig {
+        n_processes: n,
+        n_phases: d.cfg.n_phases,
+        anchor: Anchor::StrictFromZero,
+    });
+    for e in &events {
+        oracle.observe_cp(e.at, e.pid, e.ph, e.old, e.new);
+    }
+
+    let net_stats = d.net.borrow().stats();
+    let _ = writeln!(
+        d.trace,
+        "end t {} advances {} events {} net {:?}",
+        d.now, d.advances, d.events_processed, net_stats
+    );
+    SimMbReport {
+        root_phase_advances: d.advances,
+        violations: oracle.violations().to_vec(),
+        phases_completed: oracle.phases_completed(),
+        instance_counts: oracle.instance_counts().to_vec(),
+        messages_sent: d.messages_sent,
+        reached_target: reached,
+        virtual_elapsed: d.now,
+        events_processed: d.events_processed,
+        net: net_stats,
+        trace: d.trace,
+    }
+}

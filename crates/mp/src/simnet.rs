@@ -1,0 +1,427 @@
+//! Seeded discrete-event simulated network.
+//!
+//! A [`SimNet`] is a set of unidirectional links carrying messages through a
+//! per-link latency model and the same fault classes as the threaded
+//! [`faulty_channel`](crate::channel::faulty_channel) — loss, duplication,
+//! reordering (hold-and-swap, identical semantics), detectable corruption —
+//! plus *link partitions*: while a link is partitioned every send on it is
+//! dropped; healing restores it (retransmission masks the gap as loss,
+//! exactly the §5 argument).
+//!
+//! Event model: `send` stamps each surviving copy of the message with a
+//! delivery time `now + latency` and pushes it on one global queue keyed
+//! `(Time, seq)` with `seq` a monotone counter, so the delivery order is a
+//! pure function of the seed — no hashing, no wall clock. The driver
+//! alternates between `next_event_time` and `advance_to`, which moves due
+//! messages into per-link inboxes in deterministic order.
+
+use crate::channel::{ChannelFaults, Delivery};
+use ftbarrier_gcs::{SimRng, Time};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Per-message latency of a link, in virtual time units.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LatencyModel {
+    /// Every message takes exactly this long.
+    Fixed(f64),
+    /// Uniformly distributed in `[lo, hi)` — jitter, a second (physical)
+    /// source of reordering on top of the fault model's hold-and-swap.
+    Uniform { lo: f64, hi: f64 },
+}
+
+impl LatencyModel {
+    fn validate(&self) {
+        match *self {
+            LatencyModel::Fixed(l) => {
+                assert!(l.is_finite() && l >= 0.0, "latency {l} out of range")
+            }
+            LatencyModel::Uniform { lo, hi } => {
+                assert!(
+                    lo.is_finite() && lo >= 0.0 && hi >= lo,
+                    "latency range [{lo}, {hi}) invalid"
+                );
+            }
+        }
+    }
+
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        match *self {
+            LatencyModel::Fixed(l) => l,
+            LatencyModel::Uniform { lo, hi } => {
+                if hi > lo {
+                    lo + rng.unit() * (hi - lo)
+                } else {
+                    lo
+                }
+            }
+        }
+    }
+}
+
+/// Configuration of one simulated link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkConfig {
+    pub latency: LatencyModel,
+    pub faults: ChannelFaults,
+}
+
+impl LinkConfig {
+    /// A perfect link with the given fixed latency.
+    pub fn perfect(latency: f64) -> LinkConfig {
+        LinkConfig {
+            latency: LatencyModel::Fixed(latency),
+            faults: ChannelFaults::NONE,
+        }
+    }
+}
+
+/// Aggregate traffic counters of a [`SimNet`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetStats {
+    pub sent: u64,
+    pub delivered: u64,
+    pub lost: u64,
+    pub corrupted: u64,
+    pub duplicated: u64,
+    pub held: u64,
+    /// Sends swallowed by a partitioned link.
+    pub blocked: u64,
+}
+
+struct Link<T> {
+    cfg: LinkConfig,
+    rng: SimRng,
+    /// A message held back for reordering (swapped with the next send).
+    held: Option<Delivery<T>>,
+    partitioned: bool,
+    inbox: VecDeque<Delivery<T>>,
+}
+
+struct InFlight<T> {
+    at: Time,
+    seq: u64,
+    link: usize,
+    delivery: Delivery<T>,
+}
+
+// Ordering for the event queue: earliest (time, seq) first via Reverse.
+impl<T> PartialEq for InFlight<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<T> Eq for InFlight<T> {}
+impl<T> PartialOrd for InFlight<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for InFlight<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// The simulated network: links, one event queue, one seed.
+pub struct SimNet<T> {
+    links: Vec<Link<T>>,
+    queue: BinaryHeap<Reverse<InFlight<T>>>,
+    seq: u64,
+    now: Time,
+    stats: NetStats,
+}
+
+impl<T: Clone> SimNet<T> {
+    /// One entry in `links` per unidirectional link; all fault/latency
+    /// randomness is forked from `seed`.
+    pub fn new(links: Vec<LinkConfig>, seed: u64) -> SimNet<T> {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let links = links
+            .into_iter()
+            .map(|cfg| {
+                cfg.latency.validate();
+                Link {
+                    cfg,
+                    rng: rng.fork(),
+                    held: None,
+                    partitioned: false,
+                    inbox: VecDeque::new(),
+                }
+            })
+            .collect();
+        SimNet {
+            links,
+            queue: BinaryHeap::new(),
+            seq: 0,
+            now: Time::ZERO,
+            stats: NetStats::default(),
+        }
+    }
+
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    pub fn stats(&self) -> NetStats {
+        self.stats
+    }
+
+    pub fn n_links(&self) -> usize {
+        self.links.len()
+    }
+
+    pub fn is_partitioned(&self, link: usize) -> bool {
+        self.links[link].partitioned
+    }
+
+    /// Cut or heal a link. Cutting also discards any held (reordered)
+    /// message — it was still on the sender's side of the cut.
+    pub fn set_partitioned(&mut self, link: usize, cut: bool) {
+        self.links[link].partitioned = cut;
+        if cut && self.links[link].held.take().is_some() {
+            self.stats.lost += 1;
+        }
+    }
+
+    fn schedule(&mut self, link: usize, delivery: Delivery<T>) {
+        let latency = {
+            let l = &mut self.links[link];
+            l.cfg.latency.sample(&mut l.rng)
+        };
+        let at = self.now + Time::new(latency);
+        self.seq += 1;
+        self.queue.push(Reverse(InFlight {
+            at,
+            seq: self.seq,
+            link,
+            delivery,
+        }));
+    }
+
+    /// Send `msg` on `link` at the current virtual time, through the link's
+    /// fault model. The decision stream mirrors
+    /// [`FaultySender::send`](crate::channel::FaultySender::send): loss,
+    /// then corruption, then duplication, then reorder hold-and-swap.
+    pub fn send(&mut self, link: usize, msg: T) {
+        self.stats.sent += 1;
+        if self.links[link].partitioned {
+            self.stats.blocked += 1;
+            return;
+        }
+        let (lost, corrupted, duplicate, hold) = {
+            let l = &mut self.links[link];
+            let f = l.cfg.faults;
+            (
+                l.rng.chance(f.loss),
+                l.rng.chance(f.corruption),
+                l.rng.chance(f.duplication),
+                l.rng.chance(f.reorder),
+            )
+        };
+        if lost {
+            self.stats.lost += 1;
+            return;
+        }
+        let delivery = if corrupted {
+            self.stats.corrupted += 1;
+            Delivery::Corrupted
+        } else {
+            Delivery::Ok(msg)
+        };
+
+        // Reordering: park this message; release any previously held one
+        // after the next send (a swap of adjacent messages).
+        let mut to_send: Vec<Delivery<T>> = Vec::with_capacity(3);
+        if hold && self.links[link].held.is_none() {
+            self.stats.held += 1;
+            self.links[link].held = Some(delivery.clone());
+        } else {
+            to_send.push(delivery.clone());
+            if let Some(prev) = self.links[link].held.take() {
+                to_send.push(prev);
+            }
+        }
+        if duplicate {
+            self.stats.duplicated += 1;
+            to_send.push(delivery);
+        }
+        for d in to_send {
+            self.schedule(link, d);
+        }
+    }
+
+    /// Release a held (reordered) message — call when a link goes quiet.
+    pub fn flush(&mut self, link: usize) {
+        if let Some(prev) = self.links[link].held.take() {
+            self.schedule(link, prev);
+        }
+    }
+
+    /// Delivery time of the earliest in-flight message, if any.
+    pub fn next_event_time(&self) -> Option<Time> {
+        self.queue.peek().map(|Reverse(m)| m.at)
+    }
+
+    /// Advance virtual time to `t`, moving every message due at or before
+    /// `t` into its link's inbox. Returns the link ids that received
+    /// something, in delivery order (duplicates possible).
+    pub fn advance_to(&mut self, t: Time) -> Vec<usize> {
+        assert!(t >= self.now, "time went backwards: {} -> {}", self.now, t);
+        self.now = t;
+        let mut touched = Vec::new();
+        while self.queue.peek().is_some_and(|Reverse(m)| m.at <= self.now) {
+            let Reverse(m) = self.queue.pop().expect("peeked");
+            self.stats.delivered += 1;
+            self.links[m.link].inbox.push_back(m.delivery);
+            touched.push(m.link);
+        }
+        touched
+    }
+
+    /// Pop the next delivery waiting in `link`'s inbox.
+    pub fn pop_inbox(&mut self, link: usize) -> Option<Delivery<T>> {
+        self.links[link].inbox.pop_front()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net(faults: ChannelFaults, latency: LatencyModel, seed: u64) -> SimNet<u32> {
+        SimNet::new(vec![LinkConfig { latency, faults }], seed)
+    }
+
+    #[test]
+    fn perfect_link_delivers_in_order_after_latency() {
+        let mut n = net(ChannelFaults::NONE, LatencyModel::Fixed(0.5), 1);
+        n.send(0, 1);
+        n.send(0, 2);
+        assert_eq!(n.next_event_time(), Some(Time::new(0.5)));
+        assert!(n.advance_to(Time::new(0.4)).is_empty());
+        assert_eq!(n.advance_to(Time::new(0.5)), vec![0, 0]);
+        assert_eq!(n.pop_inbox(0), Some(Delivery::Ok(1)));
+        assert_eq!(n.pop_inbox(0), Some(Delivery::Ok(2)));
+        assert_eq!(n.pop_inbox(0), None);
+    }
+
+    #[test]
+    fn partition_drops_sends_and_heals() {
+        let mut n = net(ChannelFaults::NONE, LatencyModel::Fixed(0.0), 1);
+        n.set_partitioned(0, true);
+        n.send(0, 7);
+        assert_eq!(n.next_event_time(), None);
+        assert_eq!(n.stats().blocked, 1);
+        n.set_partitioned(0, false);
+        n.send(0, 8);
+        n.advance_to(Time::ZERO);
+        assert_eq!(n.pop_inbox(0), Some(Delivery::Ok(8)));
+    }
+
+    #[test]
+    fn reorder_hold_and_swap_matches_channel_semantics() {
+        let mut n = net(
+            ChannelFaults {
+                reorder: 1.0,
+                ..ChannelFaults::NONE
+            },
+            LatencyModel::Fixed(0.0),
+            1,
+        );
+        n.send(0, 1); // held
+        n.send(0, 2); // releases 1 after 2
+        n.flush(0);
+        n.advance_to(Time::ZERO);
+        assert_eq!(n.pop_inbox(0), Some(Delivery::Ok(2)));
+        assert_eq!(n.pop_inbox(0), Some(Delivery::Ok(1)));
+    }
+
+    #[test]
+    fn corruption_is_detectable_and_loss_is_silent() {
+        let mut n = net(
+            ChannelFaults {
+                corruption: 1.0,
+                ..ChannelFaults::NONE
+            },
+            LatencyModel::Fixed(0.1),
+            3,
+        );
+        n.send(0, 9);
+        n.advance_to(Time::new(1.0));
+        assert_eq!(n.pop_inbox(0), Some(Delivery::Corrupted));
+
+        let mut n = net(
+            ChannelFaults {
+                loss: 1.0,
+                ..ChannelFaults::NONE
+            },
+            LatencyModel::Fixed(0.1),
+            3,
+        );
+        n.send(0, 9);
+        assert_eq!(n.next_event_time(), None);
+        assert_eq!(n.stats().lost, 1);
+    }
+
+    #[test]
+    fn uniform_jitter_can_reorder_messages() {
+        let mut n = net(
+            ChannelFaults::NONE,
+            LatencyModel::Uniform { lo: 0.0, hi: 1.0 },
+            5,
+        );
+        // With enough messages, at least one pair must arrive out of send
+        // order under i.i.d. latencies.
+        for i in 0..100 {
+            n.send(0, i);
+        }
+        n.advance_to(Time::new(2.0));
+        let mut got = Vec::new();
+        while let Some(Delivery::Ok(v)) = n.pop_inbox(0) {
+            got.push(v);
+        }
+        assert_eq!(got.len(), 100);
+        let mut sorted = got.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(got, sorted, "jitter should reorder at least one pair");
+    }
+
+    #[test]
+    fn same_seed_same_delivery_schedule() {
+        let run = |seed| {
+            let mut n = net(
+                ChannelFaults::nasty(),
+                LatencyModel::Uniform { lo: 0.0, hi: 0.5 },
+                seed,
+            );
+            let mut log = Vec::new();
+            for i in 0..200 {
+                n.send(0, i);
+            }
+            n.flush(0);
+            n.advance_to(Time::new(5.0));
+            while let Some(d) = n.pop_inbox(0) {
+                log.push(format!("{d:?}"));
+            }
+            (log, n.stats())
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
+    }
+
+    #[test]
+    #[should_panic]
+    fn time_cannot_go_backwards() {
+        let mut n = net(ChannelFaults::NONE, LatencyModel::Fixed(0.0), 1);
+        n.advance_to(Time::new(1.0));
+        n.advance_to(Time::new(0.5));
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_negative_latency() {
+        let _ = net(ChannelFaults::NONE, LatencyModel::Fixed(-0.1), 1);
+    }
+}

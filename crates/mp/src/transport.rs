@@ -1,0 +1,86 @@
+//! The transport abstraction over program MB's communication.
+//!
+//! One [`Endpoint`] per process: `send` gossips the process's state to its
+//! ring successor, `try_recv` yields deliveries from its predecessor. The MB
+//! step logic (`proc::pump`) is written against this trait only, so the same
+//! program runs on two backends:
+//!
+//! * [`ChannelEndpoint`] — real crossbeam channels with send-time fault
+//!   injection ([`faulty_channel`]), one OS thread per process;
+//! * `mb_sim::SimEndpoint` — a handle into the discrete-event simulated
+//!   network, single-threaded and byte-for-byte replayable from a seed.
+
+use crate::channel::{faulty_channel, ChannelFaults, Delivery, FaultyReceiver, FaultySender};
+use crate::proc::StateMsg;
+use ftbarrier_gcs::SimRng;
+
+/// A process's view of the ring: its outgoing link to the successor and its
+/// incoming link from the predecessor.
+pub trait Endpoint {
+    /// Gossip `msg` to the successor. Returns `false` if the peer is gone.
+    fn send(&mut self, msg: StateMsg) -> bool;
+    /// Next pending delivery from the predecessor, if any.
+    fn try_recv(&mut self) -> Option<Delivery<StateMsg>>;
+    /// Release any message held back by the link's reorder model.
+    fn flush(&mut self) -> bool;
+}
+
+/// Threaded backend endpoint: a faulty crossbeam channel pair.
+pub struct ChannelEndpoint {
+    tx: FaultySender<StateMsg>,
+    rx: FaultyReceiver<StateMsg>,
+}
+
+impl Endpoint for ChannelEndpoint {
+    fn send(&mut self, msg: StateMsg) -> bool {
+        self.tx.send(msg)
+    }
+
+    fn try_recv(&mut self) -> Option<Delivery<StateMsg>> {
+        self.rx.try_recv()
+    }
+
+    fn flush(&mut self) -> bool {
+        self.tx.flush()
+    }
+}
+
+/// Build the ring of faulty links for `n` processes: endpoint `j` sends on
+/// link `j → j+1` and receives on link `j-1 → j`. Each link's fault stream is
+/// forked off `rng` so the whole ring is reproducible from one seed.
+pub fn channel_ring(n: usize, faults: ChannelFaults, rng: &mut SimRng) -> Vec<ChannelEndpoint> {
+    let mut senders = Vec::with_capacity(n);
+    let mut receivers = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (tx, rx) = faulty_channel::<StateMsg>(faults, rng.range_u64(0, u64::MAX));
+        senders.push(Some(tx));
+        receivers.push(Some(rx));
+    }
+    (0..n)
+        .map(|pid| ChannelEndpoint {
+            tx: senders[pid].take().expect("sender taken once"),
+            rx: receivers[(pid + n - 1) % n]
+                .take()
+                .expect("receiver taken once"),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn channel_ring_connects_successors() {
+        let mut rng = SimRng::seed_from_u64(1);
+        let mut eps = channel_ring(3, ChannelFaults::NONE, &mut rng);
+        let msg = StateMsg::initial();
+        // 0 sends; 1 (its successor) receives.
+        assert!(eps[0].send(msg));
+        assert_eq!(eps[1].try_recv(), Some(Delivery::Ok(msg)));
+        assert_eq!(eps[2].try_recv(), None);
+        // The ring wraps: 2 sends; 0 receives.
+        assert!(eps[2].send(msg));
+        assert_eq!(eps[0].try_recv(), Some(Delivery::Ok(msg)));
+    }
+}
