@@ -1,16 +1,33 @@
 //! Reproduce the paper's evaluation artifacts.
 //!
 //! ```text
-//! repro [--quick] [--csv DIR] [fig3|fig4|fig5|fig6|fig7|table1|ablations|mb|bench|all]
+//! repro [--quick] [--csv DIR] [fig3|fig4|fig5|fig6|fig7|table1|ablations|mb|trace|bench|all]
 //! ```
 //!
 //! `--quick` shrinks the parameter grids and sample counts (used by CI and
 //! the integration tests); `--csv DIR` additionally writes one CSV per
-//! figure into DIR. `bench` (never part of `all`) times the simulation
-//! engine and the parallel sweep harness and writes `BENCH_engine.json`.
+//! figure into DIR. `trace` (never part of `all`) runs the instrumented
+//! scenarios and writes `results/trace_<scenario>.json` (Chrome
+//! `trace_event`, open in Perfetto) plus `results/metrics_<scenario>.prom`.
+//! `bench` (never part of `all`) times the simulation engine and the
+//! parallel sweep harness and writes `BENCH_engine.json`.
 
-use ftbarrier_bench::{ablations, enginebench, figures, mb_exp, render, table1};
+use ftbarrier_bench::{ablations, enginebench, figures, mb_exp, render, table1, trace_exp};
 use std::path::PathBuf;
+
+const SUBCOMMANDS: [&str; 11] = [
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "table1",
+    "ablations",
+    "mb",
+    "trace",
+    "bench",
+    "all",
+];
 
 struct Options {
     quick: bool,
@@ -34,7 +51,11 @@ fn parse_args() -> Options {
             }
             "--help" | "-h" => usage(""),
             other if other.starts_with('-') => usage(&format!("unknown flag {other}")),
-            other => what.push(other.to_owned()),
+            other if SUBCOMMANDS.contains(&other) => what.push(other.to_owned()),
+            other => usage(&format!(
+                "unknown subcommand `{other}` (valid: {})",
+                SUBCOMMANDS.join(", ")
+            )),
         }
     }
     if what.is_empty() {
@@ -47,7 +68,10 @@ fn usage(err: &str) -> ! {
     if !err.is_empty() {
         eprintln!("error: {err}");
     }
-    eprintln!("usage: repro [--quick] [--csv DIR] [fig3|fig4|fig5|fig6|fig7|table1|ablations|mb|bench|all]...");
+    eprintln!(
+        "usage: repro [--quick] [--csv DIR] [{}]...",
+        SUBCOMMANDS.join("|")
+    );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }
 
@@ -124,8 +148,26 @@ fn main() {
         let rows = table1::rows();
         println!("{}", render::render_table1(&rows));
     }
-    // Benchmarks are expensive and machine-specific, so `all` skips them;
-    // ask for them explicitly.
+    // Trace export writes files and benchmarks are machine-specific, so
+    // `all` skips both; ask for them explicitly.
+    if opts.what.iter().any(|w| w == "trace") {
+        eprintln!("tracing instrumented scenarios…");
+        let dir = PathBuf::from("results");
+        std::fs::create_dir_all(&dir).expect("create results directory");
+        let artifacts = trace_exp::all(opts.quick);
+        for a in &artifacts {
+            let trace_path = dir.join(format!("trace_{}.json", a.scenario));
+            std::fs::write(&trace_path, &a.trace_json).expect("write trace json");
+            eprintln!("wrote {}", trace_path.display());
+            let prom_path = dir.join(format!("metrics_{}.prom", a.scenario));
+            std::fs::write(&prom_path, &a.metrics_prom).expect("write metrics");
+            eprintln!("wrote {}", prom_path.display());
+        }
+        println!(
+            "{}",
+            trace_exp::render_latency(&trace_exp::latency_rows(&artifacts))
+        );
+    }
     if opts.what.iter().any(|w| w == "bench") {
         eprintln!("benchmarking engine and sweep harness…");
         let report = enginebench::run(opts.quick);

@@ -20,3 +20,4 @@ pub mod mb_exp;
 pub mod parallel;
 pub mod render;
 pub mod table1;
+pub mod trace_exp;

@@ -1,0 +1,191 @@
+//! `repro trace`: run instrumented scenarios and export their telemetry.
+//!
+//! Each scenario runs one backend with a recording [`Telemetry`] handle and
+//! yields two artifacts: a Chrome `trace_event` JSON (open in Perfetto or
+//! `chrome://tracing`) and a Prometheus text snapshot of every counter,
+//! gauge, and histogram the run produced. The `ring` and `tree` scenarios
+//! inject detectable faults at the same rate, so their
+//! `detection_latency`/`recovery_latency` histograms measure the paper's
+//! O(N)-ring vs O(h)-tree dissemination claim directly; `mb` traces program
+//! MB over the lossy simulated network.
+
+use ftbarrier_core::sim::{measure_phases_with_telemetry, PhaseExperiment, TopologySpec};
+use ftbarrier_mp::mb_sim::{self, SimMbConfig};
+use ftbarrier_mp::{ChannelFaults, LatencyModel, LinkConfig};
+use ftbarrier_telemetry::{
+    to_chrome_trace, to_prometheus, Telemetry, TelemetrySnapshot, TimeDomain,
+};
+
+/// Valid scenario names, in the order `repro trace` runs them.
+pub const SCENARIOS: [&str; 3] = ["ring", "tree", "mb"];
+
+/// One exported scenario: the rendered artifacts plus the snapshot they
+/// came from (the latency table reads the snapshot directly).
+pub struct TraceArtifact {
+    pub scenario: &'static str,
+    pub trace_json: String,
+    pub metrics_prom: String,
+    pub snapshot: TelemetrySnapshot,
+}
+
+fn sweep_scenario(scenario: &'static str, topology: TopologySpec, quick: bool) -> TraceArtifact {
+    let telemetry = Telemetry::recording(TimeDomain::Virtual);
+    let exp = PhaseExperiment {
+        topology,
+        target_phases: if quick { 40 } else { 400 },
+        c: 0.05,
+        f: 0.05,
+        seed: 0x7ACE,
+        ..Default::default()
+    };
+    measure_phases_with_telemetry(&exp, &telemetry);
+    let snapshot = telemetry.snapshot();
+    TraceArtifact {
+        scenario,
+        trace_json: to_chrome_trace(&snapshot),
+        metrics_prom: to_prometheus(&snapshot),
+        snapshot,
+    }
+}
+
+fn mb_scenario(quick: bool) -> TraceArtifact {
+    let telemetry = Telemetry::recording(TimeDomain::Virtual);
+    let cfg = SimMbConfig {
+        n: 5,
+        target_phases: if quick { 12 } else { 80 },
+        seed: 0x7ACE,
+        link: LinkConfig {
+            latency: LatencyModel::Fixed(0.05),
+            faults: ChannelFaults {
+                loss: 0.1,
+                ..ChannelFaults::NONE
+            },
+        },
+        ..Default::default()
+    };
+    mb_sim::run_with_telemetry(cfg, &telemetry);
+    let snapshot = telemetry.snapshot();
+    TraceArtifact {
+        scenario: "mb",
+        trace_json: to_chrome_trace(&snapshot),
+        metrics_prom: to_prometheus(&snapshot),
+        snapshot,
+    }
+}
+
+/// Run one scenario by name; `None` for an unknown name.
+pub fn run_scenario(name: &str, quick: bool) -> Option<TraceArtifact> {
+    match name {
+        "ring" => Some(sweep_scenario("ring", TopologySpec::Ring { n: 16 }, quick)),
+        "tree" => Some(sweep_scenario(
+            "tree",
+            TopologySpec::Tree { n: 16, arity: 2 },
+            quick,
+        )),
+        "mb" => Some(mb_scenario(quick)),
+        _ => None,
+    }
+}
+
+/// Run every scenario.
+pub fn all(quick: bool) -> Vec<TraceArtifact> {
+    SCENARIOS
+        .iter()
+        .map(|s| run_scenario(s, quick).expect("built-in scenario"))
+        .collect()
+}
+
+/// One row of the ring-vs-tree latency comparison.
+pub struct LatencyRow {
+    pub topo: String,
+    pub samples: u64,
+    pub detection_p50: f64,
+    pub detection_p99: f64,
+    pub recovery_p50: f64,
+    pub recovery_p99: f64,
+    pub recovery_max: f64,
+}
+
+/// Extract detection/recovery latency statistics from the sweep scenarios'
+/// snapshots (the `mb` scenario records no sweep latency histograms and
+/// contributes no row).
+pub fn latency_rows(artifacts: &[TraceArtifact]) -> Vec<LatencyRow> {
+    let mut rows = Vec::new();
+    for a in artifacts {
+        let labels = [("topo", a.scenario)];
+        let (Some(det), Some(rec)) = (
+            a.snapshot.metrics.histogram("detection_latency", &labels),
+            a.snapshot.metrics.histogram("recovery_latency", &labels),
+        ) else {
+            continue;
+        };
+        rows.push(LatencyRow {
+            topo: a.scenario.to_owned(),
+            samples: rec.count(),
+            detection_p50: det.quantile(0.5),
+            detection_p99: det.quantile(0.99),
+            recovery_p50: rec.quantile(0.5),
+            recovery_p99: rec.quantile(0.99),
+            recovery_max: rec.max(),
+        });
+    }
+    rows
+}
+
+/// Render the latency comparison as an aligned text table (virtual time
+/// units; phase body = 1.0).
+pub fn render_latency(rows: &[LatencyRow]) -> String {
+    let mut out = String::new();
+    out.push_str("Fault detection / recovery latency by topology (virtual time)\n");
+    out.push_str("topo      samples   det p50   det p99   rec p50   rec p99   rec max\n");
+    for r in rows {
+        out.push_str(&format!(
+            "{:<8} {:>8} {:>9.3} {:>9.3} {:>9.3} {:>9.3} {:>9.3}\n",
+            r.topo,
+            r.samples,
+            r.detection_p50,
+            r.detection_p99,
+            r.recovery_p50,
+            r.recovery_p99,
+            r.recovery_max
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftbarrier_telemetry::{json, prom};
+
+    #[test]
+    fn scenarios_produce_valid_artifacts_and_latency_rows() {
+        let artifacts = all(true);
+        assert_eq!(artifacts.len(), SCENARIOS.len());
+        for a in &artifacts {
+            let parsed = json::parse(&a.trace_json).expect("chrome trace parses");
+            let events = parsed
+                .get("traceEvents")
+                .and_then(|v| v.as_array())
+                .expect("traceEvents array");
+            assert!(!events.is_empty(), "{}: empty trace", a.scenario);
+            let expo = prom::parse(&a.metrics_prom).expect("prometheus parses");
+            assert!(!expo.samples.is_empty(), "{}: empty metrics", a.scenario);
+        }
+        let rows = latency_rows(&artifacts);
+        assert_eq!(rows.len(), 2, "ring and tree rows");
+        for r in &rows {
+            assert!(r.samples > 0);
+            assert!(r.detection_p50 <= r.detection_p99 + 1e-12);
+            assert!(r.recovery_p50 <= r.recovery_p99 + 1e-12);
+        }
+        let table = render_latency(&rows);
+        assert!(table.contains("ring"));
+        assert!(table.contains("tree"));
+    }
+
+    #[test]
+    fn unknown_scenario_is_rejected() {
+        assert!(run_scenario("nope", true).is_none());
+    }
+}

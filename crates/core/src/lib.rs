@@ -34,6 +34,7 @@ pub mod sim;
 pub mod sn;
 pub mod spec;
 pub mod sweep;
+pub mod telemetry;
 pub mod timeline;
 pub mod token_ring;
 

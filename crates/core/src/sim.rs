@@ -10,8 +10,12 @@ use crate::cp::Cp;
 use crate::intolerant::{IntolerantBarrier, IntolerantState, Phase2Cp};
 use crate::spec::{Anchor, BarrierOracle, OracleConfig, Violation};
 use crate::sweep::{PosState, ProcessFaults, SweepBarrier, SweepDetectableFault};
+use crate::telemetry::SweepLatencyMonitor;
 use ftbarrier_gcs::fault::NoFaults;
-use ftbarrier_gcs::{ActionId, Engine, EngineConfig, FaultKind, Monitor, Pid, StopReason, Time};
+use ftbarrier_gcs::{
+    ActionId, Engine, EngineConfig, FaultKind, Monitor, MonitorSet, Pid, StopReason, Time,
+};
+use ftbarrier_telemetry::Telemetry;
 use ftbarrier_topology::{SweepDag, TopologyError};
 
 /// Which topology to run (§4's refinements).
@@ -47,6 +51,17 @@ impl TopologySpec {
             | TopologySpec::DoubleTree { n, .. }
             | TopologySpec::MbRing { n } => n,
             TopologySpec::TwoRing { a, b } => 1 + a + b,
+        }
+    }
+
+    /// Short label for metric keys (`topo="ring"` etc.).
+    pub fn label(self) -> &'static str {
+        match self {
+            TopologySpec::Ring { .. } => "ring",
+            TopologySpec::TwoRing { .. } => "two-ring",
+            TopologySpec::Tree { .. } => "tree",
+            TopologySpec::DoubleTree { .. } => "double-tree",
+            TopologySpec::MbRing { .. } => "mb-ring",
         }
     }
 }
@@ -186,6 +201,18 @@ pub struct PhaseMeasurement {
 
 /// Run a sweep barrier under detectable faults and measure phase behaviour.
 pub fn measure_phases(exp: &PhaseExperiment) -> PhaseMeasurement {
+    measure_phases_with_telemetry(exp, &Telemetry::off())
+}
+
+/// [`measure_phases`], additionally recording detection/recovery latency
+/// histograms, per-phase timings, and recovery-window spans into
+/// `telemetry` (see [`crate::telemetry::SweepLatencyMonitor`]). With a
+/// disabled handle this is exactly `measure_phases` — the differential
+/// tests assert the measurements are identical either way.
+pub fn measure_phases_with_telemetry(
+    exp: &PhaseExperiment,
+    telemetry: &Telemetry,
+) -> PhaseMeasurement {
     let dag = exp.topology.build().expect("valid topology");
     let mut program =
         SweepBarrier::new(dag, exp.n_phases).with_costs(Time::new(exp.c), Time::new(1.0));
@@ -194,6 +221,7 @@ pub fn measure_phases(exp: &PhaseExperiment) -> PhaseMeasurement {
     }
     let mut monitor =
         SweepOracleMonitor::new(&program, Anchor::StrictFromZero).stop_after(exp.target_phases);
+    let mut latency = SweepLatencyMonitor::new(&program, exp.topology.label(), telemetry.clone());
     let mut engine = Engine::new(&program, exp.seed);
     let config = EngineConfig {
         seed: exp.seed ^ 0x5EED,
@@ -205,17 +233,20 @@ pub fn measure_phases(exp: &PhaseExperiment) -> PhaseMeasurement {
         )),
         ..Default::default()
     };
-    let outcome = if exp.f > 0.0 {
-        let mut faults = ProcessFaults::new(
-            &program,
-            exp.f,
-            SweepDetectableFault {
-                n_phases: exp.n_phases,
-            },
-        );
-        engine.run(&config, &mut faults, &mut monitor)
-    } else {
-        engine.run(&config, &mut NoFaults, &mut monitor)
+    let outcome = {
+        let mut set = MonitorSet::new().with(&mut monitor).with(&mut latency);
+        if exp.f > 0.0 {
+            let mut faults = ProcessFaults::new(
+                &program,
+                exp.f,
+                SweepDetectableFault {
+                    n_phases: exp.n_phases,
+                },
+            );
+            engine.run(&config, &mut faults, &mut set)
+        } else {
+            engine.run(&config, &mut NoFaults, &mut set)
+        }
     };
     assert_ne!(
         outcome.reason,
@@ -223,6 +254,17 @@ pub fn measure_phases(exp: &PhaseExperiment) -> PhaseMeasurement {
         "barrier program must never deadlock"
     );
     let oracle = &monitor.oracle;
+    if telemetry.is_enabled() {
+        let topo = exp.topology.label();
+        for pair in oracle.completion_times().windows(2) {
+            telemetry.observe(
+                "phase_time",
+                &[("topo", topo)],
+                (pair[1] - pair[0]).as_f64(),
+            );
+        }
+        telemetry.merge_metrics(&outcome.stats.to_metrics());
+    }
     let times = oracle.completion_times();
     let mean_phase_time = if times.len() >= 2 {
         (*times.last().unwrap() - times[0]).as_f64() / (times.len() - 1) as f64

@@ -7,13 +7,18 @@
 //! Both must produce the identical event trace, final global state, and run
 //! statistics — with and without faults — or the reader sets are wrong.
 
-use ftbarrier_core::sim::{measure_phases, PhaseExperiment, TopologySpec};
+use ftbarrier_core::sim::{
+    measure_phases, measure_phases_with_telemetry, PhaseExperiment, TopologySpec,
+};
 use ftbarrier_core::sweep::{PosState, ProcessFaults, SweepBarrier, SweepDetectableFault};
+use ftbarrier_core::telemetry::SweepLatencyMonitor;
 use ftbarrier_core::token_ring::TokenRing;
 use ftbarrier_core::Sn;
 use ftbarrier_gcs::fault::NoFaults;
+use ftbarrier_gcs::monitor::MonitorSet;
 use ftbarrier_gcs::trace::{Trace, TraceEvent};
-use ftbarrier_gcs::{Engine, EngineConfig, Time};
+use ftbarrier_gcs::{Engine, EngineConfig, TelemetryMonitor, Time};
+use ftbarrier_telemetry::{Telemetry, TimeDomain};
 
 type RunRecord<S> = (Vec<TraceEvent<S>>, Vec<S>, [u64; 3]);
 
@@ -34,18 +39,40 @@ fn run_sweep(
     fault_rate: f64,
     full_rescan: bool,
 ) -> RunRecord<PosState> {
+    run_sweep_telemetry(spec, seed, fault_rate, full_rescan, &Telemetry::off())
+}
+
+/// Like `run_sweep`, but with the telemetry monitors attached alongside the
+/// trace — exactly the set `measure_phases_with_telemetry` uses. With a
+/// recording handle the returned record must still be byte-identical.
+fn run_sweep_telemetry(
+    spec: TopologySpec,
+    seed: u64,
+    fault_rate: f64,
+    full_rescan: bool,
+    telemetry: &Telemetry,
+) -> RunRecord<PosState> {
     let program =
         SweepBarrier::new(spec.build().unwrap(), 8).with_costs(Time::new(0.02), Time::new(1.0));
     let mut engine = Engine::new(&program, seed);
     engine.perturb_all();
     let mut trace = Trace::unbounded();
+    let mut tmon =
+        TelemetryMonitor::<PosState>::new(telemetry.clone(), program.dag().num_positions());
+    let mut lmon = SweepLatencyMonitor::new(&program, spec.label(), telemetry.clone());
     let cfg = config(seed, 30.0, full_rescan);
-    let out = if fault_rate > 0.0 {
-        let mut faults =
-            ProcessFaults::new(&program, fault_rate, SweepDetectableFault { n_phases: 8 });
-        engine.run(&cfg, &mut faults, &mut trace)
-    } else {
-        engine.run(&cfg, &mut NoFaults, &mut trace)
+    let out = {
+        let mut set = MonitorSet::new()
+            .with(&mut trace)
+            .with(&mut tmon)
+            .with(&mut lmon);
+        if fault_rate > 0.0 {
+            let mut faults =
+                ProcessFaults::new(&program, fault_rate, SweepDetectableFault { n_phases: 8 });
+            engine.run(&cfg, &mut faults, &mut set)
+        } else {
+            engine.run(&cfg, &mut NoFaults, &mut set)
+        }
     };
     (
         trace.events().cloned().collect(),
@@ -129,6 +156,44 @@ fn token_ring_matches_full_rescan() {
             run_token_ring(seed, false),
             run_token_ring(seed, true),
         );
+    }
+}
+
+#[test]
+fn telemetry_monitors_leave_engine_trace_byte_identical() {
+    // The whole telemetry layer is a pure observer: attaching a *recording*
+    // handle must not change a single trace event, final state, or stat.
+    for (name, spec) in TOPOLOGIES {
+        for seed in [0x7E1Eu64, 0x7E2E] {
+            let tele = Telemetry::recording(TimeDomain::Virtual);
+            let on = run_sweep_telemetry(spec, seed, 0.3, false, &tele);
+            let off = run_sweep(spec, seed, 0.3, false);
+            assert_identical(&format!("{name} telemetry seed {seed:#x}"), on, off);
+            assert!(
+                !tele.snapshot().metrics.is_empty(),
+                "{name}: telemetry actually recorded"
+            );
+        }
+    }
+}
+
+#[test]
+fn measure_phases_identical_with_telemetry_on_and_off() {
+    for (name, spec) in TOPOLOGIES {
+        for seed in [0xABC1u64, 0xABC2] {
+            let exp = PhaseExperiment {
+                topology: spec,
+                c: 0.02,
+                f: 0.05,
+                seed,
+                target_phases: 30,
+                ..Default::default()
+            };
+            let tele = Telemetry::recording(TimeDomain::Virtual);
+            let on = measure_phases_with_telemetry(&exp, &tele);
+            let off = measure_phases(&exp);
+            assert_eq!(on, off, "{name} seed {seed:#x}: measurements diverge");
+        }
     }
 }
 

@@ -83,7 +83,7 @@ pub enum StopReason {
 }
 
 /// Result of a run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunOutcome {
     pub reason: StopReason,
     pub stats: RunStats,

@@ -32,6 +32,7 @@ pub mod monitor;
 pub mod protocol;
 pub mod rng;
 pub mod stats;
+pub mod telemetry;
 pub mod time;
 pub mod trace;
 
@@ -46,5 +47,6 @@ pub use monitor::{Monitor, MonitorSet, NullMonitor};
 pub use protocol::{ActionId, Pid, Protocol, ReaderSet};
 pub use rng::SimRng;
 pub use stats::RunStats;
+pub use telemetry::{PhaseProjector, TelemetryMonitor};
 pub use time::Time;
 pub use trace::{Trace, TraceEvent};

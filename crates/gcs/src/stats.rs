@@ -6,7 +6,7 @@ use std::collections::BTreeMap;
 use crate::time::Time;
 
 /// Aggregate counters for one run.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct RunStats {
     /// Total guarded actions executed (committed).
     pub actions_executed: u64,

@@ -1,0 +1,251 @@
+//! Telemetry bridge for the simulation substrate: a [`Monitor`] that
+//! mirrors every transition and fault into an `ftbarrier-telemetry`
+//! recorder, stamped in virtual [`Time`].
+//!
+//! The monitor is a pure observer — it only *reads* the states handed to
+//! every monitor and never touches the engine's RNG or event queue — so
+//! runs with it attached are byte-identical to runs without (asserted by
+//! the differential tests in `ftbarrier-core`).
+
+use crate::fault::FaultKind;
+use crate::monitor::Monitor;
+use crate::protocol::{ActionId, Pid};
+use crate::stats::RunStats;
+use crate::time::Time;
+use ftbarrier_telemetry::{MetricsRegistry, Telemetry, TrackId};
+
+fn fault_kind_label(kind: FaultKind) -> &'static str {
+    match kind {
+        FaultKind::Detectable => "detectable",
+        FaultKind::Undetectable => "undetectable",
+    }
+}
+
+/// Projects a per-process state to its barrier phase number, if the state
+/// is currently *in* a phase. Returning `None` means "not executing" and
+/// closes any open phase span.
+pub type PhaseProjector<S> = Box<dyn Fn(&S) -> Option<u32>>;
+
+/// A monitor that records per-action counters, per-process phase spans,
+/// and fault instants into a [`Telemetry`] handle.
+pub struct TelemetryMonitor<S> {
+    telemetry: Telemetry,
+    tracks: Vec<TrackId>,
+    /// `(phase, start)` of the currently open span per process.
+    open: Vec<Option<(u32, Time)>>,
+    projector: Option<PhaseProjector<S>>,
+    last_now: Time,
+}
+
+impl<S> TelemetryMonitor<S> {
+    /// A monitor over `n` processes. With a disabled handle every hook is a
+    /// cheap no-op.
+    pub fn new(telemetry: Telemetry, n: usize) -> Self {
+        let tracks = (0..n)
+            .map(|p| telemetry.track(&format!("proc {p}")))
+            .collect();
+        TelemetryMonitor {
+            telemetry,
+            tracks,
+            open: vec![None; n],
+            projector: None,
+            last_now: Time::ZERO,
+        }
+    }
+
+    /// Attach a phase projector; each process then gets a `phase <k>` span
+    /// on its track for every interval the projector reports it in phase
+    /// `k`.
+    pub fn with_phase_projector(mut self, projector: PhaseProjector<S>) -> Self {
+        self.projector = Some(projector);
+        self
+    }
+
+    fn track(&self, pid: Pid) -> TrackId {
+        self.tracks.get(pid).copied().unwrap_or(TrackId::NONE)
+    }
+
+    fn update_phase(&mut self, now: Time, pid: Pid, new: &S) {
+        let Some(projector) = &self.projector else {
+            return;
+        };
+        let new_phase = projector(new);
+        let open = self.open[pid];
+        if open.map(|(ph, _)| ph) == new_phase && new_phase.is_some() {
+            return;
+        }
+        if let Some((ph, start)) = open {
+            self.telemetry.span(
+                self.track(pid),
+                &format!("phase {ph}"),
+                start.as_f64(),
+                now.as_f64(),
+            );
+            self.open[pid] = None;
+        }
+        if let Some(ph) = new_phase {
+            self.open[pid] = Some((ph, now));
+        }
+    }
+
+    /// Close any still-open phase spans at `end` (defaults to the last
+    /// observed event time) and return the handle.
+    pub fn finish(mut self, end: Option<Time>) -> Telemetry {
+        let end = end.unwrap_or(self.last_now);
+        for pid in 0..self.open.len() {
+            if let Some((ph, start)) = self.open[pid].take() {
+                self.telemetry.span(
+                    self.track(pid),
+                    &format!("phase {ph}"),
+                    start.as_f64(),
+                    end.max(start).as_f64(),
+                );
+            }
+        }
+        self.telemetry
+    }
+}
+
+impl<S> Monitor<S> for TelemetryMonitor<S> {
+    fn on_transition(
+        &mut self,
+        now: Time,
+        pid: Pid,
+        _action: ActionId,
+        name: &str,
+        _old: &S,
+        new: &S,
+        _global: &[S],
+    ) {
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        self.last_now = self.last_now.max(now);
+        self.telemetry
+            .counter("engine_actions_total", &[("action", name)], 1);
+        self.update_phase(now, pid, new);
+    }
+
+    fn on_fault(&mut self, now: Time, pid: Pid, kind: FaultKind, _old: &S, new: &S, _global: &[S]) {
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        self.last_now = self.last_now.max(now);
+        let label = fault_kind_label(kind);
+        self.telemetry
+            .counter("engine_faults_total", &[("kind", label)], 1);
+        self.telemetry.instant_with(
+            self.track(pid),
+            &format!("fault:{label}"),
+            now.as_f64(),
+            &[("pid", &pid.to_string())],
+        );
+        self.update_phase(now, pid, new);
+    }
+}
+
+impl RunStats {
+    /// Bridge the run's aggregate counters into a telemetry registry, so
+    /// `repro bench` outputs and the trace exporters share one schema.
+    pub fn to_metrics(&self) -> MetricsRegistry {
+        let mut reg = MetricsRegistry::new();
+        for (name, count) in &self.by_action {
+            reg.add_counter("engine_actions_total", &[("action", name)], *count);
+        }
+        reg.add_counter("engine_actions_executed_total", &[], self.actions_executed);
+        reg.add_counter("engine_commits_dropped_total", &[], self.commits_dropped);
+        reg.add_counter("engine_faults_total", &[], self.faults);
+        let attempts = self.actions_executed + self.commits_dropped;
+        reg.set_gauge(
+            "engine_commit_drop_ratio",
+            &[],
+            if attempts == 0 {
+                0.0
+            } else {
+                self.commits_dropped as f64 / attempts as f64
+            },
+        );
+        reg.set_gauge("engine_elapsed_time", &[], self.elapsed.as_f64());
+        reg.set_gauge("engine_steps", &[], self.steps as f64);
+        reg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftbarrier_telemetry::{TimeDomain, TimelineEvent};
+
+    #[test]
+    fn run_stats_bridge_to_metrics() {
+        let mut stats = RunStats::default();
+        stats.record_action("tok");
+        stats.record_action("tok");
+        stats.record_action("chk");
+        stats.commits_dropped = 1;
+        stats.faults = 2;
+        stats.elapsed = Time::new(12.5);
+        let reg = stats.to_metrics();
+        assert_eq!(reg.counter("engine_actions_total", &[("action", "tok")]), 2);
+        assert_eq!(reg.counter("engine_actions_total", &[("action", "chk")]), 1);
+        assert_eq!(reg.counter("engine_actions_executed_total", &[]), 3);
+        assert_eq!(reg.counter("engine_commits_dropped_total", &[]), 1);
+        assert_eq!(reg.counter("engine_faults_total", &[]), 2);
+        assert_eq!(reg.gauge("engine_commit_drop_ratio", &[]), Some(0.25));
+        assert_eq!(reg.gauge("engine_elapsed_time", &[]), Some(12.5));
+    }
+
+    #[test]
+    fn empty_stats_drop_ratio_is_zero() {
+        let reg = RunStats::default().to_metrics();
+        assert_eq!(reg.gauge("engine_commit_drop_ratio", &[]), Some(0.0));
+    }
+
+    #[test]
+    fn monitor_counts_actions_and_emits_phase_spans() {
+        let tele = Telemetry::recording(TimeDomain::Virtual);
+        let mut mon = TelemetryMonitor::<u32>::new(tele, 2)
+            .with_phase_projector(Box::new(|s: &u32| if *s > 0 { Some(*s) } else { None }));
+        let g = [0u32, 0];
+        // pid 0 enters phase 1 at t=1, moves to phase 2 at t=3.
+        mon.on_transition(Time::new(1.0), 0, 0, "tok", &0, &1, &g);
+        mon.on_transition(Time::new(3.0), 0, 0, "tok", &1, &2, &g);
+        mon.on_fault(Time::new(4.0), 1, FaultKind::Detectable, &0, &0, &g);
+        let snap = mon.finish(Some(Time::new(5.0))).snapshot();
+        assert_eq!(
+            snap.metrics
+                .counter("engine_actions_total", &[("action", "tok")]),
+            2
+        );
+        assert_eq!(
+            snap.metrics
+                .counter("engine_faults_total", &[("kind", "detectable")]),
+            1
+        );
+        let spans: Vec<&TimelineEvent> = snap
+            .events
+            .iter()
+            .filter(|e| matches!(e, TimelineEvent::Span { .. }))
+            .collect();
+        // phase 1 [1,3] and phase 2 [3,5] on proc 0's track.
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].name(), "phase 1");
+        let instants: Vec<&TimelineEvent> = snap
+            .events
+            .iter()
+            .filter(|e| matches!(e, TimelineEvent::Instant { .. }))
+            .collect();
+        assert_eq!(instants.len(), 1);
+        assert_eq!(instants[0].name(), "fault:detectable");
+    }
+
+    #[test]
+    fn disabled_monitor_is_inert() {
+        let mut mon = TelemetryMonitor::<u32>::new(Telemetry::off(), 2);
+        let g = [0u32, 0];
+        mon.on_transition(Time::new(1.0), 0, 0, "tok", &0, &1, &g);
+        let snap = mon.finish(None).snapshot();
+        assert!(snap.events.is_empty());
+        assert!(snap.metrics.is_empty());
+    }
+}

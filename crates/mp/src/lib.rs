@@ -22,6 +22,7 @@ pub mod mb_sim;
 pub mod proc;
 pub mod simnet;
 pub mod sweep_mp;
+pub mod telemetry;
 pub mod transport;
 
 pub use channel::{ChannelFaults, Delivery, FaultyReceiver, FaultySender};
@@ -31,4 +32,5 @@ pub use mb_sim::{CrashPlan, FaultPlan, PartitionPlan, SimMbConfig, SimMbReport};
 pub use proc::{MbCore, StateMsg};
 pub use simnet::{LatencyModel, LinkConfig, NetStats, SimNet};
 pub use sweep_mp::{SweepMpConfig, SweepMpHandle, SweepMpReport, SweepMpRun};
+pub use telemetry::record_cp_timeline;
 pub use transport::{channel_ring, ChannelEndpoint, Endpoint};

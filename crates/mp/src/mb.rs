@@ -25,6 +25,7 @@ use crate::proc::{pump, sn_domain, CpEvent, MbCore};
 use crate::transport::{channel_ring, Endpoint};
 use ftbarrier_core::spec::{Anchor, BarrierOracle, OracleConfig, Violation};
 use ftbarrier_gcs::{SimRng, Time};
+use ftbarrier_telemetry::Telemetry;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -49,6 +50,9 @@ pub struct MbConfig {
     pub work: Option<Arc<dyn Fn(usize, u32) + Send + Sync>>,
     /// Clock-time safety limit.
     pub deadline: Time,
+    /// Observability sink (disabled by default). Recorded post-run from the
+    /// merged event log; the protocol path never touches it.
+    pub telemetry: Telemetry,
 }
 
 impl Default for MbConfig {
@@ -62,6 +66,7 @@ impl Default for MbConfig {
             retransmit_every: Time::new(200e-6),
             work: None,
             deadline: Time::new(30.0),
+            telemetry: Telemetry::off(),
         }
     }
 }
@@ -269,6 +274,20 @@ impl MbRun {
             oracle.observe_cp(e.at, e.pid, e.ph, e.old, e.new);
         }
         let advances = self.root_advances.load(Ordering::Acquire);
+        if self.config.telemetry.is_enabled() {
+            let end = events.last().map_or(Time::ZERO, |e| e.at);
+            crate::telemetry::record_cp_timeline(&self.config.telemetry, &events, end);
+            for (pid, &sent) in messages_sent.iter().enumerate() {
+                self.config.telemetry.counter(
+                    "mb_messages_sent_total",
+                    &[("pid", &pid.to_string())],
+                    sent,
+                );
+            }
+            self.config
+                .telemetry
+                .counter("mb_root_phase_advances_total", &[], advances);
+        }
         MbReport {
             root_phase_advances: advances,
             violations: oracle.violations().to_vec(),

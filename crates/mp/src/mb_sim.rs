@@ -22,6 +22,7 @@ use crate::simnet::{LinkConfig, NetStats, SimNet};
 use crate::transport::Endpoint;
 use ftbarrier_core::spec::{Anchor, BarrierOracle, OracleConfig, Violation};
 use ftbarrier_gcs::{SimRng, Time};
+use ftbarrier_telemetry::Telemetry;
 use std::cell::RefCell;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -313,6 +314,16 @@ impl Driver {
 /// Run program MB deterministically. Two calls with equal configs return
 /// byte-identical reports (including [`SimMbReport::trace`]).
 pub fn run(cfg: SimMbConfig) -> SimMbReport {
+    run_with_telemetry(cfg, &Telemetry::off())
+}
+
+/// [`run`], additionally mirroring the network into per-link telemetry and
+/// replaying the merged event log into phase spans / fault instants / the
+/// `mb_phase_duration` histogram (see [`crate::telemetry`]). With a
+/// disabled handle this is exactly [`run`]; with an enabled one the
+/// [`SimMbReport::trace`] is still byte-identical — recording never draws
+/// from the simulation's RNG streams.
+pub fn run_with_telemetry(cfg: SimMbConfig, telemetry: &Telemetry) -> SimMbReport {
     assert!(cfg.n >= 2, "MB needs at least two processes");
     assert!(cfg.n_phases >= 2);
     assert!(
@@ -335,10 +346,10 @@ pub fn run(cfg: SimMbConfig) -> SimMbReport {
             )
         })
         .collect();
-    let net = Rc::new(RefCell::new(SimNet::new(
-        vec![cfg.link; n],
-        rng.range_u64(0, u64::MAX),
-    )));
+    let net = Rc::new(RefCell::new(
+        SimNet::new(vec![cfg.link; n], rng.range_u64(0, u64::MAX))
+            .with_telemetry(telemetry.clone()),
+    ));
     let eps: Vec<SimEndpoint> = (0..n)
         .map(|pid| SimEndpoint {
             net: Rc::clone(&net),
@@ -460,6 +471,14 @@ pub fn run(cfg: SimMbConfig) -> SimMbReport {
     });
     for e in &events {
         oracle.observe_cp(e.at, e.pid, e.ph, e.old, e.new);
+    }
+
+    if telemetry.is_enabled() {
+        crate::telemetry::record_cp_timeline(telemetry, &events, d.now);
+        for (pid, &sent) in d.messages_sent.iter().enumerate() {
+            telemetry.counter("mb_messages_sent_total", &[("pid", &pid.to_string())], sent);
+        }
+        telemetry.counter("mb_root_phase_advances_total", &[], d.advances);
     }
 
     let net_stats = d.net.borrow().stats();

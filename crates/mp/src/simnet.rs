@@ -17,6 +17,7 @@
 
 use crate::channel::{ChannelFaults, Delivery};
 use ftbarrier_gcs::{SimRng, Time};
+use ftbarrier_telemetry::Telemetry;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
@@ -102,6 +103,9 @@ struct InFlight<T> {
     at: Time,
     seq: u64,
     link: usize,
+    /// When the message entered the queue — for delivery-latency telemetry
+    /// only; not part of the `(at, seq)` event order.
+    sent_at: Time,
     delivery: Delivery<T>,
 }
 
@@ -130,6 +134,9 @@ pub struct SimNet<T> {
     seq: u64,
     now: Time,
     stats: NetStats,
+    telemetry: Telemetry,
+    /// Pre-rendered per-link label values (avoids formatting per event).
+    link_labels: Vec<String>,
 }
 
 impl<T: Clone> SimNet<T> {
@@ -156,6 +163,33 @@ impl<T: Clone> SimNet<T> {
             seq: 0,
             now: Time::ZERO,
             stats: NetStats::default(),
+            telemetry: Telemetry::off(),
+            link_labels: Vec::new(),
+        }
+    }
+
+    /// Mirror traffic into `telemetry`: per-link
+    /// `net_{sent,delivered,lost,corrupted,duplicated,blocked}_total`
+    /// counters, a `net_in_flight` queue-depth gauge, and per-link
+    /// `net_delivery_latency` histograms. Recording never touches the
+    /// fault/latency RNG streams, so the delivery schedule is unchanged.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> SimNet<T> {
+        self.link_labels = (0..self.links.len()).map(|l| l.to_string()).collect();
+        self.telemetry = telemetry;
+        self
+    }
+
+    fn count(&self, name: &str, link: usize) {
+        if self.telemetry.is_enabled() {
+            self.telemetry
+                .counter(name, &[("link", &self.link_labels[link])], 1);
+        }
+    }
+
+    fn update_depth_gauge(&self) {
+        if self.telemetry.is_enabled() {
+            self.telemetry
+                .gauge("net_in_flight", &[], self.queue.len() as f64);
         }
     }
 
@@ -181,6 +215,7 @@ impl<T: Clone> SimNet<T> {
         self.links[link].partitioned = cut;
         if cut && self.links[link].held.take().is_some() {
             self.stats.lost += 1;
+            self.count("net_lost_total", link);
         }
     }
 
@@ -195,8 +230,10 @@ impl<T: Clone> SimNet<T> {
             at,
             seq: self.seq,
             link,
+            sent_at: self.now,
             delivery,
         }));
+        self.update_depth_gauge();
     }
 
     /// Send `msg` on `link` at the current virtual time, through the link's
@@ -205,8 +242,10 @@ impl<T: Clone> SimNet<T> {
     /// then corruption, then duplication, then reorder hold-and-swap.
     pub fn send(&mut self, link: usize, msg: T) {
         self.stats.sent += 1;
+        self.count("net_sent_total", link);
         if self.links[link].partitioned {
             self.stats.blocked += 1;
+            self.count("net_blocked_total", link);
             return;
         }
         let (lost, corrupted, duplicate, hold) = {
@@ -221,10 +260,12 @@ impl<T: Clone> SimNet<T> {
         };
         if lost {
             self.stats.lost += 1;
+            self.count("net_lost_total", link);
             return;
         }
         let delivery = if corrupted {
             self.stats.corrupted += 1;
+            self.count("net_corrupted_total", link);
             Delivery::Corrupted
         } else {
             Delivery::Ok(msg)
@@ -244,6 +285,7 @@ impl<T: Clone> SimNet<T> {
         }
         if duplicate {
             self.stats.duplicated += 1;
+            self.count("net_duplicated_total", link);
             to_send.push(delivery);
         }
         for d in to_send {
@@ -273,9 +315,18 @@ impl<T: Clone> SimNet<T> {
         while self.queue.peek().is_some_and(|Reverse(m)| m.at <= self.now) {
             let Reverse(m) = self.queue.pop().expect("peeked");
             self.stats.delivered += 1;
+            if self.telemetry.is_enabled() {
+                self.count("net_delivered_total", m.link);
+                self.telemetry.observe(
+                    "net_delivery_latency",
+                    &[("link", &self.link_labels[m.link])],
+                    (m.at - m.sent_at).as_f64(),
+                );
+            }
             self.links[m.link].inbox.push_back(m.delivery);
             touched.push(m.link);
         }
+        self.update_depth_gauge();
         touched
     }
 
@@ -423,5 +474,58 @@ mod tests {
     #[should_panic]
     fn rejects_negative_latency() {
         let _ = net(ChannelFaults::NONE, LatencyModel::Fixed(-0.1), 1);
+    }
+
+    #[test]
+    fn telemetry_mirrors_stats_without_changing_schedule() {
+        use ftbarrier_telemetry::{Telemetry, TimeDomain};
+        let run = |tele: Telemetry| {
+            let mut n = net(
+                ChannelFaults::nasty(),
+                LatencyModel::Uniform { lo: 0.0, hi: 0.5 },
+                42,
+            )
+            .with_telemetry(tele);
+            let mut log = Vec::new();
+            for i in 0..200 {
+                n.send(0, i);
+            }
+            n.flush(0);
+            n.advance_to(Time::new(5.0));
+            while let Some(d) = n.pop_inbox(0) {
+                log.push(format!("{d:?}"));
+            }
+            (log, n.stats())
+        };
+        let tele = Telemetry::recording(TimeDomain::Virtual);
+        let (log_on, stats_on) = run(tele.clone());
+        let (log_off, stats_off) = run(Telemetry::off());
+        // Pure observer: identical delivery schedule and stats.
+        assert_eq!(log_on, log_off);
+        assert_eq!(stats_on, stats_off);
+        // And the mirrored counters agree with NetStats.
+        let snap = tele.snapshot();
+        let m = &snap.metrics;
+        assert_eq!(m.counter("net_sent_total", &[("link", "0")]), stats_on.sent);
+        assert_eq!(
+            m.counter("net_delivered_total", &[("link", "0")]),
+            stats_on.delivered
+        );
+        assert_eq!(m.counter("net_lost_total", &[("link", "0")]), stats_on.lost);
+        assert_eq!(
+            m.counter("net_corrupted_total", &[("link", "0")]),
+            stats_on.corrupted
+        );
+        assert_eq!(
+            m.counter("net_duplicated_total", &[("link", "0")]),
+            stats_on.duplicated
+        );
+        let h = m
+            .histogram("net_delivery_latency", &[("link", "0")])
+            .expect("latency histogram");
+        assert_eq!(h.count(), stats_on.delivered);
+        assert!(h.max() <= 0.5 + 1e-9);
+        // Queue fully drained at the end.
+        assert_eq!(m.gauge("net_in_flight", &[]), Some(0.0));
     }
 }

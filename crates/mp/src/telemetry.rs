@@ -1,0 +1,160 @@
+//! Telemetry bridge shared by both MB backends: replay the merged
+//! [`CpEvent`] log — already the backends' source of truth for the oracle —
+//! into per-process phase spans, fault instants, and phase-duration
+//! histograms.
+//!
+//! Both backends record telemetry *after* the run from the same event log
+//! the oracle replays, so enabling it cannot perturb execution: the
+//! simulated backend stays byte-identical (`SimMbReport::trace`), and the
+//! threaded backend's protocol path is untouched.
+
+use crate::proc::CpEvent;
+use ftbarrier_core::Cp;
+use ftbarrier_gcs::Time;
+use ftbarrier_telemetry::Telemetry;
+
+/// Replay `events` (sorted by `seq`) into `telemetry`: a `proc <pid>` track
+/// per process with one span per phase execution (`outcome` = `success` /
+/// `abort`), instants for detectable faults, and an `mb_phase_duration`
+/// histogram. Spans still open at `end` are closed there with
+/// `outcome="unfinished"` and not counted in the histogram.
+pub fn record_cp_timeline(telemetry: &Telemetry, events: &[CpEvent], end: Time) {
+    if !telemetry.is_enabled() || events.is_empty() {
+        return;
+    }
+    let n = 1 + events.iter().map(|e| e.pid).max().unwrap_or(0);
+    let tracks: Vec<_> = (0..n)
+        .map(|p| telemetry.track(&format!("proc {p}")))
+        .collect();
+    let mut open: Vec<Option<(u32, Time)>> = vec![None; n];
+    let close = |pid: usize, ph: u32, start: Time, at: Time, outcome: &str| {
+        telemetry.span_with(
+            tracks[pid],
+            &format!("phase {ph}"),
+            start.as_f64(),
+            at.max(start).as_f64(),
+            &[("outcome", outcome)],
+        );
+        if outcome != "unfinished" {
+            telemetry.observe(
+                "mb_phase_duration",
+                &[("outcome", outcome)],
+                at.max(start).saturating_sub(start).as_f64(),
+            );
+        }
+    };
+    for e in events {
+        if e.new == Cp::Error {
+            telemetry.instant_with(
+                tracks[e.pid],
+                "fault:detectable",
+                e.at.as_f64(),
+                &[("pid", &e.pid.to_string())],
+            );
+        }
+        if e.old != Cp::Execute && e.new == Cp::Execute {
+            open[e.pid] = Some((e.ph, e.at));
+        } else if e.old == Cp::Execute && e.new != Cp::Execute {
+            if let Some((ph, start)) = open[e.pid].take() {
+                let outcome = if e.new == Cp::Success {
+                    "success"
+                } else {
+                    "abort"
+                };
+                close(e.pid, ph, start, e.at, outcome);
+            }
+        }
+    }
+    for (pid, slot) in open.iter_mut().enumerate() {
+        if let Some((ph, start)) = slot.take() {
+            close(pid, ph, start, end, "unfinished");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftbarrier_telemetry::{TimeDomain, TimelineEvent};
+
+    fn ev(seq: u64, pid: usize, ph: u32, old: Cp, new: Cp, at: f64) -> CpEvent {
+        CpEvent {
+            at: Time::new(at),
+            seq,
+            pid,
+            ph,
+            old,
+            new,
+        }
+    }
+
+    #[test]
+    fn replay_builds_spans_and_histogram() {
+        let tele = Telemetry::recording(TimeDomain::Virtual);
+        let events = vec![
+            ev(1, 0, 0, Cp::Ready, Cp::Execute, 0.0),
+            ev(2, 1, 0, Cp::Ready, Cp::Execute, 0.1),
+            ev(3, 0, 0, Cp::Execute, Cp::Success, 1.0),
+            ev(4, 1, 0, Cp::Execute, Cp::Repeat, 1.2),
+            ev(5, 1, 1, Cp::Ready, Cp::Execute, 1.5),
+        ];
+        record_cp_timeline(&tele, &events, Time::new(2.0));
+        let snap = tele.snapshot();
+        assert_eq!(snap.tracks, vec!["proc 0".to_owned(), "proc 1".to_owned()]);
+        let spans: Vec<_> = snap
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                TimelineEvent::Span {
+                    name,
+                    start,
+                    end,
+                    args,
+                    ..
+                } => Some((name.clone(), *start, *end, args.clone())),
+                _ => None,
+            })
+            .collect();
+        // success [0,1], abort [0.1,1.2], unfinished [1.5,2].
+        assert_eq!(spans.len(), 3);
+        let h = snap
+            .metrics
+            .histogram("mb_phase_duration", &[("outcome", "success")])
+            .expect("success histogram");
+        assert_eq!(h.count(), 1);
+        assert!((h.sum() - 1.0).abs() < 1e-12);
+        assert_eq!(
+            snap.metrics
+                .histogram("mb_phase_duration", &[("outcome", "abort")])
+                .map(|h| h.count()),
+            Some(1)
+        );
+        // Unfinished spans stay out of the histogram.
+        assert!(snap
+            .metrics
+            .histogram("mb_phase_duration", &[("outcome", "unfinished")])
+            .is_none());
+    }
+
+    #[test]
+    fn fault_events_become_instants() {
+        let tele = Telemetry::recording(TimeDomain::Wall);
+        let events = vec![ev(1, 2, 3, Cp::Execute, Cp::Error, 0.5)];
+        record_cp_timeline(&tele, &events, Time::new(1.0));
+        let snap = tele.snapshot();
+        assert!(snap.events.iter().any(
+            |e| matches!(e, TimelineEvent::Instant { name, .. } if name == "fault:detectable")
+        ));
+    }
+
+    #[test]
+    fn disabled_handle_is_noop() {
+        let tele = Telemetry::off();
+        record_cp_timeline(
+            &tele,
+            &[ev(1, 0, 0, Cp::Ready, Cp::Execute, 0.0)],
+            Time::new(1.0),
+        );
+        assert!(tele.snapshot().events.is_empty());
+    }
+}

@@ -4,8 +4,11 @@
 //! configuration.
 
 use ftbarrier_mp::channel::ChannelFaults;
-use ftbarrier_mp::mb_sim::{run, CrashPlan, FaultPlan, PartitionPlan, SimMbConfig};
+use ftbarrier_mp::mb_sim::{
+    run, run_with_telemetry, CrashPlan, FaultPlan, PartitionPlan, SimMbConfig,
+};
 use ftbarrier_mp::simnet::{LatencyModel, LinkConfig};
+use ftbarrier_telemetry::{Telemetry, TimeDomain};
 
 fn lossy(loss: f64) -> LinkConfig {
     LinkConfig {
@@ -268,6 +271,43 @@ fn same_seed_is_byte_identical_different_seed_differs() {
         a.trace, c.trace,
         "a different seed must take a different run"
     );
+}
+
+#[test]
+fn telemetry_recording_leaves_replay_byte_identical() {
+    // The network counters and the post-run timeline replay are pure
+    // observers: a recording handle must not move a single virtual-time
+    // event relative to the plain run.
+    let cfg = SimMbConfig {
+        n: 4,
+        target_phases: 10,
+        seed: 1234,
+        link: lossy(0.25),
+        plan: FaultPlan {
+            poisons: vec![(3.0, 1)],
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let off = run(cfg.clone());
+    let tele = Telemetry::recording(TimeDomain::Virtual);
+    let on = run_with_telemetry(cfg, &tele);
+    assert_eq!(off.trace, on.trace, "telemetry perturbed the replay");
+    assert_eq!(off.messages_sent, on.messages_sent);
+    assert_eq!(off.instance_counts, on.instance_counts);
+    assert_eq!(off.virtual_elapsed, on.virtual_elapsed);
+    assert_eq!(off.events_processed, on.events_processed);
+    assert_eq!(off.net, on.net);
+    let snap = tele.snapshot();
+    assert!(!snap.events.is_empty(), "timeline was recorded");
+    // The mirrored counters agree with the report's own accounting.
+    let sent: u64 = (0..4)
+        .map(|p| {
+            snap.metrics
+                .counter("mb_messages_sent_total", &[("pid", &p.to_string())])
+        })
+        .sum();
+    assert_eq!(sent, on.messages_sent.iter().sum::<u64>());
 }
 
 #[test]

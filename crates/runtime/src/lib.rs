@@ -36,4 +36,4 @@ pub mod word;
 pub use barrier::{BarrierError, FtBarrier, FtBarrierBuilder, Participant, PhaseOutcome};
 pub use baseline::{CentralBarrier, TreeBarrier};
 pub use policy::FailurePolicy;
-pub use scope::{run_phases, PhaseCtx, RunSummary};
+pub use scope::{run_phases, run_phases_instrumented, PhaseCtx, RunSummary};

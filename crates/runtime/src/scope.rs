@@ -7,7 +7,9 @@
 
 use crate::barrier::{BarrierError, FtBarrierBuilder, PhaseOutcome};
 use crate::policy::FailurePolicy;
+use ftbarrier_telemetry::Telemetry;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
 
 /// Everything a phase body gets to see.
 #[derive(Debug, Clone, Copy)]
@@ -48,16 +50,44 @@ pub fn run_phases<F>(
 where
     F: Fn(&PhaseCtx) -> Result<(), ()> + Sync,
 {
+    run_phases_instrumented(n, phases, policy, &Telemetry::off(), body)
+}
+
+/// [`run_phases`] with wall-clock observability: each worker gets a
+/// `worker <id>` track with one span per phase attempt (start of the body
+/// to the barrier verdict, `outcome` = `advance`/`repeat`), and attempt
+/// durations feed a `runtime_phase_duration` histogram. Timestamps are
+/// seconds since the run started ([`ftbarrier_telemetry::TimeDomain::Wall`]).
+/// With a disabled handle this is exactly [`run_phases`] — no clock reads,
+/// no recording.
+pub fn run_phases_instrumented<F>(
+    n: usize,
+    phases: u64,
+    policy: FailurePolicy,
+    telemetry: &Telemetry,
+    body: F,
+) -> Result<RunSummary, BarrierError>
+where
+    F: Fn(&PhaseCtx) -> Result<(), ()> + Sync,
+{
     assert!(n >= 1);
     let (_handle, participants) = FtBarrierBuilder::new(n).policy(policy).build();
     let repeats = AtomicU64::new(0);
     let body = &body;
     let repeats_ref = &repeats;
+    let started = Instant::now();
 
     let result: Result<(), BarrierError> = std::thread::scope(|scope| {
         let mut joins = Vec::with_capacity(n);
         for mut p in participants {
+            let telemetry = telemetry.clone();
             joins.push(scope.spawn(move || -> Result<(), BarrierError> {
+                let enabled = telemetry.is_enabled();
+                let track = if enabled {
+                    telemetry.track(&format!("worker {}", p.id()))
+                } else {
+                    ftbarrier_telemetry::TrackId::NONE
+                };
                 let mut attempt: u32 = 1;
                 while p.phase() < phases {
                     let ctx = PhaseCtx {
@@ -66,18 +96,47 @@ where
                         phase: p.phase(),
                         attempt,
                     };
+                    let t_start = if enabled {
+                        started.elapsed().as_secs_f64()
+                    } else {
+                        0.0
+                    };
                     let verdict = body(&ctx);
                     let outcome = match verdict {
                         Ok(()) => p.arrive()?,
                         Err(()) => p.arrive_failed()?,
                     };
-                    match outcome {
-                        PhaseOutcome::Advance { .. } => attempt = 1,
-                        PhaseOutcome::Repeat { .. } => {
-                            attempt += 1;
-                            if p.id() == 0 {
-                                repeats_ref.fetch_add(1, Ordering::Relaxed);
-                            }
+                    let advanced = matches!(outcome, PhaseOutcome::Advance { .. });
+                    if enabled {
+                        let t_end = started.elapsed().as_secs_f64().max(t_start);
+                        let label = if advanced { "advance" } else { "repeat" };
+                        telemetry.span_with(
+                            track,
+                            &format!("phase {}", ctx.phase),
+                            t_start,
+                            t_end,
+                            &[("attempt", &attempt.to_string()), ("outcome", label)],
+                        );
+                        telemetry.observe(
+                            "runtime_phase_duration",
+                            &[("outcome", label)],
+                            t_end - t_start,
+                        );
+                        if verdict.is_err() {
+                            telemetry.instant_with(
+                                track,
+                                "fault:detectable",
+                                t_end,
+                                &[("phase", &ctx.phase.to_string())],
+                            );
+                        }
+                    }
+                    if advanced {
+                        attempt = 1;
+                    } else {
+                        attempt += 1;
+                        if p.id() == 0 {
+                            repeats_ref.fetch_add(1, Ordering::Relaxed);
                         }
                     }
                 }
@@ -165,6 +224,73 @@ mod tests {
     fn single_worker_trivial() {
         let summary = run_phases(1, 3, FailurePolicy::Tolerate, |_| Ok(())).unwrap();
         assert_eq!(summary.phases, 3);
+    }
+
+    #[test]
+    fn instrumented_run_records_spans_and_histograms() {
+        use ftbarrier_telemetry::{TimeDomain, TimelineEvent};
+        let tele = ftbarrier_telemetry::Telemetry::recording(TimeDomain::Wall);
+        let summary = run_phases_instrumented(3, 8, FailurePolicy::Tolerate, &tele, |ctx| {
+            // One detectable fault: worker 2 fails its first attempt of phase 3.
+            if ctx.worker == 2 && ctx.phase == 3 && ctx.attempt == 1 {
+                Err(())
+            } else {
+                Ok(())
+            }
+        })
+        .unwrap();
+        assert_eq!(summary.phases, 8);
+        assert_eq!(summary.repeats, 1);
+        let snap = tele.snapshot();
+        assert_eq!(snap.domain, TimeDomain::Wall);
+        // One track per worker, interned from worker threads.
+        let mut tracks = snap.tracks.clone();
+        tracks.sort();
+        assert_eq!(tracks, vec!["worker 0", "worker 1", "worker 2"]);
+        // 8 phases × 3 workers, plus 3 repeat attempts for phase 3.
+        let spans = snap
+            .events
+            .iter()
+            .filter(|e| matches!(e, TimelineEvent::Span { .. }))
+            .count();
+        assert_eq!(spans, 27);
+        assert!(snap.events.iter().any(
+            |e| matches!(e, TimelineEvent::Instant { name, .. } if name == "fault:detectable")
+        ));
+        let adv = snap
+            .metrics
+            .histogram("runtime_phase_duration", &[("outcome", "advance")])
+            .expect("advance histogram");
+        assert_eq!(adv.count(), 24);
+        assert!(adv.min() >= 0.0);
+        assert_eq!(
+            snap.metrics
+                .histogram("runtime_phase_duration", &[("outcome", "repeat")])
+                .map(|h| h.count()),
+            Some(3)
+        );
+        // Per-track timestamps are monotone in sorted order.
+        let sorted = snap.sorted_events();
+        for pair in sorted.windows(2) {
+            if pair[0].track() == pair[1].track() {
+                assert!(pair[0].start() <= pair[1].start());
+            }
+        }
+    }
+
+    #[test]
+    fn instrumented_matches_plain_summary() {
+        let body = |ctx: &PhaseCtx| {
+            if ctx.worker == (ctx.phase as usize % 2) && ctx.attempt == 1 {
+                Err(())
+            } else {
+                Ok(())
+            }
+        };
+        let tele = ftbarrier_telemetry::Telemetry::recording(ftbarrier_telemetry::TimeDomain::Wall);
+        let plain = run_phases(2, 6, FailurePolicy::Tolerate, body).unwrap();
+        let inst = run_phases_instrumented(2, 6, FailurePolicy::Tolerate, &tele, body).unwrap();
+        assert_eq!(plain, inst);
     }
 
     #[test]
