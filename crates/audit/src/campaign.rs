@@ -1,0 +1,339 @@
+//! The corruption campaign: exhaustive and seeded-sampled stabilization
+//! audits over a program's corruption closure.
+//!
+//! **Exhaustive** (small instances): enumerate the *entire* corruption
+//! closure (the cartesian product of per-process domains, see
+//! [`crate::domains`]), compute the fault-free reachable set from the
+//! initial state (the legal states), and verify via backward BFS that every
+//! closure state can reach a legal state — with per-state stabilization
+//! distances and a deadlock/livelock classification of anything stuck.
+//!
+//! **Sampled** (large instances): draw ≥ 10⁴ seeded corrupted start states,
+//! run each under the deterministically weakly-fair round-robin scheduler,
+//! and require convergence to a recurring legal marker within a bounded
+//! number of fair rounds (one round ≈ `num_processes` interleaving steps).
+
+use ftbarrier_gcs::{
+    ChoicePolicy, Explorer, Interleaving, InterleavingConfig, NullMonitor, Protocol, SimRng,
+    StabilizationReport, StuckKind,
+};
+use std::collections::HashSet;
+use std::hash::Hash;
+
+/// RNG streams sampled per nondeterministic statement during exhaustive
+/// exploration (covers the `any k : …` choices of CB3/CB4; deterministic
+/// programs need only 1, extra streams only add duplicate edges).
+pub const NONDET_SAMPLES: u32 = 4;
+
+/// A passed exhaustive audit.
+#[derive(Debug)]
+pub struct ExhaustiveOutcome<S> {
+    /// Size of the corruption closure (cartesian product of the domains).
+    pub universe: usize,
+    /// Fault-free reachable (legal) states — the audit's goal set.
+    pub legal: usize,
+    /// Distances and (empty) stuck classification.
+    pub report: StabilizationReport<S>,
+}
+
+/// Why an exhaustive audit failed.
+#[derive(Debug)]
+pub enum ExhaustiveFailure<S> {
+    /// The fault-free reachable set overflowed the state limit; the audit
+    /// has no trustworthy goal set and proves nothing.
+    Truncated { limit: usize, explored: usize },
+    /// The closure was not closed under program transitions (a domain
+    /// modeling bug: some statement writes a value outside the domain).
+    NotClosed { state: Vec<S>, successor: Vec<S> },
+    /// Corrupted states from which no execution reaches a legal state.
+    Stuck { stuck: Vec<(Vec<S>, StuckKind)> },
+}
+
+impl<S: std::fmt::Debug> std::fmt::Display for ExhaustiveFailure<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExhaustiveFailure::Truncated { limit, explored } => write!(
+                f,
+                "legal-set exploration truncated at {limit} ({explored} states)"
+            ),
+            ExhaustiveFailure::NotClosed { state, successor } => write!(
+                f,
+                "corruption closure not closed: {state:?} steps to {successor:?}"
+            ),
+            ExhaustiveFailure::Stuck { stuck } => write!(
+                f,
+                "{} corrupted states cannot stabilize (first: {:?} [{:?}])",
+                stuck.len(),
+                stuck[0].0,
+                stuck[0].1
+            ),
+        }
+    }
+}
+
+/// Exhaustively audit stabilization of `protocol` over the corruption
+/// closure spanned by `domains`. The goal is membership in the fault-free
+/// reachable set from the program's initial state — the strongest recurring
+/// notion of "the barrier has converged" that needs no per-program
+/// predicate.
+///
+/// **Caveat (a finding of this audit):** this goal is only correct when the
+/// fault-free reachable set equals the program's legal (invariant) set. The
+/// sweep program violates that: its fault-free run visits one fixed
+/// correlation of `sn` against `ph` (each phase advance moves the root's
+/// `sn` by the number of control sweeps), and a corrupted state in a
+/// different `(sn, ph)` coset recovers to a perfectly healthy but
+/// *shifted* orbit this goal never accepts — a false livelock verdict on
+/// most of the closure. Audit such programs with
+/// [`exhaustive_with_goal`] and a recurring legal-operation marker instead
+/// (see `sweep_legal_set_is_not_the_invariant_set`).
+pub fn exhaustive<P: Protocol>(
+    protocol: &P,
+    domains: &[Vec<P::State>],
+    limit: usize,
+) -> Result<ExhaustiveOutcome<P::State>, ExhaustiveFailure<P::State>>
+where
+    P::State: Hash + Eq,
+{
+    let explorer = Explorer::new(protocol).with_nondet_samples(NONDET_SAMPLES);
+    let legal_states = explorer
+        .reachable(vec![protocol.initial_state()], limit)
+        .require_complete()
+        .map_err(|e| match e {
+            ftbarrier_gcs::CheckFailure::Truncated { limit, explored } => {
+                ExhaustiveFailure::Truncated { limit, explored }
+            }
+            ftbarrier_gcs::CheckFailure::Violation(_) => unreachable!("no invariant was checked"),
+        })?;
+    let legal: HashSet<Vec<P::State>> = legal_states.states.into_iter().collect();
+    exhaustive_with_goal(protocol, domains, |s| legal.contains(s))
+}
+
+/// Exhaustively audit stabilization toward an explicit goal predicate — a
+/// *recurring* marker of legal operation (e.g. the sweep's quiescent
+/// inter-phase point). Use this instead of [`exhaustive`] when the
+/// fault-free reachable set is narrower than the program's legal set.
+pub fn exhaustive_with_goal<P: Protocol>(
+    protocol: &P,
+    domains: &[Vec<P::State>],
+    goal: impl Fn(&[P::State]) -> bool,
+) -> Result<ExhaustiveOutcome<P::State>, ExhaustiveFailure<P::State>>
+where
+    P::State: Hash + Eq,
+{
+    let explorer = Explorer::new(protocol).with_nondet_samples(NONDET_SAMPLES);
+    let universe = ftbarrier_gcs::universe(domains);
+    let legal = universe.iter().filter(|s| goal(s)).count();
+    let report = explorer
+        .stabilization(&universe, |s| goal(s))
+        .map_err(|nc| ExhaustiveFailure::NotClosed {
+            state: nc.state,
+            successor: nc.successor,
+        })?;
+    if !report.is_stabilizing() {
+        return Err(ExhaustiveFailure::Stuck {
+            stuck: report.stuck,
+        });
+    }
+    Ok(ExhaustiveOutcome {
+        universe: universe.len(),
+        legal,
+        report,
+    })
+}
+
+/// Configuration of a sampled audit.
+#[derive(Debug, Clone, Copy)]
+pub struct SampleConfig {
+    /// Corrupted start states to draw.
+    pub samples: u64,
+    /// Interleaving-step budget per start (the fair-round bound times
+    /// `num_processes`).
+    pub max_steps: u64,
+    /// Base seed; each sample derives its own stream.
+    pub seed: u64,
+}
+
+/// A passed sampled audit, with the per-start convergence costs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SampledOutcome {
+    pub samples: u64,
+    /// Interleaving steps to convergence, one entry per start.
+    pub steps: Vec<u64>,
+    /// Fair rounds (steps / `num_processes`, rounded up) — worst observed.
+    pub max_rounds: u64,
+    /// Mean fair rounds over all starts.
+    pub mean_rounds: f64,
+}
+
+/// A sampled start that failed to converge within the round budget: the
+/// replayable seed and the exact corrupted start state.
+#[derive(Debug)]
+pub struct SampleFailure<S> {
+    pub seed: u64,
+    pub start: Vec<S>,
+    pub budget: u64,
+}
+
+/// Derive the per-sample seed from the base seed (splitmix-style stir so
+/// neighbouring indices land on distant streams).
+pub fn sample_seed(base: u64, index: u64) -> u64 {
+    let mut z = base ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Sampled stabilization audit: from each seeded corrupted start, run under
+/// the round-robin (deterministically weakly fair) scheduler until `goal`
+/// holds. Fails on the first start that exhausts its step budget.
+pub fn sampled<P: Protocol>(
+    protocol: &P,
+    cfg: SampleConfig,
+    goal: impl Fn(&[P::State]) -> bool,
+) -> Result<SampledOutcome, SampleFailure<P::State>> {
+    let n = protocol.num_processes() as u64;
+    let mut steps = Vec::with_capacity(cfg.samples as usize);
+    for i in 0..cfg.samples {
+        let seed = sample_seed(cfg.seed, i);
+        let mut rng = SimRng::seed_from_u64(seed);
+        let start: Vec<P::State> = (0..protocol.num_processes())
+            .map(|pid| protocol.arbitrary_state(pid, &mut rng))
+            .collect();
+        let mut exec = Interleaving::from_state(
+            protocol,
+            InterleavingConfig {
+                seed,
+                policy: ChoicePolicy::RoundRobin,
+            },
+            start.clone(),
+        );
+        match exec.run_until(cfg.max_steps, &mut NullMonitor, &goal) {
+            Some(done) => steps.push(done),
+            None => {
+                return Err(SampleFailure {
+                    seed,
+                    start,
+                    budget: cfg.max_steps,
+                })
+            }
+        }
+    }
+    let rounds = |s: u64| s.div_ceil(n);
+    let max_rounds = steps.iter().copied().map(rounds).max().unwrap_or(0);
+    let mean_rounds = if steps.is_empty() {
+        0.0
+    } else {
+        steps.iter().map(|&s| rounds(s) as f64).sum::<f64>() / steps.len() as f64
+    };
+    Ok(SampledOutcome {
+        samples: cfg.samples,
+        steps,
+        max_rounds,
+        mean_rounds,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domains;
+    use ftbarrier_core::cb::Cb;
+    use ftbarrier_core::cp::Cp;
+    use ftbarrier_core::token_ring::TokenRing;
+
+    #[test]
+    fn token_ring_exhaustive_small() {
+        let ring = TokenRing::new(3); // k = 4 → universe 6³ = 216
+        let out = exhaustive(&ring, &domains::token_ring_domains(&ring), 100_000)
+            .expect("the ring stabilizes from its whole closure");
+        assert_eq!(out.universe, 6 * 6 * 6);
+        assert!(out.legal >= 3, "legal set covers the token positions");
+        assert!(out.report.max_distance() >= 1);
+    }
+
+    #[test]
+    fn cb_exhaustive_small() {
+        let cb = Cb::new(2, 2); // universe (4·2·2)² = 256
+        let out = exhaustive(&cb, &domains::cb_domains(&cb), 100_000)
+            .expect("CB stabilizes from its whole closure");
+        assert_eq!(out.universe, 16 * 16);
+    }
+
+    /// Pinned audit finding: the sweep's fault-free reachable set is a
+    /// proper subset of its legal set. Each phase advance moves the root's
+    /// `sn` by the three control sweeps of a phase, so the fault-free run
+    /// occupies one coset of `⟨(3, 1)⟩ ≤ Z_L × Z_phases`; with `L = 4`
+    /// (even), other cosets exist, and a corrupted state there recovers to
+    /// a healthy but `sn`-shifted orbit. The reachable-set goal calls that
+    /// a livelock; the quiescent-marker goal correctly accepts it.
+    #[test]
+    fn sweep_legal_set_is_not_the_invariant_set() {
+        use ftbarrier_core::sweep::SweepBarrier;
+        use ftbarrier_topology::SweepDag;
+        let rb = SweepBarrier::new(SweepDag::ring(2).unwrap(), 2)
+            .try_with_sn_domain(4)
+            .unwrap();
+        let doms = domains::sweep_domains(&rb);
+        match exhaustive(&rb, &doms, 1_000_000) {
+            Err(ExhaustiveFailure::Stuck { stuck }) => {
+                assert!(!stuck.is_empty());
+                assert!(
+                    stuck
+                        .iter()
+                        .any(|(_, k)| *k == ftbarrier_gcs::StuckKind::Livelock),
+                    "decorrelated cosets cycle forever outside the reachable set"
+                );
+            }
+            other => panic!("expected the false-livelock verdict, got {other:?}"),
+        }
+        let out = exhaustive_with_goal(&rb, &doms, domains::sweep_quiescent)
+            .expect("every corrupted start reaches the quiescent marker");
+        // Per-position domain: (4 + 2) sn × 5 cp × 2 ph × 2 done = 120.
+        assert_eq!(out.universe, 120 * 120);
+        assert!(out.legal >= 4, "one quiescent state per (sn, ph) pair");
+    }
+
+    #[test]
+    fn sampled_token_ring_converges_in_bounded_rounds() {
+        let ring = TokenRing::new(8);
+        let out = sampled(
+            &ring,
+            SampleConfig {
+                samples: 300,
+                max_steps: 50_000,
+                seed: 0xA0D1,
+            },
+            |g| ring.count_tokens(g) == 1 && g.iter().all(|s| s.is_valid()),
+        )
+        .expect("every sampled start stabilizes");
+        assert_eq!(out.steps.len(), 300);
+        assert!(out.max_rounds >= 1);
+        assert!(out.mean_rounds <= out.max_rounds as f64);
+    }
+
+    #[test]
+    fn sampled_cb_reaches_start_marker() {
+        let cb = Cb::new(6, 4);
+        let out = sampled(
+            &cb,
+            SampleConfig {
+                samples: 200,
+                max_steps: 100_000,
+                seed: 0xC0FFEE,
+            },
+            |g| g.iter().all(|s| s.cp == Cp::Ready && s.ph == g[0].ph),
+        )
+        .expect("CB reaches an all-ready start state from every start");
+        assert_eq!(out.samples, 200);
+    }
+
+    #[test]
+    fn sample_seeds_are_distinct_streams() {
+        let a = sample_seed(7, 0);
+        let b = sample_seed(7, 1);
+        let c = sample_seed(8, 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,124 @@
+//! Corruption closures: the per-process variable domains of each program.
+//!
+//! An undetectable fault writes an *arbitrary domain value* into a process's
+//! variables (§2: "the state of a process may be corrupted to an arbitrary
+//! value"). The corruption closure of a program is therefore the full
+//! cartesian product of its per-process domains — every global state any
+//! burst of undetectable faults can produce. The exhaustive campaign
+//! ([`crate::campaign::exhaustive`]) explores stabilization from *all* of
+//! these states; the sampled campaign draws seeded random members for
+//! instances too large to enumerate.
+
+use ftbarrier_core::cb::{Cb, CbState};
+use ftbarrier_core::cp::Cp;
+use ftbarrier_core::sweep::{PosState, SweepBarrier};
+use ftbarrier_core::token_ring::TokenRing;
+use ftbarrier_core::Sn;
+use ftbarrier_gcs::{Protocol, Time};
+
+/// All values of one sequence-number variable: `{⊥, ⊤} ∪ {0..k-1}`.
+pub fn sn_domain_values(k: u32) -> Vec<Sn> {
+    let mut values = vec![Sn::Bot, Sn::Top];
+    values.extend((0..k).map(Sn::Val));
+    values
+}
+
+/// Per-process domains of the token ring: each process holds one `sn` over
+/// `{⊥, ⊤} ∪ {0..K-1}`.
+pub fn token_ring_domains(ring: &TokenRing) -> Vec<Vec<Sn>> {
+    vec![sn_domain_values(ring.k); ring.n]
+}
+
+/// Per-process domains of program CB: `cp ∈ CB_DOMAIN × ph ∈ 0..n_phases ×
+/// done ∈ {false, true}`.
+pub fn cb_domains(cb: &Cb) -> Vec<Vec<CbState>> {
+    let mut domain = Vec::new();
+    for &cp in &Cp::CB_DOMAIN {
+        for ph in 0..cb.n_phases {
+            for done in [false, true] {
+                domain.push(CbState { cp, ph, done });
+            }
+        }
+    }
+    vec![domain; cb.n_processes]
+}
+
+/// Per-position domains of the sweep program: `sn ∈ {⊥, ⊤} ∪ {0..L-1} ×
+/// cp ∈ RB_DOMAIN × ph ∈ 0..n_phases × done ∈ {false, true}`.
+///
+/// The `post` bit is pinned to `true`: for non-fuzzy programs it is inert
+/// (no action ever reads or clears it), so including both values would
+/// double every position's domain without adding a single distinct
+/// behaviour. Fuzzy programs (`post_work_cost > 0`) are rejected — their
+/// audit needs the full bit and is not wired up here.
+pub fn sweep_domains(rb: &SweepBarrier) -> Vec<Vec<PosState>> {
+    assert!(
+        rb.post_work_cost == Time::ZERO,
+        "corruption closure for fuzzy sweep programs is not modeled"
+    );
+    let mut domain = Vec::new();
+    for sn in sn_domain_values(rb.sn_domain) {
+        for &cp in &Cp::RB_DOMAIN {
+            for ph in 0..rb.n_phases {
+                for done in [false, true] {
+                    domain.push(PosState {
+                        sn,
+                        cp,
+                        ph,
+                        done,
+                        post: true,
+                    });
+                }
+            }
+        }
+    }
+    vec![domain; rb.num_processes()]
+}
+
+/// The sweep program's recurring legal-operation marker: the quiescent
+/// inter-phase point where every position is `ready` at the same phase with
+/// the same ordinary sequence number. A fault-free run passes through it
+/// once per phase, in *every* `(sn, ph)` correlation coset — which is
+/// exactly why it (and not membership in the fault-free reachable set) is
+/// the right exhaustive-audit goal for the sweep; see
+/// [`crate::campaign::exhaustive`].
+pub fn sweep_quiescent(g: &[PosState]) -> bool {
+    g[0].sn.is_valid()
+        && g.iter()
+            .all(|s| s.cp == Cp::Ready && s.ph == g[0].ph && s.sn == g[0].sn)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftbarrier_topology::SweepDag;
+
+    #[test]
+    fn token_ring_domain_counts() {
+        let ring = TokenRing::new(3); // k = 4
+        let d = token_ring_domains(&ring);
+        assert_eq!(d.len(), 3);
+        assert_eq!(d[0].len(), 4 + 2);
+        assert!(d[0].contains(&Sn::Bot) && d[0].contains(&Sn::Top));
+    }
+
+    #[test]
+    fn cb_domain_counts() {
+        let cb = Cb::new(2, 3);
+        let d = cb_domains(&cb);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d[0].len(), 4 * 3 * 2);
+    }
+
+    #[test]
+    fn sweep_domain_counts_and_post_pinned() {
+        let rb = SweepBarrier::new(SweepDag::ring(2).unwrap(), 2)
+            .try_with_sn_domain(3)
+            .unwrap();
+        let d = sweep_domains(&rb);
+        assert_eq!(d.len(), 2);
+        // (3 + 2) sn × 5 cp × 2 ph × 2 done.
+        assert_eq!(d[0].len(), 5 * 5 * 2 * 2);
+        assert!(d[0].iter().all(|s| s.post));
+    }
+}

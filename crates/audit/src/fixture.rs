@@ -1,0 +1,99 @@
+//! A deliberately broken protocol to keep the shrinker honest.
+//!
+//! [`BrokenRing`] is the paper's token ring with T5 (`sn.0 = ⊤ → sn.0 := 0`)
+//! "forgotten": the root never resets a ⊤ sequence number back into the
+//! ordinary domain, so the ⊤ repair wave has nowhere to terminate. Once
+//! every process holds ⊤ (or a state that inevitably leads there), no
+//! action is enabled — the ring deadlocks instead of stabilizing.
+//!
+//! The exhaustive campaign must flag this, and the shrinker must reduce any
+//! failing run to the tiny witness: a 2-process ring where two corruption
+//! events (`sn.0 := ⊥`, `sn.1 := ⊤`) force the ⊤ wave with no reset.
+
+use ftbarrier_core::token_ring::TokenRing;
+use ftbarrier_core::Sn;
+use ftbarrier_gcs::{ActionId, Pid, Protocol, ReaderSet, SimRng, Time};
+
+/// The ring's T5 action index (see `ftbarrier_core::token_ring`).
+const T5: ActionId = 4;
+
+/// A token ring that forgets to reset `sn` on ⊤ (T5 is never enabled).
+#[derive(Debug, Clone)]
+pub struct BrokenRing {
+    ring: TokenRing,
+}
+
+impl BrokenRing {
+    pub fn new(ring: TokenRing) -> BrokenRing {
+        BrokenRing { ring }
+    }
+
+    pub fn ring(&self) -> &TokenRing {
+        &self.ring
+    }
+}
+
+impl Protocol for BrokenRing {
+    type State = Sn;
+
+    fn num_processes(&self) -> usize {
+        self.ring.num_processes()
+    }
+
+    fn num_actions(&self, pid: Pid) -> usize {
+        self.ring.num_actions(pid)
+    }
+
+    fn action_name(&self, pid: Pid, action: ActionId) -> &'static str {
+        self.ring.action_name(pid, action)
+    }
+
+    fn enabled(&self, g: &[Sn], pid: Pid, action: ActionId) -> bool {
+        // The injected bug: the reset action is missing.
+        action != T5 && self.ring.enabled(g, pid, action)
+    }
+
+    fn execute(&self, g: &[Sn], pid: Pid, action: ActionId, rng: &mut SimRng) -> Sn {
+        self.ring.execute(g, pid, action, rng)
+    }
+
+    fn cost(&self, pid: Pid, action: ActionId) -> Time {
+        self.ring.cost(pid, action)
+    }
+
+    fn initial_state(&self) -> Vec<Sn> {
+        self.ring.initial_state()
+    }
+
+    fn arbitrary_state(&self, pid: Pid, rng: &mut SimRng) -> Sn {
+        self.ring.arbitrary_state(pid, rng)
+    }
+
+    fn readers_of(&self, pid: Pid) -> ReaderSet {
+        self.ring.readers_of(pid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn t5_is_never_enabled() {
+        let broken = BrokenRing::new(TokenRing::new(3));
+        let g = vec![Sn::Top, Sn::Val(0), Sn::Val(0)];
+        assert!(broken.ring().enabled(&g, 0, T5), "the healthy ring resets");
+        assert!(!broken.enabled(&g, 0, T5), "the broken ring forgot to");
+    }
+
+    #[test]
+    fn all_top_is_a_deadlock() {
+        let broken = BrokenRing::new(TokenRing::new(3));
+        let g = vec![Sn::Top; 3];
+        for pid in 0..3 {
+            for action in 0..broken.num_actions(pid) {
+                assert!(!broken.enabled(&g, pid, action));
+            }
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! Adversarial undetectable-fault audit.
+//!
+//! The paper's central claim is *stabilization*: from **any** state — in
+//! particular any state an undetectable fault can produce — the barrier
+//! programs converge back to legal operation. This crate audits that claim
+//! adversarially across all three backends of the repo:
+//!
+//! * [`campaign`] — exhaustive and seeded-sampled audits over the
+//!   *corruption closure* of the guarded-command programs (token ring, CB,
+//!   sweep barriers over DAGs): every assignment of `sn`/`cp`/`ph` within
+//!   domain for small instances, ≥ 10⁴ seeded corrupted starts for large
+//!   ones, with convergence required within bounded fair rounds and stuck
+//!   states classified as deadlock or livelock.
+//! * [`mb`] — the same adversary through the simulated-network MB backend:
+//!   scrambled states, scrambled local neighbor copies, and in-flight `sn`
+//!   forged beyond the `L > 2N+1` window.
+//! * [`rt`] — a live corruptor thread scribbling over the wall-clock
+//!   barrier's shared words while a phase loop runs.
+//! * [`shrink`] — any failure minimizes to a replayable counterexample
+//!   (smallest instance, shortest event sequence) serialized by
+//!   [`report`] as JSON under `results/`.
+//! * [`fixture`] — a deliberately broken ring that keeps the shrinker
+//!   honest end to end.
+//!
+//! `repro audit` drives the whole suite; see DESIGN.md §6.
+
+pub mod campaign;
+pub mod domains;
+pub mod fixture;
+pub mod mb;
+pub mod report;
+pub mod rt;
+pub mod shrink;
+
+pub use campaign::{
+    exhaustive, exhaustive_with_goal, sample_seed, sampled, ExhaustiveFailure, ExhaustiveOutcome,
+    SampleConfig, SampleFailure, SampledOutcome, NONDET_SAMPLES,
+};
+pub use domains::{
+    cb_domains, sn_domain_values, sweep_domains, sweep_quiescent, token_ring_domains,
+};
+pub use fixture::BrokenRing;
+pub use mb::{MbCampaignConfig, MbCampaignFailure, MbCampaignOutcome};
+pub use report::{sample_failure_to_json, shrunk_to_json};
+pub use rt::{RtCampaignConfig, RtCampaignOutcome};
+pub use shrink::{replay, shrink_family, verify_stuck, Event, Shrunk};

@@ -1,0 +1,204 @@
+//! Corruption campaign over the simulated-network MB backend.
+//!
+//! The gcs campaigns ([`crate::campaign`]) audit the shared-memory programs;
+//! this module drives the same adversary through the message-passing program
+//! MB of §5: per seeded run, a deterministic fault plan mixes the three
+//! *undetectable* injection classes —
+//!
+//! * `scrambles` — a process's whole state becomes arbitrary,
+//! * `copy_scrambles` — only the cached neighbor copy is corrupted (a
+//!   scrambled receive buffer),
+//! * `forges` — the `sn` of every in-flight message on a link is rewritten
+//!   to an arbitrary `u32`, possibly far beyond the `L > 2N+1` window —
+//!
+//! and the run must still reach its phase target (stabilization = renewed
+//! progress; the interim may violate the specification, which is exactly the
+//! paper's nonmasking guarantee). Every run is a pure function of its
+//! config, so a failure is replayable from the serialized config alone.
+
+use crate::campaign::sample_seed;
+use crate::report::escape;
+use ftbarrier_gcs::SimRng;
+use ftbarrier_mp::mb_sim::{run, FaultPlan, SimMbConfig};
+use std::fmt::Write as _;
+
+/// Campaign shape: `runs` seeded runs of an `n`-process ring, each with
+/// `injections` undetectable faults spread over the injection window.
+#[derive(Debug, Clone, Copy)]
+pub struct MbCampaignConfig {
+    pub runs: u64,
+    pub n: usize,
+    pub injections: usize,
+    pub base_seed: u64,
+}
+
+impl MbCampaignConfig {
+    /// The full acceptance campaign (hundreds of runs, several injections
+    /// each — thousands of undetectable faults overall).
+    pub fn full() -> MbCampaignConfig {
+        MbCampaignConfig {
+            runs: 300,
+            n: 16,
+            injections: 6,
+            base_seed: 0x5EED_BA5E,
+        }
+    }
+
+    /// A CI-sized smoke campaign.
+    pub fn quick() -> MbCampaignConfig {
+        MbCampaignConfig {
+            runs: 20,
+            n: 4,
+            injections: 4,
+            base_seed: 0x5EED_BA5E,
+        }
+    }
+}
+
+/// A passed MB campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MbCampaignOutcome {
+    pub runs: u64,
+    /// Undetectable faults injected across all runs.
+    pub injections: u64,
+    /// Virtual time from the *last* injection to run completion, per run —
+    /// the stabilization span observable at this backend.
+    pub recovery_spans: Vec<f64>,
+}
+
+/// A run that failed to re-stabilize: the exact config replays it.
+#[derive(Debug, Clone)]
+pub struct MbCampaignFailure {
+    pub seed: u64,
+    pub config: SimMbConfig,
+    pub phases_completed: u64,
+}
+
+/// Build the deterministic fault plan of run `seed`: `injections`
+/// undetectable faults at distinct virtual times in `[1, 6)`, class and
+/// victim drawn from the seed's own stream.
+pub fn fault_plan(seed: u64, n: usize, injections: usize) -> FaultPlan {
+    let mut rng = SimRng::seed_from_u64(seed ^ 0xFA_17);
+    let mut plan = FaultPlan::default();
+    for i in 0..injections {
+        // Spread injections so each lands in a distinct phase window.
+        let t = 1.0 + i as f64 * 5.0 / injections.max(1) as f64 + 0.3 * rng.unit();
+        let victim = rng.below(n);
+        match rng.below(3) {
+            0 => plan.scrambles.push((t, victim)),
+            1 => plan.copy_scrambles.push((t, victim)),
+            _ => plan.forges.push((t, victim)),
+        }
+    }
+    plan
+}
+
+/// The config of run `index` within the campaign.
+pub fn run_config(cfg: MbCampaignConfig, index: u64) -> SimMbConfig {
+    let seed = sample_seed(cfg.base_seed, index);
+    SimMbConfig {
+        n: cfg.n,
+        target_phases: 16,
+        seed,
+        max_time: 5_000.0,
+        plan: fault_plan(seed, cfg.n, cfg.injections),
+        ..SimMbConfig::default()
+    }
+}
+
+/// Run the campaign; fails on the first run that exhausts its virtual-time
+/// budget without reaching the phase target.
+pub fn campaign(cfg: MbCampaignConfig) -> Result<MbCampaignOutcome, Box<MbCampaignFailure>> {
+    let mut injections = 0u64;
+    let mut recovery_spans = Vec::with_capacity(cfg.runs as usize);
+    for index in 0..cfg.runs {
+        let run_cfg = run_config(cfg, index);
+        run_cfg.validate().expect("campaign configs are in-domain");
+        let plan = &run_cfg.plan;
+        injections += (plan.scrambles.len() + plan.copy_scrambles.len() + plan.forges.len()) as u64;
+        let last_injection = plan
+            .scrambles
+            .iter()
+            .chain(&plan.copy_scrambles)
+            .chain(&plan.forges)
+            .map(|&(t, _)| t)
+            .fold(0.0f64, f64::max);
+        let report = run(run_cfg.clone());
+        if !report.reached_target {
+            return Err(Box::new(MbCampaignFailure {
+                seed: run_cfg.seed,
+                config: run_cfg,
+                phases_completed: report.phases_completed,
+            }));
+        }
+        recovery_spans.push((report.virtual_elapsed.as_f64() - last_injection).max(0.0));
+    }
+    Ok(MbCampaignOutcome {
+        runs: cfg.runs,
+        injections,
+        recovery_spans,
+    })
+}
+
+impl MbCampaignFailure {
+    /// Serialize the failing run for `results/` (replay: feed the scalar
+    /// fields back into `SimMbConfig` and re-run `mb_sim::run`).
+    pub fn to_json(&self) -> String {
+        let c = &self.config;
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"program\": \"simnet-mb\",");
+        let _ = writeln!(out, "  \"seed\": {},", self.seed);
+        let _ = writeln!(out, "  \"n\": {},", c.n);
+        let _ = writeln!(out, "  \"n_phases\": {},", c.n_phases);
+        let _ = writeln!(out, "  \"target_phases\": {},", c.target_phases);
+        let _ = writeln!(out, "  \"max_time\": {},", c.max_time);
+        let _ = writeln!(out, "  \"phases_completed\": {},", self.phases_completed);
+        let _ = writeln!(out, "  \"plan\": \"{}\"", escape(&format!("{:?}", c.plan)));
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftbarrier_mp::mb_sim::run_with_telemetry;
+    use ftbarrier_telemetry::{Telemetry, TimeDomain};
+
+    #[test]
+    fn quick_campaign_recovers_every_run() {
+        let out = campaign(MbCampaignConfig::quick()).unwrap_or_else(|f| {
+            panic!("MB run failed to re-stabilize:\n{}", f.to_json());
+        });
+        assert_eq!(out.runs, 20);
+        assert_eq!(out.injections, 20 * 4);
+        assert_eq!(out.recovery_spans.len(), 20);
+        assert!(out.recovery_spans.iter().all(|&s| s >= 0.0));
+    }
+
+    #[test]
+    fn fault_plans_are_deterministic_and_undetectable_only() {
+        let a = fault_plan(99, 8, 6);
+        let b = fault_plan(99, 8, 6);
+        assert_eq!(a, b);
+        assert_eq!(
+            a.scrambles.len() + a.copy_scrambles.len() + a.forges.len(),
+            6
+        );
+        assert!(a.poisons.is_empty(), "poisons are detectable — not ours");
+        assert!(a.crashes.is_empty() && a.partitions.is_empty());
+        assert_eq!(a.poison_rate, 0.0);
+    }
+
+    #[test]
+    fn campaign_run_is_byte_identical_with_telemetry_on() {
+        let cfg = run_config(MbCampaignConfig::quick(), 3);
+        let off = run(cfg.clone());
+        let tele = Telemetry::recording(TimeDomain::Virtual);
+        let on = run_with_telemetry(cfg, &tele);
+        assert_eq!(off.trace, on.trace, "telemetry perturbed the campaign");
+        assert_eq!(off.phases_completed, on.phases_completed);
+        assert!(!tele.snapshot().events.is_empty());
+    }
+}

@@ -1,0 +1,163 @@
+//! Replayable counterexample serialization (hand-rolled JSON — the build is
+//! fully offline, see `vendor/README.md`).
+//!
+//! The `repro audit` subcommand writes these under `results/` whenever a
+//! campaign fails, and CI uploads them as artifacts; a reader can feed the
+//! events back through [`crate::shrink::replay`] to reproduce the stuck
+//! state exactly.
+
+use crate::campaign::SampleFailure;
+use crate::shrink::{Event, Shrunk};
+use ftbarrier_gcs::{Protocol, StuckKind};
+use std::fmt::Write as _;
+
+/// Escape a string for a JSON literal.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Serialize a minimized counterexample. `program` names the audited
+/// protocol instance (e.g. `"broken-ring"`).
+pub fn shrunk_to_json<P: Protocol>(
+    program: &str,
+    protocol: &P,
+    domains: &[Vec<P::State>],
+    shrunk: &Shrunk<P::State>,
+) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"program\": \"{}\",", escape(program));
+    let _ = writeln!(out, "  \"n\": {},", shrunk.n);
+    let kind = match shrunk.kind {
+        StuckKind::Deadlock => "deadlock",
+        StuckKind::Livelock => "livelock",
+    };
+    let _ = writeln!(out, "  \"kind\": \"{kind}\",");
+    out.push_str("  \"events\": [\n");
+    for (i, event) in shrunk.events.iter().enumerate() {
+        let comma = if i + 1 < shrunk.events.len() { "," } else { "" };
+        match *event {
+            Event::Fault { pid, index } => {
+                let value = escape(&format!("{:?}", domains[pid][index]));
+                let _ = writeln!(
+                    out,
+                    "    {{\"type\": \"fault\", \"pid\": {pid}, \"index\": {index}, \
+                     \"value\": \"{value}\"}}{comma}"
+                );
+            }
+            Event::Action {
+                pid,
+                action,
+                sample,
+            } => {
+                let name = escape(protocol.action_name(pid, action));
+                let _ = writeln!(
+                    out,
+                    "    {{\"type\": \"action\", \"pid\": {pid}, \"action\": {action}, \
+                     \"sample\": {sample}, \"name\": \"{name}\"}}{comma}"
+                );
+            }
+        }
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"stuck\": [");
+    for (i, s) in shrunk.stuck.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "\"{}\"", escape(&format!("{s:?}")));
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+/// Serialize an unshrunk sampled failure (kept alongside the shrunk witness
+/// so the original failing seed stays reproducible).
+pub fn sample_failure_to_json<S: std::fmt::Debug>(
+    program: &str,
+    failure: &SampleFailure<S>,
+) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"program\": \"{}\",", escape(program));
+    let _ = writeln!(out, "  \"seed\": {},", failure.seed);
+    let _ = writeln!(out, "  \"budget_steps\": {},", failure.budget);
+    out.push_str("  \"start\": [");
+    for (i, s) in failure.start.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "\"{}\"", escape(&format!("{s:?}")));
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domains::token_ring_domains;
+    use crate::fixture::BrokenRing;
+    use crate::shrink::shrink_family;
+    use ftbarrier_core::token_ring::TokenRing;
+
+    #[test]
+    fn escapes_json_specials() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn shrunk_json_is_wellformed_and_replayable_by_eye() {
+        let family = |n: usize| {
+            let ring = TokenRing::new(n);
+            let domains = token_ring_domains(&ring);
+            (BrokenRing::new(ring), domains)
+        };
+        let shrunk = shrink_family(family, 2..=3, 1_000_000).expect("broken ring fails");
+        let (protocol, domains) = family(shrunk.n);
+        let json = shrunk_to_json("broken-ring", &protocol, &domains, &shrunk);
+        // Parseable by the vendored telemetry JSON reader.
+        let value = ftbarrier_telemetry::json::parse(&json).expect("well-formed JSON");
+        let obj = value.as_object().expect("top-level object");
+        assert_eq!(
+            obj.get("program").and_then(|v| v.as_str()),
+            Some("broken-ring")
+        );
+        assert_eq!(obj.get("n").and_then(|v| v.as_f64()), Some(2.0));
+        let events = obj.get("events").and_then(|v| v.as_array()).unwrap();
+        assert!(!events.is_empty() && events.len() <= 5);
+    }
+
+    #[test]
+    fn sample_failure_json_is_wellformed() {
+        let failure = SampleFailure {
+            seed: 42,
+            start: vec![ftbarrier_core::Sn::Bot, ftbarrier_core::Sn::Top],
+            budget: 1000,
+        };
+        let json = sample_failure_to_json("token-ring", &failure);
+        let value = ftbarrier_telemetry::json::parse(&json).expect("well-formed JSON");
+        assert_eq!(
+            value
+                .as_object()
+                .and_then(|o| o.get("seed"))
+                .and_then(|v| v.as_f64()),
+            Some(42.0)
+        );
+    }
+}

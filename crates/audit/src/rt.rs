@@ -1,0 +1,203 @@
+//! Corruption campaign over the wall-clock runtime barrier.
+//!
+//! A concurrent corruptor thread scribbles over the barrier's three shared
+//! word kinds (arrival slots, release, phase) while a phase loop is in
+//! flight, mixing the detectable and undetectable fault classes:
+//!
+//! * **ill-formed scribbles** — random raw values failing the checksum;
+//!   repaired from the shadow by the next reader;
+//! * **phase forgeries** — well-formed words with arbitrary phase numbers;
+//!   non-root participants transiently adopt them, the root's local copy is
+//!   authoritative;
+//! * **slot erasures** — well-formed words whose epoch is stale (0) or far
+//!   beyond anything the run reaches, overwriting a published arrival;
+//! * **release erasures** — well-formed words at epoch 0 (real epochs start
+//!   at 1), overwriting a published release before its waiters read it.
+//!
+//! The erasure classes are the ones that wedged the barrier permanently
+//! before re-assertion (see the `forged_*_erasure_does_not_wedge` and
+//! `reassert_unwedges_*` regression tests in `ftbarrier-runtime`): nothing
+//! ever re-published a forged-over word, so a waiter spinning for it
+//! starved. Participants now re-assert their pending publications while
+//! they wait, and the scoped driver drains the final release.
+//!
+//! Deliberately **excluded** adversary: forging an arrival or release with
+//! the victim's *live* epoch, repeatedly, tracking the run. A single such
+//! forgery is recovered (pinned by `forged_slot_resynchronizes_…`), but a
+//! sustained live-epoch forger can make outcome histories diverge across
+//! participants, and no count-based termination survives that — it is a
+//! distributed termination-detection problem, not a stabilization one. See
+//! DESIGN.md §6.
+
+use ftbarrier_runtime::{run_phases_observed, CorruptTarget, FailurePolicy, RunSummary};
+use ftbarrier_telemetry::Telemetry;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use ftbarrier_gcs::SimRng;
+
+/// Campaign shape for the runtime barrier.
+#[derive(Debug, Clone, Copy)]
+pub struct RtCampaignConfig {
+    pub n: usize,
+    pub phases: u64,
+    /// Corruption injections attempted while the run is in flight.
+    pub injections: u64,
+    pub seed: u64,
+}
+
+impl RtCampaignConfig {
+    /// The full acceptance campaign: ≥ 10⁴ injections.
+    pub fn full() -> RtCampaignConfig {
+        RtCampaignConfig {
+            n: 8,
+            phases: 400,
+            injections: 10_000,
+            seed: 0xBAD_C0DE,
+        }
+    }
+
+    /// A CI-sized smoke campaign.
+    pub fn quick() -> RtCampaignConfig {
+        RtCampaignConfig {
+            n: 4,
+            phases: 60,
+            injections: 800,
+            seed: 0xBAD_C0DE,
+        }
+    }
+}
+
+/// A passed runtime campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RtCampaignOutcome {
+    pub summary: RunSummary,
+    /// Injections actually performed before the run completed (the rest
+    /// would have landed on a finished barrier and prove nothing).
+    pub injections_done: u64,
+}
+
+/// One corruption injection: pick a target and a fault class from the
+/// stream. Returns `(target, raw)`.
+fn injection(rng: &mut SimRng, n: usize) -> (CorruptTarget, u64) {
+    let target = match rng.below(3) {
+        0 => CorruptTarget::Slot(rng.below(n)),
+        1 => CorruptTarget::Release,
+        _ => CorruptTarget::Phase,
+    };
+    let raw = match rng.below(3) {
+        // Ill-formed scribble (detectable): any raw value that fails the
+        // checksum.
+        0 => {
+            let mut raw = rng.range_u64(0, u64::MAX);
+            if ftbarrier_runtime::word::unpack(raw).is_some() {
+                raw ^= 0xFF;
+            }
+            raw
+        }
+        // Well-formed erasure: stale epoch 0 (real epochs start at 1), any
+        // payload — overwrites a published word with a dead one.
+        1 => ftbarrier_runtime::word::pack(0, rng.below(4) as u8),
+        // Well-formed forgery far outside the run: for slots this erases a
+        // published arrival with an epoch no parent will ever wait for;
+        // for the phase word it is an arbitrary-phase forgery.
+        _ => {
+            ftbarrier_runtime::word::pack((1 << 30) + rng.range_u64(0, 1 << 20), rng.below(4) as u8)
+        }
+    };
+    (target, raw)
+}
+
+/// Run the campaign: `cfg.phases` barrier phases across `cfg.n` workers
+/// with the corruptor injecting concurrently. Panics if the run errors;
+/// wedging (the pre-fix failure mode) would hang rather than pass.
+pub fn campaign(cfg: RtCampaignConfig) -> RtCampaignOutcome {
+    campaign_with_telemetry(cfg, &Telemetry::off())
+}
+
+/// [`campaign`] with runtime observability (worker spans and phase-duration
+/// histograms, exactly as [`run_phases_instrumented`]'s).
+///
+/// [`run_phases_instrumented`]: ftbarrier_runtime::run_phases_instrumented
+pub fn campaign_with_telemetry(cfg: RtCampaignConfig, telemetry: &Telemetry) -> RtCampaignOutcome {
+    let injections_done = Arc::new(AtomicU64::new(0));
+    let counter = Arc::clone(&injections_done);
+    let mut corruptor = None;
+    let summary = run_phases_observed(
+        cfg.n,
+        cfg.phases,
+        FailurePolicy::Tolerate,
+        telemetry,
+        |b| {
+            let n = cfg.n;
+            let seed = cfg.seed;
+            let injections = cfg.injections;
+            corruptor = Some(std::thread::spawn(move || {
+                let mut rng = SimRng::seed_from_u64(seed);
+                for i in 0..injections {
+                    let (target, raw) = injection(&mut rng, n);
+                    b.corrupt(target, raw);
+                    counter.fetch_add(1, Ordering::Relaxed);
+                    if i % 8 == 0 {
+                        std::thread::yield_now();
+                    }
+                }
+            }));
+        },
+        |_| Ok(()),
+    )
+    .expect("corruption must not error a Tolerate run");
+    corruptor
+        .expect("with_handle always runs")
+        .join()
+        .expect("corruptor thread panicked");
+    RtCampaignOutcome {
+        summary,
+        injections_done: injections_done.load(Ordering::Relaxed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_campaign_completes_every_phase() {
+        let cfg = RtCampaignConfig::quick();
+        let out = campaign(cfg);
+        assert_eq!(out.summary.phases, cfg.phases);
+        assert!(out.injections_done > 0, "corruptor never ran");
+    }
+
+    #[test]
+    fn injections_cover_every_class_and_target() {
+        let mut rng = SimRng::seed_from_u64(7);
+        let mut slots = 0;
+        let mut releases = 0;
+        let mut phases = 0;
+        let mut ill_formed = 0;
+        let mut well_formed = 0;
+        for _ in 0..500 {
+            let (target, raw) = injection(&mut rng, 8);
+            match target {
+                CorruptTarget::Slot(i) => {
+                    assert!(i < 8);
+                    slots += 1;
+                }
+                CorruptTarget::Release => releases += 1,
+                CorruptTarget::Phase => phases += 1,
+            }
+            match ftbarrier_runtime::word::unpack(raw) {
+                Some((epoch, _)) => {
+                    well_formed += 1;
+                    // Forged epochs are stale or unreachable, never live.
+                    assert!(epoch == 0 || epoch >= (1 << 30), "live epoch {epoch}");
+                }
+                None => ill_formed += 1,
+            }
+        }
+        for count in [slots, releases, phases, ill_formed, well_formed] {
+            assert!(count > 50, "class starved: {count}");
+        }
+    }
+}

@@ -1,0 +1,309 @@
+//! Counterexample shrinking: reduce any failing corruption run to a minimal
+//! replayable event sequence.
+//!
+//! A failing run (a sampled start that never converged, or a stuck state
+//! from the exhaustive audit) is rarely a good bug report: it names a large
+//! instance, a random schedule, and dozens of irrelevant corrupted
+//! variables. The shrinker ignores the accidental details and re-derives the
+//! *minimal* witness directly:
+//!
+//! 1. **Minimize N** — retry the exhaustive audit at the smallest instance
+//!    sizes first; the first size with any stuck state wins.
+//! 2. **Minimize events** — breadth-first search from the program's initial
+//!    state over *program actions plus single-process corruption events*,
+//!    stopping at the first non-stabilizing state. BFS yields the shortest
+//!    possible event count; a deterministic edge order makes the result
+//!    independent of where (or with which seed) the original failure was
+//!    found.
+//!
+//! The result replays exactly ([`replay`]) and its terminal state can be
+//! re-certified as stuck ([`verify_stuck`]).
+
+use crate::campaign::{exhaustive, ExhaustiveFailure, NONDET_SAMPLES};
+use ftbarrier_gcs::{ActionId, Explorer, Pid, Protocol, SimRng, StuckKind};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::hash::Hash;
+
+/// Seed base of the explorer's per-sample nondeterminism streams. Must match
+/// `Explorer::successors` in `ftbarrier-gcs` (stream `s` is seeded
+/// `0xE00E ^ s`) so that shrunk action events replay to the same states the
+/// audit explored.
+const NONDET_SEED: u64 = 0xE0_0E;
+
+/// One event of a minimized counterexample.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// Undetectable fault: overwrite `pid`'s state with the `index`-th value
+    /// of its domain.
+    Fault { pid: Pid, index: usize },
+    /// Program action `(pid, action)`, nondeterminism resolved by RNG stream
+    /// `sample`.
+    Action {
+        pid: Pid,
+        action: ActionId,
+        sample: u32,
+    },
+}
+
+/// A minimal counterexample: from the initial state of the `n`-process
+/// instance, the events lead to `stuck`, from which no execution reaches the
+/// goal again.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Shrunk<S> {
+    pub n: usize,
+    pub events: Vec<Event>,
+    pub stuck: Vec<S>,
+    pub kind: StuckKind,
+}
+
+/// Shrink over an instance family: `family(n)` builds the `n`-process
+/// protocol and its corruption-closure domains. Sizes are tried smallest
+/// first; `None` means every size in the range stabilizes exhaustively (no
+/// counterexample exists at these sizes).
+///
+/// Panics if a legal-set exploration truncates or a closure is not closed —
+/// both are harness setup errors, not audit verdicts.
+pub fn shrink_family<P, F>(
+    family: F,
+    sizes: std::ops::RangeInclusive<usize>,
+    limit: usize,
+) -> Option<Shrunk<P::State>>
+where
+    P: Protocol,
+    P::State: Hash + Eq,
+    F: Fn(usize) -> (P, Vec<Vec<P::State>>),
+{
+    for n in sizes {
+        let (protocol, domains) = family(n);
+        match exhaustive(&protocol, &domains, limit) {
+            Ok(_) => continue,
+            Err(ExhaustiveFailure::Stuck { stuck }) => {
+                let kinds: HashMap<Vec<P::State>, StuckKind> = stuck.into_iter().collect();
+                return Some(shortest_event_path(&protocol, &domains, &kinds, limit));
+            }
+            Err(other) => panic!("shrink harness setup error at n = {n}: {other}"),
+        }
+    }
+    None
+}
+
+/// BFS predecessor map: state → (parent state, edge taken into it).
+type ParentMap<S> = HashMap<Vec<S>, (Vec<S>, Event)>;
+
+/// The BFS core: shortest event sequence from the initial state to any state
+/// in `kinds`. Edge order is fixed (program actions by ascending `(pid,
+/// action, sample)`, then faults by ascending `(pid, domain index)`), so the
+/// result is a pure function of the protocol and its domains.
+fn shortest_event_path<P: Protocol>(
+    protocol: &P,
+    domains: &[Vec<P::State>],
+    kinds: &HashMap<Vec<P::State>, StuckKind>,
+    limit: usize,
+) -> Shrunk<P::State>
+where
+    P::State: Hash + Eq,
+{
+    let n = protocol.num_processes();
+    let initial = protocol.initial_state();
+    let mut parent: ParentMap<P::State> = HashMap::new();
+    let mut seen: HashSet<Vec<P::State>> = HashSet::new();
+    let mut queue: VecDeque<Vec<P::State>> = VecDeque::new();
+    seen.insert(initial.clone());
+    queue.push_back(initial.clone());
+
+    let hit = 'bfs: loop {
+        let Some(state) = queue.pop_front() else {
+            unreachable!("faults reach the whole closure, which contains a stuck state");
+        };
+        if kinds.contains_key(&state) {
+            break 'bfs state;
+        }
+        assert!(
+            seen.len() <= limit,
+            "shrink BFS exceeded the state limit {limit}"
+        );
+        let push = |next: Vec<P::State>,
+                    event: Event,
+                    seen: &mut HashSet<Vec<P::State>>,
+                    queue: &mut VecDeque<Vec<P::State>>,
+                    parent: &mut ParentMap<P::State>|
+         -> Option<Vec<P::State>> {
+            if seen.insert(next.clone()) {
+                parent.insert(next.clone(), (state.clone(), event));
+                if kinds.contains_key(&next) {
+                    // Finish on discovery: BFS layer order still guarantees
+                    // minimality, and the fixed edge order fixes the winner.
+                    return Some(next);
+                }
+                queue.push_back(next);
+            }
+            None
+        };
+        for pid in 0..n {
+            for action in 0..protocol.num_actions(pid) {
+                if !protocol.enabled(&state, pid, action) {
+                    continue;
+                }
+                for sample in 0..NONDET_SAMPLES {
+                    let mut rng = SimRng::seed_from_u64(NONDET_SEED ^ sample as u64);
+                    let new = protocol.execute(&state, pid, action, &mut rng);
+                    let mut next = state.clone();
+                    next[pid] = new;
+                    let event = Event::Action {
+                        pid,
+                        action,
+                        sample,
+                    };
+                    if let Some(hit) = push(next, event, &mut seen, &mut queue, &mut parent) {
+                        break 'bfs hit;
+                    }
+                }
+            }
+        }
+        for pid in 0..n {
+            for (index, value) in domains[pid].iter().enumerate() {
+                if state[pid] == *value {
+                    continue;
+                }
+                let mut next = state.clone();
+                next[pid] = value.clone();
+                let event = Event::Fault { pid, index };
+                if let Some(hit) = push(next, event, &mut seen, &mut queue, &mut parent) {
+                    break 'bfs hit;
+                }
+            }
+        }
+    };
+
+    let kind = kinds[&hit];
+    let mut events = Vec::new();
+    let mut cursor = hit.clone();
+    while let Some((prev, event)) = parent.get(&cursor) {
+        events.push(event.clone());
+        cursor = prev.clone();
+    }
+    events.reverse();
+    Shrunk {
+        n,
+        events,
+        stuck: hit,
+        kind,
+    }
+}
+
+/// Replay a shrunk event sequence from the initial state; returns the final
+/// global state (equal to [`Shrunk::stuck`] for an untampered
+/// counterexample).
+pub fn replay<P: Protocol>(
+    protocol: &P,
+    domains: &[Vec<P::State>],
+    events: &[Event],
+) -> Vec<P::State> {
+    let mut state = protocol.initial_state();
+    for event in events {
+        match *event {
+            Event::Fault { pid, index } => {
+                state[pid] = domains[pid][index].clone();
+            }
+            Event::Action {
+                pid,
+                action,
+                sample,
+            } => {
+                assert!(
+                    protocol.enabled(&state, pid, action),
+                    "replay diverged: action {action} at {pid} not enabled"
+                );
+                let mut rng = SimRng::seed_from_u64(NONDET_SEED ^ sample as u64);
+                state[pid] = protocol.execute(&state, pid, action, &mut rng);
+            }
+        }
+    }
+    state
+}
+
+/// Re-certify a counterexample's terminal state: exhaustively confirm no
+/// state reachable from it satisfies `goal`.
+pub fn verify_stuck<P: Protocol>(
+    protocol: &P,
+    state: Vec<P::State>,
+    goal: impl Fn(&[P::State]) -> bool,
+    limit: usize,
+) -> bool
+where
+    P::State: Hash + Eq,
+{
+    let explorer = Explorer::new(protocol).with_nondet_samples(NONDET_SAMPLES);
+    let exploration = explorer
+        .reachable(vec![state], limit)
+        .require_complete()
+        .expect("stuck verification must not truncate");
+    !exploration.states.iter().any(|s| goal(s))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domains::token_ring_domains;
+    use crate::fixture::BrokenRing;
+    use ftbarrier_core::token_ring::TokenRing;
+
+    fn broken_family(n: usize) -> (BrokenRing, Vec<Vec<ftbarrier_core::Sn>>) {
+        let ring = TokenRing::new(n);
+        let domains = token_ring_domains(&ring);
+        (BrokenRing::new(ring), domains)
+    }
+
+    #[test]
+    fn healthy_ring_has_no_counterexample() {
+        let shrunk = shrink_family(
+            |n| {
+                let ring = TokenRing::new(n);
+                let domains = token_ring_domains(&ring);
+                (ring, domains)
+            },
+            2..=3,
+            1_000_000,
+        );
+        assert!(shrunk.is_none(), "the paper's ring stabilizes: {shrunk:?}");
+    }
+
+    #[test]
+    fn broken_ring_shrinks_to_two_fault_events() {
+        let shrunk = shrink_family(broken_family, 2..=4, 1_000_000)
+            .expect("the broken ring must produce a counterexample");
+        assert_eq!(shrunk.n, 2, "minimal instance");
+        assert!(
+            shrunk.events.len() <= 5,
+            "counterexample not minimal: {:?}",
+            shrunk.events
+        );
+        assert!(
+            shrunk
+                .events
+                .iter()
+                .all(|e| matches!(e, Event::Fault { .. })),
+            "pure corruption suffices: {:?}",
+            shrunk.events
+        );
+        // Replay lands exactly on the recorded stuck state…
+        let (protocol, domains) = broken_family(shrunk.n);
+        let end = replay(&protocol, &domains, &shrunk.events);
+        assert_eq!(end, shrunk.stuck);
+        // …and that state really cannot recover a single valid token.
+        let ring = TokenRing::new(shrunk.n);
+        assert!(verify_stuck(
+            &protocol,
+            end,
+            |g| ring.count_tokens(g) == 1 && g.iter().all(|s| s.is_valid()),
+            1_000_000,
+        ));
+    }
+
+    #[test]
+    fn shrinking_is_deterministic() {
+        let a = shrink_family(broken_family, 2..=4, 1_000_000).unwrap();
+        let b = shrink_family(broken_family, 2..=4, 1_000_000).unwrap();
+        assert_eq!(a, b);
+    }
+}

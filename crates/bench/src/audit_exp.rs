@@ -1,0 +1,477 @@
+//! The `repro audit` experiment: drive the adversarial undetectable-fault
+//! audit (`ftbarrier-audit`) across all three backends and render the
+//! stabilization-span tables for EXPERIMENTS.md.
+//!
+//! * **Exhaustive tier** — every corruption-closure state of the small
+//!   instances: token ring, CB, and the sweep barrier over ring, tree, and
+//!   double-tree DAGs (the O(N)-vs-O(h) recovery comparison of §4.2).
+//! * **Sampled tier** — ≥ 10⁴ seeded corrupted starts per program at
+//!   N = 16, convergence required within a bounded number of fair rounds.
+//! * **Backend campaigns** — the simnet MB campaign (scrambles, neighbor
+//!   copy scrambles, in-flight `sn` forgeries) and the wall-clock runtime
+//!   campaign (a live corruptor thread, ≥ 10⁴ injections).
+//! * **Fixture self-check** — the deliberately broken ring must shrink to
+//!   its minimal counterexample, proving the failure pipeline end to end;
+//!   the JSON witness is written under `results/`.
+//!
+//! Any real failure is serialized as replayable JSON (the `repro` binary
+//! writes it under `results/` and exits nonzero; CI uploads it).
+
+use ftbarrier_audit::{campaign, domains, fixture, mb, report, rt, shrink};
+use ftbarrier_core::cb::Cb;
+use ftbarrier_core::cp::Cp;
+use ftbarrier_core::sweep::SweepBarrier;
+use ftbarrier_core::token_ring::TokenRing;
+use ftbarrier_telemetry::MetricsRegistry;
+use ftbarrier_topology::SweepDag;
+use std::fmt::Write as _;
+
+/// One exhaustive-audit result row.
+#[derive(Debug, Clone)]
+pub struct ExhaustiveRow {
+    pub program: &'static str,
+    pub topology: &'static str,
+    /// Processes (token ring / CB) or sweep positions.
+    pub n: usize,
+    /// Sweep critical path (the paper's `h` proxy); `n` for the flat
+    /// programs.
+    pub height: usize,
+    pub universe: usize,
+    pub legal: usize,
+    /// Worst-case stabilization distance (transitions to a legal state).
+    pub max_distance: u32,
+    pub mean_distance: f64,
+}
+
+/// One sampled-audit result row.
+#[derive(Debug, Clone)]
+pub struct SampledRow {
+    pub program: &'static str,
+    pub n: usize,
+    pub samples: u64,
+    /// Worst observed fair rounds to convergence.
+    pub max_rounds: u64,
+    pub mean_rounds: f64,
+}
+
+/// A campaign failure, ready to be written under `results/`.
+#[derive(Debug, Clone)]
+pub struct AuditFailure {
+    /// Artifact stem, e.g. `counterexample_token_ring`.
+    pub name: String,
+    pub json: String,
+}
+
+/// Everything `repro audit` produces.
+#[derive(Debug, Clone, Default)]
+pub struct AuditReport {
+    pub exhaustive: Vec<ExhaustiveRow>,
+    pub sampled: Vec<SampledRow>,
+    pub mb: Option<mb::MbCampaignOutcome>,
+    pub rt: Option<rt::RtCampaignOutcome>,
+    /// The broken-ring fixture's minimized witness (always produced — it
+    /// demonstrates the failure pipeline).
+    pub fixture_json: String,
+    pub failures: Vec<AuditFailure>,
+}
+
+impl AuditReport {
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Step budget for every exhaustive exploration (above any closure the suite
+/// enumerates; `require_complete` turns an overflow into a failure, never a
+/// silent truncation).
+const LIMIT: usize = 4_000_000;
+
+/// Samples per program for the sampled tier (the acceptance floor).
+const SAMPLES: u64 = 10_000;
+
+/// The audit shrinks the sequence-number domain to the smallest legal size
+/// (positions + 1, the sweep analogue of the token ring's `K = N + 1`): it
+/// is the domain the exhaustive tier itself certifies, and it keeps the
+/// closure enumerable.
+fn sweep_program(dag: SweepDag) -> SweepBarrier {
+    let l = dag.num_positions() as u32 + 1;
+    SweepBarrier::new(dag, 2).with_sn_domain(l)
+}
+
+fn audit_exhaustive(
+    rows: &mut Vec<ExhaustiveRow>,
+    failures: &mut Vec<AuditFailure>,
+    mut registry: Option<&mut MetricsRegistry>,
+    quick: bool,
+) {
+    // Token ring and CB: flat topologies, recovery O(N). Their fault-free
+    // reachable set IS the legal set, so the default reachable-set goal
+    // applies.
+    let flat_sizes: &[usize] = if quick { &[2, 3] } else { &[2, 3, 4] };
+    for &n in flat_sizes {
+        let ring = TokenRing::new(n);
+        eprintln!("  exhaustive: token-ring n={n}…");
+        record_exhaustive(
+            rows,
+            failures,
+            registry.as_deref_mut(),
+            "token-ring",
+            "ring",
+            n,
+            n,
+            campaign::exhaustive(&ring, &domains::token_ring_domains(&ring), LIMIT),
+        );
+        let cb = Cb::new(n, 2);
+        eprintln!("  exhaustive: CB n={n}…");
+        record_exhaustive(
+            rows,
+            failures,
+            registry.as_deref_mut(),
+            "CB",
+            "clique",
+            n,
+            n,
+            campaign::exhaustive(&cb, &domains::cb_domains(&cb), LIMIT),
+        );
+    }
+    // Sweep barrier over the paper's DAG shapes: ring (recovery O(N)) vs
+    // tree / double tree (recovery O(h)).
+    let mut sweeps: Vec<(&'static str, SweepDag)> =
+        vec![("ring", SweepDag::ring(2).expect("ring(2)"))];
+    if !quick {
+        sweeps.push(("ring", SweepDag::ring(3).expect("ring(3)")));
+        sweeps.push(("tree", SweepDag::tree(3, 2).expect("tree(3,2)")));
+        sweeps.push((
+            "double-tree",
+            SweepDag::double_tree(2, 2).expect("double_tree(2,2)"),
+        ));
+    }
+    for (topology, dag) in sweeps {
+        let height = dag.critical_path();
+        let rb = sweep_program(dag);
+        let n = rb.dag().num_positions();
+        let doms = domains::sweep_domains(&rb);
+        eprintln!("  exhaustive: sweep/{topology} positions={n}…");
+        // The sweep's fault-free run pins one (sn, ph) correlation, so its
+        // reachable set undershoots the legal set (see the pinned
+        // `sweep_legal_set_is_not_the_invariant_set` finding); audit against
+        // the recurring quiescent marker instead.
+        record_exhaustive(
+            rows,
+            failures,
+            registry.as_deref_mut(),
+            "sweep",
+            topology,
+            n,
+            height,
+            campaign::exhaustive_with_goal(&rb, &doms, domains::sweep_quiescent),
+        );
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn record_exhaustive<S: std::fmt::Debug>(
+    rows: &mut Vec<ExhaustiveRow>,
+    failures: &mut Vec<AuditFailure>,
+    registry: Option<&mut MetricsRegistry>,
+    program: &'static str,
+    topology: &'static str,
+    n: usize,
+    height: usize,
+    result: Result<campaign::ExhaustiveOutcome<S>, campaign::ExhaustiveFailure<S>>,
+) {
+    match result {
+        Ok(out) => {
+            if let Some(reg) = registry {
+                let labels = [("program", program), ("topology", topology)];
+                for d in out.report.distances.iter().flatten() {
+                    reg.observe("audit_stabilization_steps", &labels, f64::from(*d));
+                }
+            }
+            rows.push(ExhaustiveRow {
+                program,
+                topology,
+                n,
+                height,
+                universe: out.universe,
+                legal: out.legal,
+                max_distance: out.report.max_distance(),
+                mean_distance: out.report.mean_distance(),
+            });
+        }
+        Err(failure) => failures.push(AuditFailure {
+            name: format!("counterexample_{program}_{topology}_n{n}"),
+            json: format!(
+                "{{\n  \"program\": \"{program}/{topology}\", \"n\": {n},\n  \"failure\": \"{}\"\n}}\n",
+                report::escape(&failure.to_string())
+            ),
+        }),
+    }
+}
+
+fn audit_sampled(
+    rows: &mut Vec<SampledRow>,
+    failures: &mut Vec<AuditFailure>,
+    mut registry: Option<&mut MetricsRegistry>,
+    quick: bool,
+) {
+    let samples = if quick { 300 } else { SAMPLES };
+    let cfg = campaign::SampleConfig {
+        samples,
+        max_steps: 200_000,
+        seed: 0xA0D1_7CA4,
+    };
+
+    eprintln!("  sampled: token-ring n=16 ({samples} corrupted starts)…");
+    let ring = TokenRing::new(16);
+    record_sampled(
+        rows,
+        failures,
+        registry.as_deref_mut(),
+        "token-ring",
+        16,
+        campaign::sampled(&ring, cfg, |g| {
+            ring.count_tokens(g) == 1 && g.iter().all(|s| s.is_valid())
+        }),
+    );
+
+    eprintln!("  sampled: CB n=16 ({samples} corrupted starts)…");
+    let cb = Cb::new(16, 4);
+    record_sampled(
+        rows,
+        failures,
+        registry.as_deref_mut(),
+        "CB",
+        16,
+        campaign::sampled(&cb, cfg, |g| {
+            g.iter().all(|s| s.cp == Cp::Ready && s.ph == g[0].ph)
+        }),
+    );
+
+    // The large-N topology comparison: recovery rounds on a 16-position
+    // sweep ring vs a 16-process tree vs an 8-process double tree.
+    let sweep_shapes: [(&'static str, SweepDag); 3] = [
+        ("sweep-ring", SweepDag::ring(16).expect("ring(16)")),
+        ("sweep-tree", SweepDag::tree(16, 2).expect("tree(16,2)")),
+        (
+            "sweep-double-tree",
+            SweepDag::double_tree(8, 2).expect("double_tree(8,2)"),
+        ),
+    ];
+    for (name, dag) in sweep_shapes {
+        let rb = SweepBarrier::new(dag, 4);
+        let n = rb.dag().num_positions();
+        eprintln!("  sampled: {name} positions={n} ({samples} corrupted starts)…");
+        record_sampled(
+            rows,
+            failures,
+            registry.as_deref_mut(),
+            name,
+            n,
+            campaign::sampled(&rb, cfg, domains::sweep_quiescent),
+        );
+    }
+}
+
+fn record_sampled<S: std::fmt::Debug>(
+    rows: &mut Vec<SampledRow>,
+    failures: &mut Vec<AuditFailure>,
+    registry: Option<&mut MetricsRegistry>,
+    program: &'static str,
+    n: usize,
+    result: Result<campaign::SampledOutcome, campaign::SampleFailure<S>>,
+) {
+    match result {
+        Ok(out) => {
+            if let Some(reg) = registry {
+                let labels = [("program", program)];
+                for &s in &out.steps {
+                    reg.observe("audit_sampled_steps", &labels, s as f64);
+                }
+            }
+            rows.push(SampledRow {
+                program,
+                n,
+                samples: out.samples,
+                max_rounds: out.max_rounds,
+                mean_rounds: out.mean_rounds,
+            });
+        }
+        Err(failure) => failures.push(AuditFailure {
+            name: format!("counterexample_sampled_{program}"),
+            json: report::sample_failure_to_json(program, &failure),
+        }),
+    }
+}
+
+/// Run the whole audit. `registry`, when given, receives
+/// `audit_stabilization_steps` / `audit_sampled_steps` histograms — the
+/// audit computations themselves are deterministic and identical with or
+/// without it.
+pub fn run_with_metrics(quick: bool, mut registry: Option<&mut MetricsRegistry>) -> AuditReport {
+    let mut out = AuditReport::default();
+
+    audit_exhaustive(
+        &mut out.exhaustive,
+        &mut out.failures,
+        registry.as_deref_mut(),
+        quick,
+    );
+    audit_sampled(&mut out.sampled, &mut out.failures, registry, quick);
+
+    eprintln!("  campaign: simnet MB…");
+    let mb_cfg = if quick {
+        mb::MbCampaignConfig::quick()
+    } else {
+        mb::MbCampaignConfig::full()
+    };
+    match mb::campaign(mb_cfg) {
+        Ok(outcome) => out.mb = Some(outcome),
+        Err(failure) => out.failures.push(AuditFailure {
+            name: format!("counterexample_mb_seed{}", failure.seed),
+            json: failure.to_json(),
+        }),
+    }
+
+    eprintln!("  campaign: wall-clock runtime barrier…");
+    let rt_cfg = if quick {
+        rt::RtCampaignConfig::quick()
+    } else {
+        rt::RtCampaignConfig::full()
+    };
+    out.rt = Some(rt::campaign(rt_cfg));
+
+    eprintln!("  fixture: shrinking the broken ring…");
+    let family = |n: usize| {
+        let ring = TokenRing::new(n);
+        let doms = domains::token_ring_domains(&ring);
+        (fixture::BrokenRing::new(ring), doms)
+    };
+    match shrink::shrink_family(family, 2..=3, LIMIT) {
+        Some(shrunk) => {
+            let (protocol, doms) = family(shrunk.n);
+            out.fixture_json = report::shrunk_to_json("broken-ring", &protocol, &doms, &shrunk);
+        }
+        None => out.failures.push(AuditFailure {
+            name: "fixture_self_check".to_owned(),
+            json: "{\n  \"failure\": \"the broken-ring fixture produced no counterexample — \
+                   the audit pipeline is not detecting planted bugs\"\n}\n"
+                .to_owned(),
+        }),
+    }
+    out
+}
+
+/// [`run_with_metrics`] without telemetry.
+pub fn run(quick: bool) -> AuditReport {
+    run_with_metrics(quick, None)
+}
+
+/// Render the exhaustive tier as a table.
+pub fn render_exhaustive(rows: &[ExhaustiveRow]) -> String {
+    let mut out = String::new();
+    out.push_str("Exhaustive corruption-closure audit (every state, every start)\n");
+    out.push_str("program     topology     n   h   universe     legal  max-dist  mean-dist\n");
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<11} {:<11} {:>3} {:>3} {:>9} {:>9} {:>9} {:>10.2}",
+            r.program,
+            r.topology,
+            r.n,
+            r.height,
+            r.universe,
+            r.legal,
+            r.max_distance,
+            r.mean_distance,
+        );
+    }
+    out
+}
+
+/// Render the sampled tier as a table.
+pub fn render_sampled(rows: &[SampledRow]) -> String {
+    let mut out = String::new();
+    out.push_str("Sampled corruption audit (seeded corrupted starts, fair rounds)\n");
+    out.push_str("program             n   samples  max-rounds  mean-rounds\n");
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<17} {:>3} {:>9} {:>11} {:>12.2}",
+            r.program, r.n, r.samples, r.max_rounds, r.mean_rounds,
+        );
+    }
+    out
+}
+
+/// Render the backend campaigns.
+pub fn render_campaigns(report: &AuditReport) -> String {
+    let mut out = String::new();
+    if let Some(mb) = &report.mb {
+        let mean = mb.recovery_spans.iter().sum::<f64>() / mb.recovery_spans.len().max(1) as f64;
+        let max = mb.recovery_spans.iter().copied().fold(0.0f64, f64::max);
+        let _ = writeln!(
+            out,
+            "simnet MB campaign: {} runs, {} undetectable injections, \
+             recovery span mean {mean:.2} / max {max:.2} (virtual time)",
+            mb.runs, mb.injections,
+        );
+    }
+    if let Some(rt) = &report.rt {
+        let _ = writeln!(
+            out,
+            "runtime campaign: {} phases completed ({} repeats) under {} live injections",
+            rt.summary.phases, rt.summary.repeats, rt.injections_done,
+        );
+    }
+    let _ = writeln!(
+        out,
+        "fixture self-check: broken ring shrank to a minimal counterexample \
+         (results/counterexample_broken_ring.json)"
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_audit_passes_and_renders() {
+        let report = run(true);
+        assert!(
+            report.passed(),
+            "audit failures: {:?}",
+            report.failures.iter().map(|f| &f.name).collect::<Vec<_>>()
+        );
+        assert!(!report.exhaustive.is_empty());
+        assert_eq!(report.sampled.len(), 5);
+        assert!(report.fixture_json.contains("broken-ring"));
+        let table = render_exhaustive(&report.exhaustive);
+        assert!(table.contains("token-ring"));
+        assert!(render_sampled(&report.sampled).contains("sweep-tree"));
+        assert!(render_campaigns(&report).contains("runtime campaign"));
+    }
+
+    #[test]
+    fn metrics_are_fed_without_perturbing_results() {
+        let mut registry = MetricsRegistry::new();
+        let with = run_with_metrics(true, Some(&mut registry));
+        let without = run(true);
+        assert!(with.passed() && without.passed());
+        assert_eq!(with.exhaustive.len(), without.exhaustive.len());
+        for (a, b) in with.exhaustive.iter().zip(&without.exhaustive) {
+            assert_eq!(a.universe, b.universe);
+            assert_eq!(a.max_distance, b.max_distance);
+        }
+        for (a, b) in with.sampled.iter().zip(&without.sampled) {
+            assert_eq!(a.max_rounds, b.max_rounds);
+        }
+        assert!(registry
+            .histogram(
+                "audit_stabilization_steps",
+                &[("program", "token-ring"), ("topology", "ring")]
+            )
+            .is_some());
+    }
+}

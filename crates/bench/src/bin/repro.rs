@@ -1,21 +1,26 @@
 //! Reproduce the paper's evaluation artifacts.
 //!
 //! ```text
-//! repro [--quick] [--csv DIR] [fig3|fig4|fig5|fig6|fig7|table1|ablations|mb|trace|bench|all]
+//! repro [--quick] [--csv DIR] [fig3|fig4|fig5|fig6|fig7|table1|ablations|mb|audit|trace|bench|all]
 //! ```
 //!
 //! `--quick` shrinks the parameter grids and sample counts (used by CI and
 //! the integration tests); `--csv DIR` additionally writes one CSV per
-//! figure into DIR. `trace` (never part of `all`) runs the instrumented
+//! figure into DIR. `audit` (never part of `all`) runs the adversarial
+//! undetectable-fault audit across all three backends, writes any minimized
+//! counterexample to `results/counterexample_*.json`, and exits nonzero on
+//! failure. `trace` (never part of `all`) runs the instrumented
 //! scenarios and writes `results/trace_<scenario>.json` (Chrome
 //! `trace_event`, open in Perfetto) plus `results/metrics_<scenario>.prom`.
 //! `bench` (never part of `all`) times the simulation engine and the
 //! parallel sweep harness and writes `BENCH_engine.json`.
 
-use ftbarrier_bench::{ablations, enginebench, figures, mb_exp, render, table1, trace_exp};
+use ftbarrier_bench::{
+    ablations, audit_exp, enginebench, figures, mb_exp, render, table1, trace_exp,
+};
 use std::path::PathBuf;
 
-const SUBCOMMANDS: [&str; 11] = [
+const SUBCOMMANDS: [&str; 12] = [
     "fig3",
     "fig4",
     "fig5",
@@ -24,6 +29,7 @@ const SUBCOMMANDS: [&str; 11] = [
     "table1",
     "ablations",
     "mb",
+    "audit",
     "trace",
     "bench",
     "all",
@@ -147,6 +153,34 @@ fn main() {
         eprintln!("exercising Table 1 scenarios…");
         let rows = table1::rows();
         println!("{}", render::render_table1(&rows));
+    }
+    // The audit writes counterexample artifacts under results/ and the full
+    // campaign is heavyweight, so `all` skips it; ask for it explicitly
+    // (CI runs `repro audit --quick`).
+    if opts.what.iter().any(|w| w == "audit") {
+        eprintln!("running the adversarial undetectable-fault audit…");
+        let report = audit_exp::run(opts.quick);
+        println!("{}", audit_exp::render_exhaustive(&report.exhaustive));
+        println!("{}", audit_exp::render_sampled(&report.sampled));
+        println!("{}", audit_exp::render_campaigns(&report));
+        let dir = PathBuf::from("results");
+        std::fs::create_dir_all(&dir).expect("create results directory");
+        let fixture_path = dir.join("counterexample_broken_ring.json");
+        std::fs::write(&fixture_path, &report.fixture_json).expect("write fixture witness");
+        eprintln!("wrote {} (fixture demonstration)", fixture_path.display());
+        for failure in &report.failures {
+            let path = dir.join(format!("{}.json", failure.name));
+            std::fs::write(&path, &failure.json).expect("write counterexample");
+            eprintln!("wrote {}", path.display());
+        }
+        if !report.passed() {
+            eprintln!(
+                "AUDIT FAILED: {} counterexample(s) under results/",
+                report.failures.len()
+            );
+            std::process::exit(1);
+        }
+        println!("audit passed: every corrupted start stabilized on every backend");
     }
     // Trace export writes files and benchmarks are machine-specific, so
     // `all` skips both; ask for them explicitly.

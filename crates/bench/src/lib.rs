@@ -14,6 +14,7 @@
 //! | Table 1 | [`table1::rows`] | each fault class gets its tolerance |
 
 pub mod ablations;
+pub mod audit_exp;
 pub mod enginebench;
 pub mod figures;
 pub mod mb_exp;

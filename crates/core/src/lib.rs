@@ -39,4 +39,4 @@ pub mod timeline;
 pub mod token_ring;
 
 pub use cp::Cp;
-pub use sn::Sn;
+pub use sn::{DomainError, Sn};

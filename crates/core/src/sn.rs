@@ -13,6 +13,65 @@
 
 use std::fmt;
 
+/// A domain parameter violated one of the paper's correctness preconditions.
+///
+/// The stabilization proofs lean on the sequence-number domain being large
+/// enough to disambiguate phases: the ring needs `K > N` (and in any case
+/// `K ≥ 2`, or `sn + 1 = sn` and T1/T2 can never distinguish "behind" from
+/// "caught up"), and MB needs `L > 2N + 1` so a forged in-flight `sn` outside
+/// the active window is discarded rather than adopted. Constructors that take
+/// these parameters validate them eagerly and return this error instead of
+/// silently wrapping into a domain where the proofs no longer hold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DomainError {
+    /// A ring-style modulus `K` that is too small for the instance.
+    KTooSmall {
+        /// The rejected modulus.
+        k: u32,
+        /// The smallest acceptable modulus for this instance.
+        min: u32,
+    },
+    /// An MB-style sequence-number domain `L ≤ 2N + 1`.
+    LTooSmall {
+        /// The rejected domain size.
+        l: u32,
+        /// The smallest acceptable domain size (`2N + 2`).
+        min: u32,
+    },
+}
+
+impl fmt::Display for DomainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DomainError::KTooSmall { k, min } => {
+                write!(
+                    f,
+                    "sequence-number modulus K = {k} too small (need K ≥ {min})"
+                )
+            }
+            DomainError::LTooSmall { l, min } => {
+                write!(
+                    f,
+                    "MB sequence-number domain L = {l} too small (need L ≥ {min}, i.e. L > 2N+1)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for DomainError {}
+
+/// Validate a ring-style modulus: `K ≥ 2` always, and `K ≥ min` for the
+/// instance at hand (the ring's precondition is `K > N`, so callers pass
+/// `min = N + 1`). Returns the modulus unchanged on success.
+pub fn validate_modulus(k: u32, min: u32) -> Result<u32, DomainError> {
+    let min = min.max(2);
+    if k < min {
+        return Err(DomainError::KTooSmall { k, min });
+    }
+    Ok(k)
+}
+
 /// A sequence number: a value in `{0..K-1}` or one of the flags ⊥ / ⊤.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Sn {
@@ -43,11 +102,14 @@ impl Sn {
     }
 
     /// Successor modulo `k` (the paper's `sn.N + 1`). Panics on ⊥/⊤ — the
-    /// guards of T1/T2 ensure those never reach arithmetic.
+    /// guards of T1/T2 ensure those never reach arithmetic. The value itself
+    /// may be *outside* `{0..K-1}` (an undetectable fault can forge any bit
+    /// pattern), so the increment is widened before the reduction rather than
+    /// trusting `v < k`.
     #[inline]
     pub fn next(self, k: u32) -> Sn {
         match self {
-            Sn::Val(v) => Sn::Val((v + 1) % k),
+            Sn::Val(v) => Sn::Val(((v as u64 + 1) % k as u64) as u32),
             flag => panic!("next() on flag sequence number {flag}"),
         }
     }
@@ -97,6 +159,33 @@ mod tests {
     #[should_panic]
     fn next_rejects_flags() {
         let _ = Sn::Bot.next(5);
+    }
+
+    /// Pinned by the corruption campaign: a forged `sn` can hold any bit
+    /// pattern, and `next()` used to compute `(v + 1) % k` in u32, which
+    /// overflows (debug panic) for `v = u32::MAX`.
+    #[test]
+    fn next_survives_forged_out_of_domain_values() {
+        // 2^32 mod 5 = 1.
+        assert_eq!(Sn::Val(u32::MAX).next(5), Sn::Val(1));
+        // An in-domain-but-maximal value still wraps normally.
+        assert_eq!(Sn::Val(4).next(5), Sn::Val(0));
+    }
+
+    #[test]
+    fn validate_modulus_enforces_preconditions() {
+        assert_eq!(
+            validate_modulus(1, 0),
+            Err(DomainError::KTooSmall { k: 1, min: 2 })
+        );
+        assert_eq!(
+            validate_modulus(3, 5),
+            Err(DomainError::KTooSmall { k: 3, min: 5 })
+        );
+        assert_eq!(validate_modulus(5, 5), Ok(5));
+        assert_eq!(validate_modulus(2, 0), Ok(2));
+        let msg = DomainError::KTooSmall { k: 1, min: 2 }.to_string();
+        assert!(msg.contains("K = 1"), "{msg}");
     }
 
     #[test]

@@ -103,13 +103,17 @@ impl SweepBarrier {
 
     /// Shrink or grow the sequence-number domain (tests use small domains to
     /// exercise wraparound). Must stay above the number of positions.
-    pub fn with_sn_domain(mut self, l: u32) -> SweepBarrier {
-        assert!(
-            l > self.dag.num_positions() as u32,
-            "sequence number domain must exceed the number of positions"
-        );
-        self.sn_domain = l;
-        self
+    pub fn with_sn_domain(self, l: u32) -> SweepBarrier {
+        self.try_with_sn_domain(l)
+            .expect("sequence number domain must exceed the number of positions")
+    }
+
+    /// Like [`SweepBarrier::with_sn_domain`] but returns a typed error
+    /// instead of panicking when `L` is at or below the number of positions
+    /// (the sweep analogue of the ring's `K > N` precondition).
+    pub fn try_with_sn_domain(mut self, l: u32) -> Result<SweepBarrier, crate::sn::DomainError> {
+        self.sn_domain = crate::sn::validate_modulus(l, self.dag.num_positions() as u32 + 1)?;
+        Ok(self)
     }
 
     pub fn dag(&self) -> &SweepDag {

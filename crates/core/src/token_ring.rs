@@ -18,7 +18,7 @@
 //! (⊥/⊤), and process 0 never executes T4/T5; under undetectable faults the
 //! ring eventually again contains exactly one token.
 
-use crate::sn::Sn;
+use crate::sn::{validate_modulus, DomainError, Sn};
 use ftbarrier_gcs::{ActionId, FaultAction, FaultKind, Pid, Protocol, ReaderSet, SimRng, Time};
 
 /// Action indices (uniform across processes; guards gate applicability).
@@ -48,10 +48,19 @@ impl TokenRing {
         }
     }
 
-    pub fn with_domain(mut self, k: u32) -> TokenRing {
-        assert!(k > (self.n - 1) as u32, "the paper requires K > N");
-        self.k = k;
-        self
+    /// Like [`TokenRing::with_domain`] but returns a typed error instead of
+    /// panicking when `K` violates the paper's `K > N` precondition (or the
+    /// absolute floor `K ≥ 2`, below which `sn + 1 = sn` and the ring cannot
+    /// represent progress at all).
+    pub fn try_with_domain(mut self, k: u32) -> Result<TokenRing, DomainError> {
+        // The ring's N is `n - 1`, so `K > N` means `K ≥ n`.
+        self.k = validate_modulus(k, self.n as u32)?;
+        Ok(self)
+    }
+
+    pub fn with_domain(self, k: u32) -> TokenRing {
+        self.try_with_domain(k)
+            .expect("the paper requires K > N (and K ≥ 2)")
     }
 
     fn last(&self) -> Pid {
@@ -355,5 +364,20 @@ mod tests {
     #[should_panic]
     fn with_domain_rejects_small_k() {
         let _ = TokenRing::new(8).with_domain(7);
+    }
+
+    #[test]
+    fn try_with_domain_reports_typed_errors() {
+        use crate::sn::DomainError;
+        assert_eq!(
+            TokenRing::new(8).try_with_domain(7).unwrap_err(),
+            DomainError::KTooSmall { k: 7, min: 8 }
+        );
+        // K = 1 is rejected even for the smallest ring: sn + 1 = sn.
+        assert_eq!(
+            TokenRing::new(2).try_with_domain(1).unwrap_err(),
+            DomainError::KTooSmall { k: 1, min: 2 }
+        );
+        assert_eq!(TokenRing::new(8).try_with_domain(9).unwrap().k, 9);
     }
 }

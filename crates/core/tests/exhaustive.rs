@@ -70,7 +70,9 @@ fn token_ring_at_most_one_token_under_detectable_faults_exhaustively() {
             })
             .collect()
     });
-    assert!(!exploration.truncated);
+    let exploration = exploration
+        .require_complete()
+        .expect("truncated search is not a proof");
     for s in &exploration.states {
         assert!(
             ring.count_tokens(s) <= 1,
@@ -95,7 +97,9 @@ fn token_ring_process_zero_never_repairs_exhaustively() {
             })
             .collect()
     });
-    assert!(!exploration.truncated);
+    let exploration = exploration
+        .require_complete()
+        .expect("truncated search is not a proof");
     for s in &exploration.states {
         assert!(
             !ring.enabled(s, 0, T5),
@@ -192,7 +196,9 @@ fn sweep_masking_invariant_exhaustive_ring3() {
         }
         out
     });
-    assert!(!exploration.truncated, "state space unexpectedly large");
+    let exploration = exploration
+        .require_complete()
+        .expect("state space unexpectedly large");
     for s in &exploration.states {
         let executing: Vec<&PosState> = s.iter().filter(|p| p.cp == Cp::Execute).collect();
         for w in executing.windows(2) {
@@ -252,7 +258,9 @@ fn cb_masking_invariant_exhaustive() {
         }
         out
     });
-    assert!(!exploration.truncated);
+    let exploration = exploration
+        .require_complete()
+        .expect("truncated search is not a proof");
     assert!(exploration.deadlocks.is_empty(), "CB must never deadlock");
     for s in &exploration.states {
         let phases: Vec<u32> = s
@@ -274,7 +282,9 @@ fn cb_fault_free_reachable_set_is_the_legal_cycle() {
     let cb = Cb::new(3, 2);
     let explorer = Explorer::new(&cb).with_nondet_samples(4);
     let exploration = explorer.reachable(vec![cb.initial_state()], 100_000);
-    assert!(!exploration.truncated);
+    let exploration = exploration
+        .require_complete()
+        .expect("truncated search is not a proof");
     assert!(exploration.deadlocks.is_empty());
     for s in &exploration.states {
         assert!(s.iter().all(|p| p.cp != Cp::Error));

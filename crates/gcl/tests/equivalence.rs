@@ -34,7 +34,9 @@ fn textual_cb_reaches_exactly_the_native_states() {
     let native = Cb::new(n, n_phases);
     let native_explorer = Explorer::new(&native).with_nondet_samples(4);
     let native_reach = native_explorer.reachable(vec![native.initial_state()], 500_000);
-    assert!(!native_reach.truncated);
+    let native_reach = native_reach
+        .require_complete()
+        .expect("truncated search is not a proof");
     let native_set: BTreeSet<Vec<Vec<i64>>> = native_reach
         .states
         .iter()
@@ -44,7 +46,9 @@ fn textual_cb_reaches_exactly_the_native_states() {
     let textual = load(&programs::cb_source(n, n_phases)).unwrap();
     let textual_explorer = Explorer::new(&textual).with_nondet_samples(4);
     let textual_reach = textual_explorer.reachable(vec![textual.initial_state()], 500_000);
-    assert!(!textual_reach.truncated);
+    let textual_reach = textual_reach
+        .require_complete()
+        .expect("truncated search is not a proof");
     let textual_set: BTreeSet<Vec<Vec<i64>>> = textual_reach.states.into_iter().collect();
 
     assert_eq!(
@@ -78,7 +82,9 @@ fn textual_cb_matches_native_under_detectable_faults() {
             }
             out
         });
-    assert!(!native_reach.truncated);
+    let native_reach = native_reach
+        .require_complete()
+        .expect("truncated search is not a proof");
     let native_set: BTreeSet<Vec<Vec<i64>>> = native_reach
         .states
         .iter()
@@ -99,7 +105,9 @@ fn textual_cb_matches_native_under_detectable_faults() {
             }
             out
         });
-    assert!(!textual_reach.truncated);
+    let textual_reach = textual_reach
+        .require_complete()
+        .expect("truncated search is not a proof");
     let textual_set: BTreeSet<Vec<Vec<i64>>> = textual_reach.states.into_iter().collect();
 
     assert_eq!(native_set, textual_set);
@@ -130,7 +138,9 @@ fn textual_token_ring_reaches_exactly_the_native_states() {
             })
             .collect()
     });
-    assert!(!native_reach.truncated);
+    let native_reach = native_reach
+        .require_complete()
+        .expect("truncated search is not a proof");
     let native_set: BTreeSet<Vec<i64>> = native_reach
         .states
         .iter()
@@ -149,7 +159,9 @@ fn textual_token_ring_reaches_exactly_the_native_states() {
                 })
                 .collect()
         });
-    assert!(!textual_reach.truncated);
+    let textual_reach = textual_reach
+        .require_complete()
+        .expect("truncated search is not a proof");
     let textual_set: BTreeSet<Vec<i64>> = textual_reach
         .states
         .into_iter()
@@ -295,7 +307,9 @@ fn textual_rb_reaches_exactly_the_native_states() {
             }
             out
         });
-    assert!(!native_reach.truncated);
+    let native_reach = native_reach
+        .require_complete()
+        .expect("truncated search is not a proof");
     let native_set: BTreeSet<Vec<Vec<i64>>> = native_reach
         .states
         .iter()
@@ -328,7 +342,9 @@ fn textual_rb_reaches_exactly_the_native_states() {
             }
             out
         });
-    assert!(!textual_reach.truncated);
+    let textual_reach = textual_reach
+        .require_complete()
+        .expect("truncated search is not a proof");
     let textual_set: BTreeSet<Vec<Vec<i64>>> = textual_reach.states.into_iter().collect();
 
     assert_eq!(

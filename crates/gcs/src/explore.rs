@@ -26,12 +26,104 @@ pub struct Exploration<S> {
     pub deadlocks: Vec<Vec<S>>,
     /// True if the search stopped at `limit` before exhausting the space.
     pub truncated: bool,
+    /// The state limit the search ran under.
+    pub limit: usize,
+}
+
+impl<S> Exploration<S> {
+    /// Promote truncation to a typed hard failure: a truncated search proves
+    /// nothing, so any consumer about to assert an invariant over
+    /// [`Exploration::states`] must go through this first.
+    pub fn require_complete(self) -> Result<Exploration<S>, CheckFailure<S>> {
+        if self.truncated {
+            return Err(CheckFailure::Truncated {
+                limit: self.limit,
+                explored: self.states.len(),
+            });
+        }
+        Ok(self)
+    }
 }
 
 /// A counterexample to an invariant: the violating state.
 #[derive(Debug)]
 pub struct CounterExample<S> {
     pub state: Vec<S>,
+}
+
+/// Why an exhaustive check did not pass.
+#[derive(Debug)]
+pub enum CheckFailure<S> {
+    /// The search stopped at its state limit before exhausting the space;
+    /// the exploration is *not* a proof and must not be treated as one.
+    Truncated { limit: usize, explored: usize },
+    /// The property genuinely fails in a reachable state.
+    Violation(CounterExample<S>),
+}
+
+impl<S: std::fmt::Debug> std::fmt::Display for CheckFailure<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckFailure::Truncated { limit, explored } => write!(
+                f,
+                "state space exceeded limit {limit} ({explored} states explored); \
+                 the check is inconclusive"
+            ),
+            CheckFailure::Violation(ce) => {
+                write!(f, "invariant violated in state {:?}", ce.state)
+            }
+        }
+    }
+}
+
+/// The universe handed to [`Explorer::stabilization`] was not closed under
+/// the program's transitions: `state` has a successor outside the universe.
+#[derive(Debug)]
+pub struct NotClosed<S> {
+    pub state: Vec<S>,
+    pub successor: Vec<S>,
+}
+
+/// How a state that cannot reach the goal fails.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StuckKind {
+    /// Every execution from the state halts in a fixpoint outside the goal.
+    Deadlock,
+    /// Some execution from the state runs forever (reaches a cycle) without
+    /// ever passing through the goal.
+    Livelock,
+}
+
+/// Result of a full-universe stabilization audit
+/// ([`Explorer::stabilization`]).
+#[derive(Debug)]
+pub struct StabilizationReport<S> {
+    /// For each universe state (parallel to the input), the minimal number
+    /// of transitions to a goal state; `None` = the goal is unreachable.
+    pub distances: Vec<Option<u32>>,
+    /// The states that cannot reach the goal, classified. Empty iff the
+    /// program is stabilizing over this universe.
+    pub stuck: Vec<(Vec<S>, StuckKind)>,
+}
+
+impl<S> StabilizationReport<S> {
+    pub fn is_stabilizing(&self) -> bool {
+        self.stuck.is_empty()
+    }
+
+    /// Worst-case stabilization distance over the states that do converge.
+    pub fn max_distance(&self) -> u32 {
+        self.distances.iter().flatten().copied().max().unwrap_or(0)
+    }
+
+    /// Mean stabilization distance over the states that do converge.
+    pub fn mean_distance(&self) -> f64 {
+        let converging: Vec<u32> = self.distances.iter().flatten().copied().collect();
+        if converging.is_empty() {
+            return 0.0;
+        }
+        converging.iter().map(|&d| d as f64).sum::<f64>() / converging.len() as f64
+    }
 }
 
 /// Exhaustive explorer over a protocol, with optional extra transitions
@@ -131,6 +223,7 @@ where
             states,
             deadlocks,
             truncated,
+            limit,
         }
     }
 
@@ -139,18 +232,19 @@ where
         self.reachable_with(roots, limit, |_| Vec::new())
     }
 
-    /// Check that `invariant` holds in every reachable state.
+    /// Check that `invariant` holds in every reachable state. Truncation is
+    /// a hard failure ([`CheckFailure::Truncated`]): a partial search must
+    /// never read as a completed proof.
     pub fn check_invariant(
         &self,
         roots: Vec<Vec<P::State>>,
         limit: usize,
         invariant: impl Fn(&[P::State]) -> bool,
-    ) -> Result<Exploration<P::State>, CounterExample<P::State>> {
-        let exploration = self.reachable(roots, limit);
-        assert!(!exploration.truncated, "state space exceeded limit {limit}");
+    ) -> Result<Exploration<P::State>, CheckFailure<P::State>> {
+        let exploration = self.reachable(roots, limit).require_complete()?;
         for s in &exploration.states {
             if !invariant(s) {
-                return Err(CounterExample { state: s.clone() });
+                return Err(CheckFailure::Violation(CounterExample { state: s.clone() }));
             }
         }
         Ok(exploration)
@@ -168,44 +262,112 @@ where
         universe: &[Vec<P::State>],
         goal: impl Fn(&[P::State]) -> bool,
     ) -> Vec<Vec<P::State>> {
+        self.stabilization(universe, goal)
+            .expect("universe not closed under transitions")
+            .stuck
+            .into_iter()
+            .map(|(s, _)| s)
+            .collect()
+    }
+
+    /// The full stabilization audit behind [`Explorer::states_not_reaching`]:
+    /// additionally computes, for every universe state, the minimal number of
+    /// transitions to the goal (the stabilization distance — the paper's
+    /// recovery-cost measure), and classifies each non-converging state as a
+    /// deadlock (all executions halt) or a livelock (a cycle is reachable
+    /// that never passes through the goal).
+    pub fn stabilization(
+        &self,
+        universe: &[Vec<P::State>],
+        goal: impl Fn(&[P::State]) -> bool,
+    ) -> Result<StabilizationReport<P::State>, NotClosed<P::State>> {
         let index: HashMap<&[P::State], usize> = universe
             .iter()
             .enumerate()
             .map(|(i, s)| (s.as_slice(), i))
             .collect();
-        // Build the reverse adjacency.
+        // Forward and reverse adjacency (successor lists deduplicated so the
+        // livelock peel below counts each edge exactly once).
+        let mut succs: Vec<Vec<usize>> = vec![Vec::new(); universe.len()];
         let mut preds: Vec<Vec<usize>> = vec![Vec::new(); universe.len()];
         for (i, s) in universe.iter().enumerate() {
+            let mut out: Vec<usize> = Vec::new();
             for succ in self.successors(s) {
-                let j = *index
-                    .get(succ.as_slice())
-                    .expect("universe not closed under transitions");
+                match index.get(succ.as_slice()) {
+                    Some(&j) => out.push(j),
+                    None => {
+                        return Err(NotClosed {
+                            state: s.clone(),
+                            successor: succ,
+                        })
+                    }
+                }
+            }
+            out.sort_unstable();
+            out.dedup();
+            for &j in &out {
                 preds[j].push(i);
             }
+            succs[i] = out;
         }
-        // Backward closure from the goal set.
-        let mut can_reach = vec![false; universe.len()];
+        // Multi-source backward BFS from the goal set: distance = minimal
+        // transitions to *some* goal state.
+        let mut distances: Vec<Option<u32>> = vec![None; universe.len()];
         let mut queue: VecDeque<usize> = VecDeque::new();
         for (i, s) in universe.iter().enumerate() {
             if goal(s) {
-                can_reach[i] = true;
+                distances[i] = Some(0);
                 queue.push_back(i);
             }
         }
         while let Some(j) = queue.pop_front() {
+            let d = distances[j].expect("queued states have distances");
             for &i in &preds[j] {
-                if !can_reach[i] {
-                    can_reach[i] = true;
+                if distances[i].is_none() {
+                    distances[i] = Some(d + 1);
                     queue.push_back(i);
                 }
             }
         }
-        universe
+        // Classify the stuck states. Every successor of a stuck state is
+        // itself stuck, so within the stuck subgraph we peel states whose
+        // every outgoing edge leads to an already-peeled state: the peeled
+        // states' executions all halt (deadlock-bound); whatever survives
+        // the peel can reach a cycle (livelock).
+        let stuck_ids: Vec<usize> = (0..universe.len())
+            .filter(|&i| distances[i].is_none())
+            .collect();
+        let mut outdeg: HashMap<usize, usize> =
+            stuck_ids.iter().map(|&i| (i, succs[i].len())).collect();
+        let mut peel: VecDeque<usize> = stuck_ids
             .iter()
-            .enumerate()
-            .filter(|&(i, _)| !can_reach[i])
-            .map(|(_, s)| s.clone())
-            .collect()
+            .copied()
+            .filter(|i| outdeg[i] == 0)
+            .collect();
+        let mut peeled: Vec<bool> = vec![false; universe.len()];
+        while let Some(j) = peel.pop_front() {
+            peeled[j] = true;
+            for &i in &preds[j] {
+                if let Some(d) = outdeg.get_mut(&i) {
+                    *d -= 1;
+                    if *d == 0 {
+                        peel.push_back(i);
+                    }
+                }
+            }
+        }
+        let stuck = stuck_ids
+            .into_iter()
+            .map(|i| {
+                let kind = if peeled[i] {
+                    StuckKind::Deadlock
+                } else {
+                    StuckKind::Livelock
+                };
+                (universe[i].clone(), kind)
+            })
+            .collect();
+        Ok(StabilizationReport { distances, stuck })
     }
 }
 
@@ -260,7 +422,35 @@ mod tests {
         let err = explorer
             .check_invariant(vec![r.initial_state()], 100_000, |s| s[0] == 0)
             .unwrap_err();
-        assert_ne!(err.state[0], 0);
+        match err {
+            CheckFailure::Violation(ce) => assert_ne!(ce.state[0], 0),
+            other => panic!("expected a violation, got {other}"),
+        }
+    }
+
+    #[test]
+    fn truncated_search_is_a_hard_failure_not_a_proof() {
+        // The ring reaches 12 states; a limit of 5 truncates the search, and
+        // the checker must refuse to conclude anything — even though every
+        // state it *did* see satisfies the (true) invariant.
+        let r = ring(3, 4);
+        let explorer = Explorer::new(&r);
+        let err = explorer
+            .check_invariant(vec![r.initial_state()], 5, |s| tokens(&r, s) == 1)
+            .unwrap_err();
+        match err {
+            CheckFailure::Truncated { limit, explored } => {
+                assert_eq!(limit, 5);
+                assert!(explored >= 5);
+            }
+            other => panic!("expected truncation, got {other}"),
+        }
+        // require_complete on an un-truncated search passes through.
+        let full = explorer
+            .reachable(vec![r.initial_state()], 100_000)
+            .require_complete()
+            .expect("complete search");
+        assert_eq!(full.states.len(), 12);
     }
 
     #[test]
@@ -274,6 +464,64 @@ mod tests {
         assert_eq!(universe.len(), 64);
         let stuck = explorer.states_not_reaching(&universe, |s| tokens(&r, s) == 1);
         assert!(stuck.is_empty(), "{} states cannot stabilize", stuck.len());
+    }
+
+    #[test]
+    fn stabilization_distances_grow_with_corruption_depth() {
+        let r = ring(3, 4);
+        let explorer = Explorer::new(&r);
+        let domain: Vec<u64> = (0..4).collect();
+        let u = universe(&[domain.clone(), domain.clone(), domain]);
+        let report = explorer
+            .stabilization(&u, |s| tokens(&r, s) == 1)
+            .expect("closed universe");
+        assert!(report.is_stabilizing());
+        // Legal states are at distance 0; the worst corrupted state needs a
+        // positive, bounded number of steps.
+        for (i, s) in u.iter().enumerate() {
+            if tokens(&r, s) == 1 {
+                assert_eq!(report.distances[i], Some(0));
+            } else {
+                assert!(report.distances[i].unwrap_or(0) >= 1);
+            }
+        }
+        assert!(report.max_distance() >= 1);
+        assert!(report.mean_distance() > 0.0);
+        assert!(
+            (report.max_distance() as usize) < u.len(),
+            "a BFS distance is always shorter than the state count"
+        );
+    }
+
+    #[test]
+    fn stabilization_classifies_deadlocks_and_livelocks() {
+        // Ask for an unreachable goal: the legal one-token states cycle
+        // forever without ever reaching "two tokens" (livelock w.r.t. that
+        // goal); the ring itself never deadlocks.
+        let r = ring(3, 4);
+        let explorer = Explorer::new(&r);
+        let domain: Vec<u64> = (0..4).collect();
+        let u = universe(&[domain.clone(), domain.clone(), domain]);
+        let report = explorer
+            .stabilization(&u, |_| false)
+            .expect("closed universe");
+        assert_eq!(report.stuck.len(), u.len(), "no state reaches `false`");
+        assert!(
+            report
+                .stuck
+                .iter()
+                .all(|(_, kind)| *kind == StuckKind::Livelock),
+            "Dijkstra's ring never halts, so every stuck state is a livelock"
+        );
+    }
+
+    #[test]
+    fn stabilization_rejects_unclosed_universe() {
+        let r = ring(2, 3);
+        let explorer = Explorer::new(&r);
+        // A universe missing most states is not closed under transitions.
+        let err = explorer.stabilization(&[vec![0, 0]], |_| true).unwrap_err();
+        assert_eq!(err.state, vec![0, 0]);
     }
 
     #[test]

@@ -37,12 +37,15 @@ pub mod time;
 pub mod trace;
 
 pub use engine::{Engine, EngineConfig, RunOutcome, StopReason};
-pub use explore::{universe, CounterExample, Exploration, Explorer};
+pub use explore::{
+    universe, CheckFailure, CounterExample, Exploration, Explorer, NotClosed, StabilizationReport,
+    StuckKind,
+};
 pub use fault::{
     rate_for_frequency, FaultAction, FaultHit, FaultKind, FaultPlan, PoissonFaults, ScriptedFault,
     ScriptedFaults, VictimPolicy,
 };
-pub use interleave::{Interleaving, InterleavingConfig};
+pub use interleave::{ChoicePolicy, Interleaving, InterleavingConfig};
 pub use monitor::{Monitor, MonitorSet, NullMonitor};
 pub use protocol::{ActionId, Pid, Protocol, ReaderSet};
 pub use rng::SimRng;

@@ -53,6 +53,10 @@ pub struct MbConfig {
     /// Observability sink (disabled by default). Recorded post-run from the
     /// merged event log; the protocol path never touches it.
     pub telemetry: Telemetry,
+    /// Sequence-number domain override; `None` uses the default
+    /// [`sn_domain`]`(n)`. Validated against the paper's `L > 2N+1`
+    /// precondition at run start.
+    pub sn_domain: Option<u32>,
 }
 
 impl Default for MbConfig {
@@ -67,6 +71,7 @@ impl Default for MbConfig {
             work: None,
             deadline: Time::new(30.0),
             telemetry: Telemetry::off(),
+            sn_domain: None,
         }
     }
 }
@@ -141,6 +146,10 @@ pub fn spawn_on<E: Endpoint + Send + 'static>(
     assert!(config.n_phases >= 2);
     assert_eq!(endpoints.len(), config.n, "one endpoint per process");
     let n = config.n;
+    let l = match config.sn_domain {
+        Some(l) => crate::proc::try_sn_domain(n, l).expect("MbConfig.sn_domain"),
+        None => sn_domain(n),
+    };
     let mut rng = SimRng::seed_from_u64(config.seed ^ 0xC0DE);
     let seq = Arc::new(AtomicU64::new(0));
 
@@ -161,7 +170,7 @@ pub fn spawn_on<E: Endpoint + Send + 'static>(
         let seq = Arc::clone(&seq);
         let config = config.clone();
         threads.push(std::thread::spawn(move || {
-            let mut core = MbCore::new(pid, config.n_phases, sn_domain(n), seed, seq);
+            let mut core = MbCore::new(pid, config.n_phases, l, seed, seq);
             let mut last_gossip = clock.now();
             core.events.reserve(256);
             let mut sent = 0u64;

@@ -17,10 +17,11 @@
 //! detectable-fault state (`sn = ⊥, cp = error`).
 
 use crate::channel::Delivery;
-use crate::proc::{pump, sn_domain, CpEvent, MbCore, StateMsg};
+use crate::proc::{pump, sn_domain, try_sn_domain, CpEvent, MbCore, StateMsg};
 use crate::simnet::{LinkConfig, NetStats, SimNet};
 use crate::transport::Endpoint;
 use ftbarrier_core::spec::{Anchor, BarrierOracle, OracleConfig, Violation};
+use ftbarrier_core::{DomainError, Sn};
 use ftbarrier_gcs::{SimRng, Time};
 use ftbarrier_telemetry::Telemetry;
 use std::cell::RefCell;
@@ -57,6 +58,16 @@ pub struct FaultPlan {
     pub poisons: Vec<(f64, usize)>,
     /// `(time, pid)`: undetectable faults (arbitrary state).
     pub scrambles: Vec<(f64, usize)>,
+    /// `(time, pid)`: undetectable corruption of the *local neighbor copy*
+    /// only — `own` stays intact, the cached predecessor state is replaced
+    /// by an arbitrary domain value (a scrambled receive buffer).
+    pub copy_scrambles: Vec<(f64, usize)>,
+    /// `(time, link)`: forge the `sn` of every message in flight on `link`
+    /// to one arbitrary value drawn from the full `u32` range — i.e.
+    /// possibly far beyond the `L > 2N+1` window. Unlike the fault model's
+    /// `corruption` probability this is undetectable: the payload is
+    /// rewritten in place and the receiver sees a well-formed message.
+    pub forges: Vec<(f64, usize)>,
     pub crashes: Vec<CrashPlan>,
     pub partitions: Vec<PartitionPlan>,
     /// Poisson rate of additional poisons landing on uniformly random
@@ -83,6 +94,21 @@ pub struct SimMbConfig {
     /// Virtual-time safety limit.
     pub max_time: f64,
     pub plan: FaultPlan,
+    /// Sequence-number domain override; `None` uses the default
+    /// [`sn_domain`]`(n)`. Validated against the paper's `L > 2N+1`
+    /// precondition at run start.
+    pub sn_domain: Option<u32>,
+}
+
+impl SimMbConfig {
+    /// Check the paper's domain precondition `L > 2N+1` for an explicit
+    /// sequence-number domain (the default is always valid).
+    pub fn validate(&self) -> Result<(), DomainError> {
+        if let Some(l) = self.sn_domain {
+            try_sn_domain(self.n, l)?;
+        }
+        Ok(())
+    }
 }
 
 impl Default for SimMbConfig {
@@ -97,6 +123,7 @@ impl Default for SimMbConfig {
             phase_cost: 1.0,
             max_time: 10_000.0,
             plan: FaultPlan::default(),
+            sn_domain: None,
         }
     }
 }
@@ -168,6 +195,8 @@ enum Ctl {
     WorkDone { pid: usize, token: u64 },
     Poison { pid: usize },
     Scramble { pid: usize },
+    ScrambleCopy { pid: usize },
+    Forge { link: usize },
     Crash { pid: usize },
     Reboot { pid: usize },
     Cut { link: usize },
@@ -277,6 +306,28 @@ impl Driver {
                     self.poison(pid, "scramble");
                 }
             }
+            Ctl::ScrambleCopy { pid } => {
+                if self.alive[pid] {
+                    let _ = writeln!(self.trace, "t {} scramble-copy p{pid}", self.now);
+                    self.cores[pid].apply_copy_scramble(self.now);
+                    // `own` is intact, so no gossip — but the corrupted copy
+                    // may enable token actions at `pid` right now.
+                    self.drive(pid);
+                }
+            }
+            Ctl::Forge { link } => {
+                // Forge beyond the L window: any u32, including values no
+                // honest sender could have produced.
+                let forged = self.fault_rng.range_u64(0, u64::MAX) as u32;
+                let hit = self.net.borrow_mut().corrupt_in_flight(link, &mut |m| {
+                    m.sn = Sn::Val(forged);
+                });
+                let _ = writeln!(
+                    self.trace,
+                    "t {} forge link {link} sn={forged} x{hit}",
+                    self.now
+                );
+            }
             Ctl::Crash { pid } => {
                 let _ = writeln!(self.trace, "t {} crash p{pid}", self.now);
                 self.alive[pid] = false;
@@ -332,6 +383,10 @@ pub fn run_with_telemetry(cfg: SimMbConfig, telemetry: &Telemetry) -> SimMbRepor
     );
     assert!(cfg.phase_cost >= 0.0 && cfg.phase_cost.is_finite());
     let n = cfg.n;
+    let l = match cfg.sn_domain {
+        Some(l) => try_sn_domain(n, l).expect("SimMbConfig.sn_domain"),
+        None => sn_domain(n),
+    };
 
     let mut rng = SimRng::seed_from_u64(cfg.seed);
     let seq = Arc::new(AtomicU64::new(0));
@@ -340,7 +395,7 @@ pub fn run_with_telemetry(cfg: SimMbConfig, telemetry: &Telemetry) -> SimMbRepor
             MbCore::new(
                 pid,
                 cfg.n_phases,
-                sn_domain(n),
+                l,
                 rng.range_u64(0, u64::MAX),
                 Arc::clone(&seq),
             )
@@ -382,6 +437,12 @@ pub fn run_with_telemetry(cfg: SimMbConfig, telemetry: &Telemetry) -> SimMbRepor
     }
     for &(t, pid) in &plan.scrambles {
         d.schedule(t, Ctl::Scramble { pid });
+    }
+    for &(t, pid) in &plan.copy_scrambles {
+        d.schedule(t, Ctl::ScrambleCopy { pid });
+    }
+    for &(t, link) in &plan.forges {
+        d.schedule(t, Ctl::Forge { link });
     }
     for c in &plan.crashes {
         assert!(c.reboot_at >= c.at, "reboot before crash");

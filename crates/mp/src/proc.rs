@@ -265,6 +265,19 @@ impl MbCore {
         self.record(now, old);
     }
 
+    /// Inject an undetectable fault into the *local neighbor copy only*:
+    /// `own` stays intact, but the cached predecessor state is replaced by an
+    /// arbitrary domain value. This models a corrupted receive buffer — the
+    /// §5 refinement's new failure surface relative to the shared-memory
+    /// ring, where no such cache exists.
+    pub fn apply_copy_scramble(&mut self, _now: Time) {
+        self.copy = StateMsg {
+            sn: Sn::arbitrary(self.sn_domain, &mut self.rng),
+            cp: *self.rng.choose(&Cp::RB_DOMAIN),
+            ph: self.rng.range_u64(0, self.n_phases as u64) as u32,
+        };
+    }
+
     /// Fold one delivery from the predecessor into the local copy.
     ///
     /// §5: "the local copy of sn.(j-1) in j is updated only if sn.(j-1) is
@@ -323,4 +336,16 @@ pub fn pump<E: crate::transport::Endpoint + ?Sized>(
 /// The MB sequence-number domain for `n` processes: `L > 2N+1` with headroom.
 pub fn sn_domain(n: usize) -> u32 {
     4 * n as u32 + 3
+}
+
+/// Validate a caller-chosen MB sequence-number domain against the paper's
+/// `L > 2N+1` precondition (§5; with `n` processes and up to one message per
+/// link in flight, fewer than `2N+2` distinct values can confuse a stale
+/// in-flight `sn` with a live one and duplicate the token).
+pub fn try_sn_domain(n: usize, l: u32) -> Result<u32, ftbarrier_core::DomainError> {
+    let min = 2 * n as u32 + 2;
+    if l < min {
+        return Err(ftbarrier_core::DomainError::LTooSmall { l, min });
+    }
+    Ok(l)
 }

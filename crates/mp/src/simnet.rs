@@ -334,6 +334,34 @@ impl<T: Clone> SimNet<T> {
     pub fn pop_inbox(&mut self, link: usize) -> Option<Delivery<T>> {
         self.links[link].inbox.pop_front()
     }
+
+    /// Apply `f` to every intact in-flight payload on `link` (including a
+    /// held reordered message), *undetectably* — delivery times, event order
+    /// and already-`Corrupted` markers are untouched. This is how the
+    /// corruption campaign forges wire contents: unlike the fault model's
+    /// `corruption` (which flags the delivery as `Corrupted` and is therefore
+    /// detectable), a forge rewrites bytes in place and the receiver has no
+    /// way to tell. Returns the number of payloads rewritten.
+    pub fn corrupt_in_flight(&mut self, link: usize, f: &mut dyn FnMut(&mut T)) -> usize {
+        let mut hit = 0;
+        let drained = std::mem::take(&mut self.queue);
+        let mut rebuilt = BinaryHeap::with_capacity(drained.len());
+        for Reverse(mut m) in drained.into_iter() {
+            if m.link == link {
+                if let Delivery::Ok(payload) = &mut m.delivery {
+                    f(payload);
+                    hit += 1;
+                }
+            }
+            rebuilt.push(Reverse(m));
+        }
+        self.queue = rebuilt;
+        if let Some(Delivery::Ok(payload)) = &mut self.links[link].held {
+            f(payload);
+            hit += 1;
+        }
+        hit
+    }
 }
 
 #[cfg(test)]
@@ -474,6 +502,34 @@ mod tests {
     #[should_panic]
     fn rejects_negative_latency() {
         let _ = net(ChannelFaults::NONE, LatencyModel::Fixed(-0.1), 1);
+    }
+
+    #[test]
+    fn corrupt_in_flight_rewrites_payloads_without_reordering() {
+        let mut n = net(ChannelFaults::NONE, LatencyModel::Fixed(0.5), 1);
+        n.send(0, 1);
+        n.send(0, 2);
+        let before = n.next_event_time();
+        let hit = n.corrupt_in_flight(0, &mut |v| *v += 100);
+        assert_eq!(hit, 2);
+        assert_eq!(n.next_event_time(), before, "delivery schedule untouched");
+        n.advance_to(Time::new(0.5));
+        assert_eq!(n.pop_inbox(0), Some(Delivery::Ok(101)));
+        assert_eq!(n.pop_inbox(0), Some(Delivery::Ok(102)));
+        // A held (reordered) message is part of the in-flight set too.
+        let mut n = net(
+            ChannelFaults {
+                reorder: 1.0,
+                ..ChannelFaults::NONE
+            },
+            LatencyModel::Fixed(0.0),
+            1,
+        );
+        n.send(0, 5); // held
+        assert_eq!(n.corrupt_in_flight(0, &mut |v| *v = 9), 1);
+        n.flush(0);
+        n.advance_to(Time::ZERO);
+        assert_eq!(n.pop_inbox(0), Some(Delivery::Ok(9)));
     }
 
     #[test]

@@ -351,3 +351,84 @@ fn rejects_single_process() {
         ..Default::default()
     });
 }
+
+#[test]
+fn copy_scramble_recovers_and_makes_progress() {
+    // A scrambled receive buffer (local neighbor copy only) is an
+    // undetectable fault: the run may transiently misbehave but must
+    // re-stabilize and keep advancing phases.
+    for seed in [5, 17, 901] {
+        let report = run(SimMbConfig {
+            n: 4,
+            target_phases: 14,
+            seed,
+            plan: FaultPlan {
+                copy_scrambles: vec![(4.2, 3), (6.1, 0)],
+                ..Default::default()
+            },
+            ..Default::default()
+        });
+        assert!(
+            report.reached_target,
+            "seed {seed}: no post-copy-scramble progress: {report:?}"
+        );
+    }
+}
+
+#[test]
+fn forged_in_flight_sn_recovers_and_makes_progress() {
+    // Forging the sn of in-flight messages to an arbitrary u32 (far beyond
+    // the L > 2N+1 window) is undetectable wire corruption; the ring must
+    // still stabilize. This exercised the Sn::next overflow fixed in core.
+    for seed in [1, 42, 7777] {
+        let report = run(SimMbConfig {
+            n: 4,
+            target_phases: 14,
+            seed,
+            plan: FaultPlan {
+                forges: vec![(3.0, 0), (3.5, 2), (5.0, 1)],
+                ..Default::default()
+            },
+            ..Default::default()
+        });
+        assert!(
+            report.reached_target,
+            "seed {seed}: no post-forge progress: {report:?}"
+        );
+    }
+}
+
+#[test]
+fn sn_domain_below_window_is_rejected() {
+    use ftbarrier_core::DomainError;
+    // n = 4: the paper needs L > 2N+1, i.e. at least 10 here.
+    let cfg = SimMbConfig {
+        n: 4,
+        sn_domain: Some(9),
+        ..Default::default()
+    };
+    assert_eq!(
+        cfg.validate(),
+        Err(DomainError::LTooSmall { l: 9, min: 10 })
+    );
+    let ok = SimMbConfig {
+        n: 4,
+        sn_domain: Some(10),
+        target_phases: 6,
+        ..Default::default()
+    };
+    assert_eq!(ok.validate(), Ok(()));
+    let report = run(ok);
+    assert!(report.reached_target, "{report:?}");
+    assert!(report.violations.is_empty(), "{:?}", report.violations);
+}
+
+#[test]
+#[should_panic]
+fn run_rejects_invalid_sn_domain() {
+    let _ = run(SimMbConfig {
+        n: 4,
+        sn_domain: Some(3),
+        ..Default::default()
+    });
+}

@@ -53,17 +53,29 @@ impl PhaseOutcome {
     }
 }
 
-/// Barrier failure under [`FailurePolicy::FailSafe`].
+/// Barrier failure.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BarrierError {
-    /// An uncorrectable fault was reported: the barrier is permanently
-    /// broken and will never (incorrectly) report completion again.
+    /// An uncorrectable fault was reported under
+    /// [`FailurePolicy::FailSafe`]: the barrier is permanently broken and
+    /// will never (incorrectly) report completion again.
     Broken,
+    /// The caller violated the enter/leave protocol (double `enter`,
+    /// `leave` without `enter`). Returned instead of panicking so one
+    /// confused participant degrades gracefully rather than cascading a
+    /// panic across the process group; the participant's own state is left
+    /// untouched and a correct retry may proceed.
+    Misuse(&'static str),
 }
 
 impl std::fmt::Display for BarrierError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "barrier permanently broken by an uncorrectable fault")
+        match self {
+            BarrierError::Broken => {
+                write!(f, "barrier permanently broken by an uncorrectable fault")
+            }
+            BarrierError::Misuse(what) => write!(f, "barrier protocol misuse: {what}"),
+        }
     }
 }
 
@@ -84,6 +96,27 @@ impl Shared {
     fn children(&self, i: usize) -> impl Iterator<Item = usize> + '_ {
         let first = self.arity * i + 1;
         (first..first + self.arity).take_while(move |&c| c < self.n)
+    }
+
+    /// Re-publish the root's last release (and the phase word it covers) if
+    /// an undetectable fault overwrote either with a different well-formed
+    /// word. Phase first, release second — same order as the original
+    /// publish, so a waiter that sees the release also sees its phase.
+    fn reassert_root(&self, epoch: u64, outcome: u8, phase: u64) {
+        if self.phase_word.load() != (phase, 0) {
+            self.phase_word.store(phase, 0);
+        }
+        if self.release.load() != (epoch, outcome) {
+            self.release.store(epoch, outcome);
+        }
+    }
+
+    /// Re-publish participant `id`'s arrival if a fault erased it before
+    /// the parent consumed it.
+    fn reassert_slot(&self, id: usize, epoch: u64, payload: u8) {
+        if self.slots[id].load() != (epoch, payload) {
+            self.slots[id].store(epoch, payload);
+        }
     }
 }
 
@@ -116,6 +149,16 @@ pub struct Participant {
     /// Fuzzy-barrier state: outcome pending between `enter` and `leave`
     /// (root only — it computes the outcome at publish time).
     pending_root: Option<(u8, u64)>,
+    /// Root only: the last published `(epoch, outcome, phase)`. The root
+    /// re-asserts these words whenever it waits (and on [`reassert`]), so a
+    /// forged-but-well-formed overwrite of a release a waiter has not yet
+    /// observed is transient rather than a permanent wedge.
+    ///
+    /// [`reassert`]: Participant::reassert
+    published_root: Option<(u64, u8, u64)>,
+    /// Non-root only: the last published `(epoch, payload)` arrival,
+    /// re-asserted while waiting for the matching release.
+    published_slot: Option<(u64, u8)>,
     entered: bool,
     broken: bool,
 }
@@ -169,6 +212,8 @@ impl FtBarrierBuilder {
                 epoch: 1,
                 phase: 0,
                 pending_root: None,
+                published_root: None,
+                published_slot: None,
                 entered: false,
                 broken: false,
             })
@@ -287,7 +332,9 @@ impl Participant {
             self.broken = true;
             return Err(BarrierError::Broken);
         }
-        assert!(!self.entered, "enter() called twice without leave()");
+        if self.entered {
+            return Err(BarrierError::Misuse("enter() called twice without leave()"));
+        }
         let started = std::time::Instant::now();
         let e = self.epoch;
         let mut failed = !ok;
@@ -312,6 +359,12 @@ impl Participant {
                         break 'children;
                     }
                 }
+                // A missing child may itself be stuck on the previous
+                // release if a fault erased it after we published; keep the
+                // last publication asserted while we wait.
+                if let Some((pe, outcome, phase)) = self.published_root {
+                    shared.reassert_root(pe, outcome, phase);
+                }
                 if backoff.is_completed() {
                     std::thread::yield_now();
                 } else {
@@ -324,6 +377,7 @@ impl Participant {
         } else {
             let payload = if failed { ARRIVED_FAILED } else { ARRIVED_OK };
             self.shared.slots[self.id].store(e, payload);
+            self.published_slot = Some((e, payload));
         }
         self.entered = true;
         Ok(())
@@ -354,13 +408,16 @@ impl Participant {
         self.shared.phase_word.store(new_phase, 0);
         self.shared.release.store(epoch, outcome);
         self.pending_root = Some((outcome, new_phase));
+        self.published_root = Some((epoch, outcome, new_phase));
         Ok(())
     }
 
     /// Fuzzy barrier, second half: wait for the release and learn the
     /// outcome.
     pub fn leave(&mut self) -> Result<PhaseOutcome, BarrierError> {
-        assert!(self.entered, "leave() without enter()");
+        if !self.entered {
+            return Err(BarrierError::Misuse("leave() without enter()"));
+        }
         let e = self.epoch;
         let (outcome, phase) = if let Some(pending) = self.pending_root.take() {
             // The root computed the outcome itself; its copy is
@@ -372,6 +429,18 @@ impl Participant {
                 let (re, o) = self.shared.release.load();
                 if re == e {
                     break o;
+                }
+                // The fail-safe break flag is authoritative even if the
+                // BROKEN release word itself was erased by a fault (the
+                // root returns an error and never re-asserts it).
+                if self.shared.broken.load(Ordering::Acquire) {
+                    break BROKEN;
+                }
+                // Keep our arrival asserted: a fault that erased the slot
+                // before the parent consumed it would otherwise stall the
+                // sweep — and this release — forever.
+                if let Some((se, payload)) = self.published_slot {
+                    self.shared.reassert_slot(self.id, se, payload);
                 }
                 if backoff.is_completed() {
                     std::thread::yield_now();
@@ -399,6 +468,22 @@ impl Participant {
                 self.phase = phase;
                 Ok(PhaseOutcome::Repeat { phase })
             }
+        }
+    }
+
+    /// Re-assert this participant's most recent publications against
+    /// undetectable overwrites. The waiting loops do this automatically; a
+    /// caller whose *final* crossing's release may not yet have been
+    /// observed by every other participant (after which this participant
+    /// stops crossing, so nothing would re-assert it) should keep calling
+    /// this until the others have finished — see the drain in
+    /// [`run_phases_observed`](crate::scope::run_phases_observed).
+    pub fn reassert(&self) {
+        if let Some((epoch, outcome, phase)) = self.published_root {
+            self.shared.reassert_root(epoch, outcome, phase);
+        }
+        if let Some((epoch, payload)) = self.published_slot {
+            self.shared.reassert_slot(self.id, epoch, payload);
         }
     }
 }
@@ -598,6 +683,97 @@ mod tests {
         assert_eq!(p1_phase, 6, "participants resynchronize after the forgery");
     }
 
+    /// Pinned by the corruption campaign: a well-formed *erasure* of the
+    /// release word (overwriting it with a stale epoch) after the root
+    /// published it but before a waiter read it used to wedge the waiter
+    /// forever — nothing ever re-published the release. The root now
+    /// re-asserts its last publication while it waits for the next epoch's
+    /// arrivals.
+    #[test]
+    fn forged_release_erasure_does_not_wedge() {
+        let n = 2;
+        let (b, mut parts) = FtBarrier::new(n);
+        let p1 = parts.pop().unwrap();
+        let mut p0 = parts.pop().unwrap();
+
+        // Forge p1's arrival so the root completes epoch 1 alone…
+        b.corrupt(CorruptTarget::Slot(1), crate::word::pack(1, ARRIVED_OK));
+        assert_eq!(p0.arrive().unwrap(), PhaseOutcome::Advance { phase: 1 });
+        // …then erase the release p1 has not yet observed.
+        b.corrupt(CorruptTarget::Release, crate::word::pack(0, ADVANCE));
+
+        // p1 crosses twice: epoch 1 (spinning on the erased release until
+        // the root's next child-wait re-asserts it) and epoch 2 in lockstep.
+        let h = std::thread::spawn(move || {
+            let mut p1 = p1;
+            let first = p1.arrive().unwrap();
+            let second = p1.arrive().unwrap();
+            (first, second)
+        });
+        assert_eq!(p0.arrive().unwrap(), PhaseOutcome::Advance { phase: 2 });
+        let (first, second) = h.join().unwrap();
+        assert_eq!(first, PhaseOutcome::Advance { phase: 1 });
+        assert_eq!(second, PhaseOutcome::Advance { phase: 2 });
+    }
+
+    /// Pinned by the corruption campaign: a well-formed erasure of a
+    /// participant's arrival slot (back to an EMPTY stale epoch) before the
+    /// parent consumed it used to stall the sweep forever. The participant
+    /// now re-asserts its arrival while it waits for the release.
+    #[test]
+    fn forged_slot_erasure_does_not_wedge() {
+        let n = 2;
+        let (b, mut parts) = FtBarrier::new(n);
+        let p1 = parts.pop().unwrap();
+        let mut p0 = parts.pop().unwrap();
+
+        let arrived = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&arrived);
+        let h = std::thread::spawn(move || {
+            let mut p1 = p1;
+            p1.enter(true).unwrap();
+            flag.store(true, Ordering::Release);
+            p1.leave().unwrap()
+        });
+        // Wait for p1's arrival to be published, then erase it before the
+        // root has looked at it.
+        while !arrived.load(Ordering::Acquire) {
+            std::thread::yield_now();
+        }
+        b.corrupt(CorruptTarget::Slot(1), crate::word::pack(0, EMPTY));
+        // The root still completes: p1's release-wait re-asserts the slot.
+        assert_eq!(p0.arrive().unwrap(), PhaseOutcome::Advance { phase: 1 });
+        assert_eq!(h.join().unwrap(), PhaseOutcome::Advance { phase: 1 });
+    }
+
+    /// After a participant's *final* crossing nothing re-asserts its last
+    /// publication automatically — that is what [`Participant::reassert`]
+    /// is for (the scoped driver drains a run with it).
+    #[test]
+    fn reassert_unwedges_a_waiter_after_the_final_crossing() {
+        let (b, mut parts) = FtBarrier::new(2);
+        let p1 = parts.pop().unwrap();
+        let mut p0 = parts.pop().unwrap();
+
+        // The root's final crossing completes alone over a forged arrival,
+        // and its release is then erased before p1 ever ran.
+        b.corrupt(CorruptTarget::Slot(1), crate::word::pack(1, ARRIVED_OK));
+        assert_eq!(p0.arrive().unwrap(), PhaseOutcome::Advance { phase: 1 });
+        b.corrupt(CorruptTarget::Release, crate::word::pack(0, ADVANCE));
+
+        let h = std::thread::spawn(move || {
+            let mut p1 = p1;
+            p1.arrive().unwrap()
+        });
+        // p1 is wedged on the erased release until the finished root
+        // re-asserts it.
+        while !h.is_finished() {
+            p0.reassert();
+            std::thread::yield_now();
+        }
+        assert_eq!(h.join().unwrap(), PhaseOutcome::Advance { phase: 1 });
+    }
+
     #[test]
     fn fuzzy_enter_leave_overlap() {
         let n = 4;
@@ -686,13 +862,16 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
-    fn double_enter_panics() {
+    fn protocol_misuse_is_a_typed_error_not_a_panic() {
         let (_b, mut parts) = FtBarrier::new(1);
         let p = &mut parts[0];
+        // leave() before any enter() is a usage bug — reported, not a panic.
+        assert!(matches!(p.leave(), Err(BarrierError::Misuse(_))));
         p.enter(true).unwrap();
-        // leave() publishes for epoch 1; entering again without leave is a
-        // usage bug.
-        let _ = p.enter(true);
+        // Entering again without leave is equally a usage bug.
+        assert!(matches!(p.enter(true), Err(BarrierError::Misuse(_))));
+        // The participant is still healthy: the crossing completes normally.
+        assert_eq!(p.leave().unwrap(), PhaseOutcome::Advance { phase: 1 });
+        assert_eq!(p.arrive().unwrap(), PhaseOutcome::Advance { phase: 2 });
     }
 }

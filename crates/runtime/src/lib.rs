@@ -33,7 +33,8 @@ pub mod policy;
 pub mod scope;
 pub mod word;
 
+pub use barrier::CorruptTarget;
 pub use barrier::{BarrierError, FtBarrier, FtBarrierBuilder, Participant, PhaseOutcome};
 pub use baseline::{CentralBarrier, TreeBarrier};
 pub use policy::FailurePolicy;
-pub use scope::{run_phases, run_phases_instrumented, PhaseCtx, RunSummary};
+pub use scope::{run_phases, run_phases_instrumented, run_phases_observed, PhaseCtx, RunSummary};

@@ -5,7 +5,7 @@
 //! re-run a phase if anyone faulted" — packaged over `std::thread::scope` so
 //! the phase body can borrow from the caller.
 
-use crate::barrier::{BarrierError, FtBarrierBuilder, PhaseOutcome};
+use crate::barrier::{BarrierError, FtBarrier, FtBarrierBuilder, PhaseOutcome};
 use crate::policy::FailurePolicy;
 use ftbarrier_telemetry::Telemetry;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -37,6 +37,10 @@ pub struct RunSummary {
 /// returns `Ok(())` to report success or `Err(())` to report a detectable
 /// fault for this worker's phase attempt (the phase then repeats for
 /// everyone under [`FailurePolicy::Tolerate`]).
+///
+/// A *panicking* phase body is contained and treated as a detectable fault
+/// for that attempt (the phase repeats), rather than wedging the other
+/// workers forever on a barrier the panicked thread will never reach.
 ///
 /// Phase bodies must be **idempotent across attempts** (e.g. double-buffer
 /// writes and commit on advance), exactly as with raw
@@ -70,11 +74,33 @@ pub fn run_phases_instrumented<F>(
 where
     F: Fn(&PhaseCtx) -> Result<(), ()> + Sync,
 {
+    run_phases_observed(n, phases, policy, telemetry, |_| {}, body)
+}
+
+/// [`run_phases_instrumented`], additionally handing the caller the
+/// barrier's inspection/fault-injection handle just before the workers
+/// start. The corruption campaign uses this to scribble over the barrier's
+/// shared words from a concurrent thread while the run is in flight.
+pub fn run_phases_observed<F, G>(
+    n: usize,
+    phases: u64,
+    policy: FailurePolicy,
+    telemetry: &Telemetry,
+    with_handle: G,
+    body: F,
+) -> Result<RunSummary, BarrierError>
+where
+    F: Fn(&PhaseCtx) -> Result<(), ()> + Sync,
+    G: FnOnce(FtBarrier),
+{
     assert!(n >= 1);
-    let (_handle, participants) = FtBarrierBuilder::new(n).policy(policy).build();
+    let (handle, participants) = FtBarrierBuilder::new(n).policy(policy).build();
+    with_handle(handle);
     let repeats = AtomicU64::new(0);
+    let finished = AtomicU64::new(0);
     let body = &body;
     let repeats_ref = &repeats;
+    let finished_ref = &finished;
     let started = Instant::now();
 
     let result: Result<(), BarrierError> = std::thread::scope(|scope| {
@@ -89,7 +115,14 @@ where
                     ftbarrier_telemetry::TrackId::NONE
                 };
                 let mut attempt: u32 = 1;
-                while p.phase() < phases {
+                // Count completed phases locally instead of trusting
+                // `p.phase()`: a forged (well-formed) phase word is adopted
+                // by non-root participants on release, and comparing it
+                // against `phases` would let those workers exit early while
+                // the root spins forever waiting for their arrivals. The
+                // local count is immune to shared-word corruption.
+                let mut completed: u64 = 0;
+                while completed < phases {
                     let ctx = PhaseCtx {
                         worker: p.id(),
                         n,
@@ -101,7 +134,15 @@ where
                     } else {
                         0.0
                     };
-                    let verdict = body(&ctx);
+                    // A panicking body is a detectable fault for this
+                    // attempt: report it and repeat, don't strand the other
+                    // workers at a barrier this thread would never reach.
+                    let verdict =
+                        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&ctx)))
+                        {
+                            Ok(v) => v,
+                            Err(_) => Err(()),
+                        };
                     let outcome = match verdict {
                         Ok(()) => p.arrive()?,
                         Err(()) => p.arrive_failed()?,
@@ -133,11 +174,24 @@ where
                     }
                     if advanced {
                         attempt = 1;
+                        completed += 1;
                     } else {
                         attempt += 1;
                         if p.id() == 0 {
                             repeats_ref.fetch_add(1, Ordering::Relaxed);
                         }
+                    }
+                }
+                finished_ref.fetch_add(1, Ordering::AcqRel);
+                if p.id() == 0 {
+                    // Drain: the root's waiting loops re-assert its
+                    // publications against undetectable overwrites, but
+                    // after its final crossing it stops waiting — so keep
+                    // the final release asserted by hand until every worker
+                    // has observed it and left its own final crossing.
+                    while finished_ref.load(Ordering::Acquire) < n as u64 {
+                        p.reassert();
+                        std::thread::yield_now();
                     }
                 }
                 Ok(())
@@ -291,6 +345,56 @@ mod tests {
         let plain = run_phases(2, 6, FailurePolicy::Tolerate, body).unwrap();
         let inst = run_phases_instrumented(2, 6, FailurePolicy::Tolerate, &tele, body).unwrap();
         assert_eq!(plain, inst);
+    }
+
+    /// Pinned by the corruption campaign: a panicking phase body used to
+    /// strand every other worker at a barrier the dead thread never reached
+    /// (the scope joined only after all workers returned, so the run hung).
+    #[test]
+    fn panicking_phase_body_repeats_instead_of_wedging() {
+        let summary = run_phases(4, 10, FailurePolicy::Tolerate, |ctx| {
+            if ctx.worker == 2 && ctx.phase == 3 && ctx.attempt == 1 {
+                panic!("phase body crashed");
+            }
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(summary.phases, 10);
+        assert_eq!(summary.repeats, 1, "the panic counts as a detectable fault");
+    }
+
+    /// Pinned by the corruption campaign: workers used to exit their loop by
+    /// comparing the shared phase word against the target, so a forged
+    /// (well-formed) phase word adopted on release let non-root workers
+    /// leave early while the root spun forever on their arrivals.
+    #[test]
+    fn forged_phase_word_cannot_starve_the_run() {
+        use crate::barrier::CorruptTarget;
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut corruptor = None;
+        let summary = run_phases_observed(
+            3,
+            25,
+            FailurePolicy::Tolerate,
+            &Telemetry::off(),
+            |b| {
+                let stop = Arc::clone(&stop);
+                corruptor = Some(std::thread::spawn(move || {
+                    while !stop.load(Ordering::Acquire) {
+                        // Well-formed forgery: a phase far beyond the run.
+                        b.corrupt(CorruptTarget::Phase, crate::word::pack(1_000_000, 0));
+                        std::thread::yield_now();
+                    }
+                }));
+            },
+            |_| Ok(()),
+        )
+        .unwrap();
+        stop.store(true, Ordering::Release);
+        corruptor.unwrap().join().unwrap();
+        assert_eq!(summary.phases, 25);
     }
 
     #[test]
