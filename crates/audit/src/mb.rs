@@ -15,11 +15,17 @@
 //! progress; the interim may violate the specification, which is exactly the
 //! paper's nonmasking guarantee). Every run is a pure function of its
 //! config, so a failure is replayable from the serialized config alone.
+//!
+//! [`membership_campaign`] extends the adversary to the dynamic-membership
+//! layer: forged epoch numbers on in-flight messages and scrambled local
+//! membership views (epoch + routing), over runs with churn enabled and, in
+//! half of them, a real crash-then-reboot underneath — the anti-entropy
+//! check must repair the corruption and the run must still re-stabilize.
 
 use crate::campaign::sample_seed;
 use crate::report::escape;
 use ftbarrier_gcs::SimRng;
-use ftbarrier_mp::mb_sim::{run, FaultPlan, SimMbConfig};
+use ftbarrier_mp::mb_sim::{run, ChurnConfig, CrashPlan, FaultPlan, SimMbConfig};
 use std::fmt::Write as _;
 
 /// Campaign shape: `runs` seeded runs of an `n`-process ring, each with
@@ -106,6 +112,89 @@ pub fn run_config(cfg: MbCampaignConfig, index: u64) -> SimMbConfig {
     }
 }
 
+/// Build the deterministic *membership* fault plan of run `seed`:
+/// `injections` corruptions of the reconfiguration layer itself — forged
+/// epoch numbers on in-flight messages, scrambled local membership views
+/// (epoch + routing), and classic state scrambles for interference — on top
+/// of, in half the runs, a genuine crash-then-reboot that forces real
+/// epoch bumps underneath the corruption.
+pub fn membership_fault_plan(seed: u64, n: usize, injections: usize) -> FaultPlan {
+    let mut rng = SimRng::seed_from_u64(seed ^ 0xE90C);
+    let mut plan = FaultPlan::default();
+    for i in 0..injections {
+        let t = 1.0 + i as f64 * 5.0 / injections.max(1) as f64 + 0.3 * rng.unit();
+        match rng.below(3) {
+            0 => plan.epoch_forges.push((t, rng.below(n))),
+            1 => plan.view_scrambles.push((t, rng.below(n))),
+            _ => plan.scrambles.push((t, rng.below(n))),
+        }
+    }
+    if rng.below(2) == 0 {
+        let pid = 1 + rng.below(n - 1); // never the root
+        let at = 2.0 + rng.unit();
+        plan.crashes.push(CrashPlan {
+            pid,
+            at,
+            reboot_at: at + 4.0 + rng.unit(),
+        });
+    }
+    plan
+}
+
+/// The config of membership-campaign run `index`: same shape as
+/// [`run_config`] but with churn enabled and the membership fault plan.
+pub fn membership_run_config(cfg: MbCampaignConfig, index: u64) -> SimMbConfig {
+    let seed = sample_seed(cfg.base_seed ^ 0xC1_1A17, index);
+    SimMbConfig {
+        n: cfg.n,
+        target_phases: 16,
+        seed,
+        max_time: 5_000.0,
+        plan: membership_fault_plan(seed, cfg.n, cfg.injections),
+        churn: Some(ChurnConfig::default()),
+        ..SimMbConfig::default()
+    }
+}
+
+/// The membership corruption campaign: every run must re-stabilize — reach
+/// its phase target despite forged epochs, scrambled views, and real
+/// crash/reboot churn underneath. Failures serialize like the base
+/// campaign's.
+pub fn membership_campaign(
+    cfg: MbCampaignConfig,
+) -> Result<MbCampaignOutcome, Box<MbCampaignFailure>> {
+    let mut injections = 0u64;
+    let mut recovery_spans = Vec::with_capacity(cfg.runs as usize);
+    for index in 0..cfg.runs {
+        let run_cfg = membership_run_config(cfg, index);
+        run_cfg.validate().expect("campaign configs are in-domain");
+        let plan = &run_cfg.plan;
+        injections +=
+            (plan.epoch_forges.len() + plan.view_scrambles.len() + plan.scrambles.len()) as u64;
+        let last_injection = plan
+            .epoch_forges
+            .iter()
+            .chain(&plan.view_scrambles)
+            .chain(&plan.scrambles)
+            .map(|&(t, _)| t)
+            .fold(0.0f64, f64::max);
+        let report = run(run_cfg.clone());
+        if !report.reached_target {
+            return Err(Box::new(MbCampaignFailure {
+                seed: run_cfg.seed,
+                config: run_cfg,
+                phases_completed: report.phases_completed,
+            }));
+        }
+        recovery_spans.push((report.virtual_elapsed.as_f64() - last_injection).max(0.0));
+    }
+    Ok(MbCampaignOutcome {
+        runs: cfg.runs,
+        injections,
+        recovery_spans,
+    })
+}
+
 /// Run the campaign; fails on the first run that exhausts its virtual-time
 /// budget without reaching the phase target.
 pub fn campaign(cfg: MbCampaignConfig) -> Result<MbCampaignOutcome, Box<MbCampaignFailure>> {
@@ -188,7 +277,41 @@ mod tests {
         );
         assert!(a.poisons.is_empty(), "poisons are detectable — not ours");
         assert!(a.crashes.is_empty() && a.partitions.is_empty());
+        assert!(a.epoch_forges.is_empty() && a.view_scrambles.is_empty());
         assert_eq!(a.poison_rate, 0.0);
+    }
+
+    #[test]
+    fn membership_plans_are_deterministic_and_target_the_membership_layer() {
+        let a = membership_fault_plan(99, 8, 6);
+        let b = membership_fault_plan(99, 8, 6);
+        assert_eq!(a, b);
+        assert_eq!(
+            a.epoch_forges.len() + a.view_scrambles.len() + a.scrambles.len(),
+            6
+        );
+        assert!(a.poisons.is_empty() && a.partitions.is_empty());
+        assert_eq!(a.poison_rate, 0.0);
+        assert!(a.crashes.iter().all(|c| c.pid != 0), "root never crashes");
+        // Across seeds, both membership-specific classes actually occur.
+        let mut forges = 0;
+        let mut scrambles = 0;
+        for seed in 0..32u64 {
+            let p = membership_fault_plan(seed, 8, 6);
+            forges += p.epoch_forges.len();
+            scrambles += p.view_scrambles.len();
+        }
+        assert!(forges > 0 && scrambles > 0);
+    }
+
+    #[test]
+    fn quick_membership_campaign_restabilizes_every_run() {
+        let out = membership_campaign(MbCampaignConfig::quick()).unwrap_or_else(|f| {
+            panic!("membership run failed to re-stabilize:\n{}", f.to_json());
+        });
+        assert_eq!(out.runs, 20);
+        assert_eq!(out.injections, 20 * 4);
+        assert!(out.recovery_spans.iter().all(|&s| s >= 0.0));
     }
 
     #[test]

@@ -68,6 +68,9 @@ pub struct AuditReport {
     pub exhaustive: Vec<ExhaustiveRow>,
     pub sampled: Vec<SampledRow>,
     pub mb: Option<mb::MbCampaignOutcome>,
+    /// The dynamic-membership corruption campaign (forged epochs, scrambled
+    /// views, churn underneath).
+    pub mb_membership: Option<mb::MbCampaignOutcome>,
     pub rt: Option<rt::RtCampaignOutcome>,
     /// The broken-ring fixture's minimized witness (always produced — it
     /// demonstrates the failure pipeline).
@@ -333,6 +336,15 @@ pub fn run_with_metrics(quick: bool, mut registry: Option<&mut MetricsRegistry>)
         }),
     }
 
+    eprintln!("  campaign: simnet MB membership layer (forged epochs, scrambled views)…");
+    match mb::membership_campaign(mb_cfg) {
+        Ok(outcome) => out.mb_membership = Some(outcome),
+        Err(failure) => out.failures.push(AuditFailure {
+            name: format!("counterexample_mb_membership_seed{}", failure.seed),
+            json: failure.to_json(),
+        }),
+    }
+
     eprintln!("  campaign: wall-clock runtime barrier…");
     let rt_cfg = if quick {
         rt::RtCampaignConfig::quick()
@@ -417,6 +429,16 @@ pub fn render_campaigns(report: &AuditReport) -> String {
             mb.runs, mb.injections,
         );
     }
+    if let Some(mb) = &report.mb_membership {
+        let mean = mb.recovery_spans.iter().sum::<f64>() / mb.recovery_spans.len().max(1) as f64;
+        let max = mb.recovery_spans.iter().copied().fold(0.0f64, f64::max);
+        let _ = writeln!(
+            out,
+            "simnet MB membership campaign: {} runs, {} epoch/view corruptions, \
+             recovery span mean {mean:.2} / max {max:.2} (virtual time)",
+            mb.runs, mb.injections,
+        );
+    }
     if let Some(rt) = &report.rt {
         let _ = writeln!(
             out,
@@ -450,7 +472,10 @@ mod tests {
         let table = render_exhaustive(&report.exhaustive);
         assert!(table.contains("token-ring"));
         assert!(render_sampled(&report.sampled).contains("sweep-tree"));
-        assert!(render_campaigns(&report).contains("runtime campaign"));
+        assert!(report.mb_membership.is_some(), "membership campaign ran");
+        let campaigns = render_campaigns(&report);
+        assert!(campaigns.contains("runtime campaign"));
+        assert!(campaigns.contains("membership campaign"));
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Reproduce the paper's evaluation artifacts.
 //!
 //! ```text
-//! repro [--quick] [--csv DIR] [fig3|fig4|fig5|fig6|fig7|table1|ablations|mb|audit|trace|bench|all]
+//! repro [--quick] [--csv DIR] [fig3|fig4|fig5|fig6|fig7|table1|ablations|mb|audit|trace|churn|bench|all]
 //! ```
 //!
 //! `--quick` shrinks the parameter grids and sample counts (used by CI and
@@ -12,15 +12,20 @@
 //! failure. `trace` (never part of `all`) runs the instrumented
 //! scenarios and writes `results/trace_<scenario>.json` (Chrome
 //! `trace_event`, open in Perfetto) plus `results/metrics_<scenario>.prom`.
-//! `bench` (never part of `all`) times the simulation engine and the
-//! parallel sweep harness and writes `BENCH_engine.json`.
+//! `churn` (never part of `all`) runs the dynamic-membership
+//! availability sweep across both backends and writes
+//! `results/churn.json` + `results/churn_table.md`, exiting nonzero if any
+//! row misses the >= 0.99 availability bar. `bench` (never part of `all`)
+//! times the simulation engine and the parallel sweep harness and writes
+//! `BENCH_engine.json`.
 
 use ftbarrier_bench::{
-    ablations, audit_exp, enginebench, figures, mb_exp, render, table1, trace_exp,
+    ablations, audit_exp, churn_exp, enginebench, figures, mb_exp, render, results_dir, table1,
+    trace_exp,
 };
 use std::path::PathBuf;
 
-const SUBCOMMANDS: [&str; 12] = [
+const SUBCOMMANDS: [&str; 13] = [
     "fig3",
     "fig4",
     "fig5",
@@ -31,6 +36,7 @@ const SUBCOMMANDS: [&str; 12] = [
     "mb",
     "audit",
     "trace",
+    "churn",
     "bench",
     "all",
 ];
@@ -163,8 +169,7 @@ fn main() {
         println!("{}", audit_exp::render_exhaustive(&report.exhaustive));
         println!("{}", audit_exp::render_sampled(&report.sampled));
         println!("{}", audit_exp::render_campaigns(&report));
-        let dir = PathBuf::from("results");
-        std::fs::create_dir_all(&dir).expect("create results directory");
+        let dir = results_dir();
         let fixture_path = dir.join("counterexample_broken_ring.json");
         std::fs::write(&fixture_path, &report.fixture_json).expect("write fixture witness");
         eprintln!("wrote {} (fixture demonstration)", fixture_path.display());
@@ -186,8 +191,7 @@ fn main() {
     // `all` skips both; ask for them explicitly.
     if opts.what.iter().any(|w| w == "trace") {
         eprintln!("tracing instrumented scenarios…");
-        let dir = PathBuf::from("results");
-        std::fs::create_dir_all(&dir).expect("create results directory");
+        let dir = results_dir();
         let artifacts = trace_exp::all(opts.quick);
         for a in &artifacts {
             let trace_path = dir.join(format!("trace_{}.json", a.scenario));
@@ -201,6 +205,26 @@ fn main() {
             "{}",
             trace_exp::render_latency(&trace_exp::latency_rows(&artifacts))
         );
+    }
+    // The churn sweep writes artifacts under results/ and gates CI on the
+    // availability bar, so `all` skips it; ask for it explicitly.
+    if opts.what.iter().any(|w| w == "churn") {
+        eprintln!("running the dynamic-membership churn sweep\u{2026}");
+        let rows = churn_exp::all_rows(opts.quick);
+        println!("{}", churn_exp::render(&rows));
+        let dir = results_dir();
+        let json_path = dir.join("churn.json");
+        std::fs::write(&json_path, churn_exp::to_json(&rows)).expect("write churn json");
+        eprintln!("wrote {}", json_path.display());
+        let md_path = dir.join("churn_table.md");
+        std::fs::write(&md_path, churn_exp::to_markdown(&rows)).expect("write churn table");
+        eprintln!("wrote {}", md_path.display());
+        let violations = churn_exp::violations(&rows);
+        if violations > 0 {
+            eprintln!("CHURN SWEEP FAILED: {violations} row(s) under the availability bar");
+            std::process::exit(1);
+        }
+        println!("churn sweep passed: every row at or above 0.99 availability");
     }
     if opts.what.iter().any(|w| w == "bench") {
         eprintln!("benchmarking engine and sweep harness…");

@@ -1,0 +1,469 @@
+//! Dynamic-membership (churn) experiments: availability under scripted
+//! fail-stop crashes and reboots, on both executable backends.
+//!
+//! The paper's §4.1 claim for detectable process faults is *graceful
+//! degradation*: a crash costs at most one re-executed phase, the barrier
+//! never deadlocks, and after the topology is repaired the survivors run at
+//! full speed. The membership layer extends this to permanent fail-stop:
+//! the dead process is spliced out and the contracted barrier keeps
+//! completing phases. This module measures that claim as an *availability*
+//! ratio:
+//!
+//! > phases the survivors completed after the last membership change,
+//! > divided by the phases a fault-free run of the **full** barrier would
+//! > have completed over the same virtual-time span (capped at 1 — a
+//! > contracted ring is shorter, and thus faster, than the full one),
+//! > minus the one re-executed phase §4.1 grants the reconfiguration that
+//! > opens the window (a crash may cost at most one phase; the window
+//! > starts at that crash's repair, so its phase budget includes it).
+//!
+//! The acceptance bar is availability ≥ 0.99 on every row; [`violations`]
+//! counts the rows under the bar and the CI smoke asserts it is zero.
+//!
+//! Two sweeps:
+//! * [`engine_rows`] — the engine backend ([`ftbarrier_core::churn`]) over
+//!   ring/tree at N = 16, sweeping the crash rate (crashes per virtual time
+//!   unit) in permanent and crash-then-reboot variants;
+//! * [`mb_rows`] — program MB on the simulated network with heartbeat-style
+//!   token-silence detection ([`ftbarrier_mp::mb_sim`] with churn enabled),
+//!   one scenario per churn shape.
+
+use ftbarrier_core::churn::{fault_free_phases, run_churn, ChurnEvent, ChurnExperiment};
+use ftbarrier_core::sim::TopologySpec;
+use ftbarrier_mp::mb_sim::{self, ChurnConfig, CrashPlan, FaultPlan, SimMbConfig};
+
+use crate::parallel::parallel_map;
+
+/// Communication latency per hop (the grid the figures use).
+const C: f64 = 0.01;
+/// Token-timeout detector latency charged per reconfiguration (engine).
+const TOKEN_TIMEOUT: f64 = 2.0;
+/// Base seed (the paper's publication date, like the MB experiments).
+const SEED: u64 = 0x1998_0B17;
+
+/// One measured churn cell.
+#[derive(Debug, Clone)]
+pub struct ChurnRow {
+    /// `engine` or `mb-sim`.
+    pub backend: &'static str,
+    pub topology: &'static str,
+    /// Scenario label (`fault-free`, `crash r=0.01`, `crash+reboot …`).
+    pub scenario: String,
+    pub crashes: usize,
+    pub reboots: usize,
+    /// Successful phases across the whole run (all membership views).
+    pub phases: u64,
+    /// Successful phases per virtual time unit, outages included.
+    pub phases_per_time: f64,
+    pub suspicions: u64,
+    pub rejoins: u64,
+    /// Final membership epoch.
+    pub epoch: u64,
+    /// Mean reconfiguration latency (stall/suspicion → repaired view).
+    pub reconfig_latency: f64,
+    /// Post-repair completion ratio against the fault-free baseline.
+    pub availability: f64,
+    /// Oracle violations (transients at reconfiguration boundaries show up
+    /// here; fault-free rows must report zero).
+    pub oracle_violations: usize,
+}
+
+/// Rows whose availability misses the ≥ 0.99 acceptance bar (plus
+/// fault-free rows with any oracle violation, which would make the
+/// availability number meaningless).
+pub fn violations(rows: &[ChurnRow]) -> usize {
+    rows.iter()
+        .filter(|r| {
+            r.availability < 0.99
+                || (r.suspicions == 0 && r.rejoins == 0 && r.oracle_violations > 0)
+        })
+        .count()
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Evenly spaced crashes of distinct non-root pids at `rate` crashes per
+/// virtual time unit; `reboot_after` schedules each victim's reboot that
+/// long after its crash.
+fn crash_plan(rate: f64, horizon: f64, n: usize, reboot_after: Option<f64>) -> Vec<ChurnEvent> {
+    let k = ((rate * horizon).round() as usize).clamp(1, n - 2);
+    // All churn lands in the first 60% of the horizon, leaving a long quiet
+    // tail so the post-repair window holds enough phases to measure.
+    let window = 0.6 * horizon;
+    let mut events = Vec::new();
+    for i in 0..k {
+        let at = (i as f64 + 1.0) * window / (k as f64 + 1.0);
+        let pid = 1 + (i % (n - 1));
+        events.push(ChurnEvent::Crash { at, pid });
+        if let Some(d) = reboot_after {
+            events.push(ChurnEvent::Reboot { at: at + d, pid });
+        }
+    }
+    events
+}
+
+fn engine_row(
+    topology: TopologySpec,
+    scenario: String,
+    events: Vec<ChurnEvent>,
+    target_phases: u64,
+    horizon: f64,
+) -> ChurnRow {
+    let crashes = events
+        .iter()
+        .filter(|e| matches!(e, ChurnEvent::Crash { .. }))
+        .count();
+    let reboots = events.len() - crashes;
+    let exp = ChurnExperiment {
+        topology,
+        target_phases,
+        horizon,
+        token_timeout: TOKEN_TIMEOUT,
+        c: C,
+        seed: SEED,
+        events,
+        ..Default::default()
+    };
+    let m = run_churn(&exp);
+    let availability = if m.epoch == 0 {
+        // No reconfiguration: availability is plain target attainment.
+        m.phases as f64 / target_phases.min(m.phases.max(1)).max(1) as f64
+    } else {
+        let expected = fault_free_phases(
+            topology,
+            exp.n_phases,
+            exp.c,
+            exp.seed,
+            m.span_after_last_change,
+        )
+        // §4.1's allowance: the reconfiguration opening the window
+        // may cost one re-executed phase.
+        .saturating_sub(1);
+        if expected == 0 {
+            1.0
+        } else {
+            (m.phases_after_last_change as f64 / expected as f64).min(1.0)
+        }
+    };
+    ChurnRow {
+        backend: "engine",
+        topology: topology.label(),
+        scenario,
+        crashes,
+        reboots,
+        phases: m.phases,
+        phases_per_time: if m.elapsed > 0.0 {
+            m.phases as f64 / m.elapsed
+        } else {
+            0.0
+        },
+        suspicions: m.suspicions,
+        rejoins: m.rejoins,
+        epoch: m.epoch,
+        reconfig_latency: mean(&m.reconfig_latencies),
+        availability,
+        oracle_violations: m.violations,
+    }
+}
+
+/// The engine-backend sweep: ring and tree at N = 16, crash rates in
+/// permanent and crash-then-reboot variants, plus a fault-free control row
+/// per topology.
+pub fn engine_rows(quick: bool) -> Vec<ChurnRow> {
+    let horizon = if quick { 150.0 } else { 400.0 };
+    let target = if quick { 100 } else { 300 };
+    let rates: &[f64] = if quick {
+        &[0.01, 0.02]
+    } else {
+        &[0.005, 0.01, 0.02]
+    };
+    let topologies = [
+        TopologySpec::Ring { n: 16 },
+        TopologySpec::Tree { n: 16, arity: 2 },
+    ];
+
+    let mut cells: Vec<(TopologySpec, String, Vec<ChurnEvent>)> = Vec::new();
+    for &topology in &topologies {
+        cells.push((topology, "fault-free".into(), Vec::new()));
+        for &rate in rates {
+            cells.push((
+                topology,
+                format!("crash r={rate}"),
+                crash_plan(rate, horizon, 16, None),
+            ));
+            cells.push((
+                topology,
+                format!("crash+reboot r={rate}"),
+                crash_plan(rate, horizon, 16, Some(25.0)),
+            ));
+        }
+    }
+    parallel_map(cells, |(topology, scenario, events)| {
+        // Churn rows run to the horizon (availability is a rate, not a
+        // total); only the fault-free control chases the phase target.
+        let row_target = if events.is_empty() { target } else { u64::MAX };
+        engine_row(topology, scenario, events, row_target, horizon)
+    })
+}
+
+fn mb_row(scenario: &str, plan: FaultPlan, target_phases: u64, seed: u64) -> ChurnRow {
+    let crashes = plan.crashes.len();
+    let cfg = SimMbConfig {
+        n: 8,
+        target_phases,
+        seed,
+        plan,
+        max_time: 900.0,
+        churn: Some(ChurnConfig::default()),
+        ..Default::default()
+    };
+    let report = mb_sim::run(cfg);
+    let elapsed = report.virtual_elapsed.as_f64();
+    // The baseline: how many phases a fault-free run completes over the
+    // post-repair span. (A fault-free scenario compares the whole run to
+    // itself — churn-enabled fault-free runs are byte-identical to plain
+    // ones, so the ratio is exactly 1.)
+    let span = elapsed - report.last_change_at;
+    let reference = mb_sim::run(SimMbConfig {
+        n: 8,
+        target_phases: u64::MAX,
+        seed,
+        max_time: span.max(1.0),
+        churn: None,
+        ..Default::default()
+    });
+    let expected = if report.epoch == 0 {
+        reference.phases_completed
+    } else {
+        // The same §4.1 one-re-executed-phase allowance as the engine rows.
+        reference.phases_completed.saturating_sub(1)
+    };
+    let availability = if expected == 0 {
+        1.0
+    } else {
+        (report.phases_after_last_change as f64 / expected as f64).min(1.0)
+    };
+    ChurnRow {
+        backend: "mb-sim",
+        topology: "mb-ring8",
+        scenario: scenario.to_owned(),
+        crashes,
+        reboots: report.rejoins as usize,
+        phases: report.phases_completed,
+        phases_per_time: if elapsed > 0.0 {
+            report.phases_completed as f64 / elapsed
+        } else {
+            0.0
+        },
+        suspicions: report.suspicions,
+        rejoins: report.rejoins,
+        epoch: report.epoch,
+        reconfig_latency: mean(&report.reconfig_latencies),
+        availability,
+        oracle_violations: report.violations.len(),
+    }
+}
+
+/// Program MB on the simulated network with membership enabled: one row per
+/// churn shape. A "permanent" crash is a reboot scheduled far beyond the
+/// horizon.
+pub fn mb_rows(quick: bool) -> Vec<ChurnRow> {
+    let target = if quick { 150 } else { 300 };
+    const NEVER: f64 = 1.0e5;
+    let crash = |pid: usize, at: f64, reboot_at: f64| CrashPlan { pid, at, reboot_at };
+    let cells: Vec<(&'static str, FaultPlan)> = vec![
+        ("fault-free", FaultPlan::default()),
+        (
+            "permanent crash",
+            FaultPlan {
+                crashes: vec![crash(3, 5.0, NEVER)],
+                ..Default::default()
+            },
+        ),
+        (
+            "crash+reboot",
+            FaultPlan {
+                crashes: vec![crash(2, 5.0, 15.0)],
+                ..Default::default()
+            },
+        ),
+        (
+            "double crash",
+            FaultPlan {
+                crashes: vec![crash(2, 5.0, NEVER), crash(5, 5.6, NEVER)],
+                ..Default::default()
+            },
+        ),
+    ];
+    parallel_map(
+        cells.into_iter().enumerate().collect(),
+        |(i, (name, plan))| mb_row(name, plan, target, SEED ^ (i as u64 + 1)),
+    )
+}
+
+/// Both sweeps.
+pub fn all_rows(quick: bool) -> Vec<ChurnRow> {
+    let mut rows = engine_rows(quick);
+    rows.extend(mb_rows(quick));
+    rows
+}
+
+/// Render the availability table.
+pub fn render(rows: &[ChurnRow]) -> String {
+    let mut s = String::new();
+    s.push_str("Dynamic membership: availability under crash/reboot churn\n");
+    s.push_str(
+        "(availability = post-repair phases / fault-free full-barrier baseline over the same span,\n \u{00a7}4.1 grants the window-opening reconfiguration one re-executed phase; cap 1.0)\n\n",
+    );
+    s.push_str(&format!(
+        "{:<8} {:<10} {:<22} {:>7} {:>7} {:>7} {:>8} {:>6} {:>9} {:>8} {:>6} {:>12}\n",
+        "backend",
+        "topology",
+        "scenario",
+        "crashes",
+        "suspect",
+        "rejoin",
+        "epoch",
+        "phases",
+        "phases/t",
+        "reconf_t",
+        "viol",
+        "availability"
+    ));
+    for r in rows {
+        s.push_str(&format!(
+            "{:<8} {:<10} {:<22} {:>7} {:>7} {:>7} {:>8} {:>6} {:>9.3} {:>8.3} {:>6} {:>12.4}\n",
+            r.backend,
+            r.topology,
+            r.scenario,
+            r.crashes,
+            r.suspicions,
+            r.rejoins,
+            r.epoch,
+            r.phases,
+            r.phases_per_time,
+            r.reconfig_latency,
+            r.oracle_violations,
+            r.availability
+        ));
+    }
+    let v = violations(rows);
+    s.push_str(&format!(
+        "\n{} row(s), {} availability violation(s) (bar: \u{2265} 0.99 post-repair)\n",
+        rows.len(),
+        v
+    ));
+    s
+}
+
+/// JSON document for the CI artifact (hand-rolled like the MB export; the
+/// tree holds only numbers and fixed identifiers).
+pub fn to_json(rows: &[ChurnRow]) -> String {
+    let mut s = String::from("{\n  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"backend\": \"{}\", \"topology\": \"{}\", \"scenario\": \"{}\", \"crashes\": {}, \"reboots\": {}, \"phases\": {}, \"phases_per_time\": {:.5}, \"suspicions\": {}, \"rejoins\": {}, \"epoch\": {}, \"reconfig_latency\": {:.5}, \"availability\": {:.5}, \"oracle_violations\": {}}}{}\n",
+            r.backend,
+            r.topology,
+            r.scenario,
+            r.crashes,
+            r.reboots,
+            r.phases,
+            r.phases_per_time,
+            r.suspicions,
+            r.rejoins,
+            r.epoch,
+            r.reconfig_latency,
+            r.availability,
+            r.oracle_violations,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    s.push_str(&format!(
+        "  ],\n  \"availability_bar\": 0.99,\n  \"availability_violations\": {}\n}}\n",
+        violations(rows)
+    ));
+    s
+}
+
+/// The EXPERIMENTS.md markdown table.
+pub fn to_markdown(rows: &[ChurnRow]) -> String {
+    let mut s = String::from(
+        "| backend | topology | scenario | crashes | suspicions | rejoins | epoch | phases | phases/t | availability |\n|---|---|---|---|---|---|---|---|---|---|\n",
+    );
+    for r in rows {
+        s.push_str(&format!(
+            "| {} | {} | {} | {} | {} | {} | {} | {} | {:.3} | {:.4} |\n",
+            r.backend,
+            r.topology,
+            r.scenario,
+            r.crashes,
+            r.suspicions,
+            r.rejoins,
+            r.epoch,
+            r.phases,
+            r.phases_per_time,
+            r.availability
+        ));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_sweep_has_no_availability_violations() {
+        let rows = all_rows(true);
+        assert!(rows.len() >= 10, "got {} rows", rows.len());
+        assert_eq!(
+            violations(&rows),
+            0,
+            "rows under the bar: {:#?}",
+            rows.iter()
+                .filter(|r| r.availability < 0.99)
+                .collect::<Vec<_>>()
+        );
+        // Fault-free control rows really are fault-free.
+        for r in rows.iter().filter(|r| r.scenario == "fault-free") {
+            assert_eq!(r.suspicions, 0, "{r:?}");
+            assert_eq!(r.epoch, 0, "{r:?}");
+            assert_eq!(r.oracle_violations, 0, "{r:?}");
+        }
+        // Every crash scenario detected and repaired something.
+        for r in rows.iter().filter(|r| r.crashes > 0) {
+            assert!(r.suspicions > 0 || r.rejoins > 0, "{r:?}");
+            assert!(r.epoch > 0, "{r:?}");
+        }
+    }
+
+    #[test]
+    fn json_shape_is_parseable_and_reports_the_bar() {
+        let rows = vec![ChurnRow {
+            backend: "engine",
+            topology: "ring",
+            scenario: "crash r=0.01".into(),
+            crashes: 2,
+            reboots: 0,
+            phases: 123,
+            phases_per_time: 0.8,
+            suspicions: 2,
+            rejoins: 0,
+            epoch: 2,
+            reconfig_latency: 2.0,
+            availability: 1.0,
+            oracle_violations: 0,
+        }];
+        let json = to_json(&rows);
+        assert!(json.contains("\"availability_violations\": 0"));
+        assert!(json.contains("\"availability_bar\": 0.99"));
+        ftbarrier_telemetry::json::parse(&json).expect("valid json");
+    }
+}

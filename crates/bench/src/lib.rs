@@ -15,6 +15,7 @@
 
 pub mod ablations;
 pub mod audit_exp;
+pub mod churn_exp;
 pub mod enginebench;
 pub mod figures;
 pub mod mb_exp;
@@ -22,3 +23,13 @@ pub mod parallel;
 pub mod render;
 pub mod table1;
 pub mod trace_exp;
+
+/// The one place the `results/` artifact directory is created: every
+/// artifact-writing subcommand (`audit`, `trace`, `churn`) goes through
+/// this, so the location and the failure mode stay consistent.
+pub fn results_dir() -> std::path::PathBuf {
+    let dir = std::path::PathBuf::from("results");
+    std::fs::create_dir_all(&dir)
+        .unwrap_or_else(|e| panic!("create results directory {}: {e}", dir.display()));
+    dir
+}

@@ -11,15 +11,28 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+/// Parse an `FTBARRIER_WORKERS` value: a positive integer, or a clear error
+/// (a typo must not silently fall back to the detected core count).
+pub fn parse_workers(raw: &str) -> Result<usize, String> {
+    match raw.trim().parse::<usize>() {
+        Ok(0) => Err(format!(
+            "FTBARRIER_WORKERS must be a positive integer, got `{raw}` (use 1 for the serial path)"
+        )),
+        Ok(n) => Ok(n),
+        Err(_) => Err(format!(
+            "FTBARRIER_WORKERS must be a positive integer, got `{raw}`"
+        )),
+    }
+}
+
 /// Number of worker threads to fan experiments across.
 ///
 /// `FTBARRIER_WORKERS` overrides the detected core count (set it to 1 to
-/// force the serial path, e.g. when timing a single cell).
+/// force the serial path, e.g. when timing a single cell). An invalid value
+/// is a configuration error and panics rather than being silently ignored.
 pub fn worker_count() -> usize {
     if let Ok(v) = std::env::var("FTBARRIER_WORKERS") {
-        if let Ok(n) = v.parse::<usize>() {
-            return n.max(1);
-        }
+        return parse_workers(&v).unwrap_or_else(|e| panic!("{e}"));
     }
     std::thread::available_parallelism()
         .map(|n| n.get())
@@ -106,5 +119,27 @@ mod tests {
     #[test]
     fn worker_count_is_positive() {
         assert!(worker_count() >= 1);
+    }
+
+    #[test]
+    fn parse_workers_accepts_positive_integers() {
+        assert_eq!(parse_workers("1"), Ok(1));
+        assert_eq!(parse_workers("8"), Ok(8));
+        assert_eq!(
+            parse_workers(" 4 "),
+            Ok(4),
+            "surrounding whitespace is fine"
+        );
+    }
+
+    #[test]
+    fn parse_workers_rejects_zero_and_garbage() {
+        for bad in ["0", "", "abc", "-2", "3.5", "4x"] {
+            let err = parse_workers(bad).unwrap_err();
+            assert!(
+                err.contains("FTBARRIER_WORKERS") && err.contains(bad),
+                "error for `{bad}` must name the variable and echo the value: {err}"
+            );
+        }
     }
 }

@@ -26,6 +26,7 @@
 
 pub mod analysis;
 pub mod cb;
+pub mod churn;
 pub mod cp;
 pub mod faults;
 pub mod instantiations;

@@ -7,9 +7,12 @@
 //! Both must produce the identical event trace, final global state, and run
 //! statistics — with and without faults — or the reader sets are wrong.
 
+use ftbarrier_core::churn::{run_churn, ChurnExperiment};
 use ftbarrier_core::sim::{
-    measure_phases, measure_phases_with_telemetry, PhaseExperiment, TopologySpec,
+    measure_phases, measure_phases_with_telemetry, PhaseExperiment, SweepOracleMonitor,
+    TopologySpec,
 };
+use ftbarrier_core::spec::Anchor;
 use ftbarrier_core::sweep::{PosState, ProcessFaults, SweepBarrier, SweepDetectableFault};
 use ftbarrier_core::telemetry::SweepLatencyMonitor;
 use ftbarrier_core::token_ring::TokenRing;
@@ -193,6 +196,67 @@ fn measure_phases_identical_with_telemetry_on_and_off() {
             let on = measure_phases_with_telemetry(&exp, &tele);
             let off = measure_phases(&exp);
             assert_eq!(on, off, "{name} seed {seed:#x}: measurements diverge");
+        }
+    }
+}
+
+/// Replicate exactly what the churn driver's first (and, fault-free, only)
+/// segment does — same program construction, initial states, RNG seeds, and
+/// monitor-driven stop — but on the *bare* program with no membership
+/// machinery at all.
+fn plain_churn_reference(
+    spec: TopologySpec,
+    seed: u64,
+    target: u64,
+    horizon: f64,
+) -> (Vec<TraceEvent<PosState>>, Vec<PosState>) {
+    let dag = spec.build().unwrap();
+    let n_positions = dag.num_positions();
+    let program = SweepBarrier::new(dag, 8)
+        .with_sn_domain(2 * n_positions as u32 + 3)
+        .with_costs(Time::new(0.01), Time::new(1.0));
+    let mut engine = Engine::from_state(&program, seed, vec![PosState::start(); n_positions]);
+    let mut oracle = SweepOracleMonitor::new(&program, Anchor::StrictFromZero).stop_after(target);
+    let mut trace = Trace::unbounded();
+    let cfg = EngineConfig {
+        seed: seed ^ 0x5EED,
+        max_time: Some(Time::new(horizon)),
+        ..Default::default()
+    };
+    {
+        let mut set = MonitorSet::new().with(&mut oracle).with(&mut trace);
+        engine.run(&cfg, &mut NoFaults, &mut set);
+    }
+    (trace.events().cloned().collect(), engine.global().to_vec())
+}
+
+#[test]
+fn churn_driver_with_no_events_is_byte_identical_to_a_plain_run() {
+    // The membership layer (masked protocol wrapper, view mapping, oracle
+    // segmentation) must be invisible when nothing churns: the recorded
+    // trace and final states match a bare engine run byte for byte.
+    for (name, spec) in TOPOLOGIES {
+        for seed in [0xC0AAu64, 0xC0BB] {
+            let m = run_churn(&ChurnExperiment {
+                topology: spec,
+                seed,
+                target_phases: 25,
+                horizon: 120.0,
+                record_trace: true,
+                ..Default::default()
+            });
+            let (ref_trace, ref_states) = plain_churn_reference(spec, seed, 25, 120.0);
+            assert_eq!(
+                m.trace, ref_trace,
+                "{name} seed {seed:#x}: churn-layer trace diverges from the bare run"
+            );
+            assert_eq!(
+                m.final_states, ref_states,
+                "{name} seed {seed:#x}: final states diverge"
+            );
+            assert!(!m.trace.is_empty(), "{name}: run did nothing");
+            assert_eq!(m.violations, 0, "{name} seed {seed:#x}");
+            assert_eq!((m.suspicions, m.rejoins, m.epoch), (0, 0, 0), "{name}");
         }
     }
 }

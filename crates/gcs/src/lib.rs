@@ -28,6 +28,7 @@ pub mod engine;
 pub mod explore;
 pub mod fault;
 pub mod interleave;
+pub mod mask;
 pub mod monitor;
 pub mod protocol;
 pub mod rng;
@@ -46,6 +47,7 @@ pub use fault::{
     ScriptedFaults, VictimPolicy,
 };
 pub use interleave::{ChoicePolicy, Interleaving, InterleavingConfig};
+pub use mask::Masked;
 pub use monitor::{Monitor, MonitorSet, NullMonitor};
 pub use protocol::{ActionId, Pid, Protocol, ReaderSet};
 pub use rng::SimRng;

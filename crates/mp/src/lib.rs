@@ -28,7 +28,9 @@ pub mod transport;
 pub use channel::{ChannelFaults, Delivery, FaultyReceiver, FaultySender};
 pub use clock::{Clock, TestClock, WallClock};
 pub use mb::{MbConfig, MbProcessHandle, MbReport, MbRun};
-pub use mb_sim::{CrashPlan, FaultPlan, PartitionPlan, SimMbConfig, SimMbReport};
+pub use mb_sim::{
+    ChurnConfig, CrashPlan, FaultPlan, PartitionPlan, SimMbConfig, SimMbReport, WireMsg,
+};
 pub use proc::{sn_domain, try_sn_domain, MbCore, StateMsg};
 pub use simnet::{LatencyModel, LinkConfig, NetStats, SimNet};
 pub use sweep_mp::{SweepMpConfig, SweepMpHandle, SweepMpReport, SweepMpRun};

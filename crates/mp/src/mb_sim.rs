@@ -15,26 +15,61 @@
 //! `scramble`, and process crash/reboot — a crash silences the process and
 //! drops its inbound traffic; the reboot re-enters through the §4.1
 //! detectable-fault state (`sn = ⊥, cp = error`).
+//!
+//! # Dynamic membership
+//!
+//! With [`SimMbConfig::churn`] enabled the run carries a
+//! [`Membership`](ftbarrier_topology::Membership) over the base ring and the
+//! root (the driver, acting as the paper's distinguished detector) runs a
+//! periodic membership check:
+//!
+//! * **Detection** — a live member whose link has been silent longer than
+//!   [`ChurnConfig::suspect_after`] is suspected fail-stop and *spliced*
+//!   out: its ring neighbors are re-linked and the epoch is bumped. Because
+//!   every process gossips its full state continuously, the splice itself
+//!   regenerates the sweep — the successor simply reads the predecessor of
+//!   the dead process from then on.
+//! * **Epochs on the wire** — every message is stamped with the sender's
+//!   believed epoch ([`WireMsg`]). A receiver drops older-epoch messages as
+//!   detectably stale (masked like loss) and adopts newer epochs, so the
+//!   root's epoch bump sweeps the ring like any other gossip.
+//! * **Rejoin** — traffic from a live spliced-out process (a healed
+//!   partition), or the reboot of a spliced-out crashed process, triggers a
+//!   *graft*: the ring edges its departure contracted are restored and the
+//!   §4.1 rejoin handshake runs — the rejoiner adopts `sn`/`ph` from its
+//!   upstream neighbor with `cp = ready` and participates from the next
+//!   sweep (at worst the in-flight phase is re-executed, per §4.1).
+//! * **Anti-entropy** — the periodic check also re-derives every member's
+//!   routing from the membership and fast-forwards the root past the
+//!   largest epoch any member believes, so a forged epoch or a scrambled
+//!   membership view re-stabilizes instead of wedging the ring.
+//!
+//! With `churn: None` (the default) the run is byte-identical to the
+//! pre-membership backend; with churn enabled but no faults firing it still
+//! is — the check draws no randomness and writes no trace unless it acts.
 
 use crate::channel::Delivery;
 use crate::proc::{pump, sn_domain, try_sn_domain, CpEvent, MbCore, StateMsg};
 use crate::simnet::{LinkConfig, NetStats, SimNet};
 use crate::transport::Endpoint;
 use ftbarrier_core::spec::{Anchor, BarrierOracle, OracleConfig, Violation};
-use ftbarrier_core::{DomainError, Sn};
+use ftbarrier_core::{Cp, DomainError, Sn};
 use ftbarrier_gcs::{SimRng, Time};
-use ftbarrier_telemetry::Telemetry;
+use ftbarrier_telemetry::{names, Telemetry};
+use ftbarrier_topology::Membership;
+use ftbarrier_topology::SweepDag;
 use std::cell::RefCell;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::fmt::Write as _;
 use std::rc::Rc;
-use std::sync::atomic::AtomicU64;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// A scheduled process crash: the process stops stepping and gossiping at
 /// `at` and its inbound deliveries are dropped; at `reboot_at` it resumes in
-/// the §4.1 detectable-fault state.
+/// the §4.1 detectable-fault state (or, if it was spliced out in the
+/// meantime, through the membership rejoin handshake).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CrashPlan {
     pub pid: usize,
@@ -68,11 +103,40 @@ pub struct FaultPlan {
     /// `corruption` probability this is undetectable: the payload is
     /// rewritten in place and the receiver sees a well-formed message.
     pub forges: Vec<(f64, usize)>,
+    /// `(time, link)`: forge the membership *epoch* of every message in
+    /// flight on `link` to one arbitrary `u64`. Requires churn to be
+    /// enabled; the anti-entropy pass of the membership check re-stabilizes
+    /// the ring afterwards.
+    pub epoch_forges: Vec<(f64, usize)>,
+    /// `(time, pid)`: scramble a process's *membership view* — its believed
+    /// epoch and which link it reads deliveries from. Requires churn to be
+    /// enabled; repaired by the next membership check.
+    pub view_scrambles: Vec<(f64, usize)>,
     pub crashes: Vec<CrashPlan>,
     pub partitions: Vec<PartitionPlan>,
     /// Poisson rate of additional poisons landing on uniformly random
     /// processes (0 = none) — the figs' fault-frequency axis.
     pub poison_rate: f64,
+}
+
+/// Failure-detector parameters of the root's periodic membership check.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChurnConfig {
+    /// Silence on a live member's link longer than this suspects fail-stop.
+    /// Must comfortably exceed the retransmission period plus the worst
+    /// link latency, or a slow link reads as a dead process.
+    pub suspect_after: f64,
+    /// Period of the membership check (detection + anti-entropy).
+    pub check_every: f64,
+}
+
+impl Default for ChurnConfig {
+    fn default() -> Self {
+        ChurnConfig {
+            suspect_after: 0.5,
+            check_every: 0.1,
+        }
+    }
 }
 
 /// Configuration of a deterministic MB run.
@@ -98,6 +162,10 @@ pub struct SimMbConfig {
     /// [`sn_domain`]`(n)`. Validated against the paper's `L > 2N+1`
     /// precondition at run start.
     pub sn_domain: Option<u32>,
+    /// Dynamic membership: `None` runs the fixed ring (the pre-membership
+    /// behavior, byte-identical traces); `Some` enables fail-stop
+    /// detection, splice/graft repair, and epoch-stamped messages.
+    pub churn: Option<ChurnConfig>,
 }
 
 impl SimMbConfig {
@@ -124,8 +192,18 @@ impl Default for SimMbConfig {
             max_time: 10_000.0,
             plan: FaultPlan::default(),
             sn_domain: None,
+            churn: None,
         }
     }
+}
+
+/// What actually travels on a simulated link: the §5 state gossip stamped
+/// with the sender's believed membership epoch. With churn disabled every
+/// epoch is 0 and the stamp is inert.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireMsg {
+    pub epoch: u64,
+    pub msg: StateMsg,
 }
 
 /// Result of a deterministic MB run.
@@ -134,7 +212,7 @@ pub struct SimMbReport {
     /// Genuine phase advances observed at the root.
     pub root_phase_advances: u64,
     /// Specification violations found by replaying the event log through
-    /// the oracle.
+    /// the oracle (per membership epoch when churn reconfigured the ring).
     pub violations: Vec<Violation>,
     /// Successful phases per the oracle.
     pub phases_completed: u64,
@@ -146,12 +224,36 @@ pub struct SimMbReport {
     pub reached_target: bool,
     /// Virtual time when the run stopped.
     pub virtual_elapsed: Time,
-    /// Scheduling points processed by the event loop.
+    /// Scheduling points processed by the event loop (membership checks are
+    /// counted separately in [`SimMbReport::churn_checks`]).
     pub events_processed: u64,
     pub net: NetStats,
     /// Full deterministic run log: byte-identical across runs of the same
     /// config, diverging for different seeds.
     pub trace: String,
+    /// Periodic membership checks run (0 with churn disabled).
+    pub churn_checks: u64,
+    /// Processes suspected fail-stop and spliced out.
+    pub suspicions: u64,
+    /// Processes grafted back in (healed partition or reboot of a spliced
+    /// process).
+    pub rejoins: u64,
+    /// Final membership epoch (0 with churn disabled or no reconfiguration).
+    pub epoch: u64,
+    /// Deliveries dropped for carrying a stale membership epoch.
+    pub stale_epoch_dropped: u64,
+    /// Per reconfiguration: virtual time from the epoch bump until every
+    /// live member had adopted the new epoch.
+    pub reconfig_latencies: Vec<f64>,
+    /// Successful phases within the last membership segment (equals
+    /// [`SimMbReport::phases_completed`] when no reconfiguration happened).
+    pub phases_after_last_change: u64,
+    /// Virtual time of the last reconfiguration (0 when none happened) —
+    /// with [`SimMbReport::phases_after_last_change`], the post-repair
+    /// availability numerator/denominator.
+    pub last_change_at: f64,
+    /// The merged control-position event log, in global commit order.
+    pub cp_events: Vec<CpEvent>,
 }
 
 impl SimMbReport {
@@ -163,22 +265,57 @@ impl SimMbReport {
     }
 }
 
+/// Mutable membership state shared between the driver and the endpoints:
+/// who believes which epoch, and which link each process reads.
+struct ChurnShared {
+    /// Per-process believed membership epoch, stamped on every send.
+    epoch: Vec<u64>,
+    /// Per-process link to pop deliveries from (the ring predecessor in the
+    /// current view; with churn disabled, always `pid - 1 mod n`).
+    pred_link: Vec<usize>,
+    stale_dropped: u64,
+}
+
 /// Simulated-network endpoint: the second implementation of the MB
 /// transport trait (single-threaded, so the network is shared via `Rc`).
+/// Epoch stamping and stale-epoch filtering live here, below the `Endpoint`
+/// trait — the MB state machine never sees membership metadata.
 pub struct SimEndpoint {
-    net: Rc<RefCell<SimNet<StateMsg>>>,
+    net: Rc<RefCell<SimNet<WireMsg>>>,
+    churn: Rc<RefCell<ChurnShared>>,
+    pid: usize,
     out_link: usize,
-    in_link: usize,
 }
 
 impl Endpoint for SimEndpoint {
     fn send(&mut self, msg: StateMsg) -> bool {
-        self.net.borrow_mut().send(self.out_link, msg);
+        let epoch = self.churn.borrow().epoch[self.pid];
+        self.net
+            .borrow_mut()
+            .send(self.out_link, WireMsg { epoch, msg });
         true
     }
 
     fn try_recv(&mut self) -> Option<Delivery<StateMsg>> {
-        self.net.borrow_mut().pop_inbox(self.in_link)
+        loop {
+            let in_link = self.churn.borrow().pred_link[self.pid];
+            match self.net.borrow_mut().pop_inbox(in_link)? {
+                Delivery::Corrupted => return Some(Delivery::Corrupted),
+                Delivery::Ok(w) => {
+                    let mut sh = self.churn.borrow_mut();
+                    if w.epoch < sh.epoch[self.pid] {
+                        // A stale-epoch message is detectably from a
+                        // pre-reconfiguration view: masked as loss.
+                        sh.stale_dropped += 1;
+                        continue;
+                    }
+                    // Adopting a newer epoch is how the root's bump sweeps
+                    // the ring.
+                    sh.epoch[self.pid] = w.epoch;
+                    return Some(Delivery::Ok(w.msg));
+                }
+            }
+        }
     }
 
     fn flush(&mut self) -> bool {
@@ -197,18 +334,21 @@ enum Ctl {
     Scramble { pid: usize },
     ScrambleCopy { pid: usize },
     Forge { link: usize },
+    EpochForge { link: usize },
+    ScrambleView { pid: usize },
     Crash { pid: usize },
     Reboot { pid: usize },
     Cut { link: usize },
     Heal { link: usize },
     PoissonPoison,
+    ChurnCheck,
 }
 
 struct Driver {
     cfg: SimMbConfig,
     cores: Vec<MbCore>,
     eps: Vec<SimEndpoint>,
-    net: Rc<RefCell<SimNet<StateMsg>>>,
+    net: Rc<RefCell<SimNet<WireMsg>>>,
     ctl: BinaryHeap<Reverse<(Time, u64, Ctl)>>,
     ctl_seq: u64,
     now: Time,
@@ -220,6 +360,24 @@ struct Driver {
     fault_rng: SimRng,
     trace: String,
     events_processed: u64,
+    // --- dynamic membership (inert when `cfg.churn` is `None`) ---
+    membership: Option<Membership>,
+    churn: Rc<RefCell<ChurnShared>>,
+    seq: Arc<AtomicU64>,
+    /// Current successor of each link's sender (`None`: spliced out).
+    succ_of: Vec<Option<usize>>,
+    /// Virtual time of the last delivery that arrived from each sender.
+    last_heard: Vec<f64>,
+    /// Epoch bumps not yet adopted by every live member: `(epoch, at)`.
+    pending_epochs: Vec<(u64, f64)>,
+    /// Oracle segmentation: `(first event seq, members)` per epoch.
+    segments: Vec<(u64, Vec<usize>)>,
+    /// Virtual time each segment started (index-parallel to `segments`).
+    segment_times: Vec<f64>,
+    churn_checks: u64,
+    suspicions: u64,
+    rejoins: u64,
+    reconfig_latencies: Vec<f64>,
 }
 
 impl Driver {
@@ -277,6 +435,164 @@ impl Driver {
         self.drive(pid);
     }
 
+    fn drain_link(&mut self, link: usize) {
+        let mut net = self.net.borrow_mut();
+        while net.pop_inbox(link).is_some() {}
+    }
+
+    /// Record the current membership as a new oracle segment, starting at
+    /// the next event sequence number.
+    fn push_segment(&mut self) {
+        let mem = self.membership.as_ref().expect("churn enabled");
+        let members: Vec<usize> = (0..self.cfg.n).filter(|&p| mem.is_alive(p)).collect();
+        self.segments
+            .push((self.seq.load(Ordering::Acquire), members));
+        self.segment_times.push(self.now.as_f64());
+    }
+
+    /// Re-derive routing (who reads which link, who is whose successor)
+    /// from the membership. Idempotent — also the anti-entropy repair for a
+    /// scrambled view.
+    fn sync_routing(&mut self) {
+        let mem = self.membership.as_ref().expect("churn enabled");
+        let view = mem.view();
+        let mut sh = self.churn.borrow_mut();
+        for s in self.succ_of.iter_mut() {
+            *s = None;
+        }
+        for p in 0..self.cfg.n {
+            if mem.is_alive(p) {
+                // Base position == pid on the ring; the upstream neighbor
+                // through any chain of spliced processes is the link to read.
+                let up = view.upstream_of(p).expect("ring member has an upstream");
+                sh.pred_link[p] = up;
+                self.succ_of[up] = Some(p);
+            }
+        }
+    }
+
+    /// Suspect `pid` fail-stop and splice it out of the ring.
+    fn splice_out(&mut self, pid: usize) {
+        let mem = self.membership.as_mut().expect("churn enabled");
+        if mem.splice(pid).is_err() {
+            // The root is immortal and a 2-member ring cannot shrink.
+            return;
+        }
+        let e = mem.epoch();
+        self.suspicions += 1;
+        let _ = writeln!(self.trace, "t {} suspect p{pid} epoch {e}", self.now);
+        self.push_segment();
+        self.sync_routing();
+        // The root initiates the new epoch; its gossip sweeps it around the
+        // repaired ring.
+        self.churn.borrow_mut().epoch[0] = e;
+        self.pending_epochs.push((e, self.now.as_f64()));
+        self.gossip(0);
+        // The splice may hand the token to the dead process's successor
+        // right away: its next read comes from the contracted predecessor.
+        let old_pred = self.churn.borrow().pred_link[pid];
+        if let Some(s) = self.succ_of[old_pred] {
+            if self.alive[s] {
+                self.drive(s);
+            }
+        }
+    }
+
+    /// Graft a spliced-out process back in and run the §4.1 rejoin
+    /// handshake against its upstream neighbor in the repaired view.
+    fn readmit(&mut self, pid: usize) {
+        let mem = self.membership.as_mut().expect("churn enabled");
+        if mem.graft(pid).is_err() {
+            return;
+        }
+        let e = mem.epoch();
+        self.rejoins += 1;
+        let _ = writeln!(self.trace, "t {} readmit p{pid} epoch {e}", self.now);
+        self.push_segment();
+        self.sync_routing();
+        let up = self.churn.borrow().pred_link[pid];
+        let upstream = self.cores[up].own;
+        self.cores[pid].rejoin(self.now, upstream);
+        self.work_scheduled[pid] = None;
+        {
+            let mut sh = self.churn.borrow_mut();
+            sh.epoch[pid] = e;
+            sh.epoch[0] = e;
+        }
+        self.pending_epochs.push((e, self.now.as_f64()));
+        self.last_heard[pid] = self.now.as_f64();
+        self.gossip(0);
+        self.gossip(pid);
+        self.drive(pid);
+    }
+
+    /// The root's periodic membership check: anti-entropy repair of the
+    /// epoch/routing state, then fail-stop detection by link silence. In a
+    /// fault-free run this draws no randomness, writes no trace, and every
+    /// write below is value-preserving.
+    fn on_churn_check(&mut self) {
+        let cc = self.cfg.churn.expect("churn enabled");
+        self.schedule(self.now.as_f64() + cc.check_every, Ctl::ChurnCheck);
+        let n = self.cfg.n;
+        // Anti-entropy: fast-forward past the largest epoch any member
+        // believes (a forged future epoch must not wedge its victim), and
+        // re-derive the routing (repairing any scrambled view).
+        let max_e = {
+            let sh = self.churn.borrow();
+            let mem = self.membership.as_ref().expect("churn enabled");
+            (0..n)
+                .filter(|&p| mem.is_alive(p))
+                .map(|p| sh.epoch[p])
+                .max()
+                .unwrap_or(0)
+        };
+        let mem = self.membership.as_mut().expect("churn enabled");
+        mem.observe_epoch(max_e);
+        let e = mem.epoch();
+        self.churn.borrow_mut().epoch[0] = e;
+        self.sync_routing();
+        // Fail-stop detection: the root is immortal, everyone else must
+        // have been heard from recently.
+        let now = self.now.as_f64();
+        let mem = self.membership.as_ref().expect("churn enabled");
+        let suspects: Vec<usize> = (1..n)
+            .filter(|&p| mem.is_alive(p) && now - self.last_heard[p] > cc.suspect_after)
+            .collect();
+        for p in suspects {
+            self.splice_out(p);
+        }
+    }
+
+    /// Retire pending epoch bumps once every live member has adopted them.
+    fn check_epochs(&mut self) {
+        let min_e = {
+            let sh = self.churn.borrow();
+            let mem = self.membership.as_ref().expect("churn enabled");
+            (0..self.cfg.n)
+                .filter(|&p| mem.is_alive(p) && self.alive[p])
+                .map(|p| sh.epoch[p])
+                .min()
+                .unwrap_or(0)
+        };
+        let now = self.now.as_f64();
+        let mut i = 0;
+        while i < self.pending_epochs.len() {
+            let (e, t0) = self.pending_epochs[i];
+            if min_e >= e {
+                self.pending_epochs.remove(i);
+                self.reconfig_latencies.push(now - t0);
+                let _ = writeln!(
+                    self.trace,
+                    "t {} epoch {e} settled dt {:.3}",
+                    self.now,
+                    now - t0
+                );
+            } else {
+                i += 1;
+            }
+        }
+    }
+
     fn on_ctl(&mut self, ev: Ctl) {
         match ev {
             Ctl::Retransmit { pid } => {
@@ -319,12 +635,37 @@ impl Driver {
                 // Forge beyond the L window: any u32, including values no
                 // honest sender could have produced.
                 let forged = self.fault_rng.range_u64(0, u64::MAX) as u32;
-                let hit = self.net.borrow_mut().corrupt_in_flight(link, &mut |m| {
-                    m.sn = Sn::Val(forged);
+                let hit = self.net.borrow_mut().corrupt_in_flight(link, &mut |w| {
+                    w.msg.sn = Sn::Val(forged);
                 });
                 let _ = writeln!(
                     self.trace,
                     "t {} forge link {link} sn={forged} x{hit}",
+                    self.now
+                );
+            }
+            Ctl::EpochForge { link } => {
+                let forged = self.fault_rng.range_u64(0, u64::MAX);
+                let hit = self.net.borrow_mut().corrupt_in_flight(link, &mut |w| {
+                    w.epoch = forged;
+                });
+                let _ = writeln!(
+                    self.trace,
+                    "t {} forge-epoch link {link} e={forged} x{hit}",
+                    self.now
+                );
+            }
+            Ctl::ScrambleView { pid } => {
+                let e = self.fault_rng.range_u64(0, u64::MAX);
+                let l = self.fault_rng.below(self.cfg.n);
+                {
+                    let mut sh = self.churn.borrow_mut();
+                    sh.epoch[pid] = e;
+                    sh.pred_link[pid] = l;
+                }
+                let _ = writeln!(
+                    self.trace,
+                    "t {} scramble-view p{pid} e={e} link {l}",
                     self.now
                 );
             }
@@ -335,9 +676,18 @@ impl Driver {
             Ctl::Reboot { pid } => {
                 let _ = writeln!(self.trace, "t {} reboot p{pid}", self.now);
                 self.alive[pid] = true;
-                // Rebooting is the §4.1 detectable fault made literal: the
-                // process lost its state and knows it.
-                self.poison(pid, "poison");
+                if self.membership.as_ref().is_some_and(|m| !m.is_alive(pid)) {
+                    // Detected and spliced while down: rejoin through the
+                    // membership handshake instead of the blind §4.1 poison.
+                    self.readmit(pid);
+                } else {
+                    // Rebooting is the §4.1 detectable fault made literal:
+                    // the process lost its state and knows it.
+                    self.poison(pid, "poison");
+                    if self.membership.is_some() {
+                        self.last_heard[pid] = self.now.as_f64();
+                    }
+                }
             }
             Ctl::Cut { link } => {
                 let _ = writeln!(self.trace, "t {} cut link {link}", self.now);
@@ -358,8 +708,63 @@ impl Driver {
                     self.poison(pid, "poison");
                 }
             }
+            Ctl::ChurnCheck => self.on_churn_check(),
         }
     }
+}
+
+/// Replay the merged event log through the barrier specification oracle,
+/// one oracle per membership segment. With a single segment (no
+/// reconfiguration) this is the classic whole-run strict replay. After a
+/// reconfiguration the instance straddling the boundary is exempt (§4.1
+/// allows the in-flight phase to be re-executed); the oracle re-attaches at
+/// the first fresh instance the root opens in the new view, with membership
+/// pids compacted to the oracle's contiguous process ids.
+fn replay_segments(
+    n_phases: u32,
+    n: usize,
+    events: &[CpEvent],
+    segments: &[(u64, Vec<usize>)],
+) -> (Vec<Violation>, u64, Vec<u64>, u64) {
+    let mut violations = Vec::new();
+    let mut phases = 0u64;
+    let mut counts = Vec::new();
+    let mut phases_last = 0u64;
+    for (i, (from, members)) in segments.iter().enumerate() {
+        let to = segments.get(i + 1).map_or(u64::MAX, |s| s.0);
+        let mut vpid: Vec<Option<usize>> = vec![None; n];
+        for (v, &p) in members.iter().enumerate() {
+            vpid[p] = Some(v);
+        }
+        let mut oracle = BarrierOracle::new(OracleConfig {
+            n_processes: members.len(),
+            n_phases,
+            anchor: if i == 0 {
+                Anchor::StrictFromZero
+            } else {
+                Anchor::Free
+            },
+        });
+        let mut attached = i == 0;
+        for e in events.iter().filter(|e| e.seq >= *from && e.seq < to) {
+            let Some(p) = vpid[e.pid] else { continue };
+            if !attached {
+                // The execute sweep starts at the root, so the root's start
+                // is the first event of any fresh instance.
+                if e.pid == 0 && e.new == Cp::Execute {
+                    attached = true;
+                } else {
+                    continue;
+                }
+            }
+            oracle.observe_cp(e.at, p, e.ph, e.old, e.new);
+        }
+        violations.extend(oracle.violations().iter().cloned());
+        phases += oracle.phases_completed();
+        counts.extend_from_slice(oracle.instance_counts());
+        phases_last = oracle.phases_completed();
+    }
+    (violations, phases, counts, phases_last)
 }
 
 /// Run program MB deterministically. Two calls with equal configs return
@@ -370,10 +775,11 @@ pub fn run(cfg: SimMbConfig) -> SimMbReport {
 
 /// [`run`], additionally mirroring the network into per-link telemetry and
 /// replaying the merged event log into phase spans / fault instants / the
-/// `mb_phase_duration` histogram (see [`crate::telemetry`]). With a
-/// disabled handle this is exactly [`run`]; with an enabled one the
-/// [`SimMbReport::trace`] is still byte-identical — recording never draws
-/// from the simulation's RNG streams.
+/// `mb_phase_duration` histogram (see [`crate::telemetry`]), plus the
+/// membership metric family when churn is enabled. With a disabled handle
+/// this is exactly [`run`]; with an enabled one the [`SimMbReport::trace`]
+/// is still byte-identical — recording never draws from the simulation's
+/// RNG streams.
 pub fn run_with_telemetry(cfg: SimMbConfig, telemetry: &Telemetry) -> SimMbReport {
     assert!(cfg.n >= 2, "MB needs at least two processes");
     assert!(cfg.n_phases >= 2);
@@ -382,6 +788,11 @@ pub fn run_with_telemetry(cfg: SimMbConfig, telemetry: &Telemetry) -> SimMbRepor
         "retransmit period must be positive"
     );
     assert!(cfg.phase_cost >= 0.0 && cfg.phase_cost.is_finite());
+    assert!(
+        cfg.churn.is_some()
+            || (cfg.plan.epoch_forges.is_empty() && cfg.plan.view_scrambles.is_empty()),
+        "epoch/view faults require churn to be enabled"
+    );
     let n = cfg.n;
     let l = match cfg.sn_domain {
         Some(l) => try_sn_domain(n, l).expect("SimMbConfig.sn_domain"),
@@ -405,14 +816,23 @@ pub fn run_with_telemetry(cfg: SimMbConfig, telemetry: &Telemetry) -> SimMbRepor
         SimNet::new(vec![cfg.link; n], rng.range_u64(0, u64::MAX))
             .with_telemetry(telemetry.clone()),
     ));
+    let churn_shared = Rc::new(RefCell::new(ChurnShared {
+        epoch: vec![0; n],
+        pred_link: (0..n).map(|pid| (pid + n - 1) % n).collect(),
+        stale_dropped: 0,
+    }));
     let eps: Vec<SimEndpoint> = (0..n)
         .map(|pid| SimEndpoint {
             net: Rc::clone(&net),
+            churn: Rc::clone(&churn_shared),
+            pid,
             out_link: pid,
-            in_link: (pid + n - 1) % n,
         })
         .collect();
 
+    let membership = cfg
+        .churn
+        .map(|_| Membership::new(SweepDag::ring(n).expect("ring(n >= 2)")));
     let mut d = Driver {
         cores,
         eps,
@@ -427,6 +847,18 @@ pub fn run_with_telemetry(cfg: SimMbConfig, telemetry: &Telemetry) -> SimMbRepor
         fault_rng: rng.fork(),
         trace: String::new(),
         events_processed: 0,
+        membership,
+        churn: churn_shared,
+        seq: Arc::clone(&seq),
+        succ_of: (0..n).map(|pid| Some((pid + 1) % n)).collect(),
+        last_heard: vec![0.0; n],
+        pending_epochs: Vec::new(),
+        segments: vec![(0, (0..n).collect())],
+        segment_times: vec![0.0],
+        churn_checks: 0,
+        suspicions: 0,
+        rejoins: 0,
+        reconfig_latencies: Vec::new(),
         cfg,
     };
 
@@ -444,6 +876,12 @@ pub fn run_with_telemetry(cfg: SimMbConfig, telemetry: &Telemetry) -> SimMbRepor
     for &(t, link) in &plan.forges {
         d.schedule(t, Ctl::Forge { link });
     }
+    for &(t, link) in &plan.epoch_forges {
+        d.schedule(t, Ctl::EpochForge { link });
+    }
+    for &(t, pid) in &plan.view_scrambles {
+        d.schedule(t, Ctl::ScrambleView { pid });
+    }
     for c in &plan.crashes {
         assert!(c.reboot_at >= c.at, "reboot before crash");
         d.schedule(c.at, Ctl::Crash { pid: c.pid });
@@ -460,6 +898,11 @@ pub fn run_with_telemetry(cfg: SimMbConfig, telemetry: &Telemetry) -> SimMbRepor
     }
     for pid in 0..n {
         d.schedule(d.cfg.retransmit_every, Ctl::Retransmit { pid });
+    }
+    // Scheduled last so the control-event sequence numbers of everything
+    // above are unchanged from a churn-disabled run.
+    if let Some(cc) = d.cfg.churn {
+        d.schedule(cc.check_every, Ctl::ChurnCheck);
     }
 
     // t = 0: everyone announces its start state, then takes any enabled
@@ -494,7 +937,20 @@ pub fn run_with_telemetry(cfg: SimMbConfig, telemetry: &Telemetry) -> SimMbRepor
             break;
         }
         d.now = t;
-        d.events_processed += 1;
+        let ctl_ev = if is_net {
+            None
+        } else {
+            let Reverse((_, _, ev)) = d.ctl.pop().expect("peeked");
+            Some(ev)
+        };
+        // The membership check is bookkept separately so the event count
+        // (and the end-of-trace line) of a fault-free run is unchanged by
+        // merely enabling churn.
+        if ctl_ev == Some(Ctl::ChurnCheck) {
+            d.churn_checks += 1;
+        } else {
+            d.events_processed += 1;
+        }
         // Always advance the network clock to the scheduling point, even for
         // control events — messages sent while handling them must be
         // timestamped at `t`, not at the network's last delivery time.
@@ -503,43 +959,66 @@ pub fn run_with_telemetry(cfg: SimMbConfig, telemetry: &Telemetry) -> SimMbRepor
             let _ = writeln!(d.trace, "t {} deliver x{}", d.now, touched.len());
         }
         for link in touched {
-            let dest = (link + 1) % n;
-            if d.alive[dest] {
-                d.drive(dest);
-            } else {
-                // A crashed process loses its inbound traffic.
-                while d.eps[dest].try_recv().is_some() {}
+            if d.membership.is_some() {
+                d.last_heard[link] = t.as_f64();
+            }
+            match d.succ_of[link] {
+                Some(dest) if d.alive[dest] => d.drive(dest),
+                Some(_) => {
+                    // A crashed process loses its inbound traffic.
+                    d.drain_link(link);
+                }
+                None => {
+                    if d.alive[link] {
+                        // Traffic from a live spliced-out process: a healed
+                        // partition. Graft it back in.
+                        d.readmit(link);
+                        if let Some(s) = d.succ_of[link] {
+                            d.drive(s);
+                        }
+                    } else {
+                        d.drain_link(link);
+                    }
+                }
             }
         }
-        if !is_net {
-            let Reverse((_, _, ev)) = d.ctl.pop().expect("peeked");
+        if let Some(ev) = ctl_ev {
             d.on_ctl(ev);
+        }
+        if !d.pending_epochs.is_empty() {
+            d.check_epochs();
         }
         reached = d.advances >= d.cfg.target_phases;
     }
 
     // Replay the merged event log through the barrier specification oracle,
-    // in global commit order.
+    // in global commit order (one oracle per membership segment).
     let mut events: Vec<CpEvent> = Vec::new();
     for core in &d.cores {
         events.extend(core.events.iter().copied());
     }
     events.sort_by_key(|e| e.seq);
-    let mut oracle = BarrierOracle::new(OracleConfig {
-        n_processes: n,
-        n_phases: d.cfg.n_phases,
-        anchor: Anchor::StrictFromZero,
-    });
-    for e in &events {
-        oracle.observe_cp(e.at, e.pid, e.ph, e.old, e.new);
-    }
+    let (violations, phases_completed, instance_counts, phases_after_last_change) =
+        replay_segments(d.cfg.n_phases, n, &events, &d.segments);
+    let last_change_at = d.segment_times.last().copied().unwrap_or(0.0);
 
+    let epoch = d.membership.as_ref().map_or(0, |m| m.epoch());
+    let stale_epoch_dropped = d.churn.borrow().stale_dropped;
     if telemetry.is_enabled() {
         crate::telemetry::record_cp_timeline(telemetry, &events, d.now);
         for (pid, &sent) in d.messages_sent.iter().enumerate() {
             telemetry.counter("mb_messages_sent_total", &[("pid", &pid.to_string())], sent);
         }
         telemetry.counter("mb_root_phase_advances_total", &[], d.advances);
+        if d.membership.is_some() {
+            telemetry.gauge(names::MEMBERSHIP_EPOCH, &[], epoch as f64);
+            telemetry.counter(names::SUSPICIONS_TOTAL, &[], d.suspicions);
+            telemetry.counter(names::REJOINS_TOTAL, &[], d.rejoins);
+            telemetry.counter(names::STALE_EPOCH_DROPPED_TOTAL, &[], stale_epoch_dropped);
+            for &lat in &d.reconfig_latencies {
+                telemetry.observe(names::RECONFIGURATION_LATENCY, &[], lat);
+            }
+        }
     }
 
     let net_stats = d.net.borrow().stats();
@@ -550,14 +1029,23 @@ pub fn run_with_telemetry(cfg: SimMbConfig, telemetry: &Telemetry) -> SimMbRepor
     );
     SimMbReport {
         root_phase_advances: d.advances,
-        violations: oracle.violations().to_vec(),
-        phases_completed: oracle.phases_completed(),
-        instance_counts: oracle.instance_counts().to_vec(),
+        violations,
+        phases_completed,
+        instance_counts,
         messages_sent: d.messages_sent,
         reached_target: reached,
         virtual_elapsed: d.now,
         events_processed: d.events_processed,
         net: net_stats,
         trace: d.trace,
+        churn_checks: d.churn_checks,
+        suspicions: d.suspicions,
+        rejoins: d.rejoins,
+        epoch,
+        stale_epoch_dropped,
+        reconfig_latencies: d.reconfig_latencies,
+        phases_after_last_change,
+        last_change_at,
+        cp_events: events,
     }
 }

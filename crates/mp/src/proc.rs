@@ -278,6 +278,23 @@ impl MbCore {
         };
     }
 
+    /// Rejoin the barrier at a phase boundary after a graft (§4.1 reboot +
+    /// membership repair): adopt the upstream neighbor's sequence number and
+    /// phase with `cp = ready`, so the next token sweep picks this process up
+    /// without re-executing the upstream's current phase body.
+    pub fn rejoin(&mut self, now: Time, upstream: StateMsg) {
+        let old = self.own.cp;
+        self.own = StateMsg {
+            sn: upstream.sn,
+            cp: Cp::Ready,
+            ph: upstream.ph,
+        };
+        self.done = true;
+        self.work_token += 1;
+        self.copy = upstream;
+        self.record(now, old);
+    }
+
     /// Fold one delivery from the predecessor into the local copy.
     ///
     /// §5: "the local copy of sn.(j-1) in j is updated only if sn.(j-1) is

@@ -3,9 +3,10 @@
 //! wall-clock assertion in this file — results are a pure function of the
 //! configuration.
 
+use ftbarrier_core::Cp;
 use ftbarrier_mp::channel::ChannelFaults;
 use ftbarrier_mp::mb_sim::{
-    run, run_with_telemetry, CrashPlan, FaultPlan, PartitionPlan, SimMbConfig,
+    run, run_with_telemetry, ChurnConfig, CrashPlan, FaultPlan, PartitionPlan, SimMbConfig,
 };
 use ftbarrier_mp::simnet::{LatencyModel, LinkConfig};
 use ftbarrier_telemetry::{Telemetry, TimeDomain};
@@ -429,6 +430,323 @@ fn run_rejects_invalid_sn_domain() {
     let _ = run(SimMbConfig {
         n: 4,
         sn_domain: Some(3),
+        ..Default::default()
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Dynamic membership (fail-stop detection, splice/graft repair, epochs)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn churn_enabled_fault_free_run_is_byte_identical() {
+    // Merely enabling the failure detector must not move a single event:
+    // the membership check draws no randomness and the epoch stamps are
+    // inert while every epoch is 0.
+    for seed in [1234u64, 0xDEAD] {
+        let base = SimMbConfig {
+            n: 5,
+            target_phases: 10,
+            seed,
+            link: lossy(0.2),
+            ..Default::default()
+        };
+        let off = run(base.clone());
+        let on = run(SimMbConfig {
+            churn: Some(ChurnConfig::default()),
+            ..base
+        });
+        assert_eq!(off.trace, on.trace, "seed {seed}: churn perturbed the run");
+        assert_eq!(off.messages_sent, on.messages_sent);
+        assert_eq!(off.events_processed, on.events_processed);
+        assert_eq!(off.instance_counts, on.instance_counts);
+        assert_eq!(off.net, on.net);
+        assert!(on.churn_checks > 0, "the detector was supposed to run");
+        assert_eq!(on.suspicions, 0);
+        assert_eq!(on.rejoins, 0);
+        assert_eq!(on.epoch, 0);
+        assert_eq!(on.stale_epoch_dropped, 0);
+    }
+}
+
+#[test]
+fn permanent_crash_is_detected_spliced_and_survivors_progress() {
+    // Without churn this exact plan wedges the ring forever (see
+    // `unhealed_partition_stalls_without_violation` for the analogous
+    // stall); with the detector the dead process is spliced out and the
+    // survivors keep completing barriers.
+    let report = run(SimMbConfig {
+        n: 8,
+        target_phases: 30,
+        max_time: 120.0,
+        plan: FaultPlan {
+            crashes: vec![CrashPlan {
+                pid: 3,
+                at: 3.0,
+                reboot_at: 1e5, // never, within this run
+            }],
+            ..Default::default()
+        },
+        churn: Some(ChurnConfig::default()),
+        ..Default::default()
+    });
+    assert!(report.reached_target, "{report:?}");
+    assert!(report.violations.is_empty(), "{:?}", report.violations);
+    assert_eq!(report.suspicions, 1);
+    assert_eq!(report.rejoins, 0);
+    assert_eq!(report.epoch, 1);
+    assert!(report.phases_completed >= 25, "{report:?}");
+    assert_eq!(report.reconfig_latencies.len(), 1, "{report:?}");
+    // The dead process took no further steps after its crash.
+    assert!(report
+        .cp_events
+        .iter()
+        .all(|e| e.pid != 3 || e.at.as_f64() <= 3.0));
+}
+
+#[test]
+fn crashed_then_rebooted_process_rejoins_and_participates() {
+    // Crash long enough to be detected and spliced; the reboot then goes
+    // through the graft + §4.1 handshake and the process executes phases
+    // again in the restored ring.
+    let report = run(SimMbConfig {
+        n: 6,
+        target_phases: 20,
+        max_time: 120.0,
+        plan: FaultPlan {
+            crashes: vec![CrashPlan {
+                pid: 2,
+                at: 3.0,
+                reboot_at: 6.0,
+            }],
+            ..Default::default()
+        },
+        churn: Some(ChurnConfig::default()),
+        ..Default::default()
+    });
+    assert!(report.reached_target, "{report:?}");
+    assert!(report.violations.is_empty(), "{:?}", report.violations);
+    assert_eq!(report.suspicions, 1);
+    assert_eq!(report.rejoins, 1);
+    assert_eq!(report.epoch, 2, "splice + graft");
+    assert_eq!(report.reconfig_latencies.len(), 2, "{report:?}");
+    assert!(
+        report
+            .cp_events
+            .iter()
+            .any(|e| e.pid == 2 && e.new == Cp::Execute && e.at.as_f64() > 6.0),
+        "the rejoined process never executed a phase: {:?}",
+        report
+            .cp_events
+            .iter()
+            .filter(|e| e.pid == 2)
+            .collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn reboot_before_detection_stays_in_the_old_epoch() {
+    // A crash shorter than the suspicion threshold is repaired by the plain
+    // §4.1 reboot poison — no reconfiguration happens at all.
+    let report = run(SimMbConfig {
+        n: 5,
+        target_phases: 15,
+        plan: FaultPlan {
+            crashes: vec![CrashPlan {
+                pid: 2,
+                at: 3.0,
+                reboot_at: 3.2,
+            }],
+            ..Default::default()
+        },
+        churn: Some(ChurnConfig::default()),
+        ..Default::default()
+    });
+    assert!(report.reached_target, "{report:?}");
+    assert!(report.violations.is_empty(), "{:?}", report.violations);
+    assert_eq!(report.suspicions, 0, "{report:?}");
+    assert_eq!(report.rejoins, 0);
+    assert_eq!(report.epoch, 0);
+}
+
+#[test]
+fn crash_during_reconfiguration_does_not_wedge_the_new_epoch() {
+    // The second process dies while the first splice's epoch bump is still
+    // sweeping the ring (the first check fires at ~2.5; the second crash
+    // lands right in the reconfiguration window). The detector must chain a
+    // second splice instead of waiting forever for the dead member to adopt
+    // the new epoch.
+    let report = run(SimMbConfig {
+        n: 8,
+        target_phases: 25,
+        max_time: 120.0,
+        plan: FaultPlan {
+            crashes: vec![
+                CrashPlan {
+                    pid: 2,
+                    at: 2.0,
+                    reboot_at: 1e5,
+                },
+                CrashPlan {
+                    pid: 4,
+                    at: 2.55,
+                    reboot_at: 1e5,
+                },
+            ],
+            ..Default::default()
+        },
+        churn: Some(ChurnConfig::default()),
+        ..Default::default()
+    });
+    assert!(report.reached_target, "{report:?}");
+    assert!(report.violations.is_empty(), "{:?}", report.violations);
+    assert_eq!(report.suspicions, 2);
+    assert_eq!(report.epoch, 2);
+    // Both epoch bumps eventually settled on the surviving members.
+    assert_eq!(report.reconfig_latencies.len(), 2, "{report:?}");
+}
+
+#[test]
+fn healed_partition_is_suspected_then_grafted_back() {
+    // An unhealed partition used to stall the run forever; with churn the
+    // silenced process is spliced out (fail-stop and partition are
+    // indistinguishable to a silence detector), survivors progress, and the
+    // heal triggers the graft as soon as its traffic reappears.
+    let report = run(SimMbConfig {
+        n: 5,
+        target_phases: 20,
+        max_time: 120.0,
+        plan: FaultPlan {
+            partitions: vec![PartitionPlan {
+                link: 2,
+                at: 2.0,
+                heal_at: 5.0,
+            }],
+            ..Default::default()
+        },
+        churn: Some(ChurnConfig::default()),
+        ..Default::default()
+    });
+    assert!(report.reached_target, "{report:?}");
+    assert!(report.violations.is_empty(), "{:?}", report.violations);
+    assert!(report.suspicions >= 1, "{report:?}");
+    assert!(report.rejoins >= 1, "{report:?}");
+    assert!(report.epoch >= 2, "{report:?}");
+    // The exiled process kept executing after its graft.
+    assert!(
+        report
+            .cp_events
+            .iter()
+            .any(|e| e.pid == 2 && e.new == Cp::Execute && e.at.as_f64() > 5.0),
+        "{report:?}"
+    );
+}
+
+#[test]
+fn forged_epoch_restabilizes_via_anti_entropy() {
+    // Corrupting the epoch of an in-flight message to an arbitrary u64 makes
+    // the receiver drop all honest traffic as stale — until the membership
+    // check's anti-entropy fast-forwards the root past the forged value and
+    // the gossip wave re-unifies the ring. Forge times sit just after a
+    // retransmission tick so a message is guaranteed to be in flight.
+    let report = run(SimMbConfig {
+        n: 5,
+        target_phases: 15,
+        max_time: 120.0,
+        plan: FaultPlan {
+            epoch_forges: vec![(2.055, 1), (3.055, 3)],
+            ..Default::default()
+        },
+        churn: Some(ChurnConfig::default()),
+        ..Default::default()
+    });
+    assert!(report.reached_target, "{report:?}");
+    assert!(report.violations.is_empty(), "{:?}", report.violations);
+    assert!(
+        report.stale_epoch_dropped > 0,
+        "the forged epoch was supposed to bite: {report:?}"
+    );
+    assert!(
+        report.epoch > 0,
+        "anti-entropy must fast-forward: {report:?}"
+    );
+    assert_eq!(report.suspicions, 0, "no false fail-stop: {report:?}");
+}
+
+#[test]
+fn scrambled_membership_view_is_repaired_by_the_check() {
+    // An undetectable fault on the membership state itself: the victim's
+    // believed epoch and its routing are overwritten with garbage. The next
+    // periodic check re-derives both from the membership, so the run keeps
+    // its target without any reconfiguration.
+    for seed in [7u64, 0xBEEF] {
+        let report = run(SimMbConfig {
+            n: 5,
+            target_phases: 15,
+            max_time: 120.0,
+            seed,
+            plan: FaultPlan {
+                view_scrambles: vec![(2.0, 2), (4.0, 0)],
+                ..Default::default()
+            },
+            churn: Some(ChurnConfig::default()),
+            ..Default::default()
+        });
+        assert!(report.reached_target, "seed {seed}: {report:?}");
+        assert!(
+            report.violations.is_empty(),
+            "seed {seed}: {:?}",
+            report.violations
+        );
+        assert_eq!(report.suspicions, 0, "seed {seed}: {report:?}");
+    }
+}
+
+#[test]
+fn churn_metrics_are_mirrored_into_telemetry() {
+    let tele = Telemetry::recording(TimeDomain::Virtual);
+    let report = run_with_telemetry(
+        SimMbConfig {
+            n: 6,
+            target_phases: 20,
+            max_time: 120.0,
+            plan: FaultPlan {
+                crashes: vec![CrashPlan {
+                    pid: 2,
+                    at: 3.0,
+                    reboot_at: 6.0,
+                }],
+                ..Default::default()
+            },
+            churn: Some(ChurnConfig::default()),
+            ..Default::default()
+        },
+        &tele,
+    );
+    let snap = tele.snapshot();
+    assert_eq!(
+        snap.metrics.counter("suspicions_total", &[]),
+        report.suspicions
+    );
+    assert_eq!(snap.metrics.counter("rejoins_total", &[]), report.rejoins);
+    assert_eq!(
+        snap.metrics.gauge("membership_epoch", &[]),
+        Some(report.epoch as f64)
+    );
+    assert!(snap
+        .metrics
+        .histogram("reconfiguration_latency", &[])
+        .is_some());
+}
+
+#[test]
+#[should_panic]
+fn epoch_faults_without_churn_are_rejected() {
+    let _ = run(SimMbConfig {
+        plan: FaultPlan {
+            epoch_forges: vec![(1.0, 0)],
+            ..Default::default()
+        },
         ..Default::default()
     });
 }

@@ -28,6 +28,7 @@
 
 pub mod barrier;
 pub mod baseline;
+pub mod detector;
 pub mod fuzzy;
 pub mod policy;
 pub mod scope;
@@ -36,5 +37,9 @@ pub mod word;
 pub use barrier::CorruptTarget;
 pub use barrier::{BarrierError, FtBarrier, FtBarrierBuilder, Participant, PhaseOutcome};
 pub use baseline::{CentralBarrier, TreeBarrier};
+pub use detector::{
+    Clock, DetectorConfig, DetectorEvent, FailureDetector, GroupMembership, MembershipEvent,
+    TestClock, WallClock,
+};
 pub use policy::FailurePolicy;
 pub use scope::{run_phases, run_phases_instrumented, run_phases_observed, PhaseCtx, RunSummary};

@@ -24,6 +24,7 @@
 pub mod export;
 pub mod json;
 pub mod metrics;
+pub mod names;
 pub mod prom;
 pub mod recorder;
 

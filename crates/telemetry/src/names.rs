@@ -1,0 +1,23 @@
+//! Canonical metric names shared by the execution backends.
+//!
+//! Every backend that participates in dynamic membership emits the same
+//! family of metrics under these names, so dashboards and the CI smokes can
+//! query one schema regardless of which backend produced the run.
+
+/// Gauge: the current membership epoch (bumped by every splice/graft).
+pub const MEMBERSHIP_EPOCH: &str = "membership_epoch";
+
+/// Counter: processes suspected dead by a failure detector.
+pub const SUSPICIONS_TOTAL: &str = "suspicions_total";
+
+/// Counter: processes readmitted after a crash or partition (graft or
+/// in-place reboot).
+pub const REJOINS_TOTAL: &str = "rejoins_total";
+
+/// Histogram: latency of one reconfiguration, from the stall/suspicion
+/// trigger to the repaired view being in effect.
+pub const RECONFIGURATION_LATENCY: &str = "reconfiguration_latency";
+
+/// Counter: messages dropped because they carried a stale membership epoch
+/// (a detectable fault, masked like any corrupted message).
+pub const STALE_EPOCH_DROPPED_TOTAL: &str = "stale_epoch_dropped_total";

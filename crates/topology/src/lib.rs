@@ -18,8 +18,10 @@
 pub mod builders;
 pub mod error;
 pub mod graph;
+pub mod membership;
 pub mod sweep;
 
 pub use error::TopologyError;
 pub use graph::Graph;
+pub use membership::{Membership, MembershipError, MembershipView};
 pub use sweep::{Pid, Pos, SweepDag};

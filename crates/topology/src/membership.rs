@@ -1,0 +1,394 @@
+//! Dynamic membership over a sweep topology: splice dead processes out,
+//! graft rejoining processes back in, and number the resulting views with
+//! monotone *epochs*.
+//!
+//! The paper's detectable-fault class (§2, §7) includes fail-stop **and
+//! repair** — a process may leave the computation and later rejoin. The
+//! sweep programs themselves run over a fixed [`SweepDag`]; this module
+//! supplies the reconfiguration layer: a [`Membership`] wraps a base
+//! topology plus a set of live processes and derives, for any such set, the
+//! *view* — a valid contracted `SweepDag` over the survivors:
+//!
+//! * **Splice** (ring): the dead process's neighbors are re-linked —
+//!   `pred(dead) → succ(dead)` — so the token keeps circulating over the
+//!   shorter ring.
+//! * **Splice** (tree, Fig 2c): a dead inner node's subtree collapses onto
+//!   its parent — each orphaned child adopts the dead node's predecessors;
+//!   a dead leaf's parent becomes a sink (it gains the leaf's leaf→root
+//!   link), so the root still collects every surviving branch.
+//! * **Graft**: a rejoining process's original positions are restored,
+//!   which un-contracts exactly the edges its departure contracted.
+//!
+//! Every reconfiguration bumps the **epoch**. Backends carry the epoch on
+//! the token: a message stamped with an older epoch is *detectably* stale
+//! and dropped (masked as loss, like any detectably corrupted message),
+//! which prevents a pre-reconfiguration token from re-entering the new
+//! view. Epochs are monotone but not dense — [`Membership::observe_epoch`]
+//! fast-forwards the counter past any (possibly forged) epoch observed in
+//! the wild, so a corrupted epoch number can delay but never wedge the next
+//! reconfiguration.
+//!
+//! Contraction is generic over any `SweepDag`: the predecessors of a live
+//! position are its nearest live ancestors through any chain of dead
+//! positions. The root (process 0, the paper's distinguished detector) can
+//! never be spliced.
+
+use crate::sweep::{Pid, Pos, SweepDag};
+
+/// Why a membership reconfiguration was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MembershipError {
+    /// The root process (the paper's distinguished detector) cannot leave.
+    RootImmortal,
+    /// Splicing would leave fewer than two live processes — no barrier.
+    TooFewSurvivors,
+    /// The process is already in the requested state (dead for a splice,
+    /// live for a graft).
+    NoChange(Pid),
+    /// The process id is not part of the base topology.
+    UnknownPid(Pid),
+}
+
+impl std::fmt::Display for MembershipError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MembershipError::RootImmortal => write!(f, "the root process cannot be spliced out"),
+            MembershipError::TooFewSurvivors => {
+                write!(f, "splice would leave fewer than 2 live processes")
+            }
+            MembershipError::NoChange(p) => write!(f, "process {p} is already in that state"),
+            MembershipError::UnknownPid(p) => write!(f, "process {p} is not in the base topology"),
+        }
+    }
+}
+
+impl std::error::Error for MembershipError {}
+
+/// One epoch's topology: the contracted [`SweepDag`] over the live set,
+/// plus the maps between view-local and base identifiers.
+///
+/// The view dag uses compact ids (`SweepDag` requires contiguous processes
+/// and positions); `pids`/`positions` translate view → base and
+/// `pid_of`/`pos_of` translate base → view (`None` for spliced-out ids).
+#[derive(Debug, Clone)]
+pub struct MembershipView {
+    pub epoch: u64,
+    pub dag: SweepDag,
+    /// View pid → base pid (index 0 is always base process 0).
+    pub pids: Vec<Pid>,
+    /// View position → base position.
+    pub positions: Vec<Pos>,
+    /// Base pid → view pid.
+    pub pid_of: Vec<Option<Pid>>,
+    /// Base position → view position.
+    pub pos_of: Vec<Option<Pos>>,
+}
+
+impl MembershipView {
+    /// Is a base process part of this view?
+    pub fn contains(&self, base_pid: Pid) -> bool {
+        self.pid_of.get(base_pid).is_some_and(|p| p.is_some())
+    }
+
+    /// The base pid of the first predecessor of a base position in this
+    /// view — the *upstream neighbor* a rejoining process adopts its phase
+    /// from during the rejoin handshake.
+    pub fn upstream_of(&self, base_pos: Pos) -> Option<Pid> {
+        let vp = self.pos_of.get(base_pos).copied().flatten()?;
+        let pred = *self.dag.preds(vp).first()?;
+        Some(self.pids[self.dag.owner(pred)])
+    }
+}
+
+/// A base topology plus the live set and the epoch counter.
+#[derive(Debug, Clone)]
+pub struct Membership {
+    base: SweepDag,
+    alive: Vec<bool>,
+    epoch: u64,
+}
+
+impl Membership {
+    /// Epoch 0: everyone alive, the view is the base topology itself
+    /// (modulo identity maps).
+    pub fn new(base: SweepDag) -> Membership {
+        let alive = vec![true; base.num_processes()];
+        Membership {
+            base,
+            alive,
+            epoch: 0,
+        }
+    }
+
+    pub fn base(&self) -> &SweepDag {
+        &self.base
+    }
+
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    pub fn is_alive(&self, pid: Pid) -> bool {
+        self.alive.get(pid).copied().unwrap_or(false)
+    }
+
+    pub fn live_count(&self) -> usize {
+        self.alive.iter().filter(|a| **a).count()
+    }
+
+    /// Fast-forward the epoch counter past an epoch observed on the wire
+    /// (adoption of a newer — possibly forged — epoch number). The next
+    /// reconfiguration then emits a strictly larger epoch, so a forged
+    /// number can never mask a real view change as stale.
+    pub fn observe_epoch(&mut self, epoch: u64) {
+        self.epoch = self.epoch.max(epoch);
+    }
+
+    /// Splice a dead process out: bump the epoch and contract its positions
+    /// away. Refuses the root, an already-dead process, and a splice that
+    /// would leave a single survivor.
+    pub fn splice(&mut self, pid: Pid) -> Result<MembershipView, MembershipError> {
+        if pid >= self.alive.len() {
+            return Err(MembershipError::UnknownPid(pid));
+        }
+        if pid == 0 {
+            return Err(MembershipError::RootImmortal);
+        }
+        if !self.alive[pid] {
+            return Err(MembershipError::NoChange(pid));
+        }
+        if self.live_count() <= 2 {
+            return Err(MembershipError::TooFewSurvivors);
+        }
+        self.alive[pid] = false;
+        self.epoch += 1;
+        Ok(self.view())
+    }
+
+    /// Graft a rejoining process back in: bump the epoch and restore its
+    /// positions (and exactly the edges its splice contracted).
+    pub fn graft(&mut self, pid: Pid) -> Result<MembershipView, MembershipError> {
+        if pid >= self.alive.len() {
+            return Err(MembershipError::UnknownPid(pid));
+        }
+        if self.alive[pid] {
+            return Err(MembershipError::NoChange(pid));
+        }
+        self.alive[pid] = true;
+        self.epoch += 1;
+        Ok(self.view())
+    }
+
+    /// The current view: the base dag contracted to the live set.
+    ///
+    /// A live position's predecessors are its nearest live ancestors: each
+    /// dead predecessor is replaced by *its* predecessors, transitively.
+    /// This is simultaneously the ring splice (neighbors re-linked) and the
+    /// Fig-2c subtree collapse (orphans adopt the dead node's parent; a
+    /// parent of a dead leaf inherits the leaf's leaf→root link).
+    pub fn view(&self) -> MembershipView {
+        let p = self.base.num_positions();
+        let live_pos = |pos: Pos| self.alive[self.base.owner(pos)];
+
+        // Base position → compact view position, in base order.
+        let mut pos_of: Vec<Option<Pos>> = vec![None; p];
+        let mut positions: Vec<Pos> = Vec::new();
+        for (pos, slot) in pos_of.iter_mut().enumerate() {
+            if live_pos(pos) {
+                *slot = Some(positions.len());
+                positions.push(pos);
+            }
+        }
+        // Base pid → compact view pid, in base order (root stays 0).
+        let mut pid_of: Vec<Option<Pid>> = vec![None; self.alive.len()];
+        let mut pids: Vec<Pid> = Vec::new();
+        for (pid, &alive) in self.alive.iter().enumerate() {
+            if alive {
+                pid_of[pid] = Some(pids.len());
+                pids.push(pid);
+            }
+        }
+
+        // Nearest live ancestors of a base position, memoized. The pred
+        // relation minus the root's incoming edges is acyclic and the root
+        // is always live, so the recursion terminates.
+        let mut resolved: Vec<Option<Vec<Pos>>> = vec![None; p];
+        fn resolve(
+            base: &SweepDag,
+            live: &dyn Fn(Pos) -> bool,
+            memo: &mut Vec<Option<Vec<Pos>>>,
+            pos: Pos,
+        ) -> Vec<Pos> {
+            if let Some(v) = &memo[pos] {
+                return v.clone();
+            }
+            let mut out = Vec::new();
+            for &q in base.preds(pos) {
+                if live(q) {
+                    out.push(q);
+                } else {
+                    out.extend(resolve(base, live, memo, q));
+                }
+            }
+            out.sort_unstable();
+            out.dedup();
+            memo[pos] = Some(out.clone());
+            out
+        }
+
+        let mut owner = Vec::with_capacity(positions.len());
+        let mut preds = Vec::with_capacity(positions.len());
+        for &pos in &positions {
+            owner.push(pid_of[self.base.owner(pos)].expect("live position has live owner"));
+            let row: Vec<Pos> = resolve(&self.base, &live_pos, &mut resolved, pos)
+                .into_iter()
+                // A contraction chain that loops back to the position itself
+                // (a 2-survivor ring) must not create a self-edge... it
+                // cannot: `pos` is live, so resolution stops at it only via
+                // a live pred, which is `pos`'s real neighbor.
+                .map(|q| pos_of[q].expect("resolved predecessor is live"))
+                .collect();
+            preds.push(row);
+        }
+
+        let dag = SweepDag::from_parts(owner, preds)
+            .expect("contracting a valid sweep dag over a live set keeps it valid");
+        MembershipView {
+            epoch: self.epoch,
+            dag,
+            pids,
+            positions,
+            pid_of,
+            pos_of,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_view_is_identity() {
+        let mut m = Membership::new(SweepDag::ring(5).unwrap());
+        let v = m.view();
+        assert_eq!(v.epoch, 0);
+        assert_eq!(v.dag.num_processes(), 5);
+        assert_eq!(v.pids, vec![0, 1, 2, 3, 4]);
+        assert_eq!(v.positions, vec![0, 1, 2, 3, 4]);
+        assert_eq!(m.epoch(), 0);
+        assert!(m.is_alive(3));
+        // observe_epoch never decreases.
+        m.observe_epoch(7);
+        m.observe_epoch(3);
+        assert_eq!(m.epoch(), 7);
+    }
+
+    #[test]
+    fn ring_splice_relinks_neighbors() {
+        let mut m = Membership::new(SweepDag::ring(5).unwrap());
+        let v = m.splice(2).unwrap();
+        assert_eq!(v.epoch, 1);
+        assert_eq!(v.dag.num_processes(), 4);
+        assert_eq!(v.pids, vec![0, 1, 3, 4]);
+        // Base ring preds: pos j reads j-1 (pos 0 reads the sink 4).
+        // Splicing 2: base position 3's pred contracts 2 → 1.
+        let view3 = v.pos_of[3].unwrap();
+        let pred_of_3: Vec<Pos> = v.dag.preds(view3).iter().map(|&q| v.positions[q]).collect();
+        assert_eq!(
+            pred_of_3,
+            vec![1],
+            "pred(succ(dead)) must become pred(dead)"
+        );
+        assert!(!v.contains(2));
+        assert_eq!(v.dag.critical_path(), 4);
+    }
+
+    #[test]
+    fn ring_graft_restores_the_ring() {
+        let mut m = Membership::new(SweepDag::ring(5).unwrap());
+        m.splice(2).unwrap();
+        let v = m.graft(2).unwrap();
+        assert_eq!(v.epoch, 2);
+        assert_eq!(v.dag.num_processes(), 5);
+        assert_eq!(v.pids, vec![0, 1, 2, 3, 4]);
+        let pred_of_3: Vec<Pos> = v.dag.preds(3).iter().map(|&q| v.positions[q]).collect();
+        assert_eq!(pred_of_3, vec![2], "graft restores the contracted edge");
+    }
+
+    #[test]
+    fn tree_inner_node_splice_collapses_subtree_onto_parent() {
+        // Binary tree over 7: preds(child) = parent, preds(root) = leaves.
+        let mut m = Membership::new(SweepDag::tree(7, 2).unwrap());
+        // Node 1's children are 3 and 4; its parent is the root.
+        let v = m.splice(1).unwrap();
+        for orphan in [3usize, 4] {
+            let vp = v.pos_of[orphan].unwrap();
+            let preds: Vec<Pos> = v.dag.preds(vp).iter().map(|&q| v.positions[q]).collect();
+            assert_eq!(preds, vec![0], "orphan {orphan} must adopt the grandparent");
+        }
+        assert_eq!(v.dag.num_processes(), 6);
+    }
+
+    #[test]
+    fn tree_leaf_splice_makes_parent_a_sink() {
+        let mut m = Membership::new(SweepDag::tree(7, 2).unwrap());
+        // Leaves of tree(7,2) are 3..=6; root preds = leaves. Splice both
+        // children of node 1 (leaves 3 and 4): node 1 inherits their
+        // leaf→root links and becomes a sink itself.
+        m.splice(3).unwrap();
+        let v = m.splice(4).unwrap();
+        let sink_base: Vec<Pos> = v.dag.sinks().iter().map(|&s| v.positions[s]).collect();
+        assert!(
+            sink_base.contains(&1),
+            "parent of dead leaves must become a sink, got {sink_base:?}"
+        );
+        assert_eq!(v.epoch, 2);
+    }
+
+    #[test]
+    fn epoch_is_bumped_by_every_reconfiguration() {
+        let mut m = Membership::new(SweepDag::ring(6).unwrap());
+        m.splice(3).unwrap();
+        m.splice(4).unwrap();
+        m.graft(3).unwrap();
+        assert_eq!(m.epoch(), 3);
+        assert_eq!(m.live_count(), 5);
+    }
+
+    #[test]
+    fn refuses_root_dead_and_tiny() {
+        let mut m = Membership::new(SweepDag::ring(3).unwrap());
+        assert_eq!(m.splice(0).unwrap_err(), MembershipError::RootImmortal);
+        assert_eq!(m.splice(9).unwrap_err(), MembershipError::UnknownPid(9));
+        m.splice(1).unwrap();
+        assert_eq!(m.splice(1).unwrap_err(), MembershipError::NoChange(1));
+        // 2 survivors left: a further splice would strand the root alone.
+        assert_eq!(m.splice(2).unwrap_err(), MembershipError::TooFewSurvivors);
+        assert_eq!(m.graft(2).unwrap_err(), MembershipError::NoChange(2));
+        // Errors never bump the epoch.
+        assert_eq!(m.epoch(), 1);
+    }
+
+    #[test]
+    fn upstream_of_reports_the_rejoin_neighbor() {
+        let mut m = Membership::new(SweepDag::ring(5).unwrap());
+        m.splice(2).unwrap();
+        let v = m.graft(2).unwrap();
+        // Rejoiner 2's worker position is base position 2; upstream is 1.
+        assert_eq!(v.upstream_of(2), Some(1));
+        assert_eq!(v.upstream_of(99), None);
+    }
+
+    #[test]
+    fn double_tree_splice_stays_valid() {
+        // Multi-position processes: contraction must keep the dag valid.
+        let mut m = Membership::new(SweepDag::double_tree(7, 2).unwrap());
+        for pid in [3usize, 5] {
+            let v = m.splice(pid).unwrap();
+            assert_eq!(v.dag.num_processes(), m.live_count());
+        }
+        let v = m.graft(3).unwrap();
+        assert_eq!(v.dag.num_processes(), 6);
+    }
+}
