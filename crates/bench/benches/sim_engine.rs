@@ -5,7 +5,10 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use ftbarrier_core::sweep::SweepBarrier;
 use ftbarrier_gcs::fault::NoFaults;
-use ftbarrier_gcs::{Engine, EngineConfig, Interleaving, InterleavingConfig, NullMonitor, Time};
+use ftbarrier_gcs::{
+    DenseEngine, DenseEngineConfig, Engine, EngineConfig, Interleaving, InterleavingConfig,
+    NullMonitor, Time,
+};
 use ftbarrier_topology::SweepDag;
 
 const COMMITS: u64 = 20_000;
@@ -83,5 +86,56 @@ fn bench_engine_large(criterion: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_engine, bench_engine_large);
+fn bench_engine_xl(criterion: &mut Criterion) {
+    // N = 65536 cases: the regime the struct-of-arrays sharded engine was
+    // built for. Full-rescan is Θ(N) per event and would take minutes per
+    // sample here, so the comparison is incremental (classic AoS engine)
+    // vs soa (DenseEngine, serial).
+    let mut group = criterion.benchmark_group("sim_engine_xl");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(COMMITS));
+    let cases = [
+        (
+            "ring_65536",
+            SweepBarrier::new(SweepDag::ring(65536).unwrap(), 8)
+                .with_costs(Time::new(0.01), Time::new(1.0)),
+        ),
+        (
+            "tree_65536",
+            SweepBarrier::new(SweepDag::tree(65536, 2).unwrap(), 8)
+                .with_costs(Time::new(0.01), Time::new(1.0)),
+        ),
+    ];
+    for (name, program) in &cases {
+        group.bench_with_input(
+            BenchmarkId::new(*name, "incremental"),
+            program,
+            |b, program| {
+                b.iter(|| {
+                    let mut engine = Engine::new(program, 7);
+                    let config = EngineConfig {
+                        max_commits: Some(COMMITS),
+                        ..Default::default()
+                    };
+                    let out = engine.run(&config, &mut NoFaults, &mut NullMonitor);
+                    assert!(out.stats.actions_executed >= COMMITS);
+                })
+            },
+        );
+        group.bench_with_input(BenchmarkId::new(*name, "soa"), program, |b, program| {
+            b.iter(|| {
+                let mut engine = DenseEngine::new(program, 7);
+                let config = DenseEngineConfig {
+                    max_commits: Some(COMMITS),
+                    ..Default::default()
+                };
+                let out = engine.run(&config, &mut NoFaults, &mut NullMonitor);
+                assert!(out.stats.actions_executed >= COMMITS);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine, bench_engine_large, bench_engine_xl);
 criterion_main!(benches);

@@ -230,8 +230,10 @@ fn main() {
         eprintln!("benchmarking engine and sweep harness…");
         let report = enginebench::run(opts.quick);
         print!("{}", report.summary());
+        let json = report.to_json();
+        enginebench::validate_schema(&json);
         let path = PathBuf::from("BENCH_engine.json");
-        std::fs::write(&path, report.to_json()).expect("write BENCH_engine.json");
+        std::fs::write(&path, json).expect("write BENCH_engine.json");
         eprintln!("wrote {}", path.display());
     }
 }

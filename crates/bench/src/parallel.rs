@@ -11,33 +11,10 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-/// Parse an `FTBARRIER_WORKERS` value: a positive integer, or a clear error
-/// (a typo must not silently fall back to the detected core count).
-pub fn parse_workers(raw: &str) -> Result<usize, String> {
-    match raw.trim().parse::<usize>() {
-        Ok(0) => Err(format!(
-            "FTBARRIER_WORKERS must be a positive integer, got `{raw}` (use 1 for the serial path)"
-        )),
-        Ok(n) => Ok(n),
-        Err(_) => Err(format!(
-            "FTBARRIER_WORKERS must be a positive integer, got `{raw}`"
-        )),
-    }
-}
-
-/// Number of worker threads to fan experiments across.
-///
-/// `FTBARRIER_WORKERS` overrides the detected core count (set it to 1 to
-/// force the serial path, e.g. when timing a single cell). An invalid value
-/// is a configuration error and panics rather than being silently ignored.
-pub fn worker_count() -> usize {
-    if let Ok(v) = std::env::var("FTBARRIER_WORKERS") {
-        return parse_workers(&v).unwrap_or_else(|e| panic!("{e}"));
-    }
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-}
+// The `FTBARRIER_WORKERS` parsing/validation lives in the simulation crate
+// so the sharded engine and the sweep layer agree on one spelling of the
+// contract; re-exported here for the bench binaries and existing callers.
+pub use ftbarrier_gcs::workers::{available_parallelism, parse_workers, worker_count};
 
 /// Map `f` over `items` on up to [`worker_count`] scoped threads, returning
 /// results in input order.

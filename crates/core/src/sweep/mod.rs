@@ -25,9 +25,11 @@
 mod faults;
 mod mb;
 mod program;
+mod soa;
 mod state;
 
 pub use faults::{ProcessFaults, SweepDetectableFault, SweepUndetectableFault};
 pub use mb::mb_ring;
-pub use program::{SweepBarrier, RECV, T3, T4, T5, WORK};
+pub use program::{SweepBarrier, SweepStateView, POSTWORK, RECV, T3, T4, T5, WORK};
+pub use soa::SweepSoa;
 pub use state::PosState;

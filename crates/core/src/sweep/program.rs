@@ -4,9 +4,69 @@
 
 use crate::cp::Cp;
 use crate::sn::Sn;
+use crate::sweep::soa::SweepSoa;
 use crate::sweep::state::PosState;
-use ftbarrier_gcs::{ActionId, Pid, Protocol, ReaderSet, SimRng, Time};
-use ftbarrier_topology::{Pos, SweepDag};
+use ftbarrier_gcs::{ActionId, DenseProtocol, Pid, Protocol, ReaderSet, SimRng, Time};
+use ftbarrier_topology::{CsrDag, Pos, SweepDag};
+
+/// Read-only positional access to the sweep state, so one copy of the
+/// guard/statement logic serves both the array-of-structs layout the classic
+/// engine uses and the struct-of-arrays layout ([`SweepSoa`]) the sharded
+/// engine uses. Implementations must agree: `view.sn(p) == states[p].sn`
+/// etc. for the state they present.
+pub trait SweepStateView {
+    fn sn(&self, pos: Pos) -> Sn;
+    fn cp(&self, pos: Pos) -> Cp;
+    fn ph(&self, pos: Pos) -> u32;
+    fn done(&self, pos: Pos) -> bool;
+    fn post(&self, pos: Pos) -> bool;
+}
+
+impl SweepStateView for [PosState] {
+    #[inline]
+    fn sn(&self, pos: Pos) -> Sn {
+        self[pos].sn
+    }
+    #[inline]
+    fn cp(&self, pos: Pos) -> Cp {
+        self[pos].cp
+    }
+    #[inline]
+    fn ph(&self, pos: Pos) -> u32 {
+        self[pos].ph
+    }
+    #[inline]
+    fn done(&self, pos: Pos) -> bool {
+        self[pos].done
+    }
+    #[inline]
+    fn post(&self, pos: Pos) -> bool {
+        self[pos].post
+    }
+}
+
+impl SweepStateView for SweepSoa {
+    #[inline]
+    fn sn(&self, pos: Pos) -> Sn {
+        self.sn_at(pos)
+    }
+    #[inline]
+    fn cp(&self, pos: Pos) -> Cp {
+        self.cp_at(pos)
+    }
+    #[inline]
+    fn ph(&self, pos: Pos) -> u32 {
+        self.ph[pos]
+    }
+    #[inline]
+    fn done(&self, pos: Pos) -> bool {
+        self.done_at(pos)
+    }
+    #[inline]
+    fn post(&self, pos: Pos) -> bool {
+        self.post_at(pos)
+    }
+}
 
 /// Token receipt + superposed `cp`/`ph` update (the paper's T1 at the root,
 /// T2 elsewhere).
@@ -39,6 +99,9 @@ pub const POSTWORK: ActionId = 5;
 #[derive(Debug, Clone)]
 pub struct SweepBarrier {
     dag: SweepDag,
+    /// Flat adjacency mirror of `dag` — the guards walk this, not the
+    /// `Vec<Vec<_>>` form (one indirection per position adds up at N=10⁶).
+    csr: CsrDag,
     /// Length of the cyclic phase sequence (the paper's `n`, at least 2).
     pub n_phases: u32,
     /// Sequence number domain size. Defaults to `2·positions + 3`, which
@@ -68,8 +131,10 @@ impl SweepBarrier {
             worker[dag.positions_of(pid)[0]] = true;
         }
         let sn_domain = 2 * dag.num_positions() as u32 + 3;
+        let csr = CsrDag::new(&dag);
         SweepBarrier {
             dag,
+            csr,
             n_phases,
             sn_domain,
             comm_cost: Time::ZERO,
@@ -132,14 +197,14 @@ impl SweepBarrier {
 
     /// If all predecessors of `pos` carry the same ordinary sequence number,
     /// return it.
-    fn pred_sn(&self, g: &[PosState], pos: Pos) -> Option<Sn> {
-        let preds = self.dag.preds(pos);
-        let first = g[preds[0]].sn;
+    fn pred_sn<V: SweepStateView + ?Sized>(&self, g: &V, pos: Pos) -> Option<Sn> {
+        let preds = self.csr.preds(pos);
+        let first = g.sn(preds[0] as Pos);
         if !first.is_valid() {
             return None;
         }
         for &q in &preds[1..] {
-            if g[q].sn != first {
+            if g.sn(q as Pos) != first {
                 return None;
             }
         }
@@ -149,9 +214,9 @@ impl SweepBarrier {
     /// The sequence number the root adopts on T1: the sinks' common value
     /// when they agree, else — only relevant when the root itself is flagged
     /// and repairing — the value of any ordinary sink.
-    fn root_recv_sn(&self, g: &[PosState], own: Sn) -> Option<Sn> {
+    fn root_recv_sn<V: SweepStateView + ?Sized>(&self, g: &V, own: Sn) -> Option<Sn> {
         if let Some(v) = self.pred_sn(g, SweepDag::ROOT) {
-            if g[SweepDag::ROOT].sn == v || !own.is_valid() {
+            if g.sn(SweepDag::ROOT) == v || !own.is_valid() {
                 return Some(v);
             }
             return None;
@@ -162,10 +227,10 @@ impl SweepBarrier {
             // "agreement" trivial; without this, a ⊥ root above
             // disagreeing sinks would deadlock the tree).
             return self
-                .dag
+                .csr
                 .sinks()
                 .iter()
-                .map(|&q| g[q].sn)
+                .map(|&q| g.sn(q as Pos))
                 .find(|sn| sn.is_valid());
         }
         None
@@ -174,44 +239,51 @@ impl SweepBarrier {
     /// A sink whose sequence number is ordinary — under detectable faults
     /// this is exactly a sink whose `ph` is trustworthy (a corrupted sink is
     /// flagged until its own RECV repairs both `sn` and `ph`).
-    fn trusted_sink(&self, g: &[PosState], fallback: Pos) -> Pos {
-        self.dag
+    fn trusted_sink<V: SweepStateView + ?Sized>(&self, g: &V, fallback: Pos) -> Pos {
+        self.csr
             .sinks()
             .iter()
-            .copied()
-            .find(|&q| g[q].sn.is_valid())
+            .map(|&q| q as Pos)
+            .find(|&q| g.sn(q).is_valid())
             .unwrap_or(fallback)
     }
 
     /// The control position all predecessors agree on, if they agree.
-    fn pred_cp(&self, g: &[PosState], pos: Pos) -> Option<Cp> {
-        let preds = self.dag.preds(pos);
-        let first = g[preds[0]].cp;
-        if preds[1..].iter().all(|&q| g[q].cp == first) {
+    fn pred_cp<V: SweepStateView + ?Sized>(&self, g: &V, pos: Pos) -> Option<Cp> {
+        let preds = self.csr.preds(pos);
+        let first = g.cp(preds[0] as Pos);
+        if preds[1..].iter().all(|&q| g.cp(q as Pos) == first) {
             Some(first)
         } else {
             None
         }
     }
 
-    fn pred_ph_agree(&self, g: &[PosState], pos: Pos) -> bool {
-        let preds = self.dag.preds(pos);
-        let first = g[preds[0]].ph;
-        preds[1..].iter().all(|&q| g[q].ph == first)
+    fn pred_ph_agree<V: SweepStateView + ?Sized>(&self, g: &V, pos: Pos) -> bool {
+        let preds = self.csr.preds(pos);
+        let first = g.ph(preds[0] as Pos);
+        preds[1..].iter().all(|&q| g.ph(q as Pos) == first)
     }
 
     /// Does `pos` currently hold the token (may it execute `RECV`)?
     pub fn has_token(&self, g: &[PosState], pos: Pos) -> bool {
+        self.has_token_in(g, pos)
+    }
+
+    fn has_token_in<V: SweepStateView + ?Sized>(&self, g: &V, pos: Pos) -> bool {
         if pos == SweepDag::ROOT {
-            return self.root_recv_sn(g, g[pos].sn).is_some();
+            return self.root_recv_sn(g, g.sn(pos)).is_some();
         }
         // T2's guard: predecessors ordinary and all differing from our own
         // sequence number. (With one predecessor this is the paper's guard
         // verbatim; with several it is the natural aggregation — we move
         // only once every predecessor has moved past us.)
-        let preds = self.dag.preds(pos);
-        let own = g[pos].sn;
-        preds.iter().all(|&q| g[q].sn.is_valid() && g[q].sn != own)
+        let preds = self.csr.preds(pos);
+        let own = g.sn(pos);
+        preds.iter().all(|&q| {
+            let sn = g.sn(q as Pos);
+            sn.is_valid() && sn != own
+        })
     }
 
     /// RECV is gated until the phase body finishes when the superposed
@@ -219,15 +291,15 @@ impl SweepBarrier {
     /// token action] at its action point", i.e. not mid-phase) — and, in the
     /// fuzzy extension, while post-work is still running (the process is
     /// busy; it neither relays nor leaves the barrier).
-    fn recv_blocked_on_work(&self, g: &[PosState], pos: Pos) -> bool {
+    fn recv_blocked_on_work<V: SweepStateView + ?Sized>(&self, g: &V, pos: Pos) -> bool {
         if !self.worker[pos] {
             return false;
         }
-        let s = &g[pos];
-        if self.fuzzy() && !s.post && matches!(s.cp, Cp::Success | Cp::Ready) {
+        let cp = g.cp(pos);
+        if self.fuzzy() && !g.post(pos) && matches!(cp, Cp::Success | Cp::Ready) {
             return true;
         }
-        if s.cp != Cp::Execute || s.done {
+        if cp != Cp::Execute || g.done(pos) {
             return false;
         }
         if pos == SweepDag::ROOT {
@@ -240,12 +312,12 @@ impl SweepBarrier {
 
     /// The superposed update at the root (the paper's "updating ph.0 and
     /// cp.0 in process 0", with the sinks in the role of process N).
-    fn root_update(&self, g: &[PosState], s: &mut PosState) {
-        let sinks = self.dag.sinks();
-        let all_sinks = |cp: Cp| sinks.iter().all(|&q| g[q].cp == cp);
+    fn root_update<V: SweepStateView + ?Sized>(&self, g: &V, s: &mut PosState) {
+        let sinks = self.csr.sinks();
+        let all_sinks = |cp: Cp| sinks.iter().all(|&q| g.cp(q as Pos) == cp);
         // Phase re-learned from a sink with a trustworthy (ordinary) sn.
-        let sink_ph = g[self.trusted_sink(g, sinks[0])].ph;
-        let sinks_ph_agree = sinks.iter().all(|&q| g[q].ph == sink_ph);
+        let sink_ph = g.ph(self.trusted_sink(g, sinks[0] as Pos));
+        let sinks_ph_agree = sinks.iter().all(|&q| g.ph(q as Pos) == sink_ph);
         match s.cp {
             Cp::Ready => {
                 if all_sinks(Cp::Ready) && sinks_ph_agree && sink_ph == s.ph {
@@ -281,12 +353,12 @@ impl SweepBarrier {
 
     /// The superposed update at a non-root position (the paper's "updating
     /// ph.j and cp.j in process j, j ≠ 0").
-    fn nonroot_update(&self, g: &[PosState], pos: Pos, s: &mut PosState) {
+    fn nonroot_update<V: SweepStateView + ?Sized>(&self, g: &V, pos: Pos, s: &mut PosState) {
         let pred_cp = self.pred_cp(g, pos);
         let ph_agree = self.pred_ph_agree(g, pos);
         let old_cp = s.cp;
         // "ph.j := ph.(j-1)" — unconditional first line.
-        s.ph = g[self.dag.preds(pos)[0]].ph;
+        s.ph = g.ph(self.csr.preds(pos)[0] as Pos);
         match (old_cp, pred_cp) {
             (Cp::Ready, Some(Cp::Execute)) if ph_agree => {
                 s.cp = Cp::Execute;
@@ -312,6 +384,82 @@ impl SweepBarrier {
                 }
             }
         }
+    }
+    /// Guard of `(pos, action)` against any state view — the single source
+    /// of truth behind both `Protocol::enabled` and `dense_enabled`.
+    fn enabled_in<V: SweepStateView + ?Sized>(&self, g: &V, pos: Pos, action: ActionId) -> bool {
+        match action {
+            RECV => self.has_token_in(g, pos) && !self.recv_blocked_on_work(g, pos),
+            WORK => self.worker[pos] && g.cp(pos) == Cp::Execute && !g.done(pos),
+            T3 => self.csr.is_sink(pos) && g.sn(pos) == Sn::Bot,
+            T4 => !self.csr.is_sink(pos) && g.sn(pos) == Sn::Bot && self.top_wave_arrived(g, pos),
+            T5 => pos == SweepDag::ROOT && g.sn(pos) == Sn::Top,
+            POSTWORK => {
+                self.fuzzy()
+                    && self.worker[pos]
+                    && !g.post(pos)
+                    && matches!(g.cp(pos), Cp::Success | Cp::Ready)
+            }
+            _ => false,
+        }
+    }
+
+    /// T4's wave condition: all successors carry ⊤ — or, generalized closing
+    /// of the ⊤ wave, a ⊥ root also accepts the wave from its *sinks* (the
+    /// ring's T4 reads the successor, which for the ring's 0 is on the same
+    /// path; in a tree the wave otherwise stalls at stale-valid inner nodes).
+    fn top_wave_arrived<V: SweepStateView + ?Sized>(&self, g: &V, pos: Pos) -> bool {
+        self.csr
+            .succs(pos)
+            .iter()
+            .all(|&q| g.sn(q as Pos) == Sn::Top)
+            || (pos == SweepDag::ROOT
+                && self.csr.sinks().iter().all(|&q| g.sn(q as Pos) == Sn::Top))
+    }
+
+    /// Statement of `(pos, action)` against any state view — the single
+    /// source of truth behind both `Protocol::execute` and `dense_execute`.
+    fn execute_in<V: SweepStateView + ?Sized>(
+        &self,
+        g: &V,
+        pos: Pos,
+        action: ActionId,
+    ) -> PosState {
+        let mut s = PosState {
+            sn: g.sn(pos),
+            cp: g.cp(pos),
+            ph: g.ph(pos),
+            done: g.done(pos),
+            post: g.post(pos),
+        };
+        match action {
+            RECV => {
+                if pos == SweepDag::ROOT {
+                    let v = self
+                        .root_recv_sn(g, s.sn)
+                        .expect("T1 only enabled with a usable sink value");
+                    s.sn = v.next(self.sn_domain);
+                    self.root_update(g, &mut s);
+                } else {
+                    s.sn = g.sn(self.csr.preds(pos)[0] as Pos);
+                    self.nonroot_update(g, pos, &mut s);
+                }
+            }
+            WORK => {
+                s.done = true;
+            }
+            T3 | T4 => {
+                s.sn = Sn::Top;
+            }
+            T5 => {
+                s.sn = Sn::Val(0);
+            }
+            POSTWORK => {
+                s.post = true;
+            }
+            _ => unreachable!("sweep program has 6 actions"),
+        }
+        s
     }
 }
 
@@ -345,68 +493,11 @@ impl Protocol for SweepBarrier {
     }
 
     fn enabled(&self, g: &[PosState], pos: Pid, action: ActionId) -> bool {
-        let s = &g[pos];
-        match action {
-            RECV => self.has_token(g, pos) && !self.recv_blocked_on_work(g, pos),
-            WORK => self.worker[pos] && s.cp == Cp::Execute && !s.done,
-            T3 => self.dag.is_sink(pos) && s.sn == Sn::Bot,
-            T4 => {
-                !self.dag.is_sink(pos)
-                    && s.sn == Sn::Bot
-                    && (self
-                        .dag
-                        .succs(pos)
-                        .iter()
-                        .all(|&q| g[q].sn == Sn::Top)
-                        // Generalized closing of the ⊤ wave: a ⊥ root also
-                        // accepts the wave from its *sinks* (the ring's T4
-                        // reads the successor, which for the ring's 0 is on
-                        // the same path; in a tree the wave otherwise stalls
-                        // at stale-valid inner nodes).
-                        || (pos == SweepDag::ROOT
-                            && self.dag.sinks().iter().all(|&q| g[q].sn == Sn::Top)))
-            }
-            T5 => pos == SweepDag::ROOT && s.sn == Sn::Top,
-            POSTWORK => {
-                self.fuzzy()
-                    && self.worker[pos]
-                    && !s.post
-                    && matches!(s.cp, Cp::Success | Cp::Ready)
-            }
-            _ => false,
-        }
+        self.enabled_in(g, pos, action)
     }
 
     fn execute(&self, g: &[PosState], pos: Pid, action: ActionId, _rng: &mut SimRng) -> PosState {
-        let mut s = g[pos];
-        match action {
-            RECV => {
-                if pos == SweepDag::ROOT {
-                    let v = self
-                        .root_recv_sn(g, s.sn)
-                        .expect("T1 only enabled with a usable sink value");
-                    s.sn = v.next(self.sn_domain);
-                    self.root_update(g, &mut s);
-                } else {
-                    s.sn = g[self.dag.preds(pos)[0]].sn;
-                    self.nonroot_update(g, pos, &mut s);
-                }
-            }
-            WORK => {
-                s.done = true;
-            }
-            T3 | T4 => {
-                s.sn = Sn::Top;
-            }
-            T5 => {
-                s.sn = Sn::Val(0);
-            }
-            POSTWORK => {
-                s.post = true;
-            }
-            _ => unreachable!("sweep program has 6 actions"),
-        }
-        s
+        self.execute_in(g, pos, action)
     }
 
     fn cost(&self, _pos: Pid, action: ActionId) -> Time {
@@ -444,6 +535,57 @@ impl Protocol for SweepBarrier {
         readers.sort_unstable();
         readers.dedup();
         ReaderSet::These(readers)
+    }
+}
+
+impl DenseProtocol for SweepBarrier {
+    type Dense = SweepSoa;
+
+    fn dense_enabled(&self, dense: &SweepSoa, pos: Pid, action: ActionId) -> bool {
+        self.enabled_in(dense, pos, action)
+    }
+
+    fn dense_execute(
+        &self,
+        dense: &SweepSoa,
+        pos: Pid,
+        action: ActionId,
+        _rng: &mut SimRng,
+    ) -> PosState {
+        self.execute_in(dense, pos, action)
+    }
+
+    /// Fused single pass: load `pos`'s lanes once and gate each guard on the
+    /// cheap local conditions before touching the neighborhood, instead of
+    /// re-reading the state for each of the six actions.
+    fn dense_enabled_actions(&self, dense: &SweepSoa, pos: Pid, out: &mut Vec<ActionId>) {
+        out.clear();
+        let sn = dense.sn_at(pos);
+        let cp = dense.cp_at(pos);
+        let done = dense.done_at(pos);
+        let post = dense.post_at(pos);
+        let worker = self.worker[pos];
+        let is_root = pos == SweepDag::ROOT;
+
+        if self.has_token_in(dense, pos) && !self.recv_blocked_on_work(dense, pos) {
+            out.push(RECV);
+        }
+        if worker && cp == Cp::Execute && !done {
+            out.push(WORK);
+        }
+        if sn == Sn::Bot {
+            if self.csr.is_sink(pos) {
+                out.push(T3);
+            } else if self.top_wave_arrived(dense, pos) {
+                out.push(T4);
+            }
+        }
+        if is_root && sn == Sn::Top {
+            out.push(T5);
+        }
+        if self.fuzzy() && worker && !post && matches!(cp, Cp::Success | Cp::Ready) {
+            out.push(POSTWORK);
+        }
     }
 }
 

@@ -1,0 +1,207 @@
+//! Struct-of-arrays encoding of the sweep program's global state.
+//!
+//! `Vec<PosState>` interleaves five small fields per position, so a guard
+//! sweep at N=10⁵–10⁶ loads mostly padding. [`SweepSoa`] splits the state
+//! into four parallel flat arrays — `sn: Vec<u64>`, `cp: Vec<u8>`,
+//! `ph: Vec<u32>`, `flags: Vec<u8>` — so the token predicate touches only
+//! the `sn` lane and the barrier updates only the lanes they read. The
+//! encoding round-trips exactly (`get(from_states(v), p) == v[p]`), which
+//! the differential tests against the array-of-structs engine depend on.
+
+use crate::cp::Cp;
+use crate::sn::Sn;
+use crate::sweep::state::PosState;
+use ftbarrier_gcs::{DenseState, Pid};
+
+/// `sn` lane encoding: ordinary values are themselves (a forged `Val` can
+/// span all of u32, so the flags live above that range in u64).
+const SN_BOT: u64 = u64::MAX;
+const SN_TOP: u64 = u64::MAX - 1;
+
+#[inline]
+pub(crate) fn sn_to_u64(sn: Sn) -> u64 {
+    match sn {
+        Sn::Bot => SN_BOT,
+        Sn::Top => SN_TOP,
+        Sn::Val(v) => v as u64,
+    }
+}
+
+#[inline]
+pub(crate) fn sn_from_u64(raw: u64) -> Sn {
+    match raw {
+        SN_BOT => Sn::Bot,
+        SN_TOP => Sn::Top,
+        v => Sn::Val(v as u32),
+    }
+}
+
+#[inline]
+pub(crate) fn cp_to_u8(cp: Cp) -> u8 {
+    match cp {
+        Cp::Ready => 0,
+        Cp::Execute => 1,
+        Cp::Success => 2,
+        Cp::Error => 3,
+        Cp::Repeat => 4,
+    }
+}
+
+#[inline]
+pub(crate) fn cp_from_u8(raw: u8) -> Cp {
+    match raw {
+        0 => Cp::Ready,
+        1 => Cp::Execute,
+        2 => Cp::Success,
+        3 => Cp::Error,
+        4 => Cp::Repeat,
+        _ => unreachable!("cp lane holds only encoded Cp values"),
+    }
+}
+
+const FLAG_DONE: u8 = 1;
+const FLAG_POST: u8 = 2;
+
+/// The sweep program's global state as parallel flat arrays.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepSoa {
+    /// Sequence numbers; `u64::MAX` is ⊥, `u64::MAX - 1` is ⊤.
+    pub sn: Vec<u64>,
+    /// Control positions, encoded `ready=0, execute=1, success=2, error=3,
+    /// repeat=4`.
+    pub cp: Vec<u8>,
+    /// Phase numbers.
+    pub ph: Vec<u32>,
+    /// Bit 0: `done`; bit 1: `post`.
+    pub flags: Vec<u8>,
+}
+
+impl SweepSoa {
+    #[inline]
+    pub fn sn_at(&self, pos: Pid) -> Sn {
+        sn_from_u64(self.sn[pos])
+    }
+
+    #[inline]
+    pub fn cp_at(&self, pos: Pid) -> Cp {
+        cp_from_u8(self.cp[pos])
+    }
+
+    #[inline]
+    pub fn done_at(&self, pos: Pid) -> bool {
+        self.flags[pos] & FLAG_DONE != 0
+    }
+
+    #[inline]
+    pub fn post_at(&self, pos: Pid) -> bool {
+        self.flags[pos] & FLAG_POST != 0
+    }
+}
+
+impl DenseState for SweepSoa {
+    type Elem = PosState;
+
+    fn from_states(states: &[PosState]) -> SweepSoa {
+        SweepSoa {
+            sn: states.iter().map(|s| sn_to_u64(s.sn)).collect(),
+            cp: states.iter().map(|s| cp_to_u8(s.cp)).collect(),
+            ph: states.iter().map(|s| s.ph).collect(),
+            flags: states
+                .iter()
+                .map(|s| (s.done as u8 * FLAG_DONE) | (s.post as u8 * FLAG_POST))
+                .collect(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.sn.len()
+    }
+
+    #[inline]
+    fn get(&self, pos: Pid) -> PosState {
+        PosState {
+            sn: sn_from_u64(self.sn[pos]),
+            cp: cp_from_u8(self.cp[pos]),
+            ph: self.ph[pos],
+            done: self.flags[pos] & FLAG_DONE != 0,
+            post: self.flags[pos] & FLAG_POST != 0,
+        }
+    }
+
+    #[inline]
+    fn set(&mut self, pos: Pid, s: PosState) {
+        self.sn[pos] = sn_to_u64(s.sn);
+        self.cp[pos] = cp_to_u8(s.cp);
+        self.ph[pos] = s.ph;
+        self.flags[pos] = (s.done as u8 * FLAG_DONE) | (s.post as u8 * FLAG_POST);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftbarrier_gcs::SimRng;
+
+    #[test]
+    fn round_trips_the_whole_domain() {
+        // Every (sn-kind, cp, done, post) combination plus forged extremes.
+        let mut states = Vec::new();
+        for sn in [Sn::Bot, Sn::Top, Sn::Val(0), Sn::Val(7), Sn::Val(u32::MAX)] {
+            for cp in Cp::RB_DOMAIN {
+                for done in [false, true] {
+                    for post in [false, true] {
+                        states.push(PosState {
+                            sn,
+                            cp,
+                            ph: states.len() as u32,
+                            done,
+                            post,
+                        });
+                    }
+                }
+            }
+        }
+        let soa = SweepSoa::from_states(&states);
+        assert_eq!(soa.len(), states.len());
+        for (pos, &s) in states.iter().enumerate() {
+            assert_eq!(soa.get(pos), s, "position {pos}");
+            assert_eq!(soa.sn_at(pos), s.sn);
+            assert_eq!(soa.cp_at(pos), s.cp);
+            assert_eq!(soa.done_at(pos), s.done);
+            assert_eq!(soa.post_at(pos), s.post);
+        }
+        assert_eq!(soa.to_states(), states);
+    }
+
+    #[test]
+    fn set_overwrites_every_lane() {
+        let mut soa = SweepSoa::from_states(&[PosState::start(); 3]);
+        let forged = PosState {
+            sn: Sn::Top,
+            cp: Cp::Repeat,
+            ph: 9,
+            done: false,
+            post: false,
+        };
+        soa.set(1, forged);
+        assert_eq!(soa.get(1), forged);
+        assert_eq!(soa.get(0), PosState::start());
+        assert_eq!(soa.get(2), PosState::start());
+    }
+
+    #[test]
+    fn arbitrary_states_round_trip() {
+        let mut rng = SimRng::seed_from_u64(11);
+        for _ in 0..200 {
+            let s = PosState {
+                sn: Sn::arbitrary(13, &mut rng),
+                cp: *rng.choose(&Cp::RB_DOMAIN),
+                ph: rng.range_u64(0, 8) as u32,
+                done: rng.chance(0.5),
+                post: rng.chance(0.5),
+            };
+            let soa = SweepSoa::from_states(&[s]);
+            assert_eq!(soa.get(0), s);
+        }
+    }
+}

@@ -20,7 +20,7 @@ use ftbarrier_core::Sn;
 use ftbarrier_gcs::fault::NoFaults;
 use ftbarrier_gcs::monitor::MonitorSet;
 use ftbarrier_gcs::trace::{Trace, TraceEvent};
-use ftbarrier_gcs::{Engine, EngineConfig, TelemetryMonitor, Time};
+use ftbarrier_gcs::{DenseEngine, DenseEngineConfig, Engine, EngineConfig, TelemetryMonitor, Time};
 use ftbarrier_telemetry::{Telemetry, TimeDomain};
 
 type RunRecord<S> = (Vec<TraceEvent<S>>, Vec<S>, [u64; 3]);
@@ -159,6 +159,113 @@ fn token_ring_matches_full_rescan() {
             run_token_ring(seed, false),
             run_token_ring(seed, true),
         );
+    }
+}
+
+/// The same run as `run_sweep`, executed on the sharded struct-of-arrays
+/// engine with the given worker count. Shard count is fixed (not derived
+/// from the worker count) so every worker configuration schedules the same
+/// shard boundaries — the trace must be identical for any worker count.
+fn run_sweep_dense(
+    spec: TopologySpec,
+    seed: u64,
+    fault_rate: f64,
+    workers: usize,
+) -> RunRecord<PosState> {
+    let program =
+        SweepBarrier::new(spec.build().unwrap(), 8).with_costs(Time::new(0.02), Time::new(1.0));
+    let mut engine = DenseEngine::new(&program, seed).with_shards(4);
+    engine.perturb_all();
+    let mut trace = Trace::unbounded();
+    let cfg = DenseEngineConfig {
+        max_time: Some(Time::new(30.0)),
+        max_commits: Some(2_000_000),
+        workers: Some(workers),
+        parallel_threshold: 1,
+        ..Default::default()
+    };
+    let out = if fault_rate > 0.0 {
+        let mut faults =
+            ProcessFaults::new(&program, fault_rate, SweepDetectableFault { n_phases: 8 });
+        engine.run(&cfg, &mut faults, &mut trace)
+    } else {
+        engine.run(&cfg, &mut NoFaults, &mut trace)
+    };
+    (
+        trace.events().cloned().collect(),
+        engine.global_states(),
+        [
+            out.stats.actions_executed,
+            out.stats.commits_dropped,
+            out.stats.faults,
+        ],
+    )
+}
+
+#[test]
+fn dense_engine_matches_classic_without_faults() {
+    for (name, spec) in TOPOLOGIES {
+        for seed in [0x5A01u64, 0x5A02] {
+            let classic = run_sweep(spec, seed, 0.0, false);
+            for workers in [1usize, 2, 4] {
+                assert_identical(
+                    &format!("{name} dense w={workers} seed {seed:#x}"),
+                    run_sweep_dense(spec, seed, 0.0, workers),
+                    classic.clone(),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn dense_engine_matches_classic_under_process_faults() {
+    for (name, spec) in TOPOLOGIES {
+        for seed in [0x5B01u64, 0x5B02] {
+            let classic = run_sweep(spec, seed, 0.3, false);
+            for workers in [1usize, 2, 4] {
+                assert_identical(
+                    &format!("{name} dense faulted w={workers} seed {seed:#x}"),
+                    run_sweep_dense(spec, seed, 0.3, workers),
+                    classic.clone(),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn dense_token_ring_matches_classic() {
+    for seed in [7u64, 8] {
+        let classic = run_token_ring(seed, false);
+        for workers in [1usize, 2, 4] {
+            let mut program = TokenRing::new(7);
+            program.hop_cost = Time::new(0.05);
+            let mut engine = DenseEngine::new(&program, seed).with_shards(3);
+            engine.perturb_all();
+            let mut trace = Trace::unbounded();
+            let cfg = DenseEngineConfig {
+                max_time: Some(Time::new(25.0)),
+                max_commits: Some(2_000_000),
+                workers: Some(workers),
+                parallel_threshold: 1,
+                ..Default::default()
+            };
+            let out = engine.run(&cfg, &mut NoFaults, &mut trace);
+            assert_identical(
+                &format!("token ring dense w={workers} seed {seed}"),
+                (
+                    trace.events().cloned().collect(),
+                    engine.global_states(),
+                    [
+                        out.stats.actions_executed,
+                        out.stats.commits_dropped,
+                        out.stats.faults,
+                    ],
+                ),
+                classic.clone(),
+            );
+        }
     }
 }
 

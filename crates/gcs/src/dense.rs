@@ -1,0 +1,220 @@
+//! Opt-in struct-of-arrays extension of [`Protocol`].
+//!
+//! The classic [`crate::engine::Engine`] simulates over an array-of-structs
+//! `Vec<P::State>`: every guard evaluation chases `Vec<Vec<_>>` adjacency and
+//! loads whole state structs, and every commit clones a `P::State` through
+//! the `updates: Vec<(Pid, ActionId, P::State)>` scratch vector. That layout
+//! tops out around N=10³. A [`DenseProtocol`] instead exposes the global
+//! state as a set of parallel flat arrays (`sn: Vec<u64>`, `cp: Vec<u8>`,
+//! `ph: Vec<u32>`, …) behind the [`DenseState`] trait, so guard evaluation
+//! is cache-linear and the sharded engine
+//! ([`crate::dense_engine::DenseEngine`]) can split the arrays into
+//! contiguous pid ranges that different workers own.
+//!
+//! The extension is strictly opt-in: `DenseProtocol: Protocol`, and the
+//! dense guard/statement methods must agree exactly with their slice-based
+//! counterparts — `dense_enabled(d, p, a) == enabled(&d.to_states(), p, a)`
+//! and likewise for `dense_execute` (including the order of RNG draws).
+//! The differential test suite holds every implementation to this.
+//!
+//! Monitors and fault plans read/write global state too, so they get dense
+//! counterparts ([`DenseMonitor`], [`DenseFaultPlan`]) with the same
+//! callback order and RNG discipline as the slice versions.
+
+use crate::fault::{FaultHit, FaultKind};
+use crate::protocol::{ActionId, Pid, Protocol};
+use crate::rng::SimRng;
+use crate::time::Time;
+
+/// A dense (typically struct-of-arrays) encoding of a global state
+/// `Vec<Elem>`. Element access by pid must round-trip exactly:
+/// `from_states(&v).get(p) == v[p]` for all `p`.
+pub trait DenseState: Send + Sync {
+    /// The per-process state this encodes (the protocol's `State`).
+    type Elem: Copy + PartialEq + std::fmt::Debug + Send + Sync;
+
+    /// Pack a global state vector into the dense layout.
+    fn from_states(states: &[Self::Elem]) -> Self;
+
+    /// Number of processes.
+    fn len(&self) -> usize;
+
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Read process `pid`'s state back out of the arrays.
+    fn get(&self, pid: Pid) -> Self::Elem;
+
+    /// Overwrite process `pid`'s state.
+    fn set(&mut self, pid: Pid, value: Self::Elem);
+
+    /// Unpack into the array-of-structs form the slice-based APIs use.
+    fn to_states(&self) -> Vec<Self::Elem> {
+        (0..self.len()).map(|p| self.get(p)).collect()
+    }
+}
+
+/// Fallback dense encoding: the array-of-structs layout itself. Gives any
+/// `Copy`-state protocol access to the sharded engine without committing to
+/// a struct-of-arrays split (no locality win, but the sharding still works).
+impl<S: Copy + PartialEq + std::fmt::Debug + Send + Sync> DenseState for Vec<S> {
+    type Elem = S;
+
+    fn from_states(states: &[S]) -> Self {
+        states.to_vec()
+    }
+
+    fn len(&self) -> usize {
+        <[S]>::len(self)
+    }
+
+    fn get(&self, pid: Pid) -> S {
+        self[pid]
+    }
+
+    fn set(&mut self, pid: Pid, value: S) {
+        self[pid] = value;
+    }
+
+    fn to_states(&self) -> Vec<S> {
+        self.clone()
+    }
+}
+
+/// A [`Protocol`] that can evaluate guards and statements directly against a
+/// dense state, without materializing `Vec<State>`.
+///
+/// Contract: for every reachable dense state `d`,
+/// `dense_enabled(d, p, a) == enabled(&d.to_states(), p, a)` and
+/// `dense_execute(d, p, a, rng) == execute(&d.to_states(), p, a, rng)`
+/// with identical RNG draw sequences. The engine relies on this to keep the
+/// dense trace byte-identical to the classic engine's.
+pub trait DenseProtocol: Protocol<State: Copy + Send + Sync> + Sync {
+    /// The dense encoding of this protocol's global state.
+    type Dense: DenseState<Elem = Self::State>;
+
+    /// Guard of `(pid, action)` against the dense state.
+    fn dense_enabled(&self, dense: &Self::Dense, pid: Pid, action: ActionId) -> bool;
+
+    /// Statement of `(pid, action)`: the new state for `pid`.
+    fn dense_execute(
+        &self,
+        dense: &Self::Dense,
+        pid: Pid,
+        action: ActionId,
+        rng: &mut SimRng,
+    ) -> Self::State;
+
+    /// Push the ids of all enabled actions at `pid`, ascending. Protocols
+    /// override this with a fused single-pass evaluation (one load of the
+    /// neighborhood instead of one per action).
+    fn dense_enabled_actions(&self, dense: &Self::Dense, pid: Pid, out: &mut Vec<ActionId>) {
+        out.clear();
+        for a in 0..self.num_actions(pid) {
+            if self.dense_enabled(dense, pid, a) {
+                out.push(a);
+            }
+        }
+    }
+}
+
+/// Observer hooks for the dense engine; mirrors [`crate::monitor::Monitor`]
+/// with the global state passed in its dense form.
+pub trait DenseMonitor<P: DenseProtocol + ?Sized> {
+    /// Called once per committed transition, after the whole step's writes
+    /// are applied, in ascending pid order within the step.
+    #[allow(clippy::too_many_arguments)]
+    fn on_transition(
+        &mut self,
+        now: Time,
+        pid: Pid,
+        action: ActionId,
+        name: &'static str,
+        old: &P::State,
+        new: &P::State,
+        dense: &P::Dense,
+    );
+
+    /// Called when a fault hits, after its write is applied.
+    fn on_fault(
+        &mut self,
+        _now: Time,
+        _pid: Pid,
+        _kind: FaultKind,
+        _old: &P::State,
+        _new: &P::State,
+        _dense: &P::Dense,
+    ) {
+    }
+
+    /// Checked after every step and fault; `true` stops the run.
+    fn should_stop(&mut self) -> bool {
+        false
+    }
+}
+
+impl<P: DenseProtocol + ?Sized> DenseMonitor<P> for crate::monitor::NullMonitor {
+    fn on_transition(
+        &mut self,
+        _now: Time,
+        _pid: Pid,
+        _action: ActionId,
+        _name: &'static str,
+        _old: &P::State,
+        _new: &P::State,
+        _dense: &P::Dense,
+    ) {
+    }
+}
+
+/// Fault injection against a dense state; mirrors
+/// [`crate::fault::FaultPlan`] with identical RNG draw order so fault
+/// schedules match the classic engine draw for draw.
+pub trait DenseFaultPlan<D: DenseState> {
+    /// Earliest pending fault time at or after `now`, if any.
+    fn peek(&mut self, now: Time, rng: &mut SimRng) -> Option<Time>;
+
+    /// Fire the fault due at `at`: mutate the dense state, push every pid
+    /// whose state changed into `touched`, and report the hit.
+    fn fire(
+        &mut self,
+        at: Time,
+        dense: &mut D,
+        rng: &mut SimRng,
+        touched: &mut Vec<Pid>,
+    ) -> FaultHit<D::Elem>;
+}
+
+impl<D: DenseState> DenseFaultPlan<D> for crate::fault::NoFaults {
+    fn peek(&mut self, _now: Time, _rng: &mut SimRng) -> Option<Time> {
+        None
+    }
+
+    fn fire(
+        &mut self,
+        _at: Time,
+        _dense: &mut D,
+        _rng: &mut SimRng,
+        _touched: &mut Vec<Pid>,
+    ) -> FaultHit<D::Elem> {
+        unreachable!("NoFaults::fire called, but peek never schedules one")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_dense_round_trips() {
+        let states = vec![3u64, 1, 4, 1, 5];
+        let mut d = <Vec<u64> as DenseState>::from_states(&states);
+        assert_eq!(DenseState::len(&d), 5);
+        assert!(!DenseState::is_empty(&d));
+        assert_eq!(d.get(2), 4);
+        d.set(2, 9);
+        assert_eq!(d.get(2), 9);
+        assert_eq!(d.to_states(), vec![3, 1, 9, 1, 5]);
+    }
+}

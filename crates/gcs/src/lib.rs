@@ -24,6 +24,8 @@
 //! arrivals reproducing the paper's `(1-f)^d` survival function, scripted
 //! schedules, or one-shot arbitrary perturbations).
 
+pub mod dense;
+pub mod dense_engine;
 pub mod engine;
 pub mod explore;
 pub mod fault;
@@ -36,7 +38,10 @@ pub mod stats;
 pub mod telemetry;
 pub mod time;
 pub mod trace;
+pub mod workers;
 
+pub use dense::{DenseFaultPlan, DenseMonitor, DenseProtocol, DenseState};
+pub use dense_engine::{DenseEngine, DenseEngineConfig};
 pub use engine::{Engine, EngineConfig, RunOutcome, StopReason};
 pub use explore::{
     universe, CheckFailure, CounterExample, Exploration, Explorer, NotClosed, StabilizationReport,
@@ -55,3 +60,4 @@ pub use stats::RunStats;
 pub use telemetry::{PhaseProjector, TelemetryMonitor};
 pub use time::Time;
 pub use trace::{Trace, TraceEvent};
+pub use workers::{available_parallelism, parse_workers, worker_count};

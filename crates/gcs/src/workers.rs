@@ -1,0 +1,92 @@
+//! Worker-count policy, shared by every parallel component.
+//!
+//! Both the experiment fan-out in `ftbarrier-bench` and the sharded dense
+//! engine ([`crate::dense_engine::DenseEngine`]) honor the same environment
+//! variable, `FTBARRIER_WORKERS`, through the same parsing and validation
+//! rules — a typo must not silently fall back to the detected core count,
+//! and the two layers must never disagree about what a given value means.
+
+/// Detected hardware parallelism, with a serial fallback when the platform
+/// cannot answer (the same `1` a one-core container reports).
+pub fn available_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Parse an `FTBARRIER_WORKERS` value: a positive integer, or a clear error
+/// (a typo must not silently fall back to the detected core count).
+///
+/// Values above the detected core count are accepted — oversubscription is a
+/// legitimate request (e.g. exercising the sharded engine's merge logic on a
+/// small machine); consumers that cannot use the surplus clamp it themselves.
+pub fn parse_workers(raw: &str) -> Result<usize, String> {
+    match raw.trim().parse::<usize>() {
+        Ok(0) => Err(format!(
+            "FTBARRIER_WORKERS must be a positive integer, got `{raw}` (use 1 for the serial path)"
+        )),
+        Ok(n) => Ok(n),
+        Err(_) => Err(format!(
+            "FTBARRIER_WORKERS must be a positive integer, got `{raw}`"
+        )),
+    }
+}
+
+/// Number of worker threads to fan work across.
+///
+/// `FTBARRIER_WORKERS` overrides the detected core count (set it to 1 to
+/// force the serial path, e.g. when timing a single cell). An invalid value
+/// is a configuration error and panics rather than being silently ignored.
+pub fn worker_count() -> usize {
+    if let Ok(v) = std::env::var("FTBARRIER_WORKERS") {
+        return parse_workers(&v).unwrap_or_else(|e| panic!("{e}"));
+    }
+    available_parallelism()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_positive_integers() {
+        assert_eq!(parse_workers("1"), Ok(1));
+        assert_eq!(parse_workers("8"), Ok(8));
+        assert_eq!(
+            parse_workers(" 4 "),
+            Ok(4),
+            "surrounding whitespace is fine"
+        );
+    }
+
+    #[test]
+    fn rejects_zero_and_garbage() {
+        for bad in ["0", "", "abc", "-2", "3.5", "4x"] {
+            let err = parse_workers(bad).unwrap_err();
+            assert!(
+                err.contains("FTBARRIER_WORKERS") && err.contains(bad),
+                "error for `{bad}` must name the variable and echo the value: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn accepts_over_core_values() {
+        // Oversubscription is allowed: consumers clamp where it matters
+        // (the sharded engine clamps to its shard count), but the parse
+        // itself must not second-guess an explicit request.
+        let cores = available_parallelism();
+        assert_eq!(parse_workers(&format!("{}", cores * 64)), Ok(cores * 64));
+        assert_eq!(parse_workers("4096"), Ok(4096));
+    }
+
+    #[test]
+    fn worker_count_is_positive() {
+        assert!(worker_count() >= 1);
+    }
+
+    #[test]
+    fn available_parallelism_is_positive() {
+        assert!(available_parallelism() >= 1);
+    }
+}

@@ -16,11 +16,13 @@
 //! mapping is the identity.
 
 pub mod builders;
+pub mod csr;
 pub mod error;
 pub mod graph;
 pub mod membership;
 pub mod sweep;
 
+pub use csr::CsrDag;
 pub use error::TopologyError;
 pub use graph::Graph;
 pub use membership::{Membership, MembershipError, MembershipView};

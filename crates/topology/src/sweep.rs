@@ -26,6 +26,7 @@ pub struct SweepDag {
     succs: Vec<Vec<Pos>>,
     positions_of: Vec<Vec<Pos>>,
     sinks: Vec<Pos>,
+    sink_flag: Vec<bool>,
     depth: Vec<usize>,
     num_processes: usize,
     critical_path: usize,
@@ -157,12 +158,18 @@ impl SweepDag {
 
         let critical_path = sinks.iter().map(|&s| depth[s]).max().unwrap_or(0) + 1;
 
+        let mut sink_flag = vec![false; p];
+        for &s in &sinks {
+            sink_flag[s] = true;
+        }
+
         Ok(SweepDag {
             owner,
             preds,
             succs,
             positions_of,
             sinks,
+            sink_flag,
             depth,
             num_processes,
             critical_path,
@@ -204,8 +211,10 @@ impl SweepDag {
         &self.sinks
     }
 
+    /// O(1): every guard of the root and of the sinks asks this, so it must
+    /// not scan the sink list (which is Θ(leaves) for the Fig-2c tree).
     pub fn is_sink(&self, pos: Pos) -> bool {
-        self.sinks.contains(&pos)
+        self.sink_flag[pos]
     }
 
     /// Longest path length from the root to `pos` in the sweep order.
