@@ -294,6 +294,60 @@ mod tests {
         assert!(out.legal >= 4, "one quiescent state per (sn, ph) pair");
     }
 
+    /// The log-depth families stabilize to the topology-correct quiescent
+    /// marker — with no false livelocks from the gcd(3, L) coset pitfall.
+    /// Hypercube(2) is the one log-depth instance whose corruption closure
+    /// is enumerable (3 positions), so it gets the exhaustive tier; the
+    /// layered dissemination/butterfly grids start at 5 positions and get
+    /// the seeded sampled closure instead.
+    #[test]
+    fn log_depth_families_reach_the_quiescent_marker() {
+        use ftbarrier_core::sweep::SweepBarrier;
+        use ftbarrier_topology::SweepDag;
+
+        // Exhaustive: the 2-process hypercube is a 3-position binomial
+        // double tree. L = positions + 1 = 4 is even, so cosets of
+        // ⟨(3, 1)⟩ exist and the reachable-set goal would cry livelock;
+        // the quiescent marker must accept every corrupted start.
+        let dag = SweepDag::hypercube(2).unwrap();
+        let rb = SweepBarrier::new(dag, 2).try_with_sn_domain(4).unwrap();
+        let doms = domains::sweep_domains(&rb);
+        let out = exhaustive_with_goal(&rb, &doms, domains::sweep_quiescent)
+            .expect("hypercube(2) stabilizes from its whole corruption closure");
+        // Per-position domain: (4 + 2) sn × 5 cp × 2 ph × 2 done = 120.
+        assert_eq!(out.universe, 120 * 120 * 120);
+        assert!(out.report.max_distance() >= 1);
+
+        // Sampled: dissemination radix 2 and 4, and the butterfly, at the
+        // smallest sizes (9–13 positions).
+        let grids = [
+            ("dissemination-r2", SweepDag::dissemination(4, 2).unwrap()),
+            ("dissemination-r4", SweepDag::dissemination(4, 4).unwrap()),
+            ("butterfly", SweepDag::butterfly(4).unwrap()),
+        ];
+        for (name, dag) in grids {
+            let l = dag.num_positions() as u32 + 1;
+            let rb = SweepBarrier::new(dag, 2).try_with_sn_domain(l).unwrap();
+            let out = sampled(
+                &rb,
+                SampleConfig {
+                    samples: 200,
+                    max_steps: 200_000,
+                    seed: 0x10D2,
+                },
+                domains::sweep_quiescent,
+            )
+            .unwrap_or_else(|f| {
+                panic!(
+                    "{name}: start {:?} (seed {:#x}) never quiesced",
+                    f.start, f.seed
+                )
+            });
+            assert_eq!(out.samples, 200, "{name}");
+            assert!(out.max_rounds >= 1, "{name}");
+        }
+    }
+
     #[test]
     fn sampled_token_ring_converges_in_bounded_rounds() {
         let ring = TokenRing::new(8);

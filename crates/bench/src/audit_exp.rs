@@ -148,6 +148,12 @@ fn audit_exhaustive(
             "double-tree",
             SweepDag::double_tree(2, 2).expect("double_tree(2,2)"),
         ));
+        // Smallest log-depth family that fits the enumerable closure: the
+        // 2-process hypercube is a 3-position binomial double tree. The
+        // layered dissemination/butterfly grids start at 5 positions and
+        // overflow any enumerable closure; they are covered by the sampled
+        // tier below.
+        sweeps.push(("hypercube", SweepDag::hypercube(2).expect("hypercube(2)")));
     }
     for (topology, dag) in sweeps {
         let height = dag.critical_path();
@@ -252,13 +258,29 @@ fn audit_sampled(
     );
 
     // The large-N topology comparison: recovery rounds on a 16-position
-    // sweep ring vs a 16-process tree vs an 8-process double tree.
-    let sweep_shapes: [(&'static str, SweepDag); 3] = [
+    // sweep ring vs a 16-process tree vs an 8-process double tree vs the
+    // log-depth grids at comparable position counts. The grids' corruption
+    // closure is not enumerable (≥ 5 positions), so the sampled tier is
+    // their in-domain audit; the quiescent marker is topology-correct by
+    // construction (no false livelocks from the gcd(3, L) coset pitfall).
+    let sweep_shapes: [(&'static str, SweepDag); 6] = [
         ("sweep-ring", SweepDag::ring(16).expect("ring(16)")),
         ("sweep-tree", SweepDag::tree(16, 2).expect("tree(16,2)")),
         (
             "sweep-double-tree",
             SweepDag::double_tree(8, 2).expect("double_tree(8,2)"),
+        ),
+        (
+            "sweep-dissem-r2",
+            SweepDag::dissemination(4, 2).expect("dissemination(4,2)"),
+        ),
+        (
+            "sweep-dissem-r4",
+            SweepDag::dissemination(4, 4).expect("dissemination(4,4)"),
+        ),
+        (
+            "sweep-butterfly",
+            SweepDag::butterfly(4).expect("butterfly(4)"),
         ),
     ];
     for (name, dag) in sweep_shapes {
@@ -467,11 +489,13 @@ mod tests {
             report.failures.iter().map(|f| &f.name).collect::<Vec<_>>()
         );
         assert!(!report.exhaustive.is_empty());
-        assert_eq!(report.sampled.len(), 5);
+        assert_eq!(report.sampled.len(), 8);
         assert!(report.fixture_json.contains("broken-ring"));
         let table = render_exhaustive(&report.exhaustive);
         assert!(table.contains("token-ring"));
         assert!(render_sampled(&report.sampled).contains("sweep-tree"));
+        assert!(render_sampled(&report.sampled).contains("sweep-butterfly"));
+        assert!(render_sampled(&report.sampled).contains("sweep-dissem-r4"));
         assert!(report.mb_membership.is_some(), "membership campaign ran");
         let campaigns = render_campaigns(&report);
         assert!(campaigns.contains("runtime campaign"));

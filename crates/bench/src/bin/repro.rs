@@ -15,17 +15,20 @@
 //! `churn` (never part of `all`) runs the dynamic-membership
 //! availability sweep across both backends and writes
 //! `results/churn.json` + `results/churn_table.md`, exiting nonzero if any
-//! row misses the >= 0.99 availability bar. `bench` (never part of `all`)
-//! times the simulation engine and the parallel sweep harness and writes
-//! `BENCH_engine.json`.
+//! row misses the >= 0.99 availability bar. `topo` (never part of `all`)
+//! measures detection/recovery latency across all five sweep topology
+//! families, writes `results/topo.json`, and exits nonzero unless the
+//! log-depth grids beat the ring's recovery p50 at N = 1024. `bench`
+//! (never part of `all`) times the simulation engine and the parallel
+//! sweep harness and writes `BENCH_engine.json`.
 
 use ftbarrier_bench::{
     ablations, audit_exp, churn_exp, enginebench, figures, mb_exp, render, results_dir, table1,
-    trace_exp,
+    topo_exp, trace_exp,
 };
 use std::path::PathBuf;
 
-const SUBCOMMANDS: [&str; 13] = [
+const SUBCOMMANDS: [&str; 14] = [
     "fig3",
     "fig4",
     "fig5",
@@ -37,6 +40,7 @@ const SUBCOMMANDS: [&str; 13] = [
     "audit",
     "trace",
     "churn",
+    "topo",
     "bench",
     "all",
 ];
@@ -225,6 +229,31 @@ fn main() {
             std::process::exit(1);
         }
         println!("churn sweep passed: every row at or above 0.99 availability");
+    }
+    // The topology comparison writes results/topo.json and gates CI on the
+    // O(log N) recovery bar, so `all` skips it; ask for it explicitly
+    // (CI runs `repro topo --quick`).
+    if opts.what.iter().any(|w| w == "topo") {
+        eprintln!("measuring latency across topology families…");
+        let latency = topo_exp::latency_rows(opts.quick);
+        let scaling = topo_exp::scaling_rows(opts.quick);
+        println!("{}", topo_exp::render_latency(&latency));
+        println!("{}", topo_exp::render_scaling(&scaling));
+        let dir = results_dir();
+        let json_path = dir.join("topo.json");
+        std::fs::write(&json_path, topo_exp::to_json(&latency, &scaling)).expect("write topo json");
+        eprintln!("wrote {}", json_path.display());
+        if !topo_exp::passed(&latency) {
+            eprintln!(
+                "TOPO SWEEP FAILED: log-depth grids did not beat the ring's recovery p50 at N = {}",
+                topo_exp::LATENCY_N
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "topo sweep passed: dissemination and butterfly recovery p50 beat the ring at N = {}",
+            topo_exp::LATENCY_N
+        );
     }
     if opts.what.iter().any(|w| w == "bench") {
         eprintln!("benchmarking engine and sweep harness…");

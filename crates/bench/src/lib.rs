@@ -22,6 +22,7 @@ pub mod mb_exp;
 pub mod parallel;
 pub mod render;
 pub mod table1;
+pub mod topo_exp;
 pub mod trace_exp;
 
 /// The one place the `results/` artifact directory is created: every

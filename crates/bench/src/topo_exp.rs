@@ -1,0 +1,334 @@
+//! `repro topo`: detection/recovery latency across all five sweep topology
+//! families — the O(log N)-vs-O(N) claim measured.
+//!
+//! The latency table runs every family at the same process count under the
+//! same detectable-fault rate and reads the `detection_latency` /
+//! `recovery_latency` histograms the [`SweepLatencyMonitor`] records
+//! (virtual time; phase body = 1.0). The acceptance gate — checked by
+//! [`passed`] and enforced by `repro topo`'s exit status — is that the
+//! log-depth dissemination and butterfly grids beat the ring's recovery p50
+//! at N = 1024: a repair wave crosses O(log N) layers instead of O(N) hops.
+//!
+//! The scaling table runs each family fault-free at a large N and reports
+//! the measured steady-state phase time next to the structural critical
+//! path — phase time tracks depth, not process count.
+//!
+//! [`SweepLatencyMonitor`]: ftbarrier_core::telemetry::SweepLatencyMonitor
+
+use ftbarrier_core::sim::{measure_phases_with_telemetry, PhaseExperiment, TopologySpec};
+use ftbarrier_telemetry::{Telemetry, TimeDomain};
+
+/// The five topology families of the comparison, in report order.
+pub const FAMILIES: [&str; 5] = ["ring", "tree", "dissemination", "hypercube", "butterfly"];
+
+/// The spec for one family at `n` processes (`n` must be a power of two so
+/// the butterfly/hypercube patterns are defined).
+pub fn spec_for(family: &str, n: usize) -> TopologySpec {
+    match family {
+        "ring" => TopologySpec::Ring { n },
+        "tree" => TopologySpec::Tree { n, arity: 2 },
+        "dissemination" => TopologySpec::Dissemination { n, radix: 2 },
+        "hypercube" => TopologySpec::Hypercube { n },
+        "butterfly" => TopologySpec::Butterfly { n },
+        other => panic!("unknown topology family {other}"),
+    }
+}
+
+/// One row of the latency comparison.
+#[derive(Debug, Clone)]
+pub struct TopoRow {
+    pub family: &'static str,
+    /// Processes.
+    pub n: usize,
+    /// Sweep positions (the grids trade positions for depth).
+    pub positions: usize,
+    /// Structural critical path (sweep depth).
+    pub critical_path: usize,
+    pub phases: u64,
+    pub violations: usize,
+    pub faults: u64,
+    pub mean_phase_time: f64,
+    /// Closed detection windows (histogram sample count).
+    pub samples: u64,
+    pub detection_p50: f64,
+    pub detection_p99: f64,
+    pub recovery_p50: f64,
+    pub recovery_p99: f64,
+    pub recovery_max: f64,
+}
+
+/// One row of the fault-free scaling table.
+#[derive(Debug, Clone)]
+pub struct ScaleRow {
+    pub family: &'static str,
+    pub n: usize,
+    pub positions: usize,
+    pub critical_path: usize,
+    pub phases: u64,
+    pub mean_phase_time: f64,
+}
+
+/// Measure one family at `n` under detectable faults and read its latency
+/// histograms.
+pub fn measure_family(family: &'static str, n: usize, target_phases: u64) -> TopoRow {
+    let spec = spec_for(family, n);
+    let dag = spec.build().expect("valid topology");
+    let positions = dag.num_positions();
+    let critical_path = dag.critical_path();
+    drop(dag);
+    let telemetry = Telemetry::recording(TimeDomain::Virtual);
+    let m = measure_phases_with_telemetry(
+        &PhaseExperiment {
+            topology: spec,
+            target_phases,
+            c: 0.01,
+            f: 0.05,
+            seed: 0x70B0,
+            ..Default::default()
+        },
+        &telemetry,
+    );
+    let snapshot = telemetry.snapshot();
+    let labels = [("topo", spec.label())];
+    let det = snapshot.metrics.histogram("detection_latency", &labels);
+    let rec = snapshot.metrics.histogram("recovery_latency", &labels);
+    TopoRow {
+        family,
+        n,
+        positions,
+        critical_path,
+        phases: m.phases,
+        violations: m.violations,
+        faults: m.faults,
+        mean_phase_time: m.mean_phase_time,
+        samples: rec.map_or(0, |h| h.count()),
+        detection_p50: det.map_or(0.0, |h| h.quantile(0.5)),
+        detection_p99: det.map_or(0.0, |h| h.quantile(0.99)),
+        recovery_p50: rec.map_or(0.0, |h| h.quantile(0.5)),
+        recovery_p99: rec.map_or(0.0, |h| h.quantile(0.99)),
+        recovery_max: rec.map_or(0.0, |h| h.max()),
+    }
+}
+
+/// The process count of the latency comparison — the acceptance gate's N.
+pub const LATENCY_N: usize = 1024;
+
+/// The latency comparison: all five families at [`LATENCY_N`].
+pub fn latency_rows(quick: bool) -> Vec<TopoRow> {
+    let target = if quick { 12 } else { 60 };
+    FAMILIES
+        .iter()
+        .map(|f| {
+            eprintln!("  topo: {f} n={LATENCY_N} ({target} phases under faults)…");
+            measure_family(f, LATENCY_N, target)
+        })
+        .collect()
+}
+
+/// The fault-free scaling table. Quick keeps CI fast; the full run pushes
+/// into the 10⁵-process range the log-depth families were built for.
+pub fn scaling_rows(quick: bool) -> Vec<ScaleRow> {
+    let n = if quick { 4096 } else { 131_072 };
+    FAMILIES
+        .iter()
+        .map(|&family| {
+            eprintln!("  topo: {family} n={n} (fault-free scaling)…");
+            let spec = spec_for(family, n);
+            let dag = spec.build().expect("valid topology");
+            let positions = dag.num_positions();
+            let critical_path = dag.critical_path();
+            drop(dag);
+            let m = measure_phases_with_telemetry(
+                &PhaseExperiment {
+                    topology: spec,
+                    target_phases: 3,
+                    c: 0.01,
+                    f: 0.0,
+                    seed: 0x5CA1E,
+                    ..Default::default()
+                },
+                &Telemetry::off(),
+            );
+            ScaleRow {
+                family,
+                n,
+                positions,
+                critical_path,
+                phases: m.phases,
+                mean_phase_time: m.mean_phase_time,
+            }
+        })
+        .collect()
+}
+
+/// The acceptance gate: at the comparison N, the log-depth grids' recovery
+/// p50 must beat the ring's, every family must have completed its phases
+/// with zero violations, and every row must have closed recovery windows to
+/// measure at all.
+pub fn passed(rows: &[TopoRow]) -> bool {
+    let p50 = |family: &str| {
+        rows.iter()
+            .find(|r| r.family == family && r.n >= LATENCY_N)
+            .map(|r| r.recovery_p50)
+    };
+    let healthy = rows
+        .iter()
+        .all(|r| r.phases > 0 && r.violations == 0 && r.samples > 0);
+    match (p50("ring"), p50("dissemination"), p50("butterfly")) {
+        (Some(ring), Some(dis), Some(fly)) => healthy && dis < ring && fly < ring,
+        _ => false,
+    }
+}
+
+/// Render the latency comparison as an aligned text table.
+pub fn render_latency(rows: &[TopoRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Detection / recovery latency by topology at N = {LATENCY_N} (virtual time)\n"
+    ));
+    out.push_str(
+        "family         pos  depth  phases  faults  windows   det p50   det p99   rec p50   rec p99   rec max\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:<12} {:>5} {:>6} {:>7} {:>7} {:>8} {:>9.3} {:>9.3} {:>9.3} {:>9.3} {:>9.3}\n",
+            r.family,
+            r.positions,
+            r.critical_path,
+            r.phases,
+            r.faults,
+            r.samples,
+            r.detection_p50,
+            r.detection_p99,
+            r.recovery_p50,
+            r.recovery_p99,
+            r.recovery_max
+        ));
+    }
+    out
+}
+
+/// Render the scaling table.
+pub fn render_scaling(rows: &[ScaleRow]) -> String {
+    let mut out = String::new();
+    out.push_str("Fault-free phase time vs structural depth\n");
+    out.push_str("family             n        pos  depth  phases  phase time\n");
+    for r in rows {
+        out.push_str(&format!(
+            "{:<12} {:>7} {:>10} {:>6} {:>7} {:>11.4}\n",
+            r.family, r.n, r.positions, r.critical_path, r.phases, r.mean_phase_time
+        ));
+    }
+    out
+}
+
+fn fin(x: f64) -> f64 {
+    if x.is_finite() {
+        x
+    } else {
+        0.0
+    }
+}
+
+/// The `results/topo.json` artifact (schema `topo-latency/v1`).
+pub fn to_json(latency: &[TopoRow], scaling: &[ScaleRow]) -> String {
+    let mut s = String::from("{\n  \"schema\": \"topo-latency/v1\",\n");
+    s.push_str(&format!("  \"latency_n\": {LATENCY_N},\n  \"rows\": [\n"));
+    for (i, r) in latency.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"family\": \"{}\", \"n\": {}, \"positions\": {}, \"critical_path\": {}, \"phases\": {}, \"violations\": {}, \"faults\": {}, \"mean_phase_time\": {:.5}, \"samples\": {}, \"detection_p50\": {:.5}, \"detection_p99\": {:.5}, \"recovery_p50\": {:.5}, \"recovery_p99\": {:.5}, \"recovery_max\": {:.5}}}{}\n",
+            r.family,
+            r.n,
+            r.positions,
+            r.critical_path,
+            r.phases,
+            r.violations,
+            r.faults,
+            fin(r.mean_phase_time),
+            r.samples,
+            fin(r.detection_p50),
+            fin(r.detection_p99),
+            fin(r.recovery_p50),
+            fin(r.recovery_p99),
+            fin(r.recovery_max),
+            if i + 1 < latency.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n  \"scaling\": [\n");
+    for (i, r) in scaling.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"family\": \"{}\", \"n\": {}, \"positions\": {}, \"critical_path\": {}, \"phases\": {}, \"mean_phase_time\": {:.5}}}{}\n",
+            r.family,
+            r.n,
+            r.positions,
+            r.critical_path,
+            r.phases,
+            fin(r.mean_phase_time),
+            if i + 1 < scaling.len() { "," } else { "" }
+        ));
+    }
+    s.push_str(&format!(
+        "  ],\n  \"gate\": {{\"recovery_p50_log_beats_ring_at\": {LATENCY_N}, \"passed\": {}}}\n}}\n",
+        passed(latency)
+    ));
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftbarrier_telemetry::json;
+
+    #[test]
+    fn small_rows_are_healthy_and_json_is_valid() {
+        // Small N keeps the debug-build test fast; the 1024-gate itself is
+        // exercised by `repro topo --quick` in CI (release build).
+        let latency: Vec<TopoRow> = FAMILIES.iter().map(|f| measure_family(f, 64, 8)).collect();
+        assert_eq!(latency.len(), 5);
+        for r in &latency {
+            assert_eq!(r.phases, 8, "{}: incomplete run", r.family);
+            assert_eq!(r.violations, 0, "{}: violations", r.family);
+            assert!(r.faults > 0, "{}: no faults injected", r.family);
+            assert!(r.positions >= r.n, "{}", r.family);
+        }
+        // Depth ordering is structural and holds at any power-of-two size.
+        let depth = |f: &str| {
+            latency
+                .iter()
+                .find(|r| r.family == f)
+                .unwrap()
+                .critical_path
+        };
+        assert!(depth("dissemination") < depth("ring"));
+        assert!(depth("butterfly") < depth("ring"));
+        let scaling = vec![ScaleRow {
+            family: "ring",
+            n: 64,
+            positions: 64,
+            critical_path: 64,
+            phases: 3,
+            mean_phase_time: 2.92,
+        }];
+        let artifact = to_json(&latency, &scaling);
+        let parsed = json::parse(&artifact).expect("topo.json parses");
+        assert_eq!(
+            parsed.get("schema").and_then(|v| v.as_str()),
+            Some("topo-latency/v1")
+        );
+        let rows = parsed
+            .get("rows")
+            .and_then(|v| v.as_array())
+            .expect("rows array");
+        assert_eq!(rows.len(), 5);
+        let table = render_latency(&latency);
+        for f in FAMILIES {
+            assert!(table.contains(f), "missing {f}");
+        }
+        assert!(render_scaling(&scaling).contains("ring"));
+    }
+
+    #[test]
+    fn unknown_family_panics() {
+        assert!(std::panic::catch_unwind(|| spec_for("torus", 8)).is_err());
+    }
+}

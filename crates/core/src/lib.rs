@@ -36,6 +36,7 @@ pub mod sn;
 pub mod spec;
 pub mod sweep;
 pub mod telemetry;
+pub mod testkit;
 pub mod timeline;
 pub mod token_ring;
 

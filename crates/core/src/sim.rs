@@ -31,6 +31,13 @@ pub enum TopologySpec {
     DoubleTree { n: usize, arity: usize },
     /// Program MB: the 2(N+1)-position message-passing ring.
     MbRing { n: usize },
+    /// Radix-`radix` dissemination partner schedule folded into a layered
+    /// sweep (O(log n) critical path).
+    Dissemination { n: usize, radix: usize },
+    /// Hypercube binomial double tree (`n` a power of two).
+    Hypercube { n: usize },
+    /// Butterfly exchange grid (`n` a power of two).
+    Butterfly { n: usize },
 }
 
 impl TopologySpec {
@@ -41,6 +48,9 @@ impl TopologySpec {
             TopologySpec::Tree { n, arity } => SweepDag::tree(n, arity),
             TopologySpec::DoubleTree { n, arity } => SweepDag::double_tree(n, arity),
             TopologySpec::MbRing { n } => crate::sweep::mb_ring(n),
+            TopologySpec::Dissemination { n, radix } => SweepDag::dissemination(n, radix),
+            TopologySpec::Hypercube { n } => SweepDag::hypercube(n),
+            TopologySpec::Butterfly { n } => SweepDag::butterfly(n),
         }
     }
 
@@ -49,7 +59,10 @@ impl TopologySpec {
             TopologySpec::Ring { n }
             | TopologySpec::Tree { n, .. }
             | TopologySpec::DoubleTree { n, .. }
-            | TopologySpec::MbRing { n } => n,
+            | TopologySpec::MbRing { n }
+            | TopologySpec::Dissemination { n, .. }
+            | TopologySpec::Hypercube { n }
+            | TopologySpec::Butterfly { n } => n,
             TopologySpec::TwoRing { a, b } => 1 + a + b,
         }
     }
@@ -62,6 +75,9 @@ impl TopologySpec {
             TopologySpec::Tree { .. } => "tree",
             TopologySpec::DoubleTree { .. } => "double-tree",
             TopologySpec::MbRing { .. } => "mb-ring",
+            TopologySpec::Dissemination { .. } => "dissemination",
+            TopologySpec::Hypercube { .. } => "hypercube",
+            TopologySpec::Butterfly { .. } => "butterfly",
         }
     }
 }
@@ -495,6 +511,9 @@ mod tests {
             TopologySpec::MbRing { n: 6 },
             TopologySpec::TwoRing { a: 3, b: 2 },
             TopologySpec::DoubleTree { n: 7, arity: 2 },
+            TopologySpec::Dissemination { n: 6, radix: 2 },
+            TopologySpec::Hypercube { n: 8 },
+            TopologySpec::Butterfly { n: 4 },
         ] {
             let m = measure_phases(&PhaseExperiment {
                 topology,
@@ -576,5 +595,11 @@ mod tests {
         assert_eq!(TopologySpec::TwoRing { a: 3, b: 2 }.num_processes(), 6);
         assert_eq!(TopologySpec::Tree { n: 32, arity: 2 }.num_processes(), 32);
         assert_eq!(TopologySpec::MbRing { n: 4 }.num_processes(), 4);
+        assert_eq!(
+            TopologySpec::Dissemination { n: 16, radix: 4 }.num_processes(),
+            16
+        );
+        assert_eq!(TopologySpec::Hypercube { n: 8 }.num_processes(), 8);
+        assert_eq!(TopologySpec::Butterfly { n: 16 }.num_processes(), 16);
     }
 }

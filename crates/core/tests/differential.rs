@@ -13,80 +13,18 @@ use ftbarrier_core::sim::{
     TopologySpec,
 };
 use ftbarrier_core::spec::Anchor;
-use ftbarrier_core::sweep::{PosState, ProcessFaults, SweepBarrier, SweepDetectableFault};
-use ftbarrier_core::telemetry::SweepLatencyMonitor;
+use ftbarrier_core::sweep::{PosState, SweepBarrier};
+use ftbarrier_core::testkit::{
+    assert_identical, differential_config as config, run_classic as run_sweep,
+    run_classic_telemetry as run_sweep_telemetry, run_dense as run_sweep_dense, RunRecord,
+};
 use ftbarrier_core::token_ring::TokenRing;
 use ftbarrier_core::Sn;
 use ftbarrier_gcs::fault::NoFaults;
 use ftbarrier_gcs::monitor::MonitorSet;
 use ftbarrier_gcs::trace::{Trace, TraceEvent};
-use ftbarrier_gcs::{DenseEngine, DenseEngineConfig, Engine, EngineConfig, TelemetryMonitor, Time};
+use ftbarrier_gcs::{DenseEngine, DenseEngineConfig, Engine, EngineConfig, Time};
 use ftbarrier_telemetry::{Telemetry, TimeDomain};
-
-type RunRecord<S> = (Vec<TraceEvent<S>>, Vec<S>, [u64; 3]);
-
-fn config(seed: u64, horizon: f64, full_rescan: bool) -> EngineConfig {
-    EngineConfig {
-        seed: seed ^ 0xD1FF,
-        max_time: Some(Time::new(horizon)),
-        // Safety net against zero-cost livelock: no differential run here
-        // legitimately needs more commits than this.
-        max_commits: Some(2_000_000),
-        full_rescan,
-    }
-}
-
-fn run_sweep(
-    spec: TopologySpec,
-    seed: u64,
-    fault_rate: f64,
-    full_rescan: bool,
-) -> RunRecord<PosState> {
-    run_sweep_telemetry(spec, seed, fault_rate, full_rescan, &Telemetry::off())
-}
-
-/// Like `run_sweep`, but with the telemetry monitors attached alongside the
-/// trace — exactly the set `measure_phases_with_telemetry` uses. With a
-/// recording handle the returned record must still be byte-identical.
-fn run_sweep_telemetry(
-    spec: TopologySpec,
-    seed: u64,
-    fault_rate: f64,
-    full_rescan: bool,
-    telemetry: &Telemetry,
-) -> RunRecord<PosState> {
-    let program =
-        SweepBarrier::new(spec.build().unwrap(), 8).with_costs(Time::new(0.02), Time::new(1.0));
-    let mut engine = Engine::new(&program, seed);
-    engine.perturb_all();
-    let mut trace = Trace::unbounded();
-    let mut tmon =
-        TelemetryMonitor::<PosState>::new(telemetry.clone(), program.dag().num_positions());
-    let mut lmon = SweepLatencyMonitor::new(&program, spec.label(), telemetry.clone());
-    let cfg = config(seed, 30.0, full_rescan);
-    let out = {
-        let mut set = MonitorSet::new()
-            .with(&mut trace)
-            .with(&mut tmon)
-            .with(&mut lmon);
-        if fault_rate > 0.0 {
-            let mut faults =
-                ProcessFaults::new(&program, fault_rate, SweepDetectableFault { n_phases: 8 });
-            engine.run(&cfg, &mut faults, &mut set)
-        } else {
-            engine.run(&cfg, &mut NoFaults, &mut set)
-        }
-    };
-    (
-        trace.events().cloned().collect(),
-        engine.global().to_vec(),
-        [
-            out.stats.actions_executed,
-            out.stats.commits_dropped,
-            out.stats.faults,
-        ],
-    )
-}
 
 fn run_token_ring(seed: u64, full_rescan: bool) -> RunRecord<Sn> {
     // A nonzero hop cost makes simulated time advance, so the max_time
@@ -108,21 +46,16 @@ fn run_token_ring(seed: u64, full_rescan: bool) -> RunRecord<Sn> {
     )
 }
 
-fn assert_identical<S: PartialEq + std::fmt::Debug>(
-    label: &str,
-    incremental: RunRecord<S>,
-    reference: RunRecord<S>,
-) {
-    assert_eq!(incremental.0, reference.0, "{label}: traces diverge");
-    assert_eq!(incremental.1, reference.1, "{label}: final states diverge");
-    assert_eq!(incremental.2, reference.2, "{label}: stats diverge");
-    assert!(!incremental.0.is_empty(), "{label}: run did nothing");
-}
-
-const TOPOLOGIES: [(&str, TopologySpec); 3] = [
+const TOPOLOGIES: [(&str, TopologySpec); 6] = [
     ("ring", TopologySpec::Ring { n: 8 }),
     ("tree", TopologySpec::Tree { n: 16, arity: 2 }),
     ("mb-ring", TopologySpec::MbRing { n: 8 }),
+    (
+        "dissemination",
+        TopologySpec::Dissemination { n: 8, radix: 2 },
+    ),
+    ("hypercube", TopologySpec::Hypercube { n: 8 }),
+    ("butterfly", TopologySpec::Butterfly { n: 8 }),
 ];
 
 #[test]
@@ -160,46 +93,6 @@ fn token_ring_matches_full_rescan() {
             run_token_ring(seed, true),
         );
     }
-}
-
-/// The same run as `run_sweep`, executed on the sharded struct-of-arrays
-/// engine with the given worker count. Shard count is fixed (not derived
-/// from the worker count) so every worker configuration schedules the same
-/// shard boundaries — the trace must be identical for any worker count.
-fn run_sweep_dense(
-    spec: TopologySpec,
-    seed: u64,
-    fault_rate: f64,
-    workers: usize,
-) -> RunRecord<PosState> {
-    let program =
-        SweepBarrier::new(spec.build().unwrap(), 8).with_costs(Time::new(0.02), Time::new(1.0));
-    let mut engine = DenseEngine::new(&program, seed).with_shards(4);
-    engine.perturb_all();
-    let mut trace = Trace::unbounded();
-    let cfg = DenseEngineConfig {
-        max_time: Some(Time::new(30.0)),
-        max_commits: Some(2_000_000),
-        workers: Some(workers),
-        parallel_threshold: 1,
-        ..Default::default()
-    };
-    let out = if fault_rate > 0.0 {
-        let mut faults =
-            ProcessFaults::new(&program, fault_rate, SweepDetectableFault { n_phases: 8 });
-        engine.run(&cfg, &mut faults, &mut trace)
-    } else {
-        engine.run(&cfg, &mut NoFaults, &mut trace)
-    };
-    (
-        trace.events().cloned().collect(),
-        engine.global_states(),
-        [
-            out.stats.actions_executed,
-            out.stats.commits_dropped,
-            out.stats.faults,
-        ],
-    )
 }
 
 #[test]

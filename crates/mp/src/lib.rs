@@ -22,6 +22,7 @@ pub mod mb_sim;
 pub mod proc;
 pub mod simnet;
 pub mod sweep_mp;
+pub mod sweep_sim;
 pub mod telemetry;
 pub mod transport;
 
@@ -34,5 +35,6 @@ pub use mb_sim::{
 pub use proc::{sn_domain, try_sn_domain, MbCore, StateMsg};
 pub use simnet::{LatencyModel, LinkConfig, NetStats, SimNet};
 pub use sweep_mp::{SweepMpConfig, SweepMpHandle, SweepMpReport, SweepMpRun};
+pub use sweep_sim::{SweepSimConfig, SweepSimReport};
 pub use telemetry::record_cp_timeline;
 pub use transport::{channel_ring, ChannelEndpoint, Endpoint};

@@ -420,6 +420,28 @@ mod tests {
     }
 
     #[test]
+    fn log_depth_topologies_also_run_threaded() {
+        // The subscription derivation turns the grids' per-round partner
+        // schedule into gossip links with no topology-specific code.
+        for dag in [
+            SweepDag::dissemination(4, 2).unwrap(),
+            SweepDag::hypercube(4).unwrap(),
+            SweepDag::butterfly(4).unwrap(),
+        ] {
+            let run = spawn(
+                dag,
+                SweepMpConfig {
+                    target_phases: 6,
+                    ..Default::default()
+                },
+            );
+            let report = run.join();
+            assert!(report.reached_target, "{report:?}");
+            assert!(report.violations.is_empty(), "{:?}", report.violations);
+        }
+    }
+
+    #[test]
     fn work_closure_runs_per_phase() {
         let counter = Arc::new(AtomicU64::new(0));
         let c2 = Arc::clone(&counter);

@@ -1,0 +1,484 @@
+//! Deterministic simnet execution of the sweep program over *arbitrary*
+//! topologies — the discrete-event analogue of the threaded
+//! [`crate::sweep_mp`] backend, on the same simulated network the MB ring
+//! uses ([`crate::simnet`]).
+//!
+//! One link per (producer process → consumer process) pair carries absolute
+//! position-state gossip; each process evaluates the verified
+//! [`SweepBarrier`] guarded commands against its local view, which is
+//! accurate wherever its guards look (own positions + subscriptions). The
+//! per-round partner schedule of the log-depth topologies (dissemination,
+//! hypercube, butterfly) falls out of the subscription derivation — nothing
+//! here is topology-specific.
+//!
+//! One seed determines everything — link latencies and fault draws, the
+//! perturbation values of scheduled poisons, the event interleaving — so a
+//! run is byte-for-byte replayable: [`SweepSimReport::trace`] of two runs
+//! with the same config is identical.
+
+use crate::channel::Delivery;
+use crate::simnet::{LinkConfig, NetStats, SimNet};
+use ftbarrier_core::spec::{Anchor, BarrierOracle, OracleConfig, Violation};
+use ftbarrier_core::sweep::{PosState, SweepBarrier, SweepDetectableFault, RECV, T3, T4, T5, WORK};
+use ftbarrier_gcs::{FaultAction, Protocol, SimRng, Time};
+use ftbarrier_topology::{Pos, SweepDag};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
+use std::fmt::Write as _;
+
+/// Configuration of a deterministic sweep run over the simulated network.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepSimConfig {
+    pub n_phases: u32,
+    /// Genuine root phase advances before the run stops.
+    pub target_phases: u64,
+    pub seed: u64,
+    /// Model of every gossip link.
+    pub link: LinkConfig,
+    /// Gossip retransmission period (masks message loss), virtual time.
+    pub retransmit_every: f64,
+    /// Virtual-time safety limit.
+    pub max_time: f64,
+    /// `(time, pid)`: §4.1 detectable process faults.
+    pub poisons: Vec<(f64, usize)>,
+}
+
+impl Default for SweepSimConfig {
+    fn default() -> Self {
+        SweepSimConfig {
+            n_phases: 8,
+            target_phases: 12,
+            seed: 0x57EE5,
+            link: LinkConfig::perfect(0.01),
+            retransmit_every: 0.05,
+            max_time: 10_000.0,
+            poisons: Vec::new(),
+        }
+    }
+}
+
+/// Result of a deterministic sweep run (the simnet analogue of
+/// [`crate::sweep_mp::SweepMpReport`]).
+#[derive(Debug)]
+pub struct SweepSimReport {
+    /// Genuine phase advances observed at the root position.
+    pub root_phase_advances: u64,
+    /// Violations found by replaying the worker event log through the
+    /// barrier specification oracle.
+    pub violations: Vec<Violation>,
+    pub phases_completed: u64,
+    /// Messages sent per process (including retransmissions).
+    pub messages_sent: Vec<u64>,
+    pub reached_target: bool,
+    pub virtual_elapsed: Time,
+    pub net: NetStats,
+    /// Full deterministic run log: byte-identical across runs of the same
+    /// config, diverging for different seeds.
+    pub trace: String,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PosMsg {
+    pos: Pos,
+    state: PosState,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct CpEvent {
+    seq: u64,
+    at: Time,
+    pid: usize,
+    ph: u32,
+    old: ftbarrier_core::Cp,
+    new: ftbarrier_core::Cp,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Ctl {
+    Retransmit { pid: usize },
+    Poison { pid: usize },
+}
+
+struct Driver {
+    program: SweepBarrier,
+    cfg: SweepSimConfig,
+    net: SimNet<PosMsg>,
+    ctl: BinaryHeap<Reverse<(Time, u64, Ctl)>>,
+    ctl_seq: u64,
+    now: Time,
+    /// One local view per process.
+    views: Vec<Vec<PosState>>,
+    rngs: Vec<SimRng>,
+    /// Outgoing link ids per process, and the consumer behind each link.
+    out_links: Vec<Vec<usize>>,
+    dest_of: Vec<usize>,
+    worker_pos: Vec<Pos>,
+    messages_sent: Vec<u64>,
+    events: Vec<CpEvent>,
+    seq: u64,
+    advances: u64,
+    trace: String,
+}
+
+impl Driver {
+    fn schedule(&mut self, at: f64, ev: Ctl) {
+        assert!(at.is_finite() && at >= 0.0, "fault plan time {at} invalid");
+        self.ctl_seq += 1;
+        self.ctl.push(Reverse((Time::new(at), self.ctl_seq, ev)));
+    }
+
+    fn record_cp(&mut self, pid: usize, ph: u32, old: ftbarrier_core::Cp, new: ftbarrier_core::Cp) {
+        self.seq += 1;
+        self.events.push(CpEvent {
+            seq: self.seq,
+            at: self.now,
+            pid,
+            ph,
+            old,
+            new,
+        });
+    }
+
+    /// Gossip every owned position's state on every outgoing link.
+    fn gossip(&mut self, pid: usize) {
+        for i in 0..self.out_links[pid].len() {
+            let link = self.out_links[pid][i];
+            for &p in self.program.dag().positions_of(pid) {
+                self.net.send(
+                    link,
+                    PosMsg {
+                        pos: p,
+                        state: self.views[pid][p],
+                    },
+                );
+            }
+            self.net.flush(link);
+            self.messages_sent[pid] += 1;
+        }
+    }
+
+    /// Evaluate the verified guarded commands on `pid`'s local view until no
+    /// owned position can move, then gossip if anything changed.
+    fn drive(&mut self, pid: usize) {
+        let owned: Vec<Pos> = self.program.dag().positions_of(pid).to_vec();
+        let worker = self.worker_pos[pid];
+        let mut moved_any = false;
+        loop {
+            let mut moved = false;
+            for &p in &owned {
+                for action in [RECV, WORK, T3, T4, T5] {
+                    if !self.program.enabled(&self.views[pid], p, action) {
+                        continue;
+                    }
+                    let old = self.views[pid][p];
+                    self.views[pid][p] =
+                        self.program
+                            .execute(&self.views[pid], p, action, &mut self.rngs[pid]);
+                    let new = self.views[pid][p];
+                    if p == worker && old.cp != new.cp {
+                        self.record_cp(pid, new.ph, old.cp, new.cp);
+                    }
+                    if p == SweepDag::ROOT && old.ph != new.ph {
+                        self.advances += 1;
+                        let _ = writeln!(self.trace, "t {} root ph -> {}", self.now, new.ph);
+                    }
+                    moved = true;
+                    break; // re-evaluate guards after each state change
+                }
+                if moved {
+                    break;
+                }
+            }
+            if !moved {
+                break;
+            }
+            moved_any = true;
+        }
+        if moved_any {
+            self.gossip(pid);
+        }
+    }
+
+    /// §4.1 detectable fault: every position of `pid` is flagged.
+    fn poison(&mut self, pid: usize) {
+        let _ = writeln!(self.trace, "t {} poison p{pid}", self.now);
+        let detect = SweepDetectableFault {
+            n_phases: self.cfg.n_phases,
+        };
+        let worker = self.worker_pos[pid];
+        for &p in &self.program.dag().positions_of(pid).to_vec() {
+            let old = self.views[pid][p];
+            detect.apply(pid, &mut self.views[pid][p], &mut self.rngs[pid]);
+            let new = self.views[pid][p];
+            if p == worker && old.cp != new.cp {
+                self.record_cp(pid, new.ph, old.cp, new.cp);
+            }
+        }
+        self.gossip(pid);
+        self.drive(pid);
+    }
+}
+
+/// Run the sweep program over `dag` deterministically on the simulated
+/// network. Two calls with equal inputs return byte-identical reports
+/// (including [`SweepSimReport::trace`]).
+pub fn run(dag: SweepDag, cfg: SweepSimConfig) -> SweepSimReport {
+    assert!(cfg.n_phases >= 2);
+    assert!(
+        cfg.retransmit_every > 0.0,
+        "retransmit period must be positive"
+    );
+    let program = SweepBarrier::new(dag, cfg.n_phases);
+    let dag = program.dag();
+    let n = dag.num_processes();
+    let mut rng = SimRng::seed_from_u64(cfg.seed);
+
+    // Subscriptions: process `pid` needs every remote position its guards
+    // read — predecessors and successors of each owned position. This is
+    // where the partner schedule of the log-depth grids materializes as
+    // links.
+    let mut needs: Vec<BTreeSet<Pos>> = vec![BTreeSet::new(); n];
+    for (pid, need) in needs.iter_mut().enumerate() {
+        for &p in dag.positions_of(pid) {
+            for &q in dag.preds(p).iter().chain(dag.succs(p)) {
+                if dag.owner(q) != pid {
+                    need.insert(q);
+                }
+            }
+        }
+    }
+    let mut pairs: BTreeSet<(usize, usize)> = BTreeSet::new();
+    for (pid, need) in needs.iter().enumerate() {
+        for &q in need {
+            pairs.insert((dag.owner(q), pid));
+        }
+    }
+    let mut out_links: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut dest_of: Vec<usize> = Vec::with_capacity(pairs.len());
+    let link_of: BTreeMap<(usize, usize), usize> = pairs
+        .iter()
+        .enumerate()
+        .map(|(i, &(from, to))| {
+            out_links[from].push(i);
+            dest_of.push(to);
+            ((from, to), i)
+        })
+        .collect();
+    drop(link_of);
+
+    let net: SimNet<PosMsg> = SimNet::new(vec![cfg.link; pairs.len()], rng.range_u64(0, u64::MAX));
+    let views: Vec<Vec<PosState>> = (0..n).map(|_| program.initial_state()).collect();
+    let rngs: Vec<SimRng> = (0..n)
+        .map(|_| SimRng::seed_from_u64(rng.range_u64(0, u64::MAX)))
+        .collect();
+    let worker_pos: Vec<Pos> = (0..n).map(|pid| program.worker_position(pid)).collect();
+
+    let mut d = Driver {
+        cfg,
+        net,
+        ctl: BinaryHeap::new(),
+        ctl_seq: 0,
+        now: Time::ZERO,
+        views,
+        rngs,
+        out_links,
+        dest_of,
+        worker_pos,
+        messages_sent: vec![0; n],
+        events: Vec::new(),
+        seq: 0,
+        advances: 0,
+        trace: String::new(),
+        program,
+    };
+
+    for &(t, pid) in &d.cfg.poisons.clone() {
+        assert!(pid < n, "poison target {pid} out of range");
+        d.schedule(t, Ctl::Poison { pid });
+    }
+    for pid in 0..n {
+        d.schedule(d.cfg.retransmit_every, Ctl::Retransmit { pid });
+    }
+
+    // t = 0: everyone announces its start state, then takes any enabled
+    // steps (the root's first token action fires immediately).
+    for pid in 0..n {
+        d.gossip(pid);
+    }
+    for pid in 0..n {
+        d.drive(pid);
+    }
+
+    let max_time = Time::new(d.cfg.max_time);
+    let mut reached = d.advances >= d.cfg.target_phases;
+    while !reached {
+        let t_net = d.net.next_event_time();
+        let t_ctl = d.ctl.peek().map(|Reverse((t, _, _))| *t);
+        // Deliveries win ties against control events.
+        let (t, is_net) = match (t_net, t_ctl) {
+            (None, None) => break, // quiescent: nothing can ever happen
+            (Some(tn), None) => (tn, true),
+            (None, Some(tc)) => (tc, false),
+            (Some(tn), Some(tc)) => {
+                if tn <= tc {
+                    (tn, true)
+                } else {
+                    (tc, false)
+                }
+            }
+        };
+        if t > max_time {
+            break;
+        }
+        d.now = t;
+        let ctl_ev = if is_net {
+            None
+        } else {
+            let Reverse((_, _, ev)) = d.ctl.pop().expect("peeked");
+            Some(ev)
+        };
+        let touched = d.net.advance_to(t);
+        for link in touched {
+            let dest = d.dest_of[link];
+            // Detectably corrupted deliveries are discarded — masked as
+            // loss and healed by retransmission.
+            while let Some(delivery) = d.net.pop_inbox(link) {
+                if let Delivery::Ok(m) = delivery {
+                    d.views[dest][m.pos] = m.state;
+                }
+            }
+            d.drive(dest);
+        }
+        match ctl_ev {
+            Some(Ctl::Retransmit { pid }) => {
+                d.gossip(pid);
+                let at = d.now.as_f64() + d.cfg.retransmit_every;
+                d.schedule(at, Ctl::Retransmit { pid });
+            }
+            Some(Ctl::Poison { pid }) => d.poison(pid),
+            None => {}
+        }
+        reached = d.advances >= d.cfg.target_phases;
+    }
+
+    // Replay the worker event log through the barrier specification oracle,
+    // in global commit order.
+    d.events.sort_by_key(|e| e.seq);
+    let mut oracle = BarrierOracle::new(OracleConfig {
+        n_processes: n,
+        n_phases: d.cfg.n_phases,
+        anchor: Anchor::StrictFromZero,
+    });
+    for e in &d.events {
+        oracle.observe_cp(e.at, e.pid, e.ph, e.old, e.new);
+    }
+
+    let net_stats = d.net.stats();
+    let _ = writeln!(
+        d.trace,
+        "end t {} advances {} net {:?}",
+        d.now, d.advances, net_stats
+    );
+    SweepSimReport {
+        root_phase_advances: d.advances,
+        violations: oracle.violations().to_vec(),
+        phases_completed: oracle.phases_completed(),
+        messages_sent: d.messages_sent,
+        reached_target: reached,
+        virtual_elapsed: d.now,
+        net: net_stats,
+        trace: d.trace,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::ChannelFaults;
+    use crate::simnet::LatencyModel;
+
+    fn lossy() -> LinkConfig {
+        LinkConfig {
+            latency: LatencyModel::Fixed(0.01),
+            faults: ChannelFaults {
+                loss: 0.15,
+                duplication: 0.05,
+                corruption: 0.05,
+                ..ChannelFaults::NONE
+            },
+        }
+    }
+
+    #[test]
+    fn every_family_reaches_its_target_over_lossy_links() {
+        for (name, dag) in [
+            ("ring", SweepDag::ring(5).unwrap()),
+            ("tree", SweepDag::tree(8, 2).unwrap()),
+            ("dissemination", SweepDag::dissemination(8, 2).unwrap()),
+            ("hypercube", SweepDag::hypercube(8).unwrap()),
+            ("butterfly", SweepDag::butterfly(8).unwrap()),
+        ] {
+            let report = run(
+                dag,
+                SweepSimConfig {
+                    target_phases: 8,
+                    link: lossy(),
+                    ..Default::default()
+                },
+            );
+            assert!(report.reached_target, "{name}: {report:?}");
+            assert!(
+                report.violations.is_empty(),
+                "{name}: {:?}",
+                report.violations
+            );
+            assert!(report.phases_completed >= 7, "{name}: {report:?}");
+        }
+    }
+
+    #[test]
+    fn trace_is_byte_identical_across_runs_and_seed_sensitive() {
+        let cfg = SweepSimConfig {
+            target_phases: 6,
+            link: lossy(),
+            poisons: vec![(0.3, 3)],
+            ..Default::default()
+        };
+        let a = run(SweepDag::dissemination(8, 2).unwrap(), cfg.clone());
+        let b = run(SweepDag::dissemination(8, 2).unwrap(), cfg.clone());
+        assert_eq!(a.trace, b.trace, "same config must replay byte-identically");
+        assert_eq!(a.messages_sent, b.messages_sent);
+        let c = run(
+            SweepDag::dissemination(8, 2).unwrap(),
+            SweepSimConfig {
+                seed: cfg.seed ^ 1,
+                ..cfg
+            },
+        );
+        assert_ne!(a.trace, c.trace, "a different seed must diverge");
+    }
+
+    #[test]
+    fn poisons_are_masked_on_the_log_depth_grids() {
+        for (name, dag) in [
+            ("dissemination", SweepDag::dissemination(8, 2).unwrap()),
+            ("hypercube", SweepDag::hypercube(8).unwrap()),
+            ("butterfly", SweepDag::butterfly(8).unwrap()),
+        ] {
+            let report = run(
+                dag,
+                SweepSimConfig {
+                    target_phases: 10,
+                    poisons: vec![(0.5, 2), (1.1, 5)],
+                    ..Default::default()
+                },
+            );
+            assert!(report.reached_target, "{name}: {report:?}");
+            assert!(
+                report.violations.is_empty(),
+                "{name}: detectable faults must be masked: {:?}",
+                report.violations
+            );
+        }
+    }
+}

@@ -55,7 +55,9 @@ impl SweepDag {
         if n < 2 {
             return Err(TopologyError::TooSmall);
         }
-        assert!(arity >= 1, "tree arity must be at least 1");
+        if arity < 1 {
+            return Err(TopologyError::BadArity(arity));
+        }
         let owner: Vec<Pid> = (0..n).collect();
         let mut preds: Vec<Vec<Pos>> = vec![Vec::new(); n];
         for j in 1..n {
@@ -80,7 +82,9 @@ impl SweepDag {
         if n < 2 {
             return Err(TopologyError::TooSmall);
         }
-        assert!(arity >= 1, "tree arity must be at least 1");
+        if arity < 1 {
+            return Err(TopologyError::BadArity(arity));
+        }
         let parent = |j: usize| (j - 1) / arity;
         let up = |j: usize| n + j - 1; // up position of process j (j >= 1)
 
@@ -107,6 +111,146 @@ impl SweepDag {
         // Root reads the up positions of its children.
         let root_children: Vec<usize> = (1..=arity).filter(|&c| c < n).collect();
         preds[0] = root_children.iter().map(|&c| up(c)).collect();
+        SweepDag::from_parts(owner, preds)
+    }
+
+    /// Dissemination sweep over `n` processes with the given `radix` — the
+    /// partner schedule of a radix-`r` dissemination barrier folded into a
+    /// layered sweep DAG. `R = ceil(log_r n)` rounds; in round `k`
+    /// (1-based) process `i` hears from partners `i - d·r^(k-1) (mod n)` for
+    /// `d = 1..r-1`, exactly the lamellar-style schedule. The grid has
+    /// `R + 1` layers of `n` positions each plus the root:
+    ///
+    /// * layer 0 is the root's kick (every `P(0, i)` reads the root), the
+    ///   sweep analogue of "the barrier episode has started";
+    /// * layer `k ≥ 1` position `P(k, i)` reads `P(k-1, i)` and its round-`k`
+    ///   partners' layer-`k-1` positions — parent/child edges replaced by the
+    ///   per-round partner schedule;
+    /// * the last layer is the sink layer; the root reads all of it (the
+    ///   same direct-read convention as the Fig-2c tree's leaves).
+    ///
+    /// Process `i` owns `P(0, i), …, P(R, i)` (plus the root for process 0);
+    /// its layer-0 position is its worker position, the rest are relays.
+    /// Critical path: `R + 2` hops — O(log n) against the ring's `n`.
+    pub fn dissemination(n: usize, radix: usize) -> Result<SweepDag, TopologyError> {
+        if n < 2 {
+            return Err(TopologyError::TooSmall);
+        }
+        if radix < 2 {
+            return Err(TopologyError::BadRadix(radix));
+        }
+        // Smallest R with radix^R >= n (saturating: radix >= 2 reaches any
+        // usize n well before overflow matters).
+        let mut rounds = 0usize;
+        let mut reach = 1usize;
+        while reach < n {
+            reach = reach.saturating_mul(radix);
+            rounds += 1;
+        }
+        let layer = |k: usize, i: usize| 1 + k * n + i;
+
+        let mut owner: Vec<Pid> = vec![0];
+        let mut preds: Vec<Vec<Pos>> = vec![Vec::new(); 1 + (rounds + 1) * n];
+        for k in 0..=rounds {
+            for i in 0..n {
+                owner.push(i);
+                preds[layer(k, i)] = if k == 0 {
+                    vec![0]
+                } else {
+                    let mut row = vec![layer(k - 1, i)];
+                    let stride = radix.pow(u32::try_from(k - 1).expect("round fits u32"));
+                    for d in 1..radix {
+                        // Offsets can collide mod n when n is not a power of
+                        // the radix; dedup keeps the row canonical.
+                        let partner = (i + n - (d * stride) % n) % n;
+                        let p = layer(k - 1, partner);
+                        if !row.contains(&p) {
+                            row.push(p);
+                        }
+                    }
+                    row.sort_unstable();
+                    row
+                };
+            }
+        }
+        preds[0] = (0..n).map(|i| layer(rounds, i)).collect();
+        SweepDag::from_parts(owner, preds)
+    }
+
+    /// Butterfly sweep over `n = 2^D` processes: the same layered grid as
+    /// [`SweepDag::dissemination`], but round `k`'s partner is `i XOR
+    /// 2^(k-1)` — the classic butterfly/FFT exchange pattern. `D` rounds,
+    /// critical path `D + 2`.
+    pub fn butterfly(n: usize) -> Result<SweepDag, TopologyError> {
+        if n < 2 {
+            return Err(TopologyError::TooSmall);
+        }
+        if !n.is_power_of_two() {
+            return Err(TopologyError::NotPowerOfTwo(n));
+        }
+        let rounds = n.trailing_zeros() as usize;
+        let layer = |k: usize, i: usize| 1 + k * n + i;
+
+        let mut owner: Vec<Pid> = vec![0];
+        let mut preds: Vec<Vec<Pos>> = vec![Vec::new(); 1 + (rounds + 1) * n];
+        for k in 0..=rounds {
+            for i in 0..n {
+                owner.push(i);
+                preds[layer(k, i)] = if k == 0 {
+                    vec![0]
+                } else {
+                    let mut row = vec![layer(k - 1, i), layer(k - 1, i ^ (1 << (k - 1)))];
+                    row.sort_unstable();
+                    row
+                };
+            }
+        }
+        preds[0] = (0..n).map(|i| layer(rounds, i)).collect();
+        SweepDag::from_parts(owner, preds)
+    }
+
+    /// Hypercube sweep over `n = 2^D` processes: a binomial double tree in
+    /// which every edge is a hypercube edge (endpoints differ in exactly one
+    /// bit). Down positions are `0..n` (position = process; the parent of
+    /// `j` clears its highest set bit), up positions are `n..2n-1` for
+    /// processes `1..n`, and the turnaround feeds each binomial leaf's up
+    /// position from its own down position — the Fig-2d construction with
+    /// the heap tree swapped for the hypercube's dimension-ordered binomial
+    /// tree. Critical path `2D + 1`.
+    pub fn hypercube(n: usize) -> Result<SweepDag, TopologyError> {
+        if n < 2 {
+            return Err(TopologyError::TooSmall);
+        }
+        if !n.is_power_of_two() {
+            return Err(TopologyError::NotPowerOfTwo(n));
+        }
+        let dims = n.trailing_zeros() as usize;
+        let parent = |j: usize| j & !(1usize << (usize::BITS - 1 - j.leading_zeros())); // clear MSB
+        let children = |j: usize| -> Vec<usize> {
+            let lo = if j == 0 {
+                0
+            } else {
+                usize::BITS as usize - j.leading_zeros() as usize
+            };
+            (lo..dims).map(|b| j | (1 << b)).collect()
+        };
+        let up = |j: usize| n + j - 1; // up position of process j (j >= 1)
+
+        let mut owner: Vec<Pid> = (0..n).collect();
+        owner.extend(1..n);
+        let mut preds: Vec<Vec<Pos>> = vec![Vec::new(); 2 * n - 1];
+        for j in 1..n {
+            preds[j] = vec![parent(j)];
+        }
+        for j in 1..n {
+            let kids = children(j);
+            preds[up(j)] = if kids.is_empty() {
+                vec![j] // binomial leaf: turnaround
+            } else {
+                kids.iter().map(|&c| up(c)).collect()
+            };
+        }
+        preds[0] = children(0).iter().map(|&c| up(c)).collect();
         SweepDag::from_parts(owner, preds)
     }
 
@@ -249,6 +393,167 @@ mod tests {
             SweepDag::embed_graph(&g).unwrap_err(),
             TopologyError::Disconnected
         );
+    }
+
+    #[test]
+    fn tree_rejects_zero_arity() {
+        assert_eq!(
+            SweepDag::tree(8, 0).unwrap_err(),
+            TopologyError::BadArity(0)
+        );
+        assert_eq!(
+            SweepDag::double_tree(8, 0).unwrap_err(),
+            TopologyError::BadArity(0)
+        );
+    }
+
+    #[test]
+    fn dissemination_shape_radix2() {
+        // n=8, radix 2: R=3 rounds, 4 layers of 8 positions plus the root.
+        let dag = SweepDag::dissemination(8, 2).unwrap();
+        assert_eq!(dag.num_processes(), 8);
+        assert_eq!(dag.num_positions(), 1 + 4 * 8);
+        assert_eq!(dag.critical_path(), 3 + 2);
+        // Layer 0 reads the root.
+        for i in 0..8 {
+            assert_eq!(dag.preds(1 + i), &[0]);
+        }
+        // Round k partner offset is 2^(k-1): P(2, 5) reads P(1, 5) and
+        // P(1, 3) (offset 2).
+        let layer = |k: usize, i: usize| 1 + k * 8 + i;
+        assert_eq!(dag.preds(layer(2, 5)), &[layer(1, 3), layer(1, 5)]);
+        // Sinks are the whole last layer.
+        assert_eq!(dag.sinks().len(), 8);
+        assert!(dag.sinks().iter().all(|&s| s >= layer(3, 0)));
+        // Every process owns one position per layer (plus the root for 0).
+        assert_eq!(dag.positions_of(0).len(), 5);
+        for pid in 1..8 {
+            assert_eq!(dag.positions_of(pid).len(), 4, "pid {pid}");
+        }
+    }
+
+    #[test]
+    fn dissemination_radix4_has_fewer_rounds() {
+        // radix 4 over 16 processes: 2 rounds instead of 4.
+        let d2 = SweepDag::dissemination(16, 2).unwrap();
+        let d4 = SweepDag::dissemination(16, 4).unwrap();
+        assert_eq!(d2.critical_path(), 4 + 2);
+        assert_eq!(d4.critical_path(), 2 + 2);
+        // Radix-4 round 2 reads 4 distinct layer-1 positions (self + 3
+        // partners at offsets 4, 8, 12).
+        let layer = |k: usize, i: usize| 1 + k * 16 + i;
+        assert_eq!(
+            d4.preds(layer(2, 1)),
+            &[layer(1, 1), layer(1, 5), layer(1, 9), layer(1, 13)]
+        );
+    }
+
+    #[test]
+    fn dissemination_non_power_size_dedups_partners() {
+        // n=6, radix 3: R=2 (3^2=9 >= 6); round 2 offsets 3 and 6 — the
+        // latter wraps to 0 (self) and must be deduped, not duplicated.
+        let dag = SweepDag::dissemination(6, 3).unwrap();
+        let layer = |k: usize, i: usize| 1 + k * 6 + i;
+        assert_eq!(dag.preds(layer(2, 0)), &[layer(1, 0), layer(1, 3)]);
+        assert_eq!(dag.critical_path(), 2 + 2);
+    }
+
+    #[test]
+    fn dissemination_rejects_degenerate_radix() {
+        assert_eq!(
+            SweepDag::dissemination(8, 1).unwrap_err(),
+            TopologyError::BadRadix(1)
+        );
+        assert_eq!(
+            SweepDag::dissemination(8, 0).unwrap_err(),
+            TopologyError::BadRadix(0)
+        );
+        assert_eq!(
+            SweepDag::dissemination(1, 2).unwrap_err(),
+            TopologyError::TooSmall
+        );
+    }
+
+    #[test]
+    fn butterfly_shape() {
+        // n=8: D=3 exchange rounds, partner i XOR 2^(k-1).
+        let dag = SweepDag::butterfly(8).unwrap();
+        assert_eq!(dag.num_processes(), 8);
+        assert_eq!(dag.num_positions(), 1 + 4 * 8);
+        assert_eq!(dag.critical_path(), 3 + 2);
+        let layer = |k: usize, i: usize| 1 + k * 8 + i;
+        assert_eq!(dag.preds(layer(1, 5)), &[layer(0, 4), layer(0, 5)]);
+        assert_eq!(dag.preds(layer(2, 5)), &[layer(1, 5), layer(1, 7)]);
+        assert_eq!(dag.preds(layer(3, 5)), &[layer(2, 1), layer(2, 5)]);
+        assert_eq!(dag.sinks().len(), 8);
+    }
+
+    #[test]
+    fn butterfly_rejects_non_power_of_two() {
+        assert_eq!(
+            SweepDag::butterfly(6).unwrap_err(),
+            TopologyError::NotPowerOfTwo(6)
+        );
+        assert_eq!(SweepDag::butterfly(1).unwrap_err(), TopologyError::TooSmall);
+        assert_eq!(SweepDag::butterfly(0).unwrap_err(), TopologyError::TooSmall);
+    }
+
+    #[test]
+    fn hypercube_is_a_binomial_double_tree() {
+        let dag = SweepDag::hypercube(8).unwrap();
+        assert_eq!(dag.num_processes(), 8);
+        assert_eq!(dag.num_positions(), 2 * 8 - 1);
+        // Down D hops, turnaround, up D-1, root read: 2D + 1.
+        assert_eq!(dag.critical_path(), 2 * 3 + 1);
+        // Down parent clears the highest set bit.
+        assert_eq!(dag.preds(7), &[3]);
+        assert_eq!(dag.preds(3), &[1]);
+        assert_eq!(dag.preds(1), &[0]);
+        // Every sweep edge is a hypercube edge (or a same-process
+        // turnaround).
+        for pos in 0..dag.num_positions() {
+            for &q in dag.preds(pos) {
+                let (a, b) = (dag.owner(pos), dag.owner(q));
+                assert!(
+                    a == b || (a ^ b).is_power_of_two(),
+                    "sweep edge {q}->{pos}: processes {b},{a} differ in more than one bit"
+                );
+            }
+        }
+        // Process 0 owns only the shared root; others own down + up.
+        assert_eq!(dag.positions_of(0), &[0]);
+        for pid in 1..8 {
+            assert_eq!(dag.positions_of(pid).len(), 2, "pid {pid}");
+        }
+    }
+
+    #[test]
+    fn hypercube_rejects_non_power_of_two() {
+        assert_eq!(
+            SweepDag::hypercube(12).unwrap_err(),
+            TopologyError::NotPowerOfTwo(12)
+        );
+        assert_eq!(SweepDag::hypercube(1).unwrap_err(), TopologyError::TooSmall);
+    }
+
+    #[test]
+    fn log_depth_families_beat_the_ring() {
+        // The headline latency claim at construction level: critical path
+        // O(log n) vs the ring's n.
+        for n in [16usize, 64, 1024] {
+            let ring = SweepDag::ring(n).unwrap().critical_path();
+            let logd = n.trailing_zeros() as usize;
+            assert_eq!(
+                SweepDag::dissemination(n, 2).unwrap().critical_path(),
+                logd + 2
+            );
+            assert_eq!(SweepDag::butterfly(n).unwrap().critical_path(), logd + 2);
+            assert_eq!(
+                SweepDag::hypercube(n).unwrap().critical_path(),
+                2 * logd + 1
+            );
+            assert!(logd + 2 < ring && 2 * logd + 1 < ring);
+        }
     }
 
     #[test]

@@ -27,6 +27,14 @@ pub enum TopologyError {
     BadOwner(usize),
     /// The input graph for an embedding is disconnected.
     Disconnected,
+    /// A dissemination radix below 2: each round must contact at least one
+    /// partner, so the information spread per round would be zero.
+    BadRadix(usize),
+    /// A tree arity of 0: internal positions would have no children.
+    BadArity(usize),
+    /// Butterfly and hypercube patterns are defined on power-of-two sizes;
+    /// the given size is not one.
+    NotPowerOfTwo(usize),
 }
 
 impl fmt::Display for TopologyError {
@@ -45,6 +53,15 @@ impl fmt::Display for TopologyError {
             TopologyError::BadIndex(p) => write!(f, "predecessor index {p} out of range"),
             TopologyError::BadOwner(p) => write!(f, "owner index {p} out of range"),
             TopologyError::Disconnected => write!(f, "input graph is disconnected"),
+            TopologyError::BadRadix(r) => {
+                write!(f, "dissemination radix {r} is below the minimum of 2")
+            }
+            TopologyError::BadArity(a) => {
+                write!(f, "tree arity {a} is below the minimum of 1")
+            }
+            TopologyError::NotPowerOfTwo(n) => {
+                write!(f, "size {n} is not a power of two")
+            }
         }
     }
 }
