@@ -78,6 +78,9 @@ pub struct MbCampaignFailure {
     pub seed: u64,
     pub config: SimMbConfig,
     pub phases_completed: u64,
+    /// The wedged run's causal flight record (`flightrec/v1`), ready for
+    /// blame analysis without re-running the campaign.
+    pub flight_dump: Option<String>,
 }
 
 /// Build the deterministic fault plan of run `seed`: `injections`
@@ -184,6 +187,7 @@ pub fn membership_campaign(
                 seed: run_cfg.seed,
                 config: run_cfg,
                 phases_completed: report.phases_completed,
+                flight_dump: report.flight_dump,
             }));
         }
         recovery_spans.push((report.virtual_elapsed.as_f64() - last_injection).max(0.0));
@@ -218,6 +222,7 @@ pub fn campaign(cfg: MbCampaignConfig) -> Result<MbCampaignOutcome, Box<MbCampai
                 seed: run_cfg.seed,
                 config: run_cfg,
                 phases_completed: report.phases_completed,
+                flight_dump: report.flight_dump,
             }));
         }
         recovery_spans.push((report.virtual_elapsed.as_f64() - last_injection).max(0.0));
@@ -231,7 +236,9 @@ pub fn campaign(cfg: MbCampaignConfig) -> Result<MbCampaignOutcome, Box<MbCampai
 
 impl MbCampaignFailure {
     /// Serialize the failing run for `results/` (replay: feed the scalar
-    /// fields back into `SimMbConfig` and re-run `mb_sim::run`).
+    /// fields back into `SimMbConfig` and re-run `mb_sim::run`). The wedged
+    /// run's flight record is embedded verbatim under `"flight"`, so the
+    /// artifact carries its own causal blame evidence.
     pub fn to_json(&self) -> String {
         let c = &self.config;
         let mut out = String::new();
@@ -243,7 +250,15 @@ impl MbCampaignFailure {
         let _ = writeln!(out, "  \"target_phases\": {},", c.target_phases);
         let _ = writeln!(out, "  \"max_time\": {},", c.max_time);
         let _ = writeln!(out, "  \"phases_completed\": {},", self.phases_completed);
-        let _ = writeln!(out, "  \"plan\": \"{}\"", escape(&format!("{:?}", c.plan)));
+        match &self.flight_dump {
+            Some(dump) => {
+                let _ = writeln!(out, "  \"plan\": \"{}\",", escape(&format!("{:?}", c.plan)));
+                let _ = writeln!(out, "  \"flight\": {}", dump.trim_end());
+            }
+            None => {
+                let _ = writeln!(out, "  \"plan\": \"{}\"", escape(&format!("{:?}", c.plan)));
+            }
+        }
         out.push_str("}\n");
         out
     }
@@ -312,6 +327,54 @@ mod tests {
         assert_eq!(out.runs, 20);
         assert_eq!(out.injections, 20 * 4);
         assert!(out.recovery_spans.iter().all(|&s| s >= 0.0));
+    }
+
+    /// Pinned: a run that fails to re-stabilize serializes *with* its
+    /// causal flight record, and that record blames the wedging process.
+    #[test]
+    fn failed_run_serializes_with_a_blaming_flight_record() {
+        use ftbarrier_mp::mb_sim::CrashPlan;
+        use ftbarrier_telemetry::FlightDump;
+        let config = SimMbConfig {
+            n: 4,
+            target_phases: 1000,
+            seed: 7,
+            max_time: 20.0,
+            plan: FaultPlan {
+                crashes: vec![CrashPlan {
+                    pid: 2,
+                    at: 1.0,
+                    reboot_at: 1e9,
+                }],
+                ..FaultPlan::default()
+            },
+            ..SimMbConfig::default()
+        };
+        let report = run(config.clone());
+        assert!(!report.reached_target, "the crash must wedge the run");
+        let flight = report.flight_dump.clone().expect("wedged run dumps");
+        let parsed = FlightDump::parse(&flight).expect("flight dump parses");
+        parsed.replay().expect("flight dump replays consistently");
+        assert_eq!(parsed.blamed, Some(2), "blame lands on the crashed pid");
+
+        let failure = MbCampaignFailure {
+            seed: 7,
+            config,
+            phases_completed: report.phases_completed,
+            flight_dump: report.flight_dump,
+        };
+        let json = failure.to_json();
+        let value = ftbarrier_telemetry::json::parse(&json).expect("well-formed JSON");
+        let obj = value.as_object().unwrap();
+        let embedded = obj
+            .get("flight")
+            .and_then(|v| v.as_object())
+            .expect("failure artifact embeds its flight record");
+        assert_eq!(
+            embedded.get("schema").and_then(|v| v.as_str()),
+            Some("flightrec/v1")
+        );
+        assert_eq!(embedded.get("blamed").and_then(|v| v.as_f64()), Some(2.0));
     }
 
     #[test]

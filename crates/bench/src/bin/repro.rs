@@ -18,17 +18,21 @@
 //! row misses the >= 0.99 availability bar. `topo` (never part of `all`)
 //! measures detection/recovery latency across all five sweep topology
 //! families, writes `results/topo.json`, and exits nonzero unless the
-//! log-depth grids beat the ring's recovery p50 at N = 1024. `bench`
+//! log-depth grids beat the ring's recovery p50 at N = 1024. `critpath`
+//! (never part of `all`) measures per-phase happens-before critical paths
+//! with the causal recorder on, writes `results/critpath.json`, and exits
+//! nonzero unless every family's measured chain is at least its static
+//! depth and the log-depth families beat the ring at N = 1024. `bench`
 //! (never part of `all`) times the simulation engine and the parallel
 //! sweep harness and writes `BENCH_engine.json`.
 
 use ftbarrier_bench::{
-    ablations, audit_exp, churn_exp, enginebench, figures, mb_exp, render, results_dir, table1,
-    topo_exp, trace_exp,
+    ablations, audit_exp, churn_exp, critpath_exp, enginebench, figures, mb_exp, render,
+    results_dir, table1, topo_exp, trace_exp,
 };
 use std::path::PathBuf;
 
-const SUBCOMMANDS: [&str; 14] = [
+const SUBCOMMANDS: [&str; 15] = [
     "fig3",
     "fig4",
     "fig5",
@@ -41,6 +45,7 @@ const SUBCOMMANDS: [&str; 14] = [
     "trace",
     "churn",
     "topo",
+    "critpath",
     "bench",
     "all",
 ];
@@ -253,6 +258,34 @@ fn main() {
         println!(
             "topo sweep passed: dissemination and butterfly recovery p50 beat the ring at N = {}",
             topo_exp::LATENCY_N
+        );
+    }
+    // The critical-path comparison writes results/critpath.json and gates
+    // CI on the measured-vs-static bars, so `all` skips it; ask for it
+    // explicitly (CI runs `repro critpath --quick`).
+    if opts.what.iter().any(|w| w == "critpath") {
+        eprintln!("measuring happens-before critical paths across topology families…");
+        let rows = critpath_exp::crit_rows(opts.quick);
+        let episodes = critpath_exp::episode_rows(opts.quick);
+        println!("{}", critpath_exp::render_crit(&rows));
+        println!("{}", critpath_exp::render_episodes(&episodes));
+        let dir = results_dir();
+        let json_path = dir.join("critpath.json");
+        std::fs::write(&json_path, critpath_exp::to_json(&rows, &episodes))
+            .expect("write critpath json");
+        eprintln!("wrote {}", json_path.display());
+        if !critpath_exp::passed(&rows) {
+            eprintln!(
+                "CRITPATH FAILED: measured chains below their static lower bound, \
+                 or a log-depth family did not beat the ring at N = {}",
+                critpath_exp::CRITPATH_N
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "critpath passed: every measured chain ≥ its static depth, and the \
+             log-depth families beat the ring at N = {}",
+            critpath_exp::CRITPATH_N
         );
     }
     if opts.what.iter().any(|w| w == "bench") {

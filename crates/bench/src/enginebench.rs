@@ -238,6 +238,7 @@ pub fn run(quick: bool) -> BenchReport {
 /// of producing an unparseable artifact.
 pub fn validate_schema(json: &str) {
     for key in [
+        "\"schema\": \"enginebench/v1\"",
         "\"available_parallelism\"",
         "\"engine\"",
         "\"workers_curve\"",
@@ -268,7 +269,7 @@ impl BenchReport {
     /// and fixed identifiers, so no escaping is needed).
     pub fn to_json(&self) -> String {
         let mut s = format!(
-            "{{\n  \"available_parallelism\": {},\n  \"engine\": [\n",
+            "{{\n  \"schema\": \"enginebench/v1\",\n  \"available_parallelism\": {},\n  \"engine\": [\n",
             self.available_parallelism
         );
         for (i, r) in self.engine.iter().enumerate() {

@@ -16,6 +16,7 @@
 pub mod ablations;
 pub mod audit_exp;
 pub mod churn_exp;
+pub mod critpath_exp;
 pub mod enginebench;
 pub mod figures;
 pub mod mb_exp;

@@ -164,6 +164,12 @@ mod tests {
         assert_eq!(artifacts.len(), SCENARIOS.len());
         for a in &artifacts {
             let parsed = json::parse(&a.trace_json).expect("chrome trace parses");
+            assert_eq!(
+                parsed.get("schema").and_then(|v| v.as_str()),
+                Some("chrome-trace/v1"),
+                "{}: trace artifact must carry its schema stamp",
+                a.scenario
+            );
             let events = parsed
                 .get("traceEvents")
                 .and_then(|v| v.as_array())

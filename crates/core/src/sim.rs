@@ -10,12 +10,13 @@ use crate::cp::Cp;
 use crate::intolerant::{IntolerantBarrier, IntolerantState, Phase2Cp};
 use crate::spec::{Anchor, BarrierOracle, OracleConfig, Violation};
 use crate::sweep::{PosState, ProcessFaults, SweepBarrier, SweepDetectableFault};
-use crate::telemetry::SweepLatencyMonitor;
+use crate::telemetry::{EpisodeAttribution, SweepLatencyMonitor};
 use ftbarrier_gcs::fault::NoFaults;
 use ftbarrier_gcs::{
-    ActionId, Engine, EngineConfig, FaultKind, Monitor, MonitorSet, Pid, StopReason, Time,
+    ActionId, CausalMonitor, Engine, EngineConfig, FaultKind, Monitor, MonitorSet, Pid, StopReason,
+    Time,
 };
-use ftbarrier_telemetry::Telemetry;
+use ftbarrier_telemetry::{CausalRecorder, Telemetry};
 use ftbarrier_topology::{SweepDag, TopologyError};
 
 /// Which topology to run (§4's refinements).
@@ -229,6 +230,20 @@ pub fn measure_phases_with_telemetry(
     exp: &PhaseExperiment,
     telemetry: &Telemetry,
 ) -> PhaseMeasurement {
+    measure_phases_causal(exp, telemetry, &CausalRecorder::off()).0
+}
+
+/// [`measure_phases_with_telemetry`], additionally recording the causal
+/// happens-before graph into `recorder` and returning the per-episode
+/// attribution report: for every completed fault→detection→recovery
+/// episode, the measured critical path inside the episode window and each
+/// position's share of it. With a disabled recorder the report is empty
+/// and the run is exactly [`measure_phases_with_telemetry`].
+pub fn measure_phases_causal(
+    exp: &PhaseExperiment,
+    telemetry: &Telemetry,
+    recorder: &CausalRecorder,
+) -> (PhaseMeasurement, Vec<EpisodeAttribution>) {
     let dag = exp.topology.build().expect("valid topology");
     let mut program =
         SweepBarrier::new(dag, exp.n_phases).with_costs(Time::new(exp.c), Time::new(1.0));
@@ -237,7 +252,10 @@ pub fn measure_phases_with_telemetry(
     }
     let mut monitor =
         SweepOracleMonitor::new(&program, Anchor::StrictFromZero).stop_after(exp.target_phases);
-    let mut latency = SweepLatencyMonitor::new(&program, exp.topology.label(), telemetry.clone());
+    let mut latency = SweepLatencyMonitor::new(&program, exp.topology.label(), telemetry.clone())
+        .with_causal(recorder.clone());
+    let mut causal = CausalMonitor::from_protocol(&program, recorder.clone())
+        .with_phase(Box::new(|s: &PosState| Some(s.ph)));
     let mut engine = Engine::new(&program, exp.seed);
     let config = EngineConfig {
         seed: exp.seed ^ 0x5EED,
@@ -250,7 +268,10 @@ pub fn measure_phases_with_telemetry(
         ..Default::default()
     };
     let outcome = {
-        let mut set = MonitorSet::new().with(&mut monitor).with(&mut latency);
+        let mut set = MonitorSet::new()
+            .with(&mut monitor)
+            .with(&mut latency)
+            .with(&mut causal);
         if exp.f > 0.0 {
             let mut faults = ProcessFaults::new(
                 &program,
@@ -297,15 +318,19 @@ pub fn measure_phases_with_telemetry(
     } else {
         f64::NAN
     };
-    PhaseMeasurement {
-        phases: oracle.phases_completed(),
-        mean_instances,
-        mean_phase_time,
-        violations: oracle.violations().len(),
-        aborted_instances: oracle.aborted_instances(),
-        faults: outcome.stats.faults,
-        elapsed: outcome.stats.elapsed,
-    }
+    let attribution = latency.attribution_report();
+    (
+        PhaseMeasurement {
+            phases: oracle.phases_completed(),
+            mean_instances,
+            mean_phase_time,
+            violations: oracle.violations().len(),
+            aborted_instances: oracle.aborted_instances(),
+            faults: outcome.stats.faults,
+            elapsed: outcome.stats.elapsed,
+        },
+        attribution,
+    )
 }
 
 /// Measure the fault-intolerant baseline's steady-state time per phase

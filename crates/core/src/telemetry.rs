@@ -33,14 +33,35 @@
 use crate::cp::Cp;
 use crate::sweep::{PosState, SweepBarrier};
 use ftbarrier_gcs::{ActionId, FaultKind, Monitor, Pid, Time};
-use ftbarrier_telemetry::{Telemetry, TrackId};
+use ftbarrier_telemetry::{CausalRecorder, CriticalPath, Telemetry, TrackId};
 
 /// An open recovery window: detection happened, waiting for all workers to
 /// re-enter `ready`.
 struct Window {
+    injected_at: Time,
     detected_at: Time,
     ready: Vec<bool>,
     missing: usize,
+}
+
+/// One completed fault→detection→recovery episode.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoveryEpisode {
+    pub injected_at: Time,
+    pub detected_at: Time,
+    pub recovered_at: Time,
+}
+
+/// The measured critical path of one recovery episode: the longest
+/// happens-before chain inside the episode's time window and the fraction
+/// of its events each position contributed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpisodeAttribution {
+    pub episode: RecoveryEpisode,
+    pub path: CriticalPath,
+    /// `(position, share)` sorted by descending share then ascending
+    /// position; shares sum to 1.
+    pub shares: Vec<(u32, f64)>,
 }
 
 /// Records detection/recovery latency histograms and recovery-window spans
@@ -56,6 +77,12 @@ pub struct SweepLatencyMonitor {
     window: Option<Window>,
     /// Completed recovery windows, in order — `(detected_at, recovered_at)`.
     pub windows: Vec<(Time, Time)>,
+    /// Completed episodes with their injection times — the attribution
+    /// report's unit of analysis.
+    pub episodes: Vec<RecoveryEpisode>,
+    /// Causal recorder consulted by [`Self::attribution_report`]; off by
+    /// default (scalar latencies only, as before).
+    causal: CausalRecorder,
 }
 
 impl SweepLatencyMonitor {
@@ -72,7 +99,45 @@ impl SweepLatencyMonitor {
             pending_fault: None,
             window: None,
             windows: Vec::new(),
+            episodes: Vec::new(),
+            causal: CausalRecorder::off(),
         }
+    }
+
+    /// Attach a causal recorder (shared with a `CausalMonitor` on the same
+    /// run) so [`Self::attribution_report`] can resolve each episode's
+    /// measured critical path.
+    pub fn with_causal(mut self, recorder: CausalRecorder) -> Self {
+        self.causal = recorder;
+        self
+    }
+
+    /// Upgrade the scalar latencies into an attribution report: for every
+    /// completed fault→detection→recovery episode, the longest
+    /// happens-before chain inside the episode window and each position's
+    /// share of it — *which* positions account for *what fraction* of the
+    /// detection+recovery time, not just how long it took. Empty when no
+    /// causal recorder was attached or no episode completed.
+    pub fn attribution_report(&self) -> Vec<EpisodeAttribution> {
+        if !self.causal.is_enabled() {
+            return Vec::new();
+        }
+        let graph = self.causal.snapshot();
+        self.episodes
+            .iter()
+            .map(|&episode| {
+                let path = graph.critical_path_between(
+                    episode.injected_at.as_f64(),
+                    episode.recovered_at.as_f64(),
+                );
+                let shares = graph.attribution(&path);
+                EpisodeAttribution {
+                    episode,
+                    path,
+                    shares,
+                }
+            })
+            .collect()
     }
 
     fn topo_labels(&self) -> [(&str, &str); 1] {
@@ -101,9 +166,15 @@ impl SweepLatencyMonitor {
                     }
                 }
                 if w.missing == 0 {
+                    let injected_at = w.injected_at;
                     let detected_at = w.detected_at;
                     self.window = None;
                     self.windows.push((detected_at, now));
+                    self.episodes.push(RecoveryEpisode {
+                        injected_at,
+                        detected_at,
+                        recovered_at: now,
+                    });
                     self.telemetry.observe(
                         "recovery_latency",
                         &self.topo_labels(),
@@ -152,10 +223,16 @@ impl SweepLatencyMonitor {
                     // Detection observed with everyone already ready
                     // (possible when the victim itself healed first).
                     self.windows.push((now, now));
+                    self.episodes.push(RecoveryEpisode {
+                        injected_at: t_fault,
+                        detected_at: now,
+                        recovered_at: now,
+                    });
                     self.telemetry
                         .observe("recovery_latency", &self.topo_labels(), 0.0);
                 } else {
                     self.window = Some(Window {
+                        injected_at: t_fault,
                         detected_at: now,
                         ready,
                         missing,
@@ -277,6 +354,67 @@ mod tests {
             .metrics
             .histogram("phase_time", &[("topo", "tree")])
             .is_some_and(|h| h.count() + 1 >= m.phases));
+    }
+
+    #[test]
+    fn attribution_report_decomposes_recovery_episodes() {
+        use crate::sim::measure_phases_causal;
+        use ftbarrier_telemetry::CausalRecorder;
+
+        let tele = Telemetry::recording(TimeDomain::Virtual);
+        let recorder = CausalRecorder::bounded(1 << 18);
+        let (m, report) = measure_phases_causal(
+            &PhaseExperiment {
+                topology: TopologySpec::Tree { n: 8, arity: 2 },
+                target_phases: 60,
+                c: 0.01,
+                f: 0.05,
+                seed: 42,
+                ..Default::default()
+            },
+            &tele,
+            &recorder,
+        );
+        assert!(m.faults > 0);
+        assert!(!report.is_empty(), "faulty run must complete episodes");
+        for a in &report {
+            assert!(a.episode.injected_at <= a.episode.detected_at);
+            assert!(a.episode.detected_at <= a.episode.recovered_at);
+            // The measured chain is non-trivial and its shares decompose
+            // the episode: they sum to 1 and come sorted by share.
+            assert!(a.path.len >= 1, "empty critical path for {:?}", a.episode);
+            let total: f64 = a.shares.iter().map(|&(_, s)| s).sum();
+            assert!((total - 1.0).abs() < 1e-9, "shares sum to {total}");
+            for w in a.shares.windows(2) {
+                assert!(w[0].1 >= w[1].1, "shares not sorted: {:?}", a.shares);
+            }
+        }
+        // The scalar histograms and the report describe the same episodes.
+        let snap = tele.snapshot();
+        let recoveries = snap
+            .metrics
+            .histogram("recovery_latency", &[("topo", "tree")])
+            .map_or(0, |h| h.count());
+        assert_eq!(report.len() as u64, recoveries);
+    }
+
+    #[test]
+    fn causal_recording_does_not_perturb_the_measurement() {
+        use crate::sim::measure_phases_causal;
+        use ftbarrier_telemetry::CausalRecorder;
+
+        let exp = PhaseExperiment {
+            topology: TopologySpec::Ring { n: 6 },
+            target_phases: 30,
+            c: 0.01,
+            f: 0.05,
+            seed: 7,
+            ..Default::default()
+        };
+        let plain = measure_phases_with_telemetry(&exp, &Telemetry::off());
+        let (armed, _) =
+            measure_phases_causal(&exp, &Telemetry::off(), &CausalRecorder::bounded(1 << 18));
+        assert_eq!(plain, armed, "arming the recorder changed the run");
     }
 
     #[test]

@@ -25,6 +25,10 @@
 //!    valid, a graft restores the exact base edge set, and a scripted
 //!    crash → detect → splice → reboot → graft round-trip completes phases
 //!    with the rejoined process participating.
+//! 6. **Causal determinism** — with the happens-before recorder (the
+//!    flight-recorder configuration) armed, classic and dense engines at
+//!    every worker count dump byte-identical causal graphs, and arming the
+//!    recorder never perturbs the run itself.
 //!
 //! The differential runners ([`run_classic`], [`run_dense`],
 //! [`assert_identical`]) are shared with `crates/core/tests/differential.rs`
@@ -44,10 +48,10 @@ use crate::telemetry::SweepLatencyMonitor;
 use ftbarrier_gcs::fault::NoFaults;
 use ftbarrier_gcs::trace::{Trace, TraceEvent};
 use ftbarrier_gcs::{
-    ActionId, DenseEngine, DenseEngineConfig, Engine, EngineConfig, Monitor, MonitorSet, Pid,
-    TelemetryMonitor, Time,
+    ActionId, CausalMonitor, DenseEngine, DenseEngineConfig, Engine, EngineConfig, Monitor,
+    MonitorSet, Pid, TelemetryMonitor, Time,
 };
-use ftbarrier_telemetry::{Telemetry, TimeDomain};
+use ftbarrier_telemetry::{CausalRecorder, Telemetry, TimeDomain};
 use ftbarrier_topology::membership::Membership;
 
 /// What one differential run records: the committed event trace, the final
@@ -117,6 +121,107 @@ pub fn run_classic_telemetry(
             out.stats.commits_dropped,
             out.stats.faults,
         ],
+    )
+}
+
+/// Capacity of the causal recorders in the determinism check — large enough
+/// that no conformance run evicts (eviction is deterministic too, but a
+/// non-evicting dump is the stronger pin).
+const CAUSAL_CAPACITY: usize = 1 << 20;
+
+/// Like [`run_classic`], but with a causal recorder (the flight-recorder
+/// configuration) armed alongside the usual monitors. Returns the run record
+/// plus the causal graph dumped as flight-recorder JSON.
+pub fn run_classic_causal(
+    spec: TopologySpec,
+    seed: u64,
+    fault_rate: f64,
+    full_rescan: bool,
+) -> (RunRecord<PosState>, String) {
+    let program =
+        SweepBarrier::new(spec.build().unwrap(), 8).with_costs(Time::new(0.02), Time::new(1.0));
+    let recorder = CausalRecorder::bounded(CAUSAL_CAPACITY);
+    let mut cmon = CausalMonitor::from_protocol(&program, recorder.clone())
+        .with_phase(Box::new(|s: &PosState| Some(s.ph)));
+    let mut engine = Engine::new(&program, seed);
+    engine.perturb_all();
+    let mut trace = Trace::unbounded();
+    let cfg = differential_config(seed, 30.0, full_rescan);
+    let out = {
+        let mut set = MonitorSet::new().with(&mut trace).with(&mut cmon);
+        if fault_rate > 0.0 {
+            let mut faults =
+                ProcessFaults::new(&program, fault_rate, SweepDetectableFault { n_phases: 8 });
+            engine.run(&cfg, &mut faults, &mut set)
+        } else {
+            engine.run(&cfg, &mut NoFaults, &mut set)
+        }
+    };
+    let dump = recorder.snapshot().to_flight_json(
+        "sweep",
+        program.dag().num_positions(),
+        "conformance",
+        "end-of-run",
+    );
+    (
+        (
+            trace.events().cloned().collect(),
+            engine.global().to_vec(),
+            [
+                out.stats.actions_executed,
+                out.stats.commits_dropped,
+                out.stats.faults,
+            ],
+        ),
+        dump,
+    )
+}
+
+/// The causal-armed run of [`run_dense`]: same engine configuration with a
+/// [`CausalMonitor`] attached, returning final states, stats, and the
+/// flight-recorder dump (the dense engine takes a single monitor, so the
+/// trace half of the differential stays with [`run_dense`]).
+pub fn run_dense_causal(
+    spec: TopologySpec,
+    seed: u64,
+    fault_rate: f64,
+    workers: usize,
+) -> (Vec<PosState>, [u64; 3], String) {
+    let program =
+        SweepBarrier::new(spec.build().unwrap(), 8).with_costs(Time::new(0.02), Time::new(1.0));
+    let recorder = CausalRecorder::bounded(CAUSAL_CAPACITY);
+    let mut cmon = CausalMonitor::from_protocol(&program, recorder.clone())
+        .with_phase(Box::new(|s: &PosState| Some(s.ph)));
+    let mut engine = DenseEngine::new(&program, seed).with_shards(4);
+    engine.perturb_all();
+    let cfg = DenseEngineConfig {
+        max_time: Some(Time::new(30.0)),
+        max_commits: Some(2_000_000),
+        workers: Some(workers),
+        parallel_threshold: 1,
+        ..Default::default()
+    };
+    let out = if fault_rate > 0.0 {
+        let mut faults =
+            ProcessFaults::new(&program, fault_rate, SweepDetectableFault { n_phases: 8 });
+        engine.run(&cfg, &mut faults, &mut cmon)
+    } else {
+        engine.run(&cfg, &mut NoFaults, &mut cmon)
+    };
+    let dump = recorder.snapshot().to_flight_json(
+        "sweep",
+        program.dag().num_positions(),
+        "conformance",
+        "end-of-run",
+    );
+    (
+        engine.global_states(),
+        [
+            out.stats.actions_executed,
+            out.stats.commits_dropped,
+            out.stats.faults,
+        ],
+        dump,
     )
 }
 
@@ -567,12 +672,54 @@ pub fn check_churn_splice_graft(spec: TopologySpec) {
     );
 }
 
+/// Conformance check 6: causal-graph determinism across engines.
+///
+/// With a causal recorder (the flight-recorder configuration) armed, the
+/// classic engine and the dense engine at every worker count must produce
+/// **byte-identical** flight-recorder dumps for the same seed — the causal
+/// graph is part of the deterministic output, not a best-effort log. The
+/// causal-armed classic run must also stay byte-identical to the plain
+/// reference run: recording happens-before edges is a pure observation.
+pub fn check_causal_determinism(spec: TopologySpec) {
+    let label = spec.label();
+    let seed = 0xCA05;
+    for fault_rate in [0.0, 0.3] {
+        let reference = run_classic(spec, seed, fault_rate, true);
+        let (record, classic_dump) = run_classic_causal(spec, seed, fault_rate, false);
+        assert_identical(
+            &format!("{label} f={fault_rate} causal-armed"),
+            record,
+            reference.clone(),
+        );
+        assert!(
+            classic_dump.contains("\"schema\": \"flightrec/v1\""),
+            "{label}: dump missing schema stamp"
+        );
+        for workers in [1usize, 2, 4] {
+            let (states, stats, dense_dump) = run_dense_causal(spec, seed, fault_rate, workers);
+            assert_eq!(
+                classic_dump, dense_dump,
+                "{label} f={fault_rate} dense w={workers}: causal dumps diverge"
+            );
+            assert_eq!(
+                states, reference.1,
+                "{label} f={fault_rate} dense w={workers}: final states diverge"
+            );
+            assert_eq!(
+                stats, reference.2,
+                "{label} f={fault_rate} dense w={workers}: stats diverge"
+            );
+        }
+    }
+}
+
 /// The full conformance battery for one topology. Every sweep topology —
-/// present and future — must pass all five checks.
+/// present and future — must pass all six checks.
 pub fn check_conformance(spec: TopologySpec) {
     check_sweep_completeness(spec);
     check_legal_set_structure(spec);
     check_classic_dense_differential(spec);
     check_fault_recovery(spec);
     check_churn_splice_graft(spec);
+    check_causal_determinism(spec);
 }

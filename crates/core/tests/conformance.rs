@@ -4,8 +4,9 @@
 //! sweep-completeness, legal-set/coset structure (including adversarial
 //! sequence-number domains with `gcd(3, L) ≠ 1` — the PR-5 audit pitfall),
 //! byte-identical classic-vs-dense traces across worker counts, fault-plan
-//! masking and stabilization, and churn splice/graft. One test per family so
-//! failures localize and the families run in parallel.
+//! masking and stabilization, churn splice/graft, and byte-identical causal
+//! happens-before dumps with the flight recorder armed. One test per family
+//! so failures localize and the families run in parallel.
 //!
 //! Adding a topology? Add its `TopologySpec` here and it inherits the whole
 //! battery — nothing else to write.

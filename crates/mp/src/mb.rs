@@ -25,7 +25,7 @@ use crate::proc::{pump, sn_domain, CpEvent, MbCore};
 use crate::transport::{channel_ring, Endpoint};
 use ftbarrier_core::spec::{Anchor, BarrierOracle, OracleConfig, Violation};
 use ftbarrier_gcs::{SimRng, Time};
-use ftbarrier_telemetry::Telemetry;
+use ftbarrier_telemetry::{CausalRecorder, Telemetry};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -57,6 +57,9 @@ pub struct MbConfig {
     /// [`sn_domain`]`(n)`. Validated against the paper's `L > 2N+1`
     /// precondition at run start.
     pub sn_domain: Option<u32>,
+    /// Capacity of the always-on causal flight recorder (recent events
+    /// kept per run; older ones are evicted and counted).
+    pub flight_capacity: usize,
 }
 
 impl Default for MbConfig {
@@ -72,6 +75,7 @@ impl Default for MbConfig {
             deadline: Time::new(30.0),
             telemetry: Telemetry::off(),
             sn_domain: None,
+            flight_capacity: 8192,
         }
     }
 }
@@ -93,6 +97,9 @@ pub struct MbReport {
     pub elapsed: Duration,
     /// Whether the run hit its target (vs. the deadline).
     pub reached_target: bool,
+    /// Flight-recorder dump of the recent causal events (replayable JSON),
+    /// written when the run hit its deadline instead of its target.
+    pub flight_dump: Option<String>,
 }
 
 /// Handle for injecting faults into a running MB system.
@@ -122,6 +129,7 @@ pub struct MbRun {
     root_advances: Arc<AtomicU64>,
     started: Instant,
     config: MbConfig,
+    recorder: CausalRecorder,
 }
 
 /// Spawn an MB system on faulty crossbeam channels and the wall clock. Use
@@ -158,6 +166,9 @@ pub fn spawn_on<E: Endpoint + Send + 'static>(
     let poison: Arc<Vec<AtomicBool>> = Arc::new((0..n).map(|_| AtomicBool::new(false)).collect());
     let scramble: Arc<Vec<AtomicBool>> = Arc::new((0..n).map(|_| AtomicBool::new(false)).collect());
     let started = Instant::now();
+    // The always-on flight recorder: one bounded ring shared by every
+    // process thread (events interleave in global commit order).
+    let recorder = CausalRecorder::bounded(config.flight_capacity);
 
     let mut threads = Vec::with_capacity(n);
     for (pid, mut ep) in endpoints.into_iter().enumerate() {
@@ -169,14 +180,16 @@ pub fn spawn_on<E: Endpoint + Send + 'static>(
         let seed = rng.range_u64(0, u64::MAX);
         let seq = Arc::clone(&seq);
         let config = config.clone();
+        let recorder = recorder.clone();
         threads.push(std::thread::spawn(move || {
             let mut core = MbCore::new(pid, config.n_phases, l, seed, seq);
+            core.recorder = recorder;
             let mut last_gossip = clock.now();
             core.events.reserve(256);
             let mut sent = 0u64;
             let gossip = |core: &MbCore, ep: &mut E, sent: &mut u64| {
                 *sent += 1;
-                ep.send(core.own);
+                ep.send_tagged(core.own, core.causal_tag());
             };
             gossip(&core, &mut ep, &mut sent);
             while !stop.load(Ordering::Acquire) {
@@ -213,8 +226,10 @@ pub fn spawn_on<E: Endpoint + Send + 'static>(
                     last_gossip = now;
                 } else if now.saturating_sub(last_gossip) >= config.retransmit_every {
                     // The link went quiet: release any reorder-held message
-                    // and retransmit.
+                    // and retransmit. The heartbeat event keeps live
+                    // processes visibly fresh in the flight recorder.
                     ep.flush();
+                    core.record_heartbeat(now);
                     gossip(&core, &mut ep, &mut sent);
                     last_gossip = now;
                 } else {
@@ -235,6 +250,7 @@ pub fn spawn_on<E: Endpoint + Send + 'static>(
         root_advances,
         started,
         config,
+        recorder,
     }
 }
 
@@ -297,6 +313,16 @@ impl MbRun {
                 .telemetry
                 .counter("mb_root_phase_advances_total", &[], advances);
         }
+        let reached_target = advances >= self.config.target_phases;
+        let flight_dump = if reached_target {
+            None
+        } else {
+            Some(
+                self.recorder
+                    .snapshot()
+                    .to_flight_json("mb", self.config.n, "wedge", "deadline"),
+            )
+        };
         MbReport {
             root_phase_advances: advances,
             violations: oracle.violations().to_vec(),
@@ -304,7 +330,8 @@ impl MbRun {
             instance_counts: oracle.instance_counts().to_vec(),
             messages_sent,
             elapsed: self.started.elapsed(),
-            reached_target: advances >= self.config.target_phases,
+            reached_target,
+            flight_dump,
         }
     }
 }

@@ -55,7 +55,7 @@ use crate::transport::Endpoint;
 use ftbarrier_core::spec::{Anchor, BarrierOracle, OracleConfig, Violation};
 use ftbarrier_core::{Cp, DomainError, Sn};
 use ftbarrier_gcs::{SimRng, Time};
-use ftbarrier_telemetry::{names, Telemetry};
+use ftbarrier_telemetry::{names, CausalRecorder, EventId, Telemetry};
 use ftbarrier_topology::Membership;
 use ftbarrier_topology::SweepDag;
 use std::cell::RefCell;
@@ -166,6 +166,10 @@ pub struct SimMbConfig {
     /// behavior, byte-identical traces); `Some` enables fail-stop
     /// detection, splice/graft repair, and epoch-stamped messages.
     pub churn: Option<ChurnConfig>,
+    /// Capacity of the always-on causal flight recorder (recent events
+    /// kept per run; older ones are evicted and counted). A pure observer:
+    /// the trace stays byte-identical whatever the capacity.
+    pub flight_capacity: usize,
 }
 
 impl SimMbConfig {
@@ -193,6 +197,7 @@ impl Default for SimMbConfig {
             plan: FaultPlan::default(),
             sn_domain: None,
             churn: None,
+            flight_capacity: 8192,
         }
     }
 }
@@ -254,6 +259,10 @@ pub struct SimMbReport {
     pub last_change_at: f64,
     /// The merged control-position event log, in global commit order.
     pub cp_events: Vec<CpEvent>,
+    /// Flight-recorder dump of the recent causal events (replayable JSON),
+    /// written when the run stalled — it went quiescent or hit its
+    /// virtual-time limit without reaching the phase target.
+    pub flight_dump: Option<String>,
 }
 
 impl SimMbReport {
@@ -289,19 +298,34 @@ pub struct SimEndpoint {
 
 impl Endpoint for SimEndpoint {
     fn send(&mut self, msg: StateMsg) -> bool {
-        let epoch = self.churn.borrow().epoch[self.pid];
-        self.net
-            .borrow_mut()
-            .send(self.out_link, WireMsg { epoch, msg });
-        true
+        self.send_tagged(msg, None)
     }
 
     fn try_recv(&mut self) -> Option<Delivery<StateMsg>> {
+        self.try_recv_tagged().map(|(d, _)| d)
+    }
+
+    fn flush(&mut self) -> bool {
+        self.net.borrow_mut().flush(self.out_link);
+        true
+    }
+
+    fn send_tagged(&mut self, msg: StateMsg, tag: Option<EventId>) -> bool {
+        let epoch = self.churn.borrow().epoch[self.pid];
+        self.net
+            .borrow_mut()
+            .send_tagged(self.out_link, WireMsg { epoch, msg }, tag);
+        true
+    }
+
+    fn try_recv_tagged(&mut self) -> Option<(Delivery<StateMsg>, Option<EventId>)> {
         loop {
             let in_link = self.churn.borrow().pred_link[self.pid];
-            match self.net.borrow_mut().pop_inbox(in_link)? {
-                Delivery::Corrupted => return Some(Delivery::Corrupted),
-                Delivery::Ok(w) => {
+            match self.net.borrow_mut().pop_inbox_tagged(in_link)? {
+                // A withheld payload never reaches the state machine, so
+                // its causal tag is withheld with it.
+                (Delivery::Corrupted, _) => return Some((Delivery::Corrupted, None)),
+                (Delivery::Ok(w), tag) => {
                     let mut sh = self.churn.borrow_mut();
                     if w.epoch < sh.epoch[self.pid] {
                         // A stale-epoch message is detectably from a
@@ -312,15 +336,10 @@ impl Endpoint for SimEndpoint {
                     // Adopting a newer epoch is how the root's bump sweeps
                     // the ring.
                     sh.epoch[self.pid] = w.epoch;
-                    return Some(Delivery::Ok(w.msg));
+                    return Some((Delivery::Ok(w.msg), tag));
                 }
             }
         }
-    }
-
-    fn flush(&mut self) -> bool {
-        self.net.borrow_mut().flush(self.out_link);
-        true
     }
 }
 
@@ -390,7 +409,8 @@ impl Driver {
     fn gossip(&mut self, pid: usize) {
         self.messages_sent[pid] += 1;
         let msg = self.cores[pid].own;
-        self.eps[pid].send(msg);
+        let tag = self.cores[pid].causal_tag();
+        self.eps[pid].send_tagged(msg, tag);
     }
 
     /// Pump `pid` to quiescence, gossiping on movement and handling the
@@ -598,8 +618,12 @@ impl Driver {
             Ctl::Retransmit { pid } => {
                 if self.alive[pid] {
                     // A retransmission tick is the link-gone-quiet moment:
-                    // release any reorder-held message, then re-gossip.
+                    // release any reorder-held message, then re-gossip. The
+                    // heartbeat event keeps live processes visibly fresh in
+                    // the flight recorder (a crashed one stops and stands
+                    // out as stalest in a wedge dump).
                     self.eps[pid].flush();
+                    self.cores[pid].record_heartbeat(self.now);
                     self.gossip(pid);
                 }
                 let at = self.now.as_f64() + self.cfg.retransmit_every;
@@ -801,15 +825,20 @@ pub fn run_with_telemetry(cfg: SimMbConfig, telemetry: &Telemetry) -> SimMbRepor
 
     let mut rng = SimRng::seed_from_u64(cfg.seed);
     let seq = Arc::new(AtomicU64::new(0));
+    // The always-on flight recorder, shared by every core so the ring holds
+    // the run's events in global commit order.
+    let recorder = CausalRecorder::bounded(cfg.flight_capacity);
     let cores: Vec<MbCore> = (0..n)
         .map(|pid| {
-            MbCore::new(
+            let mut core = MbCore::new(
                 pid,
                 cfg.n_phases,
                 l,
                 rng.range_u64(0, u64::MAX),
                 Arc::clone(&seq),
-            )
+            );
+            core.recorder = recorder.clone();
+            core
         })
         .collect();
     let net = Rc::new(RefCell::new(
@@ -917,12 +946,17 @@ pub fn run_with_telemetry(cfg: SimMbConfig, telemetry: &Telemetry) -> SimMbRepor
 
     let max_time = Time::new(d.cfg.max_time);
     let mut reached = d.advances >= d.cfg.target_phases;
+    let mut wedge_reason = "target-not-reached";
     while !reached {
         let t_net = d.net.borrow().next_event_time();
         let t_ctl = d.ctl.peek().map(|Reverse((t, _, _))| *t);
         // Deliveries win ties against control events.
         let (t, is_net) = match (t_net, t_ctl) {
-            (None, None) => break, // quiescent: nothing can ever happen
+            (None, None) => {
+                // Quiescent: nothing can ever happen again.
+                wedge_reason = "quiescent-without-completion";
+                break;
+            }
             (Some(tn), None) => (tn, true),
             (None, Some(tc)) => (tc, false),
             (Some(tn), Some(tc)) => {
@@ -934,6 +968,7 @@ pub fn run_with_telemetry(cfg: SimMbConfig, telemetry: &Telemetry) -> SimMbRepor
             }
         };
         if t > max_time {
+            wedge_reason = "max_time";
             break;
         }
         d.now = t;
@@ -1027,6 +1062,15 @@ pub fn run_with_telemetry(cfg: SimMbConfig, telemetry: &Telemetry) -> SimMbRepor
         "end t {} advances {} events {} net {:?}",
         d.now, d.advances, d.events_processed, net_stats
     );
+    let flight_dump = if reached {
+        None
+    } else {
+        Some(
+            recorder
+                .snapshot()
+                .to_flight_json("mb_sim", n, "wedge", wedge_reason),
+        )
+    };
     SimMbReport {
         root_phase_advances: d.advances,
         violations,
@@ -1047,5 +1091,6 @@ pub fn run_with_telemetry(cfg: SimMbConfig, telemetry: &Telemetry) -> SimMbRepor
         phases_after_last_change,
         last_change_at,
         cp_events: events,
+        flight_dump,
     }
 }

@@ -22,6 +22,7 @@ use crate::channel::Delivery;
 use ftbarrier_core::cp::Cp;
 use ftbarrier_core::sn::Sn;
 use ftbarrier_gcs::{SimRng, Time};
+use ftbarrier_telemetry::{CausalRecorder, EventId};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -94,6 +95,12 @@ pub struct MbCore {
     /// Bumped whenever `done` is reset; lets the simulated backend discard
     /// stale phase-body-completion timers after a fault.
     pub work_token: u64,
+    /// Flight recorder for happens-before events (off by default; drivers
+    /// arm it). Pure observer: never touches `rng` or the protocol state.
+    pub recorder: CausalRecorder,
+    /// Causal tags of deliveries folded into `copy` since the last recorded
+    /// event; drained into that event's predecessor list.
+    pending_tags: Vec<EventId>,
     seq: Arc<AtomicU64>,
 }
 
@@ -117,6 +124,8 @@ impl MbCore {
             rng: SimRng::seed_from_u64(seed),
             events: Vec::new(),
             work_token: 0,
+            recorder: CausalRecorder::off(),
+            pending_tags: Vec::new(),
             seq,
         }
     }
@@ -131,7 +140,37 @@ impl MbCore {
                 old,
                 new: self.own.cp,
             });
+            if self.recorder.is_enabled() {
+                let label = format!("cp:{:?}->{:?}", old, self.own.cp);
+                self.causal(now, &label);
+            }
         }
+    }
+
+    /// Record one happens-before event: predecessors are this process's own
+    /// previous event plus the tags of every delivery absorbed since then.
+    fn causal(&mut self, now: Time, label: &str) {
+        if !self.recorder.is_enabled() {
+            return;
+        }
+        let mut preds: Vec<EventId> = Vec::with_capacity(self.pending_tags.len() + 1);
+        preds.extend(self.recorder.last(self.pid));
+        preds.append(&mut self.pending_tags);
+        preds.sort_unstable();
+        preds.dedup();
+        self.recorder
+            .record(self.pid, label, now.as_f64(), Some(self.own.ph), &preds);
+    }
+
+    /// The causal tag for an outgoing gossip: the sender's latest event.
+    pub fn causal_tag(&self) -> Option<EventId> {
+        self.recorder.last(self.pid)
+    }
+
+    /// Record a retransmission heartbeat. Liveness marker: a fail-stopped
+    /// process stops heartbeating, so a wedge dump's blame lands on it.
+    pub fn record_heartbeat(&mut self, now: Time) {
+        self.causal(now, "retransmit");
     }
 
     /// The phase body must run before the success transition can fire.
@@ -247,6 +286,7 @@ impl MbCore {
         self.reset_work();
         self.copy = StateMsg::poisoned(0);
         self.record(now, old);
+        self.causal(now, "fault:detectable");
     }
 
     /// Inject an undetectable fault: every variable set to an arbitrary
@@ -263,6 +303,7 @@ impl MbCore {
         self.done = self.rng.chance(0.5);
         self.work_token += 1;
         self.record(now, old);
+        self.causal(now, "fault:undetectable");
     }
 
     /// Inject an undetectable fault into the *local neighbor copy only*:
@@ -301,9 +342,22 @@ impl MbCore {
     /// different from ⊥ and ⊤". Detectably corrupted deliveries are
     /// discarded — masked as loss.
     pub fn on_delivery(&mut self, d: Delivery<StateMsg>) {
+        self.on_delivery_tagged(d, None);
+    }
+
+    /// [`MbCore::on_delivery`] with the sender's causal tag: when the
+    /// delivery is actually folded into the local copy, the tag becomes a
+    /// happens-before predecessor of this process's next recorded event —
+    /// the exact message-delivery edge, not an inferred one.
+    pub fn on_delivery_tagged(&mut self, d: Delivery<StateMsg>, tag: Option<EventId>) {
         if let Delivery::Ok(m) = d {
             if m.sn.is_valid() {
                 self.copy = m;
+                if self.recorder.is_enabled() {
+                    if let Some(id) = tag {
+                        self.pending_tags.push(id);
+                    }
+                }
             }
         }
     }
@@ -329,8 +383,8 @@ pub fn pump<E: crate::transport::Endpoint + ?Sized>(
 ) -> Pumped {
     let mut out = Pumped::default();
     loop {
-        while let Some(d) = ep.try_recv() {
-            core.on_delivery(d);
+        while let Some((d, tag)) = ep.try_recv_tagged() {
+            core.on_delivery_tagged(d, tag);
         }
         match core.step(now) {
             Step::Idle => break,

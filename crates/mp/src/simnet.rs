@@ -17,7 +17,7 @@
 
 use crate::channel::{ChannelFaults, Delivery};
 use ftbarrier_gcs::{SimRng, Time};
-use ftbarrier_telemetry::Telemetry;
+use ftbarrier_telemetry::{EventId, Telemetry};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
@@ -94,9 +94,9 @@ struct Link<T> {
     cfg: LinkConfig,
     rng: SimRng,
     /// A message held back for reordering (swapped with the next send).
-    held: Option<Delivery<T>>,
+    held: Option<(Delivery<T>, Option<EventId>)>,
     partitioned: bool,
-    inbox: VecDeque<Delivery<T>>,
+    inbox: VecDeque<(Delivery<T>, Option<EventId>)>,
 }
 
 struct InFlight<T> {
@@ -107,6 +107,10 @@ struct InFlight<T> {
     /// only; not part of the `(at, seq)` event order.
     sent_at: Time,
     delivery: Delivery<T>,
+    /// The sender's last causal event at send time — rides every fault
+    /// transformation (duplicates share it, corruption keeps it) so a
+    /// delivery edge names the exact send that produced it.
+    tag: Option<EventId>,
 }
 
 // Ordering for the event queue: earliest (time, seq) first via Reverse.
@@ -219,7 +223,7 @@ impl<T: Clone> SimNet<T> {
         }
     }
 
-    fn schedule(&mut self, link: usize, delivery: Delivery<T>) {
+    fn schedule(&mut self, link: usize, delivery: Delivery<T>, tag: Option<EventId>) {
         let latency = {
             let l = &mut self.links[link];
             l.cfg.latency.sample(&mut l.rng)
@@ -232,6 +236,7 @@ impl<T: Clone> SimNet<T> {
             link,
             sent_at: self.now,
             delivery,
+            tag,
         }));
         self.update_depth_gauge();
     }
@@ -241,6 +246,15 @@ impl<T: Clone> SimNet<T> {
     /// [`FaultySender::send`](crate::channel::FaultySender::send): loss,
     /// then corruption, then duplication, then reorder hold-and-swap.
     pub fn send(&mut self, link: usize, msg: T) {
+        self.send_tagged(link, msg, None);
+    }
+
+    /// [`Self::send`] with a causal tag: the sender's last recorded event
+    /// id travels with every surviving copy of the message (duplicates
+    /// share it, detectable corruption keeps it), so the receiver can draw
+    /// an exact delivery edge instead of inferring one. The fault/latency
+    /// decision stream is identical to an untagged send.
+    pub fn send_tagged(&mut self, link: usize, msg: T, tag: Option<EventId>) {
         self.stats.sent += 1;
         self.count("net_sent_total", link);
         if self.links[link].partitioned {
@@ -273,12 +287,12 @@ impl<T: Clone> SimNet<T> {
 
         // Reordering: park this message; release any previously held one
         // after the next send (a swap of adjacent messages).
-        let mut to_send: Vec<Delivery<T>> = Vec::with_capacity(3);
+        let mut to_send: Vec<(Delivery<T>, Option<EventId>)> = Vec::with_capacity(3);
         if hold && self.links[link].held.is_none() {
             self.stats.held += 1;
-            self.links[link].held = Some(delivery.clone());
+            self.links[link].held = Some((delivery.clone(), tag));
         } else {
-            to_send.push(delivery.clone());
+            to_send.push((delivery.clone(), tag));
             if let Some(prev) = self.links[link].held.take() {
                 to_send.push(prev);
             }
@@ -286,17 +300,17 @@ impl<T: Clone> SimNet<T> {
         if duplicate {
             self.stats.duplicated += 1;
             self.count("net_duplicated_total", link);
-            to_send.push(delivery);
+            to_send.push((delivery, tag));
         }
-        for d in to_send {
-            self.schedule(link, d);
+        for (d, t) in to_send {
+            self.schedule(link, d, t);
         }
     }
 
     /// Release a held (reordered) message — call when a link goes quiet.
     pub fn flush(&mut self, link: usize) {
-        if let Some(prev) = self.links[link].held.take() {
-            self.schedule(link, prev);
+        if let Some((prev, tag)) = self.links[link].held.take() {
+            self.schedule(link, prev, tag);
         }
     }
 
@@ -323,7 +337,7 @@ impl<T: Clone> SimNet<T> {
                     (m.at - m.sent_at).as_f64(),
                 );
             }
-            self.links[m.link].inbox.push_back(m.delivery);
+            self.links[m.link].inbox.push_back((m.delivery, m.tag));
             touched.push(m.link);
         }
         self.update_depth_gauge();
@@ -332,6 +346,12 @@ impl<T: Clone> SimNet<T> {
 
     /// Pop the next delivery waiting in `link`'s inbox.
     pub fn pop_inbox(&mut self, link: usize) -> Option<Delivery<T>> {
+        self.links[link].inbox.pop_front().map(|(d, _)| d)
+    }
+
+    /// [`Self::pop_inbox`] with the causal tag the message was sent with
+    /// (`None` for untagged sends).
+    pub fn pop_inbox_tagged(&mut self, link: usize) -> Option<(Delivery<T>, Option<EventId>)> {
         self.links[link].inbox.pop_front()
     }
 
@@ -356,7 +376,7 @@ impl<T: Clone> SimNet<T> {
             rebuilt.push(Reverse(m));
         }
         self.queue = rebuilt;
-        if let Some(Delivery::Ok(payload)) = &mut self.links[link].held {
+        if let Some((Delivery::Ok(payload), _)) = &mut self.links[link].held {
             f(payload);
             hit += 1;
         }
@@ -530,6 +550,71 @@ mod tests {
         n.flush(0);
         n.advance_to(Time::ZERO);
         assert_eq!(n.pop_inbox(0), Some(Delivery::Ok(9)));
+    }
+
+    #[test]
+    fn causal_tags_ride_every_fault_transformation() {
+        let id = |pid, seq| EventId { pid, seq };
+        // Duplication: both copies carry the sender's tag.
+        let mut n = net(
+            ChannelFaults {
+                duplication: 1.0,
+                ..ChannelFaults::NONE
+            },
+            LatencyModel::Fixed(0.0),
+            1,
+        );
+        n.send_tagged(0, 1, Some(id(3, 7)));
+        n.advance_to(Time::ZERO);
+        assert_eq!(
+            n.pop_inbox_tagged(0),
+            Some((Delivery::Ok(1), Some(id(3, 7))))
+        );
+        assert_eq!(
+            n.pop_inbox_tagged(0),
+            Some((Delivery::Ok(1), Some(id(3, 7))))
+        );
+        // Corruption: the delivery is flagged but still names its send.
+        let mut n = net(
+            ChannelFaults {
+                corruption: 1.0,
+                ..ChannelFaults::NONE
+            },
+            LatencyModel::Fixed(0.0),
+            1,
+        );
+        n.send_tagged(0, 2, Some(id(1, 1)));
+        n.advance_to(Time::ZERO);
+        assert_eq!(
+            n.pop_inbox_tagged(0),
+            Some((Delivery::Corrupted, Some(id(1, 1))))
+        );
+        // Reorder hold-and-swap: each message keeps its own tag.
+        let mut n = net(
+            ChannelFaults {
+                reorder: 1.0,
+                ..ChannelFaults::NONE
+            },
+            LatencyModel::Fixed(0.0),
+            1,
+        );
+        n.send_tagged(0, 1, Some(id(0, 1)));
+        n.send_tagged(0, 2, Some(id(0, 2)));
+        n.flush(0);
+        n.advance_to(Time::ZERO);
+        assert_eq!(
+            n.pop_inbox_tagged(0),
+            Some((Delivery::Ok(2), Some(id(0, 2))))
+        );
+        assert_eq!(
+            n.pop_inbox_tagged(0),
+            Some((Delivery::Ok(1), Some(id(0, 1))))
+        );
+        // Untagged sends pop as tagless.
+        let mut n = net(ChannelFaults::NONE, LatencyModel::Fixed(0.0), 1);
+        n.send(0, 4);
+        n.advance_to(Time::ZERO);
+        assert_eq!(n.pop_inbox_tagged(0), Some((Delivery::Ok(4), None)));
     }
 
     #[test]

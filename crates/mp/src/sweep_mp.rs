@@ -19,6 +19,7 @@ use ftbarrier_core::cp::Cp;
 use ftbarrier_core::spec::{Anchor, BarrierOracle, OracleConfig, Violation};
 use ftbarrier_core::sweep::{PosState, SweepBarrier, SweepDetectableFault, RECV, T3, T4, T5, WORK};
 use ftbarrier_gcs::{FaultAction, Protocol, SimRng, Time};
+use ftbarrier_telemetry::{CausalRecorder, EventId};
 use ftbarrier_topology::{Pos, SweepDag};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -37,6 +38,9 @@ pub struct SweepMpConfig {
     pub deadline: Duration,
     /// Per-phase workload, called as `(pid, phase)`.
     pub work: Option<Arc<dyn Fn(usize, u32) + Send + Sync>>,
+    /// Capacity of the always-on causal flight recorder (recent events
+    /// kept per run; older ones are evicted and counted).
+    pub flight_capacity: usize,
 }
 
 impl Default for SweepMpConfig {
@@ -49,6 +53,7 @@ impl Default for SweepMpConfig {
             retransmit_every: Duration::from_micros(200),
             deadline: Duration::from_secs(30),
             work: None,
+            flight_capacity: 8192,
         }
     }
 }
@@ -63,12 +68,19 @@ pub struct SweepMpReport {
     pub messages_sent: Vec<u64>,
     pub elapsed: Duration,
     pub reached_target: bool,
+    /// Flight-recorder dump of the recent causal events (replayable JSON),
+    /// written when the run hit its deadline instead of its target.
+    pub flight_dump: Option<String>,
 }
 
 #[derive(Debug, Clone, Copy)]
 struct PosMsg {
     pos: Pos,
     state: PosState,
+    /// The sender's latest causal event when this state was gossiped: the
+    /// exact happens-before delivery edge, riding inside the payload so
+    /// duplication copies it and corruption withholds it.
+    tag: Option<EventId>,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -84,12 +96,20 @@ struct CpEvent {
 #[derive(Clone)]
 pub struct SweepMpHandle {
     poison: Arc<Vec<AtomicBool>>,
+    mute: Arc<Vec<AtomicBool>>,
 }
 
 impl SweepMpHandle {
     /// Detectable fault at `pid`: all of its positions are flagged.
     pub fn poison(&self, pid: usize) {
         self.poison[pid].store(true, Ordering::Release);
+    }
+
+    /// Fail-stop `pid`: it permanently stops evaluating guards and
+    /// gossiping. The barrier wedges (no repair wave can pass a silent
+    /// process), the deadline fires, and the flight dump names `pid`.
+    pub fn mute(&self, pid: usize) {
+        self.mute[pid].store(true, Ordering::Release);
     }
 }
 
@@ -103,6 +123,7 @@ pub struct SweepMpRun {
     n_processes: usize,
     n_phases: u32,
     target_phases: u64,
+    recorder: CausalRecorder,
 }
 
 /// Spawn one thread per process over the given topology.
@@ -144,7 +165,11 @@ pub fn spawn(dag: SweepDag, config: SweepMpConfig) -> SweepMpRun {
     let stop = Arc::new(AtomicBool::new(false));
     let root_advances = Arc::new(AtomicU64::new(0));
     let poison: Arc<Vec<AtomicBool>> = Arc::new((0..n).map(|_| AtomicBool::new(false)).collect());
+    let mute: Arc<Vec<AtomicBool>> = Arc::new((0..n).map(|_| AtomicBool::new(false)).collect());
     let started = Instant::now();
+    // The always-on flight recorder: one bounded ring shared by every
+    // process thread (events interleave in global commit order).
+    let recorder = CausalRecorder::bounded(config.flight_capacity);
 
     let mut threads = Vec::with_capacity(n);
     for pid in 0..n {
@@ -159,6 +184,8 @@ pub fn spawn(dag: SweepDag, config: SweepMpConfig) -> SweepMpRun {
         let stop = Arc::clone(&stop);
         let root_advances = Arc::clone(&root_advances);
         let poison = Arc::clone(&poison);
+        let mute = Arc::clone(&mute);
+        let recorder = recorder.clone();
         let seed = rng.range_u64(0, u64::MAX);
         let config = config.clone();
         threads.push(std::thread::spawn(move || {
@@ -166,20 +193,41 @@ pub fn spawn(dag: SweepDag, config: SweepMpConfig) -> SweepMpRun {
             let mut view: Vec<PosState> = program.initial_state();
             let mut events: Vec<CpEvent> = Vec::new();
             let mut sent = 0u64;
+            // Causal tags of deliveries absorbed since the last recorded
+            // event; drained into that event's predecessor list.
+            let mut pending: Vec<EventId> = Vec::new();
             let worker_pos = program.worker_position(pid);
             let detect = SweepDetectableFault {
                 n_phases: program.n_phases,
             };
 
+            let record_causal =
+                |recorder: &CausalRecorder, pending: &mut Vec<EventId>, label: &str, ph: u32| {
+                    let mut preds: Vec<EventId> = Vec::with_capacity(pending.len() + 1);
+                    preds.extend(recorder.last(pid));
+                    preds.append(pending);
+                    preds.sort_unstable();
+                    preds.dedup();
+                    recorder.record(
+                        pid,
+                        label,
+                        started.elapsed().as_secs_f64(),
+                        Some(ph),
+                        &preds,
+                    );
+                };
+
             let gossip = |view: &[PosState],
                           senders: &mut [FaultySender<PosMsg>],
                           owned: &[Pos],
+                          tag: Option<EventId>,
                           sent: &mut u64| {
                 for tx in senders.iter_mut() {
                     for &p in owned {
                         tx.send(PosMsg {
                             pos: p,
                             state: view[p],
+                            tag,
                         });
                     }
                     tx.flush();
@@ -187,9 +235,23 @@ pub fn spawn(dag: SweepDag, config: SweepMpConfig) -> SweepMpRun {
                 }
             };
 
-            gossip(&view, &mut my_senders, &owned, &mut sent);
+            gossip(&view, &mut my_senders, &owned, None, &mut sent);
             let mut last_gossip = Instant::now();
+            let mut fault_stopped = false;
             while !stop.load(Ordering::Acquire) {
+                if mute[pid].load(Ordering::Acquire) {
+                    // Fail-stop: fall permanently silent. The one-time
+                    // marker is the last event this pid ever records.
+                    if !fault_stopped {
+                        fault_stopped = true;
+                        record_causal(&recorder, &mut pending, "fault:stop", view[worker_pos].ph);
+                    }
+                    if started.elapsed() > config.deadline {
+                        stop.store(true, Ordering::Release);
+                    }
+                    std::thread::yield_now();
+                    continue;
+                }
                 if poison[pid].swap(false, Ordering::AcqRel) {
                     for &p in &owned {
                         let old = view[p].cp;
@@ -204,7 +266,19 @@ pub fn spawn(dag: SweepDag, config: SweepMpConfig) -> SweepMpRun {
                             });
                         }
                     }
-                    gossip(&view, &mut my_senders, &owned, &mut sent);
+                    record_causal(
+                        &recorder,
+                        &mut pending,
+                        "fault:detectable",
+                        view[worker_pos].ph,
+                    );
+                    gossip(
+                        &view,
+                        &mut my_senders,
+                        &owned,
+                        recorder.last(pid),
+                        &mut sent,
+                    );
                 }
                 // Absorb incoming state (detectably corrupted deliveries are
                 // discarded — masked as loss and healed by retransmission).
@@ -212,6 +286,9 @@ pub fn spawn(dag: SweepDag, config: SweepMpConfig) -> SweepMpRun {
                     while let Some(d) = rx.try_recv() {
                         if let Delivery::Ok(m) = d {
                             view[m.pos] = m.state;
+                            if let Some(id) = m.tag {
+                                pending.push(id);
+                            }
                         }
                     }
                 }
@@ -229,6 +306,12 @@ pub fn spawn(dag: SweepDag, config: SweepMpConfig) -> SweepMpRun {
                         }
                         let old = view[p];
                         view[p] = program.execute(&view, p, action, &mut rng);
+                        record_causal(
+                            &recorder,
+                            &mut pending,
+                            program.action_name(p, action),
+                            view[p].ph,
+                        );
                         if p == worker_pos && old.cp != view[p].cp {
                             events.push(CpEvent {
                                 at: started.elapsed(),
@@ -249,7 +332,19 @@ pub fn spawn(dag: SweepDag, config: SweepMpConfig) -> SweepMpRun {
                     }
                 }
                 if moved || last_gossip.elapsed() >= config.retransmit_every {
-                    gossip(&view, &mut my_senders, &owned, &mut sent);
+                    if !moved {
+                        // Heartbeat: keeps a live-but-idle process visibly
+                        // fresh in the flight recorder, so a wedge dump's
+                        // blame lands on the process that fell silent.
+                        record_causal(&recorder, &mut pending, "retransmit", view[worker_pos].ph);
+                    }
+                    gossip(
+                        &view,
+                        &mut my_senders,
+                        &owned,
+                        recorder.last(pid),
+                        &mut sent,
+                    );
                     last_gossip = Instant::now();
                 }
                 if !moved {
@@ -265,13 +360,14 @@ pub fn spawn(dag: SweepDag, config: SweepMpConfig) -> SweepMpRun {
 
     SweepMpRun {
         threads,
-        handle: SweepMpHandle { poison },
+        handle: SweepMpHandle { poison, mute },
         stop,
         root_advances,
         started,
         n_processes: n,
         n_phases: config.n_phases,
         target_phases: config.target_phases,
+        recorder,
     }
 }
 
@@ -307,6 +403,17 @@ impl SweepMpRun {
             oracle.observe_cp(Time::new(e.at.as_secs_f64()), e.pid, e.ph, e.old, e.new);
         }
         let advances = self.root_advances.load(Ordering::Acquire);
+        let reached_target = advances >= self.target_phases;
+        let flight_dump = if reached_target {
+            None
+        } else {
+            Some(self.recorder.snapshot().to_flight_json(
+                "sweep_mp",
+                self.n_processes,
+                "wedge",
+                "deadline",
+            ))
+        };
         SweepMpReport {
             root_phase_advances: advances,
             violations: oracle.violations().to_vec(),
@@ -314,7 +421,8 @@ impl SweepMpRun {
             instance_counts: oracle.instance_counts().to_vec(),
             messages_sent,
             elapsed: self.started.elapsed(),
-            reached_target: advances >= self.target_phases,
+            reached_target,
+            flight_dump,
         }
     }
 }
@@ -439,6 +547,58 @@ mod tests {
             assert!(report.reached_target, "{report:?}");
             assert!(report.violations.is_empty(), "{:?}", report.violations);
         }
+    }
+
+    #[test]
+    fn muted_process_wedges_the_run_and_is_blamed_in_the_flight_dump() {
+        use ftbarrier_telemetry::FlightDump;
+        // Deliberately wedge a wall-clock run: fail-stop a leaf once the
+        // barrier is in steady state. The deadline fires and the dump's
+        // causal graph must end at the culpable process.
+        let run = spawn(
+            SweepDag::tree(4, 2).unwrap(),
+            SweepMpConfig {
+                target_phases: 1_000_000,
+                deadline: Duration::from_millis(600),
+                retransmit_every: Duration::from_millis(2),
+                flight_capacity: 1 << 16,
+                ..Default::default()
+            },
+        );
+        let h = run.handle();
+        while run.root_phase_advances() < 3 {
+            std::thread::yield_now();
+        }
+        h.mute(3);
+        let report = run.join();
+        assert!(!report.reached_target, "{report:?}");
+        let dump = report.flight_dump.as_deref().expect("wedged run dumps");
+        let parsed = FlightDump::parse(dump).expect("dump parses");
+        parsed.replay().expect("dump replays");
+        assert_eq!(parsed.program, "sweep_mp");
+        assert_eq!(parsed.kind, "wedge");
+        assert_eq!(parsed.reason, "deadline");
+        assert_eq!(parsed.blamed, Some(3), "the muted process is the culprit");
+        let last_of_3 = parsed
+            .graph
+            .events
+            .iter()
+            .rev()
+            .find(|e| e.id.pid == 3)
+            .expect("p3 recorded events");
+        assert_eq!(last_of_3.label, "fault:stop");
+
+        // A healthy run dumps nothing.
+        let ok = spawn(
+            SweepDag::tree(4, 2).unwrap(),
+            SweepMpConfig {
+                target_phases: 5,
+                ..Default::default()
+            },
+        )
+        .join();
+        assert!(ok.reached_target);
+        assert!(ok.flight_dump.is_none());
     }
 
     #[test]

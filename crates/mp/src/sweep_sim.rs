@@ -21,6 +21,7 @@ use crate::simnet::{LinkConfig, NetStats, SimNet};
 use ftbarrier_core::spec::{Anchor, BarrierOracle, OracleConfig, Violation};
 use ftbarrier_core::sweep::{PosState, SweepBarrier, SweepDetectableFault, RECV, T3, T4, T5, WORK};
 use ftbarrier_gcs::{FaultAction, Protocol, SimRng, Time};
+use ftbarrier_telemetry::{CausalRecorder, EventId};
 use ftbarrier_topology::{Pos, SweepDag};
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
@@ -41,6 +42,12 @@ pub struct SweepSimConfig {
     pub max_time: f64,
     /// `(time, pid)`: §4.1 detectable process faults.
     pub poisons: Vec<(f64, usize)>,
+    /// `(time, pid)`: fail-stop the process — it stops gossiping and
+    /// evaluating guards forever, wedging the barrier (the stalled-simnet
+    /// scenario the flight recorder exists for).
+    pub mutes: Vec<(f64, usize)>,
+    /// Capacity of the always-armed flight recorder ring.
+    pub flight_capacity: usize,
 }
 
 impl Default for SweepSimConfig {
@@ -53,6 +60,8 @@ impl Default for SweepSimConfig {
             retransmit_every: 0.05,
             max_time: 10_000.0,
             poisons: Vec::new(),
+            mutes: Vec::new(),
+            flight_capacity: 8192,
         }
     }
 }
@@ -75,6 +84,11 @@ pub struct SweepSimReport {
     /// Full deterministic run log: byte-identical across runs of the same
     /// config, diverging for different seeds.
     pub trace: String,
+    /// Flight-recorder dump (`flightrec/v1` JSON), written iff the run
+    /// ended without reaching its target — the network went quiescent with
+    /// the barrier incomplete, or `max_time` expired. Replayable via
+    /// `FlightDump::parse` and naming the blocking process.
+    pub flight_dump: Option<String>,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -97,6 +111,7 @@ struct CpEvent {
 enum Ctl {
     Retransmit { pid: usize },
     Poison { pid: usize },
+    Mute { pid: usize },
 }
 
 struct Driver {
@@ -118,6 +133,12 @@ struct Driver {
     seq: u64,
     advances: u64,
     trace: String,
+    /// Always-armed flight recorder of recent causal events.
+    recorder: CausalRecorder,
+    /// Delivery tags observed since the process last recorded an event —
+    /// the exact sends whose state it is now acting on.
+    pending: Vec<Vec<EventId>>,
+    muted: Vec<bool>,
 }
 
 impl Driver {
@@ -125,6 +146,20 @@ impl Driver {
         assert!(at.is_finite() && at >= 0.0, "fault plan time {at} invalid");
         self.ctl_seq += 1;
         self.ctl.push(Reverse((Time::new(at), self.ctl_seq, ev)));
+    }
+
+    /// Record a causal event for `pid`: program-order predecessor plus any
+    /// delivery tags collected since its previous event.
+    fn record_causal(&mut self, pid: usize, label: &str, phase: u32) {
+        let mut preds: Vec<EventId> = Vec::with_capacity(1 + self.pending[pid].len());
+        if let Some(own) = self.recorder.last(pid) {
+            preds.push(own);
+        }
+        preds.append(&mut self.pending[pid]);
+        preds.sort_unstable();
+        preds.dedup();
+        self.recorder
+            .record(pid, label, self.now.as_f64(), Some(phase), &preds);
     }
 
     fn record_cp(&mut self, pid: usize, ph: u32, old: ftbarrier_core::Cp, new: ftbarrier_core::Cp) {
@@ -139,17 +174,24 @@ impl Driver {
         });
     }
 
-    /// Gossip every owned position's state on every outgoing link.
+    /// Gossip every owned position's state on every outgoing link, tagging
+    /// each message with the sender's last causal event so the receiver
+    /// draws an exact delivery edge.
     fn gossip(&mut self, pid: usize) {
+        if self.muted[pid] {
+            return;
+        }
+        let tag = self.recorder.last(pid);
         for i in 0..self.out_links[pid].len() {
             let link = self.out_links[pid][i];
             for &p in self.program.dag().positions_of(pid) {
-                self.net.send(
+                self.net.send_tagged(
                     link,
                     PosMsg {
                         pos: p,
                         state: self.views[pid][p],
                     },
+                    tag,
                 );
             }
             self.net.flush(link);
@@ -160,6 +202,9 @@ impl Driver {
     /// Evaluate the verified guarded commands on `pid`'s local view until no
     /// owned position can move, then gossip if anything changed.
     fn drive(&mut self, pid: usize) {
+        if self.muted[pid] {
+            return;
+        }
         let owned: Vec<Pos> = self.program.dag().positions_of(pid).to_vec();
         let worker = self.worker_pos[pid];
         let mut moved_any = false;
@@ -175,6 +220,7 @@ impl Driver {
                         self.program
                             .execute(&self.views[pid], p, action, &mut self.rngs[pid]);
                     let new = self.views[pid][p];
+                    self.record_causal(pid, self.program.action_name(p, action), new.ph);
                     if p == worker && old.cp != new.cp {
                         self.record_cp(pid, new.ph, old.cp, new.cp);
                     }
@@ -214,8 +260,18 @@ impl Driver {
                 self.record_cp(pid, new.ph, old.cp, new.cp);
             }
         }
+        let ph = self.views[pid][worker].ph;
+        self.record_causal(pid, "fault:detectable", ph);
         self.gossip(pid);
         self.drive(pid);
+    }
+
+    /// Fail-stop `pid`: record the stop, then never gossip or drive again.
+    fn mute(&mut self, pid: usize) {
+        let _ = writeln!(self.trace, "t {} mute p{pid}", self.now);
+        let ph = self.views[pid][self.worker_pos[pid]].ph;
+        self.record_causal(pid, "fault:stop", ph);
+        self.muted[pid] = true;
     }
 }
 
@@ -273,6 +329,7 @@ pub fn run(dag: SweepDag, cfg: SweepSimConfig) -> SweepSimReport {
         .collect();
     let worker_pos: Vec<Pos> = (0..n).map(|pid| program.worker_position(pid)).collect();
 
+    let recorder = CausalRecorder::bounded(cfg.flight_capacity);
     let mut d = Driver {
         cfg,
         net,
@@ -289,12 +346,19 @@ pub fn run(dag: SweepDag, cfg: SweepSimConfig) -> SweepSimReport {
         seq: 0,
         advances: 0,
         trace: String::new(),
+        recorder,
+        pending: vec![Vec::new(); n],
+        muted: vec![false; n],
         program,
     };
 
     for &(t, pid) in &d.cfg.poisons.clone() {
         assert!(pid < n, "poison target {pid} out of range");
         d.schedule(t, Ctl::Poison { pid });
+    }
+    for &(t, pid) in &d.cfg.mutes.clone() {
+        assert!(pid < n, "mute target {pid} out of range");
+        d.schedule(t, Ctl::Mute { pid });
     }
     for pid in 0..n {
         d.schedule(d.cfg.retransmit_every, Ctl::Retransmit { pid });
@@ -311,12 +375,17 @@ pub fn run(dag: SweepDag, cfg: SweepSimConfig) -> SweepSimReport {
 
     let max_time = Time::new(d.cfg.max_time);
     let mut reached = d.advances >= d.cfg.target_phases;
+    let mut wedge_reason: Option<&str> = None;
     while !reached {
         let t_net = d.net.next_event_time();
         let t_ctl = d.ctl.peek().map(|Reverse((t, _, _))| *t);
         // Deliveries win ties against control events.
         let (t, is_net) = match (t_net, t_ctl) {
-            (None, None) => break, // quiescent: nothing can ever happen
+            (None, None) => {
+                // Quiescent: nothing can ever happen again.
+                wedge_reason = Some("quiescent-without-completion");
+                break;
+            }
             (Some(tn), None) => (tn, true),
             (None, Some(tc)) => (tc, false),
             (Some(tn), Some(tc)) => {
@@ -328,6 +397,7 @@ pub fn run(dag: SweepDag, cfg: SweepSimConfig) -> SweepSimReport {
             }
         };
         if t > max_time {
+            wedge_reason = Some("max_time");
             break;
         }
         d.now = t;
@@ -342,20 +412,30 @@ pub fn run(dag: SweepDag, cfg: SweepSimConfig) -> SweepSimReport {
             let dest = d.dest_of[link];
             // Detectably corrupted deliveries are discarded — masked as
             // loss and healed by retransmission.
-            while let Some(delivery) = d.net.pop_inbox(link) {
+            while let Some((delivery, tag)) = d.net.pop_inbox_tagged(link) {
                 if let Delivery::Ok(m) = delivery {
                     d.views[dest][m.pos] = m.state;
+                    if let Some(id) = tag {
+                        d.pending[dest].push(id);
+                    }
                 }
             }
             d.drive(dest);
         }
         match ctl_ev {
             Some(Ctl::Retransmit { pid }) => {
-                d.gossip(pid);
+                if !d.muted[pid] {
+                    // Liveness heartbeat: a silent process stands out in
+                    // the flight dump even when the barrier is wedged.
+                    let ph = d.views[pid][d.worker_pos[pid]].ph;
+                    d.record_causal(pid, "retransmit", ph);
+                    d.gossip(pid);
+                }
                 let at = d.now.as_f64() + d.cfg.retransmit_every;
                 d.schedule(at, Ctl::Retransmit { pid });
             }
             Some(Ctl::Poison { pid }) => d.poison(pid),
+            Some(Ctl::Mute { pid }) => d.mute(pid),
             None => {}
         }
         reached = d.advances >= d.cfg.target_phases;
@@ -379,6 +459,16 @@ pub fn run(dag: SweepDag, cfg: SweepSimConfig) -> SweepSimReport {
         "end t {} advances {} net {:?}",
         d.now, d.advances, net_stats
     );
+    let flight_dump = if reached {
+        None
+    } else {
+        Some(d.recorder.snapshot().to_flight_json(
+            "sweep_sim",
+            n,
+            "wedge",
+            wedge_reason.unwrap_or("target-not-reached"),
+        ))
+    };
     SweepSimReport {
         root_phase_advances: d.advances,
         violations: oracle.violations().to_vec(),
@@ -388,6 +478,7 @@ pub fn run(dag: SweepDag, cfg: SweepSimConfig) -> SweepSimReport {
         virtual_elapsed: d.now,
         net: net_stats,
         trace: d.trace,
+        flight_dump,
     }
 }
 
@@ -456,6 +547,64 @@ mod tests {
             },
         );
         assert_ne!(a.trace, c.trace, "a different seed must diverge");
+    }
+
+    #[test]
+    fn stalled_run_dumps_a_flight_record_naming_the_muted_process() {
+        use ftbarrier_telemetry::FlightDump;
+        let muted = 5;
+        let report = run(
+            SweepDag::tree(8, 2).unwrap(),
+            SweepSimConfig {
+                target_phases: 50,
+                max_time: 10.0,
+                mutes: vec![(2.0, muted)],
+                ..Default::default()
+            },
+        );
+        assert!(!report.reached_target, "a fail-stopped process must wedge");
+        let text = report.flight_dump.expect("wedged run must dump");
+        let dump = FlightDump::parse(&text).expect("dump parses");
+        dump.replay().expect("dump replays");
+        assert_eq!(dump.kind, "wedge");
+        assert_eq!(dump.reason, "max_time");
+        assert_eq!(
+            dump.blamed,
+            Some(muted as u32),
+            "the causal graph must end at the muted process"
+        );
+        // The muted process's last event is the fail-stop itself, and no
+        // event of its follows it.
+        let last_of_muted = dump
+            .graph
+            .events
+            .iter()
+            .rfind(|e| e.id.pid == muted as u32)
+            .expect("mute event on record");
+        assert_eq!(last_of_muted.label, "fault:stop");
+        // Everyone else stayed live (heartbeats) strictly later.
+        for pid in 0..8u32 {
+            if pid == muted as u32 {
+                continue;
+            }
+            let last = dump
+                .graph
+                .events
+                .iter()
+                .rfind(|e| e.id.pid == pid)
+                .unwrap_or_else(|| panic!("p{pid} has no events"));
+            assert!(last.at > last_of_muted.at, "p{pid} went silent too");
+        }
+        // A healthy run of the same config does not dump.
+        let ok = run(
+            SweepDag::tree(8, 2).unwrap(),
+            SweepSimConfig {
+                target_phases: 8,
+                ..Default::default()
+            },
+        );
+        assert!(ok.reached_target);
+        assert!(ok.flight_dump.is_none());
     }
 
     #[test]

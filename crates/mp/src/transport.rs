@@ -9,10 +9,21 @@
 //!   injection ([`faulty_channel`]), one OS thread per process;
 //! * `mb_sim::SimEndpoint` — a handle into the discrete-event simulated
 //!   network, single-threaded and byte-for-byte replayable from a seed.
+//!
+//! # Causal tags
+//!
+//! The tagged variants ([`Endpoint::send_tagged`] /
+//! [`Endpoint::try_recv_tagged`]) carry the sender's latest causal
+//! [`EventId`] alongside the payload, so a receiver can link its next
+//! committed event to the exact send that enabled it — the happens-before
+//! delivery edge of the flight recorder. The default methods discard tags,
+//! so an `Endpoint` implementation that predates the causal model keeps
+//! working unchanged (its delivery edges simply stay unrecorded).
 
 use crate::channel::{faulty_channel, ChannelFaults, Delivery, FaultyReceiver, FaultySender};
 use crate::proc::StateMsg;
 use ftbarrier_gcs::SimRng;
+use ftbarrier_telemetry::EventId;
 
 /// A process's view of the ring: its outgoing link to the successor and its
 /// incoming link from the predecessor.
@@ -23,25 +34,54 @@ pub trait Endpoint {
     fn try_recv(&mut self) -> Option<Delivery<StateMsg>>;
     /// Release any message held back by the link's reorder model.
     fn flush(&mut self) -> bool;
+
+    /// [`Endpoint::send`] stamped with the sender's latest causal event.
+    /// Default: drop the tag.
+    fn send_tagged(&mut self, msg: StateMsg, _tag: Option<EventId>) -> bool {
+        self.send(msg)
+    }
+
+    /// [`Endpoint::try_recv`] plus the causal tag the message was sent
+    /// with. Default: no tag.
+    fn try_recv_tagged(&mut self) -> Option<(Delivery<StateMsg>, Option<EventId>)> {
+        self.try_recv().map(|d| (d, None))
+    }
 }
+
+/// What travels on a threaded-backend link: the gossiped state plus the
+/// sender's causal tag. The tag rides *inside* the payload, so duplication
+/// copies it and detectable corruption withholds it along with the state —
+/// exactly the semantics a receiver needs (no applied state, no edge).
+pub type TaggedMsg = (StateMsg, Option<EventId>);
 
 /// Threaded backend endpoint: a faulty crossbeam channel pair.
 pub struct ChannelEndpoint {
-    tx: FaultySender<StateMsg>,
-    rx: FaultyReceiver<StateMsg>,
+    tx: FaultySender<TaggedMsg>,
+    rx: FaultyReceiver<TaggedMsg>,
 }
 
 impl Endpoint for ChannelEndpoint {
     fn send(&mut self, msg: StateMsg) -> bool {
-        self.tx.send(msg)
+        self.tx.send((msg, None))
     }
 
     fn try_recv(&mut self) -> Option<Delivery<StateMsg>> {
-        self.rx.try_recv()
+        self.try_recv_tagged().map(|(d, _)| d)
     }
 
     fn flush(&mut self) -> bool {
         self.tx.flush()
+    }
+
+    fn send_tagged(&mut self, msg: StateMsg, tag: Option<EventId>) -> bool {
+        self.tx.send((msg, tag))
+    }
+
+    fn try_recv_tagged(&mut self) -> Option<(Delivery<StateMsg>, Option<EventId>)> {
+        Some(match self.rx.try_recv()? {
+            Delivery::Ok((msg, tag)) => (Delivery::Ok(msg), tag),
+            Delivery::Corrupted => (Delivery::Corrupted, None),
+        })
     }
 }
 
@@ -52,7 +92,7 @@ pub fn channel_ring(n: usize, faults: ChannelFaults, rng: &mut SimRng) -> Vec<Ch
     let mut senders = Vec::with_capacity(n);
     let mut receivers = Vec::with_capacity(n);
     for _ in 0..n {
-        let (tx, rx) = faulty_channel::<StateMsg>(faults, rng.range_u64(0, u64::MAX));
+        let (tx, rx) = faulty_channel::<TaggedMsg>(faults, rng.range_u64(0, u64::MAX));
         senders.push(Some(tx));
         receivers.push(Some(rx));
     }
@@ -82,5 +122,21 @@ mod tests {
         // The ring wraps: 2 sends; 0 receives.
         assert!(eps[2].send(msg));
         assert_eq!(eps[0].try_recv(), Some(Delivery::Ok(msg)));
+    }
+
+    #[test]
+    fn causal_tags_ride_the_channel_and_untagged_sends_stay_untagged() {
+        let mut rng = SimRng::seed_from_u64(2);
+        let mut eps = channel_ring(2, ChannelFaults::NONE, &mut rng);
+        let msg = StateMsg::initial();
+        let id = EventId { pid: 0, seq: 3 };
+        assert!(eps[0].send_tagged(msg, Some(id)));
+        assert!(eps[0].send(msg));
+        assert_eq!(
+            eps[1].try_recv_tagged(),
+            Some((Delivery::Ok(msg), Some(id)))
+        );
+        assert_eq!(eps[1].try_recv_tagged(), Some((Delivery::Ok(msg), None)));
+        assert_eq!(eps[1].try_recv_tagged(), None);
     }
 }

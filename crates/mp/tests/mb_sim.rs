@@ -9,7 +9,7 @@ use ftbarrier_mp::mb_sim::{
     run, run_with_telemetry, ChurnConfig, CrashPlan, FaultPlan, PartitionPlan, SimMbConfig,
 };
 use ftbarrier_mp::simnet::{LatencyModel, LinkConfig};
-use ftbarrier_telemetry::{Telemetry, TimeDomain};
+use ftbarrier_telemetry::{FlightDump, Telemetry, TimeDomain};
 
 fn lossy(loss: f64) -> LinkConfig {
     LinkConfig {
@@ -749,4 +749,59 @@ fn epoch_faults_without_churn_are_rejected() {
         },
         ..Default::default()
     });
+}
+
+#[test]
+fn crashed_process_is_blamed_in_the_flight_dump() {
+    // A crash whose reboot lies beyond the horizon wedges the fixed ring:
+    // the token can never pass the dead process again. The wedged run must
+    // produce a replayable flight dump whose causal graph ends at the
+    // culpable process — every live process keeps recording retransmission
+    // heartbeats, so the crashed one is the unique stale pid.
+    let report = run(SimMbConfig {
+        n: 4,
+        target_phases: 1_000,
+        max_time: 20.0,
+        plan: FaultPlan {
+            crashes: vec![CrashPlan {
+                pid: 2,
+                at: 1.0,
+                reboot_at: 1e9,
+            }],
+            ..Default::default()
+        },
+        ..Default::default()
+    });
+    assert!(!report.reached_target, "{report:?}");
+    let dump = report.flight_dump.as_deref().expect("wedged run dumps");
+    let parsed = FlightDump::parse(dump).expect("dump parses");
+    parsed.replay().expect("dump replays");
+    assert_eq!(parsed.program, "mb_sim");
+    assert_eq!(parsed.kind, "wedge");
+    assert_eq!(parsed.reason, "max_time");
+    assert_eq!(parsed.n, 4);
+    assert_eq!(parsed.blamed, Some(2), "the crashed process is the culprit");
+    // Its last recorded event predates the crash; every live process's
+    // last event is strictly later.
+    let last_at = |pid: u32| {
+        parsed
+            .graph
+            .events
+            .iter()
+            .filter(|e| e.id.pid == pid)
+            .map(|e| e.at)
+            .fold(f64::NEG_INFINITY, f64::max)
+    };
+    for pid in [0, 1, 3] {
+        assert!(last_at(pid) > last_at(2), "p{pid} went stale before p2");
+    }
+
+    // A healthy run dumps nothing.
+    let ok = run(SimMbConfig {
+        n: 4,
+        target_phases: 5,
+        ..Default::default()
+    });
+    assert!(ok.reached_target);
+    assert!(ok.flight_dump.is_none());
 }

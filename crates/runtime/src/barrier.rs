@@ -19,8 +19,11 @@
 use crate::policy::FailurePolicy;
 use crate::word::CheckedWord;
 use crossbeam::utils::{Backoff, CachePadded};
+use ftbarrier_telemetry::{CausalRecorder, EventId};
+use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Slot payloads.
 const EMPTY: u8 = 0;
@@ -90,6 +93,13 @@ struct Shared {
     /// Epoch field carries the current phase number.
     phase_word: CachePadded<CheckedWord>,
     broken: AtomicBool,
+    /// Always-on causal flight recorder: arrivals, releases, and timeout
+    /// detections of every participant, in one bounded ring.
+    recorder: CausalRecorder,
+    /// Wall-clock origin of the recorder's timestamps.
+    started: Instant,
+    /// The most recent wedge dump (written by a firing fail-stop detector).
+    flight: Mutex<Option<String>>,
 }
 
 impl Shared {
@@ -117,6 +127,24 @@ impl Shared {
         if self.slots[id].load() != (epoch, payload) {
             self.slots[id].store(epoch, payload);
         }
+    }
+
+    /// Record a causal event for participant `id`: predecessors are its own
+    /// previous event plus any cross-participant dependencies (the arrivals
+    /// a parent consumed, the release a waiter observed).
+    fn record(&self, id: usize, label: &str, phase: u64, deps: &[EventId]) {
+        let mut preds: Vec<EventId> = Vec::with_capacity(deps.len() + 1);
+        preds.extend(self.recorder.last(id));
+        preds.extend_from_slice(deps);
+        preds.sort_unstable();
+        preds.dedup();
+        self.recorder.record(
+            id,
+            label,
+            self.started.elapsed().as_secs_f64(),
+            Some(phase as u32),
+            &preds,
+        );
     }
 }
 
@@ -169,6 +197,7 @@ pub struct FtBarrierBuilder {
     n: usize,
     arity: usize,
     policy: FailurePolicy,
+    flight_capacity: usize,
 }
 
 impl FtBarrierBuilder {
@@ -177,6 +206,7 @@ impl FtBarrierBuilder {
             n,
             arity: 2,
             policy: FailurePolicy::Tolerate,
+            flight_capacity: 8192,
         }
     }
 
@@ -192,6 +222,13 @@ impl FtBarrierBuilder {
         self
     }
 
+    /// Capacity of the always-on causal flight recorder (default 8192
+    /// recent events; older ones are evicted and counted).
+    pub fn flight_capacity(mut self, capacity: usize) -> FtBarrierBuilder {
+        self.flight_capacity = capacity;
+        self
+    }
+
     pub fn build(self) -> (FtBarrier, Vec<Participant>) {
         assert!(self.n >= 1, "a barrier needs at least one participant");
         let shared = Arc::new(Shared {
@@ -204,6 +241,9 @@ impl FtBarrierBuilder {
             release: CachePadded::new(CheckedWord::new(0, ADVANCE)),
             phase_word: CachePadded::new(CheckedWord::new(0, 0)),
             broken: AtomicBool::new(false),
+            recorder: CausalRecorder::bounded(self.flight_capacity),
+            started: Instant::now(),
+            flight: Mutex::new(None),
         });
         let participants = (0..self.n)
             .map(|id| Participant {
@@ -251,6 +291,24 @@ impl FtBarrier {
     /// The phase most recently published by the root.
     pub fn published_phase(&self) -> u64 {
         self.shared.phase_word.load().0
+    }
+
+    /// The wedge dump most recently written by a firing fail-stop detector
+    /// ([`Participant::arrive_timeout`]), if any. Taking it clears the
+    /// slot; the next detection writes a fresh dump.
+    pub fn take_flight_dump(&self) -> Option<String> {
+        self.shared.flight.lock().take()
+    }
+
+    /// Dump the flight recorder's current contents on demand (for a
+    /// watchdog outside the barrier, or post-mortem inspection).
+    pub fn flight_snapshot(&self, reason: &str) -> String {
+        self.shared.recorder.snapshot().to_flight_json(
+            "ft_barrier",
+            self.shared.n,
+            "snapshot",
+            reason,
+        )
     }
 
     /// Fault injection: scribble a raw value over one of the barrier's
@@ -339,12 +397,16 @@ impl Participant {
         let e = self.epoch;
         let mut failed = !ok;
         let shared = Arc::clone(&self.shared);
+        // Happens-before edges into this crossing's arrival: the latest
+        // event of each child whose slot we consumed.
+        let mut deps: Vec<EventId> = Vec::new();
         'children: for c in shared.children(self.id) {
             let backoff = Backoff::new();
             loop {
                 let (ce, payload) = shared.slots[c].load();
                 if ce == e && payload != EMPTY {
                     failed |= payload != ARRIVED_OK;
+                    deps.extend(shared.recorder.last(c));
                     break;
                 }
                 if shared.broken.load(Ordering::Acquire) {
@@ -354,8 +416,17 @@ impl Participant {
                 if let Some(d) = deadline {
                     if started.elapsed() >= d {
                         // Fail-stop detected: the missing subtree counts as
-                        // a detectable fault.
+                        // a detectable fault. Dump the flight recorder —
+                        // the silent subtree's causal trail ends exactly at
+                        // the culpable participants.
                         failed = true;
+                        shared.record(self.id, "fault:timeout", self.phase, &deps);
+                        *shared.flight.lock() = Some(shared.recorder.snapshot().to_flight_json(
+                            "ft_barrier",
+                            shared.n,
+                            "wedge",
+                            "arrive-timeout",
+                        ));
                         break 'children;
                     }
                 }
@@ -372,10 +443,15 @@ impl Participant {
                 }
             }
         }
+        let arrive_label = if failed { "arrive:failed" } else { "arrive" };
         if self.id == 0 {
+            shared.record(0, arrive_label, self.phase, &deps);
             self.root_publish(e, failed)?;
         } else {
             let payload = if failed { ARRIVED_FAILED } else { ARRIVED_OK };
+            // Record before publishing the slot, so a parent that consumes
+            // the arrival sees this event as the child's latest.
+            shared.record(self.id, arrive_label, self.phase, &deps);
             self.shared.slots[self.id].store(e, payload);
             self.published_slot = Some((e, payload));
         }
@@ -404,6 +480,9 @@ impl Participant {
         if outcome == BROKEN {
             self.shared.broken.store(true, Ordering::Release);
         }
+        // Record before publishing, so waiters that observe the release see
+        // this event as the root's latest.
+        self.shared.record(0, "release", new_phase, &[]);
         // Publish the phase before the release that covers it.
         self.shared.phase_word.store(new_phase, 0);
         self.shared.release.store(epoch, outcome);
@@ -449,6 +528,9 @@ impl Participant {
                 }
             };
             let (phase, _) = self.shared.phase_word.load();
+            // The observed release happens-before this departure.
+            let deps: Vec<EventId> = self.shared.recorder.last(0).into_iter().collect();
+            self.shared.record(self.id, "leave", phase, &deps);
             (outcome, phase)
         };
         self.epoch += 1;
@@ -859,6 +941,62 @@ mod tests {
         }
         assert_eq!(h.join().unwrap(), 4);
         assert_eq!(last, 4);
+    }
+
+    /// Pinned: a wedged crossing must leave behind a replayable flight
+    /// dump whose causal graph ends at the participant that never arrived.
+    #[test]
+    fn wedged_crossing_dumps_a_flight_record_blaming_the_missing_participant() {
+        use ftbarrier_telemetry::FlightDump;
+        use std::time::Duration;
+        let (b, mut parts) = FtBarrier::new(2);
+        let p1 = parts.pop().unwrap();
+        let mut p0 = parts.pop().unwrap();
+
+        // p1 never arrives; p0's fail-stop detector fires and writes a dump.
+        let out = p0.arrive_timeout(Duration::from_millis(50)).unwrap();
+        assert_eq!(out, PhaseOutcome::Repeat { phase: 0 });
+
+        let dump = b
+            .take_flight_dump()
+            .expect("a firing fail-stop detector writes a flight dump");
+        let parsed = FlightDump::parse(&dump).expect("flight dump parses");
+        parsed.replay().expect("flight dump replays consistently");
+        assert_eq!(parsed.program, "ft_barrier");
+        assert_eq!(parsed.kind, "wedge");
+        assert_eq!(parsed.reason, "arrive-timeout");
+        assert_eq!(parsed.n, 2);
+        // The silent participant recorded nothing: blame lands on it.
+        assert_eq!(parsed.blamed, Some(1));
+        assert!(parsed.graph.events.iter().all(|ev| ev.id.pid != 1));
+        // The detector's own trail ends with the timeout detection.
+        let last0 = parsed
+            .graph
+            .events
+            .iter()
+            .rev()
+            .find(|ev| ev.id.pid == 0)
+            .expect("the detector recorded its side of the wedge");
+        assert_eq!(last0.label, "fault:timeout");
+        // The dump is one-shot until the next detection fires.
+        assert!(b.take_flight_dump().is_none());
+
+        // The straggler comes back: healthy crossings write no new dump,
+        // and the on-demand snapshot still renders the whole history.
+        let h = std::thread::spawn(move || {
+            let mut p1 = p1;
+            p1.arrive().unwrap();
+            p1.arrive().unwrap()
+        });
+        assert_eq!(
+            p0.arrive_timeout(Duration::from_secs(5)).unwrap(),
+            PhaseOutcome::Advance { phase: 1 }
+        );
+        assert!(h.join().unwrap().is_advance());
+        assert!(b.take_flight_dump().is_none());
+        let snap = FlightDump::parse(&b.flight_snapshot("inspect")).unwrap();
+        snap.replay().unwrap();
+        assert!(snap.graph.events.iter().any(|ev| ev.id.pid == 1));
     }
 
     #[test]

@@ -60,7 +60,11 @@ const TO_MICROS: f64 = 1e6;
 /// Render the snapshot as a Chrome `trace_event` JSON document (the
 /// `traceEvents` array form), loadable in Perfetto and chrome://tracing.
 pub fn to_chrome_trace(snap: &TelemetrySnapshot) -> String {
-    let mut s = String::from("{\"displayTimeUnit\":\"ms\",\"otherData\":{\"timeDomain\":\"");
+    // The `schema` stamp is an extra top-level key; Chrome/Perfetto ignore
+    // unknown keys, and CI greps for it to catch unversioned artifacts.
+    let mut s = String::from(
+        "{\"schema\":\"chrome-trace/v1\",\"displayTimeUnit\":\"ms\",\"otherData\":{\"timeDomain\":\"",
+    );
     s.push_str(snap.domain.as_str());
     s.push_str("\"},\"traceEvents\":[");
     let mut first = true;
@@ -209,7 +213,9 @@ fn key_with(key: &MetricKey, extra: &[(&str, &str)], name_suffix: &str) -> Strin
 }
 
 fn write_histogram(out: &mut String, key: &MetricKey, h: &Histogram) {
-    let _ = writeln!(out, "# TYPE {} histogram", sanitize_name(&key.name));
+    let name = sanitize_name(&key.name);
+    let _ = writeln!(out, "# HELP {} {}", name, crate::names::help_text(&name));
+    let _ = writeln!(out, "# TYPE {name} histogram");
     for (bound, cum) in h.cumulative_buckets() {
         let b = prom_value(bound);
         let _ = writeln!(out, "{} {}", key_with(key, &[("le", &b)], "_bucket"), cum);
@@ -259,6 +265,7 @@ pub fn metrics_to_prometheus(metrics: &MetricsRegistry) -> String {
             .as_ref()
             .is_none_or(|(n, t)| n != name || *t != ty)
         {
+            let _ = writeln!(out, "# HELP {name} {}", crate::names::help_text(name));
             let _ = writeln!(out, "# TYPE {name} {ty}");
             last_type = Some((name.to_owned(), ty));
         }
@@ -320,8 +327,22 @@ mod tests {
     }
 
     #[test]
-    fn prometheus_exposition_has_types_and_quantiles() {
+    fn prometheus_exposition_has_help_types_and_quantiles() {
         let s = to_prometheus(&sample_snapshot());
+        // Every # TYPE is preceded by a # HELP for the same metric.
+        let lines: Vec<&str> = s.lines().collect();
+        for (i, line) in lines.iter().enumerate() {
+            if let Some(decl) = line.strip_prefix("# TYPE ") {
+                let name = decl.split_whitespace().next().unwrap();
+                let prev = lines[i - 1];
+                assert!(
+                    prev.starts_with(&format!("# HELP {name} ")),
+                    "TYPE for {name} not preceded by its HELP: {prev:?}"
+                );
+            }
+        }
+        assert!(s.contains("# HELP engine_actions_total "));
+        assert!(s.contains("# HELP latency "));
         assert!(s.contains("# TYPE engine_actions_total counter"));
         assert!(s.contains("engine_actions_total{action=\"tok\"} 42"));
         assert!(s.contains("# TYPE in_flight gauge"));

@@ -9,6 +9,10 @@
 //! - [`recorder`]: the cloneable [`Telemetry`] handle recording spans and
 //!   instants on per-process tracks, stamped with a [`TimeDomain`]
 //!   (virtual simulation time or wall-clock seconds);
+//! - [`causal`]: the happens-before event model — a bounded
+//!   [`CausalRecorder`] ring (the crash flight recorder) whose snapshots
+//!   support measured critical-path extraction, per-pid attribution,
+//!   wedge blame, and replayable `flightrec/v1` dumps;
 //! - [`export`]: deterministic renderers to Chrome `trace_event` JSON
 //!   (Perfetto), JSONL structured events, and the Prometheus text
 //!   exposition format;
@@ -21,6 +25,7 @@
 //! and `ftbarrier-mp` hold the backends to that contract by asserting
 //! byte-identical runs with telemetry on and off.
 
+pub mod causal;
 pub mod export;
 pub mod json;
 pub mod metrics;
@@ -28,6 +33,7 @@ pub mod names;
 pub mod prom;
 pub mod recorder;
 
+pub use causal::{CausalEvent, CausalGraph, CausalRecorder, CriticalPath, EventId, FlightDump};
 pub use export::{metrics_to_prometheus, to_chrome_trace, to_jsonl, to_prometheus};
 pub use metrics::{Histogram, MetricKey, MetricsRegistry};
 pub use recorder::{Telemetry, TelemetrySnapshot, TimeDomain, TimelineEvent, TrackId};

@@ -185,6 +185,15 @@ impl Histogram {
     /// Estimate the `q`-quantile (`0 ≤ q ≤ 1`): the geometric midpoint of
     /// the bucket holding the `⌈q·count⌉`-th sample, clamped to the exact
     /// recorded range. Monotone in `q` by construction.
+    ///
+    /// Edge cases (documented sentinels, pinned by tests):
+    /// - an **empty** histogram returns `NaN` for every `q` — the same
+    ///   sentinel as [`Histogram::min`]/[`max`](Histogram::max)/
+    ///   [`mean`](Histogram::mean), never a bucket-boundary artifact;
+    /// - a **single-observation** histogram returns exactly that
+    ///   observation for every `q` (the `[min, max]` clamp collapses the
+    ///   geometric bucket midpoint to the recorded value, even when the
+    ///   sample sits on a bucket boundary or outside `1e-9..1e9`).
     pub fn quantile(&self, q: f64) -> f64 {
         assert!((0.0..=1.0).contains(&q), "quantile {q} out of range");
         if self.count == 0 {
@@ -355,19 +364,32 @@ mod tests {
 
     #[test]
     fn single_sample_quantiles_collapse_to_it() {
-        let mut h = Histogram::default();
-        h.record(0.25);
-        assert_eq!(h.quantile(0.5), 0.25);
-        assert_eq!(h.quantile(0.99), 0.25);
-        assert_eq!(h.max(), 0.25);
-        assert_eq!(h.min(), 0.25);
+        // The documented sentinel: with one observation, every quantile is
+        // exactly that observation — even for samples sitting on a bucket
+        // boundary, at zero, or clamped outside the bucket range, where
+        // the raw geometric midpoint would be a boundary artifact.
+        for v in [0.25, 0.0, BUCKET_LO, bucket_bound(17), 1.0, 2e9] {
+            let mut h = Histogram::default();
+            h.record(v);
+            for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+                assert_eq!(h.quantile(q), v, "v={v} q={q}");
+            }
+            assert_eq!(h.max(), v);
+            assert_eq!(h.min(), v);
+        }
     }
 
     #[test]
     fn empty_histogram_is_nan() {
+        // The documented sentinel: every quantile of an empty histogram is
+        // NaN — not 1e-9, not a bucket bound.
         let h = Histogram::default();
-        assert!(h.quantile(0.5).is_nan());
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            assert!(h.quantile(q).is_nan(), "q={q}");
+        }
         assert!(h.mean().is_nan());
+        assert!(h.min().is_nan());
+        assert!(h.max().is_nan());
         assert_eq!(h.count(), 0);
     }
 

@@ -21,3 +21,29 @@ pub const RECONFIGURATION_LATENCY: &str = "reconfiguration_latency";
 /// Counter: messages dropped because they carried a stale membership epoch
 /// (a detectable fault, masked like any corrupted message).
 pub const STALE_EPOCH_DROPPED_TOTAL: &str = "stale_epoch_dropped_total";
+
+/// One-line `# HELP` text for a (sanitized) metric name. Covers the
+/// canonical families every backend emits; other names get a generic line
+/// so the exposition always carries a HELP for every metric.
+pub fn help_text(name: &str) -> &'static str {
+    match name {
+        "membership_epoch" => "Current membership epoch (bumped by every splice/graft).",
+        "suspicions_total" => "Processes suspected dead by a failure detector.",
+        "rejoins_total" => "Processes readmitted after a crash or partition.",
+        "reconfiguration_latency" => {
+            "Latency from stall/suspicion trigger to the repaired view being in effect."
+        }
+        "stale_epoch_dropped_total" => "Messages dropped for carrying a stale membership epoch.",
+        "detection_latency" => "Time from detectable-fault injection to the first repeat wave.",
+        "recovery_latency" => "Time from detection until every worker position is ready again.",
+        "phase_time" => "Virtual time per successful barrier phase.",
+        "sweep_faults_total" => "Faults injected into the sweep program, by kind.",
+        "sweep_masked_faults_total" => {
+            "Detectable faults healed by ready propagation without a repeat wave."
+        }
+        "sweep_overlapping_faults_total" => {
+            "Detectable faults landing inside an already-open recovery window."
+        }
+        _ => "ftbarrier metric (see crates/telemetry/src/names.rs).",
+    }
+}

@@ -13,11 +13,13 @@ pub struct Sample {
     pub value: f64,
 }
 
-/// A parsed exposition: samples in file order plus `# TYPE` declarations.
+/// A parsed exposition: samples in file order plus `# TYPE` and `# HELP`
+/// declarations.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Exposition {
     pub samples: Vec<Sample>,
     pub types: BTreeMap<String, String>,
+    pub helps: BTreeMap<String, String>,
 }
 
 impl Exposition {
@@ -59,8 +61,16 @@ pub fn parse(input: &str) -> Result<Exposition, (usize, String)> {
                     .ok_or((lineno, "TYPE without metric name".to_owned()))?;
                 let ty = it.next().ok_or((lineno, "TYPE without type".to_owned()))?;
                 exp.types.insert(name.to_owned(), ty.to_owned());
+            } else if let Some(decl) = rest.strip_prefix("HELP ") {
+                let decl = decl.trim_start();
+                let name = decl
+                    .split_whitespace()
+                    .next()
+                    .ok_or((lineno, "HELP without metric name".to_owned()))?;
+                let text = decl[name.len()..].trim_start();
+                exp.helps.insert(name.to_owned(), text.to_owned());
             }
-            continue; // HELP and other comments are ignored
+            continue; // other comments are ignored
         }
         let sample = parse_sample(line).map_err(|m| (lineno, m))?;
         exp.samples.push(sample);
@@ -165,6 +175,7 @@ mod tests {
     #[test]
     fn parses_plain_and_labeled_samples() {
         let exp = parse(concat!(
+            "# HELP up Whether the scrape target is up.\n",
             "# TYPE up gauge\n",
             "up 1\n",
             "# a comment\n",
@@ -173,6 +184,10 @@ mod tests {
         ))
         .unwrap();
         assert_eq!(exp.types.get("up").map(String::as_str), Some("gauge"));
+        assert_eq!(
+            exp.helps.get("up").map(String::as_str),
+            Some("Whether the scrape target is up.")
+        );
         assert_eq!(exp.value("up", &[]), Some(1.0));
         assert_eq!(
             exp.value("req_total", &[("method", "get"), ("code", "200")]),
@@ -228,6 +243,22 @@ mod tests {
         assert_eq!(
             exp.types.get("latency").map(String::as_str),
             Some("histogram")
+        );
+        // Every emitted metric family carries a HELP line through the
+        // round trip, and canonical names keep their canonical text.
+        for name in ["actions_total", "in_flight", "latency"] {
+            assert!(
+                exp.helps.contains_key(name),
+                "missing HELP for {name}: {:?}",
+                exp.helps
+            );
+        }
+        let mut reg2 = MetricsRegistry::new();
+        reg2.observe("detection_latency", &[("topo", "ring")], 0.5);
+        let exp2 = parse(&metrics_to_prometheus(&reg2)).unwrap();
+        assert_eq!(
+            exp2.helps.get("detection_latency").map(String::as_str),
+            Some(crate::names::help_text("detection_latency"))
         );
     }
 }
