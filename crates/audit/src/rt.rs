@@ -89,7 +89,7 @@ fn injection(rng: &mut SimRng, n: usize) -> (CorruptTarget, u64) {
         // Ill-formed scribble (detectable): any raw value that fails the
         // checksum.
         0 => {
-            let mut raw = rng.range_u64(0, u64::MAX);
+            let mut raw = rng.next_u64();
             if ftbarrier_runtime::word::unpack(raw).is_some() {
                 raw ^= 0xFF;
             }

@@ -28,11 +28,11 @@
 
 use ftbarrier_bench::{
     ablations, audit_exp, churn_exp, critpath_exp, enginebench, figures, mb_exp, render,
-    results_dir, table1, topo_exp, trace_exp,
+    results_dir, serve_exp, table1, topo_exp, trace_exp, write_atomic,
 };
 use std::path::PathBuf;
 
-const SUBCOMMANDS: [&str; 15] = [
+const SUBCOMMANDS: [&str; 16] = [
     "fig3",
     "fig4",
     "fig5",
@@ -46,6 +46,7 @@ const SUBCOMMANDS: [&str; 15] = [
     "churn",
     "topo",
     "critpath",
+    "serve",
     "bench",
     "all",
 ];
@@ -100,7 +101,7 @@ fn write_csv(dir: &Option<PathBuf>, name: &str, contents: &str) {
     if let Some(dir) = dir {
         std::fs::create_dir_all(dir).expect("create csv directory");
         let path = dir.join(name);
-        std::fs::write(&path, contents).expect("write csv");
+        write_atomic(&path, contents);
         eprintln!("wrote {}", path.display());
     }
 }
@@ -180,11 +181,11 @@ fn main() {
         println!("{}", audit_exp::render_campaigns(&report));
         let dir = results_dir();
         let fixture_path = dir.join("counterexample_broken_ring.json");
-        std::fs::write(&fixture_path, &report.fixture_json).expect("write fixture witness");
+        write_atomic(&fixture_path, &report.fixture_json);
         eprintln!("wrote {} (fixture demonstration)", fixture_path.display());
         for failure in &report.failures {
             let path = dir.join(format!("{}.json", failure.name));
-            std::fs::write(&path, &failure.json).expect("write counterexample");
+            write_atomic(&path, &failure.json);
             eprintln!("wrote {}", path.display());
         }
         if !report.passed() {
@@ -204,10 +205,10 @@ fn main() {
         let artifacts = trace_exp::all(opts.quick);
         for a in &artifacts {
             let trace_path = dir.join(format!("trace_{}.json", a.scenario));
-            std::fs::write(&trace_path, &a.trace_json).expect("write trace json");
+            write_atomic(&trace_path, &a.trace_json);
             eprintln!("wrote {}", trace_path.display());
             let prom_path = dir.join(format!("metrics_{}.prom", a.scenario));
-            std::fs::write(&prom_path, &a.metrics_prom).expect("write metrics");
+            write_atomic(&prom_path, &a.metrics_prom);
             eprintln!("wrote {}", prom_path.display());
         }
         println!(
@@ -223,10 +224,10 @@ fn main() {
         println!("{}", churn_exp::render(&rows));
         let dir = results_dir();
         let json_path = dir.join("churn.json");
-        std::fs::write(&json_path, churn_exp::to_json(&rows)).expect("write churn json");
+        write_atomic(&json_path, churn_exp::to_json(&rows));
         eprintln!("wrote {}", json_path.display());
         let md_path = dir.join("churn_table.md");
-        std::fs::write(&md_path, churn_exp::to_markdown(&rows)).expect("write churn table");
+        write_atomic(&md_path, churn_exp::to_markdown(&rows));
         eprintln!("wrote {}", md_path.display());
         let violations = churn_exp::violations(&rows);
         if violations > 0 {
@@ -246,7 +247,7 @@ fn main() {
         println!("{}", topo_exp::render_scaling(&scaling));
         let dir = results_dir();
         let json_path = dir.join("topo.json");
-        std::fs::write(&json_path, topo_exp::to_json(&latency, &scaling)).expect("write topo json");
+        write_atomic(&json_path, topo_exp::to_json(&latency, &scaling));
         eprintln!("wrote {}", json_path.display());
         if !topo_exp::passed(&latency) {
             eprintln!(
@@ -271,8 +272,7 @@ fn main() {
         println!("{}", critpath_exp::render_episodes(&episodes));
         let dir = results_dir();
         let json_path = dir.join("critpath.json");
-        std::fs::write(&json_path, critpath_exp::to_json(&rows, &episodes))
-            .expect("write critpath json");
+        write_atomic(&json_path, critpath_exp::to_json(&rows, &episodes));
         eprintln!("wrote {}", json_path.display());
         if !critpath_exp::passed(&rows) {
             eprintln!(
@@ -288,6 +288,34 @@ fn main() {
             critpath_exp::CRITPATH_N
         );
     }
+    // The service self-test opens real sockets and writes results/
+    // artifacts, so `all` skips it; ask for it explicitly (CI runs
+    // `repro serve --quick`).
+    if opts.what.iter().any(|w| w == "serve") {
+        eprintln!("running the barrier service self-test…");
+        let report = serve_exp::run(opts.quick);
+        print!("{}", serve_exp::render(&report));
+        let dir = results_dir();
+        let prom_path = dir.join("serve_metrics.prom");
+        write_atomic(&prom_path, &report.live_metrics);
+        eprintln!("wrote {}", prom_path.display());
+        let log_path = dir.join("serve_server.log");
+        write_atomic(&log_path, &report.server_log);
+        eprintln!("wrote {}", log_path.display());
+        if let Some(dump) = &report.flight_dump {
+            let dump_path = dir.join("serve_flight.json");
+            write_atomic(&dump_path, dump);
+            eprintln!("wrote {}", dump_path.display());
+        }
+        if !report.passed() {
+            eprintln!("SERVICE SELF-TEST FAILED");
+            std::process::exit(1);
+        }
+        println!(
+            "service self-test passed: {} sessions through {} phases with mid-run kills",
+            report.sessions, report.phases
+        );
+    }
     if opts.what.iter().any(|w| w == "bench") {
         eprintln!("benchmarking engine and sweep harness…");
         let report = enginebench::run(opts.quick);
@@ -295,7 +323,7 @@ fn main() {
         let json = report.to_json();
         enginebench::validate_schema(&json);
         let path = PathBuf::from("BENCH_engine.json");
-        std::fs::write(&path, json).expect("write BENCH_engine.json");
+        write_atomic(&path, json);
         eprintln!("wrote {}", path.display());
     }
 }

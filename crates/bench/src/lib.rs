@@ -22,16 +22,12 @@ pub mod figures;
 pub mod mb_exp;
 pub mod parallel;
 pub mod render;
+pub mod serve_exp;
 pub mod table1;
 pub mod topo_exp;
 pub mod trace_exp;
 
-/// The one place the `results/` artifact directory is created: every
-/// artifact-writing subcommand (`audit`, `trace`, `churn`) goes through
-/// this, so the location and the failure mode stay consistent.
-pub fn results_dir() -> std::path::PathBuf {
-    let dir = std::path::PathBuf::from("results");
-    std::fs::create_dir_all(&dir)
-        .unwrap_or_else(|e| panic!("create results directory {}: {e}", dir.display()));
-    dir
-}
+// The artifact directory and the atomic write helper live in core so the
+// server and flight-recorder paths can share them; re-exported here because
+// every repro subcommand reaches for them through this crate.
+pub use ftbarrier_core::results::{results_dir, write_atomic};

@@ -1,0 +1,80 @@
+//! `repro serve`: the barrier-as-a-service acceptance run.
+//!
+//! Runs the server crate's in-process self-test — a live TCP server, a
+//! fleet of concurrent client sessions across sharded groups, mid-run
+//! client kills, and a live `/metrics` scrape parsed with the workspace's
+//! own Prometheus parser — then renders the per-client outcomes and writes
+//! the scrape and the server log under `results/` for CI to grep and
+//! archive.
+
+use ftbarrier_server::selftest::{run_selftest, SelfTestReport};
+
+/// Run the self-test (`quick` is the CI profile).
+pub fn run(quick: bool) -> SelfTestReport {
+    run_selftest(quick)
+}
+
+/// Render the per-client outcome table.
+pub fn render(report: &SelfTestReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "barrier service self-test: {} sessions, {} phases\n",
+        report.sessions, report.phases
+    ));
+    out.push_str("group    member  completed  outcome\n");
+    let mut rows: Vec<_> = report.outcomes.iter().collect();
+    rows.sort_by(|a, b| (&a.0, a.1.member).cmp(&(&b.0, b.1.member)));
+    for (group, o) in rows {
+        let outcome = if let Some(e) = &o.error {
+            format!("FAILED: {e}")
+        } else if o.killed {
+            "killed on plan".to_owned()
+        } else {
+            "completed".to_owned()
+        };
+        out.push_str(&format!(
+            "{group:<8} {:>6}  {:>9}  {outcome}\n",
+            o.member, o.completed
+        ));
+    }
+    if report.passed() {
+        out.push_str("PASS: every survivor completed every phase; live /metrics parsed\n");
+    } else {
+        for f in &report.failures {
+            out.push_str(&format!("FAILURE: {f}\n"));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftbarrier_server::client::ClientOutcome;
+
+    #[test]
+    fn render_reports_failures_and_passes() {
+        let mut report = SelfTestReport {
+            sessions: 8,
+            phases: 20,
+            outcomes: vec![(
+                "alpha".into(),
+                ClientOutcome {
+                    member: 1,
+                    completed: 20,
+                    killed: false,
+                    error: None,
+                },
+            )],
+            live_metrics: String::new(),
+            final_metrics: String::new(),
+            metrics_content_type: String::new(),
+            server_log: String::new(),
+            flight_dump: None,
+            failures: vec![],
+        };
+        assert!(render(&report).contains("PASS"));
+        report.failures.push("boom".into());
+        assert!(render(&report).contains("FAILURE: boom"));
+    }
+}

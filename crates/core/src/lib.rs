@@ -31,6 +31,7 @@ pub mod cp;
 pub mod faults;
 pub mod instantiations;
 pub mod intolerant;
+pub mod results;
 pub mod sim;
 pub mod sn;
 pub mod spec;

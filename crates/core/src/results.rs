@@ -1,0 +1,185 @@
+//! Result/artifact file output with atomic visibility.
+//!
+//! Every JSON dump, CSV table, flight recording, and server log the
+//! reproduction writes is a file some *other* process may read while we are
+//! still writing it: CI collects `results/` as artifacts mid-run, a
+//! Prometheus scrape can race a `/metrics` snapshot dump, and the flight
+//! recorder fires exactly when the system is wedged and a human is about to
+//! `cat` the file. A plain `fs::write` exposes the half-written prefix for
+//! as long as the write takes.
+//!
+//! [`write_atomic`] closes that window with the POSIX idiom: write the full
+//! contents to a uniquely named temporary file *in the same directory* (so
+//! the rename cannot cross filesystems), flush it, then `rename` it over the
+//! destination. Readers see either the old complete file or the new complete
+//! file, never a torn mix.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The one place the `results/` artifact directory is created: every
+/// artifact-writing subcommand goes through this, so the location and the
+/// failure mode stay consistent.
+pub fn results_dir() -> PathBuf {
+    let dir = PathBuf::from("results");
+    fs::create_dir_all(&dir)
+        .unwrap_or_else(|e| panic!("create results directory {}: {e}", dir.display()));
+    dir
+}
+
+/// Distinguishes temp names across threads of one process; the pid
+/// distinguishes across processes sharing a `results/` directory.
+static TEMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Write `contents` to `path` atomically: the file at `path` is only ever
+/// observed empty-or-absent (if it never existed), as its complete previous
+/// contents, or as the complete new contents.
+///
+/// Returns the error of whichever step failed; on failure the destination is
+/// untouched (a leftover `.tmp-*` sibling may remain and is harmless — the
+/// next successful write does not depend on it).
+pub fn try_write_atomic(path: &Path, contents: &[u8]) -> std::io::Result<()> {
+    let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| std::io::Error::other(format!("no file name in {}", path.display())))?;
+    let tmp_name = format!(
+        ".tmp-{}-{}-{}",
+        std::process::id(),
+        TEMP_SEQ.fetch_add(1, Ordering::Relaxed),
+        file_name.to_string_lossy()
+    );
+    let tmp = match dir {
+        Some(d) => d.join(&tmp_name),
+        None => PathBuf::from(&tmp_name),
+    };
+    let result = (|| {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(contents)?;
+        // `rename` only promises atomic *visibility*; `sync_all` makes the
+        // contents durable before the name flips, so a crash can't leave
+        // the new name pointing at an unwritten file.
+        f.sync_all()?;
+        drop(f);
+        fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        let _ = fs::remove_file(&tmp);
+    }
+    result
+}
+
+/// [`try_write_atomic`] with the panic-on-error policy every repro
+/// subcommand uses for artifacts (an unwritable `results/` dir is fatal).
+pub fn write_atomic(path: &Path, contents: impl AsRef<[u8]>) {
+    try_write_atomic(path, contents.as_ref())
+        .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "ftbarrier-results-{tag}-{}-{}",
+            std::process::id(),
+            TEMP_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn writes_and_replaces() {
+        let dir = temp_dir("basic");
+        let path = dir.join("dump.json");
+        write_atomic(&path, b"first");
+        assert_eq!(fs::read(&path).unwrap(), b"first");
+        write_atomic(&path, b"second, longer than the first");
+        assert_eq!(fs::read(&path).unwrap(), b"second, longer than the first");
+        // No temp droppings after successful writes.
+        let leftovers: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .filter(|e| {
+                e.as_ref()
+                    .unwrap()
+                    .file_name()
+                    .to_string_lossy()
+                    .starts_with(".tmp-")
+            })
+            .collect();
+        assert!(leftovers.is_empty(), "{leftovers:?}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rejects_pathless_destination() {
+        assert!(try_write_atomic(Path::new("/"), b"x").is_err());
+    }
+
+    #[test]
+    fn concurrent_dumps_never_tear() {
+        // N writers hammer one path with distinct self-consistent contents
+        // (a byte repeated L times, different per writer) while readers
+        // poll. A torn write would surface as a file mixing two fill bytes
+        // or cut short relative to its own header.
+        let dir = temp_dir("race");
+        let path = Arc::new(dir.join("contended.json"));
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let writers: Vec<_> = (0..4u8)
+            .map(|w| {
+                let path = Arc::clone(&path);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let fill = b'a' + w;
+                    let body = vec![fill; 4096 + w as usize * 512];
+                    while !stop.load(Ordering::Relaxed) {
+                        write_atomic(&path, &body);
+                    }
+                })
+            })
+            .collect();
+        let reader = {
+            let path = Arc::clone(&path);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut observed = 0usize;
+                while !stop.load(Ordering::Relaxed) {
+                    match fs::read(&*path) {
+                        Ok(bytes) if !bytes.is_empty() => {
+                            let fill = bytes[0];
+                            assert!((b'a'..b'a' + 4).contains(&fill), "unknown fill byte {fill}");
+                            let want = 4096 + (fill - b'a') as usize * 512;
+                            assert_eq!(
+                                bytes.len(),
+                                want,
+                                "torn read: {} bytes of fill {:?}",
+                                bytes.len(),
+                                fill as char
+                            );
+                            assert!(
+                                bytes.iter().all(|&b| b == fill),
+                                "torn read: mixed fill bytes"
+                            );
+                            observed += 1;
+                        }
+                        _ => {}
+                    }
+                }
+                observed
+            })
+        };
+        std::thread::sleep(std::time::Duration::from_millis(300));
+        stop.store(true, Ordering::Relaxed);
+        for w in writers {
+            w.join().unwrap();
+        }
+        let observed = reader.join().unwrap();
+        assert!(observed > 0, "reader never saw a complete file");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

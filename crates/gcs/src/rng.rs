@@ -44,9 +44,15 @@ impl SimRng {
         SimRng::seed_from_u64(self.next_u64())
     }
 
-    /// The xoshiro256++ core step.
+    /// The xoshiro256++ core step: a uniform draw over the **full** 64-bit
+    /// domain (every `u64` value, including `u64::MAX`, is reachable).
+    ///
+    /// This is the right call for deriving seeds of forked generators.
+    /// `range_u64(0, u64::MAX)` is *not* equivalent: the range is half-open,
+    /// so it can never yield `u64::MAX`, and the Lemire mapping collapses it
+    /// to `next_u64() - 1` — a silent off-by-one over the seed domain.
     #[inline]
-    fn next_u64(&mut self) -> u64 {
+    pub fn next_u64(&mut self) -> u64 {
         let [s0, s1, s2, s3] = self.state;
         let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
         let t = s1 << 17;
@@ -69,7 +75,10 @@ impl SimRng {
         ((u128::from(self.next_u64()) * bound as u128) >> 64) as usize
     }
 
-    /// Uniform integer in `[lo, hi)`.
+    /// Uniform integer in the **half-open** range `[lo, hi)`: `lo` is
+    /// reachable, `hi` never is. For a draw over all of `u64` use
+    /// [`SimRng::next_u64`]; there is no `hi` that makes this span the full
+    /// domain.
     #[inline]
     pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
         assert!(lo < hi, "empty range");
@@ -189,6 +198,59 @@ mod tests {
             .sum::<f64>()
             / n as f64;
         assert!((mean - 0.5).abs() < 0.01, "mean was {mean}");
+    }
+
+    #[test]
+    fn range_u64_is_half_open() {
+        // The contract is [lo, hi): both endpoints of a two-element range
+        // must appear, and hi itself never may.
+        let mut rng = SimRng::seed_from_u64(17);
+        let (lo, hi) = (u64::MAX - 2, u64::MAX);
+        let mut seen_lo = false;
+        let mut seen_mid = false;
+        for _ in 0..200 {
+            match rng.range_u64(lo, hi) {
+                x if x == lo => seen_lo = true,
+                x if x == lo + 1 => seen_mid = true,
+                x => panic!("range_u64({lo}, {hi}) produced out-of-range {x}"),
+            }
+        }
+        assert!(
+            seen_lo && seen_mid,
+            "both values of a 2-wide range reachable"
+        );
+    }
+
+    #[test]
+    fn range_u64_covers_small_domains() {
+        let mut rng = SimRng::seed_from_u64(19);
+        let mut seen = [false; 5];
+        for _ in 0..500 {
+            seen[(rng.range_u64(10, 15) - 10) as usize] = true;
+        }
+        assert!(
+            seen.iter().all(|&s| s),
+            "range_u64(10,15) must reach every value"
+        );
+    }
+
+    #[test]
+    fn next_u64_spans_the_full_domain() {
+        // range_u64(0, u64::MAX) degenerates to next_u64() - 1 under the
+        // Lemire mapping and can never produce u64::MAX. Seed derivation
+        // must use next_u64, which reaches every 64-bit value; check that
+        // the top bucket (values range_u64 could only hit via the excluded
+        // endpoint) occurs at the expected ~1/16 rate.
+        let mut rng = SimRng::seed_from_u64(23);
+        let n = 4_000;
+        let top = (0..n)
+            .filter(|_| rng.next_u64() >= u64::MAX / 16 * 15)
+            .count();
+        let expect = n / 16;
+        assert!(
+            top > expect / 2 && top < expect * 2,
+            "top-sixteenth frequency {top} far from {expect}"
+        );
     }
 
     #[test]

@@ -13,7 +13,11 @@
 //!   network ([`simnet`]): virtual time, per-link latency models, scheduled
 //!   fault plans (loss, duplication, reordering, detectable corruption, link
 //!   partitions with healing, process crash/reboot), byte-for-byte
-//!   replayable from one seed.
+//!   replayable from one seed;
+//! * [`socket`] — the same program over length-prefixed TCP sockets between
+//!   OS processes: non-blocking framed reads, checksummed payloads, in-frame
+//!   causal tags, and reconnect-with-backoff so a peer crash degrades to
+//!   the detectable loss the protocol already masks.
 
 pub mod channel;
 pub mod clock;
@@ -21,6 +25,7 @@ pub mod mb;
 pub mod mb_sim;
 pub mod proc;
 pub mod simnet;
+pub mod socket;
 pub mod sweep_mp;
 pub mod sweep_sim;
 pub mod telemetry;
@@ -34,6 +39,7 @@ pub use mb_sim::{
 };
 pub use proc::{sn_domain, try_sn_domain, MbCore, StateMsg};
 pub use simnet::{LatencyModel, LinkConfig, NetStats, SimNet};
+pub use socket::{connect_endpoint, socket_ring, FrameReader, SocketEndpoint};
 pub use sweep_mp::{SweepMpConfig, SweepMpHandle, SweepMpReport, SweepMpRun};
 pub use sweep_sim::{SweepSimConfig, SweepSimReport};
 pub use telemetry::record_cp_timeline;

@@ -107,6 +107,7 @@ pub struct MbReport {
 pub struct MbProcessHandle {
     poison: Arc<Vec<AtomicBool>>,
     scramble: Arc<Vec<AtomicBool>>,
+    mute: Arc<Vec<AtomicBool>>,
 }
 
 impl MbProcessHandle {
@@ -118,6 +119,13 @@ impl MbProcessHandle {
     /// Inject an undetectable fault at `pid`.
     pub fn scramble(&self, pid: usize) {
         self.scramble[pid].store(true, Ordering::Release);
+    }
+
+    /// Fail-stop `pid`: it permanently stops stepping and gossiping (the
+    /// observable face of a killed OS process on the socket backend). The
+    /// ring wedges, the deadline fires, and the flight dump names `pid`.
+    pub fn mute(&self, pid: usize) {
+        self.mute[pid].store(true, Ordering::Release);
     }
 }
 
@@ -165,6 +173,7 @@ pub fn spawn_on<E: Endpoint + Send + 'static>(
     let root_advances = Arc::new(AtomicU64::new(0));
     let poison: Arc<Vec<AtomicBool>> = Arc::new((0..n).map(|_| AtomicBool::new(false)).collect());
     let scramble: Arc<Vec<AtomicBool>> = Arc::new((0..n).map(|_| AtomicBool::new(false)).collect());
+    let mute: Arc<Vec<AtomicBool>> = Arc::new((0..n).map(|_| AtomicBool::new(false)).collect());
     let started = Instant::now();
     // The always-on flight recorder: one bounded ring shared by every
     // process thread (events interleave in global commit order).
@@ -176,8 +185,9 @@ pub fn spawn_on<E: Endpoint + Send + 'static>(
         let root_advances = Arc::clone(&root_advances);
         let poison = Arc::clone(&poison);
         let scramble = Arc::clone(&scramble);
+        let mute = Arc::clone(&mute);
         let clock = Arc::clone(&clock);
-        let seed = rng.range_u64(0, u64::MAX);
+        let seed = rng.next_u64();
         let seq = Arc::clone(&seq);
         let config = config.clone();
         let recorder = recorder.clone();
@@ -192,8 +202,22 @@ pub fn spawn_on<E: Endpoint + Send + 'static>(
                 ep.send_tagged(core.own, core.causal_tag());
             };
             gossip(&core, &mut ep, &mut sent);
+            let mut fault_stopped = false;
             while !stop.load(Ordering::Acquire) {
                 let now = clock.now();
+                if mute[pid].load(Ordering::Acquire) {
+                    // Fail-stop: fall permanently silent. The one-time
+                    // marker is the last event this pid ever records.
+                    if !fault_stopped {
+                        fault_stopped = true;
+                        core.record_fail_stop(now);
+                    }
+                    if now > config.deadline {
+                        stop.store(true, Ordering::Release);
+                    }
+                    std::thread::yield_now();
+                    continue;
+                }
                 if poison[pid].swap(false, Ordering::AcqRel) {
                     core.apply_poison(now);
                     gossip(&core, &mut ep, &mut sent);
@@ -245,7 +269,11 @@ pub fn spawn_on<E: Endpoint + Send + 'static>(
 
     MbRun {
         threads,
-        handle: MbProcessHandle { poison, scramble },
+        handle: MbProcessHandle {
+            poison,
+            scramble,
+            mute,
+        },
         stop,
         root_advances,
         started,

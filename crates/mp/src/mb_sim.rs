@@ -658,7 +658,7 @@ impl Driver {
             Ctl::Forge { link } => {
                 // Forge beyond the L window: any u32, including values no
                 // honest sender could have produced.
-                let forged = self.fault_rng.range_u64(0, u64::MAX) as u32;
+                let forged = self.fault_rng.next_u64() as u32;
                 let hit = self.net.borrow_mut().corrupt_in_flight(link, &mut |w| {
                     w.msg.sn = Sn::Val(forged);
                 });
@@ -669,7 +669,7 @@ impl Driver {
                 );
             }
             Ctl::EpochForge { link } => {
-                let forged = self.fault_rng.range_u64(0, u64::MAX);
+                let forged = self.fault_rng.next_u64();
                 let hit = self.net.borrow_mut().corrupt_in_flight(link, &mut |w| {
                     w.epoch = forged;
                 });
@@ -680,7 +680,7 @@ impl Driver {
                 );
             }
             Ctl::ScrambleView { pid } => {
-                let e = self.fault_rng.range_u64(0, u64::MAX);
+                let e = self.fault_rng.next_u64();
                 let l = self.fault_rng.below(self.cfg.n);
                 {
                     let mut sh = self.churn.borrow_mut();
@@ -830,20 +830,13 @@ pub fn run_with_telemetry(cfg: SimMbConfig, telemetry: &Telemetry) -> SimMbRepor
     let recorder = CausalRecorder::bounded(cfg.flight_capacity);
     let cores: Vec<MbCore> = (0..n)
         .map(|pid| {
-            let mut core = MbCore::new(
-                pid,
-                cfg.n_phases,
-                l,
-                rng.range_u64(0, u64::MAX),
-                Arc::clone(&seq),
-            );
+            let mut core = MbCore::new(pid, cfg.n_phases, l, rng.next_u64(), Arc::clone(&seq));
             core.recorder = recorder.clone();
             core
         })
         .collect();
     let net = Rc::new(RefCell::new(
-        SimNet::new(vec![cfg.link; n], rng.range_u64(0, u64::MAX))
-            .with_telemetry(telemetry.clone()),
+        SimNet::new(vec![cfg.link; n], rng.next_u64()).with_telemetry(telemetry.clone()),
     ));
     let churn_shared = Rc::new(RefCell::new(ChurnShared {
         epoch: vec![0; n],

@@ -173,6 +173,20 @@ impl MbCore {
         self.causal(now, "retransmit");
     }
 
+    /// Record the one-time fail-stop marker: the last event a crashed or
+    /// muted process ever contributes, so a wedge dump's blame names it.
+    pub fn record_fail_stop(&mut self, now: Time) {
+        self.causal(now, "fault:stop");
+    }
+
+    /// Record an externally driven phase-body arrival (the barrier server's
+    /// clients deliver these over the wire). A connected-but-stalled client
+    /// stops contributing arrivals, so its core's event stream goes stale
+    /// and a wedge dump's blame lands on it.
+    pub fn record_arrival(&mut self, now: Time) {
+        self.causal(now, "arrive");
+    }
+
     /// The phase body must run before the success transition can fire.
     pub fn needs_work(&self) -> bool {
         self.own.cp == Cp::Execute && !self.done

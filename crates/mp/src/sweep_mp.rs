@@ -156,7 +156,7 @@ pub fn spawn(dag: SweepDag, config: SweepMpConfig) -> SweepMpRun {
     let mut receivers: Vec<Vec<FaultyReceiver<PosMsg>>> = (0..n).map(|_| Vec::new()).collect();
     for (from, subs) in subscribers.iter().enumerate() {
         for &to in subs {
-            let (tx, rx) = faulty_channel(config.faults, rng.range_u64(0, u64::MAX));
+            let (tx, rx) = faulty_channel(config.faults, rng.next_u64());
             senders.insert((from, to), tx);
             receivers[to].push(rx);
         }
@@ -186,7 +186,7 @@ pub fn spawn(dag: SweepDag, config: SweepMpConfig) -> SweepMpRun {
         let poison = Arc::clone(&poison);
         let mute = Arc::clone(&mute);
         let recorder = recorder.clone();
-        let seed = rng.range_u64(0, u64::MAX);
+        let seed = rng.next_u64();
         let config = config.clone();
         threads.push(std::thread::spawn(move || {
             let mut rng = SimRng::seed_from_u64(seed);

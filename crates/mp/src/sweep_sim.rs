@@ -322,10 +322,10 @@ pub fn run(dag: SweepDag, cfg: SweepSimConfig) -> SweepSimReport {
         .collect();
     drop(link_of);
 
-    let net: SimNet<PosMsg> = SimNet::new(vec![cfg.link; pairs.len()], rng.range_u64(0, u64::MAX));
+    let net: SimNet<PosMsg> = SimNet::new(vec![cfg.link; pairs.len()], rng.next_u64());
     let views: Vec<Vec<PosState>> = (0..n).map(|_| program.initial_state()).collect();
     let rngs: Vec<SimRng> = (0..n)
-        .map(|_| SimRng::seed_from_u64(rng.range_u64(0, u64::MAX)))
+        .map(|_| SimRng::seed_from_u64(rng.next_u64()))
         .collect();
     let worker_pos: Vec<Pos> = (0..n).map(|pid| program.worker_position(pid)).collect();
 

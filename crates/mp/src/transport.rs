@@ -92,7 +92,7 @@ pub fn channel_ring(n: usize, faults: ChannelFaults, rng: &mut SimRng) -> Vec<Ch
     let mut senders = Vec::with_capacity(n);
     let mut receivers = Vec::with_capacity(n);
     for _ in 0..n {
-        let (tx, rx) = faulty_channel::<TaggedMsg>(faults, rng.range_u64(0, u64::MAX));
+        let (tx, rx) = faulty_channel::<TaggedMsg>(faults, rng.next_u64());
         senders.push(Some(tx));
         receivers.push(Some(rx));
     }

@@ -243,6 +243,17 @@ impl FailureDetector {
     fn first_strike_at(&self, pid: usize) -> Option<f64> {
         self.procs.lock()[pid].first_strike_at
     }
+
+    /// Record an out-of-band death verdict (e.g. the OS reported the peer's
+    /// connection closed): mark `pid` suspected *now*, without waiting out
+    /// any heartbeat deadline. Idempotent; a later heartbeat clears it and
+    /// reports the rejoin exactly as after a timeout-based suspicion.
+    pub fn mark_suspected(&self, pid: usize) {
+        let mut procs = self.procs.lock();
+        let p = &mut procs[pid];
+        p.strikes = self.cfg.suspicion_threshold;
+        p.suspected = true;
+    }
 }
 
 /// A membership reconfiguration decided by [`GroupMembership::tick`].
@@ -326,6 +337,24 @@ impl GroupMembership {
             }
         }
         out
+    }
+
+    /// Splice `pid` out immediately, bypassing the heartbeat deadlines: the
+    /// caller observed a *certain* death signal (a session socket hit EOF —
+    /// the OS, not a timeout, says the peer is gone). The detector is
+    /// marked so a later heartbeat from the process grafts it back through
+    /// the normal rejoin path. Returns `None` for the root (the recovery
+    /// authority is immortal) or an already-spliced process.
+    pub fn force_splice(&self, pid: usize) -> Option<MembershipEvent> {
+        let epoch = {
+            let mut m = self.membership.lock();
+            m.splice(pid).ok()?.epoch
+        };
+        self.detector.mark_suspected(pid);
+        self.telemetry.counter(names::SUSPICIONS_TOTAL, &[], 1);
+        self.telemetry
+            .gauge(names::MEMBERSHIP_EPOCH, &[], epoch as f64);
+        Some(MembershipEvent::Spliced { pid, epoch })
     }
 
     fn graft(&self, pid: usize) -> Option<MembershipEvent> {
@@ -453,6 +482,28 @@ mod tests {
         assert_eq!(ev, Some(MembershipEvent::Grafted { pid: 2, epoch: 2 }));
         assert!(g.is_member(2));
         assert_eq!(g.view().upstream_of(3), Some(2));
+    }
+
+    #[test]
+    fn force_splice_is_immediate_and_heartbeat_grafts_back() {
+        let clock = TestClock::new();
+        let g = GroupMembership::new(SweepDag::ring(4).unwrap(), cfg(), clock.clone());
+        // No time passes: an EOF verdict splices without any deadline.
+        let ev = g.force_splice(2);
+        assert_eq!(ev, Some(MembershipEvent::Spliced { pid: 2, epoch: 1 }));
+        assert!(!g.is_member(2));
+        assert!(g.detector().is_suspected(2));
+        // Idempotent: the process is already out.
+        assert_eq!(g.force_splice(2), None);
+        // The root is refused.
+        assert_eq!(g.force_splice(0), None);
+        assert!(g.is_member(0));
+        // A reconnect heartbeats and grafts through the normal path.
+        let ev = g.heartbeat(2);
+        assert_eq!(ev, Some(MembershipEvent::Grafted { pid: 2, epoch: 2 }));
+        assert!(g.is_member(2));
+        // The detector does not re-suspect it on the next poll.
+        assert!(g.tick().is_empty());
     }
 
     #[test]

@@ -1,0 +1,163 @@
+//! The barrier service daemon and its load-generator client.
+//!
+//! ```text
+//! ftbarrier-server serve [--addr 127.0.0.1:7400] [--metrics-addr 127.0.0.1:7401] [--shards 2]
+//! ftbarrier-server client --addr HOST:PORT --group NAME --size N [--phases P] [--kill MEMBER@PHASE]*
+//! ftbarrier-server selftest [--full]
+//! ```
+//!
+//! `serve` runs until killed and logs to stdout. `client` joins a group,
+//! drives `--phases` barrier phases, and exits 0 iff every phase released
+//! (or the planned kill fired). `selftest` is the `repro serve` acceptance
+//! run, in-process.
+
+use ftbarrier_server::client::run_client;
+use ftbarrier_server::selftest::run_selftest;
+use ftbarrier_server::server::{Server, ServerConfig};
+use std::process::ExitCode;
+use std::time::Duration;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: ftbarrier-server serve [--addr A] [--metrics-addr M] [--shards N]\n\
+         \x20      ftbarrier-server client --addr A --group G --size N [--phases P] [--kill M@PH]*\n\
+         \x20      ftbarrier-server selftest [--full]"
+    );
+    ExitCode::from(2)
+}
+
+/// Pull the value of `--flag VALUE` out of `args`, if present.
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn serve(args: &[String]) -> ExitCode {
+    let mut cfg = ServerConfig {
+        addr: flag_value(args, "--addr").unwrap_or_else(|| "127.0.0.1:7400".into()),
+        metrics_addr: flag_value(args, "--metrics-addr").unwrap_or_else(|| "127.0.0.1:7401".into()),
+        ..ServerConfig::default()
+    };
+    if let Some(s) = flag_value(args, "--shards") {
+        match s.parse() {
+            Ok(n) if n >= 1 => cfg.shards = n,
+            _ => return usage(),
+        }
+    }
+    let server = match Server::start(cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("ftbarrier-server: bind failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("serving barriers on {}", server.addr());
+    println!("metrics on http://{}/metrics", server.metrics_addr());
+    // Daemon loop: periodically flush the server log to stdout.
+    let mut printed = 0;
+    loop {
+        std::thread::sleep(Duration::from_millis(500));
+        let log = server.log_snapshot();
+        let lines: Vec<&str> = log.lines().collect();
+        for line in &lines[printed.min(lines.len())..] {
+            println!("{line}");
+        }
+        printed = lines.len();
+    }
+}
+
+fn client(args: &[String]) -> ExitCode {
+    let Some(addr) = flag_value(args, "--addr") else {
+        return usage();
+    };
+    let Some(group) = flag_value(args, "--group") else {
+        return usage();
+    };
+    let Some(size) = flag_value(args, "--size").and_then(|s| s.parse::<u32>().ok()) else {
+        return usage();
+    };
+    let phases = flag_value(args, "--phases")
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(16);
+    let mut kills = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--kill" {
+            let Some(spec) = args.get(i + 1) else {
+                return usage();
+            };
+            let Some((m, ph)) = spec.split_once('@') else {
+                return usage();
+            };
+            let (Ok(m), Ok(ph)) = (m.parse::<u32>(), ph.parse::<u64>()) else {
+                return usage();
+            };
+            kills.push((m, ph));
+            i += 1;
+        }
+        i += 1;
+    }
+    let addr = match addr.parse() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("ftbarrier-server: bad --addr {addr:?}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let outcome = run_client(addr, &group, size, phases, &kills, Duration::from_secs(30));
+    println!(
+        "member {} of group {group:?}: completed {}/{phases} phases{}{}",
+        outcome.member,
+        outcome.completed,
+        if outcome.killed {
+            " (killed on plan)"
+        } else {
+            ""
+        },
+        outcome
+            .error
+            .as_deref()
+            .map(|e| format!(" ERROR: {e}"))
+            .unwrap_or_default()
+    );
+    let ok = outcome.error.is_none() && (outcome.killed || outcome.completed == phases);
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn selftest(args: &[String]) -> ExitCode {
+    let quick = !args.iter().any(|a| a == "--full");
+    let report = run_selftest(quick);
+    println!(
+        "selftest: {} sessions x {} phases; {} outcomes",
+        report.sessions,
+        report.phases,
+        report.outcomes.len()
+    );
+    for line in report.server_log.lines() {
+        println!("  {line}");
+    }
+    if report.passed() {
+        println!("selftest: PASS");
+        ExitCode::SUCCESS
+    } else {
+        for f in &report.failures {
+            eprintln!("selftest FAILURE: {f}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("serve") => serve(&args[1..]),
+        Some("client") => client(&args[1..]),
+        Some("selftest") => selftest(&args[1..]),
+        _ => usage(),
+    }
+}

@@ -1,0 +1,217 @@
+//! Client side of the barrier service: a small blocking library plus the
+//! load generator used by the `repro serve` self-test and the
+//! `ftbarrier-client` subcommand.
+
+use crate::wire::{ClientFrame, ServerFrame};
+use ftbarrier_mp::socket::FrameReader;
+use std::collections::VecDeque;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+/// A blocking connection to one barrier group.
+pub struct BarrierClient {
+    stream: TcpStream,
+    reader: FrameReader,
+    queued: VecDeque<ServerFrame>,
+    /// Ring member id assigned by the server's `Welcome`.
+    pub member: u32,
+    /// Sealed group size.
+    pub size: u32,
+}
+
+impl BarrierClient {
+    /// Connect, join `group`, and block until the group seals (the server
+    /// sends `Welcome` only once all `size` members joined).
+    pub fn join(
+        addr: SocketAddr,
+        group: &str,
+        size: u32,
+        timeout: Duration,
+    ) -> std::io::Result<BarrierClient> {
+        let mut stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.write_all(
+            &ClientFrame::Join {
+                group: group.to_owned(),
+                size,
+            }
+            .to_frame(),
+        )?;
+        let mut client = BarrierClient {
+            stream,
+            reader: FrameReader::new(),
+            queued: VecDeque::new(),
+            member: 0,
+            size,
+        };
+        match client.next_frame(timeout)? {
+            ServerFrame::Welcome { member, size } => {
+                client.member = member;
+                client.size = size;
+                Ok(client)
+            }
+            ServerFrame::Bye { reason } => Err(std::io::Error::new(
+                ErrorKind::ConnectionRefused,
+                format!("server refused: {reason}"),
+            )),
+            other => Err(std::io::Error::new(
+                ErrorKind::InvalidData,
+                format!("expected Welcome, got {other:?}"),
+            )),
+        }
+    }
+
+    /// Announce completion of `phase`'s body.
+    pub fn arrive(&mut self, phase: u64) -> std::io::Result<()> {
+        self.stream
+            .write_all(&ClientFrame::Arrive { phase }.to_frame())
+    }
+
+    /// Liveness heartbeat between arrivals.
+    pub fn ping(&mut self) -> std::io::Result<()> {
+        self.stream.write_all(&ClientFrame::Ping.to_frame())
+    }
+
+    /// Orderly goodbye (the server treats it like a crash; the ring
+    /// closes over the survivors).
+    pub fn leave(mut self) -> std::io::Result<()> {
+        self.stream.write_all(&ClientFrame::Leave.to_frame())
+    }
+
+    /// Drop the connection abruptly — the load generator's "kill" switch:
+    /// from the server's side this is an EOF, a §4.1 detectable fault.
+    pub fn kill(self) {
+        let _ = self.stream.shutdown(std::net::Shutdown::Both);
+    }
+
+    /// Block (up to `timeout`) for the next server frame.
+    pub fn next_frame(&mut self, timeout: Duration) -> std::io::Result<ServerFrame> {
+        if let Some(f) = self.queued.pop_front() {
+            return Ok(f);
+        }
+        let deadline = Instant::now() + timeout;
+        let mut buf = [0u8; 4096];
+        let mut bodies = Vec::new();
+        loop {
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return Err(ErrorKind::TimedOut.into());
+            }
+            self.stream.set_read_timeout(Some(left))?;
+            match self.stream.read(&mut buf) {
+                Ok(0) => return Err(ErrorKind::UnexpectedEof.into()),
+                Ok(n) => {
+                    self.reader
+                        .push(&buf[..n], &mut bodies)
+                        .map_err(|e| std::io::Error::new(ErrorKind::InvalidData, e))?;
+                    for body in bodies.drain(..) {
+                        let f = ServerFrame::decode(&body).ok_or_else(|| {
+                            std::io::Error::new(ErrorKind::InvalidData, "malformed server frame")
+                        })?;
+                        self.queued.push_back(f);
+                    }
+                    if let Some(f) = self.queued.pop_front() {
+                        return Ok(f);
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                    return Err(ErrorKind::TimedOut.into());
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Block until the `Release` for `phase` (releases are strictly
+    /// ordered, so any other phase number is a protocol error).
+    pub fn await_release(&mut self, phase: u64, timeout: Duration) -> std::io::Result<()> {
+        match self.next_frame(timeout)? {
+            ServerFrame::Release { phase: got, .. } if got == phase => Ok(()),
+            ServerFrame::Release { phase: got, .. } => Err(std::io::Error::new(
+                ErrorKind::InvalidData,
+                format!("release out of order: wanted {phase}, got {got}"),
+            )),
+            ServerFrame::Bye { reason } => Err(std::io::Error::new(
+                ErrorKind::ConnectionAborted,
+                format!("server said bye: {reason}"),
+            )),
+            other => Err(std::io::Error::new(
+                ErrorKind::InvalidData,
+                format!("expected Release, got {other:?}"),
+            )),
+        }
+    }
+}
+
+/// What one load-generator client did.
+#[derive(Debug, Clone)]
+pub struct ClientOutcome {
+    /// Ring member id the server assigned.
+    pub member: u32,
+    /// Phases this client completed (arrive + release observed).
+    pub completed: u64,
+    /// Whether the plan killed this client on purpose.
+    pub killed: bool,
+    /// Error text if the client failed *unexpectedly*.
+    pub error: Option<String>,
+}
+
+/// Drive `phases` barrier phases through one session. `kills` is a list of
+/// `(member, phase)` pairs: if the server assigns this client one of those
+/// member ids, it drops its connection right before arriving at the paired
+/// phase — a mid-run crash the survivors must mask.
+pub fn run_client(
+    addr: SocketAddr,
+    group: &str,
+    size: u32,
+    phases: u64,
+    kills: &[(u32, u64)],
+    timeout: Duration,
+) -> ClientOutcome {
+    let mut client = match BarrierClient::join(addr, group, size, timeout) {
+        Ok(c) => c,
+        Err(e) => {
+            return ClientOutcome {
+                member: u32::MAX,
+                completed: 0,
+                killed: false,
+                error: Some(format!("join failed: {e}")),
+            }
+        }
+    };
+    let member = client.member;
+    let kill_at = kills.iter().find(|(m, _)| *m == member).map(|&(_, ph)| ph);
+    let mut completed = 0;
+    for phase in 0..phases {
+        if kill_at == Some(phase) {
+            client.kill();
+            return ClientOutcome {
+                member,
+                completed,
+                killed: true,
+                error: None,
+            };
+        }
+        if let Err(e) = client
+            .arrive(phase)
+            .and_then(|()| client.await_release(phase, timeout))
+        {
+            return ClientOutcome {
+                member,
+                completed,
+                killed: false,
+                error: Some(format!("phase {phase}: {e}")),
+            };
+        }
+        completed += 1;
+    }
+    let _ = client.leave();
+    ClientOutcome {
+        member,
+        completed,
+        killed: false,
+        error: None,
+    }
+}

@@ -1,0 +1,260 @@
+//! The client↔server wire protocol of the barrier service.
+//!
+//! Frames ride the same length-prefixed transport as the MB gossip wire
+//! (`ftbarrier_mp::socket`): a `u32` big-endian length followed by the
+//! body, reassembled by [`FrameReader`]. Bodies start with a kind byte;
+//! strings are `u16` big-endian length + UTF-8. Anything malformed decodes
+//! to `None` and the server drops the session — a garbled client is
+//! indistinguishable from a crashed one, which §4.1 already handles.
+
+use ftbarrier_mp::socket::frame;
+
+/// What a client may say to the server.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientFrame {
+    /// Join barrier group `group`, declared to close at `size` members.
+    /// The first declared size wins; later joiners must agree.
+    Join { group: String, size: u32 },
+    /// The client finished the body of `phase` and blocks on the barrier.
+    Arrive { phase: u64 },
+    /// Liveness heartbeat between arrivals (keeps the detector quiet).
+    Ping,
+    /// Orderly goodbye; treated as a detectable fault, not an error.
+    Leave,
+}
+
+/// What the server says back.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServerFrame {
+    /// The group sealed: the client is ring member `member` of `size`.
+    Welcome { member: u32, size: u32 },
+    /// The root completed a success sweep: everyone still live has passed
+    /// `phase`. `epoch` is the membership epoch (bumps on each splice) and
+    /// `live` the surviving member count.
+    Release { phase: u64, epoch: u64, live: u32 },
+    /// The server is closing the session.
+    Bye { reason: String },
+}
+
+const K_JOIN: u8 = 0x10;
+const K_ARRIVE: u8 = 0x11;
+const K_PING: u8 = 0x12;
+const K_LEAVE: u8 = 0x13;
+const K_WELCOME: u8 = 0x20;
+const K_RELEASE: u8 = 0x21;
+const K_BYE: u8 = 0x22;
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    let bytes = s.as_bytes();
+    debug_assert!(bytes.len() <= u16::MAX as usize, "string too long for wire");
+    out.extend_from_slice(&(bytes.len() as u16).to_be_bytes());
+    out.extend_from_slice(bytes);
+}
+
+fn take_str(body: &[u8], at: &mut usize) -> Option<String> {
+    let len = u16::from_be_bytes([*body.get(*at)?, *body.get(*at + 1)?]) as usize;
+    *at += 2;
+    let raw = body.get(*at..*at + len)?;
+    *at += len;
+    String::from_utf8(raw.to_vec()).ok()
+}
+
+fn take_u32(body: &[u8], at: &mut usize) -> Option<u32> {
+    let raw: [u8; 4] = body.get(*at..*at + 4)?.try_into().ok()?;
+    *at += 4;
+    Some(u32::from_be_bytes(raw))
+}
+
+fn take_u64(body: &[u8], at: &mut usize) -> Option<u64> {
+    let raw: [u8; 8] = body.get(*at..*at + 8)?.try_into().ok()?;
+    *at += 8;
+    Some(u64::from_be_bytes(raw))
+}
+
+/// `true` iff every body byte was consumed (trailing garbage is rejected).
+fn done(body: &[u8], at: usize) -> bool {
+    at == body.len()
+}
+
+impl ClientFrame {
+    /// Serialize to a ready-to-write length-prefixed frame.
+    pub fn to_frame(&self) -> Vec<u8> {
+        let mut body = Vec::new();
+        match self {
+            ClientFrame::Join { group, size } => {
+                body.push(K_JOIN);
+                put_str(&mut body, group);
+                body.extend_from_slice(&size.to_be_bytes());
+            }
+            ClientFrame::Arrive { phase } => {
+                body.push(K_ARRIVE);
+                body.extend_from_slice(&phase.to_be_bytes());
+            }
+            ClientFrame::Ping => body.push(K_PING),
+            ClientFrame::Leave => body.push(K_LEAVE),
+        }
+        frame(&body)
+    }
+
+    /// Decode one reassembled body. `None` means malformed.
+    pub fn decode(body: &[u8]) -> Option<ClientFrame> {
+        let (&kind, rest) = body.split_first()?;
+        let mut at = 0;
+        let decoded = match kind {
+            K_JOIN => {
+                let group = take_str(rest, &mut at)?;
+                let size = take_u32(rest, &mut at)?;
+                ClientFrame::Join { group, size }
+            }
+            K_ARRIVE => ClientFrame::Arrive {
+                phase: take_u64(rest, &mut at)?,
+            },
+            K_PING => ClientFrame::Ping,
+            K_LEAVE => ClientFrame::Leave,
+            _ => return None,
+        };
+        done(rest, at).then_some(decoded)
+    }
+}
+
+impl ServerFrame {
+    /// Serialize to a ready-to-write length-prefixed frame.
+    pub fn to_frame(&self) -> Vec<u8> {
+        let mut body = Vec::new();
+        match self {
+            ServerFrame::Welcome { member, size } => {
+                body.push(K_WELCOME);
+                body.extend_from_slice(&member.to_be_bytes());
+                body.extend_from_slice(&size.to_be_bytes());
+            }
+            ServerFrame::Release { phase, epoch, live } => {
+                body.push(K_RELEASE);
+                body.extend_from_slice(&phase.to_be_bytes());
+                body.extend_from_slice(&epoch.to_be_bytes());
+                body.extend_from_slice(&live.to_be_bytes());
+            }
+            ServerFrame::Bye { reason } => {
+                body.push(K_BYE);
+                put_str(&mut body, reason);
+            }
+        }
+        frame(&body)
+    }
+
+    /// Decode one reassembled body. `None` means malformed.
+    pub fn decode(body: &[u8]) -> Option<ServerFrame> {
+        let (&kind, rest) = body.split_first()?;
+        let mut at = 0;
+        let decoded = match kind {
+            K_WELCOME => {
+                let member = take_u32(rest, &mut at)?;
+                let size = take_u32(rest, &mut at)?;
+                ServerFrame::Welcome { member, size }
+            }
+            K_RELEASE => {
+                let phase = take_u64(rest, &mut at)?;
+                let epoch = take_u64(rest, &mut at)?;
+                let live = take_u32(rest, &mut at)?;
+                ServerFrame::Release { phase, epoch, live }
+            }
+            K_BYE => ServerFrame::Bye {
+                reason: take_str(rest, &mut at)?,
+            },
+            _ => return None,
+        };
+        done(rest, at).then_some(decoded)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftbarrier_mp::socket::FrameReader;
+
+    fn strip(framed: &[u8]) -> Vec<u8> {
+        framed[4..].to_vec()
+    }
+
+    #[test]
+    fn client_frames_round_trip() {
+        let frames = [
+            ClientFrame::Join {
+                group: "alpha/β".into(),
+                size: 12,
+            },
+            ClientFrame::Arrive { phase: u64::MAX },
+            ClientFrame::Ping,
+            ClientFrame::Leave,
+        ];
+        for f in frames {
+            let wire = f.to_frame();
+            assert_eq!(ClientFrame::decode(&strip(&wire)), Some(f));
+        }
+    }
+
+    #[test]
+    fn server_frames_round_trip() {
+        let frames = [
+            ServerFrame::Welcome { member: 3, size: 8 },
+            ServerFrame::Release {
+                phase: 19,
+                epoch: 2,
+                live: 7,
+            },
+            ServerFrame::Bye {
+                reason: "root died".into(),
+            },
+        ];
+        for f in frames {
+            let wire = f.to_frame();
+            assert_eq!(ServerFrame::decode(&strip(&wire)), Some(f));
+        }
+    }
+
+    #[test]
+    fn malformed_bodies_are_rejected() {
+        // Unknown kind.
+        assert_eq!(ClientFrame::decode(&[0x7f]), None);
+        assert_eq!(ServerFrame::decode(&[0x7f]), None);
+        // Empty body.
+        assert_eq!(ClientFrame::decode(&[]), None);
+        // Truncated Arrive payload.
+        assert_eq!(ClientFrame::decode(&[K_ARRIVE, 0, 0]), None);
+        // Trailing garbage after a valid Ping.
+        assert_eq!(ClientFrame::decode(&[K_PING, 0xaa]), None);
+        // String length overruns the body.
+        assert_eq!(ClientFrame::decode(&[K_JOIN, 0x00, 0x09, b'a']), None);
+        // Invalid UTF-8 in a string.
+        assert_eq!(
+            ClientFrame::decode(&[K_JOIN, 0x00, 0x01, 0xff, 0, 0, 0, 1]),
+            None
+        );
+    }
+
+    #[test]
+    fn frames_reassemble_through_the_shared_frame_reader() {
+        let mut wire = Vec::new();
+        let sent = [
+            ClientFrame::Join {
+                group: "g".into(),
+                size: 2,
+            },
+            ClientFrame::Arrive { phase: 0 },
+            ClientFrame::Ping,
+        ];
+        for f in &sent {
+            wire.extend_from_slice(&f.to_frame());
+        }
+        // Feed byte-at-a-time to exercise reassembly.
+        let mut reader = FrameReader::new();
+        let mut got = Vec::new();
+        for b in wire {
+            let mut out = Vec::new();
+            reader.push(&[b], &mut out).unwrap();
+            for body in out {
+                got.push(ClientFrame::decode(&body).unwrap());
+            }
+        }
+        assert_eq!(got.as_slice(), sent.as_slice());
+    }
+}

@@ -1,0 +1,189 @@
+//! End-to-end service tests: a real `Server` on loopback, real TCP
+//! clients, injected kills, stalls, and live `/metrics` scrapes.
+
+use ftbarrier_runtime::detector::DetectorConfig;
+use ftbarrier_server::client::{run_client, BarrierClient};
+use ftbarrier_server::group::GroupConfig;
+use ftbarrier_server::selftest::{http_get, run_selftest};
+use ftbarrier_server::server::{Server, ServerConfig};
+use ftbarrier_telemetry::export::PROMETHEUS_CONTENT_TYPE;
+use ftbarrier_telemetry::{prom, FlightDump};
+use std::thread;
+use std::time::{Duration, Instant};
+
+const T: Duration = Duration::from_secs(15);
+
+fn start(group: GroupConfig) -> Server {
+    Server::start(ServerConfig {
+        shards: 2,
+        group,
+        ..ServerConfig::default()
+    })
+    .expect("server start")
+}
+
+/// A full-size group completes every phase and the metrics endpoint
+/// serves a parseable exposition with the right Content-Type.
+#[test]
+fn fault_free_group_completes_and_metrics_parse() {
+    let server = start(GroupConfig::default());
+    let addr = server.addr();
+    let handles: Vec<_> = (0..3)
+        .map(|_| thread::spawn(move || run_client(addr, "steady", 3, 12, &[], T)))
+        .collect();
+    let outcomes: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    for o in &outcomes {
+        assert!(o.error.is_none(), "{o:?}");
+        assert_eq!(o.completed, 12, "{o:?}");
+    }
+    let mut members: Vec<u32> = outcomes.iter().map(|o| o.member).collect();
+    members.sort_unstable();
+    assert_eq!(members, vec![0, 1, 2], "each session got a distinct seat");
+
+    let (ct, body) = http_get(server.metrics_addr(), "/metrics").expect("scrape");
+    assert_eq!(ct, PROMETHEUS_CONTENT_TYPE);
+    let exp = prom::parse(&body).expect("exposition parses");
+    assert_eq!(
+        exp.value("server_releases_total", &[("group", "steady")]),
+        Some(12.0)
+    );
+    assert!(!exp.samples_of("runtime_phase_duration").is_empty());
+    server.shutdown();
+}
+
+/// Killing a non-root member mid-run is masked: the ring splices on EOF
+/// and every surviving client completes every phase.
+#[test]
+fn killed_member_is_spliced_and_survivors_finish() {
+    let server = start(GroupConfig::default());
+    let addr = server.addr();
+    let handles: Vec<_> = (0..4)
+        .map(|_| thread::spawn(move || run_client(addr, "crashy", 4, 10, &[(2, 4)], T)))
+        .collect();
+    let outcomes: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    let killed: Vec<_> = outcomes.iter().filter(|o| o.killed).collect();
+    assert_eq!(killed.len(), 1);
+    assert_eq!(killed[0].member, 2);
+    assert_eq!(killed[0].completed, 4, "died entering phase 4");
+    for o in outcomes.iter().filter(|o| !o.killed) {
+        assert!(o.error.is_none(), "{o:?}");
+        assert_eq!(o.completed, 10, "survivor {:?}", o.member);
+    }
+    let (_, body) = http_get(server.metrics_addr(), "/metrics").expect("scrape");
+    let exp = prom::parse(&body).expect("exposition parses");
+    assert_eq!(
+        exp.value("server_releases_total", &[("group", "crashy")]),
+        Some(10.0)
+    );
+    let log = server.log_snapshot();
+    assert!(
+        log.contains("member 2 vanished, spliced"),
+        "splice is logged:\n{log}"
+    );
+    server.shutdown();
+}
+
+/// Root death tears the whole group down: survivors get `Bye`, not a
+/// wedge.
+#[test]
+fn root_death_tears_the_group_down() {
+    let server = start(GroupConfig::default());
+    let addr = server.addr();
+    let handles: Vec<_> = (0..3)
+        .map(|_| thread::spawn(move || run_client(addr, "regicide", 3, 10, &[(0, 3)], T)))
+        .collect();
+    let outcomes: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    assert_eq!(outcomes.iter().filter(|o| o.killed).count(), 1);
+    for o in outcomes.iter().filter(|o| !o.killed) {
+        let err = o.error.as_deref().expect("survivors are told to go home");
+        assert!(
+            err.contains("bye") || err.contains("eof") || err.contains("timed"),
+            "{err}"
+        );
+    }
+    server.shutdown();
+}
+
+/// A connected-but-stalled client (pings, never arrives) wedges its group;
+/// the server's flight dump parses, replays, and blames that member.
+#[test]
+fn stalled_client_wedges_and_the_flight_dump_blames_it() {
+    let server = start(GroupConfig {
+        // Detector quiet (the staller pings); the wedge watchdog does the
+        // diagnosis.
+        detector: DetectorConfig {
+            base_timeout: 30.0,
+            backoff: 1.0,
+            max_timeout: 30.0,
+            suspicion_threshold: 10,
+        },
+        wedge_timeout: 0.8,
+        ..GroupConfig::default()
+    });
+    let addr = server.addr();
+
+    let handles: Vec<_> = (0..3)
+        .map(|_| thread::spawn(move || BarrierClient::join(addr, "stuck", 3, T).expect("join")))
+        .collect();
+    let mut clients: Vec<BarrierClient> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    clients.sort_by_key(|c| c.member);
+
+    // Phase 0 completes cleanly.
+    for c in clients.iter_mut() {
+        c.arrive(0).unwrap();
+    }
+    for c in clients.iter_mut() {
+        c.await_release(0, T).unwrap();
+    }
+    // Phase 1: members 0 and 2 arrive; member 1 only pings.
+    clients[0].arrive(1).unwrap();
+    clients[2].arrive(1).unwrap();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let dump = loop {
+        assert!(Instant::now() < deadline, "no flight dump before deadline");
+        clients[1].ping().unwrap();
+        if let Some(d) = server.last_flight_dump() {
+            break d;
+        }
+        thread::sleep(Duration::from_millis(50));
+    };
+    let parsed = FlightDump::parse(&dump).expect("dump parses");
+    parsed.replay().expect("dump replays");
+    assert_eq!(parsed.program, "server");
+    assert_eq!(parsed.kind, "wedge");
+    assert_eq!(parsed.reason, "stall");
+    assert_eq!(parsed.blamed, Some(1), "the stalled member is the culprit");
+    let log = server.log_snapshot();
+    assert!(log.contains("WEDGED"), "wedge is logged:\n{log}");
+    for c in clients {
+        c.kill();
+    }
+    server.shutdown();
+}
+
+/// Unknown paths 404; only `GET /metrics` is served.
+#[test]
+fn metrics_endpoint_rejects_other_paths() {
+    let server = start(GroupConfig::default());
+    let err = http_get(server.metrics_addr(), "/nope").expect_err("404");
+    assert!(err.to_string().contains("404"), "{err}");
+    server.shutdown();
+}
+
+/// The `repro serve --quick` acceptance run: ≥ 8 concurrent sessions,
+/// ≥ 20 phases, mid-run kills, live scrape parsed by the workspace's own
+/// Prometheus parser, every survivor completes every phase.
+#[test]
+fn selftest_quick_passes() {
+    let report = run_selftest(true);
+    assert!(
+        report.passed(),
+        "selftest failures: {:?}\nlog:\n{}",
+        report.failures,
+        report.server_log
+    );
+    assert!(report.sessions >= 8);
+    assert!(report.phases >= 20);
+    assert!(report.live_metrics.contains("runtime_phase_duration"));
+    assert!(report.server_log.contains("sealed"));
+}

@@ -13,6 +13,27 @@ use crate::metrics::{sanitize_name, Histogram, MetricKey, MetricsRegistry};
 use crate::recorder::{TelemetrySnapshot, TimelineEvent};
 use std::fmt::Write as _;
 
+/// The `Content-Type` an HTTP `/metrics` endpoint must send for the text
+/// exposition format. The `version` parameter is part of the contract:
+/// Prometheus content-negotiates on it.
+pub const PROMETHEUS_CONTENT_TYPE: &str = "text/plain; version=0.0.4";
+
+/// Escape a `# HELP` docstring for the text exposition format. HELP text
+/// escapes backslash and line feed only (`\\` and `\n`); double quotes are
+/// legal raw here, unlike in label values where [`MetricKey::render`] must
+/// also escape `"`.
+pub fn escape_help(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 /// Escape a string for inclusion in a JSON string literal.
 pub fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
@@ -214,7 +235,12 @@ fn key_with(key: &MetricKey, extra: &[(&str, &str)], name_suffix: &str) -> Strin
 
 fn write_histogram(out: &mut String, key: &MetricKey, h: &Histogram) {
     let name = sanitize_name(&key.name);
-    let _ = writeln!(out, "# HELP {} {}", name, crate::names::help_text(&name));
+    let _ = writeln!(
+        out,
+        "# HELP {} {}",
+        name,
+        escape_help(crate::names::help_text(&name))
+    );
     let _ = writeln!(out, "# TYPE {name} histogram");
     for (bound, cum) in h.cumulative_buckets() {
         let b = prom_value(bound);
@@ -265,7 +291,11 @@ pub fn metrics_to_prometheus(metrics: &MetricsRegistry) -> String {
             .as_ref()
             .is_none_or(|(n, t)| n != name || *t != ty)
         {
-            let _ = writeln!(out, "# HELP {name} {}", crate::names::help_text(name));
+            let _ = writeln!(
+                out,
+                "# HELP {name} {}",
+                escape_help(crate::names::help_text(name))
+            );
             let _ = writeln!(out, "# TYPE {name} {ty}");
             last_type = Some((name.to_owned(), ty));
         }
@@ -350,6 +380,40 @@ mod tests {
         assert!(s.contains("latency_count{link=\"0\"} 2"));
         assert!(s.contains("quantile=\"0.99\""));
         assert!(s.contains("le=\"+Inf\""));
+    }
+
+    #[test]
+    fn escape_help_escapes_backslash_and_newline_only() {
+        // Per the exposition format, HELP text escapes `\` and LF; a double
+        // quote is legal raw (only label values quote-escape).
+        assert_eq!(escape_help("a\\b\nc\"d"), "a\\\\b\\nc\"d");
+        assert_eq!(escape_help("plain"), "plain");
+    }
+
+    #[test]
+    fn prometheus_label_escapes_round_trip() {
+        let mut reg = MetricsRegistry::new();
+        reg.add_counter("weird_total", &[("path", "a\\b\"c\nd")], 5);
+        let text = metrics_to_prometheus(&reg);
+        assert!(
+            text.contains("path=\"a\\\\b\\\"c\\nd\""),
+            "label specials must be escaped on the wire: {text}"
+        );
+        let exp = crate::prom::parse(&text).unwrap();
+        assert_eq!(
+            exp.value("weird_total", &[("path", "a\\b\"c\nd")]),
+            Some(5.0)
+        );
+    }
+
+    #[test]
+    fn prometheus_help_escaping_round_trips_through_parser() {
+        let help = "docs with \\ backslash\nand a second line";
+        let text = format!("# HELP m {}\n# TYPE m gauge\nm 1\n", escape_help(help));
+        // The embedded LF must not split the HELP declaration across lines.
+        assert_eq!(text.lines().count(), 3, "{text}");
+        let exp = crate::prom::parse(&text).unwrap();
+        assert_eq!(exp.helps.get("m").map(String::as_str), Some(help));
     }
 
     #[test]

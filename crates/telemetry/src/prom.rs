@@ -68,7 +68,7 @@ pub fn parse(input: &str) -> Result<Exposition, (usize, String)> {
                     .next()
                     .ok_or((lineno, "HELP without metric name".to_owned()))?;
                 let text = decl[name.len()..].trim_start();
-                exp.helps.insert(name.to_owned(), text.to_owned());
+                exp.helps.insert(name.to_owned(), unescape_help(text));
             }
             continue; // other comments are ignored
         }
@@ -76,6 +76,31 @@ pub fn parse(input: &str) -> Result<Exposition, (usize, String)> {
         exp.samples.push(sample);
     }
     Ok(exp)
+}
+
+/// Undo [`crate::export::escape_help`]: `\\` → `\`, `\n` → line feed. Any
+/// other backslash sequence is left verbatim (the format reserves none).
+fn unescape_help(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars().peekable();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.peek() {
+                Some('\\') => {
+                    chars.next();
+                    out.push('\\');
+                }
+                Some('n') => {
+                    chars.next();
+                    out.push('\n');
+                }
+                _ => out.push('\\'),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
 }
 
 fn parse_sample(line: &str) -> Result<Sample, String> {
@@ -200,6 +225,15 @@ mod tests {
     fn handles_escaped_label_values() {
         let exp = parse("m{k=\"a\\\"b\\\\c\\nd\"} 3\n").unwrap();
         assert_eq!(exp.samples[0].labels[0].1, "a\"b\\c\nd");
+    }
+
+    #[test]
+    fn unescapes_help_text() {
+        let exp = parse("# HELP m Multi\\nline \\\\ docs.\n# TYPE m gauge\nm 1\n").unwrap();
+        assert_eq!(
+            exp.helps.get("m").map(String::as_str),
+            Some("Multi\nline \\ docs.")
+        );
     }
 
     #[test]
