@@ -1,0 +1,493 @@
+//! The Byzantine corruption campaign: adversarial writes **beyond** the
+//! in-domain scramble class the rest of this crate exercises.
+//!
+//! The self-stabilization audits ([`crate::campaign`]) draw corrupted states
+//! from the program's own variable domains — the paper's undetectable-fault
+//! class. A Byzantine process is stronger: it writes *out-of-domain* values
+//! (forged sequence numbers beyond the `L`-window, phases beyond
+//! `n_phases`), keeps rewriting within a budget, and on multi-position
+//! topologies equivocates (each of its positions gets an independent
+//! forgery). The claims audited here:
+//!
+//! * **Attribution soundness** ([`exhaustive_framing`]) — under the
+//!   `good`-gated sweep ([`ftbarrier_core::byz::GoodGate`]), exhaustively
+//!   over every interleaving of program actions and Byzantine writes by the
+//!   attacker set, out-of-domain state only ever appears at the attacker's
+//!   own positions. No correct process can be *framed*, so
+//!   conviction-by-inspection (splice whoever holds out-of-domain state) is
+//!   sound. The gating is load-bearing: the same search against the ungated
+//!   fixture ([`crate::fixture::LeakyGate`]) finds a short framing — a
+//!   forged `sn` laundered into a correct position by its own `RECV` — and
+//!   shrinks it to a replayable event sequence ([`Framing`]).
+//! * **Containment** ([`containment`]) — the full quarantine driver
+//!   (`ftbarrier_core::byz::run_byz`) over seeded random scenarios on all
+//!   five topology families: random sub-quorum Byzantine sets, budgets, and
+//!   attack rates, with multi-position attackers equivocating. Every
+//!   scenario must satisfy the containment gate (no wedge, no framed
+//!   correct process, every targeted phase completed).
+//!
+//! Any violation serializes as replayable JSON via
+//! [`crate::report::framing_to_json`] / [`ByzCampaignFailure::to_json`].
+
+use crate::shrink::{Event, NONDET_SEED};
+use ftbarrier_core::byz::{quorum, run_byz, ByzExperiment};
+use ftbarrier_core::cp::Cp;
+use ftbarrier_core::sim::TopologySpec;
+use ftbarrier_core::sweep::{pos_in_domain, PosState, SweepBarrier};
+use ftbarrier_core::Sn;
+use ftbarrier_gcs::{Pid, Protocol, SimRng};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::fmt::Write as _;
+use std::hash::Hash;
+
+/// The forgery arsenal for a sweep instance: representative out-of-domain
+/// writes — `sn` just past the window, `sn` far past it, `ph` past
+/// `n_phases`, and a fully scrambled combination. These are exactly the
+/// states [`pos_in_domain`] rejects, i.e. the detectable-Byzantine class.
+pub fn forged_states(rb: &SweepBarrier) -> Vec<PosState> {
+    let l = rb.sn_domain();
+    let p = rb.n_phases();
+    vec![
+        PosState {
+            sn: Sn::Val(l),
+            ..PosState::start()
+        },
+        PosState {
+            sn: Sn::Val(l.saturating_mul(17).saturating_add(3)),
+            cp: Cp::Success,
+            ..PosState::start()
+        },
+        PosState {
+            ph: p,
+            ..PosState::start()
+        },
+        PosState {
+            sn: Sn::Val(l.saturating_add(1)),
+            cp: Cp::Error,
+            ph: p.saturating_add(p),
+            done: false,
+            post: false,
+        },
+    ]
+}
+
+/// Per-position fault domains for [`exhaustive_framing`]: the attacker
+/// positions get the forgery arsenal, everyone else gets nothing (a correct
+/// process never writes out-of-domain — that is the hypothesis under test).
+pub fn byz_fault_domains(rb: &SweepBarrier, attackers: &[Pid]) -> Vec<Vec<PosState>> {
+    let arsenal = forged_states(rb);
+    (0..rb.dag().num_positions())
+        .map(|p| {
+            if attackers.contains(&p) {
+                arsenal.clone()
+            } else {
+                Vec::new()
+            }
+        })
+        .collect()
+}
+
+/// A minimized framing counterexample: from the initial state, `events`
+/// (program actions interleaved with Byzantine writes from the fault
+/// domains) lead to `state`, where the positions in `framed` — none of them
+/// attacker positions — hold out-of-domain values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Framing<S> {
+    pub events: Vec<Event>,
+    pub state: Vec<S>,
+    pub framed: Vec<Pid>,
+}
+
+/// Exhaustive framing search: BFS from `protocol`'s initial state over
+/// program actions *and* Byzantine writes (`fault_domains[pid]`, empty for
+/// correct pids), stopping at the first state where `framed` is non-empty.
+///
+/// `None` means the search exhausted the whole reachable-with-forgeries
+/// closure without a framing — an exhaustive proof of attribution soundness
+/// at this instance size. `Some` carries the *shortest* event sequence (BFS
+/// layer order) with a deterministic tie-break (fixed edge order), replayable
+/// through [`crate::shrink::replay`] with the same domains.
+///
+/// Panics if the closure exceeds `limit` states (a harness setup error).
+pub fn exhaustive_framing<P: Protocol>(
+    protocol: &P,
+    fault_domains: &[Vec<P::State>],
+    framed: impl Fn(&[P::State]) -> Vec<Pid>,
+    limit: usize,
+) -> Option<Framing<P::State>>
+where
+    P::State: Hash + Eq,
+{
+    let n = protocol.num_processes();
+    assert_eq!(fault_domains.len(), n, "one fault domain per process");
+    let initial = protocol.initial_state();
+    assert!(
+        framed(&initial).is_empty(),
+        "the initial state must not already be a framing"
+    );
+    type ParentMap<S> = HashMap<Vec<S>, (Vec<S>, Event)>;
+    let mut parent: ParentMap<P::State> = HashMap::new();
+    let mut seen: HashSet<Vec<P::State>> = HashSet::new();
+    let mut queue: VecDeque<Vec<P::State>> = VecDeque::new();
+    seen.insert(initial.clone());
+    queue.push_back(initial);
+
+    let hit = 'bfs: loop {
+        let Some(state) = queue.pop_front() else {
+            // Exhausted: no reachable state frames a correct process.
+            return None;
+        };
+        assert!(
+            seen.len() <= limit,
+            "framing BFS exceeded the state limit {limit}"
+        );
+        let mut push = |next: Vec<P::State>, event: Event| -> Option<Vec<P::State>> {
+            if seen.insert(next.clone()) {
+                parent.insert(next.clone(), (state.clone(), event));
+                if !framed(&next).is_empty() {
+                    return Some(next);
+                }
+                queue.push_back(next);
+            }
+            None
+        };
+        for pid in 0..n {
+            for action in 0..protocol.num_actions(pid) {
+                if !protocol.enabled(&state, pid, action) {
+                    continue;
+                }
+                for sample in 0..crate::campaign::NONDET_SAMPLES {
+                    let mut rng = SimRng::seed_from_u64(NONDET_SEED ^ sample as u64);
+                    let mut next = state.clone();
+                    next[pid] = protocol.execute(&state, pid, action, &mut rng);
+                    let event = Event::Action {
+                        pid,
+                        action,
+                        sample,
+                    };
+                    if let Some(hit) = push(next, event) {
+                        break 'bfs hit;
+                    }
+                }
+            }
+        }
+        for (pid, domain) in fault_domains.iter().enumerate() {
+            for (index, value) in domain.iter().enumerate() {
+                if state[pid] == *value {
+                    continue;
+                }
+                let mut next = state.clone();
+                next[pid] = value.clone();
+                if let Some(hit) = push(next, Event::Fault { pid, index }) {
+                    break 'bfs hit;
+                }
+            }
+        }
+    };
+
+    let framed_pids = framed(&hit);
+    let mut events = Vec::new();
+    let mut cursor = hit.clone();
+    while let Some((prev, event)) = parent.get(&cursor) {
+        events.push(event.clone());
+        cursor = prev.clone();
+    }
+    events.reverse();
+    Some(Framing {
+        events,
+        state: hit,
+        framed: framed_pids,
+    })
+}
+
+/// The framing predicate for a sweep instance: positions outside the
+/// attacker set holding out-of-domain state.
+pub fn sweep_framed(rb: &SweepBarrier, attackers: &[Pid]) -> impl Fn(&[PosState]) -> Vec<Pid> {
+    let (n_phases, sn_domain) = (rb.n_phases(), rb.sn_domain());
+    let attackers = attackers.to_vec();
+    move |g: &[PosState]| {
+        g.iter()
+            .enumerate()
+            .filter(|&(p, s)| !attackers.contains(&p) && !pos_in_domain(s, n_phases, sn_domain))
+            .map(|(p, _)| p)
+            .collect()
+    }
+}
+
+/// Configuration of the sampled containment campaign.
+#[derive(Debug, Clone, Copy)]
+pub struct ByzCampaignConfig {
+    /// Seeded random scenarios to run.
+    pub runs: u64,
+    pub seed: u64,
+    /// Phases every correct survivor must complete per scenario.
+    pub target_phases: u64,
+    /// Virtual-time horizon per scenario.
+    pub horizon: f64,
+}
+
+impl ByzCampaignConfig {
+    pub fn quick() -> ByzCampaignConfig {
+        ByzCampaignConfig {
+            runs: 10,
+            seed: 0x0B5E_55ED,
+            target_phases: 40,
+            horizon: 400.0,
+        }
+    }
+
+    pub fn full() -> ByzCampaignConfig {
+        ByzCampaignConfig {
+            runs: 40,
+            seed: 0x0B5E_55ED,
+            target_phases: 120,
+            horizon: 1_000.0,
+        }
+    }
+}
+
+/// A passed containment campaign.
+#[derive(Debug, Clone, Default)]
+pub struct ByzCampaignOutcome {
+    pub runs: u64,
+    /// Byzantine corruption events fired across all scenarios.
+    pub corruptions: u64,
+    /// Processes quarantined across all scenarios (all of them Byzantine —
+    /// a framed correct process fails the campaign).
+    pub quarantines: u64,
+    /// Scenarios whose attacker set included a multi-position (equivocating)
+    /// process.
+    pub equivocating_runs: u64,
+}
+
+/// A scenario that violated the containment gate, with everything needed to
+/// replay it through `ftbarrier_core::byz::run_byz`.
+#[derive(Debug, Clone)]
+pub struct ByzCampaignFailure {
+    pub seed: u64,
+    pub topology: String,
+    pub byzantine: Vec<usize>,
+    pub budget: usize,
+    pub phases: u64,
+    pub target: u64,
+    pub wedged: bool,
+    pub correct_quarantined: Vec<usize>,
+}
+
+impl ByzCampaignFailure {
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"program\": \"byz-containment\",");
+        let _ = writeln!(out, "  \"seed\": {},", self.seed);
+        let _ = writeln!(
+            out,
+            "  \"topology\": \"{}\",",
+            crate::report::escape(&self.topology)
+        );
+        let _ = writeln!(out, "  \"byzantine\": {:?},", self.byzantine);
+        let _ = writeln!(out, "  \"budget\": {},", self.budget);
+        let _ = writeln!(out, "  \"phases\": {},", self.phases);
+        let _ = writeln!(out, "  \"target\": {},", self.target);
+        let _ = writeln!(out, "  \"wedged\": {},", self.wedged);
+        let _ = writeln!(
+            out,
+            "  \"correct_quarantined\": {:?}",
+            self.correct_quarantined
+        );
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// The five topology families the containment gate covers, at N = 16.
+fn campaign_families() -> [TopologySpec; 5] {
+    [
+        TopologySpec::Ring { n: 16 },
+        TopologySpec::Tree { n: 16, arity: 2 },
+        TopologySpec::Dissemination { n: 16, radix: 2 },
+        TopologySpec::Hypercube { n: 16 },
+        TopologySpec::Butterfly { n: 16 },
+    ]
+}
+
+/// Run the sampled containment campaign: each seeded scenario draws a
+/// topology family, a sub-quorum Byzantine set (never the root), a budget,
+/// and an attack rate, then requires the quarantine driver's containment
+/// gate. Fails on the first violating scenario.
+pub fn containment(cfg: ByzCampaignConfig) -> Result<ByzCampaignOutcome, ByzCampaignFailure> {
+    let mut out = ByzCampaignOutcome::default();
+    let families = campaign_families();
+    for i in 0..cfg.runs {
+        let seed = crate::campaign::sample_seed(cfg.seed, i);
+        let mut rng = SimRng::seed_from_u64(seed);
+        let topology = families[rng.below(families.len())];
+        let n = topology.num_processes();
+        // Strictly below quorum, and small enough that every scenario keeps
+        // a healthy working set; the quorum boundary itself is pinned by the
+        // `repro byz` grid.
+        let f = 1 + rng.below(4);
+        let mut byzantine: Vec<usize> = Vec::with_capacity(f);
+        while byzantine.len() < f {
+            let pid = 1 + rng.below(n - 1);
+            if !byzantine.contains(&pid) {
+                byzantine.push(pid);
+            }
+        }
+        byzantine.sort_unstable();
+        let dag = topology.build().expect("campaign family");
+        if byzantine.iter().any(|&b| dag.positions_of(b).len() > 1) {
+            out.equivocating_runs += 1;
+        }
+        let exp = ByzExperiment {
+            topology,
+            byzantine: byzantine.clone(),
+            seed,
+            target_phases: cfg.target_phases,
+            horizon: cfg.horizon,
+            budget: 1 + rng.below(3),
+            attack_rate: 0.2 + rng.below(4) as f64 * 0.2,
+            max_quarantined: quorum(n) - 1,
+            ..ByzExperiment::default()
+        };
+        let m = run_byz(&exp);
+        if !m.contained() {
+            return Err(ByzCampaignFailure {
+                seed,
+                topology: topology.label().to_owned(),
+                byzantine,
+                budget: exp.budget,
+                phases: m.phases,
+                target: m.target,
+                wedged: m.wedged,
+                correct_quarantined: m.correct_quarantined,
+            });
+        }
+        out.runs += 1;
+        out.corruptions += m.budget_spent as u64;
+        out.quarantines += m.quarantined.len() as u64;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixture::LeakyGate;
+    use crate::shrink::replay;
+    use ftbarrier_core::byz::GoodGate;
+    use ftbarrier_topology::SweepDag;
+
+    fn small_sweep() -> SweepBarrier {
+        SweepBarrier::new(SweepDag::ring(3).unwrap(), 2)
+            .try_with_sn_domain(4)
+            .unwrap()
+    }
+
+    #[test]
+    fn forged_states_are_out_of_domain_and_scrambles_are_not() {
+        let rb = small_sweep();
+        for s in forged_states(&rb) {
+            assert!(!pos_in_domain(&s, rb.n_phases(), rb.sn_domain()), "{s:?}");
+        }
+        assert!(pos_in_domain(
+            &PosState::start(),
+            rb.n_phases(),
+            rb.sn_domain()
+        ));
+    }
+
+    #[test]
+    fn gated_sweep_admits_no_framing_exhaustively() {
+        let rb = small_sweep();
+        let attackers = [1usize];
+        let domains = byz_fault_domains(&rb, &attackers);
+        let gate = GoodGate::new(small_sweep());
+        let framing = exhaustive_framing(&gate, &domains, sweep_framed(&rb, &attackers), 4_000_000);
+        assert!(
+            framing.is_none(),
+            "the good-gate must contain every forgery: {framing:?}"
+        );
+    }
+
+    #[test]
+    fn ungated_sweep_is_framed_and_the_witness_replays() {
+        let rb = small_sweep();
+        let attackers = [1usize];
+        let domains = byz_fault_domains(&rb, &attackers);
+        let leaky = LeakyGate::new(small_sweep());
+        let framing =
+            exhaustive_framing(&leaky, &domains, sweep_framed(&rb, &attackers), 4_000_000)
+                .expect("without the gate, RECV launders the forged sn");
+        assert!(!framing.framed.is_empty());
+        assert!(
+            framing.framed.iter().all(|p| !attackers.contains(p)),
+            "framed positions are correct ones: {:?}",
+            framing.framed
+        );
+        assert!(
+            framing.events.len() <= 6,
+            "BFS must find a short witness: {:?}",
+            framing.events
+        );
+        assert!(
+            framing
+                .events
+                .iter()
+                .any(|e| matches!(e, Event::Fault { .. })),
+            "a framing needs at least one forgery"
+        );
+        let end = replay(&leaky, &domains, &framing.events);
+        assert_eq!(end, framing.state, "the witness replays exactly");
+    }
+
+    #[test]
+    fn framing_search_is_deterministic() {
+        let rb = small_sweep();
+        let attackers = [1usize];
+        let domains = byz_fault_domains(&rb, &attackers);
+        let a = exhaustive_framing(
+            &LeakyGate::new(small_sweep()),
+            &domains,
+            sweep_framed(&rb, &attackers),
+            4_000_000,
+        );
+        let b = exhaustive_framing(
+            &LeakyGate::new(small_sweep()),
+            &domains,
+            sweep_framed(&rb, &attackers),
+            4_000_000,
+        );
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn quick_containment_campaign_passes_with_equivocators() {
+        let out = containment(ByzCampaignConfig {
+            runs: 4,
+            ..ByzCampaignConfig::quick()
+        })
+        .unwrap_or_else(|f| panic!("containment violated: {}", f.to_json()));
+        assert_eq!(out.runs, 4);
+        assert!(out.corruptions > 0, "the campaign must actually attack");
+    }
+
+    #[test]
+    fn campaign_failure_json_is_wellformed() {
+        let failure = ByzCampaignFailure {
+            seed: 7,
+            topology: "ring-16".to_owned(),
+            byzantine: vec![3, 5],
+            budget: 2,
+            phases: 17,
+            target: 40,
+            wedged: true,
+            correct_quarantined: vec![4],
+        };
+        let json = failure.to_json();
+        let value = ftbarrier_telemetry::json::parse(&json).expect("well-formed JSON");
+        let obj = value.as_object().unwrap();
+        assert_eq!(obj.get("seed").and_then(|v| v.as_f64()), Some(7.0));
+        assert!(json.contains("\"wedged\": true"));
+    }
+}

@@ -10,6 +10,7 @@
 //! failing run to the tiny witness: a 2-process ring where two corruption
 //! events (`sn.0 := ⊥`, `sn.1 := ⊤`) force the ⊤ wave with no reset.
 
+use ftbarrier_core::sweep::{PosState, SweepBarrier};
 use ftbarrier_core::token_ring::TokenRing;
 use ftbarrier_core::Sn;
 use ftbarrier_gcs::{ActionId, Pid, Protocol, ReaderSet, SimRng, Time};
@@ -71,6 +72,74 @@ impl Protocol for BrokenRing {
 
     fn readers_of(&self, pid: Pid) -> ReaderSet {
         self.ring.readers_of(pid)
+    }
+}
+
+/// A "gate that forgot to gate": the Byzantine analogue of [`BrokenRing`].
+///
+/// [`ftbarrier_core::byz::GoodGate`] superposes the paper's `good` auxiliary
+/// on the sweep barrier, gating every action of a position on its own and
+/// its predecessors' states being in-domain. `LeakyGate` wraps the same
+/// program but delegates `enabled` straight through — the gating is
+/// "forgotten". The Byzantine framing search
+/// ([`crate::byz::exhaustive_framing`]) must find a short counterexample
+/// against it (a forged `sn` laundered into a correct position by that
+/// position's own `RECV`), proving the gate is load-bearing and the failure
+/// pipeline detects planted Byzantine bugs end to end.
+#[derive(Debug, Clone)]
+pub struct LeakyGate {
+    program: SweepBarrier,
+}
+
+impl LeakyGate {
+    pub fn new(program: SweepBarrier) -> LeakyGate {
+        LeakyGate { program }
+    }
+
+    pub fn program(&self) -> &SweepBarrier {
+        &self.program
+    }
+}
+
+impl Protocol for LeakyGate {
+    type State = PosState;
+
+    fn num_processes(&self) -> usize {
+        self.program.num_processes()
+    }
+
+    fn num_actions(&self, pid: Pid) -> usize {
+        self.program.num_actions(pid)
+    }
+
+    fn action_name(&self, pid: Pid, action: ActionId) -> &'static str {
+        self.program.action_name(pid, action)
+    }
+
+    fn enabled(&self, g: &[PosState], pid: Pid, action: ActionId) -> bool {
+        // The injected bug: no `good` gating — forged neighbor states are
+        // read (and adopted) as if they were honest.
+        self.program.enabled(g, pid, action)
+    }
+
+    fn execute(&self, g: &[PosState], pid: Pid, action: ActionId, rng: &mut SimRng) -> PosState {
+        self.program.execute(g, pid, action, rng)
+    }
+
+    fn cost(&self, pid: Pid, action: ActionId) -> Time {
+        self.program.cost(pid, action)
+    }
+
+    fn initial_state(&self) -> Vec<PosState> {
+        self.program.initial_state()
+    }
+
+    fn arbitrary_state(&self, pid: Pid, rng: &mut SimRng) -> PosState {
+        self.program.arbitrary_state(pid, rng)
+    }
+
+    fn readers_of(&self, pid: Pid) -> ReaderSet {
+        self.program.readers_of(pid)
     }
 }
 

@@ -5,6 +5,10 @@
 //! programs converge back to legal operation. This crate audits that claim
 //! adversarially across all three backends of the repo:
 //!
+//! * [`byz`] — the Byzantine corruption campaign: out-of-domain adversarial
+//!   writes and equivocating forgeries beyond the in-domain scramble class,
+//!   an exhaustive no-framing proof for the `good`-gated sweep, and the
+//!   sampled containment campaign over the quarantine driver.
 //! * [`campaign`] — exhaustive and seeded-sampled audits over the
 //!   *corruption closure* of the guarded-command programs (token ring, CB,
 //!   sweep barriers over DAGs): every assignment of `sn`/`cp`/`ph` within
@@ -24,6 +28,7 @@
 //!
 //! `repro audit` drives the whole suite; see DESIGN.md §6.
 
+pub mod byz;
 pub mod campaign;
 pub mod domains;
 pub mod fixture;
@@ -32,6 +37,10 @@ pub mod report;
 pub mod rt;
 pub mod shrink;
 
+pub use byz::{
+    byz_fault_domains, containment, exhaustive_framing, forged_states, sweep_framed,
+    ByzCampaignConfig, ByzCampaignFailure, ByzCampaignOutcome, Framing,
+};
 pub use campaign::{
     exhaustive, exhaustive_with_goal, sample_seed, sampled, ExhaustiveFailure, ExhaustiveOutcome,
     SampleConfig, SampleFailure, SampledOutcome, NONDET_SAMPLES,
@@ -39,8 +48,8 @@ pub use campaign::{
 pub use domains::{
     cb_domains, sn_domain_values, sweep_domains, sweep_quiescent, token_ring_domains,
 };
-pub use fixture::BrokenRing;
+pub use fixture::{BrokenRing, LeakyGate};
 pub use mb::{MbCampaignConfig, MbCampaignFailure, MbCampaignOutcome};
-pub use report::{sample_failure_to_json, shrunk_to_json};
+pub use report::{framing_to_json, sample_failure_to_json, shrunk_to_json};
 pub use rt::{RtCampaignConfig, RtCampaignOutcome};
 pub use shrink::{replay, shrink_family, verify_stuck, Event, Shrunk};

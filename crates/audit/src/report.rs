@@ -85,6 +85,62 @@ pub fn shrunk_to_json<P: Protocol>(
     out
 }
 
+/// Serialize a minimized Byzantine framing counterexample
+/// ([`crate::byz::Framing`]): the shortest action/forgery interleaving that
+/// plants out-of-domain state at a correct position. Replayable through
+/// [`crate::shrink::replay`] with the same fault domains.
+pub fn framing_to_json<P: Protocol>(
+    program: &str,
+    protocol: &P,
+    domains: &[Vec<P::State>],
+    framing: &crate::byz::Framing<P::State>,
+) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"program\": \"{}\",", escape(program));
+    let _ = writeln!(out, "  \"framed\": {:?},", framing.framed);
+    out.push_str("  \"events\": [\n");
+    for (i, event) in framing.events.iter().enumerate() {
+        let comma = if i + 1 < framing.events.len() {
+            ","
+        } else {
+            ""
+        };
+        match *event {
+            Event::Fault { pid, index } => {
+                let value = escape(&format!("{:?}", domains[pid][index]));
+                let _ = writeln!(
+                    out,
+                    "    {{\"type\": \"forgery\", \"pid\": {pid}, \"index\": {index}, \
+                     \"value\": \"{value}\"}}{comma}"
+                );
+            }
+            Event::Action {
+                pid,
+                action,
+                sample,
+            } => {
+                let name = escape(protocol.action_name(pid, action));
+                let _ = writeln!(
+                    out,
+                    "    {{\"type\": \"action\", \"pid\": {pid}, \"action\": {action}, \
+                     \"sample\": {sample}, \"name\": \"{name}\"}}{comma}"
+                );
+            }
+        }
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"state\": [");
+    for (i, s) in framing.state.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "\"{}\"", escape(&format!("{s:?}")));
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
 /// Serialize an unshrunk sampled failure (kept alongside the shrunk witness
 /// so the original failing seed stays reproducible).
 pub fn sample_failure_to_json<S: std::fmt::Debug>(

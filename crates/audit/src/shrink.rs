@@ -28,7 +28,7 @@ use std::hash::Hash;
 /// `Explorer::successors` in `ftbarrier-gcs` (stream `s` is seeded
 /// `0xE00E ^ s`) so that shrunk action events replay to the same states the
 /// audit explored.
-const NONDET_SEED: u64 = 0xE0_0E;
+pub(crate) const NONDET_SEED: u64 = 0xE0_0E;
 
 /// One event of a minimized counterexample.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -17,7 +17,8 @@
 //! Any real failure is serialized as replayable JSON (the `repro` binary
 //! writes it under `results/` and exits nonzero; CI uploads it).
 
-use ftbarrier_audit::{campaign, domains, fixture, mb, report, rt, shrink};
+use ftbarrier_audit::{byz, campaign, domains, fixture, mb, report, rt, shrink};
+use ftbarrier_core::byz::GoodGate;
 use ftbarrier_core::cb::Cb;
 use ftbarrier_core::cp::Cp;
 use ftbarrier_core::sweep::SweepBarrier;
@@ -72,9 +73,16 @@ pub struct AuditReport {
     /// views, churn underneath).
     pub mb_membership: Option<mb::MbCampaignOutcome>,
     pub rt: Option<rt::RtCampaignOutcome>,
+    /// The Byzantine containment campaign (out-of-domain adversarial writes,
+    /// equivocating forgeries, the quarantine driver's gate).
+    pub byz: Option<byz::ByzCampaignOutcome>,
     /// The broken-ring fixture's minimized witness (always produced — it
     /// demonstrates the failure pipeline).
     pub fixture_json: String,
+    /// The leaky-gate fixture's minimized Byzantine framing (always
+    /// produced — it proves the `good`-gating is load-bearing and the
+    /// Byzantine failure pipeline detects planted bugs).
+    pub byz_fixture_json: String,
     pub failures: Vec<AuditFailure>,
 }
 
@@ -375,6 +383,66 @@ pub fn run_with_metrics(quick: bool, mut registry: Option<&mut MetricsRegistry>)
     };
     out.rt = Some(rt::campaign(rt_cfg));
 
+    eprintln!("  campaign: Byzantine containment (out-of-domain writes, equivocation)…");
+    let byz_cfg = if quick {
+        byz::ByzCampaignConfig::quick()
+    } else {
+        byz::ByzCampaignConfig::full()
+    };
+    match byz::containment(byz_cfg) {
+        Ok(outcome) => out.byz = Some(outcome),
+        Err(failure) => out.failures.push(AuditFailure {
+            name: format!("counterexample_byz_seed{}", failure.seed),
+            json: failure.to_json(),
+        }),
+    }
+
+    eprintln!("  exhaustive: no-framing proof for the good-gated sweep…");
+    let byz_sweep = || {
+        SweepBarrier::new(SweepDag::ring(3).expect("ring(3)"), 2)
+            .try_with_sn_domain(4)
+            .expect("L = 4 over 3 positions")
+    };
+    let byz_attackers = [1usize];
+    let byz_domains = byz::byz_fault_domains(&byz_sweep(), &byz_attackers);
+    let framed = byz::sweep_framed(&byz_sweep(), &byz_attackers);
+    if let Some(framing) =
+        byz::exhaustive_framing(&GoodGate::new(byz_sweep()), &byz_domains, &framed, LIMIT)
+    {
+        out.failures.push(AuditFailure {
+            name: "counterexample_byz_framing".to_owned(),
+            json: report::framing_to_json(
+                "good-gate",
+                &GoodGate::new(byz_sweep()),
+                &byz_domains,
+                &framing,
+            ),
+        });
+    }
+
+    eprintln!("  fixture: framing the leaky gate…");
+    match byz::exhaustive_framing(
+        &fixture::LeakyGate::new(byz_sweep()),
+        &byz_domains,
+        &framed,
+        LIMIT,
+    ) {
+        Some(framing) => {
+            out.byz_fixture_json = report::framing_to_json(
+                "leaky-gate",
+                &fixture::LeakyGate::new(byz_sweep()),
+                &byz_domains,
+                &framing,
+            );
+        }
+        None => out.failures.push(AuditFailure {
+            name: "byz_fixture_self_check".to_owned(),
+            json: "{\n  \"failure\": \"the leaky-gate fixture produced no framing — \
+                   the Byzantine audit is not detecting planted bugs\"\n}\n"
+                .to_owned(),
+        }),
+    }
+
     eprintln!("  fixture: shrinking the broken ring…");
     let family = |n: usize| {
         let ring = TokenRing::new(n);
@@ -468,10 +536,23 @@ pub fn render_campaigns(report: &AuditReport) -> String {
             rt.summary.phases, rt.summary.repeats, rt.injections_done,
         );
     }
+    if let Some(byz) = &report.byz {
+        let _ = writeln!(
+            out,
+            "byzantine campaign: {} scenarios contained ({} corruptions, \
+             {} quarantines, {} with equivocating multi-position attackers)",
+            byz.runs, byz.corruptions, byz.quarantines, byz.equivocating_runs,
+        );
+    }
     let _ = writeln!(
         out,
         "fixture self-check: broken ring shrank to a minimal counterexample \
          (results/counterexample_broken_ring.json)"
+    );
+    let _ = writeln!(
+        out,
+        "byzantine fixture self-check: leaky gate framed a correct position \
+         (results/counterexample_leaky_gate.json); the gated sweep admits no framing"
     );
     out
 }
@@ -491,6 +572,11 @@ mod tests {
         assert!(!report.exhaustive.is_empty());
         assert_eq!(report.sampled.len(), 8);
         assert!(report.fixture_json.contains("broken-ring"));
+        assert!(report.byz_fixture_json.contains("leaky-gate"));
+        assert!(
+            report.byz.is_some(),
+            "the Byzantine containment campaign ran"
+        );
         let table = render_exhaustive(&report.exhaustive);
         assert!(table.contains("token-ring"));
         assert!(render_sampled(&report.sampled).contains("sweep-tree"));
@@ -500,6 +586,8 @@ mod tests {
         let campaigns = render_campaigns(&report);
         assert!(campaigns.contains("runtime campaign"));
         assert!(campaigns.contains("membership campaign"));
+        assert!(campaigns.contains("byzantine campaign"));
+        assert!(campaigns.contains("leaky gate"));
     }
 
     #[test]

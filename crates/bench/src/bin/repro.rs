@@ -15,7 +15,10 @@
 //! `churn` (never part of `all`) runs the dynamic-membership
 //! availability sweep across both backends and writes
 //! `results/churn.json` + `results/churn_table.md`, exiting nonzero if any
-//! row misses the >= 0.99 availability bar. `topo` (never part of `all`)
+//! row misses the >= 0.99 availability bar. `byz` (never part of `all`)
+//! runs the Byzantine containment sweep across all five topology families,
+//! writes `results/byz.json`, and exits nonzero if any `f < quorum` cell
+//! misses full containment (or any cell frames a correct process). `topo` (never part of `all`)
 //! measures detection/recovery latency across all five sweep topology
 //! families, writes `results/topo.json`, and exits nonzero unless the
 //! log-depth grids beat the ring's recovery p50 at N = 1024. `critpath`
@@ -27,12 +30,12 @@
 //! sweep harness and writes `BENCH_engine.json`.
 
 use ftbarrier_bench::{
-    ablations, audit_exp, churn_exp, critpath_exp, enginebench, figures, mb_exp, render,
+    ablations, audit_exp, byz_exp, churn_exp, critpath_exp, enginebench, figures, mb_exp, render,
     results_dir, serve_exp, table1, topo_exp, trace_exp, write_atomic,
 };
 use std::path::PathBuf;
 
-const SUBCOMMANDS: [&str; 16] = [
+const SUBCOMMANDS: [&str; 17] = [
     "fig3",
     "fig4",
     "fig5",
@@ -44,6 +47,7 @@ const SUBCOMMANDS: [&str; 16] = [
     "audit",
     "trace",
     "churn",
+    "byz",
     "topo",
     "critpath",
     "serve",
@@ -183,6 +187,12 @@ fn main() {
         let fixture_path = dir.join("counterexample_broken_ring.json");
         write_atomic(&fixture_path, &report.fixture_json);
         eprintln!("wrote {} (fixture demonstration)", fixture_path.display());
+        let byz_fixture_path = dir.join("counterexample_leaky_gate.json");
+        write_atomic(&byz_fixture_path, &report.byz_fixture_json);
+        eprintln!(
+            "wrote {} (byzantine fixture demonstration)",
+            byz_fixture_path.display()
+        );
         for failure in &report.failures {
             let path = dir.join(format!("{}.json", failure.name));
             write_atomic(&path, &failure.json);
@@ -235,6 +245,27 @@ fn main() {
             std::process::exit(1);
         }
         println!("churn sweep passed: every row at or above 0.99 availability");
+    }
+    // The Byzantine containment sweep writes results/byz.json and gates CI
+    // on the f < quorum containment bar, so `all` skips it; ask for it
+    // explicitly (CI runs `repro byz --quick`).
+    if opts.what.iter().any(|w| w == "byz") {
+        eprintln!("running the Byzantine containment sweep\u{2026}");
+        let rows = byz_exp::rows(opts.quick);
+        println!("{}", byz_exp::render(&rows));
+        let dir = results_dir();
+        let json_path = dir.join("byz.json");
+        write_atomic(&json_path, byz_exp::to_json(&rows));
+        eprintln!("wrote {}", json_path.display());
+        let violations = byz_exp::violations(&rows);
+        if violations > 0 {
+            eprintln!("BYZ SWEEP FAILED: {violations} cell(s) under the containment gate");
+            std::process::exit(1);
+        }
+        println!(
+            "byz sweep passed: every f < quorum cell fully contained, \
+             no correct process quarantined"
+        );
     }
     // The topology comparison writes results/topo.json and gates CI on the
     // O(log N) recovery bar, so `all` skips it; ask for it explicitly

@@ -1,0 +1,288 @@
+//! Byzantine containment experiment (`repro byz`): fraction of phases the
+//! correct processes complete vs. the number of Byzantine peers `f`.
+//!
+//! The claim under test is §7's graceful degradation, made concrete by the
+//! [`ftbarrier_core::byz`] quarantine driver: a Byzantine process that
+//! writes outside its variable domains is convicted by inspection and
+//! quarantined by splice, so the *correct* processes keep completing phases
+//! instead of wedging behind the forgery. The hard gate:
+//!
+//! > for every `f <` [`quorum`] cell — at N = 16, across at least three
+//! > seeds and all five topology families — every correct process completes
+//! > every phase (completion = 1.0), and no correct process is ever
+//! > quarantined.
+//!
+//! Cells at `f ≥ quorum` are run too (they demonstrate the splice
+//! authority's refusal bound) but are gated only on *attribution*: the
+//! authority must never splice past `quorum − 1` and must never frame a
+//! correct process, even when it cannot save the run.
+
+use ftbarrier_core::byz::{quorum, run_byz, ByzExperiment};
+use ftbarrier_core::sim::TopologySpec;
+
+use crate::parallel::parallel_map;
+
+/// JSON schema tag for `results/byz.json`.
+pub const SCHEMA: &str = "byz/v1";
+/// Communication latency per hop (the grid the other figures use).
+const C: f64 = 0.01;
+/// Base seed (the paper's publication date, like the MB experiments).
+const SEED: u64 = 0x1998_0B17;
+/// Every cell runs at this process count.
+pub const N: usize = 16;
+
+/// One measured containment cell.
+#[derive(Debug, Clone)]
+pub struct ByzRow {
+    pub topology: &'static str,
+    /// Number of Byzantine processes in the cell.
+    pub f: usize,
+    pub seed: u64,
+    pub phases: u64,
+    pub target: u64,
+    /// `phases / target`, capped at 1.
+    pub completion: f64,
+    pub quarantined: usize,
+    /// Quarantined processes outside the Byzantine set (framed correct
+    /// processes — any nonzero value is a gate violation).
+    pub correct_quarantined: usize,
+    pub wedged: bool,
+    /// Corruption events the adversary actually fired.
+    pub corruptions: usize,
+    pub oracle_violations: usize,
+    pub epoch: u64,
+    /// Does the `f < quorum` containment gate apply to this cell?
+    pub gated: bool,
+}
+
+impl ByzRow {
+    /// Does this cell satisfy its gate? Sub-quorum cells must be fully
+    /// contained; at-or-above-quorum cells must only stay attributable.
+    pub fn ok(&self) -> bool {
+        let attributable = self.correct_quarantined == 0 && self.quarantined < quorum(N);
+        if self.gated {
+            attributable && !self.wedged && self.completion >= 1.0
+        } else {
+            attributable
+        }
+    }
+}
+
+/// Cells failing their gate.
+pub fn violations(rows: &[ByzRow]) -> usize {
+    rows.iter().filter(|r| !r.ok()).count()
+}
+
+/// The five sweep topology families at N = 16.
+fn families() -> [TopologySpec; 5] {
+    [
+        TopologySpec::Ring { n: N },
+        TopologySpec::Tree { n: N, arity: 2 },
+        TopologySpec::Dissemination { n: N, radix: 2 },
+        TopologySpec::Hypercube { n: N },
+        TopologySpec::Butterfly { n: N },
+    ]
+}
+
+/// `f` distinct non-root pids spread around the identifier space.
+fn spread(f: usize) -> Vec<usize> {
+    (0..f).map(|i| 1 + i * (N - 1) / f.max(1)).collect()
+}
+
+/// The containment sweep: all five families × `f` grid × three seeds.
+pub fn rows(quick: bool) -> Vec<ByzRow> {
+    let fs: &[usize] = if quick {
+        &[0, 1, 2, 8, 12]
+    } else {
+        &[0, 1, 2, 4, 8, 12]
+    };
+    let target = if quick { 60 } else { 200 };
+    let horizon = if quick { 500.0 } else { 1500.0 };
+    let budget = if quick { 2 } else { 4 };
+    let seeds: Vec<u64> = (0..3).map(|i| SEED ^ (0xB12 << i)).collect();
+
+    let mut cells: Vec<(TopologySpec, usize, u64)> = Vec::new();
+    for &topology in &families() {
+        for &f in fs {
+            for &seed in &seeds {
+                cells.push((topology, f, seed));
+            }
+        }
+    }
+    parallel_map(cells, move |(topology, f, seed)| {
+        let exp = ByzExperiment {
+            topology,
+            n_phases: 8,
+            c: C,
+            seed,
+            target_phases: target,
+            horizon,
+            detect_latency: 2.0,
+            byzantine: spread(f),
+            budget,
+            attack_rate: 0.5,
+            max_quarantined: quorum(N) - 1,
+        };
+        let m = run_byz(&exp);
+        ByzRow {
+            topology: topology.label(),
+            f,
+            seed,
+            phases: m.phases,
+            target: m.target,
+            completion: m.completion(),
+            quarantined: m.quarantined.len(),
+            correct_quarantined: m.correct_quarantined.len(),
+            wedged: m.wedged,
+            corruptions: m.budget_spent,
+            oracle_violations: m.violations,
+            epoch: m.epoch,
+            gated: f < quorum(N),
+        }
+    })
+}
+
+/// Render the containment table.
+pub fn render(rows: &[ByzRow]) -> String {
+    let mut s = String::new();
+    s.push_str(&format!(
+        "Byzantine containment at N = {N} (quorum = {}; gate: f < quorum \u{21d2} completion 1.0,\n no correct process quarantined; f \u{2265} quorum \u{21d2} authority refuses past quorum-1)\n\n",
+        quorum(N)
+    ));
+    s.push_str(&format!(
+        "{:<14} {:>3} {:>12} {:>7} {:>11} {:>6} {:>7} {:>7} {:>7} {:>6} {:>5}\n",
+        "topology",
+        "f",
+        "seed",
+        "phases",
+        "completion",
+        "quar",
+        "framed",
+        "wedged",
+        "corrupt",
+        "viol",
+        "ok"
+    ));
+    for r in rows {
+        s.push_str(&format!(
+            "{:<14} {:>3} {:>12x} {:>7} {:>11.4} {:>6} {:>7} {:>7} {:>7} {:>6} {:>5}\n",
+            r.topology,
+            r.f,
+            r.seed,
+            r.phases,
+            r.completion,
+            r.quarantined,
+            r.correct_quarantined,
+            r.wedged,
+            r.corruptions,
+            r.oracle_violations,
+            r.ok()
+        ));
+    }
+    s.push_str(&format!(
+        "\n{} cell(s), {} gate violation(s)\n",
+        rows.len(),
+        violations(rows)
+    ));
+    s
+}
+
+/// JSON document for the CI artifact (hand-rolled like the other exports).
+pub fn to_json(rows: &[ByzRow]) -> String {
+    let mut s = format!(
+        "{{\n  \"schema\": \"{SCHEMA}\",\n  \"n\": {N},\n  \"quorum\": {},\n  \"rows\": [\n",
+        quorum(N)
+    );
+    for (i, r) in rows.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"topology\": \"{}\", \"f\": {}, \"seed\": {}, \"phases\": {}, \"target\": {}, \"completion\": {:.5}, \"quarantined\": {}, \"correct_quarantined\": {}, \"wedged\": {}, \"corruptions\": {}, \"oracle_violations\": {}, \"epoch\": {}, \"gated\": {}, \"ok\": {}}}{}\n",
+            r.topology,
+            r.f,
+            r.seed,
+            r.phases,
+            r.target,
+            r.completion,
+            r.quarantined,
+            r.correct_quarantined,
+            r.wedged,
+            r.corruptions,
+            r.oracle_violations,
+            r.epoch,
+            r.gated,
+            r.ok(),
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    s.push_str(&format!(
+        "  ],\n  \"gate_violations\": {},\n  \"passed\": {}\n}}\n",
+        violations(rows),
+        violations(rows) == 0
+    ));
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_grid_holds_the_containment_gate() {
+        let rows = rows(true);
+        // 5 families × 5 f-values × 3 seeds.
+        assert_eq!(rows.len(), 75);
+        assert_eq!(
+            violations(&rows),
+            0,
+            "cells violating the gate: {:#?}",
+            rows.iter().filter(|r| !r.ok()).collect::<Vec<_>>()
+        );
+        // Fault-free cells stay pristine.
+        for r in rows.iter().filter(|r| r.f == 0) {
+            assert_eq!(r.quarantined, 0, "{r:?}");
+            assert_eq!(r.oracle_violations, 0, "{r:?}");
+            assert_eq!(r.epoch, 0, "{r:?}");
+        }
+        // The adversary really fired in every Byzantine cell.
+        for r in rows.iter().filter(|r| r.f > 0) {
+            assert!(r.corruptions > 0, "adversary never attacked: {r:?}");
+        }
+        // The beyond-quorum rows are present and never frame anyone.
+        assert!(rows.iter().any(|r| !r.gated));
+    }
+
+    #[test]
+    fn json_shape_is_parseable_and_carries_the_schema() {
+        let rows = vec![ByzRow {
+            topology: "ring",
+            f: 2,
+            seed: 7,
+            phases: 60,
+            target: 60,
+            completion: 1.0,
+            quarantined: 2,
+            correct_quarantined: 0,
+            wedged: false,
+            corruptions: 4,
+            oracle_violations: 3,
+            epoch: 2,
+            gated: true,
+        }];
+        let json = to_json(&rows);
+        assert!(json.contains("\"schema\": \"byz/v1\""));
+        assert!(json.contains("\"passed\": true"));
+        ftbarrier_telemetry::json::parse(&json).expect("valid json");
+    }
+
+    #[test]
+    fn spread_picks_distinct_non_root_pids() {
+        for f in 1..=12 {
+            let pids = spread(f);
+            assert_eq!(pids.len(), f);
+            let mut dedup = pids.clone();
+            dedup.sort_unstable();
+            dedup.dedup();
+            assert_eq!(dedup.len(), f, "f={f}: {pids:?}");
+            assert!(pids.iter().all(|&p| p > 0 && p < N));
+        }
+    }
+}

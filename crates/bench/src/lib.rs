@@ -15,6 +15,7 @@
 
 pub mod ablations;
 pub mod audit_exp;
+pub mod byz_exp;
 pub mod churn_exp;
 pub mod critpath_exp;
 pub mod enginebench;

@@ -25,6 +25,7 @@
 //! instantiations ([`instantiations`]).
 
 pub mod analysis;
+pub mod byz;
 pub mod cb;
 pub mod churn;
 pub mod cp;

@@ -52,6 +52,53 @@ impl FaultAction<PosState> for SweepUndetectableFault {
     }
 }
 
+/// A Byzantine forgery *beyond* the in-domain scramble class: every variable
+/// is written a value **outside** its domain (`sn ≥ L` as a forged ordinary
+/// value, `ph ≥ n_phases`). Such a write is never produced by the program or
+/// by §2's fault classes, so it is *evidence* — any peer (or the recovery
+/// authority) that inspects the state can convict the writer, which is what
+/// lets detectable Byzantine behavior be quarantined by splice (§7's `good`
+/// bit withdrawn) instead of wedging the ring.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepByzantineFault {
+    pub n_phases: u32,
+    pub sn_domain: u32,
+}
+
+impl FaultAction<PosState> for SweepByzantineFault {
+    fn kind(&self) -> FaultKind {
+        // No self-flag is raised (`cp` is *not* set to `error`): the writer
+        // does not announce the fault. Detection is by inspection.
+        FaultKind::Undetectable
+    }
+
+    fn apply(&self, _pid: Pid, s: &mut PosState, rng: &mut SimRng) {
+        // Forged "ordinary" sequence number strictly outside {0..L-1}.
+        s.sn = Sn::Val(
+            self.sn_domain
+                .saturating_add(rng.range_u64(0, 1 << 16) as u32),
+        );
+        // Phase counter outside {0..n_phases-1} (bounded, so downstream
+        // arithmetic like `(ph + 1) % n_phases` cannot overflow).
+        s.ph = self.n_phases + rng.range_u64(0, self.n_phases as u64) as u32;
+        s.cp = *rng.choose(&Cp::RB_DOMAIN);
+        s.done = rng.chance(0.5);
+        s.post = rng.chance(0.5);
+    }
+}
+
+/// Is this state inside the sweep program's variable domains? `⊥`/`⊤` are
+/// legitimate flag values (detectable faults), so they are in-domain; a
+/// forged ordinary `sn ≥ L` or a `ph ≥ n_phases` is not — it is Byzantine
+/// evidence ([`SweepByzantineFault`] is exactly the writer of such values).
+pub fn pos_in_domain(s: &PosState, n_phases: u32, sn_domain: u32) -> bool {
+    let sn_ok = match s.sn {
+        Sn::Bot | Sn::Top => true,
+        Sn::Val(v) => v < sn_domain,
+    };
+    sn_ok && s.ph < n_phases
+}
+
 /// Poisson fault arrivals that strike a uniformly random *process* and
 /// perturb **all of its positions** (a fault hits the process, which owns
 /// its real variables *and* its local copies of neighbors' variables, §5).
@@ -224,6 +271,42 @@ mod tests {
             }
         }
         assert!(found_multi, "non-root victims must corrupt both positions");
+    }
+
+    #[test]
+    fn byzantine_fault_writes_out_of_domain_evidence() {
+        let f = SweepByzantineFault {
+            n_phases: 4,
+            sn_domain: 11,
+        };
+        let mut rng = SimRng::seed_from_u64(2);
+        for _ in 0..200 {
+            let mut s = PosState::start();
+            assert!(pos_in_domain(&s, 4, 11));
+            f.apply(0, &mut s, &mut rng);
+            assert!(!pos_in_domain(&s, 4, 11), "forgery must be evidence: {s}");
+            let Sn::Val(v) = s.sn else {
+                panic!("forgery writes an ordinary-looking sn")
+            };
+            assert!(v >= 11);
+            assert!(s.ph >= 4 && s.ph < 8);
+        }
+    }
+
+    #[test]
+    fn in_domain_accepts_flags_and_rejects_forgeries() {
+        let mut s = PosState::start();
+        s.sn = Sn::Bot;
+        assert!(pos_in_domain(&s, 4, 11), "⊥ is a legitimate flag value");
+        s.sn = Sn::Top;
+        assert!(pos_in_domain(&s, 4, 11), "⊤ is a legitimate flag value");
+        s.sn = Sn::Val(10);
+        assert!(pos_in_domain(&s, 4, 11));
+        s.sn = Sn::Val(11);
+        assert!(!pos_in_domain(&s, 4, 11));
+        s.sn = Sn::Val(0);
+        s.ph = 4;
+        assert!(!pos_in_domain(&s, 4, 11));
     }
 
     #[test]

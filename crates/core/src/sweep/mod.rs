@@ -28,7 +28,9 @@ mod program;
 mod soa;
 mod state;
 
-pub use faults::{ProcessFaults, SweepDetectableFault, SweepUndetectableFault};
+pub use faults::{
+    pos_in_domain, ProcessFaults, SweepByzantineFault, SweepDetectableFault, SweepUndetectableFault,
+};
 pub use mb::mb_ring;
 pub use program::{SweepBarrier, SweepStateView, POSTWORK, RECV, T3, T4, T5, WORK};
 pub use soa::SweepSoa;

@@ -185,6 +185,16 @@ impl SweepBarrier {
         &self.dag
     }
 
+    /// Number of phases `ph` counts modulo.
+    pub fn n_phases(&self) -> u32 {
+        self.n_phases
+    }
+
+    /// The sequence-number modulus `L` (ordinary values are `0..L`).
+    pub fn sn_domain(&self) -> u32 {
+        self.sn_domain
+    }
+
     /// Does `pos` execute the phase body (as opposed to relaying)?
     pub fn is_worker(&self, pos: Pos) -> bool {
         self.worker[pos]

@@ -265,6 +265,62 @@ pub fn run_dense(
     )
 }
 
+/// Protocol-generic engine differential: the classic engine and the sharded
+/// dense engine at workers {1, 2, 4} must produce byte-identical traces,
+/// final states, and stats from the same perturbed start — for **any**
+/// [`DenseProtocol`], not just the sweep. Sibling protocols
+/// (`ftbarrier-protocols`) get the classic ≡ dense half of the conformance
+/// battery by calling this.
+pub fn check_protocol_classic_dense_differential<P>(
+    label: &str,
+    protocol: &P,
+    seed: u64,
+    horizon: f64,
+) where
+    P: ftbarrier_gcs::DenseProtocol,
+{
+    let cfg = differential_config(seed, horizon, false);
+    let mut classic = Engine::new(protocol, seed);
+    classic.perturb_all();
+    let mut trace = Trace::unbounded();
+    let out = classic.run(&cfg, &mut NoFaults, &mut trace);
+    let reference: RunRecord<P::State> = (
+        trace.events().cloned().collect(),
+        classic.global().to_vec(),
+        [
+            out.stats.actions_executed,
+            out.stats.commits_dropped,
+            out.stats.faults,
+        ],
+    );
+    for workers in [1usize, 2, 4] {
+        let mut dense = DenseEngine::new(protocol, seed).with_shards(4);
+        dense.perturb_all();
+        let mut dtrace = Trace::unbounded();
+        let dcfg = DenseEngineConfig {
+            max_time: Some(Time::new(horizon)),
+            max_commits: Some(2_000_000),
+            workers: Some(workers),
+            parallel_threshold: 1,
+            ..Default::default()
+        };
+        let dout = dense.run(&dcfg, &mut NoFaults, &mut dtrace);
+        assert_identical(
+            &format!("{label} dense w={workers}"),
+            (
+                dtrace.events().cloned().collect(),
+                dense.global_states(),
+                [
+                    dout.stats.actions_executed,
+                    dout.stats.commits_dropped,
+                    dout.stats.faults,
+                ],
+            ),
+            reference.clone(),
+        );
+    }
+}
+
 /// Two run records must agree byte for byte (and actually have run).
 pub fn assert_identical<S: PartialEq + std::fmt::Debug>(
     label: &str,

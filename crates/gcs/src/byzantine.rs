@@ -1,0 +1,331 @@
+//! Byzantine fault environment (§7's `good` processes, made concrete).
+//!
+//! The paper's §7 sketches Byzantine tolerance with an auxiliary variable
+//! `good.j`: a process that is not good may write *arbitrary* values to its
+//! own variables, arbitrarily often. This module supplies the environment
+//! side of that model as a [`FaultPlan`]: a fixed set of Byzantine processes
+//! ([`ByzantineProcess`]), each with a *corruption budget* bounding how many
+//! adversarial writes it gets, attacking at Poisson arrival times with an
+//! *arsenal* of [`FaultAction`]s to draw from (in-domain scrambles,
+//! out-of-domain forgeries, protocol-specific corruption — the plan does not
+//! care).
+//!
+//! Two deliberate modeling choices:
+//!
+//! * **Equivocation.** A Byzantine process that owns several state slots
+//!   (the §5 refinement's real variable plus local copies, a double tree's
+//!   up/down positions) gets an *independent* corruption draw per slot, so
+//!   it can present *different* lies to different readers — the shared-state
+//!   rendering of equivocation. (Message-level equivocation lives in
+//!   `ftbarrier_mp::sweep_sim`'s forgery hooks.)
+//! * **Budgets.** Self-stabilization arguments are relative to faults
+//!   eventually ceasing; an unbounded adversary can trivially deny progress
+//!   forever. The per-process budget is the knob that separates "transient
+//!   Byzantine" (stabilization applies) from "persistent Byzantine"
+//!   (quarantine must win the race instead).
+//!
+//! Like every plan in this crate, the slice ([`FaultPlan`]) and dense
+//! ([`DenseFaultPlan`]) implementations make exactly the same RNG draws in
+//! exactly the same order: the attacker draw, the arsenal draw, then the
+//! action's own draws per slot ascending.
+
+use crate::dense::{DenseFaultPlan, DenseState};
+use crate::fault::{FaultAction, FaultHit, FaultPlan};
+use crate::protocol::Pid;
+use crate::rng::SimRng;
+use crate::time::Time;
+
+/// One Byzantine process: who it is, which state slots it may corrupt, and
+/// how many corruption events it has left.
+#[derive(Debug, Clone)]
+pub struct ByzantineProcess {
+    /// The process identity, passed to [`FaultAction::apply`] and useful for
+    /// mapping hits back to the attacker.
+    pub pid: Pid,
+    /// The state slots (indices into the global state) this process may
+    /// write. Sorted ascending at construction.
+    pub positions: Vec<usize>,
+    /// Corruption events remaining; the plan falls silent when every
+    /// attacker's budget reaches zero.
+    pub budget: usize,
+}
+
+impl ByzantineProcess {
+    /// An attacker owning exactly its own slot (`positions = [pid]`).
+    pub fn new(pid: Pid, budget: usize) -> ByzantineProcess {
+        ByzantineProcess {
+            pid,
+            positions: vec![pid],
+            budget,
+        }
+    }
+
+    /// An attacker owning several slots (multi-position processes).
+    pub fn with_positions(pid: Pid, mut positions: Vec<usize>, budget: usize) -> ByzantineProcess {
+        assert!(!positions.is_empty(), "attacker needs at least one slot");
+        positions.sort_unstable();
+        positions.dedup();
+        ByzantineProcess {
+            pid,
+            positions,
+            budget,
+        }
+    }
+}
+
+/// Poisson-timed Byzantine corruption by a budgeted set of attackers, each
+/// event applying one arsenal action to every slot of one attacker (with
+/// independent draws per slot — equivocation).
+pub struct ByzantineFaults<S> {
+    rate: f64,
+    attackers: Vec<ByzantineProcess>,
+    arsenal: Vec<Box<dyn FaultAction<S>>>,
+    next: Option<Time>,
+    spent: usize,
+}
+
+impl<S> ByzantineFaults<S> {
+    /// Build from a Poisson rate (corruption events per time unit), the
+    /// attacker set, and the corruption arsenal (uniformly drawn per event).
+    pub fn new(
+        rate: f64,
+        attackers: Vec<ByzantineProcess>,
+        arsenal: Vec<Box<dyn FaultAction<S>>>,
+    ) -> ByzantineFaults<S> {
+        assert!(rate >= 0.0, "rate must be non-negative");
+        assert!(!arsenal.is_empty(), "arsenal must not be empty");
+        ByzantineFaults {
+            rate,
+            attackers,
+            arsenal,
+            next: None,
+            spent: 0,
+        }
+    }
+
+    /// Corruption events fired so far.
+    pub fn spent(&self) -> usize {
+        self.spent
+    }
+
+    /// Remaining budget per attacker, as `(pid, remaining)` pairs in the
+    /// attacker order given at construction.
+    pub fn budgets(&self) -> Vec<(Pid, usize)> {
+        self.attackers.iter().map(|a| (a.pid, a.budget)).collect()
+    }
+
+    /// Indices of attackers that still have budget, ascending.
+    fn armed(&self) -> Vec<usize> {
+        (0..self.attackers.len())
+            .filter(|&i| self.attackers[i].budget > 0)
+            .collect()
+    }
+
+    /// Shared peek logic (identical for slice and dense paths).
+    fn peek_impl(&mut self, now: Time, rng: &mut SimRng) -> Option<Time> {
+        if self.rate == 0.0 || self.armed().is_empty() {
+            return None;
+        }
+        if self.next.is_none() {
+            let dt = rng.exponential(self.rate);
+            if !dt.is_finite() {
+                return None;
+            }
+            self.next = Some(now + Time::new(dt));
+        }
+        self.next
+    }
+
+    /// Draw the attacker and arsenal indices for the pending event. The two
+    /// draws happen in this order on both the slice and dense paths.
+    fn draw_attack(&mut self, rng: &mut SimRng) -> (usize, usize) {
+        let armed = self.armed();
+        let attacker = armed[rng.below(armed.len())];
+        let weapon = rng.below(self.arsenal.len());
+        self.attackers[attacker].budget -= 1;
+        self.spent += 1;
+        self.next = None;
+        (attacker, weapon)
+    }
+}
+
+impl<S: Clone> FaultPlan<S> for ByzantineFaults<S> {
+    fn peek(&mut self, now: Time, rng: &mut SimRng) -> Option<Time> {
+        self.peek_impl(now, rng)
+    }
+
+    fn fire(
+        &mut self,
+        _at: Time,
+        global: &mut [S],
+        rng: &mut SimRng,
+        touched: &mut Vec<Pid>,
+    ) -> FaultHit<S> {
+        let (attacker, weapon) = self.draw_attack(rng);
+        let a = &self.attackers[attacker];
+        let action = &self.arsenal[weapon];
+        let old = global[a.positions[0]].clone();
+        for &pos in &a.positions {
+            action.apply(a.pid, &mut global[pos], rng);
+            touched.push(pos);
+        }
+        FaultHit {
+            pid: a.positions[0],
+            kind: action.kind(),
+            old,
+        }
+    }
+}
+
+// Dense counterpart: identical RNG draws in identical order (attacker,
+// arsenal, then the action's draws per slot ascending).
+impl<D, S> DenseFaultPlan<D> for ByzantineFaults<S>
+where
+    D: DenseState<Elem = S>,
+    S: Copy + PartialEq + std::fmt::Debug + Send + Sync,
+{
+    fn peek(&mut self, now: Time, rng: &mut SimRng) -> Option<Time> {
+        self.peek_impl(now, rng)
+    }
+
+    fn fire(
+        &mut self,
+        _at: Time,
+        dense: &mut D,
+        rng: &mut SimRng,
+        touched: &mut Vec<Pid>,
+    ) -> FaultHit<S> {
+        let (attacker, weapon) = self.draw_attack(rng);
+        let a = &self.attackers[attacker];
+        let action = &self.arsenal[weapon];
+        let old = dense.get(a.positions[0]);
+        for &pos in &a.positions {
+            let mut s = dense.get(pos);
+            action.apply(a.pid, &mut s, rng);
+            dense.set(pos, s);
+            touched.push(pos);
+        }
+        FaultHit {
+            pid: a.positions[0],
+            kind: action.kind(),
+            old,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultKind;
+
+    /// Writes a fresh random value — distinct draws per slot show up as
+    /// distinct values (the equivocation property).
+    struct Scramble;
+    impl FaultAction<u64> for Scramble {
+        fn kind(&self) -> FaultKind {
+            FaultKind::Undetectable
+        }
+        fn apply(&self, _pid: Pid, state: &mut u64, rng: &mut SimRng) {
+            *state = rng.range_u64(1_000, 1_000_000);
+        }
+    }
+
+    fn plan(attackers: Vec<ByzantineProcess>) -> ByzantineFaults<u64> {
+        ByzantineFaults::new(0.5, attackers, vec![Box::new(Scramble)])
+    }
+
+    #[test]
+    fn budget_exhaustion_silences_the_plan() {
+        let mut plan = plan(vec![ByzantineProcess::new(1, 2)]);
+        let mut rng = SimRng::seed_from_u64(3);
+        let mut g = vec![0u64; 4];
+        for fired in 0..2 {
+            let at = FaultPlan::peek(&mut plan, Time::ZERO, &mut rng).unwrap();
+            let hit = FaultPlan::fire(&mut plan, at, &mut g, &mut rng, &mut Vec::new());
+            assert_eq!(hit.pid, 1);
+            assert_eq!(plan.spent(), fired + 1);
+        }
+        assert_eq!(FaultPlan::peek(&mut plan, Time::ZERO, &mut rng), None);
+        assert_eq!(plan.budgets(), vec![(1, 0)]);
+    }
+
+    #[test]
+    fn zero_rate_never_fires() {
+        let mut plan: ByzantineFaults<u64> = ByzantineFaults::new(
+            0.0,
+            vec![ByzantineProcess::new(1, 5)],
+            vec![Box::new(Scramble)],
+        );
+        let mut rng = SimRng::seed_from_u64(0);
+        assert_eq!(FaultPlan::peek(&mut plan, Time::ZERO, &mut rng), None);
+    }
+
+    #[test]
+    fn multi_slot_attacker_equivocates() {
+        // One attacker owning three slots: a single corruption event writes
+        // three independently drawn values.
+        let mut plan = plan(vec![ByzantineProcess::with_positions(2, vec![3, 4, 5], 1)]);
+        let mut rng = SimRng::seed_from_u64(9);
+        let mut g = vec![0u64; 6];
+        let mut touched = Vec::new();
+        let at = FaultPlan::peek(&mut plan, Time::ZERO, &mut rng).unwrap();
+        let hit = FaultPlan::fire(&mut plan, at, &mut g, &mut rng, &mut touched);
+        assert_eq!(hit.pid, 3, "hit reports the first slot");
+        assert_eq!(touched, vec![3, 4, 5]);
+        assert!(g[3] >= 1_000 && g[4] >= 1_000 && g[5] >= 1_000);
+        assert!(
+            !(g[3] == g[4] && g[4] == g[5]),
+            "independent draws per slot: {g:?}"
+        );
+        assert_eq!(g[..3], [0, 0, 0], "non-owned slots untouched");
+    }
+
+    #[test]
+    fn only_armed_attackers_are_drawn() {
+        let mut plan = plan(vec![
+            ByzantineProcess::new(0, 0), // exhausted from the start
+            ByzantineProcess::new(2, 8),
+        ]);
+        let mut rng = SimRng::seed_from_u64(17);
+        let mut g = vec![0u64; 4];
+        for _ in 0..8 {
+            let at = FaultPlan::peek(&mut plan, Time::ZERO, &mut rng).unwrap();
+            let hit = FaultPlan::fire(&mut plan, at, &mut g, &mut rng, &mut Vec::new());
+            assert_eq!(hit.pid, 2);
+        }
+        assert_eq!(g[0], 0);
+    }
+
+    #[test]
+    fn classic_and_dense_schedules_match_draw_for_draw() {
+        let attackers = || {
+            vec![
+                ByzantineProcess::with_positions(1, vec![1, 4], 3),
+                ByzantineProcess::new(2, 2),
+            ]
+        };
+        let mut classic = plan(attackers());
+        let mut dense_plan = plan(attackers());
+        let mut rng_c = SimRng::seed_from_u64(42);
+        let mut rng_d = SimRng::seed_from_u64(42);
+        let mut g: Vec<u64> = vec![0; 5];
+        let mut d: Vec<u64> = DenseState::from_states(&g);
+        let mut now = Time::ZERO;
+        loop {
+            let tc = FaultPlan::peek(&mut classic, now, &mut rng_c);
+            let td = DenseFaultPlan::<Vec<u64>>::peek(&mut dense_plan, now, &mut rng_d);
+            assert_eq!(tc, td);
+            let Some(at) = tc else { break };
+            let mut touched_c = Vec::new();
+            let mut touched_d = Vec::new();
+            let hc = FaultPlan::fire(&mut classic, at, &mut g, &mut rng_c, &mut touched_c);
+            let hd = DenseFaultPlan::fire(&mut dense_plan, at, &mut d, &mut rng_d, &mut touched_d);
+            assert_eq!(hc, hd);
+            assert_eq!(touched_c, touched_d);
+            assert_eq!(g, d.to_states());
+            now = at;
+        }
+        assert_eq!(classic.spent(), 5, "both budgets fully drained");
+        assert_eq!(classic.budgets(), dense_plan.budgets());
+    }
+}

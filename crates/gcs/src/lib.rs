@@ -24,6 +24,7 @@
 //! arrivals reproducing the paper's `(1-f)^d` survival function, scripted
 //! schedules, or one-shot arbitrary perturbations).
 
+pub mod byzantine;
 pub mod causal;
 pub mod dense;
 pub mod dense_engine;
@@ -41,6 +42,7 @@ pub mod time;
 pub mod trace;
 pub mod workers;
 
+pub use byzantine::{ByzantineFaults, ByzantineProcess};
 pub use causal::{CausalMonitor, CausalPhaseProjector};
 pub use dense::{DenseFaultPlan, DenseMonitor, DenseProtocol, DenseState};
 pub use dense_engine::{DenseEngine, DenseEngineConfig};

@@ -43,6 +43,38 @@ use std::time::{Duration, Instant};
 /// (state frames are tens of bytes, server control frames are small).
 pub const MAX_FRAME: usize = 64 * 1024;
 
+/// Typed violation of the length-prefixed framing.
+///
+/// Raised by [`FrameReader`] *before* the declared length sizes any buffer:
+/// a hostile prefix (say `0xFFFF_FFFF`) is rejected from its four header
+/// bytes alone and can never balloon memory. On the server a frame error is
+/// a detectable fault — the session is dropped like a crashed client — not
+/// an OOM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameError {
+    /// The length prefix declared a body larger than [`MAX_FRAME`] —
+    /// either a hostile peer or a stream that lost frame sync.
+    Oversized { len: usize, max: usize },
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Oversized { len, max } => {
+                write!(f, "frame length {len} exceeds {max}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<FrameError> for io::Error {
+    fn from(e: FrameError) -> io::Error {
+        io::Error::new(io::ErrorKind::InvalidData, e)
+    }
+}
+
 /// Prefix `payload` with its big-endian `u32` length.
 pub fn frame(payload: &[u8]) -> Vec<u8> {
     assert!(payload.len() <= MAX_FRAME, "frame too large");
@@ -65,7 +97,9 @@ impl FrameReader {
     }
 
     /// Feed raw stream bytes; every completed frame body is appended to
-    /// `out`. Errors on an oversized length prefix (stream out of sync).
+    /// `out`. Errors with [`FrameError::Oversized`] on a hostile or
+    /// out-of-sync length prefix — checked from the four header bytes,
+    /// before the declared length sizes any allocation.
     pub fn push(&mut self, bytes: &[u8], out: &mut Vec<Vec<u8>>) -> io::Result<()> {
         self.buf.extend_from_slice(bytes);
         loop {
@@ -75,10 +109,11 @@ impl FrameReader {
             let len =
                 u32::from_be_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]]) as usize;
             if len > MAX_FRAME {
-                return Err(io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    format!("frame length {len} exceeds {MAX_FRAME}"),
-                ));
+                return Err(FrameError::Oversized {
+                    len,
+                    max: MAX_FRAME,
+                }
+                .into());
             }
             if self.buf.len() < 4 + len {
                 return Ok(());
@@ -222,26 +257,65 @@ pub fn decode_state(body: &[u8]) -> (Delivery<StateMsg>, Option<EventId>) {
 }
 
 /// Outgoing half: a connection to the successor's listener, re-established
-/// with exponential backoff after any write failure. While disconnected,
-/// sends degrade to loss — which retransmission masks.
+/// with capped, jittered exponential backoff after any write failure. While
+/// disconnected, sends degrade to loss — which retransmission masks.
 struct SendLink {
     peer: SocketAddr,
     stream: Option<TcpStream>,
-    backoff: Duration,
+    /// Consecutive failures since the last successful connect; indexes the
+    /// backoff schedule.
+    attempt: u32,
+    /// Per-link jitter seed (hash of the peer address) so links that fail
+    /// together do not retry in lockstep.
+    jitter_seed: u32,
     retry_at: Option<Instant>,
 }
 
 const BACKOFF_MIN: Duration = Duration::from_millis(5);
 const BACKOFF_MAX: Duration = Duration::from_millis(500);
 
+/// Un-jittered backoff schedule: 5 ms doubling per consecutive failure,
+/// capped at 500 ms. Attempt 0 is the first retry after a failure.
+fn backoff_base(attempt: u32) -> Duration {
+    // 5 ms << 7 = 640 ms is already past the cap; clamping the exponent
+    // keeps the shift from overflowing for absurd attempt counts.
+    let exp = attempt.min(7);
+    (BACKOFF_MIN * 2u32.pow(exp)).min(BACKOFF_MAX)
+}
+
+/// Jittered delay before retry `attempt`: a deterministic draw in
+/// [base/2, base] where `base` follows [`backoff_base`]. The seed varies
+/// per link, decorrelating reconnect storms when a shared peer dies, while
+/// any single link's schedule stays reproducible. The cap is a hard bound:
+/// no jittered delay ever exceeds `BACKOFF_MAX`.
+fn backoff_delay(attempt: u32, seed: u32) -> Duration {
+    let base = backoff_base(attempt).as_millis() as u64;
+    // splitmix64 finalizer over (seed, attempt).
+    let mut h = u64::from(seed) ^ u64::from(attempt).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94D0_49BB_1331_11EB);
+    h ^= h >> 31;
+    let lo = base / 2;
+    Duration::from_millis(lo + h % (base - lo + 1))
+}
+
 impl SendLink {
     fn new(peer: SocketAddr) -> SendLink {
         SendLink {
             peer,
             stream: None,
-            backoff: BACKOFF_MIN,
+            attempt: 0,
+            jitter_seed: fnv1a(peer.to_string().as_bytes()),
             retry_at: None,
         }
+    }
+
+    /// Arm the reconnect timer for the current failure streak and advance it.
+    fn arm_retry(&mut self) {
+        self.retry_at = Some(Instant::now() + backoff_delay(self.attempt, self.jitter_seed));
+        self.attempt = self.attempt.saturating_add(1);
     }
 
     fn ensure_connected(&mut self) {
@@ -257,13 +331,10 @@ impl SendLink {
             Ok(s) => {
                 let _ = s.set_nodelay(true);
                 self.stream = Some(s);
-                self.backoff = BACKOFF_MIN;
+                self.attempt = 0;
                 self.retry_at = None;
             }
-            Err(_) => {
-                self.retry_at = Some(Instant::now() + self.backoff);
-                self.backoff = (self.backoff * 2).min(BACKOFF_MAX);
-            }
+            Err(_) => self.arm_retry(),
         }
     }
 
@@ -278,8 +349,7 @@ impl SendLink {
             // The §4.1 observable: the successor crashed (or the network
             // partitioned). Drop the stream; subsequent sends retry.
             self.stream = None;
-            self.retry_at = Some(Instant::now() + self.backoff);
-            self.backoff = (self.backoff * 2).min(BACKOFF_MAX);
+            self.arm_retry();
         }
     }
 }
@@ -493,6 +563,70 @@ pub fn connect_endpoint(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn backoff_schedule_is_capped_jittered_and_deterministic() {
+        // The un-jittered base schedule is pinned exactly: doubling from
+        // 5 ms, saturating at the 500 ms cap and holding there.
+        let pinned: [u64; 10] = [5, 10, 20, 40, 80, 160, 320, 500, 500, 500];
+        for (attempt, &ms) in pinned.iter().enumerate() {
+            assert_eq!(
+                backoff_base(attempt as u32),
+                Duration::from_millis(ms),
+                "base schedule diverged at attempt {attempt}"
+            );
+        }
+        assert_eq!(backoff_base(u32::MAX), BACKOFF_MAX, "cap holds forever");
+
+        // Jitter stays inside the [base/2, base] envelope — the cap is a
+        // hard bound — and the schedule is a pure function of (attempt, seed).
+        for seed in [0u32, 1, 0xB127_CAFE, u32::MAX] {
+            for attempt in 0..16u32 {
+                let d = backoff_delay(attempt, seed);
+                let base = backoff_base(attempt);
+                // The delay works in whole milliseconds, so the envelope
+                // floor is base_ms / 2 rounded down.
+                let lo = Duration::from_millis(base.as_millis() as u64 / 2);
+                assert!(
+                    d >= lo && d <= base,
+                    "attempt {attempt} seed {seed:#x}: {d:?} outside [{lo:?}, {base:?}]"
+                );
+                assert!(d <= BACKOFF_MAX, "jitter must never exceed the cap");
+                assert_eq!(d, backoff_delay(attempt, seed), "schedule must be pure");
+            }
+        }
+
+        // Different links (seeds) decorrelate: the schedules differ.
+        let a: Vec<_> = (0..10).map(|i| backoff_delay(i, 1)).collect();
+        let b: Vec<_> = (0..10).map(|i| backoff_delay(i, 2)).collect();
+        assert_ne!(a, b, "jitter seeds failed to decorrelate the schedules");
+    }
+
+    #[test]
+    fn send_link_advances_and_resets_the_backoff_attempt() {
+        // Connecting to a port nobody listens on fails immediately and must
+        // walk the schedule: each failed attempt arms a longer retry window.
+        let dead: SocketAddr = "127.0.0.1:1".parse().unwrap();
+        let mut link = SendLink::new(dead);
+        assert_eq!(link.attempt, 0);
+        link.ensure_connected();
+        assert!(link.stream.is_none());
+        assert_eq!(link.attempt, 1, "first failure advances the schedule");
+        let first_retry = link.retry_at.expect("failure arms the retry timer");
+        // Within the armed window a retry is a no-op (no connect, no advance).
+        link.ensure_connected();
+        assert_eq!(link.attempt, 1, "armed window suppresses reconnects");
+        assert_eq!(link.retry_at, Some(first_retry));
+
+        // A successful connect resets the streak to the start of the schedule.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let mut link = SendLink::new(listener.local_addr().unwrap());
+        link.attempt = 6;
+        link.ensure_connected();
+        assert!(link.stream.is_some());
+        assert_eq!(link.attempt, 0, "successful connect resets the backoff");
+        assert_eq!(link.retry_at, None);
+    }
 
     #[test]
     fn state_frames_round_trip_with_and_without_tags() {

@@ -19,7 +19,10 @@
 use crate::channel::Delivery;
 use crate::simnet::{LinkConfig, NetStats, SimNet};
 use ftbarrier_core::spec::{Anchor, BarrierOracle, OracleConfig, Violation};
-use ftbarrier_core::sweep::{PosState, SweepBarrier, SweepDetectableFault, RECV, T3, T4, T5, WORK};
+use ftbarrier_core::sweep::{
+    pos_in_domain, PosState, SweepBarrier, SweepByzantineFault, SweepDetectableFault, RECV, T3, T4,
+    T5, WORK,
+};
 use ftbarrier_gcs::{FaultAction, Protocol, SimRng, Time};
 use ftbarrier_telemetry::{CausalRecorder, EventId};
 use ftbarrier_topology::{Pos, SweepDag};
@@ -46,6 +49,13 @@ pub struct SweepSimConfig {
     /// evaluating guards forever, wedging the barrier (the stalled-simnet
     /// scenario the flight recorder exists for).
     pub mutes: Vec<(f64, usize)>,
+    /// `(time, pid)`: Byzantine message forgery — the process gossips forged
+    /// *out-of-domain* position states (`sn` beyond the `L`-window, `ph`
+    /// beyond `n_phases`) on every outgoing link, equivocating: each link
+    /// gets an independent forgery draw. Its own view stays intact, modeling
+    /// an in-flight forger rather than a corrupted process; periodic
+    /// retransmission of the true state heals the receivers.
+    pub forgeries: Vec<(f64, usize)>,
     /// Capacity of the always-armed flight recorder ring.
     pub flight_capacity: usize,
 }
@@ -61,6 +71,7 @@ impl Default for SweepSimConfig {
             max_time: 10_000.0,
             poisons: Vec::new(),
             mutes: Vec::new(),
+            forgeries: Vec::new(),
             flight_capacity: 8192,
         }
     }
@@ -80,6 +91,11 @@ pub struct SweepSimReport {
     pub messages_sent: Vec<u64>,
     pub reached_target: bool,
     pub virtual_elapsed: Time,
+    /// Deliveries discarded because the carried position state was outside
+    /// the program's variable domains — forged gossip convicted by
+    /// inspection at the receiver (the paper's detectable-fault premise
+    /// applied to Byzantine messages).
+    pub forged_dropped: u64,
     pub net: NetStats,
     /// Full deterministic run log: byte-identical across runs of the same
     /// config, diverging for different seeds.
@@ -112,6 +128,7 @@ enum Ctl {
     Retransmit { pid: usize },
     Poison { pid: usize },
     Mute { pid: usize },
+    Forge { pid: usize },
 }
 
 struct Driver {
@@ -139,6 +156,7 @@ struct Driver {
     /// the exact sends whose state it is now acting on.
     pending: Vec<Vec<EventId>>,
     muted: Vec<bool>,
+    forged_dropped: u64,
 }
 
 impl Driver {
@@ -266,6 +284,43 @@ impl Driver {
         self.drive(pid);
     }
 
+    /// Byzantine message forgery: gossip forged out-of-domain position
+    /// states on every outgoing link while the local view stays intact. Each
+    /// link gets an independent forgery draw — the forger *equivocates*,
+    /// telling every neighbor a different lie. The receivers' guarded
+    /// commands read the forged predecessor copies until the next honest
+    /// retransmission overwrites them.
+    fn forge(&mut self, pid: usize) {
+        if self.muted[pid] {
+            return;
+        }
+        let _ = writeln!(self.trace, "t {} forge p{pid}", self.now);
+        let byz = SweepByzantineFault {
+            n_phases: self.cfg.n_phases,
+            sn_domain: self.program.sn_domain(),
+        };
+        let ph = self.views[pid][self.worker_pos[pid]].ph;
+        self.record_causal(pid, "fault:forgery", ph);
+        let tag = self.recorder.last(pid);
+        for i in 0..self.out_links[pid].len() {
+            let link = self.out_links[pid][i];
+            for &p in &self.program.dag().positions_of(pid).to_vec() {
+                let mut forged = self.views[pid][p];
+                byz.apply(pid, &mut forged, &mut self.rngs[pid]);
+                self.net.send_tagged(
+                    link,
+                    PosMsg {
+                        pos: p,
+                        state: forged,
+                    },
+                    tag,
+                );
+            }
+            self.net.flush(link);
+            self.messages_sent[pid] += 1;
+        }
+    }
+
     /// Fail-stop `pid`: record the stop, then never gossip or drive again.
     fn mute(&mut self, pid: usize) {
         let _ = writeln!(self.trace, "t {} mute p{pid}", self.now);
@@ -349,6 +404,7 @@ pub fn run(dag: SweepDag, cfg: SweepSimConfig) -> SweepSimReport {
         recorder,
         pending: vec![Vec::new(); n],
         muted: vec![false; n],
+        forged_dropped: 0,
         program,
     };
 
@@ -359,6 +415,10 @@ pub fn run(dag: SweepDag, cfg: SweepSimConfig) -> SweepSimReport {
     for &(t, pid) in &d.cfg.mutes.clone() {
         assert!(pid < n, "mute target {pid} out of range");
         d.schedule(t, Ctl::Mute { pid });
+    }
+    for &(t, pid) in &d.cfg.forgeries.clone() {
+        assert!(pid < n, "forgery target {pid} out of range");
+        d.schedule(t, Ctl::Forge { pid });
     }
     for pid in 0..n {
         d.schedule(d.cfg.retransmit_every, Ctl::Retransmit { pid });
@@ -411,9 +471,16 @@ pub fn run(dag: SweepDag, cfg: SweepSimConfig) -> SweepSimReport {
         for link in touched {
             let dest = d.dest_of[link];
             // Detectably corrupted deliveries are discarded — masked as
-            // loss and healed by retransmission.
+            // loss and healed by retransmission. The same inspection
+            // convicts forged gossip: a carried state outside the program's
+            // variable domains cannot have been honestly produced, so it is
+            // dropped before it can launder into the receiver's view.
             while let Some((delivery, tag)) = d.net.pop_inbox_tagged(link) {
                 if let Delivery::Ok(m) = delivery {
+                    if !pos_in_domain(&m.state, d.cfg.n_phases, d.program.sn_domain()) {
+                        d.forged_dropped += 1;
+                        continue;
+                    }
                     d.views[dest][m.pos] = m.state;
                     if let Some(id) = tag {
                         d.pending[dest].push(id);
@@ -436,6 +503,7 @@ pub fn run(dag: SweepDag, cfg: SweepSimConfig) -> SweepSimReport {
             }
             Some(Ctl::Poison { pid }) => d.poison(pid),
             Some(Ctl::Mute { pid }) => d.mute(pid),
+            Some(Ctl::Forge { pid }) => d.forge(pid),
             None => {}
         }
         reached = d.advances >= d.cfg.target_phases;
@@ -476,6 +544,7 @@ pub fn run(dag: SweepDag, cfg: SweepSimConfig) -> SweepSimReport {
         messages_sent: d.messages_sent,
         reached_target: reached,
         virtual_elapsed: d.now,
+        forged_dropped: d.forged_dropped,
         net: net_stats,
         trace: d.trace,
         flight_dump,
@@ -605,6 +674,60 @@ mod tests {
         );
         assert!(ok.reached_target);
         assert!(ok.flight_dump.is_none());
+    }
+
+    #[test]
+    fn forged_messages_are_healed_by_honest_retransmission() {
+        // Equivocating in-flight forgeries (out-of-domain sn/ph gossiped to
+        // every neighbor, a different lie per link) must be transient: the
+        // forger's own view is intact, so its periodic retransmissions
+        // overwrite the lies and the barrier still completes cleanly.
+        for (name, dag) in [
+            ("ring", SweepDag::ring(5).unwrap()),
+            ("tree", SweepDag::tree(8, 2).unwrap()),
+            ("dissemination", SweepDag::dissemination(8, 2).unwrap()),
+        ] {
+            let report = run(
+                dag,
+                SweepSimConfig {
+                    target_phases: 10,
+                    forgeries: vec![(0.4, 1), (0.9, 2), (1.3, 1)],
+                    ..Default::default()
+                },
+            );
+            assert!(report.reached_target, "{name}: {report:?}");
+            assert!(
+                report.violations.is_empty(),
+                "{name}: forged gossip must be masked: {:?}",
+                report.violations
+            );
+            assert!(
+                report.forged_dropped > 0,
+                "{name}: receivers must convict the forgeries by inspection"
+            );
+            assert!(report.trace.contains("forge p1"), "{name} trace logs it");
+        }
+    }
+
+    #[test]
+    fn forgery_trace_is_deterministic_and_diverges_from_clean() {
+        let cfg = SweepSimConfig {
+            target_phases: 6,
+            forgeries: vec![(0.5, 3)],
+            ..Default::default()
+        };
+        let a = run(SweepDag::hypercube(8).unwrap(), cfg.clone());
+        let b = run(SweepDag::hypercube(8).unwrap(), cfg.clone());
+        assert_eq!(a.trace, b.trace, "forgery draws are seed-deterministic");
+        let clean = run(
+            SweepDag::hypercube(8).unwrap(),
+            SweepSimConfig {
+                forgeries: Vec::new(),
+                ..cfg
+            },
+        );
+        assert!(clean.reached_target);
+        assert!(!clean.trace.contains("forge"));
     }
 
     #[test]

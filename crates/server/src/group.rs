@@ -38,6 +38,12 @@ pub struct GroupConfig {
     /// Seconds without a release (while ≥ 2 members live) before the group
     /// dumps its flight recorder once.
     pub wedge_timeout: f64,
+    /// Seconds a non-root member may be the *sole* blocker of the ring —
+    /// heartbeating (so the detector stays quiet) while every other live
+    /// member has finished its phase body — before it is spliced as
+    /// silent-Byzantine. Bounds how long correct members wait on a peer
+    /// that sends valid frames but never `Arrive`.
+    pub stall_splice_timeout: f64,
     /// Capacity of the group's causal flight recorder.
     pub flight_capacity: usize,
 }
@@ -49,6 +55,7 @@ impl Default for GroupConfig {
             seed: 0xB127_CAFE,
             detector: DetectorConfig::default(),
             wedge_timeout: 5.0,
+            stall_splice_timeout: 20.0,
             flight_capacity: 512,
         }
     }
@@ -104,9 +111,17 @@ pub struct BarrierGroup {
     /// the body once).
     last_completed: Vec<Option<u32>>,
     dead: Vec<bool>,
+    /// Members whose core hit `needs_work` with no banked arrival during
+    /// the latest pump — the clients the ring is waiting on.
+    blocked_on_arrive: Vec<bool>,
+    /// When each member became the ring's sole blocker (see
+    /// [`GroupConfig::stall_splice_timeout`]); cleared whenever the
+    /// condition lapses.
+    starved_since: Vec<Option<f64>>,
     phases_released: u64,
     last_release_at: f64,
     wedge_timeout: f64,
+    stall_splice_timeout: f64,
     wedge_dumped: bool,
 }
 
@@ -148,9 +163,12 @@ impl BarrierGroup {
             consumed: vec![0; size],
             last_completed: vec![None; size],
             dead: vec![false; size],
+            blocked_on_arrive: vec![false; size],
+            starved_since: vec![None; size],
             phases_released: 0,
             last_release_at: now,
             wedge_timeout: cfg.wedge_timeout,
+            stall_splice_timeout: cfg.stall_splice_timeout,
             wedge_dumped: false,
         }
     }
@@ -235,6 +253,33 @@ impl BarrierGroup {
             }
         }
 
+        // Silent-Byzantine stall splice: a live non-root member that keeps
+        // the detector quiet with heartbeats but is the ring's *sole*
+        // blocker — its core waits on an `Arrive` while every other live
+        // member has delivered its phase body — is spliced once the grace
+        // period lapses, so correct members are never held hostage by a
+        // peer that talks but never arrives. With two or more blockers the
+        // group is legitimately mid-phase (or multiply wedged — the
+        // flight-recorder watchdog's province), so the clock only runs for
+        // a unique blocker, judged from the previous pump's ledger.
+        let blockers: Vec<usize> = (0..self.size)
+            .filter(|&m| !self.dead[m] && self.blocked_on_arrive[m])
+            .collect();
+        for m in 1..self.size {
+            let sole = blockers == [m] && self.arrivals[m] == self.consumed[m];
+            if !sole {
+                self.starved_since[m] = None;
+                continue;
+            }
+            let since = *self.starved_since[m].get_or_insert(now_f);
+            if now_f - since > self.stall_splice_timeout && !self.dead[m] {
+                self.dead[m] = true;
+                self.cores[m].record_fail_stop(now);
+                self.membership.force_splice(m);
+                out.spliced.push(m);
+            }
+        }
+
         let advances = self.pump(now);
         for _ in 0..advances {
             out.releases.push(GroupRelease {
@@ -276,19 +321,19 @@ impl BarrierGroup {
     /// root phase advances. Pass count is capped as a livelock valve; any
     /// residual progress carries over to the next tick.
     fn pump(&mut self, now: Time) -> u64 {
+        self.blocked_on_arrive = vec![false; self.size];
         if (1..self.size).all(|m| self.dead[m]) {
             // The ring degenerated to the root alone (the root is never
             // spliced, so the last member standing is member 0; the
             // membership view itself refuses to drop below 2 seats, so
             // this is tracked from the group's own death ledger): there
             // is nobody left to synchronize with, and every banked
-            // arrival is a completed phase by itself.
-            let mut advances = 0;
-            while self.consumed[0] < self.arrivals[0] {
-                self.consumed[0] += 1;
-                advances += 1;
-            }
-            return advances;
+            // arrival is a completed phase by itself — including one the
+            // core already consumed into a sweep that died with the last
+            // peer (a mid-phase splice must not strand the root's
+            // in-flight phase).
+            self.consumed[0] = self.consumed[0].max(self.arrivals[0]);
+            return self.arrivals[0].saturating_sub(self.phases_released);
         }
         let mut advances = 0;
         for _pass in 0..4 * self.size + 16 {
@@ -319,7 +364,11 @@ impl BarrierGroup {
                             self.last_completed[m] = Some(ph);
                             true
                         } else {
-                            break; // blocked on the client's next Arrive
+                            // Blocked on the client's next Arrive. Within
+                            // one pump the ledger cannot change, so the
+                            // flag is stable once set.
+                            self.blocked_on_arrive[m] = true;
+                            break;
                         };
                         if granted {
                             let token = core.work_token;
@@ -501,6 +550,95 @@ mod tests {
         // One-shot: no second dump without progress in between.
         clock.advance(10.0);
         assert!(g.tick().flight_dump.is_none());
+    }
+
+    /// A member that heartbeats (detector quiet) but never arrives — the
+    /// ring's sole blocker — is spliced after the stall grace period and
+    /// the survivors release without it: correct members are never held
+    /// hostage by a silent-Byzantine peer that talks but never `Arrive`s.
+    #[test]
+    fn pinging_never_arriving_member_is_stall_spliced() {
+        let clock = TestClock::new();
+        let cfg = GroupConfig {
+            detector: DetectorConfig {
+                base_timeout: 30.0,
+                backoff: 1.0,
+                max_timeout: 30.0,
+                suspicion_threshold: 10,
+            },
+            // Wedge watchdog quiet: the stall splice must act first.
+            wedge_timeout: 60.0,
+            stall_splice_timeout: 1.0,
+            ..GroupConfig::default()
+        };
+        let mut g = BarrierGroup::new(3, &cfg, clock.clone(), Telemetry::off());
+        for m in 0..3 {
+            g.arrive(m);
+        }
+        assert_eq!(g.tick().releases.len(), 1);
+        // Phase 1: members 0 and 2 arrive; member 1 only pings.
+        g.arrive(0);
+        g.arrive(2);
+        let mut spliced = Vec::new();
+        for _ in 0..30 {
+            clock.advance(0.25);
+            for m in 0..3 {
+                g.heartbeat(m);
+            }
+            let t = g.tick();
+            spliced.extend(t.spliced);
+            if g.phases_released() > 1 {
+                break;
+            }
+        }
+        assert_eq!(spliced, vec![1], "the stalling member is spliced");
+        assert!(g.is_dead(1));
+        assert_eq!(g.phases_released(), 2, "survivors release without it");
+        // The splice is permanent and later phases flow normally.
+        g.arrive(0);
+        g.arrive(2);
+        clock.advance(0.01);
+        assert_eq!(g.tick().releases.len(), 1);
+    }
+
+    /// The stall clock only runs for a *sole* blocker: while every member
+    /// is still computing its phase body (all blocked), nobody is starved
+    /// and nobody gets spliced, however long the phase takes.
+    #[test]
+    fn slow_phases_with_no_sole_blocker_are_never_stall_spliced() {
+        let clock = TestClock::new();
+        let cfg = GroupConfig {
+            detector: DetectorConfig {
+                base_timeout: 30.0,
+                backoff: 1.0,
+                max_timeout: 30.0,
+                suspicion_threshold: 10,
+            },
+            wedge_timeout: 60.0,
+            stall_splice_timeout: 1.0,
+            ..GroupConfig::default()
+        };
+        let mut g = BarrierGroup::new(3, &cfg, clock.clone(), Telemetry::off());
+        for m in 0..3 {
+            g.arrive(m);
+        }
+        assert_eq!(g.tick().releases.len(), 1);
+        // Phase 1: everyone is "computing" — nobody arrives for a long
+        // time, all heartbeat.
+        for _ in 0..20 {
+            clock.advance(0.5);
+            for m in 0..3 {
+                g.heartbeat(m);
+            }
+            let t = g.tick();
+            assert!(t.spliced.is_empty(), "no sole blocker, no splice");
+        }
+        // The phase still completes once everyone arrives.
+        for m in 0..3 {
+            g.arrive(m);
+        }
+        clock.advance(0.01);
+        assert_eq!(g.tick().releases.len(), 1);
     }
 
     /// A 2-member group that loses its non-root member keeps releasing

@@ -27,4 +27,4 @@ pub use client::{run_client, BarrierClient, ClientOutcome};
 pub use group::{BarrierGroup, GroupConfig, GroupRelease, GroupTick, KillOutcome};
 pub use selftest::{http_get, run_selftest, SelfTestReport};
 pub use server::{Server, ServerConfig};
-pub use wire::{ClientFrame, ServerFrame};
+pub use wire::{ClientFrame, FrameError, ServerFrame};

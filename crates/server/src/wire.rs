@@ -6,8 +6,14 @@
 //! strings are `u16` big-endian length + UTF-8. Anything malformed decodes
 //! to `None` and the server drops the session — a garbled client is
 //! indistinguishable from a crashed one, which §4.1 already handles.
+//!
+//! Hostile framing is contained one layer down: a length prefix above
+//! [`MAX_FRAME`] is rejected by [`FrameReader`] with the typed
+//! [`FrameError::Oversized`] *before* the declared length sizes any
+//! buffer, so a garbage or adversarial prefix is a detectable fault
+//! (session dropped), never an allocation.
 
-use ftbarrier_mp::socket::frame;
+pub use ftbarrier_mp::socket::{frame, FrameError, FrameReader, MAX_FRAME};
 
 /// What a client may say to the server.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -169,7 +175,6 @@ impl ServerFrame {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ftbarrier_mp::socket::FrameReader;
 
     fn strip(framed: &[u8]) -> Vec<u8> {
         framed[4..].to_vec()
@@ -229,6 +234,37 @@ mod tests {
             ClientFrame::decode(&[K_JOIN, 0x00, 0x01, 0xff, 0, 0, 0, 1]),
             None
         );
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_a_typed_error_before_allocation() {
+        // A hostile prefix declaring a 4 GiB body must surface as the
+        // typed FrameError from its four header bytes alone — no body
+        // bytes are ever needed (or buffered) to convict it.
+        let mut reader = FrameReader::new();
+        let mut out = Vec::new();
+        let err = reader
+            .push(&u32::MAX.to_be_bytes(), &mut out)
+            .expect_err("oversized prefix must be rejected");
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        let typed = err
+            .get_ref()
+            .and_then(|e| e.downcast_ref::<FrameError>())
+            .expect("error is the typed FrameError");
+        assert_eq!(
+            *typed,
+            FrameError::Oversized {
+                len: u32::MAX as usize,
+                max: MAX_FRAME,
+            }
+        );
+        assert!(out.is_empty(), "no frame body was materialized");
+
+        // The boundary itself is fine: exactly MAX_FRAME is accepted.
+        let mut reader = FrameReader::new();
+        let body = vec![0u8; MAX_FRAME];
+        reader.push(&frame(&body), &mut out).expect("at the cap");
+        assert_eq!(out, vec![body]);
     }
 
     #[test]

@@ -6,8 +6,11 @@ use ftbarrier_server::client::{run_client, BarrierClient};
 use ftbarrier_server::group::GroupConfig;
 use ftbarrier_server::selftest::{http_get, run_selftest};
 use ftbarrier_server::server::{Server, ServerConfig};
+use ftbarrier_server::wire::{frame, ClientFrame, MAX_FRAME};
 use ftbarrier_telemetry::export::PROMETHEUS_CONTENT_TYPE;
 use ftbarrier_telemetry::{prom, FlightDump};
+use std::io::{Read, Write};
+use std::net::{Shutdown, TcpStream};
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -158,6 +161,194 @@ fn stalled_client_wedges_and_the_flight_dump_blames_it() {
     for c in clients {
         c.kill();
     }
+    server.shutdown();
+}
+
+/// A client that stays chatty (valid `Ping` frames) but never sends
+/// `Arrive` is spliced after the stall grace period: the correct members
+/// complete the phase instead of waiting forever, and the staller's
+/// session is closed by the server.
+#[test]
+fn silent_byzantine_client_is_spliced_not_waited_on() {
+    let server = start(GroupConfig {
+        // Detector quiet (the staller pings); the stall splice must act.
+        detector: DetectorConfig {
+            base_timeout: 30.0,
+            backoff: 1.0,
+            max_timeout: 30.0,
+            suspicion_threshold: 10,
+        },
+        wedge_timeout: 30.0,
+        stall_splice_timeout: 0.6,
+        ..GroupConfig::default()
+    });
+    let addr = server.addr();
+
+    let handles: Vec<_> = (0..3)
+        .map(|_| thread::spawn(move || BarrierClient::join(addr, "mute", 3, T).expect("join")))
+        .collect();
+    let mut clients: Vec<BarrierClient> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    clients.sort_by_key(|c| c.member);
+
+    // Phase 0 completes cleanly.
+    for c in clients.iter_mut() {
+        c.arrive(0).unwrap();
+    }
+    for c in clients.iter_mut() {
+        c.await_release(0, T).unwrap();
+    }
+    // Phase 1: member 1 turns silent-Byzantine — valid frames, no Arrive.
+    let mut staller = clients.remove(1);
+    let staller = thread::spawn(move || {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        // Ping until the server hangs up on us; report whether it did.
+        while Instant::now() < deadline {
+            if staller.ping().is_err() {
+                return true;
+            }
+            thread::sleep(Duration::from_millis(50));
+        }
+        false
+    });
+    for c in clients.iter_mut() {
+        c.arrive(1).unwrap();
+    }
+    for c in clients.iter_mut() {
+        c.await_release(1, T)
+            .expect("correct members must not wait forever on the staller");
+    }
+    assert!(
+        staller.join().unwrap(),
+        "the staller's session must be closed, not strung along"
+    );
+    let log = server.log_snapshot();
+    assert!(
+        log.contains("member 1 silent, spliced"),
+        "stall splice is logged:\n{log}"
+    );
+    server.shutdown();
+}
+
+/// Fuzz-style robustness: random garbage sprayed at the acceptor and at a
+/// sealed group is contained as detectable faults — oversized prefixes are
+/// rejected by the typed frame check, garbled sessions are dropped or
+/// spliced, the server stays up, and honest clients keep releasing.
+#[test]
+fn random_garbage_frames_are_contained_as_detectable_faults() {
+    let server = Server::start(ServerConfig {
+        shards: 2,
+        // Keep half-frame garbage connections cheap for the acceptor.
+        join_timeout: Duration::from_millis(300),
+        ..ServerConfig::default()
+    })
+    .expect("server start");
+    let addr = server.addr();
+
+    // An honest group runs through its phases during the bombardment.
+    let honest: Vec<_> = (0..3)
+        .map(|_| thread::spawn(move || run_client(addr, "honest", 3, 10, &[], T)))
+        .collect();
+
+    // Deterministic xorshift noise generator.
+    let mut s: u64 = 0x6A4B_1D2F_90E1_77C3;
+    let mut next = move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        s
+    };
+    for round in 0..24u64 {
+        let mut sock = TcpStream::connect(addr).expect("connect");
+        let mut wire = Vec::new();
+        match round % 3 {
+            0 => {
+                // Hostile oversized length prefix (up to ~4 GiB declared);
+                // the typed check must convict it from the header alone.
+                let len = (MAX_FRAME as u32 + 1).saturating_add((next() as u32) / 2);
+                wire.extend_from_slice(&len.to_be_bytes());
+                wire.extend((0..16).map(|_| next() as u8));
+            }
+            1 => {
+                // Well-framed random bodies: valid lengths, garbage kinds
+                // and payloads.
+                for _ in 0..4 {
+                    let body: Vec<u8> = (0..(next() % 32 + 1)).map(|_| next() as u8).collect();
+                    wire.extend_from_slice(&frame(&body));
+                }
+            }
+            _ => {
+                // Raw unframed byte noise.
+                wire.extend((0..64).map(|_| next() as u8));
+            }
+        }
+        let _ = sock.write_all(&wire);
+        let _ = sock.shutdown(Shutdown::Write);
+        // Drain whatever the server answers (possibly a Bye) until it
+        // hangs up; a stuck read here would itself be a failure.
+        sock.set_read_timeout(Some(Duration::from_secs(5))).ok();
+        let mut sink = Vec::new();
+        let _ = sock.read_to_end(&mut sink);
+    }
+
+    // Garbage *inside* a sealed group: a member that joins cleanly and
+    // then sprays framed noise is a vanished session — spliced, so the
+    // honest member releases without it.
+    let good = thread::spawn(move || -> std::io::Result<u32> {
+        let mut c = BarrierClient::join(addr, "noise", 2, T)?;
+        c.arrive(0)?;
+        c.await_release(0, T)?;
+        Ok(c.member)
+    });
+    // The good client connected first, so it takes seat 0 (the root);
+    // give the serial acceptor a beat before the garbler joins.
+    thread::sleep(Duration::from_millis(300));
+    let mut garbler = TcpStream::connect(addr).expect("connect garbler");
+    garbler
+        .write_all(
+            &ClientFrame::Join {
+                group: "noise".into(),
+                size: 2,
+            }
+            .to_frame(),
+        )
+        .expect("garbler joins");
+    // Let the acceptor consume the Join before the junk follows, so the
+    // noise lands on the seated session, not the acceptor's frame buffer.
+    thread::sleep(Duration::from_millis(300));
+    let mut junk = Vec::new();
+    for _ in 0..8 {
+        let body: Vec<u8> = (0..(next() % 24 + 1)).map(|_| next() as u8).collect();
+        junk.extend_from_slice(&frame(&body));
+    }
+    let _ = garbler.write_all(&junk);
+    match good.join().unwrap() {
+        Ok(member) => assert_eq!(member, 0, "the honest member holds seat 0"),
+        Err(e) => panic!(
+            "good member failed: {e}\nserver log:\n{}",
+            server.log_snapshot()
+        ),
+    }
+
+    for h in honest {
+        let o = h.join().unwrap();
+        assert!(o.error.is_none(), "honest client failed: {o:?}");
+        assert_eq!(o.completed, 10, "honest client missed phases: {o:?}");
+    }
+    let (_, body) = http_get(server.metrics_addr(), "/metrics").expect("still scraping");
+    let exp = prom::parse(&body).expect("exposition parses");
+    assert_eq!(
+        exp.value("server_releases_total", &[("group", "honest")]),
+        Some(10.0)
+    );
+    let log = server.log_snapshot();
+    assert!(
+        log.contains("dropped before a Join frame"),
+        "acceptor convicts garbage pre-Join:\n{log}"
+    );
+    assert!(
+        log.contains("member 1 vanished, spliced"),
+        "in-group garbler is spliced:\n{log}"
+    );
     server.shutdown();
 }
 

@@ -22,6 +22,17 @@ pub const RECONFIGURATION_LATENCY: &str = "reconfiguration_latency";
 /// (a detectable fault, masked like any corrupted message).
 pub const STALE_EPOCH_DROPPED_TOTAL: &str = "stale_epoch_dropped_total";
 
+/// Counter: Byzantine corruption events fired by the fault environment.
+pub const BYZ_CORRUPTIONS_TOTAL: &str = "byz_corruptions_total";
+
+/// Counter: processes convicted of out-of-domain writes and quarantined by
+/// splice.
+pub const BYZ_QUARANTINES_TOTAL: &str = "byz_quarantines_total";
+
+/// Counter: runs where the splice authority hit its quorum bound and refused
+/// to quarantine further (the run wedges rather than splice past quorum).
+pub const BYZ_WEDGES_TOTAL: &str = "byz_wedges_total";
+
 /// One-line `# HELP` text for a (sanitized) metric name. Covers the
 /// canonical families every backend emits; other names get a generic line
 /// so the exposition always carries a HELP for every metric.
@@ -34,6 +45,9 @@ pub fn help_text(name: &str) -> &'static str {
             "Latency from stall/suspicion trigger to the repaired view being in effect."
         }
         "stale_epoch_dropped_total" => "Messages dropped for carrying a stale membership epoch.",
+        "byz_corruptions_total" => "Byzantine corruption events fired by the fault environment.",
+        "byz_quarantines_total" => "Processes convicted of out-of-domain writes and quarantined.",
+        "byz_wedges_total" => "Runs wedged by the splice authority's quorum bound.",
         "detection_latency" => "Time from detectable-fault injection to the first repeat wave.",
         "recovery_latency" => "Time from detection until every worker position is ready again.",
         "phase_time" => "Virtual time per successful barrier phase.",

@@ -14,6 +14,9 @@
 //! * [`gcl`] — the guarded-command *language*: programs in the paper's
 //!   notation, parsed and executed directly (as SIEFAST did).
 //! * [`mp`] — faulty channels and the executable threaded MB.
+//! * [`protocols`] — barrier-adjacent sibling protocols (fault-tolerant
+//!   Safra-style termination detection, Lenzen–Rybicki-style self-stabilizing
+//!   synchronous counting) on the same guarded-command substrate.
 //! * [`runtime`] — a production-style fault-tolerant barrier for
 //!   `std::thread` workers, with repeat semantics, corruption recovery,
 //!   failure policies, fuzzy barriers, and fault-intolerant baselines.
@@ -52,6 +55,7 @@ pub use ftbarrier_core as core;
 pub use ftbarrier_gcl as gcl;
 pub use ftbarrier_gcs as gcs;
 pub use ftbarrier_mp as mp;
+pub use ftbarrier_protocols as protocols;
 pub use ftbarrier_runtime as runtime;
 pub use ftbarrier_topology as topology;
 
